@@ -1,0 +1,145 @@
+// Package agenp is the public API of the AGENP library — a Go
+// implementation of "Generative Policies for Coalition Systems — A
+// Symbolic Learning Framework" (ICDCS 2019).
+//
+// The library provides, from the bottom up:
+//
+//   - an Answer Set Programming engine (parser, grounder, stable-model
+//     solver) replacing the paper's clingo dependency;
+//   - context-free grammars with an Earley parser and bounded generation;
+//   - Answer Set Grammars (ASGs): CFGs annotated with ASP conditions,
+//     the paper's core formalism (Section II);
+//   - an ILASP-style inductive learner for ASP rules and for ASG
+//     annotations from context-dependent examples (Definition 3);
+//   - the generative policy model (GPM): ASG + context -> valid policies;
+//   - the AGENP architecture of Figure 2 (PReP, PAdaP, PCP, PIP, PDP,
+//     PEP) as a runnable autonomous management system;
+//   - a coalition layer for policy sharing across parties (in-process
+//     and TCP transports);
+//   - policy quality assessment (Section V.A) and explainability
+//     (Section V.B) over an XACML-style policy substrate;
+//   - the paper's application domains: connected autonomous vehicles,
+//     logistical resupply, access control, data sharing and federated
+//     learning.
+//
+// Quick start — parse an answer set grammar, apply a context, and
+// generate the valid policies:
+//
+//	model, err := agenp.ParseGPM(`
+//	    policy -> "accept" task { :- task(overtake)@2, weather(rain). }
+//	    policy -> "reject" task
+//	    task -> "overtake" { task(overtake). }
+//	    task -> "park" { task(park). }
+//	`)
+//	ctx, err := agenp.ParseASP("weather(rain).")
+//	policies, err := model.Generate(ctx)
+//
+// Learning a model from examples (the Figure 1 workflow) goes through
+// LearnASG; running a full autonomous management system through NewAMS.
+// The deeper layers are importable directly from the internal packages'
+// exported twins under this module; the symbols re-exported here are the
+// stable surface.
+package agenp
+
+import (
+	"agenp/internal/agenp"
+	"agenp/internal/asg"
+	"agenp/internal/asglearn"
+	"agenp/internal/asp"
+	"agenp/internal/core"
+	"agenp/internal/ilasp"
+	"agenp/internal/intent"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// Core model types.
+type (
+	// GPM is a generative policy model: a learned answer set grammar
+	// plus generation bounds (the paper's primary contribution).
+	GPM = core.GPM
+	// Grammar is an answer set grammar (Definition 2).
+	Grammar = asg.Grammar
+	// HypothesisRule is a learnable annotation rule attached to a
+	// production (an element of S_M in Definition 3).
+	HypothesisRule = asg.HypothesisRule
+	// Program is an ASP program.
+	Program = asp.Program
+	// Atom is an ASP atom.
+	Atom = asp.Atom
+	// Rule is an ASP rule.
+	Rule = asp.Rule
+	// AnswerSet is a stable model.
+	AnswerSet = asp.AnswerSet
+	// SolveOptions configures the ASP solver.
+	SolveOptions = asp.SolveOptions
+	// Policy is a generated policy with provenance.
+	Policy = policy.Policy
+	// Feedback is a validity observation used to evolve a model.
+	Feedback = core.Feedback
+	// Evolution is the outcome of evolving a GPM.
+	Evolution = core.Evolution
+)
+
+// Learning types.
+type (
+	// ASGExample is a context-dependent string example ⟨s, C⟩.
+	ASGExample = asglearn.Example
+	// ASGTask is a context-dependent ASG learning task (Definition 3).
+	ASGTask = asglearn.Task
+	// ILPExample is an ILASP-style partial-interpretation example.
+	ILPExample = ilasp.Example
+	// ILPTask is an ILASP-style learning task.
+	ILPTask = ilasp.Task
+	// Bias is a mode-declaration language bias.
+	Bias = ilasp.Bias
+	// LearnOptions configures hypothesis search.
+	LearnOptions = ilasp.LearnOptions
+)
+
+// Framework types.
+type (
+	// AMS is an autonomous management system (Figure 2).
+	AMS = agenp.AMS
+	// AMSConfig wires an AMS.
+	AMSConfig = agenp.Config
+	// Interpreter maps generated policies to request decisions.
+	Interpreter = agenp.Interpreter
+	// Request is an attribute-based access/action request.
+	Request = xacml.Request
+	// Decision is a policy decision outcome.
+	Decision = xacml.Decision
+)
+
+// Constructors and entry points.
+var (
+	// ParseASP parses an ASP program.
+	ParseASP = asp.Parse
+	// ParseASG parses an answer set grammar.
+	ParseASG = asg.ParseASG
+	// ParseGPM parses an ASG source into a generative policy model.
+	ParseGPM = core.ParseGPM
+	// NewGPM wraps a grammar as a GPM.
+	NewGPM = core.New
+	// Solve grounds and solves an ASP program.
+	Solve = asp.Solve
+	// NewAMS assembles an autonomous management system.
+	NewAMS = agenp.New
+	// NewRequest builds an empty request.
+	NewRequest = xacml.NewRequest
+	// CompileIntent compiles a controlled-English policy intent document
+	// into an answer set grammar (the paper's "from natural language to
+	// grammar-based policies" direction).
+	CompileIntent = intent.CompileSource
+)
+
+// LearnASG solves a context-dependent ASG learning task: given an
+// initial grammar, a hypothesis space and examples, it returns the
+// learned grammar (the Figure 1 workflow).
+func LearnASG(initial *Grammar, space []HypothesisRule, examples []ASGExample, opts LearnOptions) (*asglearn.Result, error) {
+	task := &asglearn.Task{Initial: initial, Space: space, Examples: examples}
+	return task.Learn(opts)
+}
+
+// Version reports the library version.
+const Version = "1.0.0"

@@ -1,0 +1,82 @@
+package agenp_test
+
+import (
+	"testing"
+
+	"agenp"
+	"agenp/internal/asglearn"
+)
+
+const grammar = `
+policy -> "accept" task
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+`
+
+func TestFacadeGenerate(t *testing.T) {
+	model, err := agenp.ParseGPM(grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := agenp.ParseASP("weather(clear).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies, err := model.Generate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policies) != 4 {
+		t.Errorf("generated %d policies, want 4", len(policies))
+	}
+}
+
+func TestFacadeLearnASG(t *testing.T) {
+	initial, err := agenp.ParseASG(grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := []agenp.HypothesisRule{
+		asglearn.MustParseHypothesisRule(":- task(overtake)@2, weather(rain).", 0),
+	}
+	rain, err := agenp.ParseASP("weather(rain).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, err := agenp.ParseASP("weather(clear).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := []agenp.ASGExample{
+		{ID: "n", Tokens: []string{"accept", "overtake"}, Context: rain, Positive: false},
+		{ID: "p", Tokens: []string{"accept", "overtake"}, Context: clear, Positive: true},
+	}
+	res, err := agenp.LearnASG(initial, space, examples, agenp.LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 {
+		t.Errorf("hypothesis = %v", res.Hypothesis)
+	}
+}
+
+func TestFacadeSolve(t *testing.T) {
+	prog, err := agenp.ParseASP("a :- not b. b :- not a.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := agenp.Solve(prog, agenp.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Errorf("models = %d, want 2", len(models))
+	}
+}
+
+func TestVersion(t *testing.T) {
+	if agenp.Version == "" {
+		t.Error("empty version")
+	}
+}

@@ -1,0 +1,273 @@
+// Benchmarks regenerating every experiment of DESIGN.md (one per paper
+// figure/claim, BenchmarkE1..BenchmarkE12) plus the ablation benchmarks
+// for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+package agenp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"agenp/internal/apps/cav"
+	"agenp/internal/apps/datashare"
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/cfg"
+	"agenp/internal/experiments"
+	"agenp/internal/ilasp"
+)
+
+// mustASG builds the aⁿbⁿcⁿ grammar used by the membership ablation.
+func mustASG(b *testing.B) *asg.Grammar {
+	b.Helper()
+	g, err := asg.ParseASG(`
+start -> as bs cs {
+    :- size(X)@1, size(Y)@2, X != Y.
+    :- size(X)@2, size(Y)@3, X != Y.
+}
+as -> "a" as { size(X + 1) :- size(X)@2. }
+as -> ε { size(0). }
+bs -> "b" bs { size(X + 1) :- size(X)@2. }
+bs -> ε { size(0). }
+cs -> "c" cs { size(X + 1) :- size(X)@2. }
+cs -> ε { size(0). }
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func asgAcceptOptions() asg.AcceptOptions { return asg.AcceptOptions{} }
+
+func asgGenerateOptions(maxNodes int) asg.GenerateOptions {
+	return asg.GenerateOptions{MaxNodes: maxNodes}
+}
+
+// benchExperiment runs one experiment per iteration in quick mode.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, experiments.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Workflow(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2Pipeline(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3CleanLearning(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4Overfitting(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5Restrictions(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6Noise(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7LearningCurve(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE9Quality(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Explain(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11Coalition(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12Resupply(b *testing.B)     { benchExperiment(b, "E12") }
+
+// E8 (scalability) is itself a measurement sweep; the bench variants
+// below expose its components at benchmark granularity.
+
+func BenchmarkE8ScalabilityLearner(b *testing.B) {
+	for _, n := range []int{10, 20, 40} {
+		b.Run(fmt.Sprintf("examples=%d", n), func(b *testing.B) {
+			scenarios := cav.Generate(1, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cav.Learn(scenarios, ilasp.LearnOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8ScalabilitySolver(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("cycle=%d", k), func(b *testing.B) {
+			prog := coloringProgram(k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := asp.Solve(prog, asp.SolveOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func coloringProgram(n int) *asp.Program {
+	src := "col(r). col(g). col(b).\n"
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("node(n%d). edge(n%d, n%d).\n", i, i, (i+1)%n)
+	}
+	src += `
+		{color(N, C)} :- node(N), col(C).
+		colored(N) :- color(N, C).
+		:- node(N), not colored(N).
+		:- color(N, C1), color(N, C2), C1 != C2.
+		:- edge(X, Y), color(X, C), color(Y, C).
+	`
+	p, err := asp.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- ablation benchmarks (design choices from DESIGN.md) ---
+
+// BenchmarkAblationSolverBranching compares NAF-atom branching against
+// naive full-atom branching on the same program.
+func BenchmarkAblationSolverBranching(b *testing.B) {
+	prog := coloringProgram(4)
+	for _, naive := range []bool{false, true} {
+		name := "naf-only"
+		if naive {
+			name = "all-atoms"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := asp.Solve(prog, asp.SolveOptions{NaiveBranching: naive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGrounding compares semi-naive against naive
+// re-instantiation on a recursive program.
+func BenchmarkAblationGrounding(b *testing.B) {
+	src := "num(0).\nnum(N + 1) :- num(N), N < 120.\neven(N) :- num(N), N \\ 2 = 0.\npair(X, Y) :- even(X), even(Y), X < Y, Y < 20.\n"
+	prog, err := asp.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, naive := range []bool{false, true} {
+		name := "semi-naive"
+		if naive {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := asp.Ground(prog, asp.GroundingOptions{Naive: naive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLearnerPruning compares the set-cover fast path
+// against the exhaustive subset search, both solving the same
+// data-sharing task to optimality.
+func BenchmarkAblationLearnerPruning(b *testing.B) {
+	offers := datashare.Generate(2, 8)
+	mkTask := func() *ilasp.Task {
+		return &ilasp.Task{
+			Bias:     datashare.Bias(),
+			Examples: datashare.LearningExamples(offers, 0),
+		}
+	}
+	// Establish the optimum once so both engines search to the same
+	// bound.
+	ref, err := mkTask().LearnIndependent(ilasp.LearnOptions{MaxRules: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mkTask().LearnIndependent(ilasp.LearnOptions{MaxRules: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := mkTask().Learn(ilasp.LearnOptions{MaxRules: 3, MaxCost: ref.Cost})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Cost != ref.Cost {
+				b.Fatalf("engines disagree: %d vs %d", res.Cost, ref.Cost)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMembership compares Earley-backed ASG membership
+// against exhaustive generate-and-compare on the aⁿbⁿcⁿ grammar.
+func BenchmarkAblationMembership(b *testing.B) {
+	g := mustASG(b)
+	tokens := []string{"a", "a", "b", "b", "c", "c"}
+	b.Run("earley-membership", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ok, err := g.Accepts(tokens, asgAcceptOptions())
+			if err != nil || !ok {
+				b.Fatalf("accept = %v, %v", ok, err)
+			}
+		}
+	})
+	b.Run("generate-and-compare", func(b *testing.B) {
+		want := "a a b b c c"
+		for i := 0; i < b.N; i++ {
+			found := false
+			out, err := g.Generate(asgGenerateOptions(16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range out {
+				if s.Text() == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatal("string not generated")
+			}
+		}
+	})
+}
+
+// --- micro-benchmarks of the substrates ---
+
+func BenchmarkSolverStratified(b *testing.B) {
+	src := "edge(a,b). edge(b,c). edge(c,d). edge(d,e).\npath(X,Y) :- edge(X,Y).\npath(X,Z) :- edge(X,Y), path(Y,Z).\nunreach(X) :- edge(X, Y), not path(Y, X).\n"
+	prog, err := asp.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asp.Solve(prog, asp.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEarleyParse(b *testing.B) {
+	g, err := cfg.ParseGrammar("e -> t | t \"+\" e\nt -> \"a\" | \"(\" e \")\"\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := cfg.Tokenize("( a + a ) + ( a + ( a + a ) ) + a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.Accepts(tokens) {
+			b.Fatal("reject")
+		}
+	}
+}
+
+func BenchmarkBiasSpaceGeneration(b *testing.B) {
+	bias := cav.Bias()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bias.Space(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command agenpd runs a small coalition of autonomous management
+// systems sharing data-sharing policies over TCP — a live demonstration
+// of the Figure 2 architecture plus the CASWiki-style policy sharing of
+// Section III.A.3.
+//
+// Each party runs the data-sharing generative policy model under its own
+// trust context; party A generates its policies and shares them, and the
+// other parties' Policy Checking Points adopt or reject them against
+// their stricter contexts.
+//
+// Usage:
+//
+//	agenpd [-parties 3] [-addr 127.0.0.1:0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"agenp/internal/agenp"
+	"agenp/internal/apps/datashare"
+	"agenp/internal/asp"
+	"agenp/internal/coalition"
+	"agenp/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "agenpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agenpd", flag.ContinueOnError)
+	parties := fs.Int("parties", 3, "number of coalition parties (>= 2)")
+	addr := fs.String("addr", "127.0.0.1:0", "hub listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parties < 2 {
+		return fmt.Errorf("need at least 2 parties")
+	}
+
+	hub, err := coalition.NewTCPHub(*addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hub.Close() }()
+	fmt.Fprintf(stdout, "hub listening on %s\n", hub.Addr())
+
+	// Party contexts alternate trust levels so PCP vetting differs.
+	contexts := []string{
+		"trust(high). quality(5).",
+		"trust(medium). quality(5).",
+		"trust(low). quality(5).",
+		"trust(medium). quality(2).",
+	}
+	var members []*coalition.Party
+	for i := 0; i < *parties; i++ {
+		name := fmt.Sprintf("party-%c", 'a'+i)
+		model, err := core.ParseGPM(datashare.GrammarSource)
+		if err != nil {
+			return err
+		}
+		ctx, err := asp.Parse(contexts[i%len(contexts)])
+		if err != nil {
+			return err
+		}
+		ams, err := agenp.New(agenp.Config{
+			Name:    name,
+			Model:   model,
+			Context: &agenp.StaticContext{Program: ctx},
+			Interpreter: &agenp.TokenInterpreter{
+				PermitVerbs: []string{"share"},
+				DenyVerbs:   []string{"withhold"},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		transport, err := coalition.DialTCP(hub.Addr())
+		if err != nil {
+			return err
+		}
+		defer func() { _ = transport.Close() }()
+		p, err := coalition.Join(ams, transport)
+		if err != nil {
+			return err
+		}
+		defer p.Leave()
+		members = append(members, p)
+		fmt.Fprintf(stdout, "%s joined with context %q\n", name, contexts[i%len(contexts)])
+	}
+
+	// Party A generates its policies under its (permissive) context and
+	// shares them with the coalition.
+	lead := members[0]
+	accepted, rejected, err := lead.AMS.Regenerate()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s generated %d policies (%d rejected by own PCP)\n",
+		lead.AMS.Name(), len(accepted), len(rejected))
+	if err := lead.SharePolicies(); err != nil {
+		return err
+	}
+
+	// Wait for the coalition to settle.
+	total := lead.AMS.Repository().Len()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, m := range members[1:] {
+			i, r := m.ImportStats()
+			if i+r < total {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for _, m := range members[1:] {
+		imported, rej := m.ImportStats()
+		fmt.Fprintf(stdout, "%s adopted %d and rejected %d shared policies; repository:\n",
+			m.AMS.Name(), imported, rej)
+		for _, p := range m.AMS.Repository().List() {
+			fmt.Fprintf(stdout, "  %s\n", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoalitionRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-parties", "3", "-addr", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"hub listening on",
+		"party-a joined",
+		"party-b joined",
+		"party-c joined",
+		"party-a generated 8 policies",
+		"party-b adopted 7 and rejected 1",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTooFewParties(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-parties", "1"}, &out); err == nil {
+		t.Error("single party not rejected")
+	}
+}

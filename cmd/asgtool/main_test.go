@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGrammar(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.asg")
+	src := `
+policy -> "fly" { :- not weather(clear). }
+policy -> "drive"
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestShow(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-grammar", writeGrammar(t), "show"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `policy -> "fly"`) {
+		t.Errorf("show output:\n%s", out.String())
+	}
+}
+
+func TestCheck(t *testing.T) {
+	g := writeGrammar(t)
+	var out strings.Builder
+	if err := run([]string{"-grammar", g, "-context", "weather(clear).", "check", "fly"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VALID") {
+		t.Errorf("check output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-grammar", g, "check", "fly"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INVALID") {
+		t.Errorf("check output:\n%s", out.String())
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	g := writeGrammar(t)
+	var out strings.Builder
+	if err := run([]string{"-grammar", g, "generate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "drive") || strings.Contains(s, "fly\n") {
+		t.Errorf("generate output:\n%s", s)
+	}
+	out.Reset()
+	if err := run([]string{"-grammar", g, "-context", "weather(clear).", "generate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fly") {
+		t.Errorf("generate with context:\n%s", out.String())
+	}
+}
+
+func TestContextFromFile(t *testing.T) {
+	g := writeGrammar(t)
+	ctxPath := filepath.Join(t.TempDir(), "ctx.lp")
+	if err := os.WriteFile(ctxPath, []byte("weather(clear)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-grammar", g, "-context", ctxPath, "check", "fly"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VALID") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestIntentCompilation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "intent.txt")
+	doc := "policy: allow or block tool\ntool: saw, drill\nnever allow saw when shift is night\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-intent", path, "show"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `policy -> "allow" tool`) {
+		t.Errorf("compiled grammar:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-intent", path, "-context", "shift(night).", "check", "allow saw"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INVALID") {
+		t.Errorf("check output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"show"}, &out); err == nil {
+		t.Error("missing -grammar not rejected")
+	}
+	if err := run([]string{"-grammar", "a", "-intent", "b", "show"}, &out); err == nil {
+		t.Error("mutually exclusive flags not rejected")
+	}
+	if err := run([]string{"-intent", "/nope.txt", "show"}, &out); err == nil {
+		t.Error("missing intent file not rejected")
+	}
+	if err := run([]string{"-grammar", "/nope.asg", "show"}, &out); err == nil {
+		t.Error("missing grammar file not rejected")
+	}
+	g := writeGrammar(t)
+	if err := run([]string{"-grammar", g, "check"}, &out); err == nil {
+		t.Error("check without string not rejected")
+	}
+	if err := run([]string{"-grammar", g, "frobnicate"}, &out); err == nil {
+		t.Error("unknown subcommand not rejected")
+	}
+	if err := run([]string{"-grammar", g, "-context", "not valid asp", "show"}, &out); err == nil {
+		t.Error("bad context not rejected")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"E1", "E12", "Fig.3a"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("list output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "E9,E10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== E9:") || !strings.Contains(s, "== E10:") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E99"}, &out); err == nil {
+		t.Error("unknown experiment not rejected")
+	}
+}

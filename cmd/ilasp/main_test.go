@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemoFlies(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "flies"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flies(V1) :- bird(V1), not penguin(V1).") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDemoAccess(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "access", "-n", "40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "as XACML-style policy:") || !strings.Contains(s, "deny-overrides") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestDemoCAV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "cav", "-n", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decision(deny)") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDemoUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "nope"}, &out); err == nil {
+		t.Error("unknown demo not rejected")
+	}
+}

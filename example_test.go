@@ -1,0 +1,96 @@
+package agenp_test
+
+import (
+	"fmt"
+
+	"agenp"
+	"agenp/internal/asglearn"
+)
+
+// Example demonstrates the core idea of the paper: an answer set grammar
+// whose context selects the valid policies.
+func Example() {
+	model, err := agenp.ParseGPM(`
+policy -> "accept" task { :- task(overtake)@2, weather(rain). }
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rain, _ := agenp.ParseASP("weather(rain).")
+	policies, _ := model.Generate(rain)
+	for _, p := range policies {
+		fmt.Println(p.Text())
+	}
+	// Output:
+	// accept park
+	// reject overtake
+	// reject park
+}
+
+// ExampleLearnASG shows the Figure 1 workflow: learning the semantic
+// conditions of a grammar from context-dependent examples.
+func ExampleLearnASG() {
+	initial, _ := agenp.ParseASG(`
+policy -> "accept" task
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+`)
+	space := []agenp.HypothesisRule{
+		asglearn.MustParseHypothesisRule(":- task(overtake)@2, weather(rain).", 0),
+		asglearn.MustParseHypothesisRule(":- weather(rain).", 0),
+	}
+	rain, _ := agenp.ParseASP("weather(rain).")
+	clear, _ := agenp.ParseASP("weather(clear).")
+	examples := []agenp.ASGExample{
+		{ID: "e1", Tokens: []string{"accept", "overtake"}, Context: clear, Positive: true},
+		{ID: "e2", Tokens: []string{"accept", "park"}, Context: rain, Positive: true},
+		{ID: "e3", Tokens: []string{"accept", "overtake"}, Context: rain, Positive: false},
+	}
+	res, _ := agenp.LearnASG(initial, space, examples, agenp.LearnOptions{})
+	for _, h := range res.Hypothesis {
+		fmt.Println(h)
+	}
+	// Output:
+	// [prod 0] :- task(overtake)@2, weather(rain).
+}
+
+// ExampleSolve runs the embedded ASP solver directly.
+func ExampleSolve() {
+	prog, _ := agenp.ParseASP(`
+		bird(tweety). bird(sam). penguin(sam).
+		flies(X) :- bird(X), not penguin(X).
+	`)
+	models, _ := agenp.Solve(prog, agenp.SolveOptions{})
+	fmt.Println(models[0].AtomsOf("flies"))
+	// Output:
+	// [flies(tweety)]
+}
+
+// ExampleCompileIntent compiles controlled English into a generative
+// policy model.
+func ExampleCompileIntent() {
+	grammar, err := agenp.CompileIntent(`
+policy: launch or hold drone
+drone: scout, strike
+never launch strike when roe is tight
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tight, _ := agenp.ParseASP("roe(tight).")
+	model := agenp.NewGPM(grammar)
+	policies, _ := model.Generate(tight)
+	for _, p := range policies {
+		fmt.Println(p.Text())
+	}
+	// Output:
+	// launch scout
+	// hold scout
+	// hold strike
+}

@@ -1,0 +1,98 @@
+// Intent example (paper Section III.B research direction): compile a
+// controlled-English policy intent document into an answer set grammar,
+// then drive it like any other generative policy model — including
+// feeding it to a live AMS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agenp"
+	"agenp/internal/asg"
+	"agenp/internal/intent"
+	"agenp/internal/xacml"
+
+	framework "agenp/internal/agenp"
+)
+
+const doc = `
+# Convoy escort drone doctrine, as written by the operator.
+policy: launch or hold drone
+drone: scout, relay, strike
+never launch strike when rules_of_engagement is tight
+never launch any drone when weather is storm
+require battery of at least 40 to launch any drone
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	grammar, err := intent.CompileSource(doc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("compiled grammar:")
+	fmt.Print(grammar.String())
+
+	// Generate the valid policies in two situations.
+	for _, situation := range []struct {
+		name, ctx string
+	}{
+		{name: "permissive", ctx: "rules_of_engagement(loose). weather(clear). battery(80)."},
+		{name: "tight ROE, low battery", ctx: "rules_of_engagement(tight). weather(clear). battery(30)."},
+	} {
+		prog, err := agenp.ParseASP(situation.ctx)
+		if err != nil {
+			return err
+		}
+		out, err := grammar.WithContext(prog).Generate(asg.GenerateOptions{MaxNodes: 10})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("valid policies when %s:\n", situation.name)
+		for _, p := range out {
+			fmt.Printf("  %s\n", p.Text())
+		}
+	}
+
+	// The compiled grammar is a drop-in GPM for a live AMS.
+	ctxProg, err := agenp.ParseASP("rules_of_engagement(tight). weather(clear). battery(80).")
+	if err != nil {
+		return err
+	}
+	ams, err := agenp.NewAMS(framework.Config{
+		Name:    "escort-drone",
+		Model:   agenp.NewGPM(grammar),
+		Context: &framework.StaticContext{Program: ctxProg},
+		Interpreter: &framework.TokenInterpreter{
+			PermitVerbs: []string{"launch"},
+			DenyVerbs:   []string{"hold"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if _, _, err := ams.Regenerate(); err != nil {
+		return err
+	}
+	// Keep only the affirmative policies so the PDP answers "may this
+	// drone launch?" (hold policies would deny-override everything).
+	for _, p := range ams.Repository().List() {
+		if p.Tokens[0] == "hold" {
+			ams.Repository().Delete(p.ID)
+		}
+	}
+	for _, drone := range []string{"scout", "strike"} {
+		d, pid, err := ams.Decide(agenp.NewRequest().Set(xacml.Action, "id", xacml.S(drone)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("request %-6s -> %s (%s)\n", drone, d, pid)
+	}
+	return nil
+}

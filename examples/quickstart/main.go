@@ -1,0 +1,82 @@
+// Quickstart: the Figure 1 workflow in ~60 lines. An initial generative
+// policy model (an answer set grammar with syntax only), examples of
+// which policies are valid in which contexts, the ILASP-based learner,
+// and the learned model generating context-dependent policy sets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agenp"
+	"agenp/internal/asglearn"
+)
+
+const initialGrammar = `
+# A vehicle policy is "accept <task>" or "reject <task>".
+policy -> "accept" task
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	initial, err := agenp.ParseASG(initialGrammar)
+	if err != nil {
+		return err
+	}
+
+	// The hypothesis space S_M: constraints the learner may attach to
+	// the "accept" production (production 0).
+	space := []agenp.HypothesisRule{
+		asglearn.MustParseHypothesisRule(":- task(overtake)@2, weather(rain).", 0),
+		asglearn.MustParseHypothesisRule(":- weather(rain).", 0),
+		asglearn.MustParseHypothesisRule(":- task(park)@2.", 0),
+	}
+
+	rain, err := agenp.ParseASP("weather(rain).")
+	if err != nil {
+		return err
+	}
+	clear, err := agenp.ParseASP("weather(clear).")
+	if err != nil {
+		return err
+	}
+
+	// Context-dependent examples ⟨policy string, context⟩ (Definition 3).
+	examples := []agenp.ASGExample{
+		{ID: "e1", Tokens: []string{"accept", "overtake"}, Context: clear, Positive: true},
+		{ID: "e2", Tokens: []string{"accept", "park"}, Context: rain, Positive: true},
+		{ID: "e3", Tokens: []string{"accept", "overtake"}, Context: rain, Positive: false},
+		{ID: "e4", Tokens: []string{"reject", "overtake"}, Context: rain, Positive: true},
+	}
+
+	res, err := agenp.LearnASG(initial, space, examples, agenp.LearnOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("learned annotation rules:")
+	for _, h := range res.Hypothesis {
+		fmt.Printf("  %s\n", h)
+	}
+
+	// The learned GPM generates different policy sets per context.
+	model := agenp.NewGPM(res.Grammar)
+	for name, ctx := range map[string]*agenp.Program{"rain": rain, "clear": clear} {
+		policies, err := model.Generate(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policies valid in %s:\n", name)
+		for _, p := range policies {
+			fmt.Printf("  %s\n", p.Text())
+		}
+	}
+	return nil
+}

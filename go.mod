@@ -1,0 +1,3 @@
+module agenp
+
+go 1.22

@@ -1,0 +1,332 @@
+package agenp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/core"
+	"agenp/internal/ilasp"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// Config wires an Autonomous Management System.
+type Config struct {
+	// Name identifies the AMS (coalition party name).
+	Name string
+	// Model is the initial generative policy model handed down by the
+	// policy-based management system (the PBMS's CFG + constraints,
+	// refined into an ASG).
+	Model *core.GPM
+	// Space is the hypothesis space the PAdaP may learn from.
+	Space []asg.HypothesisRule
+	// Context supplies the operating context (PIP source).
+	Context ContextProvider
+	// Interpreter maps generated policies to request decisions.
+	Interpreter Interpreter
+	// Effector executes decisions on the managed resources.
+	Effector Effector
+	// Validators vet generated and shared policies (PCP). A
+	// MembershipValidator over the representations repository is always
+	// prepended.
+	Validators []Validator
+	// AdaptThreshold is the number of observed violations that triggers
+	// adaptation (default 3).
+	AdaptThreshold int
+	// LearnOptions passes through to the learner during adaptation.
+	LearnOptions ilasp.LearnOptions
+	// MonitorCapacity bounds the decision log (default 1024).
+	MonitorCapacity int
+}
+
+// AMS is an autonomous managed system: the full Figure 2 assembly.
+type AMS struct {
+	name string
+
+	mu       sync.Mutex
+	models   *core.Representations
+	repo     *policy.Repository
+	log      *policy.MonitorLog
+	pip      *PIP
+	pcp      *PCP
+	pdp      *PDP
+	pep      *PEP
+	space    []asg.HypothesisRule
+	learn    ilasp.LearnOptions
+	feedback []core.Feedback
+	learned  []asg.HypothesisRule // accumulated across adaptations
+	adaptAt  int
+
+	// lifecycle for the background loop
+	stop chan struct{}
+	done chan struct{}
+
+	// stats
+	adaptations int
+	regenerated int
+}
+
+// New assembles an AMS.
+func New(cfg Config) (*AMS, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("agenp: config needs an initial model")
+	}
+	if cfg.Context == nil {
+		cfg.Context = &StaticContext{}
+	}
+	if cfg.Interpreter == nil {
+		return nil, fmt.Errorf("agenp: config needs an interpreter")
+	}
+	if cfg.Effector == nil {
+		cfg.Effector = EffectorFunc(func(xacml.Request, xacml.Decision) (bool, error) { return false, nil })
+	}
+	adaptAt := cfg.AdaptThreshold
+	if adaptAt <= 0 {
+		adaptAt = 3
+	}
+	monCap := cfg.MonitorCapacity
+	if monCap <= 0 {
+		monCap = 1024
+	}
+
+	models := core.NewRepresentations(cfg.Model)
+	repo := policy.NewRepository()
+	log := policy.NewMonitorLog(monCap)
+	validators := append([]Validator{&MembershipValidator{Models: models}}, cfg.Validators...)
+	pcp := NewPCP(validators...)
+	pdp := NewPDP(repo, cfg.Interpreter)
+	pep := NewPEP(pdp, cfg.Effector, log)
+
+	return &AMS{
+		name:    cfg.Name,
+		models:  models,
+		repo:    repo,
+		log:     log,
+		pip:     NewPIP(cfg.Context),
+		pcp:     pcp,
+		pdp:     pdp,
+		pep:     pep,
+		space:   cfg.Space,
+		learn:   cfg.LearnOptions,
+		adaptAt: adaptAt,
+	}, nil
+}
+
+// Name returns the AMS name.
+func (a *AMS) Name() string { return a.name }
+
+// Repository exposes the policy repository (for inspection and sharing).
+func (a *AMS) Repository() *policy.Repository { return a.repo }
+
+// Models exposes the representations repository.
+func (a *AMS) Models() *core.Representations { return a.models }
+
+// MonitorLog exposes the decision history.
+func (a *AMS) MonitorLog() *policy.MonitorLog { return a.log }
+
+// PCP exposes the policy checking point.
+func (a *AMS) PCP() *PCP { return a.pcp }
+
+// Adaptations returns how many times the model was evolved.
+func (a *AMS) Adaptations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.adaptations
+}
+
+// Regenerate runs the PReP flow: acquire the context, generate the
+// policies of the current GPM under it, vet them through the PCP, and
+// install the survivors in the policy repository. It returns the
+// accepted policies and the PCP rejections.
+func (a *AMS) Regenerate() ([]policy.Policy, map[string]error, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.regenerateLocked()
+}
+
+func (a *AMS) regenerateLocked() ([]policy.Policy, map[string]error, error) {
+	ctx, _ := a.pip.Acquire()
+	generated, err := a.models.Latest().Generate(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("agenp: PReP generation: %w", err)
+	}
+	accepted, rejected := a.pcp.Filter(generated, ctx)
+	a.repo.ReplaceAll(accepted)
+	a.regenerated++
+	return accepted, rejected, nil
+}
+
+// Decide runs the PDP flow on a request under the current policies.
+func (a *AMS) Decide(req xacml.Request) (xacml.Decision, string, error) {
+	return a.pdp.Decide(req)
+}
+
+// Enforce runs the PDP+PEP flow and records monitoring history.
+func (a *AMS) Enforce(req xacml.Request) Outcome {
+	a.mu.Lock()
+	ctx, _ := a.pip.Acquire()
+	a.mu.Unlock()
+	return a.pep.Enforce(req, ctx)
+}
+
+// Observe hands the PAdaP a validity observation about a policy in a
+// context (from monitoring analysis or an operator). When the number of
+// negative observations since the last adaptation reaches the adaptation
+// threshold, the model is evolved and policies are regenerated.
+func (a *AMS) Observe(fb core.Feedback) (adapted bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.feedback = append(a.feedback, fb)
+	negatives := 0
+	for _, f := range a.feedback {
+		if !f.Valid {
+			negatives++
+		}
+	}
+	if negatives < a.adaptAt {
+		return false, nil
+	}
+	if err := a.adaptLocked(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Adapt forces an adaptation cycle from the accumulated feedback.
+func (a *AMS) Adapt() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.adaptLocked()
+}
+
+func (a *AMS) adaptLocked() error {
+	if len(a.feedback) == 0 {
+		return fmt.Errorf("agenp: no feedback to adapt from")
+	}
+	examples := core.ExamplesFromFeedback(a.feedback)
+	evo, err := a.models.Latest().Evolve(a.space, examples, core.EvolveOptions{Learn: a.learn})
+	if err != nil {
+		return fmt.Errorf("agenp: PAdaP adaptation: %w", err)
+	}
+	a.models.Push(evo.Model)
+	a.learned = append(a.learned, evo.Hypothesis...)
+	a.adaptations++
+	a.feedback = a.feedback[:0]
+	_, _, err = a.regenerateLocked()
+	return err
+}
+
+// ImportShared vets a policy shared by another coalition party through
+// the PCP and installs it when acceptable (the CASWiki-style shared
+// policy flow of Section III.A.3).
+func (a *AMS) ImportShared(p policy.Policy, origin string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ctx, _ := a.pip.Acquire()
+	p.Source = policy.SourceShared
+	p.Origin = origin
+	if p.ID == "" {
+		p.ID = core.PolicyID(p.Tokens)
+	}
+	if err := a.pcp.Check(p, ctx); err != nil {
+		return err
+	}
+	a.repo.Put(p)
+	return nil
+}
+
+// FeedbackFromViolations converts monitored violations into negative
+// feedback for the learner: each violating decision's policy is marked
+// invalid in the context it was applied in. Contexts are reconstructed
+// through the provided resolver (monitoring stores only context keys).
+func (a *AMS) FeedbackFromViolations(resolve func(contextKey string) *asp.Program) []core.Feedback {
+	var out []core.Feedback
+	for _, rec := range a.log.Violations() {
+		p, ok := a.repo.Get(rec.PolicyID)
+		if !ok {
+			continue
+		}
+		out = append(out, core.Feedback{
+			Tokens:  p.Tokens,
+			Context: resolve(rec.ContextKey),
+			Valid:   false,
+		})
+	}
+	return out
+}
+
+// Run starts the autonomic loop: on every tick the PIP is polled and, if
+// the context changed, policies are regenerated (Section III.A: "Such an
+// update would be triggered if ... there has been a change in context").
+// Stop with Shutdown.
+func (a *AMS) Run(interval time.Duration) {
+	a.mu.Lock()
+	if a.stop != nil {
+		a.mu.Unlock()
+		return // already running
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				a.mu.Lock()
+				_, changed := a.pip.Acquire()
+				if changed {
+					_, _, _ = a.regenerateLocked()
+				}
+				a.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Shutdown stops the autonomic loop and waits for it to exit.
+func (a *AMS) Shutdown() {
+	a.mu.Lock()
+	stop, done := a.stop, a.done
+	a.stop, a.done = nil, nil
+	a.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Stats summarizes AMS activity.
+type Stats struct {
+	Regenerations int
+	Adaptations   int
+	Decisions     int
+	Violations    int
+	ModelVersions int
+	Policies      int
+}
+
+// Stats returns a snapshot of activity counters.
+func (a *AMS) Stats() Stats {
+	a.mu.Lock()
+	regen, adapt := a.regenerated, a.adaptations
+	a.mu.Unlock()
+	return Stats{
+		Regenerations: regen,
+		Adaptations:   adapt,
+		Decisions:     a.log.Len(),
+		Violations:    len(a.log.Violations()),
+		ModelVersions: a.models.Version(),
+		Policies:      a.repo.Len(),
+	}
+}

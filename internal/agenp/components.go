@@ -1,0 +1,250 @@
+// Package agenp implements the AGENP architecture of the paper's
+// Figure 2: the Autonomous Management System (AMS) with its Policy
+// Refinement Point (PReP), Policy Adaptation Point (PAdaP), Policy
+// Checking Point (PCP), Policy Information Point (PIP), Policy Decision
+// Point (PDP) and Policy Enforcement Point (PEP), wired around a policy
+// repository, a representations repository of learned generative policy
+// models, and a monitoring log that feeds adaptation.
+package agenp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"agenp/internal/asp"
+	"agenp/internal/core"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// ContextProvider is the PIP-facing source of the current operating
+// context (paper Section III.A.3: external conditions that affect the
+// operation of the AMS).
+type ContextProvider interface {
+	// Current returns the context as an ASP program of facts.
+	Current() *asp.Program
+}
+
+// StaticContext is a fixed context, useful for tests and planning-phase
+// policies.
+type StaticContext struct {
+	Program *asp.Program
+}
+
+var _ ContextProvider = (*StaticContext)(nil)
+
+// Current implements ContextProvider.
+func (s *StaticContext) Current() *asp.Program {
+	if s.Program == nil {
+		return asp.NewProgram()
+	}
+	return s.Program
+}
+
+// ContextKey canonically renders a context for change detection.
+func ContextKey(p *asp.Program) string {
+	if p == nil {
+		return ""
+	}
+	lines := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		lines[i] = r.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// PIP caches the latest context from a provider and reports changes.
+type PIP struct {
+	provider ContextProvider
+	lastKey  string
+}
+
+// NewPIP wraps a provider.
+func NewPIP(p ContextProvider) *PIP {
+	return &PIP{provider: p}
+}
+
+// Acquire fetches the current context and reports whether it changed
+// since the previous acquisition.
+func (p *PIP) Acquire() (*asp.Program, bool) {
+	ctx := p.provider.Current()
+	key := ContextKey(ctx)
+	changed := key != p.lastKey
+	p.lastKey = key
+	return ctx, changed
+}
+
+// Validator checks one generated or shared policy; a non-nil error marks
+// the policy invalid (the PCP's Violation Detector role).
+type Validator interface {
+	// Check returns nil when the policy is acceptable in the context.
+	Check(p policy.Policy, ctx *asp.Program) error
+}
+
+// ValidatorFunc adapts a function to Validator.
+type ValidatorFunc func(p policy.Policy, ctx *asp.Program) error
+
+// Check implements Validator.
+func (f ValidatorFunc) Check(p policy.Policy, ctx *asp.Program) error { return f(p, ctx) }
+
+// MembershipValidator accepts policies that are in the language of the
+// GPM under the context — the natural validity notion for ASG-based
+// GPMs, also used to vet policies shared by other coalition parties.
+type MembershipValidator struct {
+	Models *core.Representations
+}
+
+var _ Validator = (*MembershipValidator)(nil)
+
+// Check implements Validator.
+func (v *MembershipValidator) Check(p policy.Policy, ctx *asp.Program) error {
+	ok, err := v.Models.Latest().Validate(p.Tokens, ctx)
+	if err != nil {
+		return fmt.Errorf("agenp: membership check: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("agenp: policy %q not in GPM language for current context", p.Text())
+	}
+	return nil
+}
+
+// PCP is the Policy Checking Point: it runs every validator over a
+// policy (violation detection) and exposes quality assessment hooks.
+type PCP struct {
+	validators []Validator
+}
+
+// NewPCP builds a PCP from validators.
+func NewPCP(validators ...Validator) *PCP {
+	return &PCP{validators: validators}
+}
+
+// Check runs all validators; the first error is returned.
+func (c *PCP) Check(p policy.Policy, ctx *asp.Program) error {
+	for _, v := range c.validators {
+		if err := v.Check(p, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter partitions policies into accepted and rejected (with reasons).
+func (c *PCP) Filter(ps []policy.Policy, ctx *asp.Program) (accepted []policy.Policy, rejected map[string]error) {
+	rejected = make(map[string]error)
+	for _, p := range ps {
+		if err := c.Check(p, ctx); err != nil {
+			rejected[p.ID] = err
+			continue
+		}
+		accepted = append(accepted, p)
+	}
+	return accepted, rejected
+}
+
+// Interpreter turns the repository's generated policies into decisions
+// for concrete requests. The mapping from policy strings to decisions is
+// domain-specific; each application (CAV, resupply, data sharing)
+// supplies its own.
+type Interpreter interface {
+	// Decide returns the decision and the id of the policy that
+	// determined it ("" when no policy applies).
+	Decide(policies []policy.Policy, req xacml.Request) (xacml.Decision, string)
+}
+
+// ErrNoPolicy is reported when the PDP has no applicable policy.
+var ErrNoPolicy = errors.New("agenp: no applicable policy")
+
+// PDP is the Policy Decision Point: it pulls pertinent policies from the
+// repository and applies the interpreter.
+type PDP struct {
+	repo        *policy.Repository
+	interpreter Interpreter
+}
+
+// NewPDP builds a PDP.
+func NewPDP(repo *policy.Repository, in Interpreter) *PDP {
+	return &PDP{repo: repo, interpreter: in}
+}
+
+// Decide evaluates a request against the current policies.
+func (d *PDP) Decide(req xacml.Request) (xacml.Decision, string, error) {
+	policies := d.repo.List()
+	if len(policies) == 0 {
+		return xacml.DecisionNotApplicable, "", ErrNoPolicy
+	}
+	decision, pid := d.interpreter.Decide(policies, req)
+	return decision, pid, nil
+}
+
+// Outcome is what the PEP observed when executing a decision.
+type Outcome struct {
+	Decision xacml.Decision
+	PolicyID string
+	// Violation marks that executing the decision violated operational
+	// expectations (detected by monitoring or operator feedback).
+	Violation bool
+	// Err carries enforcement failures.
+	Err error
+}
+
+// Effector applies permitted actions to the managed resources and
+// reports whether the effect was acceptable. Implementations simulate
+// the managed system.
+type Effector interface {
+	Execute(req xacml.Request, decision xacml.Decision) (violation bool, err error)
+}
+
+// EffectorFunc adapts a function to Effector.
+type EffectorFunc func(req xacml.Request, decision xacml.Decision) (bool, error)
+
+// Execute implements Effector.
+func (f EffectorFunc) Execute(req xacml.Request, d xacml.Decision) (bool, error) {
+	return f(req, d)
+}
+
+// PEP is the Policy Enforcement Point: it executes PDP decisions on the
+// managed resources and records monitoring history.
+type PEP struct {
+	pdp      *PDP
+	effector Effector
+	log      *policy.MonitorLog
+}
+
+// NewPEP builds a PEP.
+func NewPEP(pdp *PDP, eff Effector, log *policy.MonitorLog) *PEP {
+	return &PEP{pdp: pdp, effector: eff, log: log}
+}
+
+// Enforce decides and executes a request, recording the outcome.
+func (e *PEP) Enforce(req xacml.Request, ctx *asp.Program) Outcome {
+	decision, pid, err := e.pdp.Decide(req)
+	out := Outcome{Decision: decision, PolicyID: pid}
+	outcome := "ok"
+	switch {
+	case err != nil:
+		out.Err = err
+		outcome = "no-policy"
+	default:
+		violation, execErr := e.effector.Execute(req, decision)
+		out.Violation = violation
+		out.Err = execErr
+		if violation {
+			outcome = "violation"
+		}
+		if execErr != nil {
+			outcome = "error"
+		}
+	}
+	e.log.Append(policy.DecisionRecord{
+		RequestKey: req.Key(),
+		ContextKey: ContextKey(ctx),
+		Decision:   decision.String(),
+		PolicyID:   pid,
+		Outcome:    outcome,
+	})
+	return out
+}

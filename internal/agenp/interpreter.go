@@ -1,0 +1,75 @@
+package agenp
+
+import (
+	"strings"
+
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// TokenInterpreter is the default interpreter for verb-object policy
+// languages ("accept overtake", "deny share images", ...): a policy
+// applies when its object tokens equal the request's action id, and the
+// leading verb selects the effect. Conflicts resolve deny-overrides,
+// matching the safety posture of coalition policy systems.
+type TokenInterpreter struct {
+	// PermitVerbs and DenyVerbs classify the leading policy token
+	// (defaults: permit/accept/allow and deny/reject/forbid).
+	PermitVerbs []string
+	DenyVerbs   []string
+}
+
+var _ Interpreter = (*TokenInterpreter)(nil)
+
+func (t *TokenInterpreter) permitVerbs() []string {
+	if len(t.PermitVerbs) > 0 {
+		return t.PermitVerbs
+	}
+	return []string{"permit", "accept", "allow"}
+}
+
+func (t *TokenInterpreter) denyVerbs() []string {
+	if len(t.DenyVerbs) > 0 {
+		return t.DenyVerbs
+	}
+	return []string{"deny", "reject", "forbid"}
+}
+
+// Decide implements Interpreter.
+func (t *TokenInterpreter) Decide(policies []policy.Policy, req xacml.Request) (xacml.Decision, string) {
+	action, ok := req.Get(xacml.Action, "id")
+	if !ok {
+		return xacml.DecisionIndeterminate, ""
+	}
+	want := action.String()
+	decision := xacml.DecisionNotApplicable
+	decider := ""
+	for _, p := range policies {
+		if len(p.Tokens) < 2 {
+			continue
+		}
+		if strings.Join(p.Tokens[1:], " ") != want {
+			continue
+		}
+		verb := p.Tokens[0]
+		switch {
+		case contains(t.denyVerbs(), verb):
+			return xacml.DecisionDeny, p.ID // deny-overrides
+		case contains(t.permitVerbs(), verb):
+			if decision != xacml.DecisionPermit {
+				decision = xacml.DecisionPermit
+				decider = p.ID
+			}
+		}
+	}
+	return decision, decider
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

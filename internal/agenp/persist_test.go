@@ -1,0 +1,97 @@
+package agenp
+
+import (
+	"strings"
+	"testing"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/core"
+	"agenp/internal/xacml"
+)
+
+func TestPolicyPersistenceRoundTrip(t *testing.T) {
+	ctx := &dynamicContext{}
+	ctx.set(t, "weather(clear).")
+	ams := newTestAMS(t, ctx)
+	if _, _, err := ams.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := ams.SavePolicies(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newTestAMS(t, ctx)
+	if err := fresh.LoadPolicies(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Repository().Len() != ams.Repository().Len() {
+		t.Errorf("restored %d policies, want %d", fresh.Repository().Len(), ams.Repository().Len())
+	}
+	// Decisions resume immediately without regeneration.
+	d, _, err := fresh.Decide(actionReq("overtake"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != xacml.DecisionDeny {
+		t.Errorf("restored decision = %v", d)
+	}
+}
+
+func TestHypothesisRestore(t *testing.T) {
+	rainCtx := &dynamicContext{}
+	rainCtx.set(t, "weather(rain).")
+	ams := newTestAMS(t, rainCtx)
+	if _, _, err := ams.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	rain, err := asp.Parse("weather(rain).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, err := asp.Parse("weather(clear).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive an adaptation.
+	for i := 0; i < 3; i++ {
+		if _, err := ams.Observe(core.Feedback{Tokens: []string{"accept", "overtake"}, Context: rain, Valid: false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ams.Observe(core.Feedback{Tokens: []string{"accept", "overtake"}, Context: clear, Valid: true}); err != nil {
+		t.Fatal(err)
+	}
+	learned := ams.LearnedHypothesis()
+	if len(learned) == 0 {
+		t.Fatal("no learned hypothesis recorded")
+	}
+
+	// A fresh AMS with the same config restores the learned model.
+	fresh := newTestAMS(t, rainCtx)
+	if err := fresh.RestoreHypothesis(learned); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Models().Version() != 2 {
+		t.Errorf("restored versions = %d", fresh.Models().Version())
+	}
+	if _, ok := fresh.Repository().Get("accept_overtake"); ok {
+		t.Error("restored model still generates accept_overtake in rain")
+	}
+	// The restored hypothesis is reported back.
+	if len(fresh.LearnedHypothesis()) != len(learned) {
+		t.Error("restored hypothesis not tracked")
+	}
+}
+
+func TestRestoreHypothesisBadRule(t *testing.T) {
+	ams := newTestAMS(t, &StaticContext{})
+	bad, err := asp.ParseRule(":- x.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ams.RestoreHypothesis([]asg.HypothesisRule{{Rule: bad, ProdID: 99}}); err == nil {
+		t.Error("out-of-range production accepted")
+	}
+}

@@ -1,0 +1,361 @@
+// Package cav implements the connected-and-autonomous-vehicles
+// application of the paper (Section IV.A, after Cunnington et al.): a
+// CAV learns a generative policy model that states whether a request to
+// execute a driving task should be accepted or rejected, based on the
+// environmental conditions and the SAE level of autonomy (LOA) of the
+// vehicle and region.
+//
+// The package provides the scenario generator, the symbolic learning
+// task, the feature encoding for the shallow-ML baselines, and the
+// ASG-based GPM — everything needed to reproduce the paper's claim that
+// the symbolic learner reaches higher accuracy from fewer examples than
+// shallow ML (experiment E7).
+package cav
+
+import (
+	"fmt"
+	"strconv"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/ilasp"
+	"agenp/internal/mlbase"
+	"agenp/internal/workload"
+)
+
+// Domain constants.
+var (
+	// Weathers lists environmental conditions; all but "clear" are
+	// adverse.
+	Weathers = []string{"clear", "rain", "fog", "snow"}
+	// Tasks lists driving tasks; RiskyTasks are unsafe in adverse
+	// weather.
+	Tasks = []string{"overtake", "park", "lane_change", "navigate_junction"}
+	// RiskyTasks is the subset of Tasks denied in adverse weather.
+	RiskyTasks = map[string]bool{"overtake": true, "navigate_junction": true}
+	// LOALevels are the SAE-style autonomy levels of vehicles (1..5).
+	LOALevels = []int{1, 2, 3, 4, 5}
+	// RegionMinima are the minimum LOA a region may demand.
+	RegionMinima = []int{1, 2, 3, 4}
+)
+
+// Scenario is one driving-task request in a context.
+type Scenario struct {
+	Weather   string
+	Task      string
+	LOA       int // vehicle level of autonomy
+	RegionMin int // transient minimum LOA enforced in the region
+	// Accept is the ground-truth label.
+	Accept bool
+}
+
+// groundTruth encodes the target policy:
+//
+//	deny :- risky task in adverse weather
+//	deny :- vehicle LOA below the region minimum
+//	accept otherwise
+func groundTruth(s Scenario) bool {
+	if s.Weather != "clear" && RiskyTasks[s.Task] {
+		return false
+	}
+	if s.LOA < s.RegionMin {
+		return false
+	}
+	return true
+}
+
+// Generate samples n scenarios deterministically from the seed.
+func Generate(seed uint64, n int) []Scenario {
+	rng := workload.NewRNG(seed)
+	out := make([]Scenario, n)
+	for i := range out {
+		s := Scenario{
+			Weather:   workload.Pick(rng, Weathers),
+			Task:      workload.Pick(rng, Tasks),
+			LOA:       workload.Pick(rng, LOALevels),
+			RegionMin: workload.Pick(rng, RegionMinima),
+		}
+		s.Accept = groundTruth(s)
+		out[i] = s
+	}
+	return out
+}
+
+// Context renders the scenario — environment plus requested task — as
+// ASP facts, the form the flat decision learner consumes.
+func (s Scenario) Context() *asp.Program {
+	p := s.EnvContext()
+	p.Add(asp.NewFact(asp.NewAtom("task", asp.Constant{Name: s.Task})))
+	return p
+}
+
+// EnvContext renders only the environment facts. This is the context for
+// ASG membership and generation, where the task is part of the policy
+// string rather than the context (the grammar's task productions emit
+// their own task/1 atoms at the parse-tree nodes).
+func (s Scenario) EnvContext() *asp.Program {
+	return asp.NewProgram(
+		asp.NewFact(asp.NewAtom("weather", asp.Constant{Name: s.Weather})),
+		asp.NewFact(asp.NewAtom("loa", asp.Integer{Value: s.LOA})),
+		asp.NewFact(asp.NewAtom("region_min", asp.Integer{Value: s.RegionMin})),
+	)
+}
+
+// Features encodes the scenario for the shallow-ML baselines. All
+// attributes are categorical, matching what a table-based learner sees.
+func (s Scenario) Features() map[string]string {
+	return map[string]string{
+		"weather":    s.Weather,
+		"task":       s.Task,
+		"loa":        strconv.Itoa(s.LOA),
+		"region_min": strconv.Itoa(s.RegionMin),
+	}
+}
+
+// Label renders the ground-truth class.
+func (s Scenario) Label() string {
+	if s.Accept {
+		return "accept"
+	}
+	return "reject"
+}
+
+// Instances converts scenarios for package mlbase.
+func Instances(ss []Scenario) []mlbase.Instance {
+	out := make([]mlbase.Instance, len(ss))
+	for i, s := range ss {
+		out[i] = mlbase.Instance{Features: s.Features(), Label: s.Label()}
+	}
+	return out
+}
+
+// denyAtom is the decision atom the symbolic learner targets: the model
+// denies a request when a learned deny rule fires, and accepts
+// otherwise (deny-overrides with default accept).
+func denyAtom() asp.Atom {
+	return asp.NewAtom("decision", asp.Constant{Name: "deny"})
+}
+
+// Background supplies the adverse-weather ontology — the kind of
+// contextual knowledge Section IV.C argues enables safe generalization.
+func Background() *asp.Program {
+	p, err := asp.Parse(`
+		adverse(rain). adverse(fog). adverse(snow).
+		risky(overtake). risky(navigate_junction).
+	`)
+	if err != nil {
+		panic(fmt.Sprintf("cav: background: %v", err))
+	}
+	return p
+}
+
+// Bias is the learner's language bias over the CAV context vocabulary.
+func Bias() ilasp.Bias {
+	weatherTerms := make([]asp.Term, len(Weathers))
+	for i, w := range Weathers {
+		weatherTerms[i] = asp.Constant{Name: w}
+	}
+	taskTerms := make([]asp.Term, len(Tasks))
+	for i, t := range Tasks {
+		taskTerms[i] = asp.Constant{Name: t}
+	}
+	return ilasp.Bias{
+		Head: []ilasp.ModeAtom{ilasp.M("decision", ilasp.Const("effect"))},
+		Body: []ilasp.ModeAtom{
+			ilasp.M("weather", ilasp.Const("w")),
+			ilasp.M("task", ilasp.Const("t")),
+			ilasp.M("adverse", ilasp.Var("w")),
+			ilasp.M("weather", ilasp.Var("w")),
+			ilasp.M("loa", ilasp.Var("num")),
+			ilasp.M("region_min", ilasp.Var("num")),
+		},
+		Constants: map[string][]asp.Term{
+			"effect": {asp.Constant{Name: "deny"}},
+			"w":      weatherTerms,
+			"t":      taskTerms,
+		},
+		Comparisons: []ilasp.CmpSpec{{
+			Type: "num",
+			Ops:  []asp.CmpOp{asp.CmpLt},
+			// The learner may compare LOA variables with each other via
+			// the variable-pair comparisons below; absolute thresholds
+			// are also available.
+			Values: []asp.Term{asp.Integer{Value: 2}, asp.Integer{Value: 3}, asp.Integer{Value: 4}},
+		}},
+		VarComparisons: true,
+		MaxVars:        2,
+		MaxBody:        3,
+		RequireBody:    true,
+	}
+}
+
+// Learned is a trained symbolic CAV policy.
+type Learned struct {
+	Result *ilasp.Result
+}
+
+// LearningExamples converts scenarios to learner examples: rejected
+// scenarios require the deny decision, accepted ones exclude it.
+func LearningExamples(ss []Scenario, weight int) []ilasp.Example {
+	deny := denyAtom()
+	out := make([]ilasp.Example, len(ss))
+	for i, s := range ss {
+		ex := ilasp.Example{
+			ID:       fmt.Sprintf("s%d", i+1),
+			Positive: true,
+			Context:  s.Context(),
+			Weight:   weight,
+		}
+		if s.Accept {
+			ex.Exclusions = []asp.Atom{deny}
+		} else {
+			ex.Inclusions = []asp.Atom{deny}
+		}
+		out[i] = ex
+	}
+	return out
+}
+
+// Learn trains the symbolic policy on scenarios.
+func Learn(train []Scenario, opts ilasp.LearnOptions) (*Learned, error) {
+	task := &ilasp.Task{
+		Background: Background(),
+		Bias:       Bias(),
+		Examples:   LearningExamples(train, 0),
+	}
+	if opts.MaxRules == 0 {
+		opts.MaxRules = 3
+	}
+	res, err := task.LearnIndependent(opts)
+	if err != nil {
+		return nil, fmt.Errorf("cav: learning: %w", err)
+	}
+	return &Learned{Result: res}, nil
+}
+
+// Predict applies the learned deny rules to a scenario.
+func (l *Learned) Predict(s Scenario) (accept bool, err error) {
+	prog := asp.NewProgram()
+	prog.Extend(Background())
+	prog.Extend(s.Context())
+	models, err := asp.Solve(prog, asp.SolveOptions{MaxModels: 1})
+	if err != nil || len(models) == 0 {
+		return false, fmt.Errorf("cav: context unsolvable: %w", err)
+	}
+	deny := denyAtom()
+	for _, r := range l.Result.Hypothesis {
+		heads, err := asp.EvalRule(r, models[0])
+		if err != nil {
+			return false, err
+		}
+		for _, h := range heads {
+			if h.Key() == deny.Key() {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Accuracy scores the learned policy on test scenarios.
+func (l *Learned) Accuracy(test []Scenario) (float64, error) {
+	if len(test) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for _, s := range test {
+		got, err := l.Predict(s)
+		if err != nil {
+			return 0, err
+		}
+		if got == s.Accept {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test)), nil
+}
+
+// GrammarSource is the CAV policy-language ASG used with the AGENP
+// framework: the GPM generates "accept <task>" / "reject <task>"
+// policies, and the annotations make "accept" invalid exactly when the
+// learned deny conditions hold in the context.
+const GrammarSource = `
+policy -> "accept" task {
+    :- task(T)@2, risky(T), adverse(W), weather(W).
+    :- loa(V), region_min(M), V < M.
+}
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+task -> "lane_change" { task(lane_change). }
+task -> "navigate_junction" { task(navigate_junction). }
+`
+
+// Grammar parses the CAV ASG. Note: GrammarSource's first production
+// encodes the *ground-truth* semantic conditions; LearnableGrammarSource
+// below is the blank initial grammar the framework starts from.
+func Grammar() (*asg.Grammar, error) {
+	return asg.ParseASG(GrammarSource)
+}
+
+// LearnableGrammarSource is the initial GPM: syntax only, semantics to
+// be learned.
+const LearnableGrammarSource = `
+policy -> "accept" task
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+task -> "lane_change" { task(lane_change). }
+task -> "navigate_junction" { task(navigate_junction). }
+`
+
+// HypothesisSpace builds the ASG hypothesis space for the AGENP
+// adaptation loop: deny-style constraints attachable to the accept
+// production.
+func HypothesisSpace() ([]asg.HypothesisRule, error) {
+	g, err := asg.ParseASG(LearnableGrammarSource)
+	if err != nil {
+		return nil, err
+	}
+	var rules []asg.HypothesisRule
+	add := func(src string) error {
+		h, err := parseHyp(src)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, h)
+		return nil
+	}
+	srcs := []string{
+		":- task(T)@2, risky(T), adverse(W), weather(W).",
+		":- loa(V), region_min(M), V < M.",
+		":- weather(rain).",
+		":- weather(fog).",
+		":- weather(snow).",
+		":- task(overtake)@2.",
+		":- task(navigate_junction)@2.",
+	}
+	for _, s := range srcs {
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+	_ = g
+	return rules, nil
+}
+
+func parseHyp(src string) (asg.HypothesisRule, error) {
+	prog, err := asp.ParseAnnotated(src, asg.AnnotationHook)
+	if err != nil {
+		return asg.HypothesisRule{}, err
+	}
+	if len(prog.Rules) != 1 {
+		return asg.HypothesisRule{}, fmt.Errorf("cav: expected one rule in %q", src)
+	}
+	return asg.HypothesisRule{Rule: prog.Rules[0], ProdID: 0}, nil
+}
+
+// ground-truth constraint on risky tasks: a scenario's risky task in
+// adverse weather must be denied. Exposed for tests and the experiment
+// harness.
+const GroundTruthDenyRisky = ":- task(T)@2, risky(T), adverse(W), weather(W)."

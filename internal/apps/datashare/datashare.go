@@ -1,0 +1,260 @@
+// Package datashare implements the coalition data-sharing application
+// of the paper (Section IV.D, after Verma et al.): partners with
+// different trust levels offer data items of varying type, value and
+// quality, and each party needs generative policies deciding what may be
+// shared with (or accepted from) whom. Policy conditions are Boolean
+// combinations over item attributes — including threshold tests the
+// paper highlights ("testing whether the value of some data items is
+// above a certain threshold") — which makes manual specification
+// infeasible and learning attractive (experiment E11).
+package datashare
+
+import (
+	"fmt"
+	"strconv"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/ilasp"
+	"agenp/internal/mlbase"
+	"agenp/internal/workload"
+)
+
+// Domain constants.
+var (
+	// TrustLevels order partner trust from least to most trusted.
+	TrustLevels = []string{"low", "medium", "high"}
+	// DataTypes are the data modalities of the ISR scenario.
+	DataTypes = []string{"image", "video", "sigint", "document"}
+	// QualityLevels grade data quality 1..5.
+	QualityLevels = []int{1, 2, 3, 4, 5}
+)
+
+// Offer is one data-sharing decision instance: a partner offers (or
+// requests) a data item.
+type Offer struct {
+	Trust   string // partner trust level
+	Type    string // data type
+	Quality int    // data quality 1..5
+	// Share is the ground-truth label.
+	Share bool
+}
+
+// groundTruth encodes the target policy:
+//
+//	deny :- partner trust is low
+//	deny :- sigint data to a partner that is not fully trusted
+//	deny :- quality below 3 (not worth the bandwidth/risk)
+//	share otherwise
+func groundTruth(o Offer) bool {
+	if o.Trust == "low" {
+		return false
+	}
+	if o.Type == "sigint" && o.Trust != "high" {
+		return false
+	}
+	if o.Quality < 3 {
+		return false
+	}
+	return true
+}
+
+// Generate samples n offers deterministically.
+func Generate(seed uint64, n int) []Offer {
+	rng := workload.NewRNG(seed)
+	out := make([]Offer, n)
+	for i := range out {
+		o := Offer{
+			Trust:   workload.Pick(rng, TrustLevels),
+			Type:    workload.Pick(rng, DataTypes),
+			Quality: workload.Pick(rng, QualityLevels),
+		}
+		o.Share = groundTruth(o)
+		out[i] = o
+	}
+	return out
+}
+
+// Context renders the offer as ASP facts.
+func (o Offer) Context() *asp.Program {
+	return asp.NewProgram(
+		asp.NewFact(asp.NewAtom("trust", asp.Constant{Name: o.Trust})),
+		asp.NewFact(asp.NewAtom("dtype", asp.Constant{Name: o.Type})),
+		asp.NewFact(asp.NewAtom("quality", asp.Integer{Value: o.Quality})),
+	)
+}
+
+// EnvContext renders the partner/item environment without the data type
+// (which the ASG policy string carries).
+func (o Offer) EnvContext() *asp.Program {
+	return asp.NewProgram(
+		asp.NewFact(asp.NewAtom("trust", asp.Constant{Name: o.Trust})),
+		asp.NewFact(asp.NewAtom("quality", asp.Integer{Value: o.Quality})),
+	)
+}
+
+// Features encodes the offer for the ML baselines.
+func (o Offer) Features() map[string]string {
+	return map[string]string{
+		"trust":   o.Trust,
+		"type":    o.Type,
+		"quality": strconv.Itoa(o.Quality),
+	}
+}
+
+// Label renders the class.
+func (o Offer) Label() string {
+	if o.Share {
+		return "share"
+	}
+	return "withhold"
+}
+
+// Instances converts offers for package mlbase.
+func Instances(os []Offer) []mlbase.Instance {
+	out := make([]mlbase.Instance, len(os))
+	for i, o := range os {
+		out[i] = mlbase.Instance{Features: o.Features(), Label: o.Label()}
+	}
+	return out
+}
+
+func denyAtom() asp.Atom {
+	return asp.NewAtom("decision", asp.Constant{Name: "deny"})
+}
+
+// Bias is the learner's language bias for sharing policies.
+func Bias() ilasp.Bias {
+	trustTerms := make([]asp.Term, len(TrustLevels))
+	for i, t := range TrustLevels {
+		trustTerms[i] = asp.Constant{Name: t}
+	}
+	typeTerms := make([]asp.Term, len(DataTypes))
+	for i, d := range DataTypes {
+		typeTerms[i] = asp.Constant{Name: d}
+	}
+	return ilasp.Bias{
+		Head: []ilasp.ModeAtom{ilasp.M("decision", ilasp.Const("effect"))},
+		Body: []ilasp.ModeAtom{
+			ilasp.M("trust", ilasp.Const("trust")),
+			ilasp.M("dtype", ilasp.Const("dtype")),
+			ilasp.M("quality", ilasp.Var("num")),
+		},
+		Constants: map[string][]asp.Term{
+			"effect": {asp.Constant{Name: "deny"}},
+			"trust":  trustTerms,
+			"dtype":  typeTerms,
+		},
+		Comparisons: []ilasp.CmpSpec{{
+			Type:   "num",
+			Ops:    []asp.CmpOp{asp.CmpLt},
+			Values: []asp.Term{asp.Integer{Value: 2}, asp.Integer{Value: 3}, asp.Integer{Value: 4}},
+		}},
+		AllowNegation: true,
+		MaxVars:       1,
+		MaxBody:       2,
+		RequireBody:   true,
+	}
+}
+
+// Learned is a trained sharing policy.
+type Learned struct {
+	Result *ilasp.Result
+}
+
+// LearningExamples converts offers into learner examples.
+func LearningExamples(os []Offer, weight int) []ilasp.Example {
+	deny := denyAtom()
+	out := make([]ilasp.Example, len(os))
+	for i, o := range os {
+		ex := ilasp.Example{
+			ID:       fmt.Sprintf("o%d", i+1),
+			Positive: true,
+			Context:  o.Context(),
+			Weight:   weight,
+		}
+		if o.Share {
+			ex.Exclusions = []asp.Atom{deny}
+		} else {
+			ex.Inclusions = []asp.Atom{deny}
+		}
+		out[i] = ex
+	}
+	return out
+}
+
+// Learn trains the symbolic sharing policy.
+func Learn(train []Offer, opts ilasp.LearnOptions) (*Learned, error) {
+	task := &ilasp.Task{
+		Bias:     Bias(),
+		Examples: LearningExamples(train, 0),
+	}
+	if opts.MaxRules == 0 {
+		opts.MaxRules = 3
+	}
+	res, err := task.LearnIndependent(opts)
+	if err != nil {
+		return nil, fmt.Errorf("datashare: learning: %w", err)
+	}
+	return &Learned{Result: res}, nil
+}
+
+// Predict applies the learned deny rules to an offer.
+func (l *Learned) Predict(o Offer) (share bool, err error) {
+	models, err := asp.Solve(o.Context(), asp.SolveOptions{MaxModels: 1})
+	if err != nil || len(models) == 0 {
+		return false, fmt.Errorf("datashare: context unsolvable: %w", err)
+	}
+	deny := denyAtom()
+	for _, r := range l.Result.Hypothesis {
+		heads, err := asp.EvalRule(r, models[0])
+		if err != nil {
+			return false, err
+		}
+		for _, h := range heads {
+			if h.Key() == deny.Key() {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Accuracy scores the learned policy.
+func (l *Learned) Accuracy(test []Offer) (float64, error) {
+	if len(test) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for _, o := range test {
+		got, err := l.Predict(o)
+		if err != nil {
+			return 0, err
+		}
+		if got == o.Share {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test)), nil
+}
+
+// GrammarSource is the data-sharing policy language for the AGENP
+// framework and the coalition simulation: "share <type>" / "withhold
+// <type>" policies vetted against partner trust and data quality.
+const GrammarSource = `
+policy -> "share" dtype {
+    :- trust(low).
+    :- dtype(sigint)@2, not trust(high).
+    :- quality(Q), Q < 3.
+}
+policy -> "withhold" dtype
+dtype -> "image" { dtype(image). }
+dtype -> "video" { dtype(video). }
+dtype -> "sigint" { dtype(sigint). }
+dtype -> "document" { dtype(document). }
+`
+
+// Grammar parses the data-sharing ASG.
+func Grammar() (*asg.Grammar, error) {
+	return asg.ParseASG(GrammarSource)
+}

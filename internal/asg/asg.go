@@ -1,0 +1,438 @@
+// Package asg implements Answer Set Grammars (ASGs), the core formalism
+// of the AGENP paper (Section II): context-free grammars whose production
+// rules are annotated with ASP programs. An annotated atom `a@i` refers
+// to the i-th child of the parse-tree node at which the production is
+// applied; unannotated atoms refer to the node itself.
+//
+// For a parse tree PT of the underlying CFG, the grammar induces the ASP
+// program G[PT] that localizes every annotation to the node's trace
+// (Definition 2 / the G[PT] mapping of Law et al., AAAI-19). A string s
+// is in the language L(G) iff some parse tree's program has an answer
+// set. Adding a context program C to every production yields G(C), the
+// set of policies valid in context C — the paper's generative policy
+// model reading of an ASG.
+package asg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"agenp/internal/asp"
+	"agenp/internal/cfg"
+)
+
+// annSep separates a predicate name from its annotation index in the
+// intermediate (pre-trace) encoding produced by the ASG parser. It cannot
+// occur in source programs.
+const annSep = "\x00"
+
+// traceSep separates a predicate name from its trace key in localized
+// (ground-tree) programs.
+const traceSep = "@"
+
+// Grammar is an answer set grammar: a CFG plus one annotation program per
+// production (possibly empty).
+type Grammar struct {
+	CFG *cfg.Grammar
+
+	// Annotations[i] is the ASP annotation of production i, with atoms in
+	// the intermediate encoding (predicate + annSep + childIndex for
+	// annotated atoms). May be nil.
+	Annotations []*asp.Program
+}
+
+// Clone returns a deep-enough copy: the CFG is shared (immutable by
+// convention), annotation programs are copied.
+func (g *Grammar) Clone() *Grammar {
+	ann := make([]*asp.Program, len(g.Annotations))
+	for i, p := range g.Annotations {
+		if p != nil {
+			ann[i] = p.Clone()
+		}
+	}
+	return &Grammar{CFG: g.CFG, Annotations: ann}
+}
+
+// encodeAnn encodes an annotated atom's predicate in the intermediate
+// form.
+func encodeAnn(pred string, child int) string {
+	return pred + annSep + strconv.Itoa(child)
+}
+
+// decodeAnn splits an intermediate-form predicate into name and child
+// annotation; ok is false for unannotated predicates.
+func decodeAnn(pred string) (name string, child int, ok bool) {
+	i := strings.IndexByte(pred, annSep[0])
+	if i < 0 {
+		return pred, 0, false
+	}
+	c, err := strconv.Atoi(pred[i+1:])
+	if err != nil {
+		return pred, 0, false
+	}
+	return pred[:i], c, true
+}
+
+// EncodeAnnotated returns the intermediate-form predicate for `pred@child`,
+// for building annotation rules and hypothesis spaces programmatically.
+func EncodeAnnotated(pred string, child int) string { return encodeAnn(pred, child) }
+
+// AnnotationHook is the asp.ParseAnnotated hook that encodes annotations
+// in the intermediate form.
+func AnnotationHook(a asp.Atom, ann int, has bool) asp.Atom {
+	if has {
+		a.Predicate = encodeAnn(a.Predicate, ann)
+	}
+	return a
+}
+
+// New builds an ASG from a CFG and per-production annotation programs
+// (map from production ID). Annotation indices are validated against
+// production arity.
+func New(g *cfg.Grammar, annotations map[int]*asp.Program) (*Grammar, error) {
+	out := &Grammar{CFG: g, Annotations: make([]*asp.Program, len(g.Productions))}
+	for id, prog := range annotations {
+		if id < 0 || id >= len(g.Productions) {
+			return nil, fmt.Errorf("asg: annotation for unknown production %d", id)
+		}
+		if err := validateAnnotation(g.Productions[id], prog); err != nil {
+			return nil, err
+		}
+		out.Annotations[id] = prog
+	}
+	return out, nil
+}
+
+func validateAnnotation(p cfg.Production, prog *asp.Program) error {
+	if prog == nil {
+		return nil
+	}
+	check := func(a asp.Atom) error {
+		if _, child, ok := decodeAnn(a.Predicate); ok {
+			if child < 1 || child > len(p.Rhs) {
+				return fmt.Errorf("asg: annotation @%d out of range for production %q (arity %d)", child, p.String(), len(p.Rhs))
+			}
+		}
+		return nil
+	}
+	for _, r := range prog.Rules {
+		if r.Head != nil {
+			if err := check(*r.Head); err != nil {
+				return err
+			}
+		}
+		for _, a := range r.Choice {
+			if err := check(a); err != nil {
+				return err
+			}
+		}
+		for _, l := range r.Body {
+			if l.IsCmp {
+				continue
+			}
+			if err := check(l.Atom); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// localizePredicate attaches a trace key to a predicate name.
+func localizePredicate(pred string, tr cfg.Trace) string {
+	return pred + traceSep + tr.Key()
+}
+
+// DelocalizeAtom strips the trace suffix from a localized atom, returning
+// the original predicate and the trace key ("" when the atom was not
+// localized). Useful for rendering answer sets of tree programs.
+func DelocalizeAtom(a asp.Atom) (asp.Atom, string) {
+	i := strings.LastIndex(a.Predicate, traceSep)
+	if i < 0 {
+		return a, ""
+	}
+	key := a.Predicate[i+1:]
+	a.Predicate = a.Predicate[:i]
+	return a, key
+}
+
+// localizeRule rewrites one annotation rule for the node at trace tr:
+// `a@i` atoms move to the i-th child's trace, unannotated atoms to tr.
+func localizeRule(r asp.Rule, tr cfg.Trace) asp.Rule {
+	localAtom := func(a asp.Atom) asp.Atom {
+		name, child, ok := decodeAnn(a.Predicate)
+		if ok {
+			a.Predicate = localizePredicate(name, tr.Child(child))
+		} else {
+			a.Predicate = localizePredicate(name, tr)
+		}
+		return a
+	}
+	out := asp.Rule{}
+	if r.Head != nil {
+		h := localAtom(*r.Head)
+		out.Head = &h
+	}
+	if len(r.Choice) > 0 {
+		out.Choice = make([]asp.Atom, len(r.Choice))
+		for i, a := range r.Choice {
+			out.Choice[i] = localAtom(a)
+		}
+	}
+	out.Body = make([]asp.Literal, len(r.Body))
+	for i, l := range r.Body {
+		if l.IsCmp {
+			out.Body[i] = l
+			continue
+		}
+		out.Body[i] = asp.Literal{Atom: localAtom(l.Atom), Negated: l.Negated}
+	}
+	return out
+}
+
+// TreeProgram builds G[PT]: the union over all interior nodes n (with
+// trace t and production p) of the annotation of p localized at t.
+// Terminal leaves contribute nothing.
+func (g *Grammar) TreeProgram(t *cfg.Tree) (*asp.Program, error) {
+	prog := asp.NewProgram()
+	var err error
+	t.Walk(func(node *cfg.Tree, tr cfg.Trace) bool {
+		if node.Prod == nil {
+			return true
+		}
+		id := node.Prod.ID
+		if id < 0 || id >= len(g.Annotations) {
+			err = fmt.Errorf("asg: tree uses unknown production id %d", id)
+			return false
+		}
+		ann := g.Annotations[id]
+		if ann == nil {
+			return true
+		}
+		for _, r := range ann.Rules {
+			prog.Add(localizeRule(r, tr))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// TreeValid reports whether the parse tree satisfies the grammar's
+// semantic conditions: G[PT] has at least one answer set.
+func (g *Grammar) TreeValid(t *cfg.Tree) (bool, error) {
+	prog, err := g.TreeProgram(t)
+	if err != nil {
+		return false, err
+	}
+	return asp.HasAnswerSet(prog)
+}
+
+// AcceptOptions configures membership checks and generation.
+type AcceptOptions struct {
+	// MaxTrees caps the parse trees considered per string (ambiguity cap;
+	// 0 = cfg.DefaultMaxTrees).
+	MaxTrees int
+}
+
+// Accepts reports whether the token string is in L(G): some parse tree of
+// the underlying CFG has a satisfiable tree program.
+func (g *Grammar) Accepts(tokens []string, opts AcceptOptions) (bool, error) {
+	trees := g.CFG.ParseAll(tokens, cfg.ParseOptions{MaxTrees: opts.MaxTrees})
+	for _, t := range trees {
+		ok, err := g.TreeValid(t)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// WithContext returns G(C): the grammar with the context program's rules
+// added to the annotation of every production (paper Section III.A.1).
+// Context atoms are unannotated, so each node sees the context at its own
+// trace.
+func (g *Grammar) WithContext(c *asp.Program) *Grammar {
+	if c == nil || len(c.Rules) == 0 {
+		return g
+	}
+	out := g.Clone()
+	for i := range out.Annotations {
+		if out.Annotations[i] == nil {
+			out.Annotations[i] = asp.NewProgram()
+		}
+		out.Annotations[i].Extend(c)
+	}
+	return out
+}
+
+// HypothesisRule is a learnable annotation rule attached to a specific
+// production (an element of the hypothesis space S_M of Definition 3).
+type HypothesisRule struct {
+	Rule   asp.Rule
+	ProdID int
+}
+
+func (h HypothesisRule) String() string {
+	return fmt.Sprintf("[prod %d] %s", h.ProdID, DisplayRule(h.Rule))
+}
+
+// Cost is the rule's length: 1 for the head plus 1 per body literal.
+// Matches the minimality objective of ILASP-style learning.
+func (h HypothesisRule) Cost() int {
+	c := len(h.Rule.Body)
+	if h.Rule.Head != nil || len(h.Rule.Choice) > 0 {
+		c++
+	}
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// WithHypothesis returns G : H — the grammar extended by adding each
+// hypothesis rule to its production's annotation.
+func (g *Grammar) WithHypothesis(h []HypothesisRule) (*Grammar, error) {
+	out := g.Clone()
+	for _, hr := range h {
+		if hr.ProdID < 0 || hr.ProdID >= len(out.Annotations) {
+			return nil, fmt.Errorf("asg: hypothesis rule for unknown production %d", hr.ProdID)
+		}
+		if err := validateAnnotation(out.CFG.Productions[hr.ProdID], asp.NewProgram(hr.Rule)); err != nil {
+			return nil, err
+		}
+		if out.Annotations[hr.ProdID] == nil {
+			out.Annotations[hr.ProdID] = asp.NewProgram()
+		}
+		out.Annotations[hr.ProdID].Add(hr.Rule)
+	}
+	return out, nil
+}
+
+// Generated is one element of the (bounded) language of an ASG.
+type Generated struct {
+	Tokens []string
+	Tree   *cfg.Tree
+}
+
+// Text returns the generated tokens joined by spaces.
+func (g Generated) Text() string { return strings.Join(g.Tokens, " ") }
+
+// GenerateOptions bounds ASG language enumeration.
+type GenerateOptions struct {
+	// MaxNodes bounds derivation tree size.
+	MaxNodes int
+	// MaxStrings caps the number of *valid* strings returned
+	// (0 = unlimited within MaxNodes).
+	MaxStrings int
+	// MaxCandidates caps the number of candidate trees examined
+	// (0 = unlimited).
+	MaxCandidates int
+}
+
+// Generate enumerates the strings of L(G) derivable with trees of at most
+// MaxNodes nodes: it enumerates CFG derivation trees and keeps those
+// whose tree program has an answer set. Duplicate strings (from distinct
+// trees) are suppressed.
+func (g *Grammar) Generate(opts GenerateOptions) ([]Generated, error) {
+	var (
+		out        []Generated
+		seen       = make(map[string]struct{})
+		candidates int
+		firstErr   error
+	)
+	g.CFG.Generate(cfg.GenerateOptions{MaxNodes: opts.MaxNodes}, func(t *cfg.Tree) bool {
+		candidates++
+		if opts.MaxCandidates > 0 && candidates > opts.MaxCandidates {
+			return false
+		}
+		text := t.Text()
+		if _, dup := seen[text]; dup {
+			return true
+		}
+		ok, err := g.TreeValid(t)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if ok {
+			seen[text] = struct{}{}
+			out = append(out, Generated{Tokens: t.Tokens(), Tree: t})
+			if opts.MaxStrings > 0 && len(out) >= opts.MaxStrings {
+				return false
+			}
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// DisplayRule renders a rule in the intermediate encoding back in `a@i`
+// surface syntax.
+func DisplayRule(r asp.Rule) string {
+	display := func(a asp.Atom) string {
+		name, child, ok := decodeAnn(a.Predicate)
+		s := asp.Atom{Predicate: name, Args: a.Args}.String()
+		if ok {
+			s += "@" + strconv.Itoa(child)
+		}
+		return s
+	}
+	var head string
+	switch {
+	case len(r.Choice) > 0:
+		parts := make([]string, len(r.Choice))
+		for i, a := range r.Choice {
+			parts[i] = display(a)
+		}
+		head = "{" + strings.Join(parts, "; ") + "}"
+	case r.Head != nil:
+		head = display(*r.Head)
+	}
+	if len(r.Body) == 0 {
+		return head + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		switch {
+		case l.IsCmp:
+			parts[i] = l.String()
+		case l.Negated:
+			parts[i] = "not " + display(l.Atom)
+		default:
+			parts[i] = display(l.Atom)
+		}
+	}
+	if head == "" {
+		return ":- " + strings.Join(parts, ", ") + "."
+	}
+	return head + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// String renders the ASG in its source syntax.
+func (g *Grammar) String() string {
+	var sb strings.Builder
+	for i, p := range g.CFG.Productions {
+		sb.WriteString(p.String())
+		if i < len(g.Annotations) && g.Annotations[i] != nil && len(g.Annotations[i].Rules) > 0 {
+			sb.WriteString(" {\n")
+			for _, r := range g.Annotations[i].Rules {
+				sb.WriteString("  ")
+				sb.WriteString(DisplayRule(r))
+				sb.WriteByte('\n')
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

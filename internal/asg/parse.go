@@ -1,0 +1,277 @@
+package asg
+
+import (
+	"fmt"
+	"strings"
+
+	"agenp/internal/asp"
+	"agenp/internal/cfg"
+)
+
+// ParseASG parses the textual answer set grammar format:
+//
+//	start -> policy_list {
+//	    :- not ok@1.
+//	}
+//	policy_list -> policy policy_list {
+//	    ok :- ok@1, ok@2.
+//	}
+//	policy_list -> policy { ok :- ok@1. }
+//	policy -> "permit" "(" subject ")"
+//	subject -> "alice" | "bob"
+//
+// Each production is `lhs -> sym...` optionally followed by an ASP
+// annotation in braces (atoms may carry `@i` child annotations, 1-based).
+// The `|` alternation shorthand is only allowed for productions without
+// an annotation block. '#' comments outside blocks, '%' comments inside
+// ASP blocks. The first production's left-hand side is the start symbol.
+func ParseASG(src string) (*Grammar, error) {
+	s := &asgScanner{src: src, line: 1}
+	var (
+		prods []cfg.Production
+		anns  = make(map[int]*asp.Program)
+		start string
+	)
+	for {
+		s.skipSpace()
+		if s.eof() {
+			break
+		}
+		lhs, err := s.ident()
+		if err != nil {
+			return nil, err
+		}
+		if start == "" {
+			start = lhs
+		}
+		if err := s.arrow(); err != nil {
+			return nil, err
+		}
+		// Read alternatives.
+		for {
+			syms, err := s.symbols()
+			if err != nil {
+				return nil, err
+			}
+			id := len(prods)
+			prods = append(prods, cfg.Production{Lhs: lhs, Rhs: syms})
+			s.skipSpace()
+			if s.peek() == '{' {
+				raw, err := s.braceBlock()
+				if err != nil {
+					return nil, err
+				}
+				prog, err := asp.ParseAnnotated(raw, AnnotationHook)
+				if err != nil {
+					return nil, fmt.Errorf("asg: annotation of %s -> ...: %w", lhs, err)
+				}
+				anns[id] = prog
+				break
+			}
+			if s.peek() == '|' {
+				s.next()
+				continue
+			}
+			break
+		}
+	}
+	if start == "" {
+		return nil, fmt.Errorf("asg: empty grammar")
+	}
+	g, err := cfg.New(start, prods)
+	if err != nil {
+		return nil, fmt.Errorf("asg: %w", err)
+	}
+	return New(g, anns)
+}
+
+// MustParseASG parses an ASG or panics; for tests and package-level
+// grammar literals in examples.
+func MustParseASG(src string) *Grammar {
+	g, err := ParseASG(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type asgScanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (s *asgScanner) eof() bool { return s.pos >= len(s.src) }
+
+func (s *asgScanner) peek() byte {
+	if s.eof() {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+func (s *asgScanner) next() byte {
+	c := s.src[s.pos]
+	s.pos++
+	if c == '\n' {
+		s.line++
+	}
+	return c
+}
+
+func (s *asgScanner) errf(format string, args ...any) error {
+	return fmt.Errorf("asg: line %d: %s", s.line, fmt.Sprintf(format, args...))
+}
+
+// skipSpace skips whitespace and '#' comments.
+func (s *asgScanner) skipSpace() {
+	for !s.eof() {
+		c := s.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			s.next()
+		case c == '#':
+			for !s.eof() && s.peek() != '\n' {
+				s.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// skipInlineSpace skips spaces/tabs and comments but NOT newlines.
+func (s *asgScanner) skipInlineSpace() {
+	for !s.eof() {
+		c := s.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			s.next()
+		case c == '#':
+			for !s.eof() && s.peek() != '\n' {
+				s.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (s *asgScanner) ident() (string, error) {
+	s.skipSpace()
+	startPos := s.pos
+	for !s.eof() {
+		c := s.peek()
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '-' || c == '"' || c == '{' || c == '|' || c == '#' {
+			break
+		}
+		s.next()
+	}
+	if s.pos == startPos {
+		return "", s.errf("expected identifier")
+	}
+	return s.src[startPos:s.pos], nil
+}
+
+func (s *asgScanner) arrow() error {
+	s.skipSpace()
+	if s.pos+1 < len(s.src) && s.src[s.pos] == '-' && s.src[s.pos+1] == '>' {
+		s.pos += 2
+		return nil
+	}
+	return s.errf("expected '->'")
+}
+
+// symbols reads RHS symbols on the current logical line: terminals
+// (quoted) and nonterminals, until '{', '|', newline followed by a new
+// production, or EOF.
+func (s *asgScanner) symbols() ([]cfg.Symbol, error) {
+	var syms []cfg.Symbol
+	for {
+		s.skipInlineSpace()
+		if s.eof() {
+			return syms, nil
+		}
+		c := s.peek()
+		switch {
+		case c == '\n':
+			// Newline ends the RHS unless the next non-space char is '{'
+			// (annotation on the following line).
+			save, saveLine := s.pos, s.line
+			s.skipSpace()
+			if s.peek() == '{' || s.peek() == '|' {
+				continue
+			}
+			s.pos, s.line = save, saveLine
+			return syms, nil
+		case c == '{' || c == '|':
+			return syms, nil
+		case c == '"':
+			s.next()
+			var sb strings.Builder
+			for {
+				if s.eof() {
+					return nil, s.errf("unterminated terminal")
+				}
+				c := s.next()
+				if c == '\\' && !s.eof() {
+					sb.WriteByte(s.next())
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				sb.WriteByte(c)
+			}
+			syms = append(syms, cfg.T(sb.String()))
+		default:
+			word, err := s.ident()
+			if err != nil {
+				return nil, err
+			}
+			if word != "ε" && word != "epsilon" {
+				syms = append(syms, cfg.NT(word))
+			}
+		}
+	}
+}
+
+// braceBlock consumes a balanced '{...}' block and returns the inner
+// text. Nested braces (ASP choice rules) and quoted strings are handled;
+// '%' comments inside the block are preserved for the ASP parser.
+func (s *asgScanner) braceBlock() (string, error) {
+	if s.peek() != '{' {
+		return "", s.errf("expected '{'")
+	}
+	s.next()
+	depth := 1
+	start := s.pos
+	for !s.eof() {
+		c := s.next()
+		switch c {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return s.src[start : s.pos-1], nil
+			}
+		case '"':
+			for !s.eof() {
+				c := s.next()
+				if c == '\\' && !s.eof() {
+					s.next()
+					continue
+				}
+				if c == '"' {
+					break
+				}
+			}
+		case '%':
+			for !s.eof() && s.peek() != '\n' {
+				s.next()
+			}
+		}
+	}
+	return "", s.errf("unterminated annotation block")
+}

@@ -1,0 +1,67 @@
+package asp
+
+// Brave and cautious consequences, the two classical entailment modes of
+// answer set programming. The ILASP-style learner covers positive
+// examples bravely (some answer set satisfies the partial
+// interpretation); policy analysis often wants the cautious view
+// ("which decisions hold no matter how the choices resolve").
+
+// BraveConsequences returns the atoms true in at least one answer set.
+// The second result reports whether the program has any answer set at
+// all (no answer sets means no brave consequences, which is different
+// from "entails nothing").
+func BraveConsequences(p *Program, opts SolveOptions) ([]Atom, bool, error) {
+	models, err := Solve(p, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(models) == 0 {
+		return nil, false, nil
+	}
+	seen := make(map[string]Atom)
+	for _, m := range models {
+		for _, a := range m.Atoms() {
+			seen[a.Key()] = a
+		}
+	}
+	return sortedAtoms(seen), true, nil
+}
+
+// CautiousConsequences returns the atoms true in every answer set. The
+// second result reports whether the program has any answer set (an
+// inconsistent program cautiously entails everything; callers usually
+// want to treat that case specially, so it is surfaced instead of
+// returning the whole Herbrand base).
+func CautiousConsequences(p *Program, opts SolveOptions) ([]Atom, bool, error) {
+	models, err := Solve(p, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(models) == 0 {
+		return nil, false, nil
+	}
+	counts := make(map[string]int)
+	atoms := make(map[string]Atom)
+	for _, m := range models {
+		for _, a := range m.Atoms() {
+			counts[a.Key()]++
+			atoms[a.Key()] = a
+		}
+	}
+	common := make(map[string]Atom)
+	for k, n := range counts {
+		if n == len(models) {
+			common[k] = atoms[k]
+		}
+	}
+	return sortedAtoms(common), true, nil
+}
+
+func sortedAtoms(m map[string]Atom) []Atom {
+	out := make([]Atom, 0, len(m))
+	for _, a := range m {
+		out = append(out, a)
+	}
+	// Reuse AnswerSet's deterministic ordering.
+	return NewAnswerSet(out...).Atoms()
+}

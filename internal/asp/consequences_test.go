@@ -1,0 +1,59 @@
+package asp
+
+import (
+	"testing"
+)
+
+func atomStrings(atoms []Atom) []string {
+	out := make([]string, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func TestBraveAndCautiousConsequences(t *testing.T) {
+	prog := mustParse(t, "a :- not b. b :- not a. c :- a. c :- b.")
+	brave, ok, err := BraveConsequences(prog, SolveOptions{})
+	if err != nil || !ok {
+		t.Fatalf("brave: %v %v", ok, err)
+	}
+	// a, b and c each hold in some answer set.
+	if got := atomStrings(brave); len(got) != 3 {
+		t.Errorf("brave = %v", got)
+	}
+	cautious, ok, err := CautiousConsequences(prog, SolveOptions{})
+	if err != nil || !ok {
+		t.Fatalf("cautious: %v %v", ok, err)
+	}
+	// Only c holds in every answer set.
+	if got := atomStrings(cautious); len(got) != 1 || got[0] != "c" {
+		t.Errorf("cautious = %v", got)
+	}
+}
+
+func TestConsequencesInconsistentProgram(t *testing.T) {
+	prog := mustParse(t, "p :- not p.")
+	if _, ok, err := BraveConsequences(prog, SolveOptions{}); err != nil || ok {
+		t.Errorf("brave on inconsistent: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := CautiousConsequences(prog, SolveOptions{}); err != nil || ok {
+		t.Errorf("cautious on inconsistent: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestConsequencesDeterministicProgram(t *testing.T) {
+	prog := mustParse(t, "p(1..3). q(X) :- p(X), X < 2.")
+	brave, _, err := BraveConsequences(prog, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cautious, _, err := CautiousConsequences(prog, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One answer set: brave == cautious.
+	if len(brave) != len(cautious) || len(brave) != 4 {
+		t.Errorf("brave %v vs cautious %v", atomStrings(brave), atomStrings(cautious))
+	}
+}

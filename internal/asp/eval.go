@@ -1,0 +1,146 @@
+package asp
+
+import (
+	"fmt"
+)
+
+// EvalRule evaluates a single rule against a fixed interpretation: it
+// returns every head instance derivable in one step, with positive body
+// literals matched against the interpretation, negative literals checked
+// absent from it, and comparisons evaluated. The rule must be safe.
+//
+// This is the workhorse of the learner's fast path for non-recursive
+// hypothesis rules: when a candidate rule's body only references
+// background-derived predicates, its contribution to an answer set is
+// exactly EvalRule(r, AS(background ∪ context)).
+func EvalRule(r Rule, model *AnswerSet) ([]Atom, error) {
+	if r.IsChoice() {
+		return nil, fmt.Errorf("asp: EvalRule does not support choice rules")
+	}
+	if err := CheckSafety(r); err != nil {
+		return nil, err
+	}
+	// Index the interpretation by predicate for matching.
+	byPred := make(map[string][]Atom)
+	for _, a := range model.Atoms() {
+		byPred[a.Predicate] = append(byPred[a.Predicate], a)
+	}
+
+	var out []Atom
+	seen := make(map[string]struct{})
+	var step func(b Binding, remaining []Literal) error
+	step = func(b Binding, remaining []Literal) error {
+		if len(remaining) == 0 {
+			if r.Head == nil {
+				// Constraint body satisfied: represent with a marker
+				// atom so callers can detect violation.
+				if _, dup := seen["\x00violated"]; !dup {
+					seen["\x00violated"] = struct{}{}
+					out = append(out, Atom{Predicate: "_violated"})
+				}
+				return nil
+			}
+			h := r.Head.Substitute(b)
+			ev, err := evalAtomArgs(h)
+			if err != nil {
+				return err
+			}
+			if !ev.Ground() {
+				return fmt.Errorf("asp: non-ground head %s in EvalRule", ev)
+			}
+			if _, dup := seen[ev.Key()]; !dup {
+				seen[ev.Key()] = struct{}{}
+				out = append(out, ev)
+			}
+			return nil
+		}
+		// Pick the next processable literal (same discipline as the
+		// grounder: positive atoms enumerate, ready comparisons filter,
+		// binder equalities bind, ground negatives check).
+		pick := -1
+		kind := -1
+		for i, l := range remaining {
+			ls := l.Substitute(b)
+			switch {
+			case !l.IsCmp && !l.Negated:
+				if pick == -1 {
+					pick, kind = i, 0
+				}
+			case l.IsCmp:
+				lv, rv := make(map[string]struct{}), make(map[string]struct{})
+				ls.Lhs.collectVars(lv)
+				ls.Rhs.collectVars(rv)
+				if len(lv)+len(rv) == 0 {
+					pick, kind = i, 2
+				} else if l.Op == CmpEq {
+					if _, isVar := ls.Lhs.(Variable); isVar && len(rv) == 0 {
+						pick, kind = i, 1
+					} else if _, isVar := ls.Rhs.(Variable); isVar && len(lv) == 0 {
+						pick, kind = i, 1
+					}
+				}
+			default: // negated
+				if ls.Atom.Ground() && pick == -1 {
+					pick, kind = i, 3
+				}
+			}
+			if kind == 1 || kind == 2 {
+				break
+			}
+		}
+		if pick == -1 {
+			return fmt.Errorf("asp: EvalRule stuck on rule %q", r.String())
+		}
+		l := remaining[pick].Substitute(b)
+		rest := make([]Literal, 0, len(remaining)-1)
+		rest = append(rest, remaining[:pick]...)
+		rest = append(rest, remaining[pick+1:]...)
+		switch kind {
+		case 0:
+			for _, fact := range byPred[l.Atom.Predicate] {
+				nb := matchAtom(l.Atom, fact, b)
+				if nb == nil {
+					continue
+				}
+				if err := step(nb, rest); err != nil {
+					return err
+				}
+			}
+			return nil
+		case 1:
+			v, expr := l.Lhs, l.Rhs
+			if _, isVar := v.(Variable); !isVar {
+				v, expr = l.Rhs, l.Lhs
+			}
+			val, err := EvalArith(expr)
+			if err != nil {
+				return err
+			}
+			nb := b.clone()
+			nb[v.(Variable).Name] = val
+			return step(nb, rest)
+		case 2:
+			ok, err := EvalCmp(l)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			return step(b, rest)
+		default:
+			ev, err := evalAtomArgs(l.Atom)
+			if err != nil {
+				return err
+			}
+			if model.Contains(ev) {
+				return nil
+			}
+			return step(b, rest)
+		}
+	}
+	if err := step(Binding{}, r.Body); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package asp
+
+import (
+	"testing"
+)
+
+func model(t *testing.T, atoms ...string) *AnswerSet {
+	t.Helper()
+	parsed := make([]Atom, len(atoms))
+	for i, s := range atoms {
+		a, err := ParseAtom(s)
+		if err != nil {
+			t.Fatalf("ParseAtom(%q): %v", s, err)
+		}
+		parsed[i] = a
+	}
+	return NewAnswerSet(parsed...)
+}
+
+func evalHeads(t *testing.T, ruleSrc string, m *AnswerSet) map[string]bool {
+	t.Helper()
+	r, err := ParseRule(ruleSrc)
+	if err != nil {
+		t.Fatalf("ParseRule(%q): %v", ruleSrc, err)
+	}
+	heads, err := EvalRule(r, m)
+	if err != nil {
+		t.Fatalf("EvalRule(%q): %v", ruleSrc, err)
+	}
+	out := make(map[string]bool, len(heads))
+	for _, h := range heads {
+		out[h.String()] = true
+	}
+	return out
+}
+
+func TestEvalRuleBasicJoin(t *testing.T) {
+	m := model(t, "edge(a,b)", "edge(b,c)")
+	got := evalHeads(t, "start(X) :- edge(X, Y).", m)
+	if len(got) != 2 || !got["start(a)"] || !got["start(b)"] {
+		t.Errorf("heads = %v", got)
+	}
+}
+
+func TestEvalRuleNegationAndComparison(t *testing.T) {
+	m := model(t, "n(1)", "n(2)", "n(3)", "blocked(2)")
+	got := evalHeads(t, "ok(X) :- n(X), not blocked(X), X < 3.", m)
+	if len(got) != 1 || !got["ok(1)"] {
+		t.Errorf("heads = %v", got)
+	}
+}
+
+func TestEvalRuleArithmeticBinder(t *testing.T) {
+	m := model(t, "n(2)", "n(5)")
+	got := evalHeads(t, "double(Y) :- n(X), Y = X * 2.", m)
+	if len(got) != 2 || !got["double(4)"] || !got["double(10)"] {
+		t.Errorf("heads = %v", got)
+	}
+}
+
+func TestEvalRuleFact(t *testing.T) {
+	got := evalHeads(t, "p(a).", model(t))
+	if len(got) != 1 || !got["p(a)"] {
+		t.Errorf("heads = %v", got)
+	}
+}
+
+func TestEvalRuleConstraintMarker(t *testing.T) {
+	m := model(t, "p", "q")
+	got := evalHeads(t, ":- p, q.", m)
+	if len(got) != 1 || !got["_violated"] {
+		t.Errorf("violated constraint should yield marker: %v", got)
+	}
+	got = evalHeads(t, ":- p, not q.", m)
+	if len(got) != 0 {
+		t.Errorf("satisfied constraint should yield nothing: %v", got)
+	}
+}
+
+func TestEvalRuleDeduplicatesHeads(t *testing.T) {
+	m := model(t, "edge(a,b)", "edge(a,c)")
+	got := evalHeads(t, "out(X) :- edge(X, Y).", m)
+	if len(got) != 1 || !got["out(a)"] {
+		t.Errorf("heads = %v", got)
+	}
+}
+
+func TestEvalRuleErrors(t *testing.T) {
+	r, err := ParseRule("p(X) :- q.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalRule(r, model(t, "q")); err == nil {
+		t.Error("unsafe rule should fail")
+	}
+	choice, err := ParseRule("{a; b}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalRule(choice, model(t)); err == nil {
+		t.Error("choice rule should fail")
+	}
+}
+
+// TestEvalRuleMatchesGrounding: EvalRule on the model of a definite
+// program agrees with deriving through the full grounder+solver.
+func TestEvalRuleMatchesGrounding(t *testing.T) {
+	base := mustParse(t, `
+		subject(role, dba). subject(age, 20).
+		resource(type, report). action(id, read).
+	`)
+	models, err := Solve(base, SolveOptions{})
+	if err != nil || len(models) != 1 {
+		t.Fatalf("base solve: %v %d", err, len(models))
+	}
+	ruleSrc := "decision(permit) :- subject(role, dba), subject(age, V), V >= 18."
+	heads := evalHeads(t, ruleSrc, models[0])
+
+	full := mustParse(t, base.String()+ruleSrc)
+	fullModels, err := Solve(full, SolveOptions{})
+	if err != nil || len(fullModels) != 1 {
+		t.Fatalf("full solve: %v %d", err, len(fullModels))
+	}
+	want, _ := ParseAtom("decision(permit)")
+	if !fullModels[0].Contains(want) {
+		t.Fatal("full program should derive the decision")
+	}
+	if len(heads) != 1 || !heads["decision(permit)"] {
+		t.Errorf("EvalRule disagrees with solver: %v", heads)
+	}
+}

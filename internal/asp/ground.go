@@ -1,0 +1,683 @@
+package asp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SafetyError reports an unsafe rule: a variable not bound by any
+// positive body literal or computable equality.
+type SafetyError struct {
+	Rule Rule
+	Vars []string
+}
+
+func (e *SafetyError) Error() string {
+	return fmt.Sprintf("unsafe rule %q: unbound variables %v", e.Rule.String(), e.Vars)
+}
+
+// GroundRule is a fully instantiated rule over interned atom ids.
+// Head == -1 denotes a constraint.
+type GroundRule struct {
+	Head    int
+	PosBody []int
+	NegBody []int
+}
+
+// GroundProgram is the result of grounding: an atom table plus ground
+// rules referencing atoms by id.
+type GroundProgram struct {
+	Atoms []Atom // id -> atom
+	Rules []GroundRule
+
+	index map[string]int // atom key -> id
+}
+
+// AtomID returns the id of a ground atom, or -1 if the atom does not
+// occur in the ground program.
+func (g *GroundProgram) AtomID(a Atom) int {
+	if id, ok := g.index[a.Key()]; ok {
+		return id
+	}
+	return -1
+}
+
+// NumAtoms returns the number of distinct ground atoms.
+func (g *GroundProgram) NumAtoms() int { return len(g.Atoms) }
+
+// String renders the ground program in ASP syntax.
+func (g *GroundProgram) String() string {
+	var sb strings.Builder
+	for _, r := range g.Rules {
+		if r.Head >= 0 {
+			sb.WriteString(g.Atoms[r.Head].String())
+		}
+		if len(r.PosBody)+len(r.NegBody) > 0 {
+			sb.WriteString(" :- ")
+			first := true
+			for _, id := range r.PosBody {
+				if !first {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(g.Atoms[id].String())
+				first = false
+			}
+			for _, id := range r.NegBody {
+				if !first {
+					sb.WriteString(", ")
+				}
+				sb.WriteString("not " + g.Atoms[id].String())
+				first = false
+			}
+		}
+		sb.WriteString(".\n")
+	}
+	return sb.String()
+}
+
+// GroundingOptions configures the grounder.
+type GroundingOptions struct {
+	// Naive disables the semi-naive delta optimisation (every round
+	// re-instantiates every rule against the full relations). Exposed for
+	// the ablation benchmark; results are identical.
+	Naive bool
+
+	// MaxAtoms aborts grounding when the domain exceeds this many atoms
+	// (0 = unlimited). Guards against runaway programs.
+	MaxAtoms int
+}
+
+// Ground instantiates a program into a GroundProgram under the standard
+// bottom-up over-approximation: the atom domain is the least fixpoint of
+// the rules with negative literals ignored; rule instances whose negative
+// atoms are not in the domain have those literals removed (they are
+// vacuously true).
+//
+// Choice rules are compiled into pairs of normal rules over fresh
+// complement atoms before grounding, so the resulting ground program
+// contains only normal rules and constraints.
+func Ground(p *Program, opts GroundingOptions) (*GroundProgram, error) {
+	expanded, err := expandRanges(p)
+	if err != nil {
+		return nil, err
+	}
+	normal, err := compileChoices(expanded)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range normal.Rules {
+		if err := CheckSafety(r); err != nil {
+			return nil, err
+		}
+	}
+
+	g := &grounder{
+		opts:      opts,
+		relations: make(map[string]map[string]Atom),
+		out: &GroundProgram{
+			index: make(map[string]int),
+		},
+		seenRules: make(map[string]struct{}),
+	}
+
+	var defRules, constraints []Rule
+	for _, r := range normal.Rules {
+		if r.IsConstraint() {
+			constraints = append(constraints, r)
+		} else {
+			defRules = append(defRules, r)
+		}
+	}
+
+	if err := g.fixpoint(defRules); err != nil {
+		return nil, err
+	}
+	// Ground constraints in one pass against the final relations.
+	for _, c := range constraints {
+		if err := g.instantiateAll(c); err != nil {
+			return nil, err
+		}
+	}
+	g.finalize()
+	return g.out, nil
+}
+
+// compileChoices rewrites every choice rule {a1;...;ak} :- body into, for
+// each i, the pair
+//
+//	ai  :- body, not _ci.
+//	_ci :- body, not ai.
+//
+// where _ci is a fresh atom carrying the variables of ai and body. This is
+// the standard encoding of choice under stable-model semantics.
+func compileChoices(p *Program) (*Program, error) {
+	out := &Program{Rules: make([]Rule, 0, len(p.Rules))}
+	fresh := 0
+	for _, r := range p.Rules {
+		if !r.IsChoice() {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		ruleVars := make([]string, 0, 4)
+		seen := make(map[string]struct{})
+		for v := range r.Variables() {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				ruleVars = append(ruleVars, v)
+			}
+		}
+		sort.Strings(ruleVars)
+		varTerms := make([]Term, len(ruleVars))
+		for i, v := range ruleVars {
+			varTerms[i] = Variable{Name: v}
+		}
+		for i, a := range r.Choice {
+			comp := Atom{
+				Predicate: fmt.Sprintf("_choice_%d_%d", fresh, i),
+				Args:      varTerms,
+			}
+			posRule := Rule{Head: &Atom{Predicate: a.Predicate, Args: a.Args}}
+			posRule.Body = append(append([]Literal{}, r.Body...), Neg(comp))
+			compRule := Rule{Head: &comp}
+			compRule.Body = append(append([]Literal{}, r.Body...), Neg(a))
+			out.Rules = append(out.Rules, posRule, compRule)
+		}
+		fresh++
+	}
+	return out, nil
+}
+
+// CheckSafety verifies that every variable of the rule is bound: it
+// occurs in a positive body atom literal outside arithmetic, or in an
+// equality V = expr (or expr = V) whose other side only uses bound
+// variables. Binding propagates to a fixpoint.
+func CheckSafety(r Rule) error {
+	bound := make(map[string]struct{})
+	varsOfTermOutsideArith := func(t Term, into map[string]struct{}) {
+		var walk func(t Term)
+		walk = func(t Term) {
+			switch tt := t.(type) {
+			case Variable:
+				into[tt.Name] = struct{}{}
+			case Compound:
+				for _, a := range tt.Args {
+					walk(a)
+				}
+			case Arith:
+				// Variables inside arithmetic are *used*, not bound.
+			}
+		}
+		walk(t)
+	}
+	for _, l := range r.Body {
+		if !l.IsCmp && !l.Negated {
+			for _, t := range l.Atom.Args {
+				varsOfTermOutsideArith(t, bound)
+			}
+		}
+	}
+	// Propagate through equalities.
+	changed := true
+	for changed {
+		changed = false
+		for _, l := range r.Body {
+			if !l.IsCmp || l.Op != CmpEq {
+				continue
+			}
+			tryBind := func(v Term, other Term) {
+				vv, ok := v.(Variable)
+				if !ok {
+					return
+				}
+				if _, already := bound[vv.Name]; already {
+					return
+				}
+				otherVars := make(map[string]struct{})
+				other.collectVars(otherVars)
+				for ov := range otherVars {
+					if _, ok := bound[ov]; !ok {
+						return
+					}
+				}
+				bound[vv.Name] = struct{}{}
+				changed = true
+			}
+			tryBind(l.Lhs, l.Rhs)
+			tryBind(l.Rhs, l.Lhs)
+		}
+	}
+	var unbound []string
+	for v := range r.Variables() {
+		if _, ok := bound[v]; !ok {
+			unbound = append(unbound, v)
+		}
+	}
+	if len(unbound) > 0 {
+		sort.Strings(unbound)
+		return &SafetyError{Rule: r, Vars: unbound}
+	}
+	return nil
+}
+
+type grounder struct {
+	opts GroundingOptions
+
+	// relations: predicate -> atom key -> atom (the domain so far).
+	relations map[string]map[string]Atom
+	// delta: atoms added in the previous round, per predicate.
+	delta map[string]map[string]Atom
+
+	out       *GroundProgram
+	seenRules map[string]struct{}
+
+	// pending collects ground rule instances before interning.
+	pending []groundInstance
+}
+
+type groundInstance struct {
+	head *Atom // nil for constraints
+	pos  []Atom
+	neg  []Atom
+}
+
+func (g *grounder) atomCount() int {
+	n := 0
+	for _, rel := range g.relations {
+		n += len(rel)
+	}
+	return n
+}
+
+// fixpoint runs semi-naive evaluation of the definite rules.
+func (g *grounder) fixpoint(rules []Rule) error {
+	g.delta = make(map[string]map[string]Atom)
+
+	// Round 0: rules with no positive atom literals (facts and rules
+	// bound purely by equalities/comparisons).
+	for _, r := range rules {
+		hasPos := false
+		for _, l := range r.Body {
+			if !l.IsCmp && !l.Negated {
+				hasPos = true
+				break
+			}
+		}
+		if !hasPos {
+			if err := g.instantiate(r, -1, nil); err != nil {
+				return err
+			}
+		}
+	}
+
+	for len(g.delta) > 0 {
+		if g.opts.MaxAtoms > 0 && g.atomCount() > g.opts.MaxAtoms {
+			return fmt.Errorf("grounding exceeded %d atoms", g.opts.MaxAtoms)
+		}
+		prevDelta := g.delta
+		g.delta = make(map[string]map[string]Atom)
+		for _, r := range rules {
+			posIdx := positiveIndices(r)
+			if len(posIdx) == 0 {
+				continue
+			}
+			if g.opts.Naive {
+				if err := g.instantiateAgainst(r, -1, nil); err != nil {
+					return err
+				}
+				continue
+			}
+			// Semi-naive: require one positive literal to match the
+			// delta; try each position in turn.
+			for _, di := range posIdx {
+				if err := g.instantiateAgainst(r, di, prevDelta); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func positiveIndices(r Rule) []int {
+	var idx []int
+	for i, l := range r.Body {
+		if !l.IsCmp && !l.Negated {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// instantiate instantiates rule r; deltaPos (when >= 0) is the body
+// position that must match an atom from the delta relation.
+func (g *grounder) instantiate(r Rule, deltaPos int, delta map[string]map[string]Atom) error {
+	return g.instantiateAgainst(r, deltaPos, delta)
+}
+
+// instantiateAll grounds a rule (typically a constraint) against the full
+// relations only.
+func (g *grounder) instantiateAll(r Rule) error {
+	return g.instantiateAgainst(r, -1, nil)
+}
+
+func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[string]map[string]Atom) error {
+	// Backtracking join over body literals. Literals are processed
+	// greedily: a positive atom literal is always processable (its
+	// unbound variables enumerate the relation); a comparison is
+	// processable once its variables are bound, except V = expr which is
+	// processable when expr's variables are bound; a negative literal is
+	// processed at the end (checked against the domain when producing the
+	// instance).
+	type litState struct {
+		lit  Literal
+		done bool
+	}
+	states := make([]litState, len(r.Body))
+	for i, l := range r.Body {
+		states[i] = litState{lit: l}
+	}
+
+	var emit func(b Binding) error
+	emit = func(b Binding) error {
+		return g.emitInstance(r, b)
+	}
+
+	var step func(b Binding, remaining int) error
+	step = func(b Binding, remaining int) error {
+		if remaining == 0 {
+			return emit(b)
+		}
+		// Pick the next processable literal.
+		pick := -1
+		var pickKind int // 0 = positive atom, 1 = binder equality, 2 = ground comparison
+		for i := range states {
+			if states[i].done {
+				continue
+			}
+			l := states[i].lit
+			if !l.IsCmp && !l.Negated {
+				if pick == -1 {
+					pick = i
+					pickKind = 0
+				}
+				continue
+			}
+			if l.IsCmp {
+				lsub := l.Substitute(b)
+				lvars, rvars := make(map[string]struct{}), make(map[string]struct{})
+				lsub.Lhs.collectVars(lvars)
+				lsub.Rhs.collectVars(rvars)
+				if len(lvars) == 0 && len(rvars) == 0 {
+					pick, pickKind = i, 2
+					break // ground comparisons filter earliest
+				}
+				if l.Op == CmpEq {
+					if _, isVar := lsub.Lhs.(Variable); isVar && len(rvars) == 0 {
+						pick, pickKind = i, 1
+						break
+					}
+					if _, isVar := lsub.Rhs.(Variable); isVar && len(lvars) == 0 {
+						pick, pickKind = i, 1
+						break
+					}
+				}
+				continue
+			}
+			// Negative literal: processable when ground; defer as late as
+			// possible but acceptable when ground.
+			lsub := l.Substitute(b)
+			if lsub.Atom.Ground() && pick == -1 {
+				pick, pickKind = i, 3
+			}
+		}
+		if pick == -1 {
+			// Nothing processable: all remaining literals are stuck.
+			// Safety guarantees this cannot happen for satisfiable
+			// orderings; report an error to surface bugs.
+			return fmt.Errorf("grounder stuck on rule %q (bound: %v)", r.String(), b)
+		}
+
+		states[pick].done = true
+		defer func() { states[pick].done = false }()
+		l := states[pick].lit.Substitute(b)
+
+		switch pickKind {
+		case 0: // positive atom: enumerate matching relation atoms
+			rel := g.relations[l.Atom.Predicate]
+			useDelta := deltaPos == pick
+			if useDelta {
+				rel = delta[l.Atom.Predicate]
+			}
+			for _, fact := range rel {
+				nb := matchAtom(l.Atom, fact, b)
+				if nb == nil {
+					continue
+				}
+				if err := step(nb, remaining-1); err != nil {
+					return err
+				}
+			}
+			return nil
+		case 1: // binder equality V = expr
+			v, expr := l.Lhs, l.Rhs
+			if _, isVar := v.(Variable); !isVar {
+				v, expr = l.Rhs, l.Lhs
+			}
+			val, err := EvalArith(expr)
+			if err != nil {
+				return err
+			}
+			nb := b.clone()
+			nb[v.(Variable).Name] = val
+			return step(nb, remaining-1)
+		case 2: // ground comparison
+			ok, err := EvalCmp(l)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			return step(b, remaining-1)
+		default: // ground negative literal: domain membership decided at emit
+			return step(b, remaining-1)
+		}
+	}
+	return step(Binding{}, len(r.Body))
+}
+
+// matchAtom unifies a (possibly non-ground, arithmetic-free after
+// substitution except for evaluable args) pattern atom against a ground
+// fact, extending binding b. Returns nil when no match.
+func matchAtom(pattern, fact Atom, b Binding) Binding {
+	if pattern.Predicate != fact.Predicate || len(pattern.Args) != len(fact.Args) {
+		return nil
+	}
+	nb := b.clone()
+	for i := range pattern.Args {
+		if !matchTerm(pattern.Args[i], fact.Args[i], nb) {
+			return nil
+		}
+	}
+	return nb
+}
+
+func matchTerm(pattern, ground Term, b Binding) bool {
+	switch pt := pattern.(type) {
+	case Variable:
+		if bound, ok := b[pt.Name]; ok {
+			return TermsEqual(bound, ground)
+		}
+		b[pt.Name] = ground
+		return true
+	case Arith:
+		// Arithmetic in a body pattern: evaluable only if already bound.
+		sub := pt.substitute(b)
+		if !sub.Ground() {
+			return false
+		}
+		val, err := EvalArith(sub)
+		if err != nil {
+			return false
+		}
+		return TermsEqual(val, ground)
+	case Compound:
+		gt, ok := ground.(Compound)
+		if !ok || gt.Functor != pt.Functor || len(gt.Args) != len(pt.Args) {
+			return false
+		}
+		for i := range pt.Args {
+			if !matchTerm(pt.Args[i], gt.Args[i], b) {
+				return false
+			}
+		}
+		return true
+	default:
+		return TermsEqual(pattern.substitute(b), ground)
+	}
+}
+
+// emitInstance records a fully bound rule instance: evaluates head
+// arithmetic, adds the head atom to the relations/delta, and stores the
+// instance for interning.
+func (g *grounder) emitInstance(r Rule, b Binding) error {
+	inst := groundInstance{}
+	for _, l := range r.Body {
+		if l.IsCmp {
+			continue
+		}
+		ls := l.Substitute(b)
+		ev, err := evalAtomArgs(ls.Atom)
+		if err != nil {
+			return err
+		}
+		if l.Negated {
+			inst.neg = append(inst.neg, ev)
+		} else {
+			inst.pos = append(inst.pos, ev)
+		}
+	}
+	if r.Head != nil {
+		h := r.Head.Substitute(b)
+		ev, err := evalAtomArgs(h)
+		if err != nil {
+			return err
+		}
+		if !ev.Ground() {
+			return fmt.Errorf("non-ground head %s after substitution of %q", ev, r.String())
+		}
+		inst.head = &ev
+		g.addAtom(ev)
+	}
+	g.pending = append(g.pending, inst)
+	return nil
+}
+
+func evalAtomArgs(a Atom) (Atom, error) {
+	if len(a.Args) == 0 {
+		return a, nil
+	}
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		ev, err := EvalArith(t)
+		if err != nil {
+			return Atom{}, err
+		}
+		args[i] = ev
+	}
+	return Atom{Predicate: a.Predicate, Args: args}, nil
+}
+
+func (g *grounder) addAtom(a Atom) {
+	key := a.Key()
+	rel, ok := g.relations[a.Predicate]
+	if !ok {
+		rel = make(map[string]Atom)
+		g.relations[a.Predicate] = rel
+	}
+	if _, exists := rel[key]; exists {
+		return
+	}
+	rel[key] = a
+	d, ok := g.delta[a.Predicate]
+	if !ok {
+		d = make(map[string]Atom)
+		g.delta[a.Predicate] = d
+	}
+	d[key] = a
+}
+
+// finalize interns pending instances into the output ground program,
+// dropping negative literals whose atom is outside the domain and
+// dropping rules with a positive literal outside the domain (cannot
+// happen for definite-derived instances, but constraints may mention
+// underivable atoms).
+func (g *grounder) finalize() {
+	inDomain := func(a Atom) bool {
+		rel, ok := g.relations[a.Predicate]
+		if !ok {
+			return false
+		}
+		_, ok = rel[a.Key()]
+		return ok
+	}
+	intern := func(a Atom) int {
+		key := a.Key()
+		if id, ok := g.out.index[key]; ok {
+			return id
+		}
+		id := len(g.out.Atoms)
+		g.out.Atoms = append(g.out.Atoms, a)
+		g.out.index[key] = id
+		return id
+	}
+
+	for _, inst := range g.pending {
+		gr := GroundRule{Head: -1}
+		skip := false
+		for _, a := range inst.pos {
+			if !inDomain(a) {
+				skip = true
+				break
+			}
+			gr.PosBody = append(gr.PosBody, intern(a))
+		}
+		if skip {
+			continue
+		}
+		for _, a := range inst.neg {
+			if !inDomain(a) {
+				continue // vacuously true
+			}
+			gr.NegBody = append(gr.NegBody, intern(a))
+		}
+		if inst.head != nil {
+			gr.Head = intern(*inst.head)
+		}
+		key := groundRuleKey(gr)
+		if _, seen := g.seenRules[key]; seen {
+			continue
+		}
+		g.seenRules[key] = struct{}{}
+		g.out.Rules = append(g.out.Rules, gr)
+	}
+	g.pending = nil
+}
+
+func groundRuleKey(r GroundRule) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:", r.Head)
+	pos := append([]int(nil), r.PosBody...)
+	neg := append([]int(nil), r.NegBody...)
+	sort.Ints(pos)
+	sort.Ints(neg)
+	for _, id := range pos {
+		fmt.Fprintf(&sb, "%d,", id)
+	}
+	sb.WriteByte('|')
+	for _, id := range neg {
+		fmt.Fprintf(&sb, "%d,", id)
+	}
+	return sb.String()
+}

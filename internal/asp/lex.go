@@ -1,0 +1,219 @@
+package asp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF      tokenKind = iota + 1
+	tokIdent              // lowercase identifier
+	tokVariable           // uppercase identifier or leading underscore
+	tokInt
+	tokString // double-quoted
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSemi
+	tokDot
+	tokIf    // :-
+	tokNot   // not
+	tokCmp   // = != < <= > >=
+	tokArith // + - * / \
+	tokAt    // @ (used by the ASG layer for annotations)
+	tokHash  // # (directives)
+	tokRange // .. (integer intervals)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in input
+	line int
+}
+
+// lexError reports a lexical error with line information.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.line, e.msg)
+}
+
+// lex tokenizes an ASP source string. Comments run from '%' to end of
+// line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	emit := func(k tokenKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos, line: line})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == '{':
+			emit(tokLBrace, "{", i)
+			i++
+		case c == '}':
+			emit(tokRBrace, "}", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == ';':
+			emit(tokSemi, ";", i)
+			i++
+		case c == '.':
+			if i+1 < n && src[i+1] == '.' {
+				emit(tokRange, "..", i)
+				i += 2
+			} else {
+				emit(tokDot, ".", i)
+				i++
+			}
+		case c == '@':
+			emit(tokAt, "@", i)
+			i++
+		case c == '#':
+			emit(tokHash, "#", i)
+			i++
+		case c == ':':
+			if i+1 < n && src[i+1] == '-' {
+				emit(tokIf, ":-", i)
+				i += 2
+			} else {
+				return nil, &lexError{line: line, msg: "unexpected ':'"}
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokCmp, "!=", i)
+				i += 2
+			} else {
+				return nil, &lexError{line: line, msg: "unexpected '!'"}
+			}
+		case c == '=':
+			emit(tokCmp, "=", i)
+			i++
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokCmp, "<=", i)
+				i += 2
+			} else {
+				emit(tokCmp, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokCmp, ">=", i)
+				i += 2
+			} else {
+				emit(tokCmp, ">", i)
+				i++
+			}
+		case c == '+' || c == '*' || c == '/' || c == '\\':
+			emit(tokArith, string(c), i)
+			i++
+		case c == '-':
+			// A minus is either arithmetic or the sign of an integer
+			// literal; the parser disambiguates, the lexer always emits
+			// an arithmetic token unless directly followed by a digit at
+			// a position where a term may start.
+			emit(tokArith, "-", i)
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if src[j] == '\\' && j+1 < n {
+					sb.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					closed = true
+					break
+				}
+				if src[j] == '\n' {
+					line++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, &lexError{line: line, msg: "unterminated string literal"}
+			}
+			emit(tokString, sb.String(), i)
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			emit(tokInt, src[i:j], i)
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			switch {
+			case word == "not":
+				emit(tokNot, word, i)
+			case unicode.IsUpper(rune(word[0])) || word[0] == '_':
+				emit(tokVariable, word, i)
+			default:
+				emit(tokIdent, word, i)
+			}
+			i = j
+		default:
+			return nil, &lexError{line: line, msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	emit(tokEOF, "", i)
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// mustInt converts token text to int; the lexer guarantees digits only.
+func mustInt(text string) int {
+	v, err := strconv.Atoi(text)
+	if err != nil {
+		return 0
+	}
+	return v
+}

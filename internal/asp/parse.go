@@ -1,0 +1,442 @@
+package asp
+
+import (
+	"fmt"
+)
+
+// ParseError reports a syntax error with line information.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at line %d: %s", e.Line, e.Msg)
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+
+	// annotations enables the `atom@k` suffix syntax used by answer set
+	// grammars. When disabled, '@' is a syntax error.
+	annotations bool
+
+	// onAnnotation receives (atom, annotation, hasAnnotation) callbacks;
+	// when nil, annotations are rejected.
+	atomHook func(a Atom, ann int, hasAnn bool) Atom
+}
+
+// Parse parses an ASP program: a sequence of rules, constraints, facts,
+// and choice rules, each terminated by '.'.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+// ParseRule parses a single rule (terminated by '.').
+func ParseRule(src string) (Rule, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return Rule{}, err
+	}
+	if len(prog.Rules) != 1 {
+		return Rule{}, fmt.Errorf("expected exactly one rule, got %d", len(prog.Rules))
+	}
+	return prog.Rules[0], nil
+}
+
+// ParseAtom parses a single atom, e.g. "p(a, X)".
+func ParseAtom(src string) (Atom, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Atom{}, err
+	}
+	p := &parser{toks: toks}
+	a, err := p.atom()
+	if err != nil {
+		return Atom{}, err
+	}
+	if p.peek().kind != tokEOF {
+		return Atom{}, p.errf("trailing input after atom")
+	}
+	return a, nil
+}
+
+// ParseTerm parses a single term.
+func ParseTerm(src string) (Term, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input after term")
+	}
+	return t, nil
+}
+
+// ParseAnnotated parses an ASP program in which atoms may carry integer
+// annotations written `atom@k` (answer set grammar syntax). The hook is
+// called for every atom parsed; it may rewrite the atom (e.g. mangle the
+// predicate with the annotation).
+func ParseAnnotated(src string, hook func(a Atom, ann int, hasAnn bool) Atom) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, annotations: true, atomHook: hook}
+	return p.program()
+}
+
+func (p *parser) peek() token         { return p.toks[p.pos] }
+func (p *parser) next() token         { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, p.errf("expected %s, found %q", what, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.peek().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// rule parses: head. | head :- body. | :- body. | {a; b} :- body.
+func (p *parser) rule() (Rule, error) {
+	var r Rule
+	switch {
+	case p.at(tokIf): // constraint
+		p.next()
+		body, err := p.body()
+		if err != nil {
+			return r, err
+		}
+		r.Body = body
+	case p.at(tokLBrace): // choice
+		p.next()
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return r, err
+			}
+			r.Choice = append(r.Choice, a)
+			if p.at(tokSemi) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+			return r, err
+		}
+		if p.at(tokIf) {
+			p.next()
+			body, err := p.body()
+			if err != nil {
+				return r, err
+			}
+			r.Body = body
+		}
+	default: // normal rule or fact
+		a, err := p.atom()
+		if err != nil {
+			return r, err
+		}
+		r.Head = &a
+		if p.at(tokIf) {
+			p.next()
+			body, err := p.body()
+			if err != nil {
+				return r, err
+			}
+			r.Body = body
+		}
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func (p *parser) body() ([]Literal, error) {
+	var lits []Literal
+	for {
+		l, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, l)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		return lits, nil
+	}
+}
+
+// literal parses `not atom`, `atom`, or a comparison `t op t`.
+func (p *parser) literal() (Literal, error) {
+	if p.at(tokNot) {
+		p.next()
+		a, err := p.atom()
+		if err != nil {
+			return Literal{}, err
+		}
+		return Neg(a), nil
+	}
+	// Could be an atom or a comparison; an atom starts with an ident,
+	// while a comparison may start with any term. Parse a term first when
+	// the lookahead cannot be a plain atom, otherwise parse an atom and
+	// check for a following comparison operator (which means the "atom"
+	// was actually a constant term).
+	if p.at(tokIdent) {
+		save := p.pos
+		a, err := p.atom()
+		if err != nil {
+			return Literal{}, err
+		}
+		if p.at(tokCmp) || p.at(tokArith) {
+			// Re-parse as a term expression.
+			p.pos = save
+			return p.comparison()
+		}
+		return Pos(a), nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Literal, error) {
+	lhs, err := p.termExpr()
+	if err != nil {
+		return Literal{}, err
+	}
+	opTok, err := p.expect(tokCmp, "comparison operator")
+	if err != nil {
+		return Literal{}, err
+	}
+	op, err := cmpOpOf(opTok.text)
+	if err != nil {
+		return Literal{}, p.errf("%v", err)
+	}
+	rhs, err := p.termExpr()
+	if err != nil {
+		return Literal{}, err
+	}
+	return Cmp(lhs, op, rhs), nil
+}
+
+func cmpOpOf(s string) (CmpOp, error) {
+	switch s {
+	case "=":
+		return CmpEq, nil
+	case "!=":
+		return CmpNeq, nil
+	case "<":
+		return CmpLt, nil
+	case "<=":
+		return CmpLeq, nil
+	case ">":
+		return CmpGt, nil
+	case ">=":
+		return CmpGeq, nil
+	default:
+		return 0, fmt.Errorf("unknown comparison operator %q", s)
+	}
+}
+
+// atom parses predicate(args) with optional @k annotation.
+func (p *parser) atom() (Atom, error) {
+	tok, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Predicate: tok.text}
+	if p.at(tokLParen) {
+		p.next()
+		for {
+			t, err := p.termExpr()
+			if err != nil {
+				return Atom{}, err
+			}
+			a.Args = append(a.Args, t)
+			if p.at(tokComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return Atom{}, err
+		}
+	}
+	if p.at(tokAt) {
+		if !p.annotations {
+			return Atom{}, p.errf("annotation '@' not allowed here")
+		}
+		p.next()
+		it, err := p.expect(tokInt, "annotation index")
+		if err != nil {
+			return Atom{}, err
+		}
+		if p.atomHook != nil {
+			a = p.atomHook(a, mustInt(it.text), true)
+		}
+		return a, nil
+	}
+	if p.annotations && p.atomHook != nil {
+		a = p.atomHook(a, 0, false)
+	}
+	return a, nil
+}
+
+// termExpr parses a term with left-associative +,- over *,/,\ precedence
+// and clingo-style `lo..hi` ranges at the lowest precedence.
+func (p *parser) termExpr() (Term, error) {
+	t, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokRange) {
+		p.next()
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Range{Lo: t, Hi: hi}, nil
+	}
+	return t, nil
+}
+
+func (p *parser) addExpr() (Term, error) {
+	t, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokArith) && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			t = Arith{Op: OpAdd, L: t, R: r}
+		} else {
+			t = Arith{Op: OpSub, L: t, R: r}
+		}
+	}
+	return t, nil
+}
+
+func (p *parser) mulExpr() (Term, error) {
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokArith) && (p.peek().text == "*" || p.peek().text == "/" || p.peek().text == "\\") {
+		op := p.next().text
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "*":
+			t = Arith{Op: OpMul, L: t, R: r}
+		case "/":
+			t = Arith{Op: OpDiv, L: t, R: r}
+		default:
+			t = Arith{Op: OpMod, L: t, R: r}
+		}
+	}
+	return t, nil
+}
+
+// term parses a primary term: integer, negative integer, variable,
+// constant, compound, string, or parenthesized expression.
+func (p *parser) term() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		return Integer{Value: mustInt(t.text)}, nil
+	case tokArith:
+		if t.text == "-" {
+			p.next()
+			inner, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if iv, ok := inner.(Integer); ok {
+				return Integer{Value: -iv.Value}, nil
+			}
+			return Arith{Op: OpSub, L: Integer{Value: 0}, R: inner}, nil
+		}
+		return nil, p.errf("unexpected operator %q", t.text)
+	case tokVariable:
+		p.next()
+		return Variable{Name: t.text}, nil
+	case tokString:
+		p.next()
+		return Constant{Name: t.text, Quoted: true}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.termExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokIdent:
+		p.next()
+		if p.at(tokLParen) {
+			p.next()
+			var args []Term
+			for {
+				a, err := p.termExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.at(tokComma) {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return Compound{Functor: t.text, Args: args}, nil
+		}
+		return Constant{Name: t.text}, nil
+	default:
+		return nil, p.errf("expected term, found %q", t.text)
+	}
+}

@@ -1,0 +1,99 @@
+package asp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRangeFacts(t *testing.T) {
+	models := solveSrc(t, "n(1..4).", SolveOptions{})
+	if len(models) != 1 {
+		t.Fatalf("models = %d", len(models))
+	}
+	if models[0].Len() != 4 {
+		t.Errorf("expanded to %d atoms, want 4: %s", models[0].Len(), models[0])
+	}
+	for _, want := range []string{"n(1)", "n(4)"} {
+		a, _ := ParseAtom(want)
+		if !models[0].Contains(a) {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestRangeMultipleCartesian(t *testing.T) {
+	models := solveSrc(t, "cell(1..2, 1..3).", SolveOptions{})
+	if len(models) != 1 || models[0].Len() != 6 {
+		t.Fatalf("want 6 cells, got %v", models)
+	}
+}
+
+func TestRangeInBodyAndChoice(t *testing.T) {
+	models := solveSrc(t, "{pick(1..3)}. :- pick(X), pick(Y), X != Y.", SolveOptions{})
+	// Empty set plus 3 singletons.
+	if len(models) != 4 {
+		t.Fatalf("models = %d, want 4", len(models))
+	}
+}
+
+func TestRangeArithmeticBounds(t *testing.T) {
+	models := solveSrc(t, "n(1 + 1..2 * 2).", SolveOptions{})
+	if len(models) != 1 || models[0].Len() != 3 {
+		t.Fatalf("want n(2..4) = 3 atoms, got %v", models)
+	}
+}
+
+func TestRangeEmptyInterval(t *testing.T) {
+	models := solveSrc(t, "n(5..3). p.", SolveOptions{})
+	if len(models) != 1 {
+		t.Fatal("program should still solve")
+	}
+	if models[0].Len() != 1 {
+		t.Errorf("empty range should produce no atoms: %s", models[0])
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	// Non-ground bounds.
+	_, err := Ground(mustParse(t, "n(X..3) :- m(X). m(a)."), GroundingOptions{})
+	if err == nil {
+		t.Error("variable range bound should fail")
+	}
+	// Oversized range.
+	_, err = Ground(mustParse(t, "n(1..100000000)."), GroundingOptions{})
+	if err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Errorf("oversized range: %v", err)
+	}
+	// Non-integer bounds.
+	_, err = Ground(mustParse(t, "n(a..b)."), GroundingOptions{})
+	if err == nil {
+		t.Error("constant range bounds should fail")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	prog := mustParse(t, "n(1..4).")
+	if got := prog.Rules[0].String(); got != "n(1..4)." {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRangeColoringProgram(t *testing.T) {
+	// The range syntax makes coloring programs compact; check it solves
+	// identically to the explicit version.
+	src := `
+		node(1..3).
+		edge(X, X + 1) :- node(X), X < 3.
+		edge(3, 1).
+		col(r). col(g). col(b).
+		{color(N, C)} :- node(N), col(C).
+		colored(N) :- color(N, C).
+		:- node(N), not colored(N).
+		:- color(N, C1), color(N, C2), C1 != C2.
+		:- edge(X, Y), color(X, C), color(Y, C).
+	`
+	models := solveSrc(t, src, SolveOptions{})
+	if len(models) != 6 {
+		t.Errorf("triangle colorings = %d, want 6", len(models))
+	}
+}

@@ -1,0 +1,439 @@
+package asp
+
+import (
+	"errors"
+	"sort"
+)
+
+// AnswerSet is a stable model: the set of true ground atoms.
+type AnswerSet struct {
+	atoms map[string]Atom
+}
+
+// NewAnswerSet builds an answer set from atoms.
+func NewAnswerSet(atoms ...Atom) *AnswerSet {
+	as := &AnswerSet{atoms: make(map[string]Atom, len(atoms))}
+	for _, a := range atoms {
+		as.atoms[a.Key()] = a
+	}
+	return as
+}
+
+// Contains reports whether the atom is in the answer set.
+func (as *AnswerSet) Contains(a Atom) bool {
+	_, ok := as.atoms[a.Key()]
+	return ok
+}
+
+// Len returns the number of atoms.
+func (as *AnswerSet) Len() int { return len(as.atoms) }
+
+// Atoms returns the atoms sorted by their textual form.
+func (as *AnswerSet) Atoms() []Atom {
+	out := make([]Atom, 0, len(as.atoms))
+	for _, a := range as.atoms {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// AtomsOf returns the atoms with the given predicate, sorted.
+func (as *AnswerSet) AtomsOf(pred string) []Atom {
+	var out []Atom
+	for _, a := range as.atoms {
+		if a.Predicate == pred {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func (as *AnswerSet) String() string {
+	atoms := as.Atoms()
+	s := "{"
+	for i, a := range atoms {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + "}"
+}
+
+// SolveOptions configures the solver.
+type SolveOptions struct {
+	// MaxModels bounds the number of answer sets returned (0 = all).
+	MaxModels int
+
+	// NaiveBranching branches over every atom instead of only atoms that
+	// occur under negation. Exposed for the ablation benchmark; results
+	// are identical but search is exponentially larger.
+	NaiveBranching bool
+
+	// MaxDecisions aborts the search after this many branching decisions
+	// (0 = unlimited). Guards real-time callers (paper Section III.B).
+	MaxDecisions int64
+}
+
+// ErrSearchBudget is returned when MaxDecisions is exhausted.
+var ErrSearchBudget = errors.New("asp: solver decision budget exhausted")
+
+// Solve grounds and solves a program, returning up to opts.MaxModels
+// answer sets.
+func Solve(p *Program, opts SolveOptions) ([]*AnswerSet, error) {
+	g, err := Ground(p, GroundingOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return SolveGround(g, opts)
+}
+
+// HasAnswerSet reports whether the program has at least one answer set.
+func HasAnswerSet(p *Program) (bool, error) {
+	models, err := Solve(p, SolveOptions{MaxModels: 1})
+	if err != nil {
+		return false, err
+	}
+	return len(models) > 0, nil
+}
+
+// SolveGround enumerates the stable models of a ground program.
+//
+// The search assigns truth values to "choice atoms" — atoms occurring in
+// some negative body (plus every atom under NaiveBranching) — because the
+// reduct, and hence the candidate stable model, is fully determined by
+// that assignment: the remaining atoms take the least-model value. Each
+// total assignment is verified by computing the least model of the reduct
+// and checking (1) the assignment is reproduced and (2) no constraint
+// body is satisfied.
+func SolveGround(g *GroundProgram, opts SolveOptions) ([]*AnswerSet, error) {
+	s := newSolver(g, opts)
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.models, nil
+}
+
+const (
+	vUnknown int8 = 0
+	vTrue    int8 = 1
+	vFalse   int8 = 2
+)
+
+type solver struct {
+	g    *GroundProgram
+	opts SolveOptions
+
+	choice    []int // choice atom ids, branch order
+	isChoice  []bool
+	assign    []int8 // per atom id (only meaningful for choice atoms)
+	models    []*AnswerSet
+	decisions int64
+
+	// rulesByNeg[a] lists rule indices with atom a in NegBody.
+	rulesByNeg [][]int
+	// definers[a] lists rule indices with Head == a.
+	definers [][]int
+
+	// scratch buffers for least-model computation.
+	lmCount []int32
+	lmTrue  []bool
+	lmQueue []int
+
+	// posWatch[a] lists rules having atom a in PosBody; posOccur[ri]
+	// counts multiplicities per atom in rule ri's positive body.
+	posWatch [][]int
+	posOccur []map[int]int
+}
+
+func newSolver(g *GroundProgram, opts SolveOptions) *solver {
+	n := g.NumAtoms()
+	s := &solver{
+		g:          g,
+		opts:       opts,
+		isChoice:   make([]bool, n),
+		assign:     make([]int8, n),
+		rulesByNeg: make([][]int, n),
+		definers:   make([][]int, n),
+		lmCount:    make([]int32, len(g.Rules)),
+		lmTrue:     make([]bool, n),
+	}
+	occurrences := make([]int, n)
+	for ri, r := range g.Rules {
+		for _, a := range r.NegBody {
+			s.rulesByNeg[a] = append(s.rulesByNeg[a], ri)
+			if !s.isChoice[a] {
+				s.isChoice[a] = true
+			}
+			occurrences[a]++
+		}
+		for _, a := range r.PosBody {
+			occurrences[a]++
+		}
+		if r.Head >= 0 {
+			s.definers[r.Head] = append(s.definers[r.Head], ri)
+		}
+	}
+	if opts.NaiveBranching {
+		for a := 0; a < n; a++ {
+			s.isChoice[a] = true
+		}
+	}
+	for a := 0; a < n; a++ {
+		if s.isChoice[a] {
+			s.choice = append(s.choice, a)
+		}
+	}
+	// Branch on the most-constrained atoms first.
+	sort.Slice(s.choice, func(i, j int) bool {
+		return occurrences[s.choice[i]] > occurrences[s.choice[j]]
+	})
+	return s
+}
+
+func (s *solver) run() error {
+	return s.search(0)
+}
+
+func (s *solver) budget() error {
+	s.decisions++
+	if s.opts.MaxDecisions > 0 && s.decisions > s.opts.MaxDecisions {
+		return ErrSearchBudget
+	}
+	return nil
+}
+
+func (s *solver) search(depth int) error {
+	if s.opts.MaxModels > 0 && len(s.models) >= s.opts.MaxModels {
+		return nil
+	}
+	if depth == len(s.choice) {
+		return s.checkLeaf()
+	}
+	if pruned := s.prune(); pruned {
+		return nil
+	}
+	a := s.choice[depth]
+	for _, v := range [2]int8{vFalse, vTrue} {
+		if err := s.budget(); err != nil {
+			return err
+		}
+		s.assign[a] = v
+		if err := s.search(depth + 1); err != nil {
+			s.assign[a] = vUnknown
+			return err
+		}
+	}
+	s.assign[a] = vUnknown
+	return nil
+}
+
+// prune computes cheap under/over approximations of the derivable atoms
+// under the current partial assignment and rejects branches that cannot
+// lead to a stable model.
+//
+//   - under: least model using only rules whose negative atoms are all
+//     assigned false (certain derivations). An under-derived atom assigned
+//     false is a conflict.
+//   - over: least model using rules whose negative atoms are not assigned
+//     true (possible derivations). A choice atom assigned true that is not
+//     over-derivable is a conflict.
+func (s *solver) prune() bool {
+	// The under-approximation is seeded with the atoms already assigned
+	// true: any leaf completing this branch must reproduce them in its
+	// least model, so everything derivable from them (through rules
+	// whose negative bodies are already false) is certain. Seeding is
+	// what lets constraint conflicts between assigned choice atoms
+	// surface immediately (unit-propagation strength on e.g. coloring
+	// programs).
+	under := s.leastModelSeeded(func(r GroundRule) bool {
+		for _, a := range r.NegBody {
+			if s.assign[a] != vFalse {
+				return false
+			}
+		}
+		return true
+	}, true)
+	// NOTE: leastModel reuses a scratch buffer, so all checks against
+	// `under` must complete before `over` is computed.
+	for _, a := range s.choice {
+		if s.assign[a] == vFalse && under[a] {
+			return true
+		}
+	}
+	// A constraint certainly violated: positive body all under-derived,
+	// negative body all assigned false.
+	for _, r := range s.g.Rules {
+		if r.Head >= 0 {
+			continue
+		}
+		violated := true
+		for _, a := range r.PosBody {
+			if !under[a] {
+				violated = false
+				break
+			}
+		}
+		if !violated {
+			continue
+		}
+		for _, a := range r.NegBody {
+			if s.assign[a] != vFalse {
+				violated = false
+				break
+			}
+		}
+		if violated {
+			return true
+		}
+	}
+	over := s.leastModel(func(r GroundRule) bool {
+		for _, a := range r.NegBody {
+			if s.assign[a] == vTrue {
+				return false
+			}
+		}
+		return true
+	})
+	for _, a := range s.choice {
+		if s.assign[a] == vTrue && !over[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// leastModel computes the least model of the definite program formed by
+// the rules selected by keep (negative bodies are ignored once kept),
+// using counter-based propagation. The returned slice is reused across
+// calls; callers must not retain it.
+func (s *solver) leastModel(keep func(GroundRule) bool) []bool {
+	return s.leastModelSeeded(keep, false)
+}
+
+// leastModelSeeded is leastModel optionally seeded with the choice atoms
+// currently assigned true (sound for pruning only; see prune).
+func (s *solver) leastModelSeeded(keep func(GroundRule) bool, seedAssigned bool) []bool {
+	for i := range s.lmTrue {
+		s.lmTrue[i] = false
+	}
+	s.lmQueue = s.lmQueue[:0]
+	if seedAssigned {
+		for _, a := range s.choice {
+			if s.assign[a] == vTrue {
+				s.lmTrue[a] = true
+				s.lmQueue = append(s.lmQueue, a)
+			}
+		}
+	}
+	for ri, r := range s.g.Rules {
+		if r.Head < 0 || !keep(r) {
+			s.lmCount[ri] = -1
+			continue
+		}
+		s.lmCount[ri] = int32(len(r.PosBody))
+		if s.lmCount[ri] == 0 && !s.lmTrue[r.Head] {
+			s.lmTrue[r.Head] = true
+			s.lmQueue = append(s.lmQueue, r.Head)
+		}
+	}
+	// posWatchers built lazily per call would allocate; iterate rules per
+	// derived atom via a prebuilt index instead.
+	if s.posWatch == nil {
+		s.buildPosWatch()
+	}
+	for qi := 0; qi < len(s.lmQueue); qi++ {
+		a := s.lmQueue[qi]
+		for _, ri := range s.posWatch[a] {
+			if s.lmCount[ri] < 0 {
+				continue
+			}
+			s.lmCount[ri] -= int32(s.posOccur[ri][a])
+			if s.lmCount[ri] == 0 {
+				h := s.g.Rules[ri].Head
+				if h >= 0 && !s.lmTrue[h] {
+					s.lmTrue[h] = true
+					s.lmQueue = append(s.lmQueue, h)
+				}
+			}
+		}
+	}
+	return s.lmTrue
+}
+
+func (s *solver) buildPosWatch() {
+	n := s.g.NumAtoms()
+	s.posWatch = make([][]int, n)
+	s.posOccur = make([]map[int]int, len(s.g.Rules))
+	for ri, r := range s.g.Rules {
+		occ := make(map[int]int, len(r.PosBody))
+		for _, a := range r.PosBody {
+			occ[a]++
+		}
+		s.posOccur[ri] = occ
+		for a := range occ {
+			s.posWatch[a] = append(s.posWatch[a], ri)
+		}
+	}
+}
+
+// checkLeaf verifies the total assignment: computes the least model of
+// the reduct, checks the assignment is reproduced, and checks all
+// constraints.
+func (s *solver) checkLeaf() error {
+	lm := s.leastModel(func(r GroundRule) bool {
+		for _, a := range r.NegBody {
+			if s.assign[a] != vFalse {
+				return false
+			}
+		}
+		return true
+	})
+	for _, a := range s.choice {
+		want := s.assign[a] == vTrue
+		if lm[a] != want {
+			return nil
+		}
+	}
+	// Constraints: the body must not be satisfied by the model.
+	for _, r := range s.g.Rules {
+		if r.Head >= 0 {
+			continue
+		}
+		sat := true
+		for _, a := range r.PosBody {
+			if !lm[a] {
+				sat = false
+				break
+			}
+		}
+		if !sat {
+			continue
+		}
+		for _, a := range r.NegBody {
+			if lm[a] {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			return nil // constraint violated
+		}
+	}
+	atoms := make([]Atom, 0, 16)
+	for id, t := range lm {
+		if t && !isInternalAtom(s.g.Atoms[id]) {
+			atoms = append(atoms, s.g.Atoms[id])
+		}
+	}
+	s.models = append(s.models, NewAnswerSet(atoms...))
+	return nil
+}
+
+// isInternalAtom hides atoms introduced by choice-rule compilation.
+func isInternalAtom(a Atom) bool {
+	return len(a.Predicate) > 0 && a.Predicate[0] == '_' &&
+		len(a.Predicate) > 8 && a.Predicate[:8] == "_choice_"
+}

@@ -1,0 +1,348 @@
+// Package asp implements a self-contained Answer Set Programming system:
+// an abstract syntax for the language subset used by the AGENP paper
+// (normal rules, constraints and choice rules with arithmetic and
+// comparison built-ins), a parser, a dependency-ordered semi-naive
+// grounder, and a stable-model solver.
+//
+// The package replaces the paper's dependency on the clingo system. Any
+// program expressible in the paper's subset ("normal rules and
+// constraints", Section II.A) is grounded and solved under the standard
+// stable-model semantics.
+package asp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Term is a first-order term: a constant symbol, an integer, a variable,
+// a compound term, or an arithmetic expression to be evaluated during
+// grounding.
+type Term interface {
+	fmt.Stringer
+
+	// Ground reports whether the term contains no variables.
+	Ground() bool
+
+	// collectVars appends the names of variables occurring in the term.
+	collectVars(vars map[string]struct{})
+
+	// substitute applies a binding to the term.
+	substitute(b Binding) Term
+
+	// key returns a canonical encoding used for hashing and equality of
+	// ground terms.
+	key(sb *strings.Builder)
+}
+
+// Constant is a symbolic constant, written as a lowercase identifier or a
+// double-quoted string.
+type Constant struct {
+	Name string
+	// Quoted marks constants that must be rendered with double quotes
+	// (e.g. terminal tokens of a grammar embedded in ASP programs).
+	Quoted bool
+}
+
+// Integer is an integer constant.
+type Integer struct {
+	Value int
+}
+
+// Variable is a first-order variable, written with a leading uppercase
+// letter or underscore.
+type Variable struct {
+	Name string
+}
+
+// Compound is a function term f(t1, ..., tn) with n >= 1.
+type Compound struct {
+	Functor string
+	Args    []Term
+}
+
+// ArithOp enumerates the arithmetic operators usable in terms.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "\\"
+	default:
+		return "?"
+	}
+}
+
+// Arith is an arithmetic expression term (L op R). It is evaluated during
+// grounding; a ground program never contains Arith terms.
+type Arith struct {
+	Op   ArithOp
+	L, R Term
+}
+
+var (
+	_ Term = Constant{}
+	_ Term = Integer{}
+	_ Term = Variable{}
+	_ Term = Compound{}
+	_ Term = Arith{}
+)
+
+func (c Constant) String() string {
+	if c.Quoted {
+		return quoteASP(c.Name)
+	}
+	return c.Name
+}
+
+// quoteASP renders a quoted constant exactly as the lexer reads it: only
+// '"' and '\\' are escaped, every other byte (including control
+// characters) passes through raw. Using Go-style \xNN escapes here would
+// break print/re-parse stability, since the ASP lexer treats a
+// backslash as "take the next byte literally".
+func quoteASP(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+func (c Constant) Ground() bool                    { return true }
+func (c Constant) collectVars(map[string]struct{}) {}
+func (c Constant) substitute(Binding) Term         { return c }
+func (c Constant) key(sb *strings.Builder)         { sb.WriteByte('c'); sb.WriteString(c.Name) }
+
+func (i Integer) String() string                  { return strconv.Itoa(i.Value) }
+func (i Integer) Ground() bool                    { return true }
+func (i Integer) collectVars(map[string]struct{}) {}
+func (i Integer) substitute(Binding) Term         { return i }
+func (i Integer) key(sb *strings.Builder)         { sb.WriteByte('i'); sb.WriteString(strconv.Itoa(i.Value)) }
+
+func (v Variable) String() string                       { return v.Name }
+func (v Variable) Ground() bool                         { return false }
+func (v Variable) collectVars(vars map[string]struct{}) { vars[v.Name] = struct{}{} }
+func (v Variable) substitute(b Binding) Term {
+	if t, ok := b[v.Name]; ok {
+		return t
+	}
+	return v
+}
+func (v Variable) key(sb *strings.Builder) { sb.WriteByte('v'); sb.WriteString(v.Name) }
+
+func (c Compound) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Functor + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (c Compound) Ground() bool {
+	for _, a := range c.Args {
+		if !a.Ground() {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Compound) collectVars(vars map[string]struct{}) {
+	for _, a := range c.Args {
+		a.collectVars(vars)
+	}
+}
+
+func (c Compound) substitute(b Binding) Term {
+	args := make([]Term, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.substitute(b)
+	}
+	return Compound{Functor: c.Functor, Args: args}
+}
+
+func (c Compound) key(sb *strings.Builder) {
+	sb.WriteByte('f')
+	sb.WriteString(c.Functor)
+	sb.WriteByte('(')
+	for _, a := range c.Args {
+		a.key(sb)
+		sb.WriteByte(',')
+	}
+	sb.WriteByte(')')
+}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+func (a Arith) Ground() bool { return a.L.Ground() && a.R.Ground() }
+
+func (a Arith) collectVars(vars map[string]struct{}) {
+	a.L.collectVars(vars)
+	a.R.collectVars(vars)
+}
+
+func (a Arith) substitute(b Binding) Term {
+	return Arith{Op: a.Op, L: a.L.substitute(b), R: a.R.substitute(b)}
+}
+
+func (a Arith) key(sb *strings.Builder) {
+	sb.WriteByte('a')
+	sb.WriteString(a.Op.String())
+	a.L.key(sb)
+	a.R.key(sb)
+}
+
+// Binding maps variable names to terms.
+type Binding map[string]Term
+
+// clone returns a copy of the binding.
+func (b Binding) clone() Binding {
+	nb := make(Binding, len(b))
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// EvalArith evaluates a ground term to an integer or leaves it unchanged.
+// It returns an error for arithmetic over non-integers or division by
+// zero.
+func EvalArith(t Term) (Term, error) {
+	a, ok := t.(Arith)
+	if !ok {
+		if c, ok := t.(Compound); ok {
+			args := make([]Term, len(c.Args))
+			for i, x := range c.Args {
+				ev, err := EvalArith(x)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = ev
+			}
+			return Compound{Functor: c.Functor, Args: args}, nil
+		}
+		return t, nil
+	}
+	lt, err := EvalArith(a.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := EvalArith(a.R)
+	if err != nil {
+		return nil, err
+	}
+	li, lok := lt.(Integer)
+	ri, rok := rt.(Integer)
+	if !lok || !rok {
+		return nil, fmt.Errorf("arithmetic over non-integer terms %s %s %s", lt, a.Op, rt)
+	}
+	switch a.Op {
+	case OpAdd:
+		return Integer{Value: li.Value + ri.Value}, nil
+	case OpSub:
+		return Integer{Value: li.Value - ri.Value}, nil
+	case OpMul:
+		return Integer{Value: li.Value * ri.Value}, nil
+	case OpDiv:
+		if ri.Value == 0 {
+			return nil, fmt.Errorf("division by zero in %s", a)
+		}
+		return Integer{Value: li.Value / ri.Value}, nil
+	case OpMod:
+		if ri.Value == 0 {
+			return nil, fmt.Errorf("modulo by zero in %s", a)
+		}
+		return Integer{Value: li.Value % ri.Value}, nil
+	default:
+		return nil, fmt.Errorf("unknown arithmetic operator in %s", a)
+	}
+}
+
+// TermKey returns a canonical string key for a term, usable as a map key.
+func TermKey(t Term) string {
+	var sb strings.Builder
+	t.key(&sb)
+	return sb.String()
+}
+
+// TermsEqual reports whether two terms are structurally identical.
+func TermsEqual(a, b Term) bool { return TermKey(a) == TermKey(b) }
+
+// CompareTerms imposes a total order on ground terms: integers first (by
+// value), then constants (lexicographic), then compound terms.
+func CompareTerms(a, b Term) int {
+	ra, rb := termRank(a), termRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch ta := a.(type) {
+	case Integer:
+		tb := b.(Integer)
+		return ta.Value - tb.Value
+	case Constant:
+		tb := b.(Constant)
+		return strings.Compare(ta.Name, tb.Name)
+	case Compound:
+		tb := b.(Compound)
+		if c := strings.Compare(ta.Functor, tb.Functor); c != 0 {
+			return c
+		}
+		if c := len(ta.Args) - len(tb.Args); c != 0 {
+			return c
+		}
+		for i := range ta.Args {
+			if c := CompareTerms(ta.Args[i], tb.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	default:
+		return strings.Compare(TermKey(a), TermKey(b))
+	}
+}
+
+func termRank(t Term) int {
+	switch t.(type) {
+	case Integer:
+		return 0
+	case Constant:
+		return 1
+	case Compound:
+		return 2
+	case Variable:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// SortTerms sorts terms in place by CompareTerms.
+func SortTerms(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return CompareTerms(ts[i], ts[j]) < 0 })
+}

@@ -1,0 +1,285 @@
+package cfg
+
+import (
+	"fmt"
+)
+
+// ParseOptions configures parse-tree extraction.
+type ParseOptions struct {
+	// MaxTrees caps the number of parse trees returned per string
+	// (0 = DefaultMaxTrees). Ambiguous grammars can have exponentially
+	// many trees; callers typically only need a few.
+	MaxTrees int
+}
+
+// DefaultMaxTrees is the default cap on parse trees per string.
+const DefaultMaxTrees = 64
+
+// Accepts reports whether the grammar derives the token string.
+func (g *Grammar) Accepts(tokens []string) bool {
+	c := g.buildChart(tokens)
+	return c.derivable(g.Start, 0, len(tokens))
+}
+
+// ParseAll returns parse trees of the token string, up to the cap. The
+// trees use the grammar's original productions, preserving production IDs
+// (required by the ASG layer). Unit-cycle pumping derivations (a
+// nonterminal deriving itself over the same span) are excluded, so the
+// returned set contains all minimal trees.
+func (g *Grammar) ParseAll(tokens []string, opts ParseOptions) []*Tree {
+	maxTrees := opts.MaxTrees
+	if maxTrees <= 0 {
+		maxTrees = DefaultMaxTrees
+	}
+	c := g.buildChart(tokens)
+	if !c.derivable(g.Start, 0, len(tokens)) {
+		return nil
+	}
+	ex := &extractor{
+		g:        g,
+		chart:    c,
+		tokens:   tokens,
+		maxTrees: maxTrees,
+		memoBusy: make(map[spanKey]bool),
+	}
+	return ex.trees(g.Start, 0, len(tokens), maxTrees)
+}
+
+// Parse returns one parse tree, or an error if the string is not in the
+// language.
+func (g *Grammar) Parse(tokens []string) (*Tree, error) {
+	trees := g.ParseAll(tokens, ParseOptions{MaxTrees: 1})
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("cfg: string %v not in language of grammar (start %s)", tokens, g.Start)
+	}
+	return trees[0], nil
+}
+
+// --- Earley recognition ---
+
+type earleyItem struct {
+	prod   int // production index
+	dot    int // position in RHS
+	origin int // start position of the derivation
+}
+
+type chart struct {
+	// complete[lhs] -> map from origin -> set of end positions (the spans
+	// over which lhs completes), with the producing production ids.
+	complete map[string]map[int]map[int][]int // lhs -> origin -> end -> prod ids
+}
+
+func (c *chart) derivable(lhs string, i, j int) bool {
+	m, ok := c.complete[lhs]
+	if !ok {
+		return false
+	}
+	ends, ok := m[i]
+	if !ok {
+		return false
+	}
+	_, ok = ends[j]
+	return ok
+}
+
+func (c *chart) prodsFor(lhs string, i, j int) []int {
+	m, ok := c.complete[lhs]
+	if !ok {
+		return nil
+	}
+	ends, ok := m[i]
+	if !ok {
+		return nil
+	}
+	return ends[j]
+}
+
+func (c *chart) record(lhs string, i, j, prod int) bool {
+	m, ok := c.complete[lhs]
+	if !ok {
+		m = make(map[int]map[int][]int)
+		c.complete[lhs] = m
+	}
+	ends, ok := m[i]
+	if !ok {
+		ends = make(map[int][]int)
+		m[i] = ends
+	}
+	for _, p := range ends[j] {
+		if p == prod {
+			return false
+		}
+	}
+	ends[j] = append(ends[j], prod)
+	return true
+}
+
+// buildChart runs the Earley algorithm and returns the completion chart.
+func (g *Grammar) buildChart(tokens []string) *chart {
+	n := len(tokens)
+	c := &chart{complete: make(map[string]map[int]map[int][]int)}
+
+	sets := make([][]earleyItem, n+1)
+	inSet := make([]map[earleyItem]bool, n+1)
+	for i := range inSet {
+		inSet[i] = make(map[earleyItem]bool)
+	}
+	add := func(pos int, it earleyItem) bool {
+		if inSet[pos][it] {
+			return false
+		}
+		inSet[pos][it] = true
+		sets[pos] = append(sets[pos], it)
+		return true
+	}
+
+	for _, id := range g.byLhs[g.Start] {
+		add(0, earleyItem{prod: id, origin: 0})
+	}
+
+	for pos := 0; pos <= n; pos++ {
+		// Worklist loop: predictions and completions can cascade,
+		// including through epsilon productions.
+		for idx := 0; idx < len(sets[pos]); idx++ {
+			it := sets[pos][idx]
+			p := g.Productions[it.prod]
+			if it.dot == len(p.Rhs) {
+				// Completion.
+				if c.record(p.Lhs, it.origin, pos, it.prod) {
+					// Advance every item in the origin set waiting on
+					// p.Lhs. (Re-scan is fine: item sets are small.)
+					for _, wait := range sets[it.origin] {
+						wp := g.Productions[wait.prod]
+						if wait.dot < len(wp.Rhs) && !wp.Rhs[wait.dot].Terminal && wp.Rhs[wait.dot].Name == p.Lhs {
+							add(pos, earleyItem{prod: wait.prod, dot: wait.dot + 1, origin: wait.origin})
+						}
+					}
+				} else {
+					// Already recorded, but this item instance may still
+					// need to advance waiters discovered since; re-run
+					// the waiter scan (idempotent thanks to add()).
+					for _, wait := range sets[it.origin] {
+						wp := g.Productions[wait.prod]
+						if wait.dot < len(wp.Rhs) && !wp.Rhs[wait.dot].Terminal && wp.Rhs[wait.dot].Name == p.Lhs {
+							add(pos, earleyItem{prod: wait.prod, dot: wait.dot + 1, origin: wait.origin})
+						}
+					}
+				}
+				continue
+			}
+			next := p.Rhs[it.dot]
+			if next.Terminal {
+				if pos < n && tokens[pos] == next.Name {
+					add(pos+1, earleyItem{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+				}
+				continue
+			}
+			// Prediction.
+			for _, id := range g.byLhs[next.Name] {
+				add(pos, earleyItem{prod: id, origin: pos})
+			}
+			// Magical completion for already-completed nullable/complete
+			// spans starting here (handles epsilon and completions that
+			// happened earlier in this set's worklist).
+			for _, pid := range c.prodsFor(next.Name, pos, pos) {
+				_ = pid
+				add(pos, earleyItem{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+			}
+		}
+	}
+	return c
+}
+
+// --- tree extraction ---
+
+type spanKey struct {
+	sym  string
+	i, j int
+}
+
+type extractor struct {
+	g        *Grammar
+	chart    *chart
+	tokens   []string
+	maxTrees int
+	memoBusy map[spanKey]bool
+}
+
+// trees enumerates up to limit parse trees for nonterminal sym over span
+// [i, j). Spans currently being expanded are skipped to break derivation
+// cycles (unit cycles deriving the same span).
+func (e *extractor) trees(sym string, i, j, limit int) []*Tree {
+	key := spanKey{sym: sym, i: i, j: j}
+	if e.memoBusy[key] {
+		return nil
+	}
+	e.memoBusy[key] = true
+	defer func() { e.memoBusy[key] = false }()
+
+	var out []*Tree
+	for _, prodID := range e.chart.prodsFor(sym, i, j) {
+		p := e.g.Productions[prodID]
+		for _, children := range e.split(p.Rhs, i, j, limit-len(out)) {
+			out = append(out, Node(p, children...))
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// split enumerates ways to derive rhs over [i, j): lists of child trees.
+func (e *extractor) split(rhs []Symbol, i, j, limit int) [][]*Tree {
+	if limit <= 0 {
+		return nil
+	}
+	if len(rhs) == 0 {
+		if i == j {
+			return [][]*Tree{{}}
+		}
+		return nil
+	}
+	var out [][]*Tree
+	head, rest := rhs[0], rhs[1:]
+	if head.Terminal {
+		if i < j && e.tokens[i] == head.Name {
+			for _, tail := range e.split(rest, i+1, j, limit) {
+				out = append(out, append([]*Tree{Leaf(head.Name)}, tail...))
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+		return out
+	}
+	// Nonterminal head: try every split point where head completes.
+	ends, ok := e.chart.complete[head.Name]
+	if !ok {
+		return nil
+	}
+	spans, ok := ends[i]
+	if !ok {
+		return nil
+	}
+	// Deterministic order over split points.
+	for mid := i; mid <= j; mid++ {
+		if _, ok := spans[mid]; !ok {
+			continue
+		}
+		headTrees := e.trees(head.Name, i, mid, limit)
+		if len(headTrees) == 0 {
+			continue
+		}
+		tails := e.split(rest, mid, j, limit)
+		for _, ht := range headTrees {
+			for _, tail := range tails {
+				out = append(out, append([]*Tree{ht}, tail...))
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package cfg
+
+import (
+	"testing"
+)
+
+// Epsilon-heavy grammars stress the Earley same-set completion logic
+// (nullable prediction/completion cascades).
+
+func TestNullableChain(t *testing.T) {
+	g := mustGrammar(t, `
+s -> a b c
+a -> ε | "x"
+b -> ε | "y"
+c -> ε | "z"
+`)
+	tests := []struct {
+		give []string
+		want bool
+	}{
+		{give: nil, want: true},
+		{give: []string{"x"}, want: true},
+		{give: []string{"y"}, want: true},
+		{give: []string{"z"}, want: true},
+		{give: []string{"x", "y"}, want: true},
+		{give: []string{"x", "z"}, want: true},
+		{give: []string{"y", "z"}, want: true},
+		{give: []string{"x", "y", "z"}, want: true},
+		{give: []string{"y", "x"}, want: false},
+		{give: []string{"z", "x"}, want: false},
+		{give: []string{"x", "x"}, want: false},
+	}
+	for _, tt := range tests {
+		if got := g.Accepts(tt.give); got != tt.want {
+			t.Errorf("Accepts(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestNullableIndirect(t *testing.T) {
+	// Nullability through a chain of unit productions.
+	g := mustGrammar(t, `
+s -> a "end"
+a -> b
+b -> c
+c -> ε
+`)
+	if !g.Accepts([]string{"end"}) {
+		t.Error("indirectly nullable prefix rejected")
+	}
+	tree, err := g.Parse([]string{"end"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parse tree threads through a, b, c even though they derive ε.
+	depth := tree.Depth()
+	if depth < 4 {
+		t.Errorf("tree depth = %d, want the full nullable chain\n%s", depth, tree.Pretty())
+	}
+}
+
+func TestNullableBetweenTerminals(t *testing.T) {
+	g := mustGrammar(t, `
+s -> "a" gap "b"
+gap -> ε | "," gap
+`)
+	tests := []struct {
+		give []string
+		want bool
+	}{
+		{give: []string{"a", "b"}, want: true},
+		{give: []string{"a", ",", "b"}, want: true},
+		{give: []string{"a", ",", ",", ",", "b"}, want: true},
+		{give: []string{"a", ",", ","}, want: false},
+	}
+	for _, tt := range tests {
+		if got := g.Accepts(tt.give); got != tt.want {
+			t.Errorf("Accepts(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAmbiguousNullableTrees(t *testing.T) {
+	// Two ways to derive the empty prefix: via a or via b.
+	g := mustGrammar(t, `
+s -> a "t" | b "t"
+a -> ε
+b -> ε
+`)
+	trees := g.ParseAll([]string{"t"}, ParseOptions{})
+	if len(trees) != 2 {
+		t.Errorf("got %d trees, want 2 (one per nullable route)", len(trees))
+	}
+}
+
+func TestEpsilonOnlyGrammar(t *testing.T) {
+	g := mustGrammar(t, "s -> ε\n")
+	if !g.Accepts(nil) {
+		t.Error("epsilon grammar rejects empty string")
+	}
+	if g.Accepts([]string{"x"}) {
+		t.Error("epsilon grammar accepts non-empty string")
+	}
+	strs := g.GenerateStrings(GenerateOptions{MaxNodes: 3})
+	if len(strs) != 1 || strs[0] != "" {
+		t.Errorf("generated %v", strs)
+	}
+}

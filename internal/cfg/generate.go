@@ -1,0 +1,125 @@
+package cfg
+
+// GenerateOptions bounds language enumeration.
+type GenerateOptions struct {
+	// MaxNodes bounds the size (node count) of generated derivation
+	// trees. Must be positive.
+	MaxNodes int
+
+	// MaxTrees caps the total number of trees generated (0 = unlimited
+	// within MaxNodes).
+	MaxTrees int
+}
+
+// Generate enumerates derivation trees of the grammar's start symbol with
+// at most opts.MaxNodes nodes, invoking yield for each. Enumeration is
+// deterministic (productions in ID order, smaller subtrees first) and
+// stops early when yield returns false or MaxTrees is reached.
+//
+// The ASG layer filters this enumeration through ASP annotations to
+// produce the policies a generative policy model admits in a context.
+func (g *Grammar) Generate(opts GenerateOptions, yield func(*Tree) bool) {
+	if opts.MaxNodes <= 0 {
+		return
+	}
+	gen := &generator{g: g, opts: opts, yield: yield}
+	gen.symbol(NT(g.Start), opts.MaxNodes, func(t *Tree) bool {
+		gen.count++
+		if !yield(t) {
+			gen.stopped = true
+			return false
+		}
+		if opts.MaxTrees > 0 && gen.count >= opts.MaxTrees {
+			gen.stopped = true
+			return false
+		}
+		return true
+	})
+}
+
+// GenerateStrings collects the derived token strings (joined by spaces)
+// of Generate, deduplicated, in generation order.
+func (g *Grammar) GenerateStrings(opts GenerateOptions) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	g.Generate(opts, func(t *Tree) bool {
+		s := t.Text()
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+type generator struct {
+	g       *Grammar
+	opts    GenerateOptions
+	yield   func(*Tree) bool
+	count   int
+	stopped bool
+}
+
+// symbol enumerates trees for sym with at most budget nodes.
+func (gen *generator) symbol(sym Symbol, budget int, emit func(*Tree) bool) bool {
+	if gen.stopped || budget < 1 {
+		return true
+	}
+	if sym.Terminal {
+		return emit(Leaf(sym.Name))
+	}
+	for _, id := range gen.g.byLhs[sym.Name] {
+		p := gen.g.Productions[id]
+		if !gen.sequence(p.Rhs, budget-1, func(children []*Tree) bool {
+			kids := make([]*Tree, len(children))
+			copy(kids, children)
+			return emit(Node(p, kids...))
+		}) {
+			return false
+		}
+		if gen.stopped {
+			return true
+		}
+	}
+	return true
+}
+
+// sequence enumerates lists of trees for the symbols with total node
+// budget.
+func (gen *generator) sequence(syms []Symbol, budget int, emit func([]*Tree) bool) bool {
+	if gen.stopped {
+		return true
+	}
+	if len(syms) == 0 {
+		return emit(nil)
+	}
+	if budget < minNodes(syms) {
+		return true
+	}
+	head, rest := syms[0], syms[1:]
+	restMin := minNodes(rest)
+	ok := true
+	gen.symbolBounded(head, budget-restMin, func(t *Tree) bool {
+		used := t.Size()
+		cont := gen.sequence(rest, budget-used, func(tail []*Tree) bool {
+			return emit(append([]*Tree{t}, tail...))
+		})
+		if !cont {
+			ok = false
+		}
+		return cont && !gen.stopped
+	})
+	return ok
+}
+
+// symbolBounded is symbol() with emit allowed to stop enumeration.
+func (gen *generator) symbolBounded(sym Symbol, budget int, emit func(*Tree) bool) {
+	gen.symbol(sym, budget, emit)
+}
+
+// minNodes returns a lower bound on the node count needed to derive the
+// symbols (1 per symbol; cheap but sound).
+func minNodes(syms []Symbol) int {
+	return len(syms)
+}

@@ -1,0 +1,265 @@
+// Package cfg implements context-free grammars: a textual grammar
+// format, an Earley parser that enumerates all parse trees of a token
+// string, and a bounded generator that enumerates the language of a
+// grammar.
+//
+// Grammars here underpin the paper's Answer Set Grammars (Section II):
+// they fix the syntax of a policy language, while ASP annotations
+// (package asg) restrict which syntactically valid policies are
+// acceptable in a context. Parse-tree nodes expose their trace — the
+// child-index path from the root — which the ASG layer uses to localize
+// ASP programs (Definition 2 of the paper).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is a grammar symbol: a terminal token or a nonterminal name.
+type Symbol struct {
+	Name     string
+	Terminal bool
+}
+
+// T builds a terminal symbol.
+func T(name string) Symbol { return Symbol{Name: name, Terminal: true} }
+
+// NT builds a nonterminal symbol.
+func NT(name string) Symbol { return Symbol{Name: name} }
+
+func (s Symbol) String() string {
+	if s.Terminal {
+		return fmt.Sprintf("%q", s.Name)
+	}
+	return s.Name
+}
+
+// Production is a rule Lhs -> Rhs[0] ... Rhs[k-1]. An empty Rhs denotes
+// an epsilon production. ID is the index of the production within its
+// grammar and identifies the production in ASG hypothesis spaces.
+type Production struct {
+	ID  int
+	Lhs string
+	Rhs []Symbol
+}
+
+func (p Production) String() string {
+	if len(p.Rhs) == 0 {
+		return p.Lhs + " -> ε"
+	}
+	parts := make([]string, len(p.Rhs))
+	for i, s := range p.Rhs {
+		parts[i] = s.String()
+	}
+	return p.Lhs + " -> " + strings.Join(parts, " ")
+}
+
+// Grammar is a context-free grammar.
+type Grammar struct {
+	Start       string
+	Productions []Production
+
+	byLhs map[string][]int // production ids by left-hand side
+}
+
+// New builds a grammar from a start symbol and productions, assigning
+// production IDs in order. It validates that the start symbol and every
+// nonterminal on a right-hand side has at least one production.
+func New(start string, prods []Production) (*Grammar, error) {
+	g := &Grammar{Start: start, byLhs: make(map[string][]int)}
+	for i, p := range prods {
+		p.ID = i
+		g.Productions = append(g.Productions, p)
+		g.byLhs[p.Lhs] = append(g.byLhs[p.Lhs], i)
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *Grammar) validate() error {
+	if _, ok := g.byLhs[g.Start]; !ok {
+		return fmt.Errorf("start symbol %q has no productions", g.Start)
+	}
+	for _, p := range g.Productions {
+		for _, s := range p.Rhs {
+			if s.Terminal {
+				continue
+			}
+			if _, ok := g.byLhs[s.Name]; !ok {
+				return fmt.Errorf("nonterminal %q used in %q has no productions", s.Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// ProductionsFor returns the productions whose left-hand side is lhs.
+func (g *Grammar) ProductionsFor(lhs string) []Production {
+	ids := g.byLhs[lhs]
+	out := make([]Production, len(ids))
+	for i, id := range ids {
+		out[i] = g.Productions[id]
+	}
+	return out
+}
+
+// Nonterminals returns the sorted set of nonterminal names.
+func (g *Grammar) Nonterminals() []string {
+	out := make([]string, 0, len(g.byLhs))
+	for n := range g.byLhs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Terminals returns the sorted set of terminal tokens.
+func (g *Grammar) Terminals() []string {
+	set := make(map[string]struct{})
+	for _, p := range g.Productions {
+		for _, s := range p.Rhs {
+			if s.Terminal {
+				set[s.Name] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *Grammar) String() string {
+	var sb strings.Builder
+	for _, p := range g.Productions {
+		sb.WriteString(p.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseGrammar parses the textual grammar format:
+//
+//	start      -> policy_list
+//	policy_list -> policy | policy policy_list
+//	policy     -> "permit" "(" subject ")"
+//	subject    -> "alice" | "bob"
+//	empty      -> ε
+//
+// One rule per '\n'-separated line (blank lines and '#' comments are
+// skipped); alternatives separated by '|'; terminals are double-quoted;
+// an empty alternative (or the token ε) denotes epsilon. The first rule's
+// left-hand side is the start symbol.
+func ParseGrammar(src string) (*Grammar, error) {
+	var (
+		prods []Production
+		start string
+	)
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("line %d: missing '->' in %q", lineNo+1, line)
+		}
+		lhsName := strings.TrimSpace(lhs)
+		if lhsName == "" || strings.ContainsAny(lhsName, " \t\"") {
+			return nil, fmt.Errorf("line %d: invalid left-hand side %q", lineNo+1, lhsName)
+		}
+		if start == "" {
+			start = lhsName
+		}
+		for _, alt := range strings.Split(rhs, "|") {
+			syms, err := parseSymbols(alt)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			prods = append(prods, Production{Lhs: lhsName, Rhs: syms})
+		}
+	}
+	if start == "" {
+		return nil, fmt.Errorf("empty grammar")
+	}
+	return New(start, prods)
+}
+
+func parseSymbols(s string) ([]Symbol, error) {
+	var syms []Symbol
+	i := 0
+	n := len(s)
+	for i < n {
+		switch {
+		case s[i] == ' ' || s[i] == '\t':
+			i++
+		case s[i] == '"':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if s[j] == '\\' && j+1 < n {
+					sb.WriteByte(s[j+1])
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					closed = true
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated terminal in %q", s)
+			}
+			syms = append(syms, T(sb.String()))
+			i = j + 1
+		default:
+			j := i
+			for j < n && s[j] != ' ' && s[j] != '\t' && s[j] != '"' {
+				j++
+			}
+			word := s[i:j]
+			if word != "ε" && word != "epsilon" {
+				syms = append(syms, NT(word))
+			}
+			i = j
+		}
+	}
+	return syms, nil
+}
+
+// Tokenize splits a policy string into tokens: maximal runs of
+// non-separator characters, with the punctuation characters ( ) , ; = < >
+// emitted as single-character tokens. It is the default lexer for policy
+// languages whose terminals are words and punctuation.
+func Tokenize(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch r {
+		case ' ', '\t', '\n', '\r':
+			flush()
+		case '(', ')', ',', ';', '=', '<', '>':
+			flush()
+			toks = append(toks, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}

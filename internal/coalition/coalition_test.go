@@ -1,0 +1,293 @@
+package coalition
+
+import (
+	"testing"
+	"time"
+
+	"agenp/internal/agenp"
+	"agenp/internal/asp"
+	"agenp/internal/core"
+	"agenp/internal/policy"
+)
+
+const drivingGrammar = `
+policy -> "accept" task
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+`
+
+// rainConstrained builds a grammar whose accept-production carries the
+// rain constraint already (a "learned" model).
+const rainConstrained = `
+policy -> "accept" task { :- task(overtake)@2, weather(rain). }
+policy -> "reject" task
+task -> "overtake" { task(overtake). }
+task -> "park" { task(park). }
+`
+
+func newAMS(t *testing.T, name, grammar, ctxSrc string) *agenp.AMS {
+	t.Helper()
+	model, err := core.ParseGPM(grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := asp.Parse(ctxSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ams, err := agenp.New(agenp.Config{
+		Name:        name,
+		Model:       model,
+		Context:     &agenp.StaticContext{Program: ctx},
+		Interpreter: &agenp.TokenInterpreter{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ams
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestBusSharingBetweenParties(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	b := newAMS(t, "b", drivingGrammar, "weather(clear).")
+	if _, _, err := a.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	// b generates nothing yet; it will adopt a's policies.
+	pa, err := Join(a, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Leave()
+	pb, err := Join(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Leave()
+
+	if err := pa.SharePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "b to import 4 policies", func() bool {
+		imported, _ := pb.ImportStats()
+		return imported == 4
+	})
+	if b.Repository().Len() != 4 {
+		t.Errorf("b repository = %d", b.Repository().Len())
+	}
+	p, ok := b.Repository().Get("accept_overtake")
+	if !ok || p.Source != policy.SourceShared || p.Origin != "a" {
+		t.Errorf("shared policy = %+v, %v", p, ok)
+	}
+	// a did not receive its own publications.
+	importedA, _ := pa.ImportStats()
+	if importedA != 0 {
+		t.Errorf("a imported its own policies: %d", importedA)
+	}
+}
+
+func TestPCPRejectsSharedPoliciesInvalidLocally(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+
+	// a operates in clear weather with the plain grammar; b has the
+	// rain-constrained model and rainy weather, so accept_overtake must
+	// be rejected by b's PCP while other policies are adopted.
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	b := newAMS(t, "b", rainConstrained, "weather(rain).")
+	if _, _, err := a.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Join(a, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Leave()
+	pb, err := Join(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Leave()
+
+	if err := pa.SharePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "b to process 4 policies", func() bool {
+		imported, rejected := pb.ImportStats()
+		return imported+rejected == 4
+	})
+	imported, rejected := pb.ImportStats()
+	if imported != 3 || rejected != 1 {
+		t.Errorf("imported=%d rejected=%d, want 3/1", imported, rejected)
+	}
+	if _, ok := b.Repository().Get("accept_overtake"); ok {
+		t.Error("accept_overtake adopted despite rain constraint")
+	}
+}
+
+func TestSharePoliciesSkipsSharedOnes(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	a.Repository().Put(policy.Policy{ID: "x", Tokens: []string{"accept", "park"}, Source: policy.SourceShared, Origin: "c"})
+	a.Repository().Put(policy.Policy{ID: "y", Tokens: []string{"reject", "park"}, Source: policy.SourceGenerated})
+
+	b := newAMS(t, "b", drivingGrammar, "weather(clear).")
+	pa, _ := Join(a, bus)
+	defer pa.Leave()
+	pb, _ := Join(b, bus)
+	defer pb.Leave()
+	if err := pa.SharePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "b to import 1", func() bool {
+		imported, _ := pb.ImportStats()
+		return imported == 1
+	})
+	if _, ok := b.Repository().Get("x"); ok {
+		t.Error("re-broadcast of shared policy")
+	}
+}
+
+func TestBusClosedErrors(t *testing.T) {
+	bus := NewBus()
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Publish(SharedPolicy{From: "a"}); err == nil {
+		t.Error("publish on closed bus should fail")
+	}
+	if _, _, err := bus.Subscribe("a", 1); err == nil {
+		t.Error("subscribe on closed bus should fail")
+	}
+	if err := bus.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+
+	ta, err := DialTCP(hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := DialTCP(hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	b := newAMS(t, "b", drivingGrammar, "weather(clear).")
+	if _, _, err := a.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Join(a, ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Leave()
+	pb, err := Join(b, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Leave()
+
+	if err := pa.SharePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "b to import 4 policies over TCP", func() bool {
+		imported, _ := pb.ImportStats()
+		return imported == 4
+	})
+	if b.Repository().Len() != 4 {
+		t.Errorf("b repository = %d", b.Repository().Len())
+	}
+}
+
+func TestTCPThreeParties(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+
+	names := []string{"a", "b", "c"}
+	parties := make([]*Party, len(names))
+	amss := make([]*agenp.AMS, len(names))
+	for i, n := range names {
+		tr, err := DialTCP(hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = tr.Close() }()
+		amss[i] = newAMS(t, n, drivingGrammar, "weather(clear).")
+		parties[i], err = Join(amss[i], tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer parties[i].Leave()
+	}
+	if _, _, err := amss[0].Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parties[0].SharePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		i := i
+		waitFor(t, "import at party "+names[i], func() bool {
+			imported, _ := parties[i].ImportStats()
+			return imported == 4
+		})
+	}
+}
+
+func TestTCPPublishAfterHubClose(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DialTCP(hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Publishing into a closed hub eventually errors (TCP buffering may
+	// delay the first failure).
+	deadline := time.Now().Add(2 * time.Second)
+	var pubErr error
+	for time.Now().Before(deadline) {
+		if pubErr = tr.Publish(SharedPolicy{From: "a", ID: "x"}); pubErr != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if pubErr == nil {
+		t.Error("publish kept succeeding after hub close")
+	}
+}

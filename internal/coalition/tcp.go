@@ -1,0 +1,219 @@
+package coalition
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPHub is a hub-and-spoke TCP transport: one party (or a dedicated
+// process) runs the hub, every party connects a TCPTransport to it, and
+// the hub relays each published policy to every other connection. Wire
+// format: one JSON-encoded SharedPolicy per line.
+type TCPHub struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPHub starts a hub listening on addr (use "127.0.0.1:0" to pick a
+// free port; see Addr).
+func NewTCPHub(addr string) (*TCPHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coalition: hub listen: %w", err)
+	}
+	h := &TCPHub{ln: ln, conns: make(map[net.Conn]struct{})}
+	h.wg.Add(1)
+	go h.accept()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+func (h *TCPHub) accept() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		h.conns[conn] = struct{}{}
+		h.mu.Unlock()
+		h.wg.Add(1)
+		go h.serve(conn)
+	}
+}
+
+// serve relays every line from one connection to all others.
+func (h *TCPHub) serve(conn net.Conn) {
+	defer h.wg.Done()
+	defer func() {
+		h.mu.Lock()
+		delete(h.conns, conn)
+		h.mu.Unlock()
+		_ = conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		line := append([]byte{}, scanner.Bytes()...)
+		line = append(line, '\n')
+		h.mu.Lock()
+		for other := range h.conns {
+			if other == conn {
+				continue
+			}
+			_, _ = other.Write(line)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Close stops the hub and closes every connection.
+func (h *TCPHub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+// TCPTransport connects a party to a TCPHub.
+type TCPTransport struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	subs   []subscriber
+	closed bool
+	done   chan struct{}
+}
+
+type subscriber struct {
+	name string
+	ch   chan SharedPolicy
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// DialTCP connects to a hub.
+func DialTCP(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coalition: dial hub: %w", err)
+	}
+	t := &TCPTransport{conn: conn, done: make(chan struct{})}
+	go t.read()
+	return t, nil
+}
+
+func (t *TCPTransport) read() {
+	defer close(t.done)
+	scanner := bufio.NewScanner(t.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		var sp SharedPolicy
+		if err := json.Unmarshal(scanner.Bytes(), &sp); err != nil {
+			continue // skip malformed frames
+		}
+		t.mu.Lock()
+		for _, sub := range t.subs {
+			if sub.name == sp.From {
+				continue
+			}
+			select {
+			case sub.ch <- sp:
+			default:
+			}
+		}
+		t.mu.Unlock()
+	}
+	// Connection closed: close subscriber channels.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		for _, sub := range t.subs {
+			close(sub.ch)
+		}
+		t.subs = nil
+	}
+}
+
+// Publish implements Transport.
+func (t *TCPTransport) Publish(sp SharedPolicy) error {
+	data, err := json.Marshal(sp)
+	if err != nil {
+		return fmt.Errorf("coalition: encode policy: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := t.conn.Write(data); err != nil {
+		return fmt.Errorf("coalition: publish: %w", err)
+	}
+	return nil
+}
+
+// Subscribe implements Transport.
+func (t *TCPTransport) Subscribe(name string, buffer int) (<-chan SharedPolicy, func(), error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, nil, fmt.Errorf("coalition: transport closed")
+	}
+	ch := make(chan SharedPolicy, buffer)
+	t.subs = append(t.subs, subscriber{name: name, ch: ch})
+	cancel := func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for i, sub := range t.subs {
+			if sub.ch == ch {
+				t.subs = append(t.subs[:i], t.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, cancel, nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	alreadyClosed := t.closed
+	t.closed = true
+	subs := t.subs
+	t.subs = nil
+	t.mu.Unlock()
+	if !alreadyClosed {
+		for _, sub := range subs {
+			close(sub.ch)
+		}
+	}
+	err := t.conn.Close()
+	<-t.done
+	return err
+}

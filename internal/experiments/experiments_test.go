@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("got %d experiments, want 12", len(ids))
+	}
+	if ids[0] != "E1" || ids[11] != "E12" {
+		t.Errorf("ordering = %v", ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", Options{}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, 0.5)
+	tb.AddRow("long-value", "x")
+	tb.Note("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== X: demo ==", "long-value", "0.500", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// runQuick executes an experiment in quick mode and sanity-checks the
+// table.
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	tb, err := Run(id, Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tb
+}
+
+func TestRunE1(t *testing.T) {
+	tb := runQuick(t, "E1")
+	s := tb.String()
+	if !strings.Contains(s, "correctly rejected") {
+		t.Errorf("E1 probe failed:\n%s", s)
+	}
+}
+
+func TestRunE2(t *testing.T) {
+	tb := runQuick(t, "E2")
+	s := tb.String()
+	if strings.Contains(s, "WARNING") {
+		t.Errorf("E2 reported warnings:\n%s", s)
+	}
+	if !strings.Contains(s, "after PAdaP adaptation") {
+		t.Errorf("E2 missing adaptation phase:\n%s", s)
+	}
+}
+
+func TestRunE3(t *testing.T) {
+	tb := runQuick(t, "E3")
+	// The largest training size must reach full domain agreement.
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[2] != "1.000" {
+		t.Errorf("E3 final accuracy = %s, want 1.000\n%s", last[2], tb)
+	}
+}
+
+func TestRunE4(t *testing.T) {
+	tb := runQuick(t, "E4")
+	if len(tb.Rows) != 2 {
+		t.Fatalf("E4 rows = %d", len(tb.Rows))
+	}
+	noBg, withBg := tb.Rows[0], tb.Rows[1]
+	// Both fit the training sample.
+	if noBg[2] != "1.000" || withBg[2] != "1.000" {
+		t.Errorf("train accuracies: %s vs %s\n%s", noBg[2], withBg[2], tb)
+	}
+	// Only the background-informed variant transfers.
+	if withBg[3] != "1.000" {
+		t.Errorf("background variant transfer = %s\n%s", withBg[3], tb)
+	}
+	if noBg[3] >= withBg[3] {
+		t.Errorf("overfitted variant should transfer worse: %s vs %s\n%s", noBg[3], withBg[3], tb)
+	}
+	if !strings.Contains(noBg[1], "age") {
+		t.Errorf("overfitted policy should be age-based: %s", noBg[1])
+	}
+	if !strings.Contains(withBg[1], "senior") {
+		t.Errorf("informed policy should be role-based: %s", withBg[1])
+	}
+}
+
+func TestRunE5(t *testing.T) {
+	tb := runQuick(t, "E5")
+	unrestricted, restricted := tb.Rows[0], tb.Rows[1]
+	if unrestricted[2] != "3/3" {
+		t.Errorf("unrestricted unsafe grants = %s, want 3/3\n%s", unrestricted[2], tb)
+	}
+	if restricted[2] != "0/3" {
+		t.Errorf("restricted unsafe grants = %s, want 0/3\n%s", restricted[2], tb)
+	}
+	if !strings.Contains(restricted[1], "subject") {
+		t.Errorf("restricted policy should mention the subject: %s", restricted[1])
+	}
+}
+
+func TestRunE6(t *testing.T) {
+	tb := runQuick(t, "E6")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("E6 rows = %d", len(tb.Rows))
+	}
+	clean := tb.Rows[0]
+	filtered := tb.Rows[3]
+	if clean[3] != "1.000" {
+		t.Errorf("clean accuracy = %s\n%s", clean[3], tb)
+	}
+	if filtered[3] != "1.000" {
+		t.Errorf("filtered accuracy = %s, want recovery to 1.000\n%s", filtered[3], tb)
+	}
+}
+
+func TestRunE7(t *testing.T) {
+	tb := runQuick(t, "E7")
+	// At modest training sizes (the larger quick row) the symbolic
+	// learner dominates; at the very smallest everything is noisy.
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[1] <= last[2] {
+		t.Errorf("symbolic %s should beat tree %s at %s examples\n%s", last[1], last[2], last[0], tb)
+	}
+}
+
+func TestRunE8(t *testing.T) {
+	tb := runQuick(t, "E8")
+	if len(tb.Rows) < 4 {
+		t.Errorf("E8 rows = %d\n%s", len(tb.Rows), tb)
+	}
+}
+
+func TestRunE9(t *testing.T) {
+	tb := runQuick(t, "E9")
+	s := tb.String()
+	for _, want := range []string{"consistent=false", "ghost-role", "permit-dba-dup", "environment.threat_level"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("E9 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunE10(t *testing.T) {
+	tb := runQuick(t, "E10")
+	s := tb.String()
+	if !strings.Contains(s, "deny-low-income (decisive)") {
+		t.Errorf("E10 trace missing decisive rule:\n%s", s)
+	}
+	if !strings.Contains(s, "subject.income = 45000 then Permit") {
+		t.Errorf("E10 counterfactual missing:\n%s", s)
+	}
+}
+
+func TestRunE11(t *testing.T) {
+	tb := runQuick(t, "E11")
+	s := tb.String()
+	if !strings.Contains(s, "datashare policy accuracy") {
+		t.Errorf("E11 missing accuracy row:\n%s", s)
+	}
+	// Federated: learned policy beats accept-all.
+	var acceptAll, withPolicy string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "federated: final model quality, accept-all":
+			acceptAll = row[1]
+		case "federated: final model quality, learned policy":
+			withPolicy = row[1]
+		}
+	}
+	if acceptAll == "" || withPolicy == "" {
+		t.Fatalf("missing federated rows:\n%s", s)
+	}
+	if !(parseF(t, withPolicy) > parseF(t, acceptAll)) {
+		t.Errorf("learned gate %s should beat accept-all %s", withPolicy, acceptAll)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+func TestRunE12(t *testing.T) {
+	tb := runQuick(t, "E12")
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if last[1] < first[1] {
+		t.Errorf("accuracy should not fall with more missions: %s -> %s\n%s", first[1], last[1], tb)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in non-short mode only")
+	}
+	tables, err := RunAll(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 12 {
+		t.Errorf("got %d tables", len(tables))
+	}
+}

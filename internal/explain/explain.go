@@ -1,0 +1,198 @@
+// Package explain implements the policy explainability of the paper's
+// Section V.B: rule-level decision traces ("which rules within a policy
+// were the ones that were applied to the request") and counterfactual
+// explanations in the style of Wachter et al. ("if your income had been
+// $45,000, you would have been offered a loan").
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"agenp/internal/quality"
+	"agenp/internal/xacml"
+)
+
+// Trace explains a single decision: the outcome and the rules that
+// fired, in evaluation order.
+type Trace struct {
+	Request  xacml.Request
+	Decision xacml.Decision
+	// Fired lists the rules that matched, with their effects.
+	Fired []FiredRule
+	// PolicyID names the evaluated policy.
+	PolicyID string
+}
+
+// FiredRule is one rule that applied to the request.
+type FiredRule struct {
+	RuleID string
+	Effect xacml.Effect
+	// Decisive marks the rule that determined the final decision under
+	// the policy's combining algorithm.
+	Decisive bool
+}
+
+// Explain evaluates the policy and produces a decision trace.
+func Explain(p *xacml.Policy, r xacml.Request) *Trace {
+	decision, firedIDs := p.EvaluateTraced(r)
+	tr := &Trace{Request: r, Decision: decision, PolicyID: p.ID}
+	byID := make(map[string]xacml.Rule, len(p.Rules))
+	for _, ru := range p.Rules {
+		byID[ru.ID] = ru
+	}
+	for _, id := range firedIDs {
+		tr.Fired = append(tr.Fired, FiredRule{RuleID: id, Effect: byID[id].Effect})
+	}
+	// The decisive rule is the one whose effect equals the decision;
+	// under deny-overrides it is the first deny, under permit-overrides
+	// the first permit, under first-applicable the first fired.
+	for i := range tr.Fired {
+		effectMatches := (decision == xacml.DecisionPermit && tr.Fired[i].Effect == xacml.Permit) ||
+			(decision == xacml.DecisionDeny && tr.Fired[i].Effect == xacml.Deny)
+		if effectMatches {
+			tr.Fired[i].Decisive = true
+			break
+		}
+	}
+	return tr
+}
+
+func (t *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s -> %s\n", t.Request, t.Decision)
+	for _, f := range t.Fired {
+		marker := " "
+		if f.Decisive {
+			marker = "*"
+		}
+		fmt.Fprintf(&sb, "  %s %s (%s)\n", marker, f.RuleID, f.Effect)
+	}
+	return sb.String()
+}
+
+// Counterfactual is a minimal change to the request that flips the
+// decision.
+type Counterfactual struct {
+	// Changes maps "category.attr" to the new value.
+	Changes map[string]xacml.Value
+	// Decision is the outcome after the changes.
+	Decision xacml.Decision
+}
+
+func (c Counterfactual) String() string {
+	keys := make([]string, 0, len(c.Changes))
+	for k := range c.Changes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s = %s", k, c.Changes[k])
+	}
+	return fmt.Sprintf("if %s then %s", strings.Join(parts, " and "), c.Decision)
+}
+
+// CounterfactualOptions bounds the counterfactual search.
+type CounterfactualOptions struct {
+	// MaxChanges bounds the number of attributes changed (default 2).
+	MaxChanges int
+	// MaxResults bounds the number of counterfactuals returned
+	// (default 3).
+	MaxResults int
+	// Want restricts the target decision (0 = any different decision).
+	Want xacml.Decision
+}
+
+// Counterfactuals searches the attribute domain for minimal changes to
+// the request that change the policy decision. Results are ordered by
+// the number of changed attributes (minimality first), matching the
+// counterfactual-explanation notion of Section V.B.
+func Counterfactuals(p *xacml.Policy, r xacml.Request, d *quality.Domain, opts CounterfactualOptions) []Counterfactual {
+	maxChanges := opts.MaxChanges
+	if maxChanges <= 0 {
+		maxChanges = 2
+	}
+	maxResults := opts.MaxResults
+	if maxResults <= 0 {
+		maxResults = 3
+	}
+	base := p.Evaluate(r)
+
+	type coord struct {
+		cat  xacml.Category
+		attr string
+		vals []xacml.Value
+	}
+	var coords []coord
+	for cat, attrs := range d.Values {
+		for a, vals := range attrs {
+			coords = append(coords, coord{cat: cat, attr: a, vals: vals})
+		}
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].cat != coords[j].cat {
+			return coords[i].cat < coords[j].cat
+		}
+		return coords[i].attr < coords[j].attr
+	})
+
+	var out []Counterfactual
+	// Breadth-first over the number of changed attributes guarantees
+	// minimality.
+	var rec func(start int, changed map[string]xacml.Value, req xacml.Request, budget int)
+	rec = func(start int, changed map[string]xacml.Value, req xacml.Request, budget int) {
+		if len(out) >= maxResults || budget == 0 {
+			return
+		}
+		for i := start; i < len(coords); i++ {
+			c := coords[i]
+			orig, had := req.Get(c.cat, c.attr)
+			for _, v := range c.vals {
+				if had && v.Equal(orig) {
+					continue
+				}
+				req.Set(c.cat, c.attr, v)
+				key := fmt.Sprintf("%s.%s", c.cat, c.attr)
+				changed[key] = v
+				dNew := p.Evaluate(req)
+				flip := dNew != base
+				if opts.Want != 0 {
+					flip = dNew == opts.Want && dNew != base
+				}
+				if flip {
+					cp := make(map[string]xacml.Value, len(changed))
+					for k, val := range changed {
+						cp[k] = val
+					}
+					out = append(out, Counterfactual{Changes: cp, Decision: dNew})
+					if len(out) >= maxResults {
+						delete(changed, key)
+						restore(req, c.cat, c.attr, orig, had)
+						return
+					}
+				} else {
+					rec(i+1, changed, req, budget-1)
+				}
+				delete(changed, key)
+			}
+			restore(req, c.cat, c.attr, orig, had)
+		}
+	}
+	// Depth-bounded iterative deepening for minimality.
+	for depth := 1; depth <= maxChanges && len(out) == 0; depth++ {
+		rec(0, make(map[string]xacml.Value), r.Clone(), depth)
+	}
+	return out
+}
+
+func restore(r xacml.Request, cat xacml.Category, attr string, v xacml.Value, had bool) {
+	if had {
+		r.Set(cat, attr, v)
+		return
+	}
+	if m, ok := r[cat]; ok {
+		delete(m, attr)
+	}
+}

@@ -1,0 +1,177 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"agenp/internal/quality"
+	"agenp/internal/xacml"
+)
+
+func loanPolicy() *xacml.Policy {
+	// The paper's GDPR loan example, as a policy: permit a loan when
+	// income >= 45000, deny otherwise when income attribute is present.
+	return &xacml.Policy{
+		ID:        "loan",
+		Combining: xacml.FirstApplicable,
+		Rules: []xacml.Rule{
+			{
+				ID:     "permit-high-income",
+				Effect: xacml.Permit,
+				Target: xacml.Target{{Category: xacml.Subject, Attr: "income", Op: xacml.OpGeq, Value: xacml.I(45000)}},
+			},
+			{
+				ID:     "deny-low-income",
+				Effect: xacml.Deny,
+				Target: xacml.Target{{Category: xacml.Subject, Attr: "income", Op: xacml.OpLt, Value: xacml.I(45000)}},
+			},
+		},
+	}
+}
+
+func loanDomain() *quality.Domain {
+	return quality.NewDomain().
+		Add(xacml.Subject, "income", xacml.I(40000), xacml.I(45000), xacml.I(50000)).
+		Add(xacml.Subject, "history", xacml.S("good"), xacml.S("bad"))
+}
+
+func TestExplainTrace(t *testing.T) {
+	p := loanPolicy()
+	r := xacml.NewRequest().Set(xacml.Subject, "income", xacml.I(40000))
+	tr := Explain(p, r)
+	if tr.Decision != xacml.DecisionDeny {
+		t.Fatalf("decision = %v", tr.Decision)
+	}
+	if len(tr.Fired) != 1 || tr.Fired[0].RuleID != "deny-low-income" || !tr.Fired[0].Decisive {
+		t.Errorf("Fired = %+v", tr.Fired)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "* deny-low-income") {
+		t.Errorf("trace rendering missing decisive marker:\n%s", s)
+	}
+}
+
+func TestExplainDecisiveUnderDenyOverrides(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "permit-any", Effect: xacml.Permit},
+			{ID: "deny-minors", Effect: xacml.Deny, Target: xacml.Target{{Category: xacml.Subject, Attr: "age", Op: xacml.OpLt, Value: xacml.I(18)}}},
+		},
+	}
+	r := xacml.NewRequest().Set(xacml.Subject, "age", xacml.I(15))
+	tr := Explain(p, r)
+	if tr.Decision != xacml.DecisionDeny {
+		t.Fatalf("decision = %v", tr.Decision)
+	}
+	var decisive string
+	for _, f := range tr.Fired {
+		if f.Decisive {
+			decisive = f.RuleID
+		}
+	}
+	if decisive != "deny-minors" {
+		t.Errorf("decisive = %q, want deny-minors (fired: %+v)", decisive, tr.Fired)
+	}
+}
+
+func TestExplainNotApplicable(t *testing.T) {
+	p := loanPolicy()
+	r := xacml.NewRequest().Set(xacml.Subject, "history", xacml.S("good"))
+	tr := Explain(p, r)
+	if tr.Decision != xacml.DecisionNotApplicable || len(tr.Fired) != 0 {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestCounterfactualLoanExample(t *testing.T) {
+	// The paper's example: "You were denied a loan because your annual
+	// income was $40,000. If your income had been $45,000, you would
+	// have been offered a loan."
+	p := loanPolicy()
+	r := xacml.NewRequest().
+		Set(xacml.Subject, "income", xacml.I(40000)).
+		Set(xacml.Subject, "history", xacml.S("good"))
+	if p.Evaluate(r) != xacml.DecisionDeny {
+		t.Fatal("setup: should be denied")
+	}
+	cfs := Counterfactuals(p, r, loanDomain(), CounterfactualOptions{Want: xacml.DecisionPermit})
+	if len(cfs) == 0 {
+		t.Fatal("no counterfactuals found")
+	}
+	first := cfs[0]
+	if len(first.Changes) != 1 {
+		t.Fatalf("counterfactual not minimal: %v", first)
+	}
+	v, ok := first.Changes["subject.income"]
+	if !ok || !v.IsInt || v.Int < 45000 {
+		t.Errorf("counterfactual = %v, want income >= 45000", first)
+	}
+	if first.Decision != xacml.DecisionPermit {
+		t.Errorf("target decision = %v", first.Decision)
+	}
+	if !strings.Contains(first.String(), "subject.income = 45000") {
+		t.Errorf("String = %q", first.String())
+	}
+}
+
+func TestCounterfactualMinimality(t *testing.T) {
+	// A policy needing two changes: permit only dba with high clearance.
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.FirstApplicable,
+		Rules: []xacml.Rule{
+			{
+				ID:     "strict",
+				Effect: xacml.Permit,
+				Target: xacml.Target{
+					{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")},
+					{Category: xacml.Subject, Attr: "clearance", Op: xacml.OpGeq, Value: xacml.I(3)},
+				},
+			},
+		},
+	}
+	d := quality.NewDomain().
+		Add(xacml.Subject, "role", xacml.S("dba"), xacml.S("dev")).
+		Add(xacml.Subject, "clearance", xacml.I(1), xacml.I(3))
+	r := xacml.NewRequest().
+		Set(xacml.Subject, "role", xacml.S("dev")).
+		Set(xacml.Subject, "clearance", xacml.I(1))
+	cfs := Counterfactuals(p, r, d, CounterfactualOptions{MaxChanges: 2, Want: xacml.DecisionPermit})
+	if len(cfs) == 0 {
+		t.Fatal("no counterfactuals found")
+	}
+	if len(cfs[0].Changes) != 2 {
+		t.Errorf("needs both changes, got %v", cfs[0])
+	}
+}
+
+func TestCounterfactualNoneWithinBudget(t *testing.T) {
+	p := loanPolicy()
+	r := xacml.NewRequest().Set(xacml.Subject, "income", xacml.I(40000))
+	// Domain without any income >= 45000: no counterfactual exists.
+	d := quality.NewDomain().Add(xacml.Subject, "income", xacml.I(40000), xacml.I(41000))
+	cfs := Counterfactuals(p, r, d, CounterfactualOptions{Want: xacml.DecisionPermit})
+	if len(cfs) != 0 {
+		t.Errorf("unexpected counterfactuals: %v", cfs)
+	}
+}
+
+func TestCounterfactualRequestUnchanged(t *testing.T) {
+	p := loanPolicy()
+	r := xacml.NewRequest().Set(xacml.Subject, "income", xacml.I(40000))
+	Counterfactuals(p, r, loanDomain(), CounterfactualOptions{})
+	if v, _ := r.Get(xacml.Subject, "income"); v.Int != 40000 {
+		t.Error("Counterfactuals mutated the input request")
+	}
+}
+
+func TestCounterfactualMaxResults(t *testing.T) {
+	p := loanPolicy()
+	r := xacml.NewRequest().Set(xacml.Subject, "income", xacml.I(40000))
+	cfs := Counterfactuals(p, r, loanDomain(), CounterfactualOptions{MaxResults: 1})
+	if len(cfs) != 1 {
+		t.Errorf("MaxResults ignored: %d results", len(cfs))
+	}
+}

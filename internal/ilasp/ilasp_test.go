@@ -1,0 +1,553 @@
+package ilasp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"agenp/internal/asp"
+)
+
+func atom(t *testing.T, s string) asp.Atom {
+	t.Helper()
+	a, err := asp.ParseAtom(s)
+	if err != nil {
+		t.Fatalf("ParseAtom(%q): %v", s, err)
+	}
+	return a
+}
+
+func prog(t *testing.T, src string) *asp.Program {
+	t.Helper()
+	p, err := asp.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func consts(names ...string) []asp.Term {
+	out := make([]asp.Term, len(names))
+	for i, n := range names {
+		out[i] = asp.Constant{Name: n}
+	}
+	return out
+}
+
+func TestBiasSpaceBasics(t *testing.T) {
+	b := Bias{
+		Head:    []ModeAtom{M("flies", Var("animal"))},
+		Body:    []ModeAtom{M("bird", Var("animal")), M("penguin", Var("animal"))},
+		MaxVars: 1,
+		MaxBody: 2,
+	}
+	space, err := b.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space) == 0 {
+		t.Fatal("empty space")
+	}
+	want := "flies(V1) :- bird(V1), penguin(V1)."
+	found := false
+	for _, c := range space {
+		if c.Rule.String() == want {
+			found = true
+			if c.Cost != 3 {
+				t.Errorf("cost of %q = %d, want 3", want, c.Cost)
+			}
+		}
+		// Everything must be safe.
+		if err := asp.CheckSafety(c.Rule); err != nil {
+			t.Errorf("unsafe candidate %q", c.Rule.String())
+		}
+	}
+	if !found {
+		t.Errorf("space missing %q; got %v", want, space)
+	}
+}
+
+func TestBiasSpaceNegationAndDedup(t *testing.T) {
+	b := Bias{
+		Head:          []ModeAtom{M("flies", Var("animal"))},
+		Body:          []ModeAtom{M("bird", Var("animal")), M("penguin", Var("animal"))},
+		MaxVars:       2,
+		MaxBody:       2,
+		AllowNegation: true,
+	}
+	space, err := b.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for _, c := range space {
+		seen[c.Rule.String()]++
+	}
+	for s, n := range seen {
+		if n > 1 {
+			t.Errorf("duplicate candidate %q (%d times)", s, n)
+		}
+	}
+	// The classic rule must be present.
+	if _, ok := seen["flies(V1) :- bird(V1), not penguin(V1)."]; !ok {
+		t.Errorf("space missing the flies rule; %d candidates", len(space))
+	}
+	// Unsafe rules like "flies(V1) :- not penguin(V1)." must be absent.
+	if _, ok := seen["flies(V1) :- not penguin(V1)."]; ok {
+		t.Error("unsafe rule in space")
+	}
+	// Alpha-variants must be collapsed: V2-only version of a V1 rule.
+	for s := range seen {
+		if strings.Contains(s, "V2") && !strings.Contains(s, "V1") {
+			t.Errorf("non-canonical candidate %q", s)
+		}
+	}
+}
+
+func TestBiasSpaceConstants(t *testing.T) {
+	b := Bias{
+		Head:      []ModeAtom{M("grant", Const("role"))},
+		Body:      []ModeAtom{M("active", Const("role"))},
+		Constants: map[string][]asp.Term{"role": consts("dba", "dev")},
+		MaxBody:   1,
+	}
+	space, err := b.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"grant(dba).":                true,
+		"grant(dev).":                true,
+		"grant(dba) :- active(dba).": true,
+		"grant(dba) :- active(dev).": true,
+		"grant(dev) :- active(dba).": true,
+		"grant(dev) :- active(dev).": true,
+	}
+	got := make(map[string]bool)
+	for _, c := range space {
+		got[c.Rule.String()] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("space missing %q; got %v", w, got)
+		}
+	}
+}
+
+func TestBiasSpaceMissingConstantPool(t *testing.T) {
+	b := Bias{Head: []ModeAtom{M("p", Const("missing"))}}
+	if _, err := b.Space(); err == nil {
+		t.Error("expected error for missing constant pool")
+	}
+}
+
+func TestBiasSpaceComparisons(t *testing.T) {
+	b := Bias{
+		Head: []ModeAtom{M("adult", Var("person"))},
+		Body: []ModeAtom{M("age", Var("person"), Var("num"))},
+		Comparisons: []CmpSpec{{
+			Type:   "num",
+			Ops:    []asp.CmpOp{asp.CmpGeq},
+			Values: []asp.Term{asp.Integer{Value: 18}},
+		}},
+		MaxVars: 2,
+		MaxBody: 2,
+	}
+	space, err := b.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range space {
+		if c.Rule.String() == "adult(V1) :- age(V1,V2), V2 >= 18." {
+			found = true
+		}
+	}
+	if !found {
+		var all []string
+		for _, c := range space {
+			all = append(all, c.Rule.String())
+		}
+		t.Errorf("space missing comparison rule; got %v", all)
+	}
+}
+
+func TestLearnFliesNotPenguin(t *testing.T) {
+	task := &Task{
+		Background: prog(t, "bird(tweety). bird(sam). penguin(sam)."),
+		Bias: Bias{
+			Head:          []ModeAtom{M("flies", Var("animal"))},
+			Body:          []ModeAtom{M("bird", Var("animal")), M("penguin", Var("animal"))},
+			MaxVars:       1,
+			MaxBody:       2,
+			AllowNegation: true,
+		},
+		Examples: []Example{
+			PosExample("e1", []asp.Atom{atom(t, "flies(tweety)")}, []asp.Atom{atom(t, "flies(sam)")}, nil),
+		},
+	}
+	res, err := task.Learn(LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 {
+		t.Fatalf("hypothesis size = %d, want 1:\n%s", len(res.Hypothesis), res)
+	}
+	if got := res.Hypothesis[0].String(); got != "flies(V1) :- bird(V1), not penguin(V1)." {
+		t.Errorf("learned %q", got)
+	}
+	if res.Cost != 3 {
+		t.Errorf("cost = %d, want 3", res.Cost)
+	}
+	if res.Covered != 1 || res.Total != 1 {
+		t.Errorf("coverage %d/%d", res.Covered, res.Total)
+	}
+}
+
+func TestLearnConstraintFromNegatives(t *testing.T) {
+	task := &Task{
+		Background: prog(t, "{p; q}."),
+		Bias: Bias{
+			Body:             []ModeAtom{M("p"), M("q")},
+			AllowConstraints: true,
+			MaxBody:          2,
+		},
+		Examples: []Example{
+			PosExample("both ok separately", []asp.Atom{atom(t, "p")}, []asp.Atom{atom(t, "q")}, nil),
+			PosExample("q alone", []asp.Atom{atom(t, "q")}, []asp.Atom{atom(t, "p")}, nil),
+			NegExample("never together", []asp.Atom{atom(t, "p"), atom(t, "q")}, nil, nil),
+		},
+	}
+	res, err := task.Learn(LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 || res.Hypothesis[0].String() != ":- p, q." {
+		t.Errorf("learned %v, want the mutual-exclusion constraint", res.Hypothesis)
+	}
+}
+
+func TestLearnEmptyHypothesisWhenBackgroundSuffices(t *testing.T) {
+	task := &Task{
+		Background: prog(t, "p."),
+		Bias: Bias{
+			Head:    []ModeAtom{M("q")},
+			Body:    []ModeAtom{M("p")},
+			MaxBody: 1,
+		},
+		Examples: []Example{
+			PosExample("p holds", []asp.Atom{atom(t, "p")}, nil, nil),
+		},
+	}
+	res, err := task.Learn(LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 0 || res.Cost != 0 {
+		t.Errorf("want empty hypothesis, got %s", res)
+	}
+}
+
+func TestLearnContextDependentExamples(t *testing.T) {
+	// fly is acceptable only in clear weather; the context varies per
+	// example (this is what makes CDPIs context-dependent).
+	task := &Task{
+		Background: asp.NewProgram(),
+		Bias: Bias{
+			Head:          []ModeAtom{M("allow")},
+			Body:          []ModeAtom{M("weather", Const("w"))},
+			Constants:     map[string][]asp.Term{"w": consts("clear", "storm")},
+			MaxBody:       1,
+			AllowNegation: true,
+		},
+		Examples: []Example{
+			PosExample("clear allows", []asp.Atom{atom(t, "allow")}, nil, prog(t, "weather(clear).")),
+			NegExample("storm forbids", []asp.Atom{atom(t, "allow")}, nil, prog(t, "weather(storm).")),
+		},
+	}
+	res, err := task.Learn(LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 {
+		t.Fatalf("hypothesis = %v", res.Hypothesis)
+	}
+	got := res.Hypothesis[0].String()
+	// Either "allow :- weather(clear)." or "allow :- not weather(storm)."
+	// covers both examples at equal cost; both are correct.
+	if got != "allow :- weather(clear)." && got != "allow :- not weather(storm)." {
+		t.Errorf("learned %q", got)
+	}
+}
+
+func TestLearnAgeThreshold(t *testing.T) {
+	task := &Task{
+		Background: prog(t, "age(alice, 20). age(bob, 15)."),
+		Bias: Bias{
+			Head: []ModeAtom{M("adult", Var("person"))},
+			Body: []ModeAtom{M("age", Var("person"), Var("num"))},
+			Comparisons: []CmpSpec{{
+				Type:   "num",
+				Ops:    []asp.CmpOp{asp.CmpGeq},
+				Values: []asp.Term{asp.Integer{Value: 18}},
+			}},
+			MaxVars: 2,
+			MaxBody: 2,
+		},
+		Examples: []Example{
+			PosExample("alice adult, bob not",
+				[]asp.Atom{atom(t, "adult(alice)")},
+				[]asp.Atom{atom(t, "adult(bob)")}, nil),
+		},
+	}
+	res, err := task.Learn(LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 {
+		t.Fatalf("hypothesis = %v", res.Hypothesis)
+	}
+	if got := res.Hypothesis[0].String(); got != "adult(V1) :- age(V1,V2), V2 >= 18." {
+		t.Errorf("learned %q", got)
+	}
+}
+
+func TestLearnNoSolution(t *testing.T) {
+	task := &Task{
+		Background: prog(t, "p."),
+		Bias: Bias{
+			Head:    []ModeAtom{M("q")},
+			Body:    []ModeAtom{M("p")},
+			MaxBody: 1,
+		},
+		Examples: []Example{
+			// r is not even mentionable: cannot be covered.
+			PosExample("impossible", []asp.Atom{atom(t, "r")}, nil, nil),
+		},
+	}
+	_, err := task.Learn(LearnOptions{})
+	if !errors.Is(err, ErrNoSolution) {
+		t.Errorf("err = %v, want ErrNoSolution", err)
+	}
+}
+
+func TestLearnNoiseTolerant(t *testing.T) {
+	// Ground truth: q :- p. One mislabeled example says q should not
+	// follow from p; with noise-tolerant learning and enough weight on
+	// the good examples, the rule is still learned.
+	task := &Task{
+		Background: prog(t, "p."),
+		Bias: Bias{
+			Head:    []ModeAtom{M("q")},
+			Body:    []ModeAtom{M("p")},
+			MaxBody: 1,
+		},
+		Examples: []Example{
+			{ID: "good1", Positive: true, Inclusions: []asp.Atom{atom(t, "q")}, Weight: 10},
+			{ID: "good2", Positive: true, Inclusions: []asp.Atom{atom(t, "q")}, Weight: 10},
+			{ID: "noisy", Positive: false, Inclusions: []asp.Atom{atom(t, "q")}, Weight: 1},
+		},
+	}
+	res, err := task.Learn(LearnOptions{Noise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 {
+		t.Fatalf("hypothesis = %v", res.Hypothesis)
+	}
+	if res.Covered != 2 {
+		t.Errorf("covered = %d, want 2 (noisy one sacrificed)", res.Covered)
+	}
+	// Flipped weights: dropping the two good examples is cheaper than
+	// contradicting the (now heavy) negative.
+	task.Examples[0].Weight = 1
+	task.Examples[1].Weight = 1
+	task.Examples[2].Weight = 10
+	res, err = task.Learn(LearnOptions{Noise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 0 {
+		t.Errorf("want empty hypothesis when negatives outweigh, got %v", res.Hypothesis)
+	}
+}
+
+func TestLearnNoiseHardExamplesStillHard(t *testing.T) {
+	task := &Task{
+		Background: prog(t, "p."),
+		Bias: Bias{
+			Head:    []ModeAtom{M("q")},
+			Body:    []ModeAtom{M("p")},
+			MaxBody: 1,
+		},
+		Examples: []Example{
+			{ID: "hard pos", Positive: true, Inclusions: []asp.Atom{atom(t, "q")}}, // weight 0 = hard
+			{ID: "soft neg", Positive: false, Inclusions: []asp.Atom{atom(t, "q")}, Weight: 100},
+		},
+	}
+	res, err := task.Learn(LearnOptions{Noise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hard positive forces learning q despite the heavy soft negative.
+	if len(res.Hypothesis) != 1 {
+		t.Errorf("hypothesis = %v, want the q rule", res.Hypothesis)
+	}
+}
+
+func TestLearnCheckBudget(t *testing.T) {
+	task := &Task{
+		Background: prog(t, "p."),
+		Bias: Bias{
+			Head:          []ModeAtom{M("q"), M("r"), M("s")},
+			Body:          []ModeAtom{M("p"), M("q"), M("r")},
+			MaxBody:       2,
+			AllowNegation: true,
+		},
+		Examples: []Example{
+			PosExample("impossible", []asp.Atom{atom(t, "zzz")}, nil, nil),
+		},
+	}
+	_, err := task.Learn(LearnOptions{MaxChecks: 3})
+	if !errors.Is(err, ErrCheckBudget) {
+		t.Errorf("err = %v, want ErrCheckBudget", err)
+	}
+}
+
+func TestLearnMultiRuleHypothesis(t *testing.T) {
+	// Needs two rules: q :- p. and r :- q.
+	task := &Task{
+		Background: prog(t, "p."),
+		Bias: Bias{
+			Head:        []ModeAtom{M("q"), M("r")},
+			Body:        []ModeAtom{M("p"), M("q")},
+			MaxBody:     1,
+			RequireBody: true, // otherwise the facts "q." and "r." win
+		},
+		Examples: []Example{
+			PosExample("both", []asp.Atom{atom(t, "q"), atom(t, "r")}, nil, nil),
+		},
+	}
+	res, err := task.Learn(LearnOptions{MaxRules: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 2 {
+		t.Fatalf("hypothesis = %v, want 2 rules", res.Hypothesis)
+	}
+	got := map[string]bool{}
+	for _, r := range res.Hypothesis {
+		got[r.String()] = true
+	}
+	if !got["q :- p."] || !(got["r :- q."] || got["r :- p."]) {
+		t.Errorf("learned %v", got)
+	}
+}
+
+func TestCoversSemantics(t *testing.T) {
+	task := &Task{Background: prog(t, "{p; q}. r :- p.")}
+	tests := []struct {
+		name string
+		e    Example
+		want bool
+	}{
+		{
+			name: "brave inclusion",
+			e:    PosExample("", []asp.Atom{atom(t, "p"), atom(t, "r")}, nil, nil),
+			want: true,
+		},
+		{
+			name: "exclusion respected",
+			e:    PosExample("", []asp.Atom{atom(t, "p")}, []asp.Atom{atom(t, "q")}, nil),
+			want: true,
+		},
+		{
+			name: "impossible combination",
+			e:    PosExample("", []asp.Atom{atom(t, "r")}, []asp.Atom{atom(t, "p")}, nil),
+			want: false,
+		},
+		{
+			name: "negative of possible is uncovered",
+			e:    NegExample("", []asp.Atom{atom(t, "p")}, nil, nil),
+			want: false,
+		},
+		{
+			name: "negative of impossible is covered",
+			e:    NegExample("", []asp.Atom{atom(t, "r")}, []asp.Atom{atom(t, "p")}, nil),
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := task.Covers(nil, tt.e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Covers = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExampleString(t *testing.T) {
+	e := Example{
+		ID:         "e1",
+		Positive:   true,
+		Inclusions: []asp.Atom{{Predicate: "p"}},
+		Exclusions: []asp.Atom{{Predicate: "q"}},
+		Weight:     5,
+	}
+	got := e.String()
+	want := "#pos(e1) {p} {q}@5"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	n := NegExample("", nil, nil, nil)
+	if n.String() != "#neg {} {}" {
+		t.Errorf("neg String = %q", n.String())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r, _ := asp.ParseRule("q :- p.")
+	res := &Result{Hypothesis: []asp.Rule{r}, Cost: 2, Covered: 3, Total: 4}
+	s := res.String()
+	if !strings.Contains(s, "cost 2") || !strings.Contains(s, "q :- p.") {
+		t.Errorf("Result.String = %q", s)
+	}
+	if res.HypothesisProgram().Rules[0].String() != "q :- p." {
+		t.Error("HypothesisProgram mismatch")
+	}
+}
+
+func TestExplicitSpaceOverridesBias(t *testing.T) {
+	r, _ := asp.ParseRule("q :- p.")
+	task := &Task{
+		Background: prog(t, "p."),
+		Space:      []Candidate{{Rule: r, Cost: 2}},
+		Examples: []Example{
+			PosExample("", []asp.Atom{atom(t, "q")}, nil, nil),
+		},
+	}
+	res, err := task.Learn(LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 || res.Hypothesis[0].String() != "q :- p." {
+		t.Errorf("hypothesis = %v", res.Hypothesis)
+	}
+	if res.Checks == 0 {
+		t.Error("checks not counted")
+	}
+}
+
+func TestModeAtomString(t *testing.T) {
+	m := M("age", Var("person"), Const("num"))
+	if got := m.String(); got != "age(var(person),const(num))" {
+		t.Errorf("String = %q", got)
+	}
+	if M("p").String() != "p" {
+		t.Error("zero-arg mode")
+	}
+}

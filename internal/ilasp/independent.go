@@ -1,0 +1,547 @@
+package ilasp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"agenp/internal/asp"
+)
+
+// LearnIndependent is the scalable fast path of the learner for
+// *non-recursive* hypothesis spaces: candidate rules whose bodies only
+// reference predicates derived by the background and example contexts,
+// never other candidates' heads. Under that independence condition a
+// candidate's contribution to an answer set is a one-step evaluation
+// against the background model, coverage becomes a per-rule vector, and
+// optimal search reduces to a weighted set-cover solved by branch and
+// bound — no ASP solving inside the search loop.
+//
+// This realizes the ILASP-style relevance optimisations the paper calls
+// for under "Performance Optimization" (Section III.B): the exhaustive
+// Learn search and LearnIndependent return equally optimal hypotheses on
+// independent tasks, but the latter scales to the dataset sizes of the
+// access-control and CAV experiments.
+//
+// Restrictions (checked, returning an error when unmet):
+//   - every example is positive (express negatives as exclusions);
+//   - every candidate has a head, and no candidate's head predicate
+//     occurs in any candidate body or anywhere in the background or the
+//     example contexts;
+//   - background ∪ context has exactly one answer set per example.
+func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
+	space, err := t.space()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkIndependence(t, space); err != nil {
+		return nil, err
+	}
+
+	maxRules := opts.MaxRules
+	if maxRules <= 0 {
+		maxRules = 3
+	}
+
+	checks := 0
+	// Per-example base models and requirement vectors.
+	infos := make([]exampleInfo, len(t.Examples))
+	// fires[r][e] lists needed atoms rule r derives in example e;
+	// violates[r][e] marks r deriving an excluded atom of e.
+	fires := make([][][]int, len(space)) // rule -> example -> indices into needs
+	violates := make([][]bool, len(space))
+	for r := range space {
+		fires[r] = make([][]int, len(t.Examples))
+		violates[r] = make([]bool, len(t.Examples))
+	}
+
+	for ei, e := range t.Examples {
+		if !e.Positive {
+			return nil, fmt.Errorf("ilasp: LearnIndependent requires positive examples; express %q via exclusions", e.ID)
+		}
+		prog := asp.NewProgram()
+		if t.Background != nil {
+			prog.Extend(t.Background)
+		}
+		if e.Context != nil {
+			prog.Extend(e.Context)
+		}
+		models, err := asp.Solve(prog, asp.SolveOptions{MaxModels: 2})
+		if err != nil {
+			return nil, fmt.Errorf("ilasp: base model of example %s: %w", e.ID, err)
+		}
+		if len(models) != 1 {
+			return nil, fmt.Errorf("ilasp: example %s background has %d answer sets; LearnIndependent needs exactly 1", e.ID, len(models))
+		}
+		base := models[0]
+
+		info := exampleInfo{feasible: true}
+		for _, a := range e.Exclusions {
+			if base.Contains(a) {
+				info.feasible = false // background itself violates: no H can fix it
+			}
+		}
+		for _, a := range e.Inclusions {
+			if !base.Contains(a) {
+				info.needs = append(info.needs, a)
+			}
+		}
+		infos[ei] = info
+		if !info.feasible {
+			continue
+		}
+
+		exclKeys := make(map[string]struct{}, len(e.Exclusions))
+		for _, a := range e.Exclusions {
+			exclKeys[a.Key()] = struct{}{}
+		}
+		needKey := make(map[string]int, len(info.needs))
+		for i, a := range info.needs {
+			needKey[a.Key()] = i
+		}
+		// Candidate evaluation is the hot loop (|space| × |examples|
+		// one-step evaluations); shard it across workers. Each worker
+		// writes disjoint rows of fires/violates, so no locking beyond
+		// the error slot is needed.
+		workers := runtime.NumCPU()
+		if workers > len(space) {
+			workers = len(space)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		var (
+			wg      sync.WaitGroup
+			errOnce sync.Once
+			evalErr error
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ri := w; ri < len(space); ri += workers {
+					derived, err := asp.EvalRule(space[ri].Rule, base)
+					if err != nil {
+						errOnce.Do(func() {
+							evalErr = fmt.Errorf("ilasp: evaluating candidate %q: %w", space[ri].Rule.String(), err)
+						})
+						return
+					}
+					for _, d := range derived {
+						if _, bad := exclKeys[d.Key()]; bad {
+							violates[ri][ei] = true
+						}
+						if ni, ok := needKey[d.Key()]; ok {
+							fires[ri][ei] = append(fires[ri][ei], ni)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		checks += len(space)
+		if evalErr != nil {
+			return nil, evalErr
+		}
+	}
+
+	// Candidate pool: rules that help somewhere. Rules deriving no
+	// needed atom can only add cost or violations, so optimal solutions
+	// never include them.
+	var pool []int
+	for ri := range space {
+		helps := false
+		for ei := range t.Examples {
+			if len(fires[ri][ei]) > 0 {
+				helps = true
+				break
+			}
+		}
+		if helps {
+			pool = append(pool, ri)
+		}
+	}
+	sort.SliceStable(pool, func(a, b int) bool { return space[pool[a]].Cost < space[pool[b]].Cost })
+
+	var sol []int
+	var covered int
+	if opts.Noise {
+		sol, covered, err = coverNoisy(t.Examples, space, pool, infos, fires, violates, maxRules, opts.MaxCost)
+	} else {
+		sol, covered, err = coverHard(t.Examples, space, pool, infos, fires, violates, maxRules, opts.MaxCost)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(sol)
+	rules := make([]asp.Rule, len(sol))
+	cost := 0
+	for i, ri := range sol {
+		rules[i] = space[ri].Rule
+		cost += space[ri].Cost
+	}
+	return &Result{
+		Hypothesis: rules,
+		Cost:       cost,
+		Covered:    covered,
+		Total:      len(t.Examples),
+		Checks:     checks,
+	}, nil
+}
+
+// exampleInfo captures, per example, whether any hypothesis can cover
+// it and which inclusion atoms the background does not already derive.
+type exampleInfo struct {
+	feasible bool
+	needs    []asp.Atom
+}
+
+// checkIndependence verifies the non-recursiveness condition.
+func checkIndependence(t *Task, space []Candidate) error {
+	headPreds := make(map[string]struct{})
+	for _, c := range space {
+		if c.Rule.Head == nil {
+			return fmt.Errorf("ilasp: LearnIndependent requires headed candidates, found constraint %q", c.Rule.String())
+		}
+		headPreds[c.Rule.Head.Predicate] = struct{}{}
+	}
+	checkProgram := func(p *asp.Program, where string) error {
+		if p == nil {
+			return nil
+		}
+		for _, r := range p.Rules {
+			for _, l := range r.Body {
+				if l.IsCmp {
+					continue
+				}
+				if _, clash := headPreds[l.Atom.Predicate]; clash {
+					return fmt.Errorf("ilasp: %s rule %q references candidate head predicate %s; use Learn", where, r.String(), l.Atom.Predicate)
+				}
+			}
+			if r.Head != nil {
+				if _, clash := headPreds[r.Head.Predicate]; clash {
+					return fmt.Errorf("ilasp: %s rule %q defines candidate head predicate %s; use Learn", where, r.String(), r.Head.Predicate)
+				}
+			}
+		}
+		return nil
+	}
+	for _, c := range space {
+		for _, l := range c.Rule.Body {
+			if l.IsCmp {
+				continue
+			}
+			if _, clash := headPreds[l.Atom.Predicate]; clash {
+				return fmt.Errorf("ilasp: candidate %q is recursive over %s; use Learn", c.Rule.String(), l.Atom.Predicate)
+			}
+		}
+	}
+	if err := checkProgram(t.Background, "background"); err != nil {
+		return err
+	}
+	for _, e := range t.Examples {
+		if err := checkProgram(e.Context, "context of "+e.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requirement identifies one needed atom of one example.
+type requirement struct {
+	example int
+	need    int
+}
+
+// coverHard finds the minimal-cost subset of pool covering every
+// example: all needs derived, no violations.
+func coverHard(examples []Example, space []Candidate, pool []int,
+	infos []exampleInfo, fires [][][]int, violates [][]bool, maxRules, maxCost int) ([]int, int, error) {
+
+	// Hard mode: a rule violating any example is unusable.
+	var usable []int
+	for _, ri := range pool {
+		bad := false
+		for ei := range examples {
+			if violates[ri][ei] {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			usable = append(usable, ri)
+		}
+	}
+
+	var reqs []requirement
+	for ei := range examples {
+		if !infos[ei].feasible {
+			return nil, 0, ErrNoSolution
+		}
+		for ni := range infos[ei].needs {
+			reqs = append(reqs, requirement{example: ei, need: ni})
+		}
+	}
+	// options[q] = usable rules satisfying requirement q.
+	options := make([][]int, len(reqs))
+	for qi, q := range reqs {
+		for _, ri := range usable {
+			for _, ni := range fires[ri][q.example] {
+				if ni == q.need {
+					options[qi] = append(options[qi], ri)
+					break
+				}
+			}
+		}
+		if len(options[qi]) == 0 {
+			return nil, 0, ErrNoSolution
+		}
+	}
+
+	bestCost := maxCost
+	if bestCost <= 0 {
+		bestCost = 1 << 30
+	}
+	bestCost++ // exclusive bound
+	var best []int
+	chosen := make(map[int]bool)
+	satisfied := make([]bool, len(reqs))
+
+	satisfies := func(ri, qi int) bool {
+		q := reqs[qi]
+		for _, ni := range fires[ri][q.example] {
+			if ni == q.need {
+				return true
+			}
+		}
+		return false
+	}
+
+	var dfs func(cost int)
+	dfs = func(cost int) {
+		if cost >= bestCost {
+			return
+		}
+		// Find the unsatisfied requirement with fewest options.
+		pick := -1
+		for qi := range reqs {
+			if satisfied[qi] {
+				continue
+			}
+			if pick == -1 || len(options[qi]) < len(options[pick]) {
+				pick = qi
+			}
+		}
+		if pick == -1 {
+			bestCost = cost
+			best = make([]int, 0, len(chosen))
+			for ri := range chosen {
+				best = append(best, ri)
+			}
+			return
+		}
+		if len(chosen) == maxRules {
+			return
+		}
+		for _, ri := range options[pick] {
+			if chosen[ri] {
+				continue // already in: requirement would've been satisfied
+			}
+			chosen[ri] = true
+			var flipped []int
+			for qi := range reqs {
+				if !satisfied[qi] && satisfies(ri, qi) {
+					satisfied[qi] = true
+					flipped = append(flipped, qi)
+				}
+			}
+			dfs(cost + space[ri].Cost)
+			for _, qi := range flipped {
+				satisfied[qi] = false
+			}
+			delete(chosen, ri)
+		}
+	}
+	dfs(0)
+	if best == nil {
+		return nil, 0, ErrNoSolution
+	}
+	return best, len(examples), nil
+}
+
+// coverNoisy maximises weighted coverage minus cost. Hard (zero-weight)
+// examples must be covered. The search branches on the first unmet
+// requirement: either one of the rules providing it is added, or the
+// whole example is abandoned (paying its weight) — a complete
+// branch-and-bound whose branching factor is the number of providers per
+// requirement rather than the pool size.
+func coverNoisy(examples []Example, space []Candidate, pool []int,
+	infos []exampleInfo, fires [][][]int, violates [][]bool, maxRules, maxCost int) ([]int, int, error) {
+
+	if maxCost <= 0 {
+		maxCost = 1 << 30
+	}
+	n := len(examples)
+
+	// providers[ei][ni] = pool rules deriving need ni of example ei,
+	// in cost order.
+	providers := make([][][]int, n)
+	for ei := range examples {
+		providers[ei] = make([][]int, len(infos[ei].needs))
+		for _, ri := range pool {
+			for _, ni := range fires[ri][ei] {
+				providers[ei][ni] = append(providers[ei][ni], ri)
+			}
+		}
+	}
+
+	type state struct {
+		chosen    []int
+		cost      int
+		abandoned []bool
+	}
+	bestObj := 1 << 30
+	var best []int
+	bestCovered := -1
+	found := false
+
+	// exampleStatus computes, under the chosen rules, whether example ei
+	// is fully covered, pending (not covered, not broken), or broken
+	// (violated by a chosen rule or infeasible).
+	status := func(st *state, ei int) (covered, broken bool) {
+		if !infos[ei].feasible {
+			return false, true
+		}
+		for _, ri := range st.chosen {
+			if violates[ri][ei] {
+				return false, true
+			}
+		}
+		for ni := range infos[ei].needs {
+			has := false
+			for _, ri := range st.chosen {
+				for _, f := range fires[ri][ei] {
+					if f == ni {
+						has = true
+						break
+					}
+				}
+				if has {
+					break
+				}
+			}
+			if !has {
+				return false, false
+			}
+		}
+		return true, false
+	}
+
+	var dfs func(st *state) error
+	dfs = func(st *state) error {
+		// Lower bound: cost plus weights of examples already lost.
+		lost := 0
+		covered := 0
+		firstPending := -1
+		firstNeed := -1
+		for ei := range examples {
+			if st.abandoned[ei] {
+				if examples[ei].Weight <= 0 {
+					return nil // hard example abandoned: infeasible branch
+				}
+				lost += examples[ei].Weight
+				continue
+			}
+			cov, broken := status(st, ei)
+			switch {
+			case broken:
+				if examples[ei].Weight <= 0 {
+					return nil
+				}
+				lost += examples[ei].Weight
+			case cov:
+				covered++
+			default:
+				if firstPending == -1 {
+					firstPending = ei
+					// Find its first unmet need.
+					for ni := range infos[ei].needs {
+						has := false
+						for _, ri := range st.chosen {
+							for _, f := range fires[ri][ei] {
+								if f == ni {
+									has = true
+									break
+								}
+							}
+							if has {
+								break
+							}
+						}
+						if !has {
+							firstNeed = ni
+							break
+						}
+					}
+				}
+			}
+		}
+		if st.cost+lost >= bestObj {
+			return nil
+		}
+		if firstPending == -1 {
+			obj := st.cost + lost
+			if obj < bestObj || (obj == bestObj && covered > bestCovered) {
+				bestObj = obj
+				best = append([]int(nil), st.chosen...)
+				bestCovered = covered
+				found = true
+			}
+			return nil
+		}
+		// Option 1: add a provider of the first unmet requirement.
+		if len(st.chosen) < maxRules {
+			for _, ri := range providers[firstPending][firstNeed] {
+				already := false
+				for _, c := range st.chosen {
+					if c == ri {
+						already = true
+						break
+					}
+				}
+				if already || violates[ri][firstPending] {
+					continue
+				}
+				c := space[ri].Cost
+				if st.cost+c > maxCost || st.cost+c+lost >= bestObj {
+					continue
+				}
+				st.chosen = append(st.chosen, ri)
+				st.cost += c
+				if err := dfs(st); err != nil {
+					return err
+				}
+				st.chosen = st.chosen[:len(st.chosen)-1]
+				st.cost -= c
+			}
+		}
+		// Option 2: abandon the pending example (soft examples only).
+		if examples[firstPending].Weight > 0 {
+			st.abandoned[firstPending] = true
+			if err := dfs(st); err != nil {
+				return err
+			}
+			st.abandoned[firstPending] = false
+		}
+		return nil
+	}
+	st := &state{abandoned: make([]bool, n)}
+	if err := dfs(st); err != nil {
+		return nil, 0, err
+	}
+	if !found {
+		return nil, 0, ErrNoSolution
+	}
+	return best, bestCovered, nil
+}

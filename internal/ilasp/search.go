@@ -1,0 +1,209 @@
+package ilasp
+
+import (
+	"sort"
+)
+
+// Oracle abstracts a learning problem for the optimal subset search: a
+// candidate space and a per-example coverage check. Package ilasp's own
+// tasks and package asglearn's answer-set-grammar tasks (Definition 3 of
+// the paper) both reduce to this interface — realizing the paper's
+// "transformation into a task that can be solved by the ILASP system":
+// both searches are the same optimal subset search, differing only in
+// the coverage oracle.
+type Oracle interface {
+	// Candidates returns the hypothesis space.
+	Candidates() []Candidate
+	// Covers reports whether the hypothesis (candidate indices) covers
+	// example i.
+	Covers(chosen []int, i int) (bool, error)
+}
+
+// Solution is the outcome of a Search.
+type Solution struct {
+	// Chosen lists indices into the oracle's candidate space.
+	Chosen []int
+	// Covered counts covered examples.
+	Covered int
+}
+
+// Search finds an optimal hypothesis for an oracle over len(weights)
+// examples.
+//
+// Hard mode (default): minimal total cost covering every example, found
+// by iterative deepening on exact cost (ILASP-style optimality).
+// Noise mode (opts.Noise): minimises cost + sum of weights of uncovered
+// soft examples; zero-weight (hard) examples must be covered;
+// branch-and-bound prunes subtrees whose cost already exceeds the best
+// objective.
+func Search(o Oracle, weights []int, opts LearnOptions) (*Solution, error) {
+	maxRules := opts.MaxRules
+	if maxRules <= 0 {
+		maxRules = 3
+	}
+	cands := o.Candidates()
+	// Candidates must be in non-decreasing cost order for pruning.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cands[order[a]].Cost < cands[order[b]].Cost })
+
+	maxCost := opts.MaxCost
+	if maxCost <= 0 {
+		// Default: the maxRules most expensive candidates.
+		costs := make([]int, len(cands))
+		for i, c := range cands {
+			costs[i] = c.Cost
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(costs)))
+		for i := 0; i < len(costs) && i < maxRules; i++ {
+			maxCost += costs[i]
+		}
+	}
+
+	if opts.Noise {
+		return searchNoisy(o, weights, order, maxRules, maxCost)
+	}
+	return searchHard(o, weights, order, maxRules, maxCost)
+}
+
+func searchHard(o Oracle, weights []int, order []int, maxRules, maxCost int) (*Solution, error) {
+	cands := o.Candidates()
+	for target := 0; target <= maxCost; target++ {
+		var found *Solution
+		var dfs func(pos, remaining, rules int, chosen []int) error
+		dfs = func(pos, remaining, rules int, chosen []int) error {
+			if found != nil {
+				return nil
+			}
+			if remaining == 0 {
+				covered, ok, err := checkAll(o, len(weights), chosen)
+				if err != nil {
+					return err
+				}
+				if ok {
+					found = &Solution{Chosen: append([]int(nil), chosen...), Covered: covered}
+				}
+				return nil
+			}
+			if rules == 0 {
+				return nil
+			}
+			for i := pos; i < len(order); i++ {
+				ci := order[i]
+				c := cands[ci].Cost
+				if c > remaining {
+					break // sorted: everything after costs at least as much
+				}
+				if err := dfs(i+1, remaining-c, rules-1, append(chosen, ci)); err != nil {
+					return err
+				}
+				if found != nil {
+					return nil
+				}
+			}
+			return nil
+		}
+		if err := dfs(0, target, maxRules, nil); err != nil {
+			return nil, err
+		}
+		if found != nil {
+			return found, nil
+		}
+	}
+	return nil, ErrNoSolution
+}
+
+// checkAll verifies coverage of every example, aborting at the first
+// failure. It returns (covered count, all covered).
+func checkAll(o Oracle, n int, chosen []int) (int, bool, error) {
+	covered := 0
+	for i := 0; i < n; i++ {
+		ok, err := o.Covers(chosen, i)
+		if err != nil {
+			return covered, false, err
+		}
+		if !ok {
+			return covered, false, nil
+		}
+		covered++
+	}
+	return covered, true, nil
+}
+
+func searchNoisy(o Oracle, weights []int, order []int, maxRules, maxCost int) (*Solution, error) {
+	cands := o.Candidates()
+	var (
+		best    *Solution
+		bestObj = int(^uint(0) >> 1) // max int
+	)
+	evaluate := func(chosen []int, cost int) error {
+		if cost >= bestObj {
+			return nil
+		}
+		covered := 0
+		penalty := 0
+		for i, w := range weights {
+			ok, err := o.Covers(chosen, i)
+			if err != nil {
+				return err
+			}
+			if ok {
+				covered++
+				continue
+			}
+			if w <= 0 {
+				return nil // hard example uncovered: infeasible
+			}
+			penalty += w
+			if cost+penalty >= bestObj {
+				return nil
+			}
+		}
+		obj := cost + penalty
+		if obj < bestObj {
+			bestObj = obj
+			best = &Solution{Chosen: append([]int(nil), chosen...), Covered: covered}
+		}
+		return nil
+	}
+
+	var dfs func(pos, cost, rules int, chosen []int) error
+	dfs = func(pos, cost, rules int, chosen []int) error {
+		if err := evaluate(chosen, cost); err != nil {
+			return err
+		}
+		if rules == 0 {
+			return nil
+		}
+		for i := pos; i < len(order); i++ {
+			ci := order[i]
+			c := cands[ci].Cost
+			if cost+c > maxCost || cost+c >= bestObj {
+				break
+			}
+			if err := dfs(i+1, cost+c, rules-1, append(chosen, ci)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(0, 0, maxRules, nil); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, ErrNoSolution
+	}
+	return best, nil
+}
+
+// ExampleWeights extracts the weight vector of a task's examples for
+// Search.
+func ExampleWeights(examples []Example) []int {
+	w := make([]int, len(examples))
+	for i, e := range examples {
+		w[i] = e.Weight
+	}
+	return w
+}

@@ -1,0 +1,74 @@
+package ilasp
+
+import (
+	"testing"
+
+	"agenp/internal/asp"
+)
+
+func TestBiasSpaceVarComparisons(t *testing.T) {
+	b := Bias{
+		Head: []ModeAtom{M("deny")},
+		Body: []ModeAtom{M("loa", Var("num")), M("min", Var("num"))},
+		Comparisons: []CmpSpec{{
+			Type: "num",
+			Ops:  []asp.CmpOp{asp.CmpLt},
+		}},
+		VarComparisons: true,
+		MaxVars:        2,
+		MaxBody:        3,
+		RequireBody:    true,
+	}
+	space, err := b.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range space {
+		if c.Rule.String() == "deny :- loa(V1), min(V2), V1 < V2." {
+			found = true
+		}
+	}
+	if !found {
+		var all []string
+		for _, c := range space {
+			all = append(all, c.Rule.String())
+		}
+		t.Errorf("space missing relational rule; got %v", all)
+	}
+}
+
+func TestLearnRelationalRule(t *testing.T) {
+	// Only the relational form separates these examples: absolute
+	// thresholds are not in the bias.
+	task := &Task{
+		Bias: Bias{
+			Head: []ModeAtom{M("deny")},
+			Body: []ModeAtom{M("loa", Var("num")), M("min", Var("num"))},
+			Comparisons: []CmpSpec{{
+				Type: "num",
+				Ops:  []asp.CmpOp{asp.CmpLt},
+			}},
+			VarComparisons: true,
+			MaxVars:        2,
+			MaxBody:        3,
+			RequireBody:    true,
+		},
+		Examples: []Example{
+			PosExample("below", []asp.Atom{atom(t, "deny")}, nil, prog(t, "loa(2). min(4).")),
+			PosExample("above", nil, []asp.Atom{atom(t, "deny")}, prog(t, "loa(4). min(2).")),
+			PosExample("equal", nil, []asp.Atom{atom(t, "deny")}, prog(t, "loa(3). min(3).")),
+			// The same numeric pairs with swapped roles, so neither
+			// single-variable projection works.
+			PosExample("below2", []asp.Atom{atom(t, "deny")}, nil, prog(t, "loa(1). min(2).")),
+			PosExample("above2", nil, []asp.Atom{atom(t, "deny")}, prog(t, "loa(2). min(1).")),
+		},
+	}
+	res, err := task.LearnIndependent(LearnOptions{MaxRules: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypothesis) != 1 || res.Hypothesis[0].String() != "deny :- loa(V1), min(V2), V1 < V2." {
+		t.Errorf("learned %v", res.Hypothesis)
+	}
+}

@@ -1,0 +1,313 @@
+// Package intent implements the paper's "from natural language to
+// grammar-based policies" research direction (Section III.B):
+// "policies are initially defined by end users or organizations in
+// natural language … these constructs must be transformed into the
+// grammars that are the basis of the generative policy approaches."
+//
+// The package compiles a controlled-English intent document into an
+// answer set grammar: verb/object statements become productions, domain
+// enumerations become object productions emitting facts, and
+// "never …" / "require …" statements become ASP annotations. The result
+// plugs directly into the GPM/AGENP machinery.
+//
+// Supported statement forms (one per line; case-insensitive keywords):
+//
+//	policy: accept or reject task          -> verb productions
+//	task: overtake, park, lane_change     -> object productions + facts
+//	never accept overtake when weather is rain
+//	never accept any task when threat is high
+//	require loa of at least 3 to accept any task
+//
+// Comments start with '#'.
+package intent
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/cfg"
+)
+
+// Document is a parsed intent document before grammar compilation.
+type Document struct {
+	// Verbs are the policy verbs in declaration order.
+	Verbs []string
+	// Category is the object category name (e.g. "task").
+	Category string
+	// Objects enumerate the category's members.
+	Objects []string
+	// Constraints are the semantic statements.
+	Constraints []Constraint
+}
+
+// ConstraintKind distinguishes the constraint statement forms.
+type ConstraintKind int
+
+// Constraint statement forms.
+const (
+	// NeverObjectWhen: never <verb> <object> when <attr> is <value>.
+	NeverObjectWhen ConstraintKind = iota + 1
+	// NeverAnyWhen: never <verb> any <category> when <attr> is <value>.
+	NeverAnyWhen
+	// RequireAtLeast: require <attr> of at least <n> to <verb> any
+	// <category>.
+	RequireAtLeast
+)
+
+// Constraint is one semantic statement.
+type Constraint struct {
+	Kind   ConstraintKind
+	Verb   string
+	Object string // NeverObjectWhen only
+	Attr   string
+	Value  string // NeverObjectWhen / NeverAnyWhen
+	Min    int    // RequireAtLeast
+	// Source preserves the original line for explanations.
+	Source string
+}
+
+// Parse reads an intent document.
+func Parse(src string) (*Document, error) {
+	doc := &Document{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "policy:"):
+			if err := doc.parsePolicy(line); err != nil {
+				return nil, fmt.Errorf("intent: line %d: %w", lineNo+1, err)
+			}
+		case strings.HasPrefix(lower, "never "):
+			c, err := parseNever(line)
+			if err != nil {
+				return nil, fmt.Errorf("intent: line %d: %w", lineNo+1, err)
+			}
+			doc.Constraints = append(doc.Constraints, c)
+		case strings.HasPrefix(lower, "require "):
+			c, err := parseRequire(line)
+			if err != nil {
+				return nil, fmt.Errorf("intent: line %d: %w", lineNo+1, err)
+			}
+			doc.Constraints = append(doc.Constraints, c)
+		case strings.Contains(line, ":"):
+			if err := doc.parseCategory(line); err != nil {
+				return nil, fmt.Errorf("intent: line %d: %w", lineNo+1, err)
+			}
+		default:
+			return nil, fmt.Errorf("intent: line %d: cannot understand %q", lineNo+1, line)
+		}
+	}
+	if len(doc.Verbs) == 0 {
+		return nil, fmt.Errorf("intent: no 'policy:' statement")
+	}
+	if doc.Category == "" {
+		return nil, fmt.Errorf("intent: no category enumeration (e.g. \"task: overtake, park\")")
+	}
+	return doc, nil
+}
+
+// parsePolicy handles "policy: accept or reject task".
+func (d *Document) parsePolicy(line string) error {
+	_, rest, _ := strings.Cut(line, ":")
+	words := strings.Fields(strings.ToLower(rest))
+	if len(words) < 2 {
+		return fmt.Errorf("expected \"policy: <verb> [or <verb>]... <category>\"")
+	}
+	category := words[len(words)-1]
+	for _, w := range words[:len(words)-1] {
+		if w == "or" {
+			continue
+		}
+		d.Verbs = append(d.Verbs, w)
+	}
+	if len(d.Verbs) == 0 {
+		return fmt.Errorf("no verbs in policy statement")
+	}
+	if d.Category == "" {
+		d.Category = category
+	} else if d.Category != category {
+		return fmt.Errorf("policy category %q does not match enumeration %q", category, d.Category)
+	}
+	return nil
+}
+
+// parseCategory handles "task: overtake, park, lane_change".
+func (d *Document) parseCategory(line string) error {
+	name, rest, _ := strings.Cut(line, ":")
+	name = strings.TrimSpace(strings.ToLower(name))
+	if d.Category != "" && d.Category != name {
+		return fmt.Errorf("category %q conflicts with %q", name, d.Category)
+	}
+	d.Category = name
+	for _, obj := range strings.Split(rest, ",") {
+		obj = strings.TrimSpace(strings.ToLower(obj))
+		if obj == "" {
+			continue
+		}
+		if !isIdent(obj) {
+			return fmt.Errorf("object %q is not a simple identifier", obj)
+		}
+		d.Objects = append(d.Objects, obj)
+	}
+	if len(d.Objects) == 0 {
+		return fmt.Errorf("category %q has no objects", name)
+	}
+	return nil
+}
+
+// parseNever handles the two "never" forms.
+func parseNever(line string) (Constraint, error) {
+	words := strings.Fields(strings.ToLower(line))
+	// never <verb> <object|any CATEGORY> when <attr> is <value>
+	whenIdx := indexOf(words, "when")
+	if whenIdx < 3 || whenIdx+4 > len(words) || words[whenIdx+2] != "is" {
+		return Constraint{}, fmt.Errorf("expected \"never <verb> <object> when <attr> is <value>\"")
+	}
+	c := Constraint{Verb: words[1], Attr: words[whenIdx+1], Value: words[whenIdx+3], Source: line}
+	if words[2] == "any" {
+		c.Kind = NeverAnyWhen
+	} else {
+		c.Kind = NeverObjectWhen
+		c.Object = words[2]
+	}
+	return c, nil
+}
+
+// parseRequire handles "require <attr> of at least <n> to <verb> any
+// <category>".
+func parseRequire(line string) (Constraint, error) {
+	words := strings.Fields(strings.ToLower(line))
+	// require attr of at least N to verb any category
+	if len(words) < 9 || words[2] != "of" || words[3] != "at" || words[4] != "least" || words[6] != "to" {
+		return Constraint{}, fmt.Errorf("expected \"require <attr> of at least <n> to <verb> any <category>\"")
+	}
+	n, err := strconv.Atoi(words[5])
+	if err != nil {
+		return Constraint{}, fmt.Errorf("threshold %q is not a number", words[5])
+	}
+	return Constraint{
+		Kind:   RequireAtLeast,
+		Attr:   words[1],
+		Min:    n,
+		Verb:   words[7],
+		Source: line,
+	}, nil
+}
+
+// Compile turns the document into an answer set grammar. The first verb
+// production for each constrained verb carries the compiled ASP
+// annotations.
+func (d *Document) Compile() (*asg.Grammar, error) {
+	var prods []cfg.Production
+	verbProd := make(map[string]int, len(d.Verbs))
+	for _, v := range d.Verbs {
+		verbProd[v] = len(prods)
+		prods = append(prods, cfg.Production{
+			Lhs: "policy",
+			Rhs: []cfg.Symbol{cfg.T(v), cfg.NT(d.Category)},
+		})
+	}
+	annotations := make(map[int]*asp.Program)
+	for _, obj := range d.Objects {
+		id := len(prods)
+		prods = append(prods, cfg.Production{
+			Lhs: d.Category,
+			Rhs: []cfg.Symbol{cfg.T(obj)},
+		})
+		annotations[id] = asp.NewProgram(asp.NewFact(
+			asp.NewAtom(d.Category, asp.Constant{Name: obj}),
+		))
+	}
+
+	objSet := make(map[string]struct{}, len(d.Objects))
+	for _, o := range d.Objects {
+		objSet[o] = struct{}{}
+	}
+	for _, c := range d.Constraints {
+		id, ok := verbProd[c.Verb]
+		if !ok {
+			return nil, fmt.Errorf("intent: %q uses unknown verb %q", c.Source, c.Verb)
+		}
+		rule, err := c.compile(d.Category, objSet)
+		if err != nil {
+			return nil, err
+		}
+		if annotations[id] == nil {
+			annotations[id] = asp.NewProgram()
+		}
+		annotations[id].Add(rule)
+	}
+
+	grammar, err := cfg.New("policy", prods)
+	if err != nil {
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	return asg.New(grammar, annotations)
+}
+
+// compile renders one constraint as an annotated ASP rule for the verb
+// production (whose child 2 is the category node).
+func (c Constraint) compile(category string, objects map[string]struct{}) (asp.Rule, error) {
+	switch c.Kind {
+	case NeverObjectWhen:
+		if _, ok := objects[c.Object]; !ok {
+			return asp.Rule{}, fmt.Errorf("intent: %q names unknown %s %q", c.Source, category, c.Object)
+		}
+		return asp.NewConstraint(
+			asp.Pos(asp.Atom{
+				Predicate: asg.EncodeAnnotated(category, 2),
+				Args:      []asp.Term{asp.Constant{Name: c.Object}},
+			}),
+			asp.Pos(asp.NewAtom(c.Attr, asp.Constant{Name: c.Value})),
+		), nil
+	case NeverAnyWhen:
+		return asp.NewConstraint(
+			asp.Pos(asp.NewAtom(c.Attr, asp.Constant{Name: c.Value})),
+		), nil
+	case RequireAtLeast:
+		v := asp.Variable{Name: "V"}
+		return asp.NewConstraint(
+			asp.Pos(asp.NewAtom(c.Attr, v)),
+			asp.Cmp(v, asp.CmpLt, asp.Integer{Value: c.Min}),
+		), nil
+	default:
+		return asp.Rule{}, fmt.Errorf("intent: unknown constraint kind for %q", c.Source)
+	}
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src string) (*asg.Grammar, error) {
+	doc, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Compile()
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r == '_':
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,363 @@
+// Package mlbase provides the shallow statistical-learning baselines the
+// paper compares the symbolic learner against (Section IV.A: "the ASG
+// based GPM outperforms shallow Machine Learning techniques ... as fewer
+// examples are required to achieve a greater accuracy"): an ID3 decision
+// tree, a categorical naive Bayes classifier, and a majority-class
+// baseline, all over categorical features.
+package mlbase
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Instance is one training or test example: categorical features and a
+// class label.
+type Instance struct {
+	Features map[string]string
+	Label    string
+}
+
+// Classifier predicts a label from features.
+type Classifier interface {
+	Predict(features map[string]string) string
+}
+
+// Accuracy scores a classifier on a test set.
+func Accuracy(c Classifier, test []Instance) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, in := range test {
+		if c.Predict(in.Features) == in.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}
+
+// --- majority baseline ---
+
+// Majority always predicts the most frequent training label.
+type Majority struct {
+	label string
+}
+
+var _ Classifier = (*Majority)(nil)
+
+// TrainMajority fits the majority baseline.
+func TrainMajority(train []Instance) *Majority {
+	counts := make(map[string]int)
+	for _, in := range train {
+		counts[in.Label]++
+	}
+	best, bestN := "", -1
+	for _, l := range sortedKeys(counts) {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	return &Majority{label: best}
+}
+
+// Predict implements Classifier.
+func (m *Majority) Predict(map[string]string) string { return m.label }
+
+// --- ID3 decision tree ---
+
+// TreeNode is a node of an ID3 decision tree.
+type TreeNode struct {
+	// Leaf label when Feature is empty.
+	Label string
+	// Feature tested at this node.
+	Feature string
+	// Children maps feature values to subtrees.
+	Children map[string]*TreeNode
+	// Default label for unseen feature values.
+	Default string
+}
+
+// DecisionTree is an ID3-trained classifier.
+type DecisionTree struct {
+	root *TreeNode
+}
+
+var _ Classifier = (*DecisionTree)(nil)
+
+// TreeOptions configures ID3.
+type TreeOptions struct {
+	// MaxDepth bounds tree depth (0 = unlimited).
+	MaxDepth int
+	// MinSamples stops splitting below this many instances (default 1).
+	MinSamples int
+}
+
+// TrainID3 fits a decision tree with information-gain splitting.
+func TrainID3(train []Instance, opts TreeOptions) *DecisionTree {
+	minSamples := opts.MinSamples
+	if minSamples <= 0 {
+		minSamples = 1
+	}
+	features := make(map[string]struct{})
+	for _, in := range train {
+		for f := range in.Features {
+			features[f] = struct{}{}
+		}
+	}
+	fs := make([]string, 0, len(features))
+	for f := range features {
+		fs = append(fs, f)
+	}
+	sort.Strings(fs)
+	return &DecisionTree{root: id3(train, fs, opts.MaxDepth, minSamples, 0)}
+}
+
+func id3(data []Instance, features []string, maxDepth, minSamples, depth int) *TreeNode {
+	maj := majorityLabel(data)
+	if len(data) == 0 {
+		return &TreeNode{Label: maj}
+	}
+	if pure(data) || len(features) == 0 || len(data) < minSamples ||
+		(maxDepth > 0 && depth >= maxDepth) {
+		return &TreeNode{Label: maj}
+	}
+	// Pick the best information-gain feature; zero-gain splits are
+	// allowed (ties broken by feature order) as long as the feature
+	// actually partitions the data — without this, parity-style concepts
+	// like XOR, where every single feature is individually uninformative,
+	// would be unlearnable.
+	bestF, bestGain := "", -1.0
+	for _, f := range features {
+		if distinctValues(data, f) < 2 {
+			continue
+		}
+		g := gain(data, f)
+		if g > bestGain {
+			bestF, bestGain = f, g
+		}
+	}
+	if bestF == "" {
+		return &TreeNode{Label: maj}
+	}
+	node := &TreeNode{Feature: bestF, Children: make(map[string]*TreeNode), Default: maj}
+	rest := make([]string, 0, len(features)-1)
+	for _, f := range features {
+		if f != bestF {
+			rest = append(rest, f)
+		}
+	}
+	parts := make(map[string][]Instance)
+	for _, in := range data {
+		parts[in.Features[bestF]] = append(parts[in.Features[bestF]], in)
+	}
+	for _, v := range sortedKeys(parts) {
+		node.Children[v] = id3(parts[v], rest, maxDepth, minSamples, depth+1)
+	}
+	return node
+}
+
+func distinctValues(data []Instance, feature string) int {
+	seen := make(map[string]struct{})
+	for _, in := range data {
+		seen[in.Features[feature]] = struct{}{}
+	}
+	return len(seen)
+}
+
+func pure(data []Instance) bool {
+	for i := 1; i < len(data); i++ {
+		if data[i].Label != data[0].Label {
+			return false
+		}
+	}
+	return true
+}
+
+func majorityLabel(data []Instance) string {
+	counts := make(map[string]int)
+	for _, in := range data {
+		counts[in.Label]++
+	}
+	best, bestN := "", -1
+	for _, l := range sortedKeys(counts) {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	return best
+}
+
+func entropy(data []Instance) float64 {
+	counts := make(map[string]int)
+	for _, in := range data {
+		counts[in.Label]++
+	}
+	h := 0.0
+	n := float64(len(data))
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+func gain(data []Instance, feature string) float64 {
+	parts := make(map[string][]Instance)
+	for _, in := range data {
+		parts[in.Features[feature]] = append(parts[in.Features[feature]], in)
+	}
+	h := entropy(data)
+	n := float64(len(data))
+	for _, part := range parts {
+		h -= float64(len(part)) / n * entropy(part)
+	}
+	return h
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(features map[string]string) string {
+	node := t.root
+	for node.Feature != "" {
+		child, ok := node.Children[features[node.Feature]]
+		if !ok {
+			return node.Default
+		}
+		node = child
+	}
+	return node.Label
+}
+
+// Depth returns the tree depth (a single leaf has depth 1).
+func (t *DecisionTree) Depth() int {
+	var rec func(n *TreeNode) int
+	rec = func(n *TreeNode) int {
+		if n.Feature == "" {
+			return 1
+		}
+		max := 0
+		for _, c := range n.Children {
+			if d := rec(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return rec(t.root)
+}
+
+// String renders the tree for inspection.
+func (t *DecisionTree) String() string {
+	var sb strings.Builder
+	var rec func(n *TreeNode, indent string)
+	rec = func(n *TreeNode, indent string) {
+		if n.Feature == "" {
+			fmt.Fprintf(&sb, "%s-> %s\n", indent, n.Label)
+			return
+		}
+		for _, v := range sortedNodeKeys(n.Children) {
+			fmt.Fprintf(&sb, "%s%s = %s:\n", indent, n.Feature, v)
+			rec(n.Children[v], indent+"  ")
+		}
+	}
+	rec(t.root, "")
+	return sb.String()
+}
+
+// --- naive Bayes ---
+
+// NaiveBayes is a categorical naive Bayes classifier with Laplace
+// smoothing.
+type NaiveBayes struct {
+	labels []string
+	prior  map[string]float64
+	// cond[label][feature][value] = P(value | label), smoothed.
+	cond map[string]map[string]map[string]float64
+	// vocab[feature] = number of distinct values (for smoothing).
+	vocab map[string]int
+}
+
+var _ Classifier = (*NaiveBayes)(nil)
+
+// TrainNaiveBayes fits the classifier.
+func TrainNaiveBayes(train []Instance) *NaiveBayes {
+	nb := &NaiveBayes{
+		prior: make(map[string]float64),
+		cond:  make(map[string]map[string]map[string]float64),
+		vocab: make(map[string]int),
+	}
+	labelCounts := make(map[string]int)
+	valueSets := make(map[string]map[string]struct{})
+	counts := make(map[string]map[string]map[string]int)
+	for _, in := range train {
+		labelCounts[in.Label]++
+		if counts[in.Label] == nil {
+			counts[in.Label] = make(map[string]map[string]int)
+		}
+		for f, v := range in.Features {
+			if valueSets[f] == nil {
+				valueSets[f] = make(map[string]struct{})
+			}
+			valueSets[f][v] = struct{}{}
+			if counts[in.Label][f] == nil {
+				counts[in.Label][f] = make(map[string]int)
+			}
+			counts[in.Label][f][v]++
+		}
+	}
+	for f, vs := range valueSets {
+		nb.vocab[f] = len(vs)
+	}
+	n := float64(len(train))
+	nb.labels = sortedKeys(labelCounts)
+	for _, l := range nb.labels {
+		nb.prior[l] = float64(labelCounts[l]) / n
+		nb.cond[l] = make(map[string]map[string]float64)
+		for f := range valueSets {
+			nb.cond[l][f] = make(map[string]float64)
+			total := 0
+			for _, c := range counts[l][f] {
+				total += c
+			}
+			for v := range valueSets[f] {
+				nb.cond[l][f][v] = (float64(counts[l][f][v]) + 1) / (float64(total) + float64(nb.vocab[f]))
+			}
+		}
+	}
+	return nb
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(features map[string]string) string {
+	best, bestScore := "", math.Inf(-1)
+	for _, l := range nb.labels {
+		score := math.Log(nb.prior[l])
+		for f, v := range features {
+			p, ok := nb.cond[l][f][v]
+			if !ok {
+				// Unseen value: uniform smoothing mass.
+				p = 1 / float64(nb.vocab[f]+1)
+			}
+			score += math.Log(p)
+		}
+		if score > bestScore {
+			best, bestScore = l, score
+		}
+	}
+	return best
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedNodeKeys(m map[string]*TreeNode) []string {
+	return sortedKeys(m)
+}

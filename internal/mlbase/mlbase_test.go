@@ -1,0 +1,133 @@
+package mlbase
+
+import (
+	"strings"
+	"testing"
+)
+
+// xorData is a dataset a linear/shallow model struggles with but ID3
+// solves: label = a XOR b.
+func xorData() []Instance {
+	var out []Instance
+	for _, a := range []string{"0", "1"} {
+		for _, b := range []string{"0", "1"} {
+			label := "no"
+			if a != b {
+				label = "yes"
+			}
+			out = append(out, Instance{Features: map[string]string{"a": a, "b": b}, Label: label})
+		}
+	}
+	return out
+}
+
+func TestMajority(t *testing.T) {
+	train := []Instance{
+		{Features: map[string]string{"x": "1"}, Label: "permit"},
+		{Features: map[string]string{"x": "2"}, Label: "permit"},
+		{Features: map[string]string{"x": "3"}, Label: "deny"},
+	}
+	m := TrainMajority(train)
+	if m.Predict(map[string]string{"x": "9"}) != "permit" {
+		t.Error("majority should predict permit")
+	}
+	if acc := Accuracy(m, train); acc < 0.66 || acc > 0.67 {
+		t.Errorf("accuracy = %f", acc)
+	}
+}
+
+func TestID3LearnsXOR(t *testing.T) {
+	data := xorData()
+	tree := TrainID3(data, TreeOptions{})
+	if acc := Accuracy(tree, data); acc != 1.0 {
+		t.Errorf("ID3 on XOR accuracy = %f, want 1.0\n%s", acc, tree)
+	}
+	if d := tree.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3 (two splits + leaf)", d)
+	}
+}
+
+func TestID3PureLeafShortCircuit(t *testing.T) {
+	data := []Instance{
+		{Features: map[string]string{"a": "0"}, Label: "yes"},
+		{Features: map[string]string{"a": "1"}, Label: "yes"},
+	}
+	tree := TrainID3(data, TreeOptions{})
+	if tree.Depth() != 1 {
+		t.Errorf("pure data should give a single leaf, depth = %d", tree.Depth())
+	}
+}
+
+func TestID3MaxDepth(t *testing.T) {
+	tree := TrainID3(xorData(), TreeOptions{MaxDepth: 1})
+	if d := tree.Depth(); d > 2 {
+		t.Errorf("MaxDepth ignored: depth = %d", d)
+	}
+}
+
+func TestID3UnseenValueFallsBack(t *testing.T) {
+	data := []Instance{
+		{Features: map[string]string{"color": "red"}, Label: "stop"},
+		{Features: map[string]string{"color": "red"}, Label: "stop"},
+		{Features: map[string]string{"color": "green"}, Label: "go"},
+	}
+	tree := TrainID3(data, TreeOptions{})
+	// Unseen "blue" falls back to the node default (majority = stop).
+	if got := tree.Predict(map[string]string{"color": "blue"}); got != "stop" {
+		t.Errorf("unseen value prediction = %q, want stop", got)
+	}
+}
+
+func TestID3String(t *testing.T) {
+	tree := TrainID3(xorData(), TreeOptions{})
+	s := tree.String()
+	if !strings.Contains(s, "a = 0") && !strings.Contains(s, "b = 0") {
+		t.Errorf("tree rendering unexpected:\n%s", s)
+	}
+}
+
+func TestNaiveBayesSimple(t *testing.T) {
+	train := []Instance{
+		{Features: map[string]string{"weather": "rain"}, Label: "deny"},
+		{Features: map[string]string{"weather": "rain"}, Label: "deny"},
+		{Features: map[string]string{"weather": "clear"}, Label: "permit"},
+		{Features: map[string]string{"weather": "clear"}, Label: "permit"},
+	}
+	nb := TrainNaiveBayes(train)
+	if nb.Predict(map[string]string{"weather": "rain"}) != "deny" {
+		t.Error("rain should be denied")
+	}
+	if nb.Predict(map[string]string{"weather": "clear"}) != "permit" {
+		t.Error("clear should be permitted")
+	}
+	// Unseen value: falls back without panicking.
+	_ = nb.Predict(map[string]string{"weather": "fog"})
+	if acc := Accuracy(nb, train); acc != 1.0 {
+		t.Errorf("accuracy = %f", acc)
+	}
+}
+
+func TestNaiveBayesFailsOnXOR(t *testing.T) {
+	// XOR is the canonical counterexample for NB's independence
+	// assumption: both features are individually uninformative.
+	data := xorData()
+	nb := TrainNaiveBayes(data)
+	if acc := Accuracy(nb, data); acc > 0.75 {
+		t.Errorf("NB should not solve XOR, accuracy = %f", acc)
+	}
+}
+
+func TestAccuracyEmptyTestSet(t *testing.T) {
+	if Accuracy(TrainMajority(nil), nil) != 0 {
+		t.Error("empty test set accuracy should be 0")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	data := xorData()
+	t1 := TrainID3(data, TreeOptions{}).String()
+	t2 := TrainID3(data, TreeOptions{}).String()
+	if t1 != t2 {
+		t.Error("ID3 training not deterministic")
+	}
+}

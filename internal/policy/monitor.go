@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"sync"
+	"time"
+)
+
+// DecisionRecord is one monitored PDP decision together with the effect
+// the PEP observed, the raw material the Policy Adaptation Point learns
+// from (paper Section III.A: "the operations of the PDP and PEP are
+// monitored to produce a history of the decisions ... and the effects
+// they have had").
+type DecisionRecord struct {
+	// RequestKey canonically identifies the request that was decided.
+	RequestKey string
+	// ContextKey canonically identifies the context at decision time.
+	ContextKey string
+	// Decision is the PDP outcome (e.g. "Permit", "Deny",
+	// "NotApplicable").
+	Decision string
+	// PolicyID names the policy that produced the decision ("" if none).
+	PolicyID string
+	// Outcome records the PEP-observed effect: "ok", "violation",
+	// "no-policy", etc.
+	Outcome string
+	// At is the decision time.
+	At time.Time
+}
+
+// MonitorLog is a bounded, thread-safe decision history.
+type MonitorLog struct {
+	mu      sync.Mutex
+	records []DecisionRecord
+	max     int
+}
+
+// NewMonitorLog builds a log keeping at most max records (0 = unbounded).
+func NewMonitorLog(max int) *MonitorLog {
+	return &MonitorLog{max: max}
+}
+
+// Append records a decision, evicting the oldest entry when full.
+func (l *MonitorLog) Append(rec DecisionRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, rec)
+	if l.max > 0 && len(l.records) > l.max {
+		l.records = l.records[len(l.records)-l.max:]
+	}
+}
+
+// Snapshot returns a copy of the current records.
+func (l *MonitorLog) Snapshot() []DecisionRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]DecisionRecord, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Len returns the number of records.
+func (l *MonitorLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// CountBy tallies records by a projection (e.g. Decision or Outcome).
+func (l *MonitorLog) CountBy(project func(DecisionRecord) string) map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int)
+	for _, r := range l.records {
+		out[project(r)]++
+	}
+	return out
+}
+
+// Violations returns the records whose outcome marks a violation.
+func (l *MonitorLog) Violations() []DecisionRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []DecisionRecord
+	for _, r := range l.records {
+		if r.Outcome == "violation" {
+			out = append(out, r)
+		}
+	}
+	return out
+}

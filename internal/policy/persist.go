@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Snapshotting: the policy repository serializes to JSON so an AMS can
+// persist its policies across restarts (coalition parties are devices
+// that reboot; Section I's "self-adaptive" systems need durable state).
+
+// snapshotPolicy is the wire form of a Policy.
+type snapshotPolicy struct {
+	ID        string    `json:"id"`
+	Tokens    []string  `json:"tokens"`
+	Source    string    `json:"source"`
+	Origin    string    `json:"origin,omitempty"`
+	Version   int       `json:"version"`
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+type snapshot struct {
+	Policies []snapshotPolicy `json:"policies"`
+}
+
+func sourceFromString(s string) (Source, error) {
+	switch s {
+	case "generated":
+		return SourceGenerated, nil
+	case "shared":
+		return SourceShared, nil
+	case "refined":
+		return SourceRefined, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown source %q", s)
+	}
+}
+
+// Save writes the repository contents as JSON.
+func (r *Repository) Save(w io.Writer) error {
+	snap := snapshot{}
+	for _, p := range r.List() {
+		snap.Policies = append(snap.Policies, snapshotPolicy{
+			ID:        p.ID,
+			Tokens:    p.Tokens,
+			Source:    p.Source.String(),
+			Origin:    p.Origin,
+			Version:   p.Version,
+			CreatedAt: p.CreatedAt,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load replaces the repository contents from a JSON snapshot, preserving
+// versions and timestamps.
+func (r *Repository) Load(reader io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(reader).Decode(&snap); err != nil {
+		return fmt.Errorf("policy: decoding snapshot: %w", err)
+	}
+	policies := make([]Policy, 0, len(snap.Policies))
+	for _, sp := range snap.Policies {
+		src, err := sourceFromString(sp.Source)
+		if err != nil {
+			return err
+		}
+		policies = append(policies, Policy{
+			ID:        sp.ID,
+			Tokens:    sp.Tokens,
+			Source:    src,
+			Origin:    sp.Origin,
+			Version:   sp.Version,
+			CreatedAt: sp.CreatedAt,
+		})
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policies = make(map[string]Policy, len(policies))
+	for _, p := range policies {
+		r.policies[p.ID] = p
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot to a file.
+func (r *Repository) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := r.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a snapshot from a file.
+func (r *Repository) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return r.Load(f)
+}

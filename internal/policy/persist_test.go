@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := NewRepository()
+	fixed := time.Date(2026, 7, 4, 9, 0, 0, 0, time.UTC)
+	r.SetClock(func() time.Time { return fixed })
+	r.Put(Policy{ID: "p1", Tokens: []string{"accept", "park"}, Source: SourceGenerated})
+	r.Put(Policy{ID: "p1", Tokens: []string{"accept", "park"}}) // bump to v2
+	r.Put(Policy{ID: "p2", Tokens: []string{"share", "image"}, Source: SourceShared, Origin: "ally"})
+
+	var buf strings.Builder
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewRepository()
+	if err := restored.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d policies", restored.Len())
+	}
+	p1, ok := restored.Get("p1")
+	if !ok || p1.Version != 2 || !p1.CreatedAt.Equal(fixed) || p1.Text() != "accept park" {
+		t.Errorf("p1 = %+v", p1)
+	}
+	p2, _ := restored.Get("p2")
+	if p2.Source != SourceShared || p2.Origin != "ally" {
+		t.Errorf("p2 = %+v", p2)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.json")
+	r := NewRepository()
+	r.Put(Policy{ID: "x", Tokens: []string{"a"}, Source: SourceRefined})
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewRepository()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := restored.Get("x")
+	if !ok || got.Source != SourceRefined {
+		t.Errorf("restored = %+v, %v", got, ok)
+	}
+	if err := restored.LoadFile("/nonexistent/nope.json"); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	r := NewRepository()
+	if err := r.Load(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := r.Load(strings.NewReader(`{"policies":[{"id":"x","source":"martian"}]}`)); err == nil {
+		t.Error("unknown source accepted")
+	}
+	// Failed loads must not corrupt existing state... (Load replaces only
+	// on success).
+	r.Put(Policy{ID: "keep", Tokens: []string{"t"}})
+	_ = r.Load(strings.NewReader("{bad"))
+	if _, ok := r.Get("keep"); !ok {
+		t.Error("failed load wiped repository")
+	}
+}

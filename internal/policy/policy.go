@@ -1,0 +1,215 @@
+// Package policy provides the generic policy model shared by the AGENP
+// framework components (Figure 2 of the paper): policies as strings of a
+// policy language with provenance metadata, a thread-safe versioned
+// policy repository, a representations repository for learned generative
+// policy models, and monitoring records of PDP/PEP activity consumed by
+// the Policy Adaptation Point.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Source describes where a policy came from.
+type Source int
+
+// Policy provenance.
+const (
+	// SourceGenerated marks policies generated locally from the GPM.
+	SourceGenerated Source = iota + 1
+	// SourceShared marks policies received from another coalition party.
+	SourceShared
+	// SourceRefined marks policies installed by the global policy
+	// refinement of the PBMS.
+	SourceRefined
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceGenerated:
+		return "generated"
+	case SourceShared:
+		return "shared"
+	case SourceRefined:
+		return "refined"
+	default:
+		return "unknown"
+	}
+}
+
+// Policy is one policy of the managed system: a string of the policy
+// language plus provenance.
+type Policy struct {
+	// ID identifies the policy within a repository.
+	ID string
+	// Tokens is the policy string (tokens of the policy grammar).
+	Tokens []string
+	// Source records provenance.
+	Source Source
+	// Origin names the party the policy came from (for shared policies).
+	Origin string
+	// Version is maintained by the repository.
+	Version int
+	// CreatedAt is stamped by the repository.
+	CreatedAt time.Time
+}
+
+// Text returns the policy string with tokens joined by spaces.
+func (p Policy) Text() string { return strings.Join(p.Tokens, " ") }
+
+func (p Policy) String() string {
+	return fmt.Sprintf("%s v%d [%s] %q", p.ID, p.Version, p.Source, p.Text())
+}
+
+// Event is a repository change notification.
+type Event struct {
+	// Kind is "put" or "delete".
+	Kind string
+	// Policy is the affected policy (zero value for deletes of unknown
+	// ids).
+	Policy Policy
+}
+
+// Repository is a thread-safe, versioned policy store with change
+// notification, playing the Policy Repository role of the architecture.
+type Repository struct {
+	mu       sync.RWMutex
+	policies map[string]Policy
+	subs     []chan Event
+	now      func() time.Time
+}
+
+// NewRepository builds an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		policies: make(map[string]Policy),
+		now:      time.Now,
+	}
+}
+
+// SetClock injects a clock for tests.
+func (r *Repository) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Put inserts or updates a policy, bumping its version, and returns the
+// stored value.
+func (r *Repository) Put(p Policy) Policy {
+	r.mu.Lock()
+	if p.Source == 0 {
+		p.Source = SourceGenerated
+	}
+	if old, ok := r.policies[p.ID]; ok {
+		p.Version = old.Version + 1
+	} else {
+		p.Version = 1
+	}
+	p.CreatedAt = r.now()
+	// Copy the token slice so callers cannot mutate stored state.
+	toks := make([]string, len(p.Tokens))
+	copy(toks, p.Tokens)
+	p.Tokens = toks
+	r.policies[p.ID] = p
+	subs := append([]chan Event(nil), r.subs...)
+	r.mu.Unlock()
+
+	for _, ch := range subs {
+		select {
+		case ch <- Event{Kind: "put", Policy: p}:
+		default: // subscriber not keeping up; drop rather than block
+		}
+	}
+	return p
+}
+
+// Get returns a policy by id.
+func (r *Repository) Get(id string) (Policy, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.policies[id]
+	return p, ok
+}
+
+// Delete removes a policy and reports whether it existed.
+func (r *Repository) Delete(id string) bool {
+	r.mu.Lock()
+	p, ok := r.policies[id]
+	if ok {
+		delete(r.policies, id)
+	}
+	subs := append([]chan Event(nil), r.subs...)
+	r.mu.Unlock()
+	if ok {
+		for _, ch := range subs {
+			select {
+			case ch <- Event{Kind: "delete", Policy: p}:
+			default:
+			}
+		}
+	}
+	return ok
+}
+
+// List returns all policies sorted by id.
+func (r *Repository) List() []Policy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Policy, 0, len(r.policies))
+	for _, p := range r.policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of stored policies.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.policies)
+}
+
+// ReplaceAll atomically replaces the repository contents with the given
+// policies (used by the PReP when regenerating from a new GPM).
+func (r *Repository) ReplaceAll(policies []Policy) {
+	r.mu.Lock()
+	old := r.policies
+	r.policies = make(map[string]Policy, len(policies))
+	for _, p := range policies {
+		if prev, ok := old[p.ID]; ok {
+			p.Version = prev.Version + 1
+		} else if p.Version == 0 {
+			p.Version = 1
+		}
+		p.CreatedAt = r.now()
+		r.policies[p.ID] = p
+	}
+	r.mu.Unlock()
+}
+
+// Subscribe registers a change channel; the caller owns draining it. The
+// returned cancel function unsubscribes.
+func (r *Repository) Subscribe(buffer int) (<-chan Event, func()) {
+	ch := make(chan Event, buffer)
+	r.mu.Lock()
+	r.subs = append(r.subs, ch)
+	r.mu.Unlock()
+	cancel := func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for i, c := range r.subs {
+			if c == ch {
+				r.subs = append(r.subs[:i], r.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, cancel
+}

@@ -1,0 +1,202 @@
+package policy
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRepositoryPutGetVersioning(t *testing.T) {
+	r := NewRepository()
+	fixed := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	r.SetClock(func() time.Time { return fixed })
+
+	p := r.Put(Policy{ID: "p1", Tokens: []string{"permit", "alice"}, Source: SourceGenerated})
+	if p.Version != 1 || !p.CreatedAt.Equal(fixed) {
+		t.Fatalf("first put: %+v", p)
+	}
+	p2 := r.Put(Policy{ID: "p1", Tokens: []string{"deny", "alice"}})
+	if p2.Version != 2 {
+		t.Errorf("version = %d, want 2", p2.Version)
+	}
+	got, ok := r.Get("p1")
+	if !ok || got.Text() != "deny alice" {
+		t.Errorf("Get = %v, %v", got, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("missing id found")
+	}
+}
+
+func TestRepositoryTokenIsolation(t *testing.T) {
+	r := NewRepository()
+	toks := []string{"permit", "alice"}
+	r.Put(Policy{ID: "p1", Tokens: toks})
+	toks[0] = "deny"
+	got, _ := r.Get("p1")
+	if got.Tokens[0] != "permit" {
+		t.Error("repository shares token storage with caller")
+	}
+}
+
+func TestRepositoryListSortedAndLen(t *testing.T) {
+	r := NewRepository()
+	r.Put(Policy{ID: "b"})
+	r.Put(Policy{ID: "a"})
+	r.Put(Policy{ID: "c"})
+	list := r.List()
+	if len(list) != 3 || list[0].ID != "a" || list[2].ID != "c" {
+		t.Errorf("List = %v", list)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRepositoryDelete(t *testing.T) {
+	r := NewRepository()
+	r.Put(Policy{ID: "p"})
+	if !r.Delete("p") {
+		t.Error("Delete existing = false")
+	}
+	if r.Delete("p") {
+		t.Error("Delete missing = true")
+	}
+}
+
+func TestRepositoryReplaceAll(t *testing.T) {
+	r := NewRepository()
+	r.Put(Policy{ID: "old"})
+	r.Put(Policy{ID: "keep"})
+	r.ReplaceAll([]Policy{{ID: "keep"}, {ID: "new"}})
+	if _, ok := r.Get("old"); ok {
+		t.Error("old policy survived ReplaceAll")
+	}
+	keep, _ := r.Get("keep")
+	if keep.Version != 2 {
+		t.Errorf("kept policy version = %d, want 2", keep.Version)
+	}
+	n, _ := r.Get("new")
+	if n.Version != 1 {
+		t.Errorf("new policy version = %d, want 1", n.Version)
+	}
+}
+
+func TestRepositorySubscribe(t *testing.T) {
+	r := NewRepository()
+	ch, cancel := r.Subscribe(4)
+	r.Put(Policy{ID: "p1"})
+	r.Delete("p1")
+	ev1 := <-ch
+	if ev1.Kind != "put" || ev1.Policy.ID != "p1" {
+		t.Errorf("event 1 = %+v", ev1)
+	}
+	ev2 := <-ch
+	if ev2.Kind != "delete" {
+		t.Errorf("event 2 = %+v", ev2)
+	}
+	cancel()
+	if _, open := <-ch; open {
+		t.Error("channel not closed by cancel")
+	}
+	// Further puts must not panic after cancel.
+	r.Put(Policy{ID: "p2"})
+}
+
+func TestRepositoryConcurrency(t *testing.T) {
+	r := NewRepository()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				id := string(rune('a' + i))
+				r.Put(Policy{ID: id, Tokens: []string{"t"}})
+				r.Get(id)
+				r.List()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Errorf("Len = %d, want 8", r.Len())
+	}
+	p, _ := r.Get("a")
+	if p.Version != 100 {
+		t.Errorf("version = %d, want 100", p.Version)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	p := Policy{ID: "p1", Tokens: []string{"permit", "x"}, Source: SourceShared, Version: 3}
+	s := p.String()
+	for _, want := range []string{"p1", "v3", "shared", "permit x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if SourceGenerated.String() != "generated" || SourceRefined.String() != "refined" {
+		t.Error("Source.String broken")
+	}
+}
+
+func TestMonitorLogAppendBound(t *testing.T) {
+	l := NewMonitorLog(3)
+	for i := 0; i < 5; i++ {
+		l.Append(DecisionRecord{RequestKey: string(rune('a' + i))})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	snap := l.Snapshot()
+	if snap[0].RequestKey != "c" || snap[2].RequestKey != "e" {
+		t.Errorf("eviction order wrong: %v", snap)
+	}
+}
+
+func TestMonitorLogCountByAndViolations(t *testing.T) {
+	l := NewMonitorLog(0)
+	l.Append(DecisionRecord{Decision: "Permit", Outcome: "ok"})
+	l.Append(DecisionRecord{Decision: "Deny", Outcome: "violation"})
+	l.Append(DecisionRecord{Decision: "Permit", Outcome: "violation"})
+	counts := l.CountBy(func(r DecisionRecord) string { return r.Decision })
+	if counts["Permit"] != 2 || counts["Deny"] != 1 {
+		t.Errorf("CountBy = %v", counts)
+	}
+	v := l.Violations()
+	if len(v) != 2 {
+		t.Errorf("Violations = %d, want 2", len(v))
+	}
+}
+
+func TestMonitorLogSnapshotIsolation(t *testing.T) {
+	l := NewMonitorLog(0)
+	l.Append(DecisionRecord{Decision: "Permit"})
+	snap := l.Snapshot()
+	snap[0].Decision = "Deny"
+	if l.Snapshot()[0].Decision != "Permit" {
+		t.Error("Snapshot not isolated")
+	}
+}
+
+func TestMonitorLogConcurrency(t *testing.T) {
+	l := NewMonitorLog(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Append(DecisionRecord{Decision: "Permit"})
+				l.Len()
+				l.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 100 {
+		t.Errorf("Len = %d, want 100 (bounded)", l.Len())
+	}
+}

@@ -1,0 +1,170 @@
+package quality
+
+import (
+	"fmt"
+
+	"agenp/internal/xacml"
+)
+
+// This file implements the conflict-resolution approach the paper
+// sketches in Section V.A: "use a static analysis to identify potential
+// conflicts and then at run-time use a conflict resolution algorithm to
+// solve conflicts … one may need to decide which strategy to adopt
+// depending on the context. Approaches like learning from human
+// decisions about conflict resolutions can be adopted."
+//
+// Static detection is Assess (the Conflicts field); this file adds the
+// runtime strategies and a small learner that picks the strategy most
+// consistent with observed human resolutions.
+
+// Strategy is a runtime conflict-resolution algorithm.
+type Strategy int
+
+// Available strategies.
+const (
+	// DenyWins resolves every permit/deny conflict to Deny (the safety
+	// posture of coalition systems).
+	DenyWins Strategy = iota + 1
+	// PermitWins resolves every conflict to Permit.
+	PermitWins
+	// MoreSpecificWins resolves to the effect of the rule with the more
+	// specific target (more matches); ties fall back to Deny.
+	MoreSpecificWins
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DenyWins:
+		return "deny-wins"
+	case PermitWins:
+		return "permit-wins"
+	case MoreSpecificWins:
+		return "more-specific-wins"
+	default:
+		return "invalid-strategy"
+	}
+}
+
+// Strategies lists every strategy.
+func Strategies() []Strategy {
+	return []Strategy{DenyWins, PermitWins, MoreSpecificWins}
+}
+
+// Resolve evaluates the policy's rules on the request individually and
+// combines the fired effects under the strategy, ignoring the policy's
+// own combining algorithm. It returns NotApplicable when nothing fires.
+func Resolve(p *xacml.Policy, r xacml.Request, s Strategy) xacml.Decision {
+	if !p.Target.Matches(r) {
+		return xacml.DecisionNotApplicable
+	}
+	var (
+		permitBest = -1 // most specific firing permit rule's target size
+		denyBest   = -1
+	)
+	for _, ru := range p.Rules {
+		if !ru.Applies(r) {
+			continue
+		}
+		size := len(ru.Target)
+		if ru.Effect == xacml.Permit {
+			if size > permitBest {
+				permitBest = size
+			}
+		} else {
+			if size > denyBest {
+				denyBest = size
+			}
+		}
+	}
+	switch {
+	case permitBest < 0 && denyBest < 0:
+		return xacml.DecisionNotApplicable
+	case permitBest < 0:
+		return xacml.DecisionDeny
+	case denyBest < 0:
+		return xacml.DecisionPermit
+	}
+	// Genuine conflict: both effects fired.
+	switch s {
+	case DenyWins:
+		return xacml.DecisionDeny
+	case PermitWins:
+		return xacml.DecisionPermit
+	case MoreSpecificWins:
+		if permitBest > denyBest {
+			return xacml.DecisionPermit
+		}
+		return xacml.DecisionDeny
+	default:
+		return xacml.DecisionIndeterminate
+	}
+}
+
+// ResolutionCase is one observed human decision on a conflicting
+// request.
+type ResolutionCase struct {
+	Request  xacml.Request
+	Decision xacml.Decision
+}
+
+// LearnStrategy returns the strategy that agrees with the most observed
+// resolutions (ties broken toward the safer strategy in Strategies()
+// order), along with its agreement rate. It errors when no cases are
+// given.
+func LearnStrategy(p *xacml.Policy, cases []ResolutionCase) (Strategy, float64, error) {
+	if len(cases) == 0 {
+		return 0, 0, fmt.Errorf("quality: no resolution cases to learn from")
+	}
+	best := DenyWins
+	bestAgree := -1
+	for _, s := range Strategies() {
+		agree := 0
+		for _, c := range cases {
+			if Resolve(p, c.Request, s) == c.Decision {
+				agree++
+			}
+		}
+		if agree > bestAgree {
+			best, bestAgree = s, agree
+		}
+	}
+	return best, float64(bestAgree) / float64(len(cases)), nil
+}
+
+// ConflictFreeRewrite returns a copy of the policy whose combining
+// algorithm realizes the strategy where XACML can express it, so the
+// resolved behaviour can be installed in a standard PDP:
+// DenyWins -> deny-overrides, PermitWins -> permit-overrides.
+// MoreSpecificWins has no direct XACML combining algorithm; the rewrite
+// orders rules by descending target specificity under first-applicable,
+// which matches MoreSpecificWins on every request where a unique most
+// specific rule fires.
+func ConflictFreeRewrite(p *xacml.Policy, s Strategy) *xacml.Policy {
+	out := &xacml.Policy{ID: p.ID + "-" + s.String(), Target: p.Target}
+	out.Rules = append(out.Rules, p.Rules...)
+	switch s {
+	case DenyWins:
+		out.Combining = xacml.DenyOverrides
+	case PermitWins:
+		out.Combining = xacml.PermitOverrides
+	case MoreSpecificWins:
+		out.Combining = xacml.FirstApplicable
+		// Stable sort by descending target size; ties keep author order
+		// except deny precedes permit (the strategy's tie-break).
+		rules := out.Rules
+		for i := 1; i < len(rules); i++ {
+			for j := i; j > 0 && lessSpecific(rules[j-1], rules[j]); j-- {
+				rules[j-1], rules[j] = rules[j], rules[j-1]
+			}
+		}
+	}
+	return out
+}
+
+func lessSpecific(a, b xacml.Rule) bool {
+	if len(a.Target) != len(b.Target) {
+		return len(a.Target) < len(b.Target)
+	}
+	// Tie: deny first.
+	return a.Effect == xacml.Permit && b.Effect == xacml.Deny
+}

@@ -1,0 +1,149 @@
+package quality
+
+import (
+	"testing"
+
+	"agenp/internal/xacml"
+)
+
+// conflicted is a policy where minor DBAs trigger both effects: a
+// general permit (1 match) against a more specific deny (2 matches).
+func conflicted() *xacml.Policy {
+	return &xacml.Policy{
+		ID:        "conflicted",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "permit-dba", Effect: xacml.Permit,
+				Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}}},
+			{ID: "deny-minor-dba", Effect: xacml.Deny,
+				Target: xacml.Target{
+					{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")},
+					{Category: xacml.Subject, Attr: "age", Op: xacml.OpLt, Value: xacml.I(18)},
+				}},
+			{ID: "permit-minor-reader", Effect: xacml.Permit,
+				Target: xacml.Target{
+					{Category: xacml.Subject, Attr: "age", Op: xacml.OpLt, Value: xacml.I(18)},
+					{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S("read")},
+					{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")},
+				}},
+		},
+	}
+}
+
+func minorDBA(action string) xacml.Request {
+	return xacml.NewRequest().
+		Set(xacml.Subject, "role", xacml.S("dba")).
+		Set(xacml.Subject, "age", xacml.I(16)).
+		Set(xacml.Action, "id", xacml.S(action))
+}
+
+func adultDBA() xacml.Request {
+	return xacml.NewRequest().
+		Set(xacml.Subject, "role", xacml.S("dba")).
+		Set(xacml.Subject, "age", xacml.I(30))
+}
+
+func TestResolveStrategies(t *testing.T) {
+	p := conflicted()
+	writeReq := minorDBA("write") // permit(1) vs deny(2)
+	readReq := minorDBA("read")   // permit(1), deny(2), permit(3)
+	tests := []struct {
+		name string
+		s    Strategy
+		r    xacml.Request
+		want xacml.Decision
+	}{
+		{name: "deny wins", s: DenyWins, r: writeReq, want: xacml.DecisionDeny},
+		{name: "permit wins", s: PermitWins, r: writeReq, want: xacml.DecisionPermit},
+		{name: "more specific deny", s: MoreSpecificWins, r: writeReq, want: xacml.DecisionDeny},
+		{name: "even more specific permit", s: MoreSpecificWins, r: readReq, want: xacml.DecisionPermit},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Resolve(p, tt.r, tt.s); got != tt.want {
+				t.Errorf("Resolve = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestResolveNoConflict(t *testing.T) {
+	p := conflicted()
+	// Adult DBA: only the permit fires; every strategy agrees.
+	for _, s := range Strategies() {
+		if got := Resolve(p, adultDBA(), s); got != xacml.DecisionPermit {
+			t.Errorf("%s on non-conflicting request = %v", s, got)
+		}
+	}
+	// Nothing fires.
+	guest := xacml.NewRequest().Set(xacml.Subject, "role", xacml.S("guest"))
+	if got := Resolve(p, guest, DenyWins); got != xacml.DecisionNotApplicable {
+		t.Errorf("no-fire = %v", got)
+	}
+	// Policy target gates.
+	gated := conflicted()
+	gated.Target = xacml.Target{{Category: xacml.Resource, Attr: "x", Op: xacml.OpEq, Value: xacml.S("y")}}
+	if got := Resolve(gated, adultDBA(), DenyWins); got != xacml.DecisionNotApplicable {
+		t.Errorf("gated = %v", got)
+	}
+}
+
+func TestLearnStrategyFromHumanDecisions(t *testing.T) {
+	p := conflicted()
+	// The operator resolved minor-DBA conflicts by specificity: deny
+	// writes, permit reads.
+	cases := []ResolutionCase{
+		{Request: minorDBA("write"), Decision: xacml.DecisionDeny},
+		{Request: minorDBA("read"), Decision: xacml.DecisionPermit},
+		{Request: minorDBA("write"), Decision: xacml.DecisionDeny},
+	}
+	s, agree, err := LearnStrategy(p, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != MoreSpecificWins {
+		t.Errorf("learned %v, want MoreSpecificWins", s)
+	}
+	if agree != 1.0 {
+		t.Errorf("agreement = %f", agree)
+	}
+	// Pure-deny operator.
+	denyCases := []ResolutionCase{
+		{Request: minorDBA("write"), Decision: xacml.DecisionDeny},
+		{Request: minorDBA("read"), Decision: xacml.DecisionDeny},
+	}
+	s, _, err = LearnStrategy(p, denyCases)
+	if err != nil || s != DenyWins {
+		t.Errorf("learned %v, %v; want DenyWins", s, err)
+	}
+	if _, _, err := LearnStrategy(p, nil); err == nil {
+		t.Error("empty cases should fail")
+	}
+}
+
+func TestConflictFreeRewrite(t *testing.T) {
+	p := conflicted()
+	reqs := []xacml.Request{minorDBA("write"), minorDBA("read"), adultDBA()}
+	for _, s := range Strategies() {
+		rewritten := ConflictFreeRewrite(p, s)
+		for _, r := range reqs {
+			want := Resolve(p, r, s)
+			if got := rewritten.Evaluate(r); got != want {
+				t.Errorf("%s: rewrite decides %v, Resolve %v on %s", s, got, want, r)
+			}
+		}
+	}
+	// The rewrite must not mutate the original rule order.
+	if p.Rules[0].ID != "permit-dba" {
+		t.Error("original policy mutated")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if DenyWins.String() != "deny-wins" || MoreSpecificWins.String() != "more-specific-wins" {
+		t.Error("Strategy.String broken")
+	}
+	if Strategy(99).String() != "invalid-strategy" {
+		t.Error("invalid strategy string")
+	}
+}

@@ -1,0 +1,356 @@
+// Package quality implements the policy quality assessment of the
+// paper's Section V.A (and [14]): consistency, relevance, minimality and
+// completeness of a policy set over a finite attribute domain, plus the
+// coalition-specific requirements the paper proposes — enforceability
+// and risk. It backs the Policy Checking Point (PCP) of the AGENP
+// architecture.
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"agenp/internal/xacml"
+)
+
+// Domain is a finite attribute domain: the possible values of every
+// attribute the managed system can encounter. Quality requirements are
+// decided by (bounded) enumeration of this domain.
+type Domain struct {
+	Values map[xacml.Category]map[string][]xacml.Value
+}
+
+// NewDomain builds an empty domain.
+func NewDomain() *Domain {
+	return &Domain{Values: make(map[xacml.Category]map[string][]xacml.Value)}
+}
+
+// Add declares the possible values of an attribute and returns the
+// domain for chaining.
+func (d *Domain) Add(cat xacml.Category, attr string, vals ...xacml.Value) *Domain {
+	m, ok := d.Values[cat]
+	if !ok {
+		m = make(map[string][]xacml.Value)
+		d.Values[cat] = m
+	}
+	m[attr] = append(m[attr], vals...)
+	return d
+}
+
+// FromBias builds a domain from an observed request bias.
+func FromBias(b *xacml.LearningBias) *Domain {
+	d := NewDomain()
+	for cat, attrs := range b.Values {
+		for a, vals := range attrs {
+			d.Add(cat, a, vals...)
+		}
+	}
+	return d
+}
+
+// Size returns the number of requests in the full cartesian domain.
+func (d *Domain) Size() int {
+	n := 1
+	for _, attrs := range d.Values {
+		for _, vals := range attrs {
+			n *= len(vals)
+		}
+	}
+	return n
+}
+
+// slot is one (category, attr) coordinate of the domain.
+type slot struct {
+	cat  xacml.Category
+	attr string
+	vals []xacml.Value
+}
+
+func (d *Domain) slots() []slot {
+	var out []slot
+	for cat, attrs := range d.Values {
+		for a, vals := range attrs {
+			out = append(out, slot{cat: cat, attr: a, vals: vals})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cat != out[j].cat {
+			return out[i].cat < out[j].cat
+		}
+		return out[i].attr < out[j].attr
+	})
+	return out
+}
+
+// Enumerate yields every request of the domain (full assignment of every
+// attribute) until yield returns false.
+func (d *Domain) Enumerate(yield func(xacml.Request) bool) {
+	slots := d.slots()
+	if len(slots) == 0 {
+		return
+	}
+	idx := make([]int, len(slots))
+	for {
+		r := xacml.NewRequest()
+		for i, s := range slots {
+			r.Set(s.cat, s.attr, s.vals[idx[i]])
+		}
+		if !yield(r) {
+			return
+		}
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(slots[k].vals) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// Conflict is a request on which rules with opposite effects both fire —
+// the paper's consistency requirement ("a policy that allows a subject
+// to perform an action ... and another policy that prohibits it").
+type Conflict struct {
+	Request    xacml.Request
+	PermitRule string
+	DenyRule   string
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("conflict on %s: %s vs %s", c.Request, c.PermitRule, c.DenyRule)
+}
+
+// Report is a quality assessment of a policy over a domain.
+type Report struct {
+	// Consistent is true when no request triggers rules of both effects.
+	Consistent bool
+	// Conflicts samples up to MaxFindings conflicting requests.
+	Conflicts []Conflict
+
+	// Irrelevant lists rules that fire on no request of the domain
+	// (relevance requirement).
+	Irrelevant []string
+
+	// Redundant lists rules whose removal leaves every decision
+	// unchanged (minimality requirement).
+	Redundant []string
+
+	// Completeness is the fraction of domain requests with an applicable
+	// decision (Permit or Deny); Uncovered samples the gaps.
+	Completeness float64
+	Uncovered    []xacml.Request
+
+	// Checked counts the requests examined.
+	Checked int
+}
+
+// Options bounds the assessment.
+type Options struct {
+	// MaxRequests bounds domain enumeration (0 = the whole domain).
+	MaxRequests int
+	// MaxFindings bounds sampled conflicts/uncovered requests
+	// (default 5).
+	MaxFindings int
+}
+
+// Assess evaluates the four quality requirements of Section V.A for a
+// policy over a domain.
+func Assess(p *xacml.Policy, d *Domain, opts Options) *Report {
+	maxFindings := opts.MaxFindings
+	if maxFindings <= 0 {
+		maxFindings = 5
+	}
+	rep := &Report{Consistent: true}
+
+	fired := make(map[string]bool, len(p.Rules))
+	// decisionsWithout[i] tracks whether dropping rule i ever changes a
+	// decision.
+	changedWithout := make([]bool, len(p.Rules))
+
+	d.Enumerate(func(r xacml.Request) bool {
+		if opts.MaxRequests > 0 && rep.Checked >= opts.MaxRequests {
+			return false
+		}
+		rep.Checked++
+
+		decision := p.Evaluate(r)
+		if decision == xacml.DecisionPermit || decision == xacml.DecisionDeny {
+			rep.Completeness++
+		} else if len(rep.Uncovered) < maxFindings {
+			rep.Uncovered = append(rep.Uncovered, r.Clone())
+		}
+
+		// Which rules fire, for relevance and consistency.
+		var permitRule, denyRule string
+		if p.Target.Matches(r) {
+			for _, ru := range p.Rules {
+				if !ru.Applies(r) {
+					continue
+				}
+				fired[ru.ID] = true
+				if ru.Effect == xacml.Permit && permitRule == "" {
+					permitRule = ru.ID
+				}
+				if ru.Effect == xacml.Deny && denyRule == "" {
+					denyRule = ru.ID
+				}
+			}
+		}
+		if permitRule != "" && denyRule != "" {
+			rep.Consistent = false
+			if len(rep.Conflicts) < maxFindings {
+				rep.Conflicts = append(rep.Conflicts, Conflict{
+					Request:    r.Clone(),
+					PermitRule: permitRule,
+					DenyRule:   denyRule,
+				})
+			}
+		}
+
+		// Minimality: does dropping rule i change this decision?
+		for i := range p.Rules {
+			if changedWithout[i] {
+				continue
+			}
+			reduced := *p
+			reduced.Rules = append(append([]xacml.Rule{}, p.Rules[:i]...), p.Rules[i+1:]...)
+			if reduced.Evaluate(r) != decision {
+				changedWithout[i] = true
+			}
+		}
+		return true
+	})
+
+	for _, ru := range p.Rules {
+		if !fired[ru.ID] {
+			rep.Irrelevant = append(rep.Irrelevant, ru.ID)
+		}
+	}
+	for i := range p.Rules {
+		if !changedWithout[i] {
+			rep.Redundant = append(rep.Redundant, p.Rules[i].ID)
+		}
+	}
+	if rep.Checked > 0 {
+		rep.Completeness /= float64(rep.Checked)
+	}
+	sort.Strings(rep.Irrelevant)
+	sort.Strings(rep.Redundant)
+	return rep
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "consistent: %v (%d conflicts sampled)\n", r.Consistent, len(r.Conflicts))
+	fmt.Fprintf(&sb, "irrelevant rules: %v\n", r.Irrelevant)
+	fmt.Fprintf(&sb, "redundant rules: %v\n", r.Redundant)
+	fmt.Fprintf(&sb, "completeness: %.3f over %d requests\n", r.Completeness, r.Checked)
+	return sb.String()
+}
+
+// Enforceability (paper Section V.A): a policy is enforceable when every
+// attribute it references can actually be acquired by the managed party
+// in its context.
+
+// AttributeSet is the set of attributes a PIP can supply.
+type AttributeSet map[string]struct{}
+
+// NewAttributeSet builds a set from "category.attr" strings.
+func NewAttributeSet(attrs ...string) AttributeSet {
+	s := make(AttributeSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = struct{}{}
+	}
+	return s
+}
+
+// EnforceabilityReport lists the attributes a policy needs but the
+// managed party cannot acquire.
+type EnforceabilityReport struct {
+	// Missing maps rule id -> unavailable "category.attr" references.
+	Missing map[string][]string
+}
+
+// Enforceable reports whether every rule's references are available.
+func (e *EnforceabilityReport) Enforceable() bool { return len(e.Missing) == 0 }
+
+// CheckEnforceability scans the policy's targets and conditions for
+// attribute references outside the available set.
+func CheckEnforceability(p *xacml.Policy, available AttributeSet) *EnforceabilityReport {
+	rep := &EnforceabilityReport{Missing: make(map[string][]string)}
+	refOf := func(m xacml.Match) string { return fmt.Sprintf("%s.%s", m.Category, m.Attr) }
+	var condRefs func(c *xacml.Condition, into map[string]struct{})
+	condRefs = func(c *xacml.Condition, into map[string]struct{}) {
+		switch {
+		case c == nil:
+		case c.Match != nil:
+			into[refOf(*c.Match)] = struct{}{}
+		case c.Not != nil:
+			condRefs(c.Not, into)
+		default:
+			for i := range c.And {
+				condRefs(&c.And[i], into)
+			}
+			for i := range c.Or {
+				condRefs(&c.Or[i], into)
+			}
+		}
+	}
+	for _, ru := range p.Rules {
+		refs := make(map[string]struct{})
+		for _, m := range ru.Target {
+			refs[refOf(m)] = struct{}{}
+		}
+		condRefs(ru.Condition, refs)
+		var missing []string
+		for ref := range refs {
+			if _, ok := available[ref]; !ok {
+				missing = append(missing, ref)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			rep.Missing[ru.ID] = missing
+		}
+	}
+	return rep
+}
+
+// RiskModel scores the risk of applying a policy in a context
+// (paper Section V.A: "possible risks that may result from the
+// application of a policy").
+type RiskModel interface {
+	// Score returns the risk in [0, 1] of the decision on the request.
+	Score(r xacml.Request, d xacml.Decision) float64
+}
+
+// RiskFunc adapts a function to a RiskModel.
+type RiskFunc func(r xacml.Request, d xacml.Decision) float64
+
+// Score implements RiskModel.
+func (f RiskFunc) Score(r xacml.Request, d xacml.Decision) float64 { return f(r, d) }
+
+// AssessRisk averages the risk model over the domain (bounded by
+// maxRequests; 0 = whole domain).
+func AssessRisk(p *xacml.Policy, d *Domain, model RiskModel, maxRequests int) float64 {
+	total, n := 0.0, 0
+	d.Enumerate(func(r xacml.Request) bool {
+		if maxRequests > 0 && n >= maxRequests {
+			return false
+		}
+		total += model.Score(r, p.Evaluate(r))
+		n++
+		return true
+	})
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

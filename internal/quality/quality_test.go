@@ -1,0 +1,230 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"agenp/internal/xacml"
+)
+
+func smallDomain() *Domain {
+	return NewDomain().
+		Add(xacml.Subject, "role", xacml.S("dba"), xacml.S("dev")).
+		Add(xacml.Subject, "age", xacml.I(15), xacml.I(30)).
+		Add(xacml.Action, "id", xacml.S("read"), xacml.S("write"))
+}
+
+func TestDomainSizeAndEnumerate(t *testing.T) {
+	d := smallDomain()
+	if d.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", d.Size())
+	}
+	seen := make(map[string]struct{})
+	d.Enumerate(func(r xacml.Request) bool {
+		seen[r.Key()] = struct{}{}
+		return true
+	})
+	if len(seen) != 8 {
+		t.Errorf("enumerated %d distinct requests, want 8", len(seen))
+	}
+}
+
+func TestDomainEnumerateEarlyStop(t *testing.T) {
+	d := smallDomain()
+	n := 0
+	d.Enumerate(func(xacml.Request) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop ignored: %d", n)
+	}
+}
+
+func TestAssessConsistency(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "permit-dba", Effect: xacml.Permit, Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}}},
+			{ID: "deny-minors", Effect: xacml.Deny, Target: xacml.Target{{Category: xacml.Subject, Attr: "age", Op: xacml.OpLt, Value: xacml.I(18)}}},
+		},
+	}
+	rep := Assess(p, smallDomain(), Options{})
+	if rep.Consistent {
+		t.Error("minor dba triggers both effects; should be inconsistent")
+	}
+	if len(rep.Conflicts) == 0 {
+		t.Fatal("no conflicts sampled")
+	}
+	c := rep.Conflicts[0]
+	if c.PermitRule != "permit-dba" || c.DenyRule != "deny-minors" {
+		t.Errorf("conflict = %+v", c)
+	}
+	if !strings.Contains(c.String(), "permit-dba") {
+		t.Errorf("Conflict.String = %q", c.String())
+	}
+}
+
+func TestAssessConsistentPolicy(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.FirstApplicable,
+		Rules: []xacml.Rule{
+			{ID: "permit-read", Effect: xacml.Permit, Target: xacml.Target{{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S("read")}}},
+			{ID: "deny-write", Effect: xacml.Deny, Target: xacml.Target{{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S("write")}}},
+		},
+	}
+	rep := Assess(p, smallDomain(), Options{})
+	if !rep.Consistent {
+		t.Errorf("disjoint targets should be consistent: %v", rep.Conflicts)
+	}
+	if rep.Completeness != 1.0 {
+		t.Errorf("completeness = %f, want 1.0 (read/write both covered)", rep.Completeness)
+	}
+	if len(rep.Irrelevant) != 0 || len(rep.Redundant) != 0 {
+		t.Errorf("unexpected irrelevant=%v redundant=%v", rep.Irrelevant, rep.Redundant)
+	}
+}
+
+func TestAssessRelevance(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "r1", Effect: xacml.Permit},
+			{ID: "never", Effect: xacml.Deny, Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("ghost")}}},
+		},
+	}
+	rep := Assess(p, smallDomain(), Options{})
+	if len(rep.Irrelevant) != 1 || rep.Irrelevant[0] != "never" {
+		t.Errorf("Irrelevant = %v", rep.Irrelevant)
+	}
+}
+
+func TestAssessMinimality(t *testing.T) {
+	anyDBA := xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}}
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "r1", Effect: xacml.Permit, Target: anyDBA},
+			{ID: "r2-duplicate", Effect: xacml.Permit, Target: anyDBA},
+		},
+	}
+	rep := Assess(p, smallDomain(), Options{})
+	// Each rule alone suffices, so both are individually redundant.
+	if len(rep.Redundant) != 2 {
+		t.Errorf("Redundant = %v, want both duplicates", rep.Redundant)
+	}
+}
+
+func TestAssessCompletenessGaps(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "dba-only", Effect: xacml.Permit, Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}}},
+		},
+	}
+	rep := Assess(p, smallDomain(), Options{})
+	if rep.Completeness != 0.5 {
+		t.Errorf("completeness = %f, want 0.5", rep.Completeness)
+	}
+	if len(rep.Uncovered) == 0 {
+		t.Error("no uncovered requests sampled")
+	}
+	if rep.Checked != 8 {
+		t.Errorf("Checked = %d, want 8", rep.Checked)
+	}
+}
+
+func TestAssessMaxRequests(t *testing.T) {
+	p := &xacml.Policy{ID: "p", Combining: xacml.DenyOverrides}
+	rep := Assess(p, smallDomain(), Options{MaxRequests: 3})
+	if rep.Checked != 3 {
+		t.Errorf("Checked = %d, want 3", rep.Checked)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	p := &xacml.Policy{ID: "p", Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{{ID: "r", Effect: xacml.Permit}}}
+	rep := Assess(p, smallDomain(), Options{})
+	s := rep.String()
+	for _, want := range []string{"consistent: true", "completeness: 1.000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Report.String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCheckEnforceability(t *testing.T) {
+	cond := xacml.Condition{Not: &xacml.Condition{Match: &xacml.Match{Category: xacml.Environment, Attr: "threat", Op: xacml.OpEq, Value: xacml.S("high")}}}
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{
+				ID:     "r1",
+				Effect: xacml.Permit,
+				Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}},
+			},
+			{
+				ID:        "r2",
+				Effect:    xacml.Deny,
+				Target:    xacml.Target{{Category: xacml.Subject, Attr: "clearance", Op: xacml.OpLt, Value: xacml.I(3)}},
+				Condition: &cond,
+			},
+		},
+	}
+	available := NewAttributeSet("subject.role", "subject.clearance")
+	rep := CheckEnforceability(p, available)
+	if rep.Enforceable() {
+		t.Fatal("environment.threat is unavailable; should not be enforceable")
+	}
+	missing := rep.Missing["r2"]
+	if len(missing) != 1 || missing[0] != "environment.threat" {
+		t.Errorf("Missing = %v", rep.Missing)
+	}
+	full := NewAttributeSet("subject.role", "subject.clearance", "environment.threat")
+	if !CheckEnforceability(p, full).Enforceable() {
+		t.Error("fully available policy flagged unenforceable")
+	}
+}
+
+func TestAssessRisk(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules:     []xacml.Rule{{ID: "allow-all", Effect: xacml.Permit}},
+	}
+	// Risk 1 for permitting writes, 0 otherwise.
+	model := RiskFunc(func(r xacml.Request, d xacml.Decision) float64 {
+		if d != xacml.DecisionPermit {
+			return 0
+		}
+		if v, ok := r.Get(xacml.Action, "id"); ok && v.Str == "write" {
+			return 1
+		}
+		return 0
+	})
+	risk := AssessRisk(p, smallDomain(), model, 0)
+	if risk != 0.5 {
+		t.Errorf("risk = %f, want 0.5 (half the domain writes)", risk)
+	}
+	if AssessRisk(p, NewDomain(), model, 0) != 0 {
+		t.Error("empty domain risk should be 0")
+	}
+}
+
+func TestFromBias(t *testing.T) {
+	reqs := []xacml.Request{
+		xacml.NewRequest().Set(xacml.Subject, "role", xacml.S("dba")),
+		xacml.NewRequest().Set(xacml.Subject, "role", xacml.S("dev")),
+	}
+	d := FromBias(xacml.BiasFromRequests(reqs))
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+}

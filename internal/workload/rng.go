@@ -1,0 +1,64 @@
+// Package workload provides deterministic dataset and scenario
+// generators for the paper's experiments: the XACML request/response
+// datasets of the Section IV.C case study (including the noisy and
+// overfitting-prone variants behind Figure 3b), example-set construction
+// for the learner, and generic utilities (seeded RNG, label noise,
+// train/test splits) shared by the application scenarios.
+package workload
+
+// RNG is a small deterministic generator (splitmix64) so every
+// experiment is reproducible from a seed without math/rand global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Pick returns a uniformly chosen element.
+func Pick[T any](r *RNG, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// Shuffle permutes xs in place (Fisher-Yates).
+func Shuffle[T any](r *RNG, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Split partitions xs into a training prefix of size n (after copying;
+// the input is untouched) and the remaining test set.
+func Split[T any](xs []T, n int) (train, test []T) {
+	cp := make([]T, len(xs))
+	copy(cp, xs)
+	if n > len(cp) {
+		n = len(cp)
+	}
+	return cp[:n], cp[n:]
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"testing"
+
+	"agenp/internal/ilasp"
+	"agenp/internal/quality"
+	"agenp/internal/xacml"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+	if r.Intn(0) != 0 {
+		t.Error("Intn(0) should be 0")
+	}
+}
+
+func TestShuffleAndSplit(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]int(nil), xs...)
+	Shuffle(NewRNG(1), xs)
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 36 {
+		t.Error("shuffle lost elements")
+	}
+	train, test := Split(orig, 3)
+	if len(train) != 3 || len(test) != 5 {
+		t.Errorf("split sizes %d/%d", len(train), len(test))
+	}
+	train[0] = 99
+	if orig[0] == 99 {
+		t.Error("Split aliases input")
+	}
+	tr2, te2 := Split(orig, 100)
+	if len(tr2) != 8 || len(te2) != 0 {
+		t.Error("oversized split")
+	}
+}
+
+func TestGenXACMLDeterministicAndLabelled(t *testing.T) {
+	a := GenXACML(11, 50)
+	b := GenXACML(11, 50)
+	if len(a.Examples) != 50 {
+		t.Fatalf("examples = %d", len(a.Examples))
+	}
+	for i := range a.Examples {
+		if a.Examples[i].Request.Key() != b.Examples[i].Request.Key() {
+			t.Fatal("generation not deterministic")
+		}
+		want := a.Policy.Evaluate(a.Examples[i].Request)
+		if a.Examples[i].Decision != want {
+			t.Fatalf("example %d mislabelled", i)
+		}
+	}
+}
+
+func TestGroundTruthDisjointRules(t *testing.T) {
+	// The three ground-truth rules never fire together with opposite
+	// effects (required for independent-rule learnability).
+	pol := GroundTruthPolicy()
+	d := quality.FromBias(xacml.BiasFromRequests(allRequests()))
+	rep := quality.Assess(pol, d, quality.Options{})
+	if !rep.Consistent {
+		t.Errorf("ground truth has conflicts: %v", rep.Conflicts)
+	}
+}
+
+func allRequests() []xacml.Request {
+	schema := DefaultSchema()
+	var out []xacml.Request
+	for _, role := range schema.Roles {
+		for _, age := range schema.Ages {
+			for _, res := range schema.Resources {
+				for _, act := range schema.Actions {
+					out = append(out, xacml.NewRequest().
+						Set(xacml.Subject, "role", xacml.S(role)).
+						Set(xacml.Subject, "age", xacml.I(age)).
+						Set(xacml.Resource, "type", xacml.S(res)).
+						Set(xacml.Action, "id", xacml.S(act)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestInjectNoiseAndFilter(t *testing.T) {
+	ds := GenXACML(5, 100)
+	clean := make([]xacml.Decision, len(ds.Examples))
+	for i, e := range ds.Examples {
+		clean[i] = e.Decision
+	}
+	corrupted := InjectNoise(ds, 0.2, 99)
+	if len(corrupted) == 0 || len(corrupted) > 40 {
+		t.Fatalf("corrupted %d of 100 at 20%%", len(corrupted))
+	}
+	changed := 0
+	for i := range ds.Examples {
+		if ds.Examples[i].Decision != clean[i] {
+			changed++
+		}
+	}
+	if changed != len(corrupted) {
+		t.Errorf("changed %d but reported %d", changed, len(corrupted))
+	}
+	// Filtering removes NotApplicable and inconsistent duplicates.
+	filtered := FilterLowQuality(ds.Examples)
+	for _, e := range filtered {
+		if e.Decision == xacml.DecisionNotApplicable {
+			t.Fatal("NotApplicable survived filter")
+		}
+	}
+	if len(filtered) >= len(ds.Examples) {
+		t.Error("filter removed nothing")
+	}
+}
+
+func TestFilterLowQualityInconsistent(t *testing.T) {
+	r := xacml.NewRequest().Set(xacml.Subject, "role", xacml.S("dba"))
+	examples := []LabeledRequest{
+		{Request: r, Decision: xacml.DecisionPermit},
+		{Request: r.Clone(), Decision: xacml.DecisionDeny},
+		{Request: xacml.NewRequest().Set(xacml.Subject, "role", xacml.S("dev")), Decision: xacml.DecisionPermit},
+	}
+	out := FilterLowQuality(examples)
+	if len(out) != 1 {
+		t.Errorf("filtered = %d, want 1 (inconsistent pair dropped)", len(out))
+	}
+}
+
+func TestLearningExamplesShape(t *testing.T) {
+	ds := GenXACML(3, 30)
+	ex := LearningExamples(ds.Examples, 0)
+	if len(ex) != 30 {
+		t.Fatalf("examples = %d", len(ex))
+	}
+	for i, e := range ex {
+		if !e.Positive {
+			t.Fatal("all learning examples are positive CDPIs")
+		}
+		switch ds.Examples[i].Decision {
+		case xacml.DecisionPermit, xacml.DecisionDeny:
+			if len(e.Inclusions) != 1 || len(e.Exclusions) != 1 {
+				t.Fatalf("example %d shape: %+v", i, e)
+			}
+		default:
+			if len(e.Inclusions) != 0 || len(e.Exclusions) != 2 {
+				t.Fatalf("NA example %d shape: %+v", i, e)
+			}
+		}
+	}
+}
+
+// TestEndToEndLearningRecoversGroundTruth is the E3 (Figure 3a) core:
+// from enough clean request/decision examples the learner recovers a
+// policy decision-equivalent to the ground truth.
+func TestEndToEndLearningRecoversGroundTruth(t *testing.T) {
+	ds := GenXACML(17, 80)
+	task := &ilasp.Task{
+		Bias:     AccessBias(ds.Schema, nil),
+		Examples: LearningExamples(ds.Examples, 0),
+	}
+	res, err := task.LearnIndependent(ilasp.LearnOptions{MaxRules: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned, err := xacml.PolicyFromHypothesis(res.Hypothesis, "learned")
+	if err != nil {
+		t.Fatalf("rendering %v: %v", res.Hypothesis, err)
+	}
+	// Decision-equivalence over the whole domain.
+	gt := GroundTruthPolicy()
+	for _, r := range allRequests() {
+		if learned.Evaluate(r) != gt.Evaluate(r) {
+			t.Fatalf("disagreement on %s: learned %v, truth %v\nlearned policy:\n%s",
+				r, learned.Evaluate(r), gt.Evaluate(r), learned.Format())
+		}
+	}
+	if res.Covered != res.Total {
+		t.Errorf("coverage %d/%d", res.Covered, res.Total)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	ds := GenXACML(2, 40)
+	if acc := Accuracy(ds.Policy, ds.Examples); acc != 1.0 {
+		t.Errorf("ground truth accuracy on own labels = %f", acc)
+	}
+	if Accuracy(ds.Policy, nil) != 0 {
+		t.Error("empty test accuracy should be 0")
+	}
+}
+
+func TestAccessBiasSpace(t *testing.T) {
+	space, err := AccessBias(DefaultSchema(), []int{18}).Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space) == 0 {
+		t.Fatal("empty space")
+	}
+	want := map[string]bool{
+		"decision(permit) :- subject(role,dba).":                      false,
+		"decision(deny) :- action(id,write), subject(role,guest).":    false,
+		"decision(permit) :- action(id,read), resource(type,report).": false,
+		"decision(permit) :- subject(age,V1), V1 >= 18.":              false,
+	}
+	for _, c := range space {
+		if _, ok := want[c.Rule.String()]; ok {
+			want[c.Rule.String()] = true
+		}
+	}
+	for rule, found := range want {
+		if !found {
+			t.Errorf("space missing %q", rule)
+		}
+	}
+}

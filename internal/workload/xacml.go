@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+
+	"agenp/internal/asp"
+	"agenp/internal/ilasp"
+	"agenp/internal/xacml"
+)
+
+// XACMLSchema is the attribute universe of the synthetic conformance
+// dataset, mirroring the shape of the public XACML test set the paper
+// uses (subject, resource, action and environment attributes with small
+// categorical/integer domains).
+type XACMLSchema struct {
+	Roles     []string
+	Ages      []int
+	Resources []string
+	Actions   []string
+}
+
+// DefaultSchema returns the schema used across the experiments.
+func DefaultSchema() XACMLSchema {
+	return XACMLSchema{
+		Roles:     []string{"dba", "dev", "analyst", "guest"},
+		Ages:      []int{12, 16, 20, 30, 45, 60},
+		Resources: []string{"report", "record", "log"},
+		Actions:   []string{"read", "write", "delete"},
+	}
+}
+
+// GroundTruthPolicy is the policy the synthetic dataset is labelled
+// with, shaped like the role/resource/action rules of Figure 3a: DBAs
+// may do anything, anyone may read reports, and guests may never write.
+// The three rules have pairwise-disjoint targets, so the policy is
+// expressible as an independent ASP rule set (one decision rule per
+// XACML rule) — the form the learner recovers in experiment E3.
+func GroundTruthPolicy() *xacml.Policy {
+	return &xacml.Policy{
+		ID:        "ground-truth",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{
+				ID:     "deny-guest-write",
+				Effect: xacml.Deny,
+				Target: xacml.Target{
+					{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("guest")},
+					{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S("write")},
+				},
+			},
+			{
+				ID:     "permit-dba",
+				Effect: xacml.Permit,
+				Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}},
+			},
+			{
+				ID:     "permit-read-report",
+				Effect: xacml.Permit,
+				Target: xacml.Target{
+					{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S("read")},
+					{Category: xacml.Resource, Attr: "type", Op: xacml.OpEq, Value: xacml.S("report")},
+				},
+			},
+		},
+	}
+}
+
+// LabeledRequest is one request/response example of the dataset.
+type LabeledRequest struct {
+	Request  xacml.Request
+	Decision xacml.Decision
+}
+
+// Dataset is a labelled request set together with its ground truth.
+type Dataset struct {
+	Policy   *xacml.Policy
+	Schema   XACMLSchema
+	Examples []LabeledRequest
+}
+
+// GenXACML samples n random requests from the schema and labels them
+// with the ground-truth policy.
+func GenXACML(seed uint64, n int) *Dataset {
+	return GenXACMLWith(seed, n, DefaultSchema(), GroundTruthPolicy())
+}
+
+// GenXACMLWith samples from a custom schema and policy.
+func GenXACMLWith(seed uint64, n int, schema XACMLSchema, pol *xacml.Policy) *Dataset {
+	rng := NewRNG(seed)
+	ds := &Dataset{Policy: pol, Schema: schema, Examples: make([]LabeledRequest, 0, n)}
+	for i := 0; i < n; i++ {
+		r := xacml.NewRequest().
+			Set(xacml.Subject, "role", xacml.S(Pick(rng, schema.Roles))).
+			Set(xacml.Subject, "age", xacml.I(Pick(rng, schema.Ages))).
+			Set(xacml.Resource, "type", xacml.S(Pick(rng, schema.Resources))).
+			Set(xacml.Action, "id", xacml.S(Pick(rng, schema.Actions)))
+		ds.Examples = append(ds.Examples, LabeledRequest{Request: r, Decision: pol.Evaluate(r)})
+	}
+	return ds
+}
+
+// InjectNoise relabels a fraction of the examples: flipped decisions and
+// spurious NotApplicable responses, the two "low quality" example kinds
+// of Section IV.C (inconsistent responses and irrelevant responses). It
+// returns the indices that were corrupted.
+func InjectNoise(ds *Dataset, frac float64, seed uint64) []int {
+	rng := NewRNG(seed)
+	var corrupted []int
+	for i := range ds.Examples {
+		if rng.Float64() >= frac {
+			continue
+		}
+		corrupted = append(corrupted, i)
+		switch rng.Intn(2) {
+		case 0: // inconsistent response: flip permit/deny
+			if ds.Examples[i].Decision == xacml.DecisionPermit {
+				ds.Examples[i].Decision = xacml.DecisionDeny
+			} else {
+				ds.Examples[i].Decision = xacml.DecisionPermit
+			}
+		default: // irrelevant response
+			ds.Examples[i].Decision = xacml.DecisionNotApplicable
+		}
+	}
+	return corrupted
+}
+
+// FilterLowQuality removes the "low quality" examples per the paper's
+// proposed mitigation: NotApplicable responses are pruned, and pairs of
+// identical requests with inconsistent responses are dropped entirely.
+func FilterLowQuality(examples []LabeledRequest) []LabeledRequest {
+	byKey := make(map[string]xacml.Decision)
+	inconsistent := make(map[string]bool)
+	for _, e := range examples {
+		k := e.Request.Key()
+		if prev, ok := byKey[k]; ok && prev != e.Decision {
+			inconsistent[k] = true
+		}
+		byKey[k] = e.Decision
+	}
+	var out []LabeledRequest
+	for _, e := range examples {
+		if e.Decision == xacml.DecisionNotApplicable {
+			continue
+		}
+		if inconsistent[e.Request.Key()] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// LearningExamples converts labelled requests into ILASP examples: each
+// request's facts become the example context, and the observed decision
+// becomes a brave inclusion with the opposite decision excluded.
+// NotApplicable responses — which are not proper decisions (paper,
+// Fig. 3b Policy 3) — become examples excluding both decisions, which is
+// exactly how a learner "misinterprets an irrelevant response as a
+// proper decision" unless they are filtered out first.
+func LearningExamples(examples []LabeledRequest, weight int) []ilasp.Example {
+	permit := xacml.DecisionAtom(xacml.Permit)
+	deny := xacml.DecisionAtom(xacml.Deny)
+	out := make([]ilasp.Example, 0, len(examples))
+	for i, e := range examples {
+		ex := ilasp.Example{
+			ID:       fmt.Sprintf("req%d", i+1),
+			Positive: true,
+			Context:  xacml.RequestFacts(e.Request),
+			Weight:   weight,
+		}
+		switch e.Decision {
+		case xacml.DecisionPermit:
+			ex.Inclusions = []asp.Atom{permit}
+			ex.Exclusions = []asp.Atom{deny}
+		case xacml.DecisionDeny:
+			ex.Inclusions = []asp.Atom{deny}
+			ex.Exclusions = []asp.Atom{permit}
+		default:
+			ex.Exclusions = []asp.Atom{permit, deny}
+		}
+		out = append(out, ex)
+	}
+	return out
+}
+
+// AccessBias builds the learner's language bias for the dataset schema:
+// decision heads, attribute body atoms with constant pools, and age
+// comparisons. ILASP-style mode declarations for the access-control
+// study.
+func AccessBias(schema XACMLSchema, thresholds []int) ilasp.Bias {
+	roleTerms := make([]asp.Term, len(schema.Roles))
+	for i, r := range schema.Roles {
+		roleTerms[i] = asp.Constant{Name: r}
+	}
+	resTerms := make([]asp.Term, len(schema.Resources))
+	for i, r := range schema.Resources {
+		resTerms[i] = asp.Constant{Name: r}
+	}
+	actTerms := make([]asp.Term, len(schema.Actions))
+	for i, a := range schema.Actions {
+		actTerms[i] = asp.Constant{Name: a}
+	}
+	thrTerms := make([]asp.Term, len(thresholds))
+	for i, v := range thresholds {
+		thrTerms[i] = asp.Integer{Value: v}
+	}
+	return ilasp.Bias{
+		Head: []ilasp.ModeAtom{
+			ilasp.M("decision", ilasp.Const("effect")),
+		},
+		Body: []ilasp.ModeAtom{
+			ilasp.M("subject", ilasp.Const("roleattr"), ilasp.Const("role")),
+			ilasp.M("subject", ilasp.Const("ageattr"), ilasp.Var("num")),
+			ilasp.M("resource", ilasp.Const("typeattr"), ilasp.Const("res")),
+			ilasp.M("action", ilasp.Const("idattr"), ilasp.Const("act")),
+		},
+		Constants: map[string][]asp.Term{
+			"effect":   {asp.Constant{Name: "permit"}, asp.Constant{Name: "deny"}},
+			"role":     roleTerms,
+			"res":      resTerms,
+			"act":      actTerms,
+			"roleattr": {asp.Constant{Name: "role"}},
+			"ageattr":  {asp.Constant{Name: "age"}},
+			"typeattr": {asp.Constant{Name: "type"}},
+			"idattr":   {asp.Constant{Name: "id"}},
+		},
+		Comparisons: []ilasp.CmpSpec{{
+			Type:   "num",
+			Ops:    []asp.CmpOp{asp.CmpLt, asp.CmpGeq},
+			Values: thrTerms,
+		}},
+		MaxVars:     1,
+		MaxBody:     3,
+		RequireBody: true,
+	}
+}
+
+// Accuracy scores learned decision rules against labelled requests by
+// evaluating the rendered XACML policy.
+func Accuracy(learned *xacml.Policy, test []LabeledRequest) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, e := range test {
+		if learned.Evaluate(e.Request) == e.Decision {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}

@@ -1,0 +1,355 @@
+package xacml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"agenp/internal/asp"
+)
+
+// This file bridges the XACML model and the ASP learner: requests become
+// fact programs, decisions become atoms, and learned ASP hypotheses are
+// rendered back as XACML-style rules for display (Figure 3 of the
+// paper).
+
+// DecisionPredicate is the predicate of decision atoms in learned
+// policies.
+const DecisionPredicate = "decision"
+
+// categoryPredicate maps a category to its ASP predicate.
+func categoryPredicate(c Category) string {
+	if c == Environment {
+		return "env"
+	}
+	return string(c)
+}
+
+func categoryFromPredicate(p string) (Category, bool) {
+	switch p {
+	case "subject":
+		return Subject, true
+	case "resource":
+		return Resource, true
+	case "action":
+		return Action, true
+	case "env", "environment":
+		return Environment, true
+	default:
+		return "", false
+	}
+}
+
+// valueTerm converts an attribute value to an ASP term.
+func valueTerm(v Value) asp.Term {
+	if v.IsInt {
+		return asp.Integer{Value: v.Int}
+	}
+	if isIdentifier(v.Str) {
+		return asp.Constant{Name: v.Str}
+	}
+	return asp.Constant{Name: v.Str, Quoted: true}
+}
+
+// valueFromTerm converts an ASP term back to an attribute value.
+func valueFromTerm(t asp.Term) (Value, error) {
+	switch tt := t.(type) {
+	case asp.Integer:
+		return I(tt.Value), nil
+	case asp.Constant:
+		return S(tt.Name), nil
+	default:
+		return Value{}, fmt.Errorf("xacml: term %s is not an attribute value", t)
+	}
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r >= 'A' && r <= 'Z'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RequestFacts encodes a request as ASP facts: one
+// `category(attribute, value).` fact per attribute assignment.
+func RequestFacts(r Request) *asp.Program {
+	prog := asp.NewProgram()
+	// Deterministic order for reproducible programs.
+	for _, cat := range Categories() {
+		attrs := r[cat]
+		names := make([]string, 0, len(attrs))
+		for a := range attrs {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		for _, a := range names {
+			prog.Add(asp.NewFact(asp.NewAtom(
+				categoryPredicate(cat),
+				asp.Constant{Name: a},
+				valueTerm(attrs[a]),
+			)))
+		}
+	}
+	return prog
+}
+
+// DecisionAtom returns the decision atom for an effect.
+func DecisionAtom(e Effect) asp.Atom {
+	name := "permit"
+	if e == Deny {
+		name = "deny"
+	}
+	return asp.NewAtom(DecisionPredicate, asp.Constant{Name: name})
+}
+
+// EffectFromAtom inverts DecisionAtom.
+func EffectFromAtom(a asp.Atom) (Effect, error) {
+	if a.Predicate != DecisionPredicate || len(a.Args) != 1 {
+		return 0, fmt.Errorf("xacml: %s is not a decision atom", a)
+	}
+	c, ok := a.Args[0].(asp.Constant)
+	if !ok {
+		return 0, fmt.Errorf("xacml: %s is not a decision atom", a)
+	}
+	switch c.Name {
+	case "permit":
+		return Permit, nil
+	case "deny":
+		return Deny, nil
+	default:
+		return 0, fmt.Errorf("xacml: unknown decision %q", c.Name)
+	}
+}
+
+// RuleFromASP converts a learned ASP rule with a decision head into a
+// XACML rule for display and evaluation. Supported body shapes:
+//
+//   - category(attr, constant)            -> equality target match
+//   - category(attr, V) with V op value   -> comparison match
+//   - not category(attr, constant)        -> negated condition
+//
+// Rules that bind a variable without comparing it are rejected.
+func RuleFromASP(r asp.Rule, id string) (Rule, error) {
+	if r.Head == nil {
+		return Rule{}, fmt.Errorf("xacml: constraint %q has no decision head", r.String())
+	}
+	effect, err := EffectFromAtom(*r.Head)
+	if err != nil {
+		return Rule{}, err
+	}
+	out := Rule{ID: id, Effect: effect}
+
+	// First pass: variable -> (category, attr) bindings.
+	varAttr := make(map[string]Match)
+	for _, l := range r.Body {
+		if l.IsCmp || l.Negated {
+			continue
+		}
+		cat, ok := categoryFromPredicate(l.Atom.Predicate)
+		if !ok || len(l.Atom.Args) != 2 {
+			return Rule{}, fmt.Errorf("xacml: unsupported body atom %s", l.Atom)
+		}
+		attrC, ok := l.Atom.Args[0].(asp.Constant)
+		if !ok {
+			return Rule{}, fmt.Errorf("xacml: attribute position must be constant in %s", l.Atom)
+		}
+		if v, isVar := l.Atom.Args[1].(asp.Variable); isVar {
+			varAttr[v.Name] = Match{Category: cat, Attr: attrC.Name}
+		}
+	}
+
+	var conds []Condition
+	boundVars := make(map[string]bool)
+	for _, l := range r.Body {
+		switch {
+		case l.IsCmp:
+			v, isVar := l.Lhs.(asp.Variable)
+			rhs := l.Rhs
+			op := l.Op
+			if !isVar {
+				// Allow value op V by flipping.
+				v2, isVar2 := l.Rhs.(asp.Variable)
+				if !isVar2 {
+					return Rule{}, fmt.Errorf("xacml: unsupported comparison %s", l)
+				}
+				v, rhs, op = v2, l.Lhs, flipOp(l.Op)
+			}
+			base, ok := varAttr[v.Name]
+			if !ok {
+				return Rule{}, fmt.Errorf("xacml: comparison %s uses unbound variable", l)
+			}
+			val, err := valueFromTerm(rhs)
+			if err != nil {
+				return Rule{}, err
+			}
+			m := Match{Category: base.Category, Attr: base.Attr, Op: cmpToMatchOp(op), Value: val}
+			out.Target = append(out.Target, m)
+			boundVars[v.Name] = true
+		case l.Negated:
+			cat, ok := categoryFromPredicate(l.Atom.Predicate)
+			if !ok || len(l.Atom.Args) != 2 {
+				return Rule{}, fmt.Errorf("xacml: unsupported negated atom %s", l.Atom)
+			}
+			attrC, okA := l.Atom.Args[0].(asp.Constant)
+			if !okA {
+				return Rule{}, fmt.Errorf("xacml: attribute position must be constant in %s", l.Atom)
+			}
+			val, err := valueFromTerm(l.Atom.Args[1])
+			if err != nil {
+				return Rule{}, fmt.Errorf("xacml: negated atom %s must be ground", l.Atom)
+			}
+			m := Match{Category: cat, Attr: attrC.Name, Op: OpEq, Value: val}
+			conds = append(conds, Condition{Not: &Condition{Match: &m}})
+		default:
+			cat, _ := categoryFromPredicate(l.Atom.Predicate)
+			attrC := l.Atom.Args[0].(asp.Constant)
+			switch arg := l.Atom.Args[1].(type) {
+			case asp.Variable:
+				// Handled via comparisons; checked below.
+			case asp.Integer, asp.Constant:
+				val, err := valueFromTerm(arg)
+				if err != nil {
+					return Rule{}, err
+				}
+				out.Target = append(out.Target, Match{Category: cat, Attr: attrC.Name, Op: OpEq, Value: val})
+			default:
+				return Rule{}, fmt.Errorf("xacml: unsupported value term in %s", l.Atom)
+			}
+		}
+	}
+	for v := range varAttr {
+		if !boundVars[v] {
+			return Rule{}, fmt.Errorf("xacml: variable %s bound to %s.%s but never compared", v, varAttr[v].Category, varAttr[v].Attr)
+		}
+	}
+	switch len(conds) {
+	case 0:
+	case 1:
+		out.Condition = &conds[0]
+	default:
+		out.Condition = &Condition{And: conds}
+	}
+	return out, nil
+}
+
+func flipOp(op asp.CmpOp) asp.CmpOp {
+	switch op {
+	case asp.CmpLt:
+		return asp.CmpGt
+	case asp.CmpLeq:
+		return asp.CmpGeq
+	case asp.CmpGt:
+		return asp.CmpLt
+	case asp.CmpGeq:
+		return asp.CmpLeq
+	default:
+		return op
+	}
+}
+
+func cmpToMatchOp(op asp.CmpOp) MatchOp {
+	switch op {
+	case asp.CmpEq:
+		return OpEq
+	case asp.CmpNeq:
+		return OpNeq
+	case asp.CmpLt:
+		return OpLt
+	case asp.CmpLeq:
+		return OpLeq
+	case asp.CmpGt:
+		return OpGt
+	case asp.CmpGeq:
+		return OpGeq
+	default:
+		return OpEq
+	}
+}
+
+// PolicyFromHypothesis renders a learned hypothesis (decision rules) as a
+// XACML policy under deny-overrides.
+func PolicyFromHypothesis(rules []asp.Rule, id string) (*Policy, error) {
+	pol := &Policy{ID: id, Combining: DenyOverrides}
+	for i, r := range rules {
+		ru, err := RuleFromASP(r, fmt.Sprintf("%s-r%d", id, i+1))
+		if err != nil {
+			return nil, err
+		}
+		pol.Rules = append(pol.Rules, ru)
+	}
+	return pol, nil
+}
+
+// LearningBias builds an ILASP-style attribute alphabet from a request
+// domain: for every category/attribute it reports the distinct values
+// seen, which callers turn into mode declarations and constant pools.
+type LearningBias struct {
+	// Values[cat][attr] lists distinct observed values.
+	Values map[Category]map[string][]Value
+}
+
+// BiasFromRequests scans requests and collects the attribute domain.
+func BiasFromRequests(reqs []Request) *LearningBias {
+	b := &LearningBias{Values: make(map[Category]map[string][]Value)}
+	seen := make(map[string]struct{})
+	for _, r := range reqs {
+		for cat, attrs := range r {
+			for a, v := range attrs {
+				key := fmt.Sprintf("%s/%s/%s/%v", cat, a, v, v.IsInt)
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				m, ok := b.Values[cat]
+				if !ok {
+					m = make(map[string][]Value)
+					b.Values[cat] = m
+				}
+				m[a] = append(m[a], v)
+			}
+		}
+	}
+	for _, m := range b.Values {
+		for a := range m {
+			vals := m[a]
+			sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+			m[a] = vals
+		}
+	}
+	return b
+}
+
+// Attributes lists the category.attr pairs in the bias, sorted.
+func (b *LearningBias) Attributes() []string {
+	var out []string
+	for cat, attrs := range b.Values {
+		for a := range attrs {
+			out = append(out, fmt.Sprintf("%s.%s", cat, a))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *LearningBias) String() string {
+	var sb strings.Builder
+	for _, qa := range b.Attributes() {
+		cat, attr, _ := strings.Cut(qa, ".")
+		vals := b.Values[Category(cat)][attr]
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = v.String()
+		}
+		fmt.Fprintf(&sb, "%s: {%s}\n", qa, strings.Join(parts, ", "))
+	}
+	return sb.String()
+}

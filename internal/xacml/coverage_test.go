@@ -1,0 +1,218 @@
+package xacml
+
+import (
+	"strings"
+	"testing"
+
+	"agenp/internal/asp"
+)
+
+func TestRuleFromASPFlippedComparison(t *testing.T) {
+	// value op V form flips the operator.
+	tests := []struct {
+		rule    string
+		age     int
+		applies bool
+	}{
+		{rule: "decision(permit) :- subject(age, V1), 18 <= V1.", age: 20, applies: true},
+		{rule: "decision(permit) :- subject(age, V1), 18 <= V1.", age: 10, applies: false},
+		{rule: "decision(permit) :- subject(age, V1), 30 > V1.", age: 20, applies: true},
+		{rule: "decision(permit) :- subject(age, V1), 30 > V1.", age: 40, applies: false},
+		{rule: "decision(permit) :- subject(age, V1), 30 >= V1.", age: 30, applies: true},
+		{rule: "decision(permit) :- subject(age, V1), 18 < V1.", age: 19, applies: true},
+		{rule: "decision(permit) :- subject(age, V1), V1 != 18.", age: 19, applies: true},
+		{rule: "decision(permit) :- subject(age, V1), V1 != 18.", age: 18, applies: false},
+		{rule: "decision(permit) :- subject(age, V1), V1 = 18.", age: 18, applies: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.rule, func(t *testing.T) {
+			r, err := asp.ParseRule(tt.rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ru, err := RuleFromASP(r, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := NewRequest().Set(Subject, "age", I(tt.age))
+			if got := ru.Applies(req); got != tt.applies {
+				t.Errorf("Applies(age=%d) = %v, want %v", tt.age, got, tt.applies)
+			}
+		})
+	}
+}
+
+func TestCategoryPredicateRoundTrip(t *testing.T) {
+	for _, cat := range Categories() {
+		pred := categoryPredicate(cat)
+		got, ok := categoryFromPredicate(pred)
+		if !ok || got != cat {
+			t.Errorf("round trip %s -> %s -> %v, %v", cat, pred, got, ok)
+		}
+	}
+	if _, ok := categoryFromPredicate("weather"); ok {
+		t.Error("weather is not a category predicate")
+	}
+	if got, ok := categoryFromPredicate("environment"); !ok || got != Environment {
+		t.Error("long environment form not recognized")
+	}
+}
+
+func TestCombiningAlgFromString(t *testing.T) {
+	for _, alg := range []CombiningAlg{DenyOverrides, PermitOverrides, FirstApplicable} {
+		got, err := CombiningAlgFromString(alg.String())
+		if err != nil || got != alg {
+			t.Errorf("round trip %v: %v, %v", alg, got, err)
+		}
+	}
+	if _, err := CombiningAlgFromString("coin-flip"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if CombiningAlg(0).String() != "invalid-combining" {
+		t.Error("invalid combining String")
+	}
+}
+
+func TestStringersExhaustive(t *testing.T) {
+	if Effect(0).String() != "InvalidEffect" {
+		t.Error("invalid effect")
+	}
+	if Decision(0).String() != "InvalidDecision" {
+		t.Error("invalid decision")
+	}
+	if DecisionIndeterminate.String() != "Indeterminate" {
+		t.Error("indeterminate")
+	}
+	if MatchOp(0).String() != "?" {
+		t.Error("invalid op")
+	}
+	for _, op := range []MatchOp{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq} {
+		if op.String() == "?" {
+			t.Errorf("op %d has no rendering", op)
+		}
+	}
+	if PermitOverrides.String() != "permit-overrides" || FirstApplicable.String() != "first-applicable" {
+		t.Error("combining strings")
+	}
+}
+
+func TestConditionStringForms(t *testing.T) {
+	m := Match{Subject, "a", OpEq, S("x")}
+	var nilCond *Condition
+	if nilCond.String() != "true" {
+		t.Error("nil condition string")
+	}
+	empty := &Condition{}
+	if empty.String() != "true" || !empty.Eval(NewRequest()) {
+		t.Error("empty condition")
+	}
+	or := Condition{Or: []Condition{{Match: &m}, {Match: &m}}}
+	if !strings.Contains(or.String(), " or ") {
+		t.Errorf("or string = %q", or.String())
+	}
+	not := Condition{Not: &Condition{Match: &m}}
+	if !strings.Contains(not.String(), "not (") {
+		t.Errorf("not string = %q", not.String())
+	}
+}
+
+func TestParsePolicyConditionForms(t *testing.T) {
+	src := `
+policy "p" first-applicable {
+  rule "r" permit {
+    condition subject.a = 1 or ( subject.b = 2 and not ( subject.c = 3 ) )
+  }
+}
+`
+	p, err := ParsePolicy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := p.Rules[0].Condition
+	tests := []struct {
+		name string
+		r    Request
+		want bool
+	}{
+		{name: "first disjunct", r: NewRequest().Set(Subject, "a", I(1)), want: true},
+		{name: "second disjunct", r: NewRequest().Set(Subject, "b", I(2)), want: true},
+		{name: "negation blocks", r: NewRequest().Set(Subject, "b", I(2)).Set(Subject, "c", I(3)), want: false},
+		{name: "nothing matches", r: NewRequest().Set(Subject, "z", I(9)), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := cond.Eval(tt.r); got != tt.want {
+				t.Errorf("Eval = %v, want %v (cond %s)", got, tt.want, cond)
+			}
+		})
+	}
+}
+
+func TestParsePolicyAllOps(t *testing.T) {
+	src := `
+policy "p" deny-overrides {
+  target subject.a != x, subject.n <= 5, subject.n < 9, subject.m >= 2, subject.m > 1
+  rule "r" deny { }
+}
+`
+	p, err := ParsePolicy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Target) != 5 {
+		t.Fatalf("target size = %d", len(p.Target))
+	}
+	r := NewRequest().
+		Set(Subject, "a", S("y")).
+		Set(Subject, "n", I(4)).
+		Set(Subject, "m", I(2))
+	if got := p.Evaluate(r); got != DecisionDeny {
+		t.Errorf("Evaluate = %v", got)
+	}
+}
+
+func TestPolicySetIndeterminate(t *testing.T) {
+	ps := &PolicySet{
+		ID:        "s",
+		Combining: CombiningAlg(99),
+		Policies: []*Policy{{
+			ID: "p", Combining: FirstApplicable,
+			Rules: []Rule{{ID: "r", Effect: Permit}},
+		}},
+	}
+	if got := ps.Evaluate(NewRequest()); got != DecisionIndeterminate {
+		t.Errorf("invalid combining = %v", got)
+	}
+	pol := &Policy{ID: "p", Combining: CombiningAlg(99), Rules: []Rule{{ID: "r", Effect: Permit}}}
+	if got := pol.Evaluate(NewRequest()); got != DecisionIndeterminate {
+		t.Errorf("invalid rule combining = %v", got)
+	}
+}
+
+func TestMatchEvalTypeMismatchEquality(t *testing.T) {
+	r := NewRequest().Set(Subject, "x", S("5"))
+	eq := Match{Subject, "x", OpEq, I(5)}
+	if eq.Eval(r) {
+		t.Error("string '5' equals int 5")
+	}
+	neq := Match{Subject, "x", OpNeq, I(5)}
+	if !neq.Eval(r) {
+		t.Error("string '5' should be != int 5")
+	}
+}
+
+func TestValueTermQuotedAndFromTerm(t *testing.T) {
+	if _, err := valueFromTerm(asp.Variable{Name: "X"}); err == nil {
+		t.Error("variable is not a value")
+	}
+	v, err := valueFromTerm(asp.Integer{Value: 3})
+	if err != nil || !v.IsInt || v.Int != 3 {
+		t.Errorf("int term: %v, %v", v, err)
+	}
+	if isIdentifier("") || isIdentifier("Hello") || isIdentifier("a b") || isIdentifier("9a") {
+		t.Error("isIdentifier too lax")
+	}
+	if !isIdentifier("abc_1X") {
+		t.Error("isIdentifier too strict")
+	}
+}

@@ -1,0 +1,36 @@
+package xacml
+
+import (
+	"testing"
+)
+
+// FuzzParsePolicy checks the policy codec never panics and that
+// successful parses are format/re-parse stable.
+func FuzzParsePolicy(f *testing.F) {
+	seeds := []string{
+		`policy "p" deny-overrides { rule "r" permit { target subject.role = dba } }`,
+		`policy "p" first-applicable { target resource.type = report
+  rule "r" deny { condition subject.age >= 18 and not ( subject.x = 1 ) } }`,
+		`policy "" permit-overrides {}`,
+		`policy "p" deny-overrides { rule "r" permit { condition subject.a = 1 or subject.b = 2 } }`,
+		"policy",
+		`policy "p" deny-overrides { target crowd.x = 1 }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePolicy(src)
+		if err != nil {
+			return
+		}
+		formatted := p.Format()
+		again, err := ParsePolicy(formatted)
+		if err != nil {
+			t.Fatalf("formatted policy does not re-parse: %q: %v", formatted, err)
+		}
+		if again.Format() != formatted {
+			t.Fatalf("format not stable:\n%q\nvs\n%q", formatted, again.Format())
+		}
+	})
+}

@@ -1,0 +1,502 @@
+// Package xacml implements an attribute-based access control engine
+// modelled on the XACML core: requests carrying subject / resource /
+// action / environment attributes, permit/deny rules with targets and
+// conditions, and the standard rule- and policy-combining algorithms
+// (deny-overrides, permit-overrides, first-applicable).
+//
+// It is the substrate for the paper's access-control case study
+// (Section IV.C): the ASG learner consumes request/decision examples in
+// exactly the shape of the public XACML conformance dataset the paper
+// uses, and learned ASP hypotheses are rendered back as XACML-style
+// policies (Figure 3). The XML encoding of real XACML is out of scope —
+// the learner never sees it; the model semantics are what matter.
+package xacml
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Category is an attribute category.
+type Category string
+
+// The four standard attribute categories.
+const (
+	Subject     Category = "subject"
+	Resource    Category = "resource"
+	Action      Category = "action"
+	Environment Category = "environment"
+)
+
+// Categories lists the standard categories in canonical order.
+func Categories() []Category {
+	return []Category{Subject, Resource, Action, Environment}
+}
+
+// Value is an attribute value: a string or an integer.
+type Value struct {
+	IsInt bool
+	Str   string
+	Int   int
+}
+
+// S builds a string value.
+func S(s string) Value { return Value{Str: s} }
+
+// I builds an integer value.
+func I(i int) Value { return Value{IsInt: true, Int: i} }
+
+func (v Value) String() string {
+	if v.IsInt {
+		return strconv.Itoa(v.Int)
+	}
+	return v.Str
+}
+
+// Equal reports value equality (ints and strings never compare equal).
+func (v Value) Equal(o Value) bool {
+	if v.IsInt != o.IsInt {
+		return false
+	}
+	if v.IsInt {
+		return v.Int == o.Int
+	}
+	return v.Str == o.Str
+}
+
+// Compare orders two values; string/int mismatches order strings last.
+func (v Value) Compare(o Value) int {
+	if v.IsInt != o.IsInt {
+		if v.IsInt {
+			return -1
+		}
+		return 1
+	}
+	if v.IsInt {
+		return v.Int - o.Int
+	}
+	return strings.Compare(v.Str, o.Str)
+}
+
+// Request is an access request: attribute assignments per category.
+type Request map[Category]map[string]Value
+
+// NewRequest builds an empty request.
+func NewRequest() Request {
+	return make(Request)
+}
+
+// Set assigns an attribute, allocating the category map as needed, and
+// returns the request for chaining.
+func (r Request) Set(cat Category, attr string, v Value) Request {
+	m, ok := r[cat]
+	if !ok {
+		m = make(map[string]Value)
+		r[cat] = m
+	}
+	m[attr] = v
+	return r
+}
+
+// Get looks up an attribute.
+func (r Request) Get(cat Category, attr string) (Value, bool) {
+	m, ok := r[cat]
+	if !ok {
+		return Value{}, false
+	}
+	v, ok := m[attr]
+	return v, ok
+}
+
+// Clone deep-copies the request.
+func (r Request) Clone() Request {
+	out := make(Request, len(r))
+	for cat, attrs := range r {
+		m := make(map[string]Value, len(attrs))
+		for k, v := range attrs {
+			m[k] = v
+		}
+		out[cat] = m
+	}
+	return out
+}
+
+// Key returns a canonical string rendering of the request, usable as a
+// map key and stable across runs.
+func (r Request) Key() string {
+	var parts []string
+	for _, cat := range Categories() {
+		attrs := r[cat]
+		names := make([]string, 0, len(attrs))
+		for a := range attrs {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		for _, a := range names {
+			parts = append(parts, fmt.Sprintf("%s.%s=%s", cat, a, attrs[a]))
+		}
+	}
+	return strings.Join(parts, ";")
+}
+
+func (r Request) String() string { return r.Key() }
+
+// Effect is a rule's effect.
+type Effect int
+
+// Rule effects.
+const (
+	Permit Effect = iota + 1
+	Deny
+)
+
+func (e Effect) String() string {
+	switch e {
+	case Permit:
+		return "Permit"
+	case Deny:
+		return "Deny"
+	default:
+		return "InvalidEffect"
+	}
+}
+
+// Decision is an evaluation outcome.
+type Decision int
+
+// Evaluation outcomes, following XACML.
+const (
+	DecisionPermit Decision = iota + 1
+	DecisionDeny
+	DecisionNotApplicable
+	DecisionIndeterminate
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionPermit:
+		return "Permit"
+	case DecisionDeny:
+		return "Deny"
+	case DecisionNotApplicable:
+		return "NotApplicable"
+	case DecisionIndeterminate:
+		return "Indeterminate"
+	default:
+		return "InvalidDecision"
+	}
+}
+
+// MatchOp is a comparison operator usable in targets and conditions.
+type MatchOp int
+
+// Comparison operators.
+const (
+	OpEq MatchOp = iota + 1
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+)
+
+func (op MatchOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLeq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGeq:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Match is one attribute test: request[Category][Attr] Op Value. A
+// missing attribute never matches.
+type Match struct {
+	Category Category
+	Attr     string
+	Op       MatchOp
+	Value    Value
+}
+
+func (m Match) String() string {
+	return fmt.Sprintf("%s.%s %s %s", m.Category, m.Attr, m.Op, m.Value)
+}
+
+// Eval evaluates the match against a request.
+func (m Match) Eval(r Request) bool {
+	v, ok := r.Get(m.Category, m.Attr)
+	if !ok {
+		return false
+	}
+	if v.IsInt != m.Value.IsInt && (m.Op != OpEq && m.Op != OpNeq) {
+		return false
+	}
+	c := v.Compare(m.Value)
+	switch m.Op {
+	case OpEq:
+		return v.Equal(m.Value)
+	case OpNeq:
+		return !v.Equal(m.Value)
+	case OpLt:
+		return c < 0
+	case OpLeq:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGeq:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Target is a conjunction of matches; an empty target applies to every
+// request.
+type Target []Match
+
+// Matches reports whether the target applies to the request.
+func (t Target) Matches(r Request) bool {
+	for _, m := range t {
+		if !m.Eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t Target) String() string {
+	if len(t) == 0 {
+		return "any"
+	}
+	parts := make([]string, len(t))
+	for i, m := range t {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Condition is a boolean expression over matches.
+type Condition struct {
+	// Exactly one of the following is set.
+	Match *Match
+	Not   *Condition
+	And   []Condition
+	Or    []Condition
+}
+
+// Eval evaluates the condition; a nil condition is true.
+func (c *Condition) Eval(r Request) bool {
+	switch {
+	case c == nil:
+		return true
+	case c.Match != nil:
+		return c.Match.Eval(r)
+	case c.Not != nil:
+		return !c.Not.Eval(r)
+	case len(c.And) > 0:
+		for i := range c.And {
+			if !c.And[i].Eval(r) {
+				return false
+			}
+		}
+		return true
+	case len(c.Or) > 0:
+		for i := range c.Or {
+			if c.Or[i].Eval(r) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+func (c *Condition) String() string {
+	switch {
+	case c == nil:
+		return "true"
+	case c.Match != nil:
+		return c.Match.String()
+	case c.Not != nil:
+		return "not (" + c.Not.String() + ")"
+	case len(c.And) > 0:
+		parts := make([]string, len(c.And))
+		for i := range c.And {
+			parts[i] = c.And[i].String()
+		}
+		return "(" + strings.Join(parts, " and ") + ")"
+	case len(c.Or) > 0:
+		parts := make([]string, len(c.Or))
+		for i := range c.Or {
+			parts[i] = c.Or[i].String()
+		}
+		return "(" + strings.Join(parts, " or ") + ")"
+	default:
+		return "true"
+	}
+}
+
+// Rule is a XACML rule: effect, target, optional condition.
+type Rule struct {
+	ID        string
+	Effect    Effect
+	Target    Target
+	Condition *Condition
+}
+
+// Applies reports whether the rule fires on the request.
+func (ru Rule) Applies(r Request) bool {
+	return ru.Target.Matches(r) && ru.Condition.Eval(r)
+}
+
+func (ru Rule) String() string {
+	s := fmt.Sprintf("rule %q %s", ru.ID, strings.ToLower(ru.Effect.String()))
+	if len(ru.Target) > 0 {
+		s += " target " + ru.Target.String()
+	}
+	if ru.Condition != nil {
+		s += " condition " + ru.Condition.String()
+	}
+	return s
+}
+
+// CombiningAlg identifies a combining algorithm.
+type CombiningAlg int
+
+// Combining algorithms.
+const (
+	DenyOverrides CombiningAlg = iota + 1
+	PermitOverrides
+	FirstApplicable
+)
+
+func (a CombiningAlg) String() string {
+	switch a {
+	case DenyOverrides:
+		return "deny-overrides"
+	case PermitOverrides:
+		return "permit-overrides"
+	case FirstApplicable:
+		return "first-applicable"
+	default:
+		return "invalid-combining"
+	}
+}
+
+// CombiningAlgFromString parses a combining algorithm name.
+func CombiningAlgFromString(s string) (CombiningAlg, error) {
+	switch s {
+	case "deny-overrides":
+		return DenyOverrides, nil
+	case "permit-overrides":
+		return PermitOverrides, nil
+	case "first-applicable":
+		return FirstApplicable, nil
+	default:
+		return 0, fmt.Errorf("xacml: unknown combining algorithm %q", s)
+	}
+}
+
+// Policy is a XACML policy: a target, rules, and a rule-combining
+// algorithm.
+type Policy struct {
+	ID        string
+	Target    Target
+	Rules     []Rule
+	Combining CombiningAlg
+}
+
+// Evaluate runs the policy on a request.
+func (p *Policy) Evaluate(r Request) Decision {
+	d, _ := p.EvaluateTraced(r)
+	return d
+}
+
+// EvaluateTraced runs the policy and also returns the IDs of the rules
+// that fired (matched target and condition), supporting the paper's
+// explainability requirement (Section V.B).
+func (p *Policy) EvaluateTraced(r Request) (Decision, []string) {
+	if !p.Target.Matches(r) {
+		return DecisionNotApplicable, nil
+	}
+	var fired []string
+	decision := DecisionNotApplicable
+	for _, ru := range p.Rules {
+		if !ru.Applies(r) {
+			continue
+		}
+		fired = append(fired, ru.ID)
+		switch p.Combining {
+		case DenyOverrides:
+			if ru.Effect == Deny {
+				return DecisionDeny, fired
+			}
+			decision = DecisionPermit
+		case PermitOverrides:
+			if ru.Effect == Permit {
+				return DecisionPermit, fired
+			}
+			decision = DecisionDeny
+		case FirstApplicable:
+			if ru.Effect == Permit {
+				return DecisionPermit, fired
+			}
+			return DecisionDeny, fired
+		default:
+			return DecisionIndeterminate, fired
+		}
+	}
+	return decision, fired
+}
+
+// PolicySet combines policies under a policy-combining algorithm.
+type PolicySet struct {
+	ID        string
+	Target    Target
+	Policies  []*Policy
+	Combining CombiningAlg
+}
+
+// Evaluate runs the policy set on a request.
+func (ps *PolicySet) Evaluate(r Request) Decision {
+	if !ps.Target.Matches(r) {
+		return DecisionNotApplicable
+	}
+	decision := DecisionNotApplicable
+	for _, p := range ps.Policies {
+		d := p.Evaluate(r)
+		if d == DecisionNotApplicable {
+			continue
+		}
+		switch ps.Combining {
+		case DenyOverrides:
+			if d == DecisionDeny {
+				return DecisionDeny
+			}
+			decision = d
+		case PermitOverrides:
+			if d == DecisionPermit {
+				return DecisionPermit
+			}
+			decision = d
+		case FirstApplicable:
+			return d
+		default:
+			return DecisionIndeterminate
+		}
+	}
+	return decision
+}

@@ -1,0 +1,476 @@
+package xacml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"agenp/internal/asp"
+)
+
+func req(pairs ...any) Request {
+	r := NewRequest()
+	for i := 0; i+2 < len(pairs)+1 && i+2 <= len(pairs); i += 3 {
+		cat, _ := pairs[i].(Category)
+		attr, _ := pairs[i+1].(string)
+		switch v := pairs[i+2].(type) {
+		case int:
+			r.Set(cat, attr, I(v))
+		case string:
+			r.Set(cat, attr, S(v))
+		}
+	}
+	return r
+}
+
+func TestValueBasics(t *testing.T) {
+	if !S("a").Equal(S("a")) || S("a").Equal(S("b")) {
+		t.Error("string equality broken")
+	}
+	if !I(3).Equal(I(3)) || I(3).Equal(I(4)) {
+		t.Error("int equality broken")
+	}
+	if S("3").Equal(I(3)) {
+		t.Error("string 3 must not equal int 3")
+	}
+	if I(2).Compare(I(10)) >= 0 {
+		t.Error("int compare broken")
+	}
+	if S("a").Compare(S("b")) >= 0 {
+		t.Error("string compare broken")
+	}
+	if I(1).String() != "1" || S("x").String() != "x" {
+		t.Error("String broken")
+	}
+}
+
+func TestRequestAccessors(t *testing.T) {
+	r := req(Subject, "role", "dba", Subject, "age", 30, Resource, "type", "report")
+	if v, ok := r.Get(Subject, "age"); !ok || v.Int != 30 {
+		t.Errorf("Get age = %v, %v", v, ok)
+	}
+	if _, ok := r.Get(Action, "id"); ok {
+		t.Error("missing attribute should not be found")
+	}
+	c := r.Clone()
+	c.Set(Subject, "age", I(99))
+	if v, _ := r.Get(Subject, "age"); v.Int != 30 {
+		t.Error("Clone not isolated")
+	}
+	key := r.Key()
+	if !strings.Contains(key, "subject.age=30") || !strings.Contains(key, "resource.type=report") {
+		t.Errorf("Key = %q", key)
+	}
+	// Key must be deterministic.
+	if key != r.Key() {
+		t.Error("Key unstable")
+	}
+}
+
+func TestMatchEval(t *testing.T) {
+	r := req(Subject, "age", 21, Subject, "role", "dev")
+	tests := []struct {
+		m    Match
+		want bool
+	}{
+		{m: Match{Subject, "age", OpGeq, I(18)}, want: true},
+		{m: Match{Subject, "age", OpLt, I(18)}, want: false},
+		{m: Match{Subject, "age", OpEq, I(21)}, want: true},
+		{m: Match{Subject, "role", OpEq, S("dev")}, want: true},
+		{m: Match{Subject, "role", OpNeq, S("dba")}, want: true},
+		{m: Match{Subject, "missing", OpEq, S("x")}, want: false},
+		{m: Match{Resource, "age", OpEq, I(21)}, want: false},
+		// Type mismatch on ordering operators never matches.
+		{m: Match{Subject, "role", OpGt, I(3)}, want: false},
+		{m: Match{Subject, "age", OpNeq, S("21")}, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.m.String(), func(t *testing.T) {
+			if got := tt.m.Eval(r); got != tt.want {
+				t.Errorf("Eval = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestConditionEval(t *testing.T) {
+	r := req(Subject, "age", 21, Subject, "role", "dev")
+	ageOK := Match{Subject, "age", OpGeq, I(18)}
+	isDBA := Match{Subject, "role", OpEq, S("dba")}
+	var nilCond *Condition
+	if !nilCond.Eval(r) {
+		t.Error("nil condition must be true")
+	}
+	and := Condition{And: []Condition{{Match: &ageOK}, {Not: &Condition{Match: &isDBA}}}}
+	if !and.Eval(r) {
+		t.Errorf("and = false; cond %s", and.String())
+	}
+	or := Condition{Or: []Condition{{Match: &isDBA}, {Match: &ageOK}}}
+	if !or.Eval(r) {
+		t.Error("or = false")
+	}
+	bad := Condition{And: []Condition{{Match: &isDBA}}}
+	if bad.Eval(r) {
+		t.Error("and(isDBA) should fail for dev")
+	}
+}
+
+func samplePolicy() *Policy {
+	return &Policy{
+		ID:        "p1",
+		Combining: DenyOverrides,
+		Rules: []Rule{
+			{
+				ID:     "permit-dba-read",
+				Effect: Permit,
+				Target: Target{
+					{Subject, "role", OpEq, S("dba")},
+					{Action, "id", OpEq, S("read")},
+				},
+			},
+			{
+				ID:     "deny-minors",
+				Effect: Deny,
+				Target: Target{{Subject, "age", OpLt, I(18)}},
+			},
+		},
+	}
+}
+
+func TestPolicyEvaluate(t *testing.T) {
+	p := samplePolicy()
+	tests := []struct {
+		name string
+		r    Request
+		want Decision
+	}{
+		{
+			name: "dba read permitted",
+			r:    req(Subject, "role", "dba", Subject, "age", 40, Action, "id", "read"),
+			want: DecisionPermit,
+		},
+		{
+			name: "minor dba denied by deny-overrides",
+			r:    req(Subject, "role", "dba", Subject, "age", 16, Action, "id", "read"),
+			want: DecisionDeny,
+		},
+		{
+			name: "unrelated request not applicable",
+			r:    req(Subject, "role", "dev", Subject, "age", 30, Action, "id", "write"),
+			want: DecisionNotApplicable,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.Evaluate(tt.r); got != tt.want {
+				t.Errorf("Evaluate = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCombiningAlgorithms(t *testing.T) {
+	permitAll := Rule{ID: "p", Effect: Permit}
+	denyAll := Rule{ID: "d", Effect: Deny}
+	r := req(Subject, "x", 1)
+	tests := []struct {
+		name  string
+		alg   CombiningAlg
+		rules []Rule
+		want  Decision
+	}{
+		{name: "deny-overrides", alg: DenyOverrides, rules: []Rule{permitAll, denyAll}, want: DecisionDeny},
+		{name: "permit-overrides", alg: PermitOverrides, rules: []Rule{denyAll, permitAll}, want: DecisionPermit},
+		{name: "first-applicable permit", alg: FirstApplicable, rules: []Rule{permitAll, denyAll}, want: DecisionPermit},
+		{name: "first-applicable deny", alg: FirstApplicable, rules: []Rule{denyAll, permitAll}, want: DecisionDeny},
+		{name: "no rules", alg: DenyOverrides, rules: nil, want: DecisionNotApplicable},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := &Policy{ID: "t", Combining: tt.alg, Rules: tt.rules}
+			if got := p.Evaluate(r); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolicyTargetGates(t *testing.T) {
+	p := samplePolicy()
+	p.Target = Target{{Resource, "type", OpEq, S("report")}}
+	r := req(Subject, "role", "dba", Subject, "age", 40, Action, "id", "read")
+	if got := p.Evaluate(r); got != DecisionNotApplicable {
+		t.Errorf("policy target not gating: %v", got)
+	}
+}
+
+func TestEvaluateTraced(t *testing.T) {
+	p := samplePolicy()
+	r := req(Subject, "role", "dba", Subject, "age", 16, Action, "id", "read")
+	d, fired := p.EvaluateTraced(r)
+	if d != DecisionDeny {
+		t.Fatalf("decision = %v", d)
+	}
+	// Both rules fire; deny-overrides reports both in order.
+	if len(fired) != 2 || fired[0] != "permit-dba-read" || fired[1] != "deny-minors" {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestPolicySetCombining(t *testing.T) {
+	pPermit := &Policy{ID: "a", Combining: FirstApplicable, Rules: []Rule{{ID: "r", Effect: Permit}}}
+	pDeny := &Policy{ID: "b", Combining: FirstApplicable, Rules: []Rule{{ID: "r", Effect: Deny}}}
+	r := req(Subject, "x", 1)
+	ps := &PolicySet{ID: "s", Combining: DenyOverrides, Policies: []*Policy{pPermit, pDeny}}
+	if got := ps.Evaluate(r); got != DecisionDeny {
+		t.Errorf("deny-overrides set = %v", got)
+	}
+	ps.Combining = PermitOverrides
+	if got := ps.Evaluate(r); got != DecisionPermit {
+		t.Errorf("permit-overrides set = %v", got)
+	}
+	ps.Combining = FirstApplicable
+	if got := ps.Evaluate(r); got != DecisionPermit {
+		t.Errorf("first-applicable set = %v", got)
+	}
+	ps.Target = Target{{Resource, "none", OpEq, S("x")}}
+	if got := ps.Evaluate(r); got != DecisionNotApplicable {
+		t.Errorf("gated set = %v", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	p := samplePolicy()
+	cond := Condition{And: []Condition{
+		{Match: &Match{Environment, "time", OpLt, I(18)}},
+		{Not: &Condition{Match: &Match{Subject, "suspended", OpEq, S("yes")}}},
+	}}
+	p.Rules[0].Condition = &cond
+	p.Target = Target{{Resource, "type", OpEq, S("report")}}
+
+	text := p.Format()
+	parsed, err := ParsePolicy(text)
+	if err != nil {
+		t.Fatalf("ParsePolicy:\n%s\n%v", text, err)
+	}
+	if parsed.Format() != text {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", text, parsed.Format())
+	}
+	// Behavioral equivalence on a few requests.
+	reqs := []Request{
+		req(Subject, "role", "dba", Subject, "age", 40, Action, "id", "read", Resource, "type", "report", Environment, "time", 9),
+		req(Subject, "role", "dba", Subject, "age", 16, Action, "id", "read", Resource, "type", "report"),
+		req(Subject, "role", "dev", Resource, "type", "report"),
+	}
+	for _, r := range reqs {
+		if p.Evaluate(r) != parsed.Evaluate(r) {
+			t.Errorf("decision mismatch for %s", r)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "bad keyword", give: `policie "x" deny-overrides {}`},
+		{name: "bad combining", give: `policy "x" sometimes {}`},
+		{name: "bad effect", give: `policy "x" deny-overrides { rule "r" maybe {} }`},
+		{name: "bad category", give: `policy "x" deny-overrides { target crowd.size = 3 }`},
+		{name: "bad op", give: `policy "x" deny-overrides { rule "r" permit { target subject.a ~ 3 } }`},
+		{name: "trailing", give: `policy "x" deny-overrides {} extra`},
+		{name: "missing brace", give: `policy "x" deny-overrides {`},
+		{name: "unqualified attr", give: `policy "x" deny-overrides { target role = dba }`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParsePolicy(tt.give); err == nil {
+				t.Errorf("ParsePolicy(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestRequestFacts(t *testing.T) {
+	r := req(Subject, "role", "dba", Subject, "age", 30, Environment, "time", 9)
+	prog := RequestFacts(r)
+	s := prog.String()
+	for _, want := range []string{"subject(role,dba).", "subject(age,30).", "env(time,9)."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("facts missing %q:\n%s", want, s)
+		}
+	}
+	// Deterministic ordering.
+	if prog.String() != RequestFacts(r).String() {
+		t.Error("RequestFacts not deterministic")
+	}
+}
+
+func TestRequestFactsQuotedValues(t *testing.T) {
+	r := req(Subject, "name", "Alice Smith")
+	s := RequestFacts(r).String()
+	if !strings.Contains(s, `subject(name,"Alice Smith").`) {
+		t.Errorf("non-identifier value should be quoted:\n%s", s)
+	}
+}
+
+func TestDecisionAtomRoundTrip(t *testing.T) {
+	for _, e := range []Effect{Permit, Deny} {
+		a := DecisionAtom(e)
+		got, err := EffectFromAtom(a)
+		if err != nil || got != e {
+			t.Errorf("round trip %v: %v, %v", e, got, err)
+		}
+	}
+	bad, _ := asp.ParseAtom("weather(rain)")
+	if _, err := EffectFromAtom(bad); err == nil {
+		t.Error("expected error for non-decision atom")
+	}
+}
+
+func TestRuleFromASP(t *testing.T) {
+	r, err := asp.ParseRule("decision(permit) :- subject(role, dba), subject(age, V1), V1 >= 18, not subject(suspended, yes).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := RuleFromASP(r, "learned-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Effect != Permit {
+		t.Errorf("effect = %v", ru.Effect)
+	}
+	// Behavioral check.
+	adultDBA := req(Subject, "role", "dba", Subject, "age", 30)
+	if !ru.Applies(adultDBA) {
+		t.Error("rule should apply to adult dba")
+	}
+	minor := req(Subject, "role", "dba", Subject, "age", 15)
+	if ru.Applies(minor) {
+		t.Error("rule should not apply to minor")
+	}
+	suspended := req(Subject, "role", "dba", Subject, "age", 30, Subject, "suspended", "yes")
+	if ru.Applies(suspended) {
+		t.Error("rule should not apply to suspended subject")
+	}
+}
+
+func TestRuleFromASPErrors(t *testing.T) {
+	tests := []string{
+		":- subject(role, dba).",                                               // no head
+		"decision(permit) :- weather(rain).",                                   // unknown predicate
+		"decision(permit) :- subject(role, dba), V1 >= 18.",                    // unbound comparison var
+		"decision(permit) :- subject(age, V1).",                                // bound but never compared
+		"decision(maybe) :- subject(role, dba).",                               // bad decision
+		"decision(permit) :- not subject(age, V1), subject(age, V1), V1 >= 3.", // non-ground negated atom
+	}
+	for _, src := range tests {
+		t.Run(src, func(t *testing.T) {
+			r, err := asp.ParseRule(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := RuleFromASP(r, "x"); err == nil {
+				t.Errorf("RuleFromASP(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestPolicyFromHypothesis(t *testing.T) {
+	r1, _ := asp.ParseRule("decision(permit) :- subject(role, dba).")
+	r2, _ := asp.ParseRule("decision(deny) :- subject(age, V1), V1 < 18.")
+	pol, err := PolicyFromHypothesis([]asp.Rule{r1, r2}, "learned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Rules) != 2 || pol.Combining != DenyOverrides {
+		t.Fatalf("policy = %+v", pol)
+	}
+	minorDBA := req(Subject, "role", "dba", Subject, "age", 15)
+	if got := pol.Evaluate(minorDBA); got != DecisionDeny {
+		t.Errorf("minor dba = %v, want Deny", got)
+	}
+	adultDBA := req(Subject, "role", "dba", Subject, "age", 30)
+	if got := pol.Evaluate(adultDBA); got != DecisionPermit {
+		t.Errorf("adult dba = %v, want Permit", got)
+	}
+}
+
+func TestBiasFromRequests(t *testing.T) {
+	reqs := []Request{
+		req(Subject, "role", "dba", Subject, "age", 30),
+		req(Subject, "role", "dev", Subject, "age", 20),
+		req(Subject, "role", "dba"),
+	}
+	b := BiasFromRequests(reqs)
+	roles := b.Values[Subject]["role"]
+	if len(roles) != 2 {
+		t.Errorf("roles = %v", roles)
+	}
+	ages := b.Values[Subject]["age"]
+	if len(ages) != 2 || !ages[0].IsInt || ages[0].Int != 20 {
+		t.Errorf("ages = %v (must be sorted)", ages)
+	}
+	attrs := b.Attributes()
+	if len(attrs) != 2 || attrs[0] != "subject.age" {
+		t.Errorf("attributes = %v", attrs)
+	}
+	if !strings.Contains(b.String(), "subject.role: {dba, dev}") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+// TestEvalDecisionTotal (property): Evaluate never returns Indeterminate
+// for well-formed policies, and target matching is monotone in the sense
+// that removing a target match can only widen applicability.
+func TestEvalDecisionTotal(t *testing.T) {
+	p := samplePolicy()
+	f := func(age uint8, role uint8, action uint8) bool {
+		roles := []string{"dba", "dev", "guest"}
+		actions := []string{"read", "write"}
+		r := req(
+			Subject, "role", roles[int(role)%len(roles)],
+			Subject, "age", int(age),
+			Action, "id", actions[int(action)%len(actions)],
+		)
+		d := p.Evaluate(r)
+		if d == DecisionIndeterminate {
+			return false
+		}
+		// Widening: dropping the policy's rule targets can only move
+		// NotApplicable toward an applicable decision.
+		open := &Policy{ID: "open", Combining: p.Combining}
+		for _, ru := range p.Rules {
+			open.Rules = append(open.Rules, Rule{ID: ru.ID, Effect: ru.Effect})
+		}
+		if d != DecisionNotApplicable && open.Evaluate(r) == DecisionNotApplicable {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if DecisionPermit.String() != "Permit" || DecisionNotApplicable.String() != "NotApplicable" {
+		t.Error("Decision.String broken")
+	}
+	if Permit.String() != "Permit" || Deny.String() != "Deny" {
+		t.Error("Effect.String broken")
+	}
+	if DenyOverrides.String() != "deny-overrides" {
+		t.Error("CombiningAlg.String broken")
+	}
+	ru := samplePolicy().Rules[1]
+	if !strings.Contains(ru.String(), "deny") || !strings.Contains(ru.String(), "subject.age < 18") {
+		t.Errorf("Rule.String = %q", ru.String())
+	}
+	var empty Target
+	if empty.String() != "any" {
+		t.Errorf("empty target = %q", empty.String())
+	}
+}
