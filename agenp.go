@@ -46,6 +46,7 @@ import (
 	"agenp/internal/asg"
 	"agenp/internal/asglearn"
 	"agenp/internal/asp"
+	"agenp/internal/aspcheck"
 	"agenp/internal/core"
 	"agenp/internal/ilasp"
 	"agenp/internal/intent"
@@ -79,6 +80,25 @@ type (
 	Feedback = core.Feedback
 	// Evolution is the outcome of evolving a GPM.
 	Evolution = core.Evolution
+)
+
+// Static-analysis types (package aspcheck). LintProgram and LintGrammar
+// run the checks; GPM.Lint runs them on a model under a context, and the
+// AMS regeneration flow refuses models whose findings include errors.
+type (
+	// Finding is one positioned diagnostic.
+	Finding = aspcheck.Finding
+	// Findings is an ordered list of diagnostics.
+	Findings = aspcheck.Findings
+	// Severity ranks findings (Info, Warning, Error).
+	Severity = aspcheck.Severity
+)
+
+// Severity levels of lint findings.
+const (
+	SeverityInfo    = aspcheck.Info
+	SeverityWarning = aspcheck.Warning
+	SeverityError   = aspcheck.Error
 )
 
 // Learning types.
@@ -123,6 +143,10 @@ var (
 	NewGPM = core.New
 	// Solve grounds and solves an ASP program.
 	Solve = asp.Solve
+	// LintProgram statically analyzes a parsed ASP program.
+	LintProgram = aspcheck.AnalyzeProgram
+	// LintGrammar statically analyzes an answer set grammar.
+	LintGrammar = aspcheck.AnalyzeGrammar
 	// NewAMS assembles an autonomous management system.
 	NewAMS = agenp.New
 	// NewRequest builds an empty request.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	asgtool -grammar g.asg show
+//	asgtool -grammar g.asg validate          # static analysis (aspcheck)
 //	asgtool -grammar g.asg [-context "weather(rain)."] check "accept overtake"
 //	asgtool -grammar g.asg [-context ctx.lp] generate [-max-nodes 16]
 //	asgtool -intent policy.txt show          # compile controlled English
@@ -19,6 +20,7 @@ import (
 
 	"agenp/internal/asg"
 	"agenp/internal/asp"
+	"agenp/internal/aspcheck"
 	"agenp/internal/intent"
 )
 
@@ -68,11 +70,29 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	bare := g
 	g = g.WithContext(ctx)
 
 	switch cmd := fs.Arg(0); cmd {
 	case "show", "":
 		fmt.Fprint(stdout, g.String())
+		return nil
+	case "validate":
+		// Lint the grammar as written (not the G(C) merge) so finding
+		// positions stay in the source file's coordinates; the context's
+		// predicates still count as derivable.
+		var lintCtx *asp.Program
+		if ctx != nil && len(ctx.Rules) > 0 {
+			lintCtx = ctx
+		}
+		findings := aspcheck.AnalyzeGrammarWithContext(bare, lintCtx)
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+		fmt.Fprintln(stdout, findings.Summary())
+		if findings.HasErrors() {
+			return fmt.Errorf("grammar has errors")
+		}
 		return nil
 	case "check":
 		if fs.NArg() < 2 {
@@ -100,7 +120,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%% %d valid polic(ies) within %d nodes\n", len(out), *maxNodes)
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want show, check or generate)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want show, validate, check or generate)", cmd)
 	}
 }
 

@@ -30,6 +30,42 @@ func TestShow(t *testing.T) {
 	}
 }
 
+func TestValidate(t *testing.T) {
+	g := writeGrammar(t)
+	var out strings.Builder
+	// weather/1 is context-supplied: a warning without -context, quiet
+	// with one.
+	if err := run([]string{"-grammar", g, "validate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "asg-underivable") {
+		t.Errorf("validate output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-grammar", g, "-context", "weather(clear).", "validate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "asg-underivable") {
+		t.Errorf("context not honoured by validate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 errors") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+
+	// A grammar with an unsafe annotation variable fails validation.
+	bad := filepath.Join(t.TempDir(), "bad.asg")
+	if err := os.WriteFile(bad, []byte("policy -> \"fly\" { grant(X). }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-grammar", bad, "validate"}, &out); err == nil {
+		t.Errorf("unsafe annotation accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "unsafe-var") {
+		t.Errorf("validate output:\n%s", out.String())
+	}
+}
+
 func TestCheck(t *testing.T) {
 	g := writeGrammar(t)
 	var out strings.Builder

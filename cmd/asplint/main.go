@@ -1,0 +1,163 @@
+// Command asplint statically checks ASP programs and answer set
+// grammars before they reach the grounder: unsafe variables, undefined
+// or misused predicates, non-stratified negation, dead comparisons,
+// duplicate rules, and for grammars the CFG skeleton and annotation
+// derivability. Findings carry exact line:column positions.
+//
+// Usage:
+//
+//	asplint policy.lp grammar.asg          # lint files (.asg -> grammar)
+//	asplint -json policy.lp                # machine-readable output
+//	asplint -context ctx.lp grammar.asg    # lint a grammar under a context
+//	asplint -min warning policy.lp         # hide info findings
+//	asplint -strict policy.lp              # warnings also fail the run
+//	cat policy.lp | asplint                # read a program from stdin
+//	cat g.asg | asplint -asg               # read a grammar from stdin
+//
+// The exit status is nonzero when any error-severity finding (including
+// parse errors) is reported, or, with -strict, any warning.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/aspcheck"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if err != errFindings {
+			fmt.Fprintln(os.Stderr, "asplint:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errFindings signals a failing lint whose findings were already
+// printed; main must not repeat it on stderr.
+var errFindings = fmt.Errorf("findings at failing severity")
+
+// fileReport pairs an input name with its findings for -json output.
+type fileReport struct {
+	File     string            `json:"file"`
+	Findings aspcheck.Findings `json:"findings"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("asplint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	asGrammar := fs.Bool("asg", false, "treat stdin as an answer set grammar instead of an ASP program")
+	contextArg := fs.String("context", "", "ASP context for grammar inputs: inline program or path to a file")
+	minName := fs.String("min", "info", "minimum severity to report: info, warning or error")
+	strict := fs.Bool("strict", false, "exit nonzero on warnings, not just errors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	min, err := aspcheck.ParseSeverity(*minName)
+	if err != nil {
+		return err
+	}
+	var ctx *asp.Program
+	if *contextArg != "" {
+		if ctx, err = loadContext(*contextArg); err != nil {
+			return fmt.Errorf("loading context: %w", err)
+		}
+	}
+
+	var reports []fileReport
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, fileReport{
+			File:     "<stdin>",
+			Findings: analyzeSource(string(src), *asGrammar, ctx),
+		})
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		isGrammar := *asGrammar || filepath.Ext(path) == ".asg"
+		reports = append(reports, fileReport{
+			File:     path,
+			Findings: analyzeSource(string(src), isGrammar, ctx),
+		})
+	}
+
+	failed := false
+	for i := range reports {
+		reports[i].Findings = reports[i].Findings.Filter(min)
+		if reports[i].Findings == nil {
+			reports[i].Findings = aspcheck.Findings{}
+		}
+		threshold := aspcheck.Error
+		if *strict {
+			threshold = aspcheck.Warning
+		}
+		if len(reports[i].Findings.Filter(threshold)) > 0 {
+			failed = true
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		total := 0
+		for _, rep := range reports {
+			for _, f := range rep.Findings {
+				fmt.Fprintf(stdout, "%s\n", renderFinding(rep.File, f))
+				total++
+			}
+		}
+		if total == 0 {
+			fmt.Fprintln(stdout, "ok: no findings")
+		}
+	}
+	if failed {
+		return errFindings
+	}
+	return nil
+}
+
+// analyzeSource dispatches to the program or grammar analyzer. A
+// context only affects grammars: program analysis is context-free.
+func analyzeSource(src string, isGrammar bool, ctx *asp.Program) aspcheck.Findings {
+	if !isGrammar {
+		return aspcheck.AnalyzeProgramSource(src)
+	}
+	g, err := asg.ParseASG(src)
+	if err != nil {
+		return aspcheck.AnalyzeGrammarSource(src) // re-parse to produce the parse finding
+	}
+	return aspcheck.AnalyzeGrammarWithContext(g, ctx)
+}
+
+// renderFinding prefixes a finding with its file, keeping the
+// conventional file:line:col: head when a position is known.
+func renderFinding(file string, f aspcheck.Finding) string {
+	if f.Pos.Valid() {
+		return fmt.Sprintf("%s:%s", file, f.String())
+	}
+	return fmt.Sprintf("%s: %s", file, f.String())
+}
+
+func loadContext(arg string) (*asp.Program, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		return asp.Parse(string(data))
+	}
+	return asp.Parse(arg)
+}

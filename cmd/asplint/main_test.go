@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintProgramFile(t *testing.T) {
+	path := writeFile(t, "bad.lp", "p(X) :- q.\nq.\n")
+	var out strings.Builder
+	err := run([]string{path}, strings.NewReader(""), &out)
+	if err != errFindings {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, path+":1:3: error[unsafe-var]") {
+		t.Errorf("missing positioned unsafe-var line in output:\n%s", got)
+	}
+}
+
+func TestLintCleanFile(t *testing.T) {
+	path := writeFile(t, "ok.lp", "p(X) :- q(X).\nq(a).\n:- p(b).\n")
+	var out strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok: no findings") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestLintStdin(t *testing.T) {
+	var out strings.Builder
+	err := run(nil, strings.NewReader("p(X) :- q.\nq.\n"), &out)
+	if err != errFindings {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	if !strings.Contains(out.String(), "<stdin>:1:3: error[unsafe-var]") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestLintGrammarByExtension(t *testing.T) {
+	path := writeFile(t, "g.asg", "start -> \"go\"\ndead -> \"x\"\n")
+	var out strings.Builder
+	// Warnings alone don't fail without -strict.
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "asg-unreachable") {
+		t.Errorf("output = %q", out.String())
+	}
+	// With -strict the warning fails the run.
+	out.Reset()
+	if err := run([]string{"-strict", path}, strings.NewReader(""), &out); err != errFindings {
+		t.Fatalf("strict err = %v, want errFindings", err)
+	}
+}
+
+func TestLintGrammarWithContext(t *testing.T) {
+	g := writeFile(t, "g.asg", `start -> policy {
+  :- not ok@1.
+}
+policy -> "go" {
+  ok :- weather(clear).
+}
+`)
+	var out strings.Builder
+	if err := run([]string{g}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "asg-underivable") {
+		t.Errorf("expected underivable warning without context:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-context", "weather(clear).", g}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run with context: %v", err)
+	}
+	if strings.Contains(out.String(), "asg-underivable") {
+		t.Errorf("context did not satisfy the reference:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := writeFile(t, "bad.lp", "p(X) :- q.\nq.\n")
+	var out strings.Builder
+	err := run([]string{"-json", path}, strings.NewReader(""), &out)
+	if err != errFindings {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	var reports []struct {
+		File     string `json:"file"`
+		Findings []struct {
+			Severity string `json:"severity"`
+			Code     string `json:"code"`
+			Message  string `json:"message"`
+			Pos      struct {
+				Line int `json:"line"`
+				Col  int `json:"col"`
+			} `json:"pos"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].File != path {
+		t.Fatalf("reports = %+v", reports)
+	}
+	found := false
+	for _, f := range reports[0].Findings {
+		if f.Code == "unsafe-var" && f.Severity == "error" && f.Pos.Line == 1 && f.Pos.Col == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no positioned unsafe-var in %+v", reports[0].Findings)
+	}
+}
+
+func TestMinSeverityFilter(t *testing.T) {
+	// clean.lp-style program with only an info finding.
+	path := writeFile(t, "info.lp", "p.\n")
+	var out strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "unused-pred") {
+		t.Errorf("info finding missing at default -min:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-min", "warning", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok: no findings") {
+		t.Errorf("-min warning did not hide info finding:\n%s", out.String())
+	}
+	if err := run([]string{"-min", "bogus", path}, strings.NewReader(""), &out); err == nil || err == errFindings {
+		t.Errorf("bad -min accepted: %v", err)
+	}
+}
+
+func TestParseErrorFailsRun(t *testing.T) {
+	path := writeFile(t, "broken.lp", "p(a\n")
+	var out strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out); err != errFindings {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	if !strings.Contains(out.String(), "parse-error") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCorpusFilesLintExactly(t *testing.T) {
+	// The golden corpus drives the CLI too: unsafe.lp must fail, the
+	// clean files must pass.
+	base := filepath.Join("..", "..", "internal", "aspcheck", "testdata")
+	var out strings.Builder
+	if err := run([]string{filepath.Join(base, "unsafe.lp")}, strings.NewReader(""), &out); err != errFindings {
+		t.Errorf("unsafe.lp: err = %v, want errFindings", err)
+	}
+	out.Reset()
+	if err := run([]string{filepath.Join(base, "clean.lp"), filepath.Join(base, "clean.asg")}, strings.NewReader(""), &out); err != nil {
+		t.Errorf("clean corpus failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"no-such-file.lp"}, strings.NewReader(""), &out); err == nil || err == errFindings {
+		t.Errorf("missing file: err = %v", err)
+	}
+}

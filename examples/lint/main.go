@@ -1,0 +1,99 @@
+// Lint: static analysis gating the policy pipeline. A coalition partner
+// hands over a generative policy model whose annotation contains an
+// unsafe variable — a bug that would otherwise surface as a grounding
+// failure (or worse, silently wrong generation) deep inside the AMS.
+// The aspcheck pass catches it up front with exact positions, the AMS
+// refuses to activate the model, and a corrected model sails through.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agenp"
+)
+
+// brokenGrammar's second annotation derives priority(P) without binding
+// P: grant(R, P) is unsafe (P occurs only in the head).
+const brokenGrammar = `
+policy -> "share" resource {
+  :- not allowed@2.
+}
+resource -> "logistics" {
+  allowed :- clearance(low).
+  grant(R, P) :- resource(R).
+}
+`
+
+const fixedGrammar = `
+policy -> "share" resource {
+  :- not allowed@2.
+}
+resource -> "logistics" {
+  allowed :- clearance(low).
+  grant(R, P) :- resource(R), priority(R, P).
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Lint the incoming model before it goes anywhere near the AMS.
+	broken, err := agenp.ParseASG(brokenGrammar)
+	if err != nil {
+		return err
+	}
+	findings := agenp.LintGrammar(broken)
+	fmt.Println("incoming model:")
+	for _, f := range findings {
+		fmt.Println(" ", f)
+	}
+	if !findings.HasErrors() {
+		return fmt.Errorf("expected the broken model to be rejected")
+	}
+	fmt.Println("=> rejected:", findings.Summary())
+
+	// The same gate runs inside the AMS: a GPM with lint errors never
+	// replaces the installed policies.
+	model := agenp.NewGPM(broken)
+	if fs := model.Lint(nil); fs.HasErrors() {
+		fmt.Println("=> AMS would refuse to regenerate from this model")
+	}
+
+	// The corrected model passes (the remaining findings are warnings
+	// about context-supplied predicates, which is expected: clearance,
+	// resource and priority arrive with the deployment context).
+	fixed, err := agenp.ParseASG(fixedGrammar)
+	if err != nil {
+		return err
+	}
+	ctx, err := agenp.ParseASP("clearance(low). resource(logistics). priority(logistics, 1).")
+	if err != nil {
+		return err
+	}
+	fixedFindings := agenp.NewGPM(fixed).Lint(ctx)
+	fmt.Println("\nfixed model under the deployment context:")
+	if len(fixedFindings) == 0 {
+		fmt.Println("  no findings")
+	}
+	for _, f := range fixedFindings {
+		fmt.Println(" ", f)
+	}
+	if fixedFindings.HasErrors() {
+		return fmt.Errorf("fixed model still has errors")
+	}
+
+	policies, err := agenp.NewGPM(fixed).Generate(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ngenerated policies:")
+	for _, p := range policies {
+		fmt.Printf("  %s: %s\n", p.ID, p.Text())
+	}
+	return nil
+}

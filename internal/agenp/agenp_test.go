@@ -2,6 +2,7 @@ package agenp
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -87,6 +88,36 @@ func TestRegenerateInstallsPolicies(t *testing.T) {
 	}
 	if ams.Repository().Len() != 4 {
 		t.Errorf("repository has %d policies", ams.Repository().Len())
+	}
+}
+
+func TestRegenerateRejectsUnsafeModel(t *testing.T) {
+	ctx := &dynamicContext{}
+	ctx.set(t, "weather(clear).")
+	// grant(X) is unsafe: the lint gate must refuse to install policies
+	// from this model.
+	model, err := core.ParseGPM(`policy -> "fly" { grant(X). }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ams, err := New(Config{
+		Name:        "bad",
+		Model:       model,
+		Context:     ctx,
+		Interpreter: &TokenInterpreter{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ams.Regenerate()
+	if err == nil {
+		t.Fatal("unsafe model regenerated")
+	}
+	if !strings.Contains(err.Error(), "lint") || !strings.Contains(err.Error(), "unsafe") {
+		t.Errorf("error does not explain the lint rejection: %v", err)
+	}
+	if ams.Repository().Len() != 0 {
+		t.Errorf("repository has %d policies from a rejected model", ams.Repository().Len())
 	}
 }
 

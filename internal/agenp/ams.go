@@ -7,6 +7,7 @@ import (
 
 	"agenp/internal/asg"
 	"agenp/internal/asp"
+	"agenp/internal/aspcheck"
 	"agenp/internal/core"
 	"agenp/internal/ilasp"
 	"agenp/internal/policy"
@@ -149,7 +150,16 @@ func (a *AMS) Regenerate() ([]policy.Policy, map[string]error, error) {
 
 func (a *AMS) regenerateLocked() ([]policy.Policy, map[string]error, error) {
 	ctx, _ := a.pip.Acquire()
-	generated, err := a.models.Latest().Generate(ctx)
+	model := a.models.Latest()
+	// Static analysis gate: a model whose grammar has error-severity
+	// findings (unsafe annotation variables, parse-level damage) would
+	// fail or mislead deep inside grounding; refuse to install policies
+	// from it and keep the repository on the previous generation.
+	if findings := model.Lint(ctx); findings.HasErrors() {
+		errs := findings.Filter(aspcheck.Error)
+		return nil, nil, fmt.Errorf("agenp: PReP lint: model rejected (%s): %s", findings.Summary(), errs[0])
+	}
+	generated, err := model.Generate(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("agenp: PReP generation: %w", err)
 	}

@@ -40,6 +40,22 @@ type Grammar struct {
 	// the intermediate encoding (predicate + annSep + childIndex for
 	// annotated atoms). May be nil.
 	Annotations []*asp.Program
+
+	// AnnLines[i], when non-zero, is the 1-based line of the source .asg
+	// file where production i's annotation block starts. Positions inside
+	// Annotations[i] are relative to the block; adding AnnLines[i]-1 maps
+	// them back to the grammar file. Nil for programmatically built
+	// grammars.
+	AnnLines []int
+}
+
+// AnnLine returns the source line where production i's annotation block
+// starts, or 0 when unknown.
+func (g *Grammar) AnnLine(i int) int {
+	if i < 0 || i >= len(g.AnnLines) {
+		return 0
+	}
+	return g.AnnLines[i]
 }
 
 // Clone returns a deep-enough copy: the CFG is shared (immutable by
@@ -51,7 +67,11 @@ func (g *Grammar) Clone() *Grammar {
 			ann[i] = p.Clone()
 		}
 	}
-	return &Grammar{CFG: g.CFG, Annotations: ann}
+	var lines []int
+	if g.AnnLines != nil {
+		lines = append([]int(nil), g.AnnLines...)
+	}
+	return &Grammar{CFG: g.CFG, Annotations: ann, AnnLines: lines}
 }
 
 // encodeAnn encodes an annotated atom's predicate in the intermediate
@@ -77,6 +97,12 @@ func decodeAnn(pred string) (name string, child int, ok bool) {
 // EncodeAnnotated returns the intermediate-form predicate for `pred@child`,
 // for building annotation rules and hypothesis spaces programmatically.
 func EncodeAnnotated(pred string, child int) string { return encodeAnn(pred, child) }
+
+// DecodeAnnotated splits an intermediate-form predicate into its surface
+// name and child annotation; ok is false for unannotated predicates. It
+// is the inverse of EncodeAnnotated, used when rendering diagnostics
+// about annotation programs.
+func DecodeAnnotated(pred string) (name string, child int, ok bool) { return decodeAnn(pred) }
 
 // AnnotationHook is the asp.ParseAnnotated hook that encodes annotations
 // in the intermediate form.
@@ -169,7 +195,7 @@ func localizeRule(r asp.Rule, tr cfg.Trace) asp.Rule {
 		}
 		return a
 	}
-	out := asp.Rule{}
+	out := asp.Rule{Pos: r.Pos}
 	if r.Head != nil {
 		h := localAtom(*r.Head)
 		out.Head = &h
@@ -186,7 +212,7 @@ func localizeRule(r asp.Rule, tr cfg.Trace) asp.Rule {
 			out.Body[i] = l
 			continue
 		}
-		out.Body[i] = asp.Literal{Atom: localAtom(l.Atom), Negated: l.Negated}
+		out.Body[i] = asp.Literal{Atom: localAtom(l.Atom), Negated: l.Negated, Pos: l.Pos}
 	}
 	return out
 }

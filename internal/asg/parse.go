@@ -28,9 +28,10 @@ import (
 func ParseASG(src string) (*Grammar, error) {
 	s := &asgScanner{src: src, line: 1}
 	var (
-		prods []cfg.Production
-		anns  = make(map[int]*asp.Program)
-		start string
+		prods    []cfg.Production
+		anns     = make(map[int]*asp.Program)
+		annLines = make(map[int]int)
+		start    string
 	)
 	for {
 		s.skipSpace()
@@ -57,15 +58,17 @@ func ParseASG(src string) (*Grammar, error) {
 			prods = append(prods, cfg.Production{Lhs: lhs, Rhs: syms})
 			s.skipSpace()
 			if s.peek() == '{' {
+				blockLine := s.line
 				raw, err := s.braceBlock()
 				if err != nil {
 					return nil, err
 				}
 				prog, err := asp.ParseAnnotated(raw, AnnotationHook)
 				if err != nil {
-					return nil, fmt.Errorf("asg: annotation of %s -> ...: %w", lhs, err)
+					return nil, fmt.Errorf("asg: annotation of %s -> ... (block at line %d): %w", lhs, blockLine, err)
 				}
 				anns[id] = prog
+				annLines[id] = blockLine
 				break
 			}
 			if s.peek() == '|' {
@@ -82,7 +85,15 @@ func ParseASG(src string) (*Grammar, error) {
 	if err != nil {
 		return nil, fmt.Errorf("asg: %w", err)
 	}
-	return New(g, anns)
+	out, err := New(g, anns)
+	if err != nil {
+		return nil, err
+	}
+	out.AnnLines = make([]int, len(g.Productions))
+	for id, line := range annLines {
+		out.AnnLines[id] = line
+	}
+	return out, nil
 }
 
 // MustParseASG parses an ASG or panics; for tests and package-level

@@ -6,15 +6,105 @@ import (
 	"strings"
 )
 
+// VarOccurrence is one source occurrence of a variable in a rule.
+type VarOccurrence struct {
+	Name string
+	Pos  Pos
+}
+
 // SafetyError reports an unsafe rule: a variable not bound by any
 // positive body literal or computable equality.
 type SafetyError struct {
 	Rule Rule
 	Vars []string
+	// Occurrences lists every occurrence of each unsafe variable in
+	// source order. Positions are valid when the rule was parsed from
+	// text.
+	Occurrences []VarOccurrence
 }
 
 func (e *SafetyError) Error() string {
-	return fmt.Sprintf("unsafe rule %q: unbound variables %v", e.Rule.String(), e.Vars)
+	where := ""
+	if e.Rule.Pos.Valid() {
+		where = fmt.Sprintf(" at %s", e.Rule.Pos)
+	}
+	return fmt.Sprintf("unsafe rule%s %q: unbound variables %s",
+		where, e.Rule.String(), describeOccurrences(e.Vars, e.Occurrences))
+}
+
+// describeOccurrences renders "X (1:3, 1:9), Y (2:4)"; variables without
+// positioned occurrences render as bare names.
+func describeOccurrences(vars []string, occs []VarOccurrence) string {
+	var sb strings.Builder
+	for i, v := range vars {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v)
+		var at []string
+		for _, o := range occs {
+			if o.Name == v && o.Pos.Valid() {
+				at = append(at, o.Pos.String())
+			}
+		}
+		if len(at) > 0 {
+			sb.WriteString(" (")
+			sb.WriteString(strings.Join(at, ", "))
+			sb.WriteByte(')')
+		}
+	}
+	return sb.String()
+}
+
+// walkTermVars visits every variable occurrence of a term, including
+// occurrences inside compound, arithmetic and range subterms.
+func walkTermVars(t Term, f func(v Variable)) {
+	switch tt := t.(type) {
+	case Variable:
+		f(tt)
+	case Compound:
+		for _, a := range tt.Args {
+			walkTermVars(a, f)
+		}
+	case Arith:
+		walkTermVars(tt.L, f)
+		walkTermVars(tt.R, f)
+	case Range:
+		walkTermVars(tt.Lo, f)
+		walkTermVars(tt.Hi, f)
+	}
+}
+
+// ruleVarOccurrences collects every occurrence of the named variables in
+// the rule, in source order: head, choice atoms, then body literals.
+func ruleVarOccurrences(r Rule, names map[string]struct{}) []VarOccurrence {
+	var out []VarOccurrence
+	visit := func(v Variable) {
+		if _, ok := names[v.Name]; ok {
+			out = append(out, VarOccurrence{Name: v.Name, Pos: v.Pos})
+		}
+	}
+	if r.Head != nil {
+		for _, t := range r.Head.Args {
+			walkTermVars(t, visit)
+		}
+	}
+	for _, a := range r.Choice {
+		for _, t := range a.Args {
+			walkTermVars(t, visit)
+		}
+	}
+	for _, l := range r.Body {
+		if l.IsCmp {
+			walkTermVars(l.Lhs, visit)
+			walkTermVars(l.Rhs, visit)
+			continue
+		}
+		for _, t := range l.Atom.Args {
+			walkTermVars(t, visit)
+		}
+	}
+	return out
 }
 
 // GroundRule is a fully instantiated rule over interned atom ids.
@@ -177,9 +267,9 @@ func compileChoices(p *Program) (*Program, error) {
 				Predicate: fmt.Sprintf("_choice_%d_%d", fresh, i),
 				Args:      varTerms,
 			}
-			posRule := Rule{Head: &Atom{Predicate: a.Predicate, Args: a.Args}}
+			posRule := Rule{Head: &Atom{Predicate: a.Predicate, Args: a.Args, Pos: a.Pos}, Pos: r.Pos}
 			posRule.Body = append(append([]Literal{}, r.Body...), Neg(comp))
-			compRule := Rule{Head: &comp}
+			compRule := Rule{Head: &comp, Pos: r.Pos}
 			compRule.Body = append(append([]Literal{}, r.Body...), Neg(a))
 			out.Rules = append(out.Rules, posRule, compRule)
 		}
@@ -255,7 +345,11 @@ func CheckSafety(r Rule) error {
 	}
 	if len(unbound) > 0 {
 		sort.Strings(unbound)
-		return &SafetyError{Rule: r, Vars: unbound}
+		names := make(map[string]struct{}, len(unbound))
+		for _, v := range unbound {
+			names[v] = struct{}{}
+		}
+		return &SafetyError{Rule: r, Vars: unbound, Occurrences: ruleVarOccurrences(r, names)}
 	}
 	return nil
 }

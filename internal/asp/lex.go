@@ -3,7 +3,6 @@ package asp
 import (
 	"fmt"
 	"strconv"
-	"strings"
 	"unicode"
 )
 
@@ -37,27 +36,24 @@ type token struct {
 	text string
 	pos  int // byte offset in input
 	line int
-}
-
-// lexError reports a lexical error with line information.
-type lexError struct {
-	line int
-	msg  string
-}
-
-func (e *lexError) Error() string {
-	return fmt.Sprintf("line %d: %s", e.line, e.msg)
+	col  int // 1-based byte column within the line
 }
 
 // lex tokenizes an ASP source string. Comments run from '%' to end of
-// line.
+// line. Lexical errors are reported as *ParseError with the offending
+// position.
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // byte offset where the current line begins
 	i := 0
 	n := len(src)
+	col := func(pos int) int { return pos - lineStart + 1 }
 	emit := func(k tokenKind, text string, pos int) {
-		toks = append(toks, token{kind: k, text: text, pos: pos, line: line})
+		toks = append(toks, token{kind: k, text: text, pos: pos, line: line, col: col(pos)})
+	}
+	errAt := func(pos int, format string, args ...any) error {
+		return &ParseError{Line: line, Col: col(pos), Msg: fmt.Sprintf(format, args...)}
 	}
 	for i < n {
 		c := src[i]
@@ -65,6 +61,7 @@ func lex(src string) ([]token, error) {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '%':
@@ -108,14 +105,14 @@ func lex(src string) ([]token, error) {
 				emit(tokIf, ":-", i)
 				i += 2
 			} else {
-				return nil, &lexError{line: line, msg: "unexpected ':'"}
+				return nil, errAt(i, "unexpected ':'")
 			}
 		case c == '!':
 			if i+1 < n && src[i+1] == '=' {
 				emit(tokCmp, "!=", i)
 				i += 2
 			} else {
-				return nil, &lexError{line: line, msg: "unexpected '!'"}
+				return nil, errAt(i, "unexpected '!'")
 			}
 		case c == '=':
 			emit(tokCmp, "=", i)
@@ -147,12 +144,14 @@ func lex(src string) ([]token, error) {
 			emit(tokArith, "-", i)
 			i++
 		case c == '"':
+			start := i
+			startLine, startCol := line, col(i)
 			j := i + 1
-			var sb strings.Builder
+			var text []byte
 			closed := false
 			for j < n {
 				if src[j] == '\\' && j+1 < n {
-					sb.WriteByte(src[j+1])
+					text = append(text, src[j+1])
 					j += 2
 					continue
 				}
@@ -162,14 +161,15 @@ func lex(src string) ([]token, error) {
 				}
 				if src[j] == '\n' {
 					line++
+					lineStart = j + 1
 				}
-				sb.WriteByte(src[j])
+				text = append(text, src[j])
 				j++
 			}
 			if !closed {
-				return nil, &lexError{line: line, msg: "unterminated string literal"}
+				return nil, &ParseError{Line: startLine, Col: startCol, Msg: "unterminated string literal"}
 			}
-			emit(tokString, sb.String(), i)
+			toks = append(toks, token{kind: tokString, text: string(text), pos: start, line: startLine, col: startCol})
 			i = j + 1
 		case c >= '0' && c <= '9':
 			j := i
@@ -194,7 +194,7 @@ func lex(src string) ([]token, error) {
 			}
 			i = j
 		default:
-			return nil, &lexError{line: line, msg: fmt.Sprintf("unexpected character %q", c)}
+			return nil, errAt(i, "unexpected character %q", c)
 		}
 	}
 	emit(tokEOF, "", i)

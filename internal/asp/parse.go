@@ -4,15 +4,23 @@ import (
 	"fmt"
 )
 
-// ParseError reports a syntax error with line information.
+// ParseError reports a syntax or lexical error with its source position
+// (1-based line and byte column).
 type ParseError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("parse error at line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("parse error at line %d: %s", e.Line, e.Msg)
 }
+
+// Pos returns the error position.
+func (e *ParseError) Pos() Pos { return Pos{Line: e.Line, Col: e.Col} }
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
@@ -112,8 +120,12 @@ func (p *parser) expect(k tokenKind, what string) (token, error) {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return &ParseError{Line: p.peek().line, Msg: fmt.Sprintf(format, args...)}
+	t := p.peek()
+	return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
 }
+
+// posOf converts a token to a source position.
+func posOf(t token) Pos { return Pos{Line: t.line, Col: t.col} }
 
 func (p *parser) program() (*Program, error) {
 	prog := &Program{}
@@ -130,6 +142,7 @@ func (p *parser) program() (*Program, error) {
 // rule parses: head. | head :- body. | :- body. | {a; b} :- body.
 func (p *parser) rule() (Rule, error) {
 	var r Rule
+	r.Pos = posOf(p.peek())
 	switch {
 	case p.at(tokIf): // constraint
 		p.next()
@@ -202,13 +215,16 @@ func (p *parser) body() ([]Literal, error) {
 
 // literal parses `not atom`, `atom`, or a comparison `t op t`.
 func (p *parser) literal() (Literal, error) {
+	pos := posOf(p.peek())
 	if p.at(tokNot) {
 		p.next()
 		a, err := p.atom()
 		if err != nil {
 			return Literal{}, err
 		}
-		return Neg(a), nil
+		l := Neg(a)
+		l.Pos = pos
+		return l, nil
 	}
 	// Could be an atom or a comparison; an atom starts with an ident,
 	// while a comparison may start with any term. Parse a term first when
@@ -224,11 +240,17 @@ func (p *parser) literal() (Literal, error) {
 		if p.at(tokCmp) || p.at(tokArith) {
 			// Re-parse as a term expression.
 			p.pos = save
-			return p.comparison()
+			l, err := p.comparison()
+			l.Pos = pos
+			return l, err
 		}
-		return Pos(a), nil
+		l := PosLit(a)
+		l.Pos = pos
+		return l, nil
 	}
-	return p.comparison()
+	l, err := p.comparison()
+	l.Pos = pos
+	return l, err
 }
 
 func (p *parser) comparison() (Literal, error) {
@@ -276,7 +298,7 @@ func (p *parser) atom() (Atom, error) {
 	if err != nil {
 		return Atom{}, err
 	}
-	a := Atom{Predicate: tok.text}
+	a := Atom{Predicate: tok.text, Pos: posOf(tok)}
 	if p.at(tokLParen) {
 		p.next()
 		for {
@@ -399,7 +421,7 @@ func (p *parser) term() (Term, error) {
 		return nil, p.errf("unexpected operator %q", t.text)
 	case tokVariable:
 		p.next()
-		return Variable{Name: t.text}, nil
+		return Variable{Name: t.text, Pos: posOf(t)}, nil
 	case tokString:
 		p.next()
 		return Constant{Name: t.text, Quoted: true}, nil

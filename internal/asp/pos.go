@@ -1,0 +1,21 @@
+package asp
+
+import "fmt"
+
+// Pos is a 1-based source position (line and byte column) attached to
+// AST nodes by the parser. The zero value means "position unknown",
+// which is what programmatically constructed nodes carry.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// Valid reports whether the position is known.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.Valid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

@@ -1,0 +1,200 @@
+package asp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("String() = %q, want 3:7", got)
+	}
+	if got := (Pos{}).String(); got != "-" {
+		t.Errorf("zero Pos String() = %q, want -", got)
+	}
+	if (Pos{}).Valid() {
+		t.Error("zero Pos is Valid")
+	}
+	if !(Pos{Line: 1, Col: 1}).Valid() {
+		t.Error("1:1 not Valid")
+	}
+}
+
+func TestParsedPositions(t *testing.T) {
+	prog, err := Parse("p(a).\n\nq(X, Y) :- r(X), s(Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("got %d rules", len(prog.Rules))
+	}
+
+	fact := prog.Rules[0]
+	if fact.Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("fact rule pos = %s, want 1:1", fact.Pos)
+	}
+	if fact.Head.Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("fact head pos = %s, want 1:1", fact.Head.Pos)
+	}
+
+	r := prog.Rules[1]
+	if r.Pos != (Pos{Line: 3, Col: 1}) {
+		t.Errorf("rule pos = %s, want 3:1", r.Pos)
+	}
+	if r.Head.Pos != (Pos{Line: 3, Col: 1}) {
+		t.Errorf("head pos = %s, want 3:1", r.Head.Pos)
+	}
+	// q(X, Y) :- r(X), s(Y).
+	// 123456789012345678
+	if r.Body[0].Pos != (Pos{Line: 3, Col: 12}) {
+		t.Errorf("body[0] pos = %s, want 3:12", r.Body[0].Pos)
+	}
+	if r.Body[1].Pos != (Pos{Line: 3, Col: 18}) {
+		t.Errorf("body[1] pos = %s, want 3:18", r.Body[1].Pos)
+	}
+	// Variable positions ride on the terms.
+	x, ok := r.Head.Args[0].(Variable)
+	if !ok {
+		t.Fatalf("head arg 0 is %T", r.Head.Args[0])
+	}
+	if x.Pos != (Pos{Line: 3, Col: 3}) {
+		t.Errorf("X pos = %s, want 3:3", x.Pos)
+	}
+}
+
+func TestNegatedLiteralPosition(t *testing.T) {
+	prog, err := Parse("p :- q, not r.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := prog.Rules[0].Body[1]
+	if !l.Negated {
+		t.Fatal("literal not negated")
+	}
+	// The literal position is the `not` keyword; the atom's is `r`.
+	if l.Pos != (Pos{Line: 1, Col: 9}) {
+		t.Errorf("literal pos = %s, want 1:9", l.Pos)
+	}
+	if l.Atom.Pos != (Pos{Line: 1, Col: 13}) {
+		t.Errorf("atom pos = %s, want 1:13", l.Atom.Pos)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		src       string
+		line, col int
+	}{
+		{"p(a)", 1, 5},             // missing period reported right after the last token
+		{"p :- q r.", 1, 8},        // unexpected token after literal
+		{"p(a).\nq :- ,.", 2, 6},   // bad body start on line 2
+		{"p(a).\n  r(] ).", 2, 5},  // lexical error mid-line
+		{"s(\"unterminated", 1, 3}, // unterminated string at its start
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", c.src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T is not *ParseError: %v", c.src, err, err)
+			continue
+		}
+		if pe.Line != c.line || pe.Col != c.col {
+			t.Errorf("Parse(%q) error at %d:%d, want %d:%d (%v)", c.src, pe.Line, pe.Col, c.line, c.col, err)
+		}
+		if !strings.Contains(err.Error(), "line") {
+			t.Errorf("Parse(%q) error lacks position text: %v", c.src, err)
+		}
+	}
+}
+
+func TestSafetyErrorOccurrences(t *testing.T) {
+	prog, err := Parse("bad(X, Y) :- q(Y), X > 0.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = CheckSafety(prog.Rules[0])
+	if err == nil {
+		t.Fatal("rule reported safe")
+	}
+	var se *SafetyError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not *SafetyError", err)
+	}
+	if len(se.Vars) != 1 || se.Vars[0] != "X" {
+		t.Fatalf("Vars = %v, want [X]", se.Vars)
+	}
+	var got []Pos
+	for _, o := range se.Occurrences {
+		if o.Name == "X" {
+			got = append(got, o.Pos)
+		}
+	}
+	want := []Pos{{Line: 1, Col: 5}, {Line: 1, Col: 20}}
+	if len(got) != len(want) {
+		t.Fatalf("X occurrences = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("occurrence %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "at 1:1") || !strings.Contains(msg, "X (1:5, 1:20)") {
+		t.Errorf("error message lacks positions: %s", msg)
+	}
+}
+
+func TestSafetyErrorWithoutPositions(t *testing.T) {
+	// Rules built programmatically have no positions; the message must
+	// degrade to bare variable names.
+	r := NewRule(Atom{Predicate: "p", Args: []Term{Variable{Name: "V"}}})
+	err := CheckSafety(r)
+	if err == nil {
+		t.Fatal("rule reported safe")
+	}
+	msg := err.Error()
+	if strings.Contains(msg, " at ") || strings.Contains(msg, "0:0") {
+		t.Errorf("message leaks invalid positions: %s", msg)
+	}
+	if !strings.Contains(msg, "V") {
+		t.Errorf("message does not name the variable: %s", msg)
+	}
+}
+
+func TestPositionsSurviveRangeExpansion(t *testing.T) {
+	prog, err := Parse("n(1..3).\np(X) :- n(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Ground(prog, GroundingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAtoms() == 0 {
+		t.Fatal("nothing grounded")
+	}
+}
+
+func TestChoicePositionPropagation(t *testing.T) {
+	// An unsafe choice head must report the choice rule's position.
+	prog, err := Parse("ok.\n{a(X)} :- ok.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Ground(prog, GroundingOptions{})
+	if err == nil {
+		t.Fatal("unsafe choice grounded")
+	}
+	var se *SafetyError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not *SafetyError", err)
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("choice safety error lost line 2 position: %v", err)
+	}
+}

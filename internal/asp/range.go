@@ -206,9 +206,9 @@ func substituteFirstRange(r Rule, value Term) Rule {
 		for i, t := range a.Args {
 			args[i] = rewrite(t)
 		}
-		return Atom{Predicate: a.Predicate, Args: args}
+		return Atom{Predicate: a.Predicate, Args: args, Pos: a.Pos}
 	}
-	out := Rule{}
+	out := Rule{Pos: r.Pos}
 	if r.Head != nil {
 		h := rewriteAtom(*r.Head)
 		out.Head = &h
@@ -222,10 +222,10 @@ func substituteFirstRange(r Rule, value Term) Rule {
 	out.Body = make([]Literal, len(r.Body))
 	for i, l := range r.Body {
 		if l.IsCmp {
-			out.Body[i] = Literal{IsCmp: true, Op: l.Op, Lhs: rewrite(l.Lhs), Rhs: rewrite(l.Rhs)}
+			out.Body[i] = Literal{IsCmp: true, Op: l.Op, Lhs: rewrite(l.Lhs), Rhs: rewrite(l.Rhs), Pos: l.Pos}
 			continue
 		}
-		out.Body[i] = Literal{Atom: rewriteAtom(l.Atom), Negated: l.Negated}
+		out.Body[i] = Literal{Atom: rewriteAtom(l.Atom), Negated: l.Negated, Pos: l.Pos}
 	}
 	return out
 }

@@ -10,6 +10,11 @@ import (
 type Atom struct {
 	Predicate string
 	Args      []Term
+
+	// Pos is the source position of the predicate name when the atom was
+	// parsed from text; zero for programmatically built atoms. It is
+	// ignored by String, Key and all equality checks.
+	Pos Pos
 }
 
 // NewAtom builds an atom from a predicate name and terms.
@@ -59,7 +64,7 @@ func (a Atom) Substitute(b Binding) Atom {
 	for i, t := range a.Args {
 		args[i] = t.substitute(b)
 	}
-	return Atom{Predicate: a.Predicate, Args: args}
+	return Atom{Predicate: a.Predicate, Args: args, Pos: a.Pos}
 }
 
 // Variables returns the set of variable names occurring in the atom.
@@ -115,10 +120,14 @@ type Literal struct {
 	// Atom literal otherwise.
 	Atom    Atom
 	Negated bool // negation as failure ("not")
+
+	// Pos is the source position of the literal's first token when parsed
+	// from text; zero otherwise. Ignored by String and equality.
+	Pos Pos
 }
 
-// Pos builds a positive atom literal.
-func Pos(a Atom) Literal { return Literal{Atom: a} }
+// PosLit builds a positive atom literal.
+func PosLit(a Atom) Literal { return Literal{Atom: a} }
 
 // Neg builds a negation-as-failure literal.
 func Neg(a Atom) Literal { return Literal{Atom: a, Negated: true} }
@@ -141,9 +150,9 @@ func (l Literal) String() string {
 // Substitute applies a binding to the literal.
 func (l Literal) Substitute(b Binding) Literal {
 	if l.IsCmp {
-		return Literal{IsCmp: true, Op: l.Op, Lhs: l.Lhs.substitute(b), Rhs: l.Rhs.substitute(b)}
+		return Literal{IsCmp: true, Op: l.Op, Lhs: l.Lhs.substitute(b), Rhs: l.Rhs.substitute(b), Pos: l.Pos}
 	}
-	return Literal{Atom: l.Atom.Substitute(b), Negated: l.Negated}
+	return Literal{Atom: l.Atom.Substitute(b), Negated: l.Negated, Pos: l.Pos}
 }
 
 // Variables returns the variable names occurring in the literal.
@@ -207,6 +216,10 @@ type Rule struct {
 	Head   *Atom
 	Choice []Atom
 	Body   []Literal
+
+	// Pos is the source position of the rule's first token when parsed
+	// from text; zero otherwise. Ignored by String, Key and equality.
+	Pos Pos
 }
 
 // NewRule builds a normal rule.
@@ -269,7 +282,7 @@ func (r Rule) String() string {
 
 // Substitute applies a binding to the whole rule.
 func (r Rule) Substitute(b Binding) Rule {
-	var out Rule
+	out := Rule{Pos: r.Pos}
 	if r.Head != nil {
 		h := r.Head.Substitute(b)
 		out.Head = &h

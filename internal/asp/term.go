@@ -55,6 +55,11 @@ type Integer struct {
 // letter or underscore.
 type Variable struct {
 	Name string
+
+	// Pos is the source position of this occurrence when parsed from
+	// text; zero for programmatically built variables. It is ignored by
+	// String, key and all equality checks.
+	Pos Pos
 }
 
 // Compound is a function term f(t1, ..., tn) with n >= 1.

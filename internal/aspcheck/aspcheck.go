@@ -1,0 +1,273 @@
+// Package aspcheck is the static-analysis front end of the AGENP policy
+// pipeline: it inspects parsed ASP programs and answer set grammars and
+// reports positioned findings before any grounding or solving happens.
+// Real ASP systems (ILASP, clingo) pre-validate their inputs the same
+// way; rejecting a malformed annotation or an unproductive grammar rule
+// here is far cheaper than failing deep inside the grounder, and the
+// diagnostics carry exact source spans instead of a rendered rule dump.
+//
+// Program checks (AnalyzeProgram):
+//
+//	unsafe-var      (error)   variable not bound by any positive body literal
+//	undefined-pred  (warning) predicate used in a body but never defined
+//	arity-mismatch  (warning) one predicate name used with several arities
+//	non-stratified  (warning) negation inside a dependency cycle
+//	never-true      (warning) comparison that can never hold (X < X, 1 > 2)
+//	duplicate-rule  (warning) textually identical rule appears twice
+//	unused-pred     (info)    predicate defined but never consumed
+//
+// Grammar checks (AnalyzeGrammar) additionally cover the CFG skeleton
+// and the annotation programs of an ASG:
+//
+//	asg-unreachable  (warning) nonterminal unreachable from the start symbol
+//	asg-unproductive (warning) nonterminal that derives no terminal string
+//	asg-underivable  (warning) annotation references a predicate no
+//	                           production can derive at that node
+//
+// Parse failures surface as parse-error (error) findings from the
+// *Source convenience entry points.
+package aspcheck
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"agenp/internal/asp"
+)
+
+// Severity ranks findings.
+type Severity int
+
+// Severities, in increasing order of gravity.
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the lowercase severity names.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// ParseSeverity converts a severity name to its value.
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	default:
+		return 0, fmt.Errorf("unknown severity %q (want info, warning or error)", name)
+	}
+}
+
+// Finding codes. Codes are stable identifiers: CLI output, golden tests
+// and downstream tooling key on them.
+const (
+	CodeParse         = "parse-error"
+	CodeUnsafeVar     = "unsafe-var"
+	CodeUndefinedPred = "undefined-pred"
+	CodeUnusedPred    = "unused-pred"
+	CodeArityMismatch = "arity-mismatch"
+	CodeNonStratified = "non-stratified"
+	CodeNeverTrue     = "never-true"
+	CodeDuplicateRule = "duplicate-rule"
+	CodeUnreachable   = "asg-unreachable"
+	CodeUnproductive  = "asg-unproductive"
+	CodeUnderivable   = "asg-underivable"
+)
+
+// Finding is one diagnostic: a severity, a stable code, a human message
+// and the source position it anchors to (zero when unknown, e.g. for
+// whole-grammar findings).
+type Finding struct {
+	Severity Severity `json:"severity"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+	Pos      asp.Pos  `json:"pos"`
+	// Context optionally renders the offending rule or production.
+	Context string `json:"context,omitempty"`
+}
+
+func (f Finding) String() string {
+	if f.Pos.Valid() {
+		return fmt.Sprintf("%s: %s[%s]: %s", f.Pos, f.Severity, f.Code, f.Message)
+	}
+	return fmt.Sprintf("%s[%s]: %s", f.Severity, f.Code, f.Message)
+}
+
+// Findings is an ordered list of diagnostics.
+type Findings []Finding
+
+// Sort orders findings by position, then severity (most severe first),
+// then code and message — a deterministic order for output and tests.
+func (fs Findings) Sort() {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any finding has Error severity.
+func (fs Findings) HasErrors() bool {
+	for _, f := range fs {
+		if f.Severity >= Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the findings at or above the given severity.
+func (fs Findings) Filter(min Severity) Findings {
+	var out Findings
+	for _, f := range fs {
+		if f.Severity >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Counts tallies findings per severity: errors, warnings, infos.
+func (fs Findings) Counts() (errors, warnings, infos int) {
+	for _, f := range fs {
+		switch f.Severity {
+		case Error:
+			errors++
+		case Warning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Summary renders "2 errors, 1 warning" style totals.
+func (fs Findings) Summary() string {
+	e, w, i := fs.Counts()
+	plural := func(n int, what string) string {
+		if n == 1 {
+			return fmt.Sprintf("1 %s", what)
+		}
+		return fmt.Sprintf("%d %ss", n, what)
+	}
+	return fmt.Sprintf("%s, %s, %s", plural(e, "error"), plural(w, "warning"), plural(i, "info"))
+}
+
+// analyzer carries the rendering hooks that differ between plain ASP
+// programs and ASG annotation programs (predicate display names, rule
+// rendering, position shifting into the enclosing grammar file).
+type analyzer struct {
+	findings Findings
+
+	// display renders a predicate name for messages (identity for plain
+	// programs; decodes the `pred@child` intermediate encoding for ASG
+	// annotations).
+	display func(pred string) string
+	// ruleStr renders a rule for finding context.
+	ruleStr func(r asp.Rule) string
+	// shift maps a position inside the analyzed program to the reported
+	// position (identity for plain programs; adds the annotation block
+	// offset for ASG annotations).
+	shift func(p asp.Pos) asp.Pos
+}
+
+func newAnalyzer() *analyzer {
+	return &analyzer{
+		display: func(pred string) string { return pred },
+		ruleStr: func(r asp.Rule) string { return r.String() },
+		shift:   func(p asp.Pos) asp.Pos { return p },
+	}
+}
+
+func (a *analyzer) addf(sev Severity, code string, pos asp.Pos, context string, format string, args ...any) {
+	a.findings = append(a.findings, Finding{
+		Severity: sev,
+		Code:     code,
+		Message:  fmt.Sprintf(format, args...),
+		Pos:      a.shift(pos),
+		Context:  context,
+	})
+}
+
+// AnalyzeProgram runs every program-level check over a parsed ASP
+// program and returns the findings in deterministic order.
+func AnalyzeProgram(p *asp.Program) Findings {
+	if p == nil {
+		return nil
+	}
+	a := newAnalyzer()
+	a.ruleChecks(p)
+	a.predicateChecks(p)
+	a.stratificationCheck(p)
+	a.findings.Sort()
+	return a.findings
+}
+
+// AnalyzeProgramSource parses src as an ASP program and analyzes it.
+// Parse failures are returned as a single parse-error finding, so the
+// function never fails: bad input is just a finding.
+func AnalyzeProgramSource(src string) Findings {
+	prog, err := asp.Parse(src)
+	if err != nil {
+		return Findings{parseFinding(err)}
+	}
+	return AnalyzeProgram(prog)
+}
+
+// parseFinding converts a parse error into an Error finding, recovering
+// the source position when the error chain contains an *asp.ParseError.
+func parseFinding(err error) Finding {
+	f := Finding{Severity: Error, Code: CodeParse, Message: err.Error()}
+	var pe *asp.ParseError
+	if errors.As(err, &pe) {
+		f.Pos = pe.Pos()
+	}
+	return f
+}

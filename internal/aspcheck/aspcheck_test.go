@@ -1,0 +1,439 @@
+package aspcheck
+
+import (
+	"strings"
+	"testing"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+)
+
+func codes(fs Findings) map[string]int {
+	out := make(map[string]int)
+	for _, f := range fs {
+		out[f.Code]++
+	}
+	return out
+}
+
+func findByCode(fs Findings, code string) (Finding, bool) {
+	for _, f := range fs {
+		if f.Code == code {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}
+
+func analyze(t *testing.T, src string) Findings {
+	t.Helper()
+	prog, err := asp.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return AnalyzeProgram(prog)
+}
+
+func TestUnsafeVariable(t *testing.T) {
+	fs := analyze(t, "p(X) :- q.\nq.")
+	f, ok := findByCode(fs, CodeUnsafeVar)
+	if !ok {
+		t.Fatalf("no unsafe-var finding in %v", fs)
+	}
+	if f.Severity != Error {
+		t.Errorf("severity = %v, want error", f.Severity)
+	}
+	if f.Pos.Line != 1 || f.Pos.Col != 3 {
+		t.Errorf("pos = %s, want 1:3 (the occurrence of X)", f.Pos)
+	}
+	if !strings.Contains(f.Message, "X") {
+		t.Errorf("message does not name the variable: %s", f.Message)
+	}
+}
+
+func TestUnsafeVariableMultipleOccurrences(t *testing.T) {
+	// X occurs twice (head and comparison); both occurrences reported.
+	fs := analyze(t, "p(X) :- q(Y), X > Y.\nq(1).")
+	f, ok := findByCode(fs, CodeUnsafeVar)
+	if !ok {
+		t.Fatalf("no unsafe-var finding in %v", fs)
+	}
+	if !strings.Contains(f.Message, "1:3") || !strings.Contains(f.Message, "1:15") {
+		t.Errorf("message should list occurrences 1:3 and 1:15: %s", f.Message)
+	}
+}
+
+func TestSafeProgramNoErrors(t *testing.T) {
+	fs := analyze(t, "p(X) :- q(X).\nq(a).\nr :- p(a).")
+	if fs.HasErrors() {
+		t.Errorf("unexpected errors: %v", fs)
+	}
+}
+
+func TestAnonymousVariables(t *testing.T) {
+	// `_` in a positive body literal is bound; the head variable rides on r.
+	fs := analyze(t, "p(X) :- r(_, X).\nr(a, b).")
+	if _, ok := findByCode(fs, CodeUnsafeVar); ok {
+		t.Errorf("anonymous variable in positive body flagged unsafe: %v", fs)
+	}
+	// `_` in a fact head is unbound, hence unsafe.
+	fs = analyze(t, "p(_).")
+	if _, ok := findByCode(fs, CodeUnsafeVar); !ok {
+		t.Errorf("anonymous variable in fact head not flagged: %v", fs)
+	}
+}
+
+func TestComparisonBoundVariables(t *testing.T) {
+	// Y is bound through the equality chain Y = X * 2 + 1.
+	fs := analyze(t, "p(Y) :- q(X), Y = X * 2 + 1.\nq(1).")
+	if _, ok := findByCode(fs, CodeUnsafeVar); ok {
+		t.Errorf("equality-bound variable flagged unsafe: %v", fs)
+	}
+	// An inequality binds nothing: Y stays unsafe.
+	fs = analyze(t, "p(Y) :- q(X), Y > X.\nq(1).")
+	if _, ok := findByCode(fs, CodeUnsafeVar); !ok {
+		t.Errorf("inequality treated as binding: %v", fs)
+	}
+	// Equality whose other side uses an unbound variable binds nothing.
+	fs = analyze(t, "p(Y) :- Y = Z + 1.")
+	f, ok := findByCode(fs, CodeUnsafeVar)
+	if !ok {
+		t.Fatalf("chained unbound equality not flagged: %v", fs)
+	}
+	if !strings.Contains(f.Message, "Y") && !strings.Contains(f.Message, "Z") {
+		t.Errorf("message should name an unbound variable: %s", f.Message)
+	}
+}
+
+func TestArithmeticInHead(t *testing.T) {
+	fs := analyze(t, "p(X + 1) :- q(X).\nq(1).")
+	if _, ok := findByCode(fs, CodeUnsafeVar); ok {
+		t.Errorf("head arithmetic over bound variable flagged: %v", fs)
+	}
+	fs = analyze(t, "p(X + 1) :- q.\nq.")
+	if _, ok := findByCode(fs, CodeUnsafeVar); !ok {
+		t.Errorf("head arithmetic over unbound variable not flagged: %v", fs)
+	}
+}
+
+func TestChoiceRuleBodies(t *testing.T) {
+	fs := analyze(t, "{a(X); b(X)} :- c(X).\nc(1).")
+	if _, ok := findByCode(fs, CodeUnsafeVar); ok {
+		t.Errorf("safe choice rule flagged: %v", fs)
+	}
+	fs = analyze(t, "{a(X)} :- X < 3.")
+	if _, ok := findByCode(fs, CodeUnsafeVar); !ok {
+		t.Errorf("choice head variable bound only by comparison not flagged: %v", fs)
+	}
+}
+
+func TestUndefinedAndUnusedPredicates(t *testing.T) {
+	fs := analyze(t, "p :- q.\nr.")
+	if f, ok := findByCode(fs, CodeUndefinedPred); !ok {
+		t.Errorf("undefined q not flagged: %v", fs)
+	} else if !strings.Contains(f.Message, "q/0") {
+		t.Errorf("message should name q/0: %s", f.Message)
+	}
+	// p is head-only and never consumed; r likewise.
+	if c := codes(fs)[CodeUnusedPred]; c != 2 {
+		t.Errorf("unused-pred count = %d, want 2 (p, r): %v", c, fs)
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	fs := analyze(t, "w(1).\nw(1, 2).\nuse :- w(X), w(X, X).")
+	f, ok := findByCode(fs, CodeArityMismatch)
+	if !ok {
+		t.Fatalf("arity mismatch not flagged: %v", fs)
+	}
+	if !strings.Contains(f.Message, "w/2") || !strings.Contains(f.Message, "w/1") {
+		t.Errorf("message should name both arities: %s", f.Message)
+	}
+	if f.Pos.Line != 2 {
+		t.Errorf("pos = %s, want line 2 (first w/2 site)", f.Pos)
+	}
+}
+
+func TestStratification(t *testing.T) {
+	// Even loop: classic non-stratified program.
+	fs := analyze(t, "a :- not b.\nb :- not a.")
+	if c := codes(fs)[CodeNonStratified]; c != 2 {
+		t.Errorf("non-stratified count = %d, want 2: %v", c, fs)
+	}
+	// Stratified negation: no warning.
+	fs = analyze(t, "p(X) :- q(X), not r(X).\nq(a).\nr(b).")
+	if _, ok := findByCode(fs, CodeNonStratified); ok {
+		t.Errorf("stratified program flagged: %v", fs)
+	}
+	// Positive recursion alone is fine.
+	fs = analyze(t, "path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\nedge(a, b).")
+	if _, ok := findByCode(fs, CodeNonStratified); ok {
+		t.Errorf("positive recursion flagged: %v", fs)
+	}
+	// Negation into a different SCC through a longer cycle is caught.
+	fs = analyze(t, "p :- q.\nq :- not p.")
+	if _, ok := findByCode(fs, CodeNonStratified); !ok {
+		t.Errorf("two-step negative cycle not flagged: %v", fs)
+	}
+}
+
+func TestNeverTrueComparisons(t *testing.T) {
+	fs := analyze(t, "p(X) :- q(X), X < X.\nq(1).")
+	f, ok := findByCode(fs, CodeNeverTrue)
+	if !ok {
+		t.Fatalf("X < X not flagged: %v", fs)
+	}
+	if f.Pos.Line != 1 || f.Pos.Col != 15 {
+		t.Errorf("pos = %s, want 1:15", f.Pos)
+	}
+	fs = analyze(t, "p :- 1 > 2.")
+	if _, ok := findByCode(fs, CodeNeverTrue); !ok {
+		t.Errorf("1 > 2 not flagged: %v", fs)
+	}
+	// Satisfiable comparisons stay quiet.
+	fs = analyze(t, "p(X) :- q(X), X < 3.\nq(1).")
+	if _, ok := findByCode(fs, CodeNeverTrue); ok {
+		t.Errorf("satisfiable comparison flagged: %v", fs)
+	}
+	// X != Y is fine; X != X is not.
+	fs = analyze(t, "p :- q(X), r(Y), X != Y.\nq(1). r(2).")
+	if _, ok := findByCode(fs, CodeNeverTrue); ok {
+		t.Errorf("X != Y flagged: %v", fs)
+	}
+}
+
+func TestDuplicateRules(t *testing.T) {
+	fs := analyze(t, "p :- q.\nq.\np :- q.")
+	f, ok := findByCode(fs, CodeDuplicateRule)
+	if !ok {
+		t.Fatalf("duplicate not flagged: %v", fs)
+	}
+	if f.Pos.Line != 3 {
+		t.Errorf("duplicate reported at %s, want line 3", f.Pos)
+	}
+	if !strings.Contains(f.Message, "1:1") {
+		t.Errorf("message should point at the first definition: %s", f.Message)
+	}
+}
+
+func TestAnalyzeProgramSourceParseError(t *testing.T) {
+	fs := AnalyzeProgramSource("p(a)")
+	if len(fs) != 1 || fs[0].Code != CodeParse || fs[0].Severity != Error {
+		t.Fatalf("findings = %v, want single parse-error", fs)
+	}
+	if !fs[0].Pos.Valid() {
+		t.Errorf("parse-error finding has no position: %v", fs[0])
+	}
+}
+
+func TestGrammarUnreachableAndUnproductive(t *testing.T) {
+	fs := AnalyzeGrammarSource(`
+start -> "go"
+dead -> "never"
+loop -> "x" loop
+`)
+	got := codes(fs)
+	if got[CodeUnreachable] != 2 {
+		t.Errorf("unreachable count = %d, want 2 (dead, loop): %v", got[CodeUnreachable], fs)
+	}
+	if got[CodeUnproductive] != 1 {
+		t.Errorf("unproductive count = %d, want 1 (loop): %v", got[CodeUnproductive], fs)
+	}
+}
+
+func TestGrammarUnderivableAnnotation(t *testing.T) {
+	fs := AnalyzeGrammarSource(`
+start -> policy {
+  :- not ok@1.
+  :- missing(X)@1, ok@1.
+}
+policy -> "go" {
+  ok.
+}
+`)
+	got := codes(fs)
+	if got[CodeUnderivable] != 1 {
+		t.Fatalf("underivable count = %d, want 1 (missing/1): %v", got[CodeUnderivable], fs)
+	}
+	f, _ := findByCode(fs, CodeUnderivable)
+	if !strings.Contains(f.Message, "missing/1") {
+		t.Errorf("message should name missing/1: %s", f.Message)
+	}
+	// ok@1 is derivable via the child production; no finding for it.
+	if strings.Contains(f.Message, "ok/0") {
+		t.Errorf("ok@1 wrongly flagged: %s", f.Message)
+	}
+}
+
+func TestGrammarContextDerivedPredicate(t *testing.T) {
+	src := `
+start -> policy {
+  :- not ok@1.
+}
+policy -> "go" {
+  ok :- weather(clear).
+}
+`
+	g, err := asg.ParseASG(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without a context, weather/1 is underivable.
+	fs := AnalyzeGrammar(g)
+	if _, ok := findByCode(fs, CodeUnderivable); !ok {
+		t.Errorf("weather/1 not flagged without context: %v", fs)
+	}
+	// A context defining weather/1 satisfies the reference.
+	ctx, err := asp.Parse("weather(clear).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs = AnalyzeGrammarWithContext(g, ctx)
+	if _, ok := findByCode(fs, CodeUnderivable); ok {
+		t.Errorf("context-defined predicate still flagged: %v", fs)
+	}
+	// A context defining a different arity does not.
+	ctx, err = asp.Parse("weather(clear, today).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs = AnalyzeGrammarWithContext(g, ctx)
+	f, ok := findByCode(fs, CodeUnderivable)
+	if !ok {
+		t.Fatalf("wrong-arity context accepted: %v", fs)
+	}
+	if !strings.Contains(f.Message, "context does not define it") {
+		t.Errorf("message should mention the given context: %s", f.Message)
+	}
+}
+
+func TestGrammarParentDerivedPredicate(t *testing.T) {
+	// The parent pushes mark@1 down to the child; the child's own
+	// annotation consumes it unannotated.
+	fs := AnalyzeGrammarSource(`
+start -> policy {
+  mark@1.
+}
+policy -> "go" {
+  ok :- mark.
+}
+`)
+	for _, f := range fs {
+		if f.Code == CodeUnderivable && strings.Contains(f.Message, "mark") {
+			t.Errorf("parent-derived predicate flagged: %v", f)
+		}
+	}
+}
+
+func TestGrammarAnnotationPositionsShifted(t *testing.T) {
+	src := `start -> policy {
+  ok :- good@1.
+}
+policy -> "go" {
+  good.
+  bad(X).
+}
+`
+	fs := AnalyzeGrammarSource(src)
+	f, ok := findByCode(fs, CodeUnsafeVar)
+	if !ok {
+		t.Fatalf("unsafe var in annotation not flagged: %v", fs)
+	}
+	// bad(X). is block line 3 of the annotation starting at file line 4.
+	if f.Pos.Line != 6 {
+		t.Errorf("pos = %s, want line 6 of the .asg file", f.Pos)
+	}
+}
+
+func TestGrammarUnsafeAnnotationRendersSurfaceSyntax(t *testing.T) {
+	fs := AnalyzeGrammarSource(`
+start -> policy {
+  ok(X) :- size(X)@1, bad(Y)@1.
+}
+policy -> "go" {
+  size(1).
+  bad(2).
+}
+`)
+	if fs.HasErrors() {
+		t.Errorf("safe annotation flagged: %v", fs)
+	}
+	fs = AnalyzeGrammarSource(`
+start -> policy {
+  ok(X) :- size(Y)@1.
+}
+policy -> "go" {
+  size(1).
+}
+`)
+	f, ok := findByCode(fs, CodeUnsafeVar)
+	if !ok {
+		t.Fatalf("unsafe annotation variable not flagged: %v", fs)
+	}
+	if !strings.Contains(f.Context, "size(Y)@1") {
+		t.Errorf("context should render surface syntax: %q", f.Context)
+	}
+}
+
+func TestAnalyzeGrammarNilSafe(t *testing.T) {
+	if fs := AnalyzeGrammar(nil); fs != nil {
+		t.Errorf("AnalyzeGrammar(nil) = %v", fs)
+	}
+	if fs := AnalyzeProgram(nil); fs != nil {
+		t.Errorf("AnalyzeProgram(nil) = %v", fs)
+	}
+}
+
+func TestProgrammaticGrammarNoPositions(t *testing.T) {
+	// Grammars built in code have no .asg source; findings must still
+	// appear, just without positions.
+	g := asg.MustParseASG(`start -> "go"`)
+	prog, err := asp.Parse("p(X) :- q.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Annotations[0] = prog
+	g.AnnLines = nil
+	fs := AnalyzeGrammar(g)
+	f, ok := findByCode(fs, CodeUnsafeVar)
+	if !ok {
+		t.Fatalf("unsafe var not found: %v", fs)
+	}
+	// Positions remain block-relative (line 1) since no offset is known.
+	if f.Pos.Line != 1 {
+		t.Errorf("pos = %s, want block-relative line 1", f.Pos)
+	}
+}
+
+func TestFindingsSortAndSummary(t *testing.T) {
+	fs := Findings{
+		{Severity: Info, Code: "b", Pos: asp.Pos{Line: 2, Col: 1}},
+		{Severity: Error, Code: "a", Pos: asp.Pos{Line: 2, Col: 1}},
+		{Severity: Warning, Code: "c", Pos: asp.Pos{Line: 1, Col: 9}},
+	}
+	fs.Sort()
+	if fs[0].Code != "c" || fs[1].Code != "a" || fs[2].Code != "b" {
+		t.Errorf("sort order wrong: %v", fs)
+	}
+	if got := fs.Summary(); got != "1 error, 1 warning, 1 info" {
+		t.Errorf("summary = %q", got)
+	}
+	if !fs.HasErrors() {
+		t.Error("HasErrors = false")
+	}
+	if got := len(fs.Filter(Warning)); got != 2 {
+		t.Errorf("Filter(Warning) kept %d, want 2", got)
+	}
+}
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Error} {
+		parsed, err := ParseSeverity(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("round trip %v: %v %v", s, parsed, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) should fail")
+	}
+}

@@ -1,0 +1,69 @@
+package aspcheck
+
+import (
+	"testing"
+)
+
+// FuzzAnalyze checks the analyzer front door never panics: arbitrary
+// text is either a parse-error finding or a (possibly empty) list of
+// diagnostics, and rendering every finding is total.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"p(X) :- q.",
+		"p(X) :- q(Y), X > Y.",
+		"a :- not b. b :- not a.",
+		"{a(X); b(X)} :- c(X).",
+		"p(X) :- q(X), X < X.",
+		"w(1). w(1, 2). u :- w(X), w(X, X).",
+		"p :- q.\np :- q.\nq.",
+		"n(1..4). p(Y) :- n(X), Y = X * 2.",
+		"p(_).",
+		"broken(",
+		":-:-.",
+		"p@q.",
+		"% only a comment",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fs := AnalyzeProgramSource(src)
+		for _, finding := range fs {
+			if finding.String() == "" {
+				t.Fatalf("empty rendering for finding %#v from %q", finding, src)
+			}
+			if finding.Severity.String() == "unknown" {
+				t.Fatalf("finding with unset severity %#v from %q", finding, src)
+			}
+		}
+	})
+}
+
+// FuzzAnalyzeGrammar does the same for the grammar entry point, seeded
+// with both well-formed ASGs and truncated/garbage inputs.
+func FuzzAnalyzeGrammar(f *testing.F) {
+	seeds := []string{
+		"start -> \"go\"",
+		"start -> policy {\n  :- not ok@1.\n}\npolicy -> \"go\" {\n  ok.\n}",
+		"start -> rule {\n  :- quota(X)@1, X > 5.\n}\nrule -> \"allow\"",
+		"loop -> \"x\" loop",
+		"start -> policy {\n  bad(X).\n}\npolicy -> \"go\"",
+		"start -> policy {",
+		"-> \"x\"",
+		"start -> policy { p( }",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fs := AnalyzeGrammarSource(src)
+		for _, finding := range fs {
+			if finding.String() == "" {
+				t.Fatalf("empty rendering for finding %#v from %q", finding, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package aspcheck
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// TestGoldenCorpus analyzes every .lp and .asg file under testdata/ and
+// compares the rendered findings against the matching .golden file, one
+// Finding.String() per line. Run with -update to regenerate.
+func TestGoldenCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, path := range paths {
+		ext := filepath.Ext(path)
+		if ext != ".lp" && ext != ".asg" {
+			continue
+		}
+		ran++
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fs Findings
+			if ext == ".asg" {
+				fs = AnalyzeGrammarSource(string(src))
+			} else {
+				fs = AnalyzeProgramSource(string(src))
+			}
+			var b strings.Builder
+			for _, f := range fs {
+				b.WriteString(f.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			golden := path + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no corpus files found under testdata/")
+	}
+}

@@ -1,0 +1,306 @@
+package aspcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"agenp/internal/asg"
+	"agenp/internal/asp"
+	"agenp/internal/cfg"
+)
+
+// AnalyzeGrammar runs the static checks specific to answer set
+// grammars: the CFG skeleton (reachability, productivity), the per-rule
+// checks on every annotation program, and a derivability analysis of the
+// predicates annotations refer to. Positions are reported in the
+// coordinates of the source .asg file when the grammar was parsed with
+// ParseASG; programmatically built grammars get position-less findings.
+func AnalyzeGrammar(g *asg.Grammar) Findings {
+	return AnalyzeGrammarWithContext(g, nil)
+}
+
+// AnalyzeGrammarWithContext analyzes g like AnalyzeGrammar, but treats
+// predicates defined by the context program's heads as derivable at
+// every node: under G(C) the context is added to every annotation, so
+// references to context predicates are satisfied. The context program
+// itself is not linted here — run AnalyzeProgram on it to keep its
+// findings in its own file's coordinates.
+func AnalyzeGrammarWithContext(g *asg.Grammar, ctx *asp.Program) Findings {
+	if g == nil || g.CFG == nil {
+		return nil
+	}
+	var out Findings
+	out = append(out, cfgFindings(g.CFG)...)
+	for id, ann := range g.Annotations {
+		if ann == nil {
+			continue
+		}
+		a := annotationAnalyzer(g, id)
+		a.ruleChecks(ann)
+		out = append(out, a.findings...)
+	}
+	out = append(out, derivabilityFindings(g, ctx)...)
+	Findings(out).Sort()
+	return out
+}
+
+// AnalyzeGrammarSource parses src as an .asg grammar and analyzes it.
+// Parse failures become a single parse-error finding.
+func AnalyzeGrammarSource(src string) Findings {
+	g, err := asg.ParseASG(src)
+	if err != nil {
+		return Findings{grammarParseFinding(err)}
+	}
+	return AnalyzeGrammar(g)
+}
+
+// grammarParseFinding wraps an ASG parse error; when the failure came
+// from an embedded annotation program the wrapped *asp.ParseError still
+// carries a (block-relative) position.
+func grammarParseFinding(err error) Finding {
+	f := Finding{Severity: Error, Code: CodeParse, Message: err.Error()}
+	var pe *asp.ParseError
+	if errors.As(err, &pe) {
+		f.Pos = pe.Pos()
+	}
+	return f
+}
+
+// annotationAnalyzer builds an analyzer that renders annotation rules in
+// `pred@child` surface syntax and shifts positions by the annotation
+// block's line offset in the grammar file.
+func annotationAnalyzer(g *asg.Grammar, prod int) *analyzer {
+	a := newAnalyzer()
+	a.display = func(pred string) string {
+		name, child, ok := asg.DecodeAnnotated(pred)
+		if !ok {
+			return pred
+		}
+		return fmt.Sprintf("%s@%d", name, child)
+	}
+	a.ruleStr = asg.DisplayRule
+	if line := g.AnnLine(prod); line > 0 {
+		a.shift = func(p asp.Pos) asp.Pos {
+			if !p.Valid() {
+				return p
+			}
+			return asp.Pos{Line: p.Line + line - 1, Col: p.Col}
+		}
+	}
+	return a
+}
+
+// cfgFindings checks the grammar skeleton: every nonterminal should be
+// reachable from the start symbol and able to derive a terminal string.
+// An unreachable nonterminal is dead weight; an unproductive one makes
+// every production mentioning it underivable, silently shrinking the
+// policy language.
+func cfgFindings(g *cfg.Grammar) Findings {
+	var out Findings
+
+	reachable := map[string]bool{g.Start: true}
+	queue := []string{g.Start}
+	for len(queue) > 0 {
+		nt := queue[0]
+		queue = queue[1:]
+		for _, p := range g.ProductionsFor(nt) {
+			for _, s := range p.Rhs {
+				if s.Terminal || reachable[s.Name] {
+					continue
+				}
+				reachable[s.Name] = true
+				queue = append(queue, s.Name)
+			}
+		}
+	}
+
+	productive := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Productions {
+			if productive[p.Lhs] {
+				continue
+			}
+			ok := true
+			for _, s := range p.Rhs {
+				if !s.Terminal && !productive[s.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				productive[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, nt := range g.Nonterminals() {
+		if !reachable[nt] {
+			out = append(out, Finding{
+				Severity: Warning,
+				Code:     CodeUnreachable,
+				Message:  fmt.Sprintf("nonterminal %q is unreachable from start symbol %q", nt, g.Start),
+				Context:  firstProduction(g, nt),
+			})
+		}
+		if !productive[nt] {
+			out = append(out, Finding{
+				Severity: Warning,
+				Code:     CodeUnproductive,
+				Message:  fmt.Sprintf("nonterminal %q cannot derive any terminal string (unproductive)", nt),
+				Context:  firstProduction(g, nt),
+			})
+		}
+	}
+	return out
+}
+
+func firstProduction(g *cfg.Grammar, nt string) string {
+	ps := g.ProductionsFor(nt)
+	if len(ps) == 0 {
+		return ""
+	}
+	return ps[0].String()
+}
+
+// derivabilityFindings checks that every predicate an annotation's body
+// refers to can actually be derived at the node it is localized to:
+// unannotated atoms by the node's own productions, its parent's `p@i`
+// heads, or the context program; annotated atoms by the corresponding
+// child. A body atom nothing derives can only be satisfied by a context
+// supplied later — worth a warning, since a missing context fact
+// silently empties the language.
+func derivabilityFindings(g *asg.Grammar, ctx *asp.Program) Findings {
+	ctxDefs := make(map[sig]struct{})
+	if ctx != nil {
+		for _, r := range ctx.Rules {
+			if r.Head != nil {
+				ctxDefs[sig{name: r.Head.Predicate, arity: len(r.Head.Args)}] = struct{}{}
+			}
+			for _, c := range r.Choice {
+				ctxDefs[sig{name: c.Predicate, arity: len(c.Args)}] = struct{}{}
+			}
+		}
+	}
+	type childKey struct {
+		prod  int
+		child int
+	}
+	nodeDefs := make(map[string]map[sig]struct{})    // nonterminal -> unannotated head sigs of its productions
+	childDefs := make(map[childKey]map[sig]struct{}) // production/child -> `p@i` head sigs
+	add := func(m map[sig]struct{}, s sig) map[sig]struct{} {
+		if m == nil {
+			m = make(map[sig]struct{})
+		}
+		m[s] = struct{}{}
+		return m
+	}
+
+	heads := func(r asp.Rule) []asp.Atom {
+		var hs []asp.Atom
+		if r.Head != nil {
+			hs = append(hs, *r.Head)
+		}
+		hs = append(hs, r.Choice...)
+		return hs
+	}
+
+	for id, ann := range g.Annotations {
+		if ann == nil {
+			continue
+		}
+		lhs := g.CFG.Productions[id].Lhs
+		for _, r := range ann.Rules {
+			for _, h := range heads(r) {
+				name, child, annotated := asg.DecodeAnnotated(h.Predicate)
+				s := sig{name: name, arity: len(h.Args)}
+				if annotated {
+					k := childKey{prod: id, child: child}
+					childDefs[k] = add(childDefs[k], s)
+				} else {
+					nodeDefs[lhs] = add(nodeDefs[lhs], s)
+				}
+			}
+		}
+	}
+
+	// parentDefs: predicates a node can receive from any parent
+	// production's `p@i` heads, keyed by the node's nonterminal.
+	parentDefs := make(map[string]map[sig]struct{})
+	for k, defs := range childDefs {
+		rhs := g.CFG.Productions[k.prod].Rhs
+		if k.child < 1 || k.child > len(rhs) {
+			continue
+		}
+		sym := rhs[k.child-1]
+		if sym.Terminal {
+			continue
+		}
+		for s := range defs {
+			parentDefs[sym.Name] = add(parentDefs[sym.Name], s)
+		}
+	}
+
+	has := func(m map[sig]struct{}, s sig) bool {
+		_, ok := m[s]
+		return ok
+	}
+
+	var out Findings
+	for id, ann := range g.Annotations {
+		if ann == nil {
+			continue
+		}
+		prod := g.CFG.Productions[id]
+		a := annotationAnalyzer(g, id)
+		for _, r := range ann.Rules {
+			for _, l := range r.Body {
+				if l.IsCmp {
+					continue
+				}
+				name, child, annotated := asg.DecodeAnnotated(l.Atom.Predicate)
+				if internalPred(name) {
+					continue
+				}
+				s := sig{name: name, arity: len(l.Atom.Args)}
+				ctxSuffix := " (it can only hold if supplied by the context)"
+				if ctx != nil {
+					ctxSuffix = " (and the given context does not define it)"
+				}
+				if annotated {
+					k := childKey{prod: id, child: child}
+					derivable := has(childDefs[k], s)
+					if !derivable && child >= 1 && child <= len(prod.Rhs) {
+						sym := prod.Rhs[child-1]
+						if sym.Terminal {
+							// Terminals carry no annotations — not even the
+							// context program is localized there — so nothing
+							// is ever derived at that child.
+							a.addf(Warning, CodeUnderivable, l.Atom.Pos, asg.DisplayRule(r),
+								"annotation of %q refers to %s@%d, but child %d is the terminal %q, which derives no predicates",
+								prod.String(), a.displaySig(s), child, child, sym.Name)
+							continue
+						}
+						if has(nodeDefs[sym.Name], s) || has(ctxDefs, s) {
+							derivable = true
+						}
+					}
+					if !derivable {
+						a.addf(Warning, CodeUnderivable, l.Atom.Pos, asg.DisplayRule(r),
+							"annotation of %q refers to %s@%d, but no production of child %d derives %s%s",
+							prod.String(), a.displaySig(s), child, child, a.displaySig(s), ctxSuffix)
+					}
+					continue
+				}
+				if !has(nodeDefs[prod.Lhs], s) && !has(parentDefs[prod.Lhs], s) && !has(ctxDefs, s) {
+					a.addf(Warning, CodeUnderivable, l.Atom.Pos, asg.DisplayRule(r),
+						"annotation of %q refers to %s, but no production derives it at this node%s",
+						prod.String(), a.displaySig(s), ctxSuffix)
+				}
+			}
+		}
+		out = append(out, a.findings...)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package aspcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"agenp/internal/asp"
+)
+
+// sig identifies a predicate by name and arity; in ASP p/1 and p/2 are
+// distinct predicates, which is precisely why mixing them is worth a
+// diagnostic.
+type sig struct {
+	name  string
+	arity int
+}
+
+func (s sig) String() string { return fmt.Sprintf("%s/%d", s.name, s.arity) }
+
+// predInfo accumulates the definition and use sites of one predicate.
+type predInfo struct {
+	defs []asp.Pos // head, choice-head and fact sites
+	uses []asp.Pos // body atom sites (positive and negated)
+}
+
+// internalPred reports grounder- and learner-internal predicate names
+// that analyses must not flag.
+func internalPred(name string) bool { return strings.HasPrefix(name, "_") }
+
+// predicateChecks builds the predicate table and reports undefined
+// predicates, unused predicates and arity mismatches.
+func (a *analyzer) predicateChecks(p *asp.Program) {
+	table := make(map[sig]*predInfo)
+	var order []sig // first-appearance order, for deterministic reports
+	at := func(s sig) *predInfo {
+		info, ok := table[s]
+		if !ok {
+			info = &predInfo{}
+			table[s] = info
+			order = append(order, s)
+		}
+		return info
+	}
+	def := func(atom asp.Atom) {
+		s := sig{name: atom.Predicate, arity: len(atom.Args)}
+		at(s).defs = append(at(s).defs, atom.Pos)
+	}
+	use := func(atom asp.Atom) {
+		s := sig{name: atom.Predicate, arity: len(atom.Args)}
+		at(s).uses = append(at(s).uses, atom.Pos)
+	}
+	for _, r := range p.Rules {
+		if r.Head != nil {
+			def(*r.Head)
+		}
+		for _, c := range r.Choice {
+			def(c)
+		}
+		for _, l := range r.Body {
+			if !l.IsCmp {
+				use(l.Atom)
+			}
+		}
+	}
+
+	for _, s := range order {
+		info := table[s]
+		if internalPred(s.name) {
+			continue
+		}
+		if len(info.defs) == 0 && len(info.uses) > 0 {
+			a.addf(Warning, CodeUndefinedPred, info.uses[0], "",
+				"predicate %s is used in a body but never defined by any head or fact", a.displaySig(s))
+		}
+		if len(info.uses) == 0 && len(info.defs) > 0 {
+			a.addf(Info, CodeUnusedPred, info.defs[0], "",
+				"predicate %s is defined but never used in any rule body", a.displaySig(s))
+		}
+	}
+
+	// Arity mismatches: one name, several arities. The first-seen arity
+	// is the reference; each other arity is reported at its first site.
+	byName := make(map[string][]sig)
+	for _, s := range order {
+		if internalPred(s.name) {
+			continue
+		}
+		byName[s.name] = append(byName[s.name], s)
+	}
+	names := make([]string, 0, len(byName))
+	for n, sigs := range byName {
+		if len(sigs) > 1 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sigs := byName[n]
+		ref := sigs[0]
+		refPos := firstSite(table[ref])
+		for _, s := range sigs[1:] {
+			pos := firstSite(table[s])
+			refAt := ""
+			if p := a.shift(refPos); p.Valid() {
+				refAt = " (at " + p.String() + ")"
+			}
+			a.addf(Warning, CodeArityMismatch, pos, "",
+				"predicate %s also appears with arity %d%s; %s and %s are distinct predicates",
+				a.displaySig(s), ref.arity, refAt, a.displaySig(s), a.displaySig(ref))
+		}
+	}
+}
+
+func (a *analyzer) displaySig(s sig) string {
+	return fmt.Sprintf("%s/%d", a.display(s.name), s.arity)
+}
+
+// firstSite returns the earliest recorded site of a predicate,
+// preferring definitions.
+func firstSite(info *predInfo) asp.Pos {
+	if len(info.defs) > 0 {
+		return info.defs[0]
+	}
+	if len(info.uses) > 0 {
+		return info.uses[0]
+	}
+	return asp.Pos{}
+}
+
+// stratificationCheck builds the predicate dependency graph (an edge
+// head -> body-atom per rule, marked negative under "not") and warns on
+// every negative edge that lies inside a strongly connected component:
+// such programs are not stratified, so the solver cannot evaluate them
+// bottom-up and falls back to guess-and-check search.
+func (a *analyzer) stratificationCheck(p *asp.Program) {
+	type edge struct {
+		from, to sig
+		neg      bool
+		pos      asp.Pos // position of the body literal
+		rule     asp.Rule
+	}
+	var edges []edge
+	nodes := make(map[sig]struct{})
+	for _, r := range p.Rules {
+		heads := make([]sig, 0, 1+len(r.Choice))
+		if r.Head != nil {
+			heads = append(heads, sig{r.Head.Predicate, len(r.Head.Args)})
+		}
+		for _, c := range r.Choice {
+			heads = append(heads, sig{c.Predicate, len(c.Args)})
+		}
+		for _, h := range heads {
+			nodes[h] = struct{}{}
+		}
+		for _, l := range r.Body {
+			if l.IsCmp {
+				continue
+			}
+			b := sig{l.Atom.Predicate, len(l.Atom.Args)}
+			nodes[b] = struct{}{}
+			pos := l.Pos
+			if !pos.Valid() {
+				pos = l.Atom.Pos
+			}
+			for _, h := range heads {
+				edges = append(edges, edge{from: h, to: b, neg: l.Negated, pos: pos, rule: r})
+			}
+		}
+	}
+
+	comp := sccs(nodes, func(visit func(from, to sig)) {
+		for _, e := range edges {
+			visit(e.from, e.to)
+		}
+	})
+
+	reported := make(map[string]struct{})
+	for _, e := range edges {
+		if !e.neg || comp[e.from] != comp[e.to] {
+			continue
+		}
+		key := e.from.String() + "|" + e.to.String()
+		if _, dup := reported[key]; dup {
+			continue
+		}
+		reported[key] = struct{}{}
+		a.addf(Warning, CodeNonStratified, e.pos, a.ruleStr(e.rule),
+			"%s depends on \"not %s\" inside a dependency cycle (non-stratified negation; the solver falls back to guess-and-check)",
+			a.displaySig(e.from), a.displaySig(e.to))
+	}
+}
+
+// sccs computes strongly connected components with Tarjan's algorithm
+// (iterative) and returns a component id per node.
+func sccs(nodes map[sig]struct{}, forEachEdge func(visit func(from, to sig))) map[sig]int {
+	adj := make(map[sig][]sig, len(nodes))
+	forEachEdge(func(from, to sig) {
+		adj[from] = append(adj[from], to)
+	})
+
+	index := make(map[sig]int, len(nodes))
+	low := make(map[sig]int, len(nodes))
+	onStack := make(map[sig]bool, len(nodes))
+	comp := make(map[sig]int, len(nodes))
+	var stack []sig
+	next, nComp := 0, 0
+
+	// Deterministic iteration order keeps component ids stable.
+	ordered := make([]sig, 0, len(nodes))
+	for n := range nodes {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].name != ordered[j].name {
+			return ordered[i].name < ordered[j].name
+		}
+		return ordered[i].arity < ordered[j].arity
+	})
+
+	type frame struct {
+		node sig
+		edge int
+	}
+	for _, root := range ordered {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.edge < len(adj[f.node]) {
+				child := adj[f.node][f.edge]
+				f.edge++
+				if _, seen := index[child]; !seen {
+					index[child], low[child] = next, next
+					next++
+					stack = append(stack, child)
+					onStack[child] = true
+					work = append(work, frame{node: child})
+				} else if onStack[child] && index[child] < low[f.node] {
+					low[f.node] = index[child]
+				}
+				continue
+			}
+			// Pop the frame; fold lowlink into the parent.
+			n := f.node
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp[top] = nComp
+					if top == n {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}

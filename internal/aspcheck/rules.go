@@ -1,0 +1,92 @@
+package aspcheck
+
+import (
+	"strings"
+
+	"agenp/internal/asp"
+)
+
+// ruleChecks runs the per-rule analyses: unsafe variables, comparisons
+// that can never hold, and duplicate rules.
+func (a *analyzer) ruleChecks(p *asp.Program) {
+	seen := make(map[string]asp.Pos, len(p.Rules))
+	for _, r := range p.Rules {
+		a.unsafeVarCheck(r)
+		a.neverTrueCheck(r)
+
+		key := r.Key()
+		if first, dup := seen[key]; dup {
+			firstAt := ""
+			if first.Valid() {
+				firstAt = " (first defined at " + first.String() + ")"
+			}
+			a.addf(Warning, CodeDuplicateRule, r.Pos, a.ruleStr(r),
+				"duplicate rule %q%s", a.ruleStr(r), firstAt)
+			continue
+		}
+		seen[key] = a.shift(r.Pos)
+	}
+}
+
+// unsafeVarCheck reports each variable of the rule that no positive body
+// literal or computable equality binds, with every source occurrence.
+func (a *analyzer) unsafeVarCheck(r asp.Rule) {
+	err := asp.CheckSafety(r)
+	if err == nil {
+		return
+	}
+	se, ok := err.(*asp.SafetyError)
+	if !ok {
+		a.addf(Error, CodeUnsafeVar, r.Pos, a.ruleStr(r), "%v", err)
+		return
+	}
+	for _, v := range se.Vars {
+		var at []string
+		pos := r.Pos
+		for _, occ := range se.Occurrences {
+			if occ.Name != v || !occ.Pos.Valid() {
+				continue
+			}
+			if len(at) == 0 {
+				pos = occ.Pos
+			}
+			at = append(at, a.shift(occ.Pos).String())
+		}
+		where := ""
+		if len(at) > 0 {
+			where = " (occurs at " + strings.Join(at, ", ") + ")"
+		}
+		a.addf(Error, CodeUnsafeVar, pos, a.ruleStr(r),
+			"unsafe variable %s in rule %q: not bound by any positive body literal%s", v, a.ruleStr(r), where)
+	}
+}
+
+// neverTrueCheck flags body comparisons that cannot hold for any
+// binding: identical sides under an irreflexive operator (X < X, X != X,
+// f(X) > f(X)) and variable-free comparisons that evaluate to false.
+func (a *analyzer) neverTrueCheck(r asp.Rule) {
+	for _, l := range r.Body {
+		if !l.IsCmp {
+			continue
+		}
+		if asp.TermKey(l.Lhs) == asp.TermKey(l.Rhs) {
+			switch l.Op {
+			case asp.CmpLt, asp.CmpGt, asp.CmpNeq:
+				a.addf(Warning, CodeNeverTrue, l.Pos, a.ruleStr(r),
+					"comparison %s %s %s can never hold; rule %q never fires", l.Lhs, l.Op, l.Rhs, a.ruleStr(r))
+			}
+			continue
+		}
+		if len(l.Variables()) > 0 {
+			continue
+		}
+		ok, err := asp.EvalCmp(l)
+		if err != nil {
+			continue // e.g. arithmetic over non-integers; the grounder reports it
+		}
+		if !ok {
+			a.addf(Warning, CodeNeverTrue, l.Pos, a.ruleStr(r),
+				"comparison %s %s %s is always false; rule %q never fires", l.Lhs, l.Op, l.Rhs, a.ruleStr(r))
+		}
+	}
+}

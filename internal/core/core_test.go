@@ -35,6 +35,40 @@ func ctxProg(t *testing.T, src string) *asp.Program {
 	return p
 }
 
+func TestLint(t *testing.T) {
+	// The driving grammar is clean.
+	if fs := newGPM(t).Lint(nil); fs.HasErrors() {
+		t.Errorf("clean model has lint errors: %v", fs)
+	}
+	// A model referencing a context-supplied predicate warns without a
+	// context and is quiet with one.
+	m, err := ParseGPM(`policy -> "fly" { :- not weather(clear). }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := m.Lint(nil)
+	warned := false
+	for _, f := range fs {
+		if f.Code == "asg-underivable" {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("context dependency not surfaced: %v", fs)
+	}
+	if fs := m.Lint(ctxProg(t, "weather(clear).")); len(fs) != 0 {
+		t.Errorf("findings under satisfying context: %v", fs)
+	}
+	// An unsafe annotation is an error.
+	m, err = ParseGPM(`policy -> "fly" { grant(X). }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := m.Lint(nil); !fs.HasErrors() {
+		t.Errorf("unsafe model not rejected: %v", fs)
+	}
+}
+
 func TestGenerateAllPolicies(t *testing.T) {
 	m := newGPM(t)
 	ps, err := m.Generate(nil)

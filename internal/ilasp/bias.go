@@ -161,7 +161,7 @@ func (b Bias) Space() ([]Candidate, error) {
 	// comparisons.
 	var alphabet []bodyLit
 	for _, ba := range bodyAtoms {
-		alphabet = append(alphabet, bodyLit{lit: asp.Pos(ba.atom), varType: ba.varType})
+		alphabet = append(alphabet, bodyLit{lit: asp.PosLit(ba.atom), varType: ba.varType})
 		if b.AllowNegation {
 			alphabet = append(alphabet, bodyLit{lit: asp.Neg(ba.atom), varType: ba.varType})
 		}

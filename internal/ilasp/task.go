@@ -110,7 +110,7 @@ func (t *Task) Covers(h []asp.Rule, e Example) (bool, error) {
 		prog.Add(asp.NewConstraint(asp.Neg(a)))
 	}
 	for _, a := range e.Exclusions {
-		prog.Add(asp.NewConstraint(asp.Pos(a)))
+		prog.Add(asp.NewConstraint(asp.PosLit(a)))
 	}
 	witness, err := asp.HasAnswerSet(prog)
 	if err != nil {

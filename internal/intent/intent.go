@@ -260,20 +260,20 @@ func (c Constraint) compile(category string, objects map[string]struct{}) (asp.R
 			return asp.Rule{}, fmt.Errorf("intent: %q names unknown %s %q", c.Source, category, c.Object)
 		}
 		return asp.NewConstraint(
-			asp.Pos(asp.Atom{
+			asp.PosLit(asp.Atom{
 				Predicate: asg.EncodeAnnotated(category, 2),
 				Args:      []asp.Term{asp.Constant{Name: c.Object}},
 			}),
-			asp.Pos(asp.NewAtom(c.Attr, asp.Constant{Name: c.Value})),
+			asp.PosLit(asp.NewAtom(c.Attr, asp.Constant{Name: c.Value})),
 		), nil
 	case NeverAnyWhen:
 		return asp.NewConstraint(
-			asp.Pos(asp.NewAtom(c.Attr, asp.Constant{Name: c.Value})),
+			asp.PosLit(asp.NewAtom(c.Attr, asp.Constant{Name: c.Value})),
 		), nil
 	case RequireAtLeast:
 		v := asp.Variable{Name: "V"}
 		return asp.NewConstraint(
-			asp.Pos(asp.NewAtom(c.Attr, v)),
+			asp.PosLit(asp.NewAtom(c.Attr, v)),
 			asp.Cmp(v, asp.CmpLt, asp.Integer{Value: c.Min}),
 		), nil
 	default:
