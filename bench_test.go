@@ -232,6 +232,58 @@ func BenchmarkAblationMembership(b *testing.B) {
 	})
 }
 
+// BenchmarkCoverageCheck measures one learner coverage check — the unit
+// of work the search engine issues millions of times — as a full
+// ground-and-solve of background ∪ hypothesis ∪ context on a CAV task.
+func BenchmarkCoverageCheck(b *testing.B) {
+	scenarios := cav.Generate(1, 20)
+	task := &ilasp.Task{
+		Background: cav.Background(),
+		Bias:       cav.Bias(),
+		Examples:   cav.LearningExamples(scenarios, 0),
+	}
+	res, err := task.LearnIndependent(ilasp.LearnOptions{MaxRules: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := task.Examples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Covers(res.Hypothesis, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInterning compares the interned, argument-indexed
+// grounder against the string-keyed full-scan ablation
+// (GroundingOptions.StringKeyed) on a join-heavy program where candidate
+// lookup dominates.
+func BenchmarkAblationInterning(b *testing.B) {
+	src := ""
+	for i := 0; i < 300; i++ {
+		src += fmt.Sprintf("succ(%d, %d).\n", i, i+1)
+	}
+	src += "hop(X, Z) :- succ(X, Y), succ(Y, Z).\nskip(X, Z) :- hop(X, Y), hop(Y, Z).\n"
+	prog, err := asp.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sk := range []bool{false, true} {
+		name := "interned-indexed"
+		if sk {
+			name = "string-keyed"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := asp.Ground(prog, asp.GroundingOptions{StringKeyed: sk}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks of the substrates ---
 
 func BenchmarkSolverStratified(b *testing.B) {

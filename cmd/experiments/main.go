@@ -32,6 +32,7 @@ func run(args []string, stdout io.Writer) error {
 	runArg := fs.String("run", "", "comma-separated experiment ids (default: all)")
 	quick := fs.Bool("quick", false, "reduced dataset sizes")
 	seed := fs.Uint64("seed", 0, "generator seed (0 = default)")
+	parallel := fs.Int("parallel", 0, "learner coverage-check workers (0 = GOMAXPROCS, 1 = serial)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,7 +43,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 
 	ids := experiments.IDs()
 	if *runArg != "" {

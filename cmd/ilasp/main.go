@@ -36,6 +36,7 @@ func run(args []string, stdout io.Writer) error {
 	n := fs.Int("n", 40, "number of generated examples (access/cav demos)")
 	seed := fs.Uint64("seed", 20260704, "generator seed")
 	noise := fs.Bool("noise", false, "noise-tolerant search")
+	parallel := fs.Int("parallel", 0, "coverage-check workers (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +93,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "hypothesis space: %d candidate rules\n", len(space))
 	}
 	fmt.Fprintf(stdout, "examples: %d\n", len(task.Examples))
+	opts.Parallelism = *parallel
 	start := time.Now()
 	res, err := task.LearnIndependent(opts)
 	if err != nil {

@@ -13,6 +13,7 @@ package asglearn
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"agenp/internal/asg"
 	"agenp/internal/asp"
@@ -95,7 +96,7 @@ func (r *Result) String() string {
 // Learn searches S_M for an optimal hypothesis using the shared ILASP
 // search engine.
 func (t *Task) Learn(opts ilasp.LearnOptions) (*Result, error) {
-	oracle := &asgOracle{task: t, maxChecks: opts.MaxChecks}
+	oracle := &asgOracle{task: t}
 	weights := make([]int, len(t.Examples))
 	for i, e := range t.Examples {
 		weights[i] = e.Weight
@@ -120,17 +121,19 @@ func (t *Task) Learn(opts ilasp.LearnOptions) (*Result, error) {
 		Cost:       cost,
 		Covered:    sol.Covered,
 		Total:      len(t.Examples),
-		Checks:     oracle.checks,
+		Checks:     sol.Checks,
 	}, nil
 }
 
-// asgOracle adapts the task to the ILASP search engine.
+// asgOracle adapts the task to the ILASP search engine. Covers is safe
+// for the search's concurrent calls: membership checks build fresh
+// grammars per call, and the memo is mutex-guarded.
 type asgOracle struct {
-	task      *Task
-	checks    int
-	maxChecks int
-	cands     []ilasp.Candidate
-	cache     map[string][]int8
+	task  *Task
+	cands []ilasp.Candidate
+
+	mu    sync.Mutex
+	cache map[string][]int8
 }
 
 var _ ilasp.Oracle = (*asgOracle)(nil)
@@ -146,25 +149,24 @@ func (o *asgOracle) Candidates() []ilasp.Candidate {
 }
 
 func (o *asgOracle) Covers(chosen []int, exampleIdx int) (bool, error) {
-	if o.cache == nil {
-		o.cache = make(map[string][]int8)
-	}
 	var kb strings.Builder
 	for _, c := range chosen {
 		fmt.Fprintf(&kb, "%d,", c)
 	}
 	key := kb.String()
+	o.mu.Lock()
+	if o.cache == nil {
+		o.cache = make(map[string][]int8)
+	}
 	row := o.cache[key]
 	if row == nil {
 		row = make([]int8, len(o.task.Examples))
 		o.cache[key] = row
 	}
-	if v := row[exampleIdx]; v != 0 {
+	v := row[exampleIdx]
+	o.mu.Unlock()
+	if v != 0 {
 		return v == 1, nil
-	}
-	o.checks++
-	if o.maxChecks > 0 && o.checks > o.maxChecks {
-		return false, ilasp.ErrCheckBudget
 	}
 	h := make([]asg.HypothesisRule, len(chosen))
 	for i, ci := range chosen {
@@ -174,11 +176,13 @@ func (o *asgOracle) Covers(chosen []int, exampleIdx int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	o.mu.Lock()
 	if ok {
 		row[exampleIdx] = 1
 	} else {
 		row[exampleIdx] = -1
 	}
+	o.mu.Unlock()
 	return ok, nil
 }
 

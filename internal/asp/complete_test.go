@@ -12,7 +12,7 @@ func bruteForceAnswerSets(g *GroundProgram) []map[int]bool {
 	n := g.NumAtoms()
 	var out []map[int]bool
 	for mask := 0; mask < 1<<n; mask++ {
-		inSet := func(a int) bool { return mask&(1<<a) != 0 }
+		inSet := func(a int32) bool { return mask&(1<<a) != 0 }
 		// Least model of the reduct.
 		derived := make([]bool, n)
 		changed := true
@@ -45,7 +45,7 @@ func bruteForceAnswerSets(g *GroundProgram) []map[int]bool {
 			}
 		}
 		stable := true
-		for a := 0; a < n; a++ {
+		for a := int32(0); a < int32(n); a++ {
 			if derived[a] != inSet(a) {
 				stable = false
 				break
@@ -81,9 +81,9 @@ func bruteForceAnswerSets(g *GroundProgram) []map[int]bool {
 			continue
 		}
 		m := make(map[int]bool)
-		for a := 0; a < n; a++ {
+		for a := int32(0); a < int32(n); a++ {
 			if inSet(a) {
-				m[a] = true
+				m[int(a)] = true
 			}
 		}
 		out = append(out, m)

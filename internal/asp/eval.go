@@ -13,19 +13,50 @@ import (
 // hypothesis rules: when a candidate rule's body only references
 // background-derived predicates, its contribution to an answer set is
 // exactly EvalRule(r, AS(background ∪ context)).
+//
+// Callers evaluating many rules against the same model, or the same rule
+// against many models, should use ModelIndex and EvalPrepared to amortize
+// the per-call model indexing and safety check.
 func EvalRule(r Rule, model *AnswerSet) ([]Atom, error) {
+	return NewModelIndex(model).EvalRule(r)
+}
+
+// ModelIndex is a predicate-indexed view of an answer set for repeated
+// one-step rule evaluation. Building the index walks the model once;
+// every evaluation after that probes by predicate.
+type ModelIndex struct {
+	model  *AnswerSet
+	byPred map[string][]Atom
+}
+
+// NewModelIndex indexes an answer set by predicate. Iteration follows the
+// model's sorted atom order, so evaluation output is deterministic.
+func NewModelIndex(m *AnswerSet) *ModelIndex {
+	ix := &ModelIndex{model: m, byPred: make(map[string][]Atom)}
+	for _, a := range m.Atoms() {
+		ix.byPred[a.Predicate] = append(ix.byPred[a.Predicate], a)
+	}
+	return ix
+}
+
+// Model returns the indexed answer set.
+func (ix *ModelIndex) Model() *AnswerSet { return ix.model }
+
+// EvalRule checks the rule (no choice rules, safety) and evaluates it
+// against the indexed model.
+func (ix *ModelIndex) EvalRule(r Rule) ([]Atom, error) {
 	if r.IsChoice() {
 		return nil, fmt.Errorf("asp: EvalRule does not support choice rules")
 	}
 	if err := CheckSafety(r); err != nil {
 		return nil, err
 	}
-	// Index the interpretation by predicate for matching.
-	byPred := make(map[string][]Atom)
-	for _, a := range model.Atoms() {
-		byPred[a.Predicate] = append(byPred[a.Predicate], a)
-	}
+	return ix.EvalPrepared(r)
+}
 
+// EvalPrepared evaluates a rule already known to be safe and not a choice
+// rule (e.g. checked once by the caller before an evaluation loop).
+func (ix *ModelIndex) EvalPrepared(r Rule) ([]Atom, error) {
 	var out []Atom
 	seen := make(map[string]struct{})
 	var step func(b Binding, remaining []Literal) error
@@ -60,28 +91,31 @@ func EvalRule(r Rule, model *AnswerSet) ([]Atom, error) {
 		pick := -1
 		kind := -1
 		for i, l := range remaining {
-			ls := l.Substitute(b)
 			switch {
 			case !l.IsCmp && !l.Negated:
 				if pick == -1 {
 					pick, kind = i, 0
 				}
 			case l.IsCmp:
-				lv, rv := make(map[string]struct{}), make(map[string]struct{})
-				ls.Lhs.collectVars(lv)
-				ls.Rhs.collectVars(rv)
-				if len(lv)+len(rv) == 0 {
+				if unboundVarCount(l.Lhs, b) == 0 && unboundVarCount(l.Rhs, b) == 0 {
 					pick, kind = i, 2
 				} else if l.Op == CmpEq {
-					if _, isVar := ls.Lhs.(Variable); isVar && len(rv) == 0 {
-						pick, kind = i, 1
-					} else if _, isVar := ls.Rhs.(Variable); isVar && len(lv) == 0 {
+					if _, _, ok := binderSides(l, b); ok {
 						pick, kind = i, 1
 					}
 				}
 			default: // negated
-				if ls.Atom.Ground() && pick == -1 {
-					pick, kind = i, 3
+				if pick == -1 {
+					ground := true
+					for _, t := range l.Atom.Args {
+						if unboundVarCount(t, b) > 0 {
+							ground = false
+							break
+						}
+					}
+					if ground {
+						pick, kind = i, 3
+					}
 				}
 			}
 			if kind == 1 || kind == 2 {
@@ -91,13 +125,13 @@ func EvalRule(r Rule, model *AnswerSet) ([]Atom, error) {
 		if pick == -1 {
 			return fmt.Errorf("asp: EvalRule stuck on rule %q", r.String())
 		}
-		l := remaining[pick].Substitute(b)
+		l := remaining[pick]
 		rest := make([]Literal, 0, len(remaining)-1)
 		rest = append(rest, remaining[:pick]...)
 		rest = append(rest, remaining[pick+1:]...)
 		switch kind {
 		case 0:
-			for _, fact := range byPred[l.Atom.Predicate] {
+			for _, fact := range ix.byPred[l.Atom.Predicate] {
 				nb := matchAtom(l.Atom, fact, b)
 				if nb == nil {
 					continue
@@ -108,19 +142,19 @@ func EvalRule(r Rule, model *AnswerSet) ([]Atom, error) {
 			}
 			return nil
 		case 1:
-			v, expr := l.Lhs, l.Rhs
-			if _, isVar := v.(Variable); !isVar {
-				v, expr = l.Rhs, l.Lhs
+			v, expr, ok := binderSides(l, b)
+			if !ok {
+				return fmt.Errorf("asp: EvalRule lost binder equality in rule %q", r.String())
 			}
-			val, err := EvalArith(expr)
+			val, err := EvalArith(expr.substitute(b))
 			if err != nil {
 				return err
 			}
 			nb := b.clone()
-			nb[v.(Variable).Name] = val
+			nb[v.Name] = val
 			return step(nb, rest)
 		case 2:
-			ok, err := EvalCmp(l)
+			ok, err := EvalCmp(l.Substitute(b))
 			if err != nil {
 				return err
 			}
@@ -129,11 +163,11 @@ func EvalRule(r Rule, model *AnswerSet) ([]Atom, error) {
 			}
 			return step(b, rest)
 		default:
-			ev, err := evalAtomArgs(l.Atom)
+			ev, err := evalAtomArgs(l.Atom.Substitute(b))
 			if err != nil {
 				return err
 			}
-			if model.Contains(ev) {
+			if ix.model.Contains(ev) {
 				return nil
 			}
 			return step(b, rest)

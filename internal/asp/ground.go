@@ -2,7 +2,9 @@ package asp
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -110,9 +112,9 @@ func ruleVarOccurrences(r Rule, names map[string]struct{}) []VarOccurrence {
 // GroundRule is a fully instantiated rule over interned atom ids.
 // Head == -1 denotes a constraint.
 type GroundRule struct {
-	Head    int
-	PosBody []int
-	NegBody []int
+	Head    int32
+	PosBody []int32
+	NegBody []int32
 }
 
 // GroundProgram is the result of grounding: an atom table plus ground
@@ -121,12 +123,12 @@ type GroundProgram struct {
 	Atoms []Atom // id -> atom
 	Rules []GroundRule
 
-	index map[string]int // atom key -> id
+	index map[string]int32 // atom key -> id
 }
 
 // AtomID returns the id of a ground atom, or -1 if the atom does not
 // occur in the ground program.
-func (g *GroundProgram) AtomID(a Atom) int {
+func (g *GroundProgram) AtomID(a Atom) int32 {
 	if id, ok := g.index[a.Key()]; ok {
 		return id
 	}
@@ -157,7 +159,8 @@ func (g *GroundProgram) String() string {
 				if !first {
 					sb.WriteString(", ")
 				}
-				sb.WriteString("not " + g.Atoms[id].String())
+				sb.WriteString("not ")
+				sb.WriteString(g.Atoms[id].String())
 				first = false
 			}
 		}
@@ -172,6 +175,12 @@ type GroundingOptions struct {
 	// re-instantiates every rule against the full relations). Exposed for
 	// the ablation benchmark; results are identical.
 	Naive bool
+
+	// StringKeyed disables interned-id candidate indexing in the join:
+	// every positive body literal scans its predicate's full fact list
+	// instead of probing the per-argument index. Exposed for the ablation
+	// benchmark; results are identical.
+	StringKeyed bool
 
 	// MaxAtoms aborts grounding when the domain exceeds this many atoms
 	// (0 = unlimited). Guards against runaway programs.
@@ -188,11 +197,25 @@ type GroundingOptions struct {
 // complement atoms before grounding, so the resulting ground program
 // contains only normal rules and constraints.
 func Ground(p *Program, opts GroundingOptions) (*GroundProgram, error) {
+	normal, err := prepare(p, "")
+	if err != nil {
+		return nil, err
+	}
+	g := newGrounder(opts)
+	if err := g.groundRules(normal.Rules); err != nil {
+		return nil, err
+	}
+	return g.finalize(), nil
+}
+
+// prepare expands ranges, compiles choice rules (fresh complement atoms
+// namespaced by ns) and checks safety.
+func prepare(p *Program, ns string) (*Program, error) {
 	expanded, err := expandRanges(p)
 	if err != nil {
 		return nil, err
 	}
-	normal, err := compileChoices(expanded)
+	normal, err := compileChoices(expanded, ns)
 	if err != nil {
 		return nil, err
 	}
@@ -201,36 +224,29 @@ func Ground(p *Program, opts GroundingOptions) (*GroundProgram, error) {
 			return nil, err
 		}
 	}
+	return normal, nil
+}
 
-	g := &grounder{
-		opts:      opts,
-		relations: make(map[string]map[string]Atom),
-		out: &GroundProgram{
-			index: make(map[string]int),
-		},
-		seenRules: make(map[string]struct{}),
-	}
-
+// groundRules runs the definite fixpoint and grounds constraints against
+// the final relations.
+func (g *grounder) groundRules(rules []Rule) error {
 	var defRules, constraints []Rule
-	for _, r := range normal.Rules {
+	for _, r := range rules {
 		if r.IsConstraint() {
 			constraints = append(constraints, r)
 		} else {
 			defRules = append(defRules, r)
 		}
 	}
-
 	if err := g.fixpoint(defRules); err != nil {
-		return nil, err
+		return err
 	}
-	// Ground constraints in one pass against the final relations.
 	for _, c := range constraints {
 		if err := g.instantiateAll(c); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	g.finalize()
-	return g.out, nil
+	return nil
 }
 
 // compileChoices rewrites every choice rule {a1;...;ak} :- body into, for
@@ -240,10 +256,16 @@ func Ground(p *Program, opts GroundingOptions) (*GroundProgram, error) {
 //	_ci :- body, not ai.
 //
 // where _ci is a fresh atom carrying the variables of ai and body. This is
-// the standard encoding of choice under stable-model semantics.
-func compileChoices(p *Program) (*Program, error) {
+// the standard encoding of choice under stable-model semantics. The ns
+// parameter namespaces the fresh predicates so separately compiled
+// programs (incremental grounding extensions) cannot collide.
+func compileChoices(p *Program, ns string) (*Program, error) {
 	out := &Program{Rules: make([]Rule, 0, len(p.Rules))}
 	fresh := 0
+	prefix := "_choice_"
+	if ns != "" {
+		prefix = "_choice_" + ns + "_"
+	}
 	for _, r := range p.Rules {
 		if !r.IsChoice() {
 			out.Rules = append(out.Rules, r)
@@ -264,7 +286,7 @@ func compileChoices(p *Program) (*Program, error) {
 		}
 		for i, a := range r.Choice {
 			comp := Atom{
-				Predicate: fmt.Sprintf("_choice_%d_%d", fresh, i),
+				Predicate: fmt.Sprintf("%s%d_%d", prefix, fresh, i),
 				Args:      varTerms,
 			}
 			posRule := Rule{Head: &Atom{Predicate: a.Predicate, Args: a.Args, Pos: a.Pos}, Pos: r.Pos}
@@ -354,62 +376,209 @@ func CheckSafety(r Rule) error {
 	return nil
 }
 
+// Interner assigns dense integer ids to ground atoms. String keys are
+// computed once at interning time; all downstream joins and rule bodies
+// work on the ids.
+type Interner struct {
+	atoms []Atom
+	index map[string]int32
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{index: make(map[string]int32)}
+}
+
+// Intern returns the id of a ground atom, assigning the next dense id on
+// first sight.
+func (in *Interner) Intern(a Atom) int32 {
+	key := a.Key()
+	if id, ok := in.index[key]; ok {
+		return id
+	}
+	id := int32(len(in.atoms))
+	in.atoms = append(in.atoms, a)
+	in.index[key] = id
+	return id
+}
+
+// Lookup returns the id of an atom, or -1 when it was never interned.
+func (in *Interner) Lookup(a Atom) int32 {
+	if id, ok := in.index[a.Key()]; ok {
+		return id
+	}
+	return -1
+}
+
+// Atom returns the atom for an id.
+func (in *Interner) Atom(id int32) Atom { return in.atoms[id] }
+
+// Len returns the number of interned atoms.
+func (in *Interner) Len() int { return len(in.atoms) }
+
+// truncate removes every atom with id >= n (rollback support for
+// incremental grounding).
+func (in *Interner) truncate(n int) {
+	for _, a := range in.atoms[n:] {
+		delete(in.index, a.Key())
+	}
+	in.atoms = in.atoms[:n]
+}
+
+// predKey identifies a relation: predicate name plus arity.
+type predKey struct {
+	name  string
+	arity int
+}
+
+func atomPredKey(a Atom) predKey { return predKey{name: a.Predicate, arity: len(a.Args)} }
+
+// relation is the set of domain atoms of one predicate, as interned ids
+// in insertion order, with lazily built per-argument exact-term indexes.
+type relation struct {
+	ids []int32
+	// argIndex[i] maps TermKey(arg i) -> ids having that argument; nil
+	// until first used.
+	argIndex []map[string][]int32
+}
+
+func newRelation(arity int) *relation {
+	return &relation{argIndex: make([]map[string][]int32, arity)}
+}
+
+func (r *relation) add(id int32, a Atom) {
+	r.ids = append(r.ids, id)
+	for i, m := range r.argIndex {
+		if m == nil {
+			continue
+		}
+		k := TermKey(a.Args[i])
+		m[k] = append(m[k], id)
+	}
+}
+
+// popLast removes the most recently added id (which must correspond to
+// atom a) from the relation and any built indexes.
+func (r *relation) popLast(a Atom) {
+	r.ids = r.ids[:len(r.ids)-1]
+	for i, m := range r.argIndex {
+		if m == nil {
+			continue
+		}
+		k := TermKey(a.Args[i])
+		lst := m[k]
+		if len(lst) <= 1 {
+			delete(m, k)
+		} else {
+			m[k] = lst[:len(lst)-1]
+		}
+	}
+}
+
+// index returns the per-argument index for position arg, building it on
+// first use.
+func (r *relation) index(arg int, in *Interner) map[string][]int32 {
+	if r.argIndex[arg] == nil {
+		m := make(map[string][]int32, len(r.ids))
+		for _, id := range r.ids {
+			k := TermKey(in.atoms[id].Args[arg])
+			m[k] = append(m[k], id)
+		}
+		r.argIndex[arg] = m
+	}
+	return r.argIndex[arg]
+}
+
+// indexMinFacts is the relation size below which a full scan beats index
+// probing.
+const indexMinFacts = 8
+
+// candidates narrows the fact ids a pattern atom can match: for each
+// argument that is ground under the current binding, probe that
+// argument's index and keep the smallest bucket.
+func (r *relation) candidates(pattern Atom, b Binding, g *grounder) []int32 {
+	if g.opts.StringKeyed || len(r.ids) < indexMinFacts {
+		return r.ids
+	}
+	best := r.ids
+	for i, t := range pattern.Args {
+		sub := t.substitute(b)
+		if !sub.Ground() {
+			continue
+		}
+		ev, err := EvalArith(sub)
+		if err != nil {
+			// The argument cannot evaluate; no fact can match (the
+			// per-term matcher fails the same way).
+			return nil
+		}
+		lst := r.index(i, g.in)[TermKey(ev)]
+		if len(lst) < len(best) {
+			best = lst
+		}
+		if len(best) == 0 {
+			return nil
+		}
+	}
+	return best
+}
+
 type grounder struct {
 	opts GroundingOptions
 
-	// relations: predicate -> atom key -> atom (the domain so far).
-	relations map[string]map[string]Atom
-	// delta: atoms added in the previous round, per predicate.
-	delta map[string]map[string]Atom
+	in *Interner
+	// inDomain[id] marks atoms in the derivable over-approximation (an
+	// interned atom may appear only under negation and stay outside it).
+	inDomain []bool
+	domainN  int
 
-	out       *GroundProgram
-	seenRules map[string]struct{}
+	rel   map[predKey]*relation
+	delta map[predKey][]int32
 
-	// pending collects ground rule instances before interning.
+	// pending collects ground rule instances before finalization.
 	pending []groundInstance
+
+	// Journal for incremental grounding rollback.
+	journal     bool
+	addedDomain []int32
+	newRels     []predKey
 }
 
-type groundInstance struct {
-	head *Atom // nil for constraints
-	pos  []Atom
-	neg  []Atom
-}
-
-func (g *grounder) atomCount() int {
-	n := 0
-	for _, rel := range g.relations {
-		n += len(rel)
+func newGrounder(opts GroundingOptions) *grounder {
+	return &grounder{
+		opts: opts,
+		in:   NewInterner(),
+		rel:  make(map[predKey]*relation),
 	}
-	return n
+}
+
+// groundInstance is a fully instantiated rule over global interner ids.
+type groundInstance struct {
+	head int32 // -1 for constraints
+	pos  []int32
+	neg  []int32
 }
 
 // fixpoint runs semi-naive evaluation of the definite rules.
 func (g *grounder) fixpoint(rules []Rule) error {
-	g.delta = make(map[string]map[string]Atom)
+	g.delta = make(map[predKey][]int32)
 
 	// Round 0: rules with no positive atom literals (facts and rules
 	// bound purely by equalities/comparisons).
 	for _, r := range rules {
-		hasPos := false
-		for _, l := range r.Body {
-			if !l.IsCmp && !l.Negated {
-				hasPos = true
-				break
-			}
-		}
-		if !hasPos {
-			if err := g.instantiate(r, -1, nil); err != nil {
+		if len(positiveIndices(r)) == 0 {
+			if err := g.instantiateAgainst(r, -1, nil); err != nil {
 				return err
 			}
 		}
 	}
 
 	for len(g.delta) > 0 {
-		if g.opts.MaxAtoms > 0 && g.atomCount() > g.opts.MaxAtoms {
+		if g.opts.MaxAtoms > 0 && g.domainN > g.opts.MaxAtoms {
 			return fmt.Errorf("grounding exceeded %d atoms", g.opts.MaxAtoms)
 		}
 		prevDelta := g.delta
-		g.delta = make(map[string]map[string]Atom)
+		g.delta = make(map[predKey][]int32)
 		for _, r := range rules {
 			posIdx := positiveIndices(r)
 			if len(posIdx) == 0 {
@@ -443,19 +612,62 @@ func positiveIndices(r Rule) []int {
 	return idx
 }
 
-// instantiate instantiates rule r; deltaPos (when >= 0) is the body
-// position that must match an atom from the delta relation.
-func (g *grounder) instantiate(r Rule, deltaPos int, delta map[string]map[string]Atom) error {
-	return g.instantiateAgainst(r, deltaPos, delta)
-}
-
 // instantiateAll grounds a rule (typically a constraint) against the full
 // relations only.
 func (g *grounder) instantiateAll(r Rule) error {
 	return g.instantiateAgainst(r, -1, nil)
 }
 
-func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[string]map[string]Atom) error {
+// bindTrail is a mutable binding with an undo log: matching binds in
+// place and backtracking truncates, avoiding a map clone per candidate
+// fact.
+type bindTrail struct {
+	b     Binding
+	names []string
+}
+
+func (t *bindTrail) bind(name string, val Term) {
+	t.b[name] = val
+	t.names = append(t.names, name)
+}
+
+func (t *bindTrail) mark() int { return len(t.names) }
+
+func (t *bindTrail) undo(m int) {
+	for i := len(t.names) - 1; i >= m; i-- {
+		delete(t.b, t.names[i])
+	}
+	t.names = t.names[:m]
+}
+
+// unboundVarCount counts variable occurrences of t not bound in b.
+func unboundVarCount(t Term, b Binding) int {
+	n := 0
+	walkTermVars(t, func(v Variable) {
+		if _, ok := b[v.Name]; !ok {
+			n++
+		}
+	})
+	return n
+}
+
+// binderSides recognizes a binder equality V = expr (or expr = V): an
+// unbound variable on one side, the other side fully bound.
+func binderSides(l Literal, b Binding) (Variable, Term, bool) {
+	if vv, ok := l.Lhs.(Variable); ok {
+		if _, bound := b[vv.Name]; !bound && unboundVarCount(l.Rhs, b) == 0 {
+			return vv, l.Rhs, true
+		}
+	}
+	if vv, ok := l.Rhs.(Variable); ok {
+		if _, bound := b[vv.Name]; !bound && unboundVarCount(l.Lhs, b) == 0 {
+			return vv, l.Lhs, true
+		}
+	}
+	return Variable{}, nil, false
+}
+
+func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]int32) error {
 	// Backtracking join over body literals. Literals are processed
 	// greedily: a positive atom literal is always processable (its
 	// unbound variables enumerate the relation); a comparison is
@@ -463,55 +675,37 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[string]map
 	// processable when expr's variables are bound; a negative literal is
 	// processed at the end (checked against the domain when producing the
 	// instance).
-	type litState struct {
-		lit  Literal
-		done bool
-	}
-	states := make([]litState, len(r.Body))
-	for i, l := range r.Body {
-		states[i] = litState{lit: l}
-	}
+	n := len(r.Body)
+	done := make([]bool, n)
+	matched := make([]int32, n)
+	tr := bindTrail{b: make(Binding, 8)}
 
-	var emit func(b Binding) error
-	emit = func(b Binding) error {
-		return g.emitInstance(r, b)
-	}
-
-	var step func(b Binding, remaining int) error
-	step = func(b Binding, remaining int) error {
+	var step func(remaining int) error
+	step = func(remaining int) error {
 		if remaining == 0 {
-			return emit(b)
+			return g.emitInstance(r, tr.b, matched)
 		}
 		// Pick the next processable literal.
 		pick := -1
-		var pickKind int // 0 = positive atom, 1 = binder equality, 2 = ground comparison
-		for i := range states {
-			if states[i].done {
+		var pickKind int // 0 = positive atom, 1 = binder equality, 2 = ground comparison, 3 = ground negative
+		for i := range done {
+			if done[i] {
 				continue
 			}
-			l := states[i].lit
+			l := &r.Body[i]
 			if !l.IsCmp && !l.Negated {
 				if pick == -1 {
-					pick = i
-					pickKind = 0
+					pick, pickKind = i, 0
 				}
 				continue
 			}
 			if l.IsCmp {
-				lsub := l.Substitute(b)
-				lvars, rvars := make(map[string]struct{}), make(map[string]struct{})
-				lsub.Lhs.collectVars(lvars)
-				lsub.Rhs.collectVars(rvars)
-				if len(lvars) == 0 && len(rvars) == 0 {
+				if unboundVarCount(l.Lhs, tr.b) == 0 && unboundVarCount(l.Rhs, tr.b) == 0 {
 					pick, pickKind = i, 2
 					break // ground comparisons filter earliest
 				}
 				if l.Op == CmpEq {
-					if _, isVar := lsub.Lhs.(Variable); isVar && len(rvars) == 0 {
-						pick, pickKind = i, 1
-						break
-					}
-					if _, isVar := lsub.Rhs.(Variable); isVar && len(lvars) == 0 {
+					if _, _, ok := binderSides(*l, tr.b); ok {
 						pick, pickKind = i, 1
 						break
 					}
@@ -520,94 +714,107 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[string]map
 			}
 			// Negative literal: processable when ground; defer as late as
 			// possible but acceptable when ground.
-			lsub := l.Substitute(b)
-			if lsub.Atom.Ground() && pick == -1 {
-				pick, pickKind = i, 3
+			if pick == -1 {
+				ground := true
+				for _, t := range l.Atom.Args {
+					if unboundVarCount(t, tr.b) > 0 {
+						ground = false
+						break
+					}
+				}
+				if ground {
+					pick, pickKind = i, 3
+				}
 			}
 		}
 		if pick == -1 {
 			// Nothing processable: all remaining literals are stuck.
 			// Safety guarantees this cannot happen for satisfiable
 			// orderings; report an error to surface bugs.
-			return fmt.Errorf("grounder stuck on rule %q (bound: %v)", r.String(), b)
+			return fmt.Errorf("grounder stuck on rule %q (bound: %v)", r.String(), tr.b)
 		}
 
-		states[pick].done = true
-		defer func() { states[pick].done = false }()
-		l := states[pick].lit.Substitute(b)
+		done[pick] = true
+		defer func() { done[pick] = false }()
+		l := r.Body[pick]
 
 		switch pickKind {
 		case 0: // positive atom: enumerate matching relation atoms
-			rel := g.relations[l.Atom.Predicate]
-			useDelta := deltaPos == pick
-			if useDelta {
-				rel = delta[l.Atom.Predicate]
+			pk := atomPredKey(l.Atom)
+			var cands []int32
+			if deltaPos == pick {
+				cands = delta[pk]
+			} else if rel := g.rel[pk]; rel != nil {
+				cands = rel.candidates(l.Atom, tr.b, g)
 			}
-			for _, fact := range rel {
-				nb := matchAtom(l.Atom, fact, b)
-				if nb == nil {
-					continue
+			for _, id := range cands {
+				m := tr.mark()
+				if matchAtomTrail(l.Atom, g.in.atoms[id], &tr) {
+					matched[pick] = id
+					if err := step(remaining - 1); err != nil {
+						tr.undo(m)
+						return err
+					}
 				}
-				if err := step(nb, remaining-1); err != nil {
-					return err
-				}
+				tr.undo(m)
 			}
 			return nil
 		case 1: // binder equality V = expr
-			v, expr := l.Lhs, l.Rhs
-			if _, isVar := v.(Variable); !isVar {
-				v, expr = l.Rhs, l.Lhs
+			v, expr, ok := binderSides(l, tr.b)
+			if !ok {
+				return fmt.Errorf("grounder lost binder equality in rule %q", r.String())
 			}
-			val, err := EvalArith(expr)
+			val, err := EvalArith(expr.substitute(tr.b))
 			if err != nil {
 				return err
 			}
-			nb := b.clone()
-			nb[v.(Variable).Name] = val
-			return step(nb, remaining-1)
+			m := tr.mark()
+			tr.bind(v.Name, val)
+			err = step(remaining - 1)
+			tr.undo(m)
+			return err
 		case 2: // ground comparison
-			ok, err := EvalCmp(l)
+			ok, err := EvalCmp(l.Substitute(tr.b))
 			if err != nil {
 				return err
 			}
 			if !ok {
 				return nil
 			}
-			return step(b, remaining-1)
-		default: // ground negative literal: domain membership decided at emit
-			return step(b, remaining-1)
+			return step(remaining - 1)
+		default: // ground negative literal: domain membership decided at finalize
+			return step(remaining - 1)
 		}
 	}
-	return step(Binding{}, len(r.Body))
+	return step(n)
 }
 
-// matchAtom unifies a (possibly non-ground, arithmetic-free after
-// substitution except for evaluable args) pattern atom against a ground
-// fact, extending binding b. Returns nil when no match.
-func matchAtom(pattern, fact Atom, b Binding) Binding {
+// matchAtomTrail unifies a (possibly non-ground) pattern atom against a
+// ground fact, binding variables on the trail. On failure the caller must
+// undo to its mark (partial bindings may remain).
+func matchAtomTrail(pattern, fact Atom, tr *bindTrail) bool {
 	if pattern.Predicate != fact.Predicate || len(pattern.Args) != len(fact.Args) {
-		return nil
+		return false
 	}
-	nb := b.clone()
 	for i := range pattern.Args {
-		if !matchTerm(pattern.Args[i], fact.Args[i], nb) {
-			return nil
+		if !matchTermTrail(pattern.Args[i], fact.Args[i], tr) {
+			return false
 		}
 	}
-	return nb
+	return true
 }
 
-func matchTerm(pattern, ground Term, b Binding) bool {
+func matchTermTrail(pattern, ground Term, tr *bindTrail) bool {
 	switch pt := pattern.(type) {
 	case Variable:
-		if bound, ok := b[pt.Name]; ok {
-			return TermsEqual(bound, ground)
+		if bound, ok := tr.b[pt.Name]; ok {
+			return termEq(bound, ground)
 		}
-		b[pt.Name] = ground
+		tr.bind(pt.Name, ground)
 		return true
 	case Arith:
 		// Arithmetic in a body pattern: evaluable only if already bound.
-		sub := pt.substitute(b)
+		sub := pt.substitute(tr.b)
 		if !sub.Ground() {
 			return false
 		}
@@ -615,54 +822,67 @@ func matchTerm(pattern, ground Term, b Binding) bool {
 		if err != nil {
 			return false
 		}
-		return TermsEqual(val, ground)
+		return termEq(val, ground)
 	case Compound:
 		gt, ok := ground.(Compound)
 		if !ok || gt.Functor != pt.Functor || len(gt.Args) != len(pt.Args) {
 			return false
 		}
 		for i := range pt.Args {
-			if !matchTerm(pt.Args[i], gt.Args[i], b) {
+			if !matchTermTrail(pt.Args[i], gt.Args[i], tr) {
 				return false
 			}
 		}
 		return true
 	default:
-		return TermsEqual(pattern.substitute(b), ground)
+		return TermsEqual(pattern.substitute(tr.b), ground)
 	}
 }
 
-// emitInstance records a fully bound rule instance: evaluates head
-// arithmetic, adds the head atom to the relations/delta, and stores the
-// instance for interning.
-func (g *grounder) emitInstance(r Rule, b Binding) error {
-	inst := groundInstance{}
-	for _, l := range r.Body {
+// matchAtom unifies a pattern atom against a ground fact, extending
+// binding b into a fresh binding. Returns nil when no match. Retained for
+// one-shot evaluation (EvalRule), where no trail is threaded.
+func matchAtom(pattern, fact Atom, b Binding) Binding {
+	if pattern.Predicate != fact.Predicate || len(pattern.Args) != len(fact.Args) {
+		return nil
+	}
+	tr := bindTrail{b: b.clone()}
+	for i := range pattern.Args {
+		if !matchTermTrail(pattern.Args[i], fact.Args[i], &tr) {
+			return nil
+		}
+	}
+	return tr.b
+}
+
+// emitInstance records a fully bound rule instance: positive body atoms
+// are the matched fact ids, negative atoms are interned (without joining
+// the domain), the head atom is evaluated and added to the domain.
+func (g *grounder) emitInstance(r Rule, b Binding, matched []int32) error {
+	inst := groundInstance{head: -1}
+	for i, l := range r.Body {
 		if l.IsCmp {
 			continue
 		}
-		ls := l.Substitute(b)
-		ev, err := evalAtomArgs(ls.Atom)
+		if !l.Negated {
+			inst.pos = append(inst.pos, matched[i])
+			continue
+		}
+		ev, err := evalAtomArgs(l.Atom.Substitute(b))
 		if err != nil {
 			return err
 		}
-		if l.Negated {
-			inst.neg = append(inst.neg, ev)
-		} else {
-			inst.pos = append(inst.pos, ev)
-		}
+		inst.neg = append(inst.neg, g.internAtom(ev))
 	}
 	if r.Head != nil {
-		h := r.Head.Substitute(b)
-		ev, err := evalAtomArgs(h)
+		ev, err := evalAtomArgs(r.Head.Substitute(b))
 		if err != nil {
 			return err
 		}
 		if !ev.Ground() {
 			return fmt.Errorf("non-ground head %s after substitution of %q", ev, r.String())
 		}
-		inst.head = &ev
-		g.addAtom(ev)
+		inst.head = g.addAtom(ev)
 	}
 	g.pending = append(g.pending, inst)
 	return nil
@@ -683,95 +903,104 @@ func evalAtomArgs(a Atom) (Atom, error) {
 	return Atom{Predicate: a.Predicate, Args: args}, nil
 }
 
-func (g *grounder) addAtom(a Atom) {
-	key := a.Key()
-	rel, ok := g.relations[a.Predicate]
-	if !ok {
-		rel = make(map[string]Atom)
-		g.relations[a.Predicate] = rel
+// internAtom interns an atom without adding it to the domain.
+func (g *grounder) internAtom(a Atom) int32 {
+	id := g.in.Intern(a)
+	for int(id) >= len(g.inDomain) {
+		g.inDomain = append(g.inDomain, false)
 	}
-	if _, exists := rel[key]; exists {
-		return
-	}
-	rel[key] = a
-	d, ok := g.delta[a.Predicate]
-	if !ok {
-		d = make(map[string]Atom)
-		g.delta[a.Predicate] = d
-	}
-	d[key] = a
+	return id
 }
 
-// finalize interns pending instances into the output ground program,
-// dropping negative literals whose atom is outside the domain and
-// dropping rules with a positive literal outside the domain (cannot
-// happen for definite-derived instances, but constraints may mention
-// underivable atoms).
-func (g *grounder) finalize() {
-	inDomain := func(a Atom) bool {
-		rel, ok := g.relations[a.Predicate]
-		if !ok {
-			return false
-		}
-		_, ok = rel[a.Key()]
-		return ok
-	}
-	intern := func(a Atom) int {
-		key := a.Key()
-		if id, ok := g.out.index[key]; ok {
-			return id
-		}
-		id := len(g.out.Atoms)
-		g.out.Atoms = append(g.out.Atoms, a)
-		g.out.index[key] = id
+// addAtom interns an atom and adds it to the domain, relations and the
+// current delta.
+func (g *grounder) addAtom(a Atom) int32 {
+	id := g.internAtom(a)
+	if g.inDomain[id] {
 		return id
 	}
+	g.inDomain[id] = true
+	g.domainN++
+	pk := atomPredKey(a)
+	rel := g.rel[pk]
+	if rel == nil {
+		rel = newRelation(pk.arity)
+		g.rel[pk] = rel
+		if g.journal {
+			g.newRels = append(g.newRels, pk)
+		}
+	}
+	rel.add(id, g.in.atoms[id])
+	g.delta[pk] = append(g.delta[pk], id)
+	if g.journal {
+		g.addedDomain = append(g.addedDomain, id)
+	}
+	return id
+}
 
+// finalize interns pending instances into a fresh, compacted ground
+// program: ids are re-numbered densely over the atoms that actually occur
+// in finalized rules, negative literals whose atom is outside the domain
+// are dropped (vacuously true), and duplicate rules are removed.
+func (g *grounder) finalize() *GroundProgram {
+	out := &GroundProgram{index: make(map[string]int32)}
+	remap := make([]int32, g.in.Len())
+	for i := range remap {
+		remap[i] = -1
+	}
+	intern := func(gid int32) int32 {
+		if remap[gid] >= 0 {
+			return remap[gid]
+		}
+		id := int32(len(out.Atoms))
+		a := g.in.atoms[gid]
+		out.Atoms = append(out.Atoms, a)
+		out.index[a.Key()] = id
+		remap[gid] = id
+		return id
+	}
+	seen := make(map[string]struct{}, len(g.pending))
 	for _, inst := range g.pending {
 		gr := GroundRule{Head: -1}
-		skip := false
-		for _, a := range inst.pos {
-			if !inDomain(a) {
-				skip = true
-				break
-			}
-			gr.PosBody = append(gr.PosBody, intern(a))
+		for _, gid := range inst.pos {
+			gr.PosBody = append(gr.PosBody, intern(gid))
 		}
-		if skip {
-			continue
-		}
-		for _, a := range inst.neg {
-			if !inDomain(a) {
+		for _, gid := range inst.neg {
+			if !g.inDomain[gid] {
 				continue // vacuously true
 			}
-			gr.NegBody = append(gr.NegBody, intern(a))
+			gr.NegBody = append(gr.NegBody, intern(gid))
 		}
-		if inst.head != nil {
-			gr.Head = intern(*inst.head)
+		if inst.head >= 0 {
+			gr.Head = intern(inst.head)
 		}
 		key := groundRuleKey(gr)
-		if _, seen := g.seenRules[key]; seen {
+		if _, dup := seen[key]; dup {
 			continue
 		}
-		g.seenRules[key] = struct{}{}
-		g.out.Rules = append(g.out.Rules, gr)
+		seen[key] = struct{}{}
+		out.Rules = append(out.Rules, gr)
 	}
 	g.pending = nil
+	return out
 }
 
 func groundRuleKey(r GroundRule) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d:", r.Head)
-	pos := append([]int(nil), r.PosBody...)
-	neg := append([]int(nil), r.NegBody...)
-	sort.Ints(pos)
-	sort.Ints(neg)
+	buf := make([]byte, 0, 8*(len(r.PosBody)+len(r.NegBody))+8)
+	buf = strconv.AppendInt(buf, int64(r.Head), 10)
+	buf = append(buf, ':')
+	pos := append([]int32(nil), r.PosBody...)
+	neg := append([]int32(nil), r.NegBody...)
+	slices.Sort(pos)
+	slices.Sort(neg)
 	for _, id := range pos {
-		fmt.Fprintf(&sb, "%d,", id)
+		buf = strconv.AppendInt(buf, int64(id), 10)
+		buf = append(buf, ',')
 	}
-	sb.WriteByte('|')
+	buf = append(buf, '|')
 	for _, id := range neg {
-		fmt.Fprintf(&sb, "%d,", id)
+		buf = strconv.AppendInt(buf, int64(id), 10)
+		buf = append(buf, ',')
 	}
-	return sb.String()
+	return string(buf)
 }

@@ -1,0 +1,313 @@
+package asp
+
+import "fmt"
+
+// Incremental grounding: ground a base program once, then repeatedly
+// extend it with small rule sets (hypothesis candidates in the learner)
+// without re-grounding the base. Extend instantiates only the extension
+// rules plus the base rules whose body predicates the extension can
+// affect (computed from the predicate dependency graph), and rolls the
+// grounder state back before each new extension.
+
+// CompiledRules is an extension pre-compiled for repeated use with
+// IncrementalGrounder.Extend: ranges expanded, choice rules compiled
+// (namespaced by ns so separately compiled extensions cannot collide),
+// and safety checked once.
+type CompiledRules struct {
+	defs      []Rule
+	cons      []Rule
+	headPreds map[string]struct{}
+}
+
+// CompileExtension compiles a rule set for use with Extend. ns must be
+// unique per extension compiled against the same grounder when the rules
+// contain choice rules.
+func CompileExtension(rules []Rule, ns string) (*CompiledRules, error) {
+	normal, err := prepare(NewProgram(rules...), ns)
+	if err != nil {
+		return nil, err
+	}
+	out := &CompiledRules{headPreds: make(map[string]struct{})}
+	for _, r := range normal.Rules {
+		if r.IsConstraint() {
+			out.cons = append(out.cons, r)
+		} else {
+			out.defs = append(out.defs, r)
+			out.headPreds[r.Head.Predicate] = struct{}{}
+		}
+	}
+	return out, nil
+}
+
+// ruleInfo caches a rule's positive body positions and predicates for
+// dependency-directed re-instantiation.
+type ruleInfo struct {
+	rule     Rule
+	headName string
+	posIdx   []int
+	posPred  []predKey // parallel to posIdx
+}
+
+func newRuleInfo(r Rule) ruleInfo {
+	info := ruleInfo{rule: r}
+	for i, l := range r.Body {
+		if !l.IsCmp && !l.Negated {
+			info.posIdx = append(info.posIdx, i)
+			info.posPred = append(info.posPred, atomPredKey(l.Atom))
+		}
+	}
+	if r.Head != nil {
+		info.headName = r.Head.Predicate
+	}
+	return info
+}
+
+// IncrementalGrounder grounds a base program once and supports repeated
+// extension with compiled rule sets.
+//
+// The GroundProgram returned by Extend (and Base) shares the grounder's
+// atom table: it is valid only until the next Extend or Reset call.
+type IncrementalGrounder struct {
+	g *grounder
+
+	baseAtomLen int
+
+	// baseStable holds finalized base rules whose form cannot change
+	// under extension (every negative atom already in the base domain).
+	baseStable []GroundRule
+	baseSeen   map[string]struct{}
+	// refin holds base instances with a negative atom outside the base
+	// domain: an extension may derive that atom, so the finalized form
+	// (negative literal kept vs dropped) is recomputed per Extend. This
+	// includes inclusion constraints like ":- not decision(deny)." whose
+	// meaning flips once a hypothesis derives the atom.
+	refin []groundInstance
+
+	baseDefs []ruleInfo
+	baseCons []ruleInfo
+}
+
+// NewIncrementalGrounder grounds the base program and freezes the
+// grounder state for subsequent Extend calls.
+func NewIncrementalGrounder(base *Program, opts GroundingOptions) (*IncrementalGrounder, error) {
+	normal, err := prepare(base, "")
+	if err != nil {
+		return nil, err
+	}
+	g := newGrounder(opts)
+	if err := g.groundRules(normal.Rules); err != nil {
+		return nil, err
+	}
+
+	ig := &IncrementalGrounder{g: g}
+	ig.baseSeen = make(map[string]struct{}, len(g.pending))
+	for _, inst := range g.pending {
+		volatile := false
+		for _, gid := range inst.neg {
+			if !g.inDomain[gid] {
+				volatile = true
+				break
+			}
+		}
+		if volatile {
+			ig.refin = append(ig.refin, inst)
+			continue
+		}
+		gr := GroundRule{Head: inst.head, PosBody: inst.pos, NegBody: inst.neg}
+		key := groundRuleKey(gr)
+		if _, dup := ig.baseSeen[key]; dup {
+			continue
+		}
+		ig.baseSeen[key] = struct{}{}
+		ig.baseStable = append(ig.baseStable, gr)
+	}
+	g.pending = nil
+	ig.baseAtomLen = g.in.Len()
+
+	for _, r := range normal.Rules {
+		info := newRuleInfo(r)
+		if r.IsConstraint() {
+			ig.baseCons = append(ig.baseCons, info)
+		} else {
+			ig.baseDefs = append(ig.baseDefs, info)
+		}
+	}
+	return ig, nil
+}
+
+// Base returns the ground base program (equivalent to Ground of the base,
+// modulo atom-id numbering). Any pending extension is rolled back.
+func (ig *IncrementalGrounder) Base() *GroundProgram {
+	ig.Reset()
+	return ig.finalizeExtended()
+}
+
+// Reset rolls the grounder back to the frozen base state, undoing the
+// effects of the last Extend. Extend calls it implicitly.
+func (ig *IncrementalGrounder) Reset() {
+	g := ig.g
+	if !g.journal {
+		return
+	}
+	for i := len(g.addedDomain) - 1; i >= 0; i-- {
+		id := g.addedDomain[i]
+		a := g.in.atoms[id]
+		g.rel[atomPredKey(a)].popLast(a)
+		g.inDomain[id] = false
+		g.domainN--
+	}
+	g.addedDomain = g.addedDomain[:0]
+	for _, pk := range g.newRels {
+		delete(g.rel, pk)
+	}
+	g.newRels = g.newRels[:0]
+	g.in.truncate(ig.baseAtomLen)
+	if len(g.inDomain) > ig.baseAtomLen {
+		g.inDomain = g.inDomain[:ig.baseAtomLen]
+	}
+	g.pending = g.pending[:0]
+	g.delta = nil
+	g.journal = false
+}
+
+// Extend grounds base ∪ extensions, reusing the frozen base grounding.
+// Only the extension rules and the base rules reachable from the
+// extensions' head predicates in the dependency graph are instantiated.
+// The returned program shares the grounder's atom table and is valid only
+// until the next Extend or Reset.
+func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, error) {
+	ig.Reset()
+	g := ig.g
+	g.journal = true
+	g.delta = make(map[predKey][]int32)
+
+	reach := make(map[string]struct{})
+	var extDefs, extCons []Rule
+	for _, e := range exts {
+		extDefs = append(extDefs, e.defs...)
+		extCons = append(extCons, e.cons...)
+		for p := range e.headPreds {
+			reach[p] = struct{}{}
+		}
+	}
+
+	// Close reach over the base dependency graph and collect the base
+	// definite rules the extension can feed.
+	changed := true
+	for changed {
+		changed = false
+		for _, ri := range ig.baseDefs {
+			if _, ok := reach[ri.headName]; ok {
+				continue
+			}
+			for _, pk := range ri.posPred {
+				if _, hit := reach[pk.name]; hit {
+					reach[ri.headName] = struct{}{}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var loop []ruleInfo
+	for _, r := range extDefs {
+		loop = append(loop, newRuleInfo(r))
+	}
+	for _, ri := range ig.baseDefs {
+		for _, pk := range ri.posPred {
+			if _, hit := reach[pk.name]; hit {
+				loop = append(loop, ri)
+				break
+			}
+		}
+	}
+
+	// Round 0: fully instantiate the extension rules against the base
+	// relations (their all-base-atom instances are new).
+	for _, r := range extDefs {
+		if err := g.instantiateAgainst(r, -1, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Semi-naive rounds over extension plus affected base rules: only
+	// instances touching a new atom are emitted.
+	for len(g.delta) > 0 {
+		if g.opts.MaxAtoms > 0 && g.domainN > g.opts.MaxAtoms {
+			return nil, fmt.Errorf("grounding exceeded %d atoms", g.opts.MaxAtoms)
+		}
+		prevDelta := g.delta
+		g.delta = make(map[predKey][]int32)
+		for _, ri := range loop {
+			for _, di := range ri.posIdx {
+				if err := g.instantiateAgainst(ri.rule, di, prevDelta); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Base constraints gain instances only at positions whose predicate
+	// gained atoms; re-instantiate with the new atoms as the delta.
+	if len(g.addedDomain) > 0 && len(ig.baseCons) > 0 {
+		newByPred := make(map[predKey][]int32)
+		for _, id := range g.addedDomain {
+			pk := atomPredKey(g.in.atoms[id])
+			newByPred[pk] = append(newByPred[pk], id)
+		}
+		for _, ci := range ig.baseCons {
+			for k, di := range ci.posIdx {
+				if len(newByPred[ci.posPred[k]]) == 0 {
+					continue
+				}
+				if err := g.instantiateAgainst(ci.rule, di, newByPred); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Extension constraints see the full relations.
+	for _, c := range extCons {
+		if err := g.instantiateAll(c); err != nil {
+			return nil, err
+		}
+	}
+	return ig.finalizeExtended(), nil
+}
+
+// finalizeExtended builds a ground program over the global atom table:
+// frozen base rules, re-finalized volatile base instances, and the
+// pending extension instances.
+func (ig *IncrementalGrounder) finalizeExtended() *GroundProgram {
+	g := ig.g
+	out := &GroundProgram{
+		Atoms: g.in.atoms,
+		index: g.in.index,
+	}
+	rules := ig.baseStable[:len(ig.baseStable):len(ig.baseStable)]
+	local := make(map[string]struct{}, len(ig.refin)+len(g.pending))
+	addInst := func(inst groundInstance) {
+		gr := GroundRule{Head: inst.head, PosBody: inst.pos}
+		for _, gid := range inst.neg {
+			if g.inDomain[gid] {
+				gr.NegBody = append(gr.NegBody, gid)
+			}
+		}
+		key := groundRuleKey(gr)
+		if _, dup := ig.baseSeen[key]; dup {
+			return
+		}
+		if _, dup := local[key]; dup {
+			return
+		}
+		local[key] = struct{}{}
+		rules = append(rules, gr)
+	}
+	for _, inst := range ig.refin {
+		addInst(inst)
+	}
+	for _, inst := range g.pending {
+		addInst(inst)
+	}
+	out.Rules = rules
+	return out
+}

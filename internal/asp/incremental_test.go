@@ -1,0 +1,235 @@
+package asp
+
+import (
+	"sort"
+	"testing"
+)
+
+// incModelStrings solves a ground program for all models and returns
+// their canonical textual forms, sorted.
+func incModelStrings(t *testing.T, g *GroundProgram) []string {
+	t.Helper()
+	models, err := SolveGround(g, SolveOptions{})
+	if err != nil {
+		t.Fatalf("SolveGround: %v", err)
+	}
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalExtendMatchesGround(t *testing.T) {
+	cases := []struct {
+		name string
+		base string
+		ext  string
+	}{
+		{
+			name: "fact propagation through base chain",
+			base: `p(X) :- q(X). q(1). q(2). r(X) :- p(X), s(X).`,
+			ext:  `s(1). s(3).`,
+		},
+		{
+			name: "extension rule over base facts",
+			base: `edge(a,b). edge(b,c). edge(c,a).`,
+			ext:  `path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).`,
+		},
+		{
+			name: "negative literal leaves domain stable",
+			base: `ok :- not bad. item(1). item(2).`,
+			ext:  `good(X) :- item(X), not bad.`,
+		},
+		{
+			name: "extension derives base negative atom (refinalize)",
+			base: `decision(allow) :- not decision(deny). req(1).`,
+			ext:  `decision(deny) :- req(1).`,
+		},
+		{
+			name: "inclusion constraint flips once hypothesis fires",
+			base: `req(1). :- not decision(deny).`,
+			ext:  `decision(deny) :- req(1).`,
+		},
+		{
+			name: "base constraint gains instances from new atoms",
+			base: `p(1). p(2). :- p(X), q(X).`,
+			ext:  `q(2).`,
+		},
+		{
+			name: "choice rules on both sides",
+			base: `node(1..3). {in(X)} :- node(X).`,
+			ext:  `{pick(X)} :- in(X). :- pick(1), pick(2).`,
+		},
+		{
+			name: "arithmetic and comparisons in extension",
+			base: `n(1). n(2). n(3).`,
+			ext:  `big(X) :- n(X), X > 1. double(Y) :- n(X), Y = X * 2.`,
+		},
+		{
+			name: "extension feeds recursive base rule",
+			base: `reach(X) :- start(X). reach(Y) :- reach(X), edge(X,Y). edge(a,b). edge(b,c).`,
+			ext:  `start(a).`,
+		},
+		{
+			name: "empty extension",
+			base: `p :- not q. q :- not p.`,
+			ext:  ``,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Parse(tc.base)
+			if err != nil {
+				t.Fatalf("parse base: %v", err)
+			}
+			extProg, err := Parse(tc.ext)
+			if err != nil {
+				t.Fatalf("parse ext: %v", err)
+			}
+
+			// Reference: ground the union monolithically.
+			union := base.Clone()
+			union.Extend(extProg)
+			gRef, err := Ground(union, GroundingOptions{})
+			if err != nil {
+				t.Fatalf("Ground(union): %v", err)
+			}
+			want := incModelStrings(t, gRef)
+
+			ig, err := NewIncrementalGrounder(base, GroundingOptions{})
+			if err != nil {
+				t.Fatalf("NewIncrementalGrounder: %v", err)
+			}
+			ext, err := CompileExtension(extProg.Rules, "h0")
+			if err != nil {
+				t.Fatalf("CompileExtension: %v", err)
+			}
+
+			// Extend twice: the second run exercises rollback.
+			for round := 0; round < 2; round++ {
+				gInc, err := ig.Extend(ext)
+				if err != nil {
+					t.Fatalf("Extend round %d: %v", round, err)
+				}
+				got := incModelStrings(t, gInc)
+				if !equalStrings(got, want) {
+					t.Fatalf("round %d: models differ:\n got %v\nwant %v", round, got, want)
+				}
+			}
+
+			// Base() must match grounding the base alone.
+			gBase, err := Ground(base, GroundingOptions{})
+			if err != nil {
+				t.Fatalf("Ground(base): %v", err)
+			}
+			wantBase := incModelStrings(t, gBase)
+			gotBase := incModelStrings(t, ig.Base())
+			if !equalStrings(gotBase, wantBase) {
+				t.Fatalf("base models differ:\n got %v\nwant %v", gotBase, wantBase)
+			}
+		})
+	}
+}
+
+// TestIncrementalAlternatingExtensions checks that rollback isolates
+// extensions from each other: interleaving two different extensions gives
+// each one's monolithic result every time.
+func TestIncrementalAlternatingExtensions(t *testing.T) {
+	base, err := Parse(`p(X) :- q(X). q(1). q(2). :- p(X), veto(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := NewIncrementalGrounder(base, GroundingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAtoms := ig.g.in.Len()
+
+	ext1Prog, _ := Parse(`veto(1).`)
+	ext2Prog, _ := Parse(`q(3). r(X) :- p(X).`)
+	ext1, err := CompileExtension(ext1Prog.Rules, "h0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext2, err := CompileExtension(ext2Prog.Rules, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := func(ext *Program) []string {
+		union := base.Clone()
+		union.Extend(ext)
+		g, err := Ground(union, GroundingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return incModelStrings(t, g)
+	}
+	want1 := want(ext1Prog)
+	want2 := want(ext2Prog)
+	wantBoth := func() []string {
+		union := base.Clone()
+		union.Extend(ext1Prog)
+		union.Extend(ext2Prog)
+		g, err := Ground(union, GroundingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return incModelStrings(t, g)
+	}()
+
+	for round := 0; round < 3; round++ {
+		g1, err := ig.Extend(ext1)
+		if err != nil {
+			t.Fatalf("Extend ext1: %v", err)
+		}
+		if got := incModelStrings(t, g1); !equalStrings(got, want1) {
+			t.Fatalf("ext1 round %d: got %v want %v", round, got, want1)
+		}
+		g2, err := ig.Extend(ext2)
+		if err != nil {
+			t.Fatalf("Extend ext2: %v", err)
+		}
+		if got := incModelStrings(t, g2); !equalStrings(got, want2) {
+			t.Fatalf("ext2 round %d: got %v want %v", round, got, want2)
+		}
+		gBoth, err := ig.Extend(ext1, ext2)
+		if err != nil {
+			t.Fatalf("Extend both: %v", err)
+		}
+		if got := incModelStrings(t, gBoth); !equalStrings(got, wantBoth) {
+			t.Fatalf("both round %d: got %v want %v", round, got, wantBoth)
+		}
+	}
+
+	ig.Reset()
+	if got := ig.g.in.Len(); got != baseAtoms {
+		t.Fatalf("after Reset interner holds %d atoms, want %d", got, baseAtoms)
+	}
+}
+
+// TestIncrementalUnsafeExtension checks that unsafe extension rules fail
+// at compile time, mirroring Ground's safety error.
+func TestIncrementalUnsafeExtension(t *testing.T) {
+	r, err := ParseRule(`p(X) :- not q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileExtension([]Rule{r}, "h0"); err == nil {
+		t.Fatal("expected safety error for unsafe extension rule")
+	}
+}

@@ -3,11 +3,16 @@ package asp
 import (
 	"errors"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // AnswerSet is a stable model: the set of true ground atoms.
 type AnswerSet struct {
 	atoms map[string]Atom
+
+	sortOnce sync.Once
+	sorted   []Atom
 }
 
 // NewAnswerSet builds an answer set from atoms.
@@ -28,14 +33,25 @@ func (as *AnswerSet) Contains(a Atom) bool {
 // Len returns the number of atoms.
 func (as *AnswerSet) Len() int { return len(as.atoms) }
 
-// Atoms returns the atoms sorted by their textual form.
+// Atoms returns the atoms sorted by their textual form. The slice is
+// computed once and shared across calls; callers must not modify it.
 func (as *AnswerSet) Atoms() []Atom {
-	out := make([]Atom, 0, len(as.atoms))
-	for _, a := range as.atoms {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out
+	as.sortOnce.Do(func() {
+		type keyed struct {
+			s string
+			a Atom
+		}
+		ks := make([]keyed, 0, len(as.atoms))
+		for _, a := range as.atoms {
+			ks = append(ks, keyed{s: a.String(), a: a})
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i].s < ks[j].s })
+		as.sorted = make([]Atom, len(ks))
+		for i, k := range ks {
+			as.sorted[i] = k.a
+		}
+	})
+	return as.sorted
 }
 
 // AtomsOf returns the atoms with the given predicate, sorted.
@@ -51,15 +67,16 @@ func (as *AnswerSet) AtomsOf(pred string) []Atom {
 }
 
 func (as *AnswerSet) String() string {
-	atoms := as.Atoms()
-	s := "{"
-	for i, a := range atoms {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, a := range as.Atoms() {
 		if i > 0 {
-			s += ", "
+			sb.WriteString(", ")
 		}
-		s += a.String()
+		sb.WriteString(a.String())
 	}
-	return s + "}"
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // SolveOptions configures the solver.
@@ -122,30 +139,36 @@ const (
 	vFalse   int8 = 2
 )
 
+// posWatchEntry records that a rule has an atom in its positive body with
+// the given multiplicity.
+type posWatchEntry struct {
+	rule int32
+	mult int32
+}
+
 type solver struct {
 	g    *GroundProgram
 	opts SolveOptions
 
-	choice    []int // choice atom ids, branch order
+	choice    []int32 // choice atom ids, branch order
 	isChoice  []bool
 	assign    []int8 // per atom id (only meaningful for choice atoms)
 	models    []*AnswerSet
 	decisions int64
 
 	// rulesByNeg[a] lists rule indices with atom a in NegBody.
-	rulesByNeg [][]int
-	// definers[a] lists rule indices with Head == a.
-	definers [][]int
+	rulesByNeg [][]int32
+	// constraints lists the indices of headless rules.
+	constraints []int32
 
 	// scratch buffers for least-model computation.
 	lmCount []int32
 	lmTrue  []bool
-	lmQueue []int
+	lmQueue []int32
 
-	// posWatch[a] lists rules having atom a in PosBody; posOccur[ri]
-	// counts multiplicities per atom in rule ri's positive body.
-	posWatch [][]int
-	posOccur []map[int]int
+	// posWatch[a] lists (rule, multiplicity) pairs for rules having atom
+	// a in their positive body.
+	posWatch [][]posWatchEntry
 }
 
 func newSolver(g *GroundProgram, opts SolveOptions) *solver {
@@ -155,25 +178,22 @@ func newSolver(g *GroundProgram, opts SolveOptions) *solver {
 		opts:       opts,
 		isChoice:   make([]bool, n),
 		assign:     make([]int8, n),
-		rulesByNeg: make([][]int, n),
-		definers:   make([][]int, n),
+		rulesByNeg: make([][]int32, n),
 		lmCount:    make([]int32, len(g.Rules)),
 		lmTrue:     make([]bool, n),
 	}
-	occurrences := make([]int, n)
+	occurrences := make([]int32, n)
 	for ri, r := range g.Rules {
 		for _, a := range r.NegBody {
-			s.rulesByNeg[a] = append(s.rulesByNeg[a], ri)
-			if !s.isChoice[a] {
-				s.isChoice[a] = true
-			}
+			s.rulesByNeg[a] = append(s.rulesByNeg[a], int32(ri))
+			s.isChoice[a] = true
 			occurrences[a]++
 		}
 		for _, a := range r.PosBody {
 			occurrences[a]++
 		}
-		if r.Head >= 0 {
-			s.definers[r.Head] = append(s.definers[r.Head], ri)
+		if r.Head < 0 {
+			s.constraints = append(s.constraints, int32(ri))
 		}
 	}
 	if opts.NaiveBranching {
@@ -181,7 +201,7 @@ func newSolver(g *GroundProgram, opts SolveOptions) *solver {
 			s.isChoice[a] = true
 		}
 	}
-	for a := 0; a < n; a++ {
+	for a := int32(0); a < int32(n); a++ {
 		if s.isChoice[a] {
 			s.choice = append(s.choice, a)
 		}
@@ -190,6 +210,7 @@ func newSolver(g *GroundProgram, opts SolveOptions) *solver {
 	sort.Slice(s.choice, func(i, j int) bool {
 		return occurrences[s.choice[i]] > occurrences[s.choice[j]]
 	})
+	s.buildPosWatch()
 	return s
 }
 
@@ -265,10 +286,8 @@ func (s *solver) prune() bool {
 	}
 	// A constraint certainly violated: positive body all under-derived,
 	// negative body all assigned false.
-	for _, r := range s.g.Rules {
-		if r.Head >= 0 {
-			continue
-		}
+	for _, ci := range s.constraints {
+		r := s.g.Rules[ci]
 		violated := true
 		for _, a := range r.PosBody {
 			if !under[a] {
@@ -339,20 +358,15 @@ func (s *solver) leastModelSeeded(keep func(GroundRule) bool, seedAssigned bool)
 			s.lmQueue = append(s.lmQueue, r.Head)
 		}
 	}
-	// posWatchers built lazily per call would allocate; iterate rules per
-	// derived atom via a prebuilt index instead.
-	if s.posWatch == nil {
-		s.buildPosWatch()
-	}
 	for qi := 0; qi < len(s.lmQueue); qi++ {
 		a := s.lmQueue[qi]
-		for _, ri := range s.posWatch[a] {
-			if s.lmCount[ri] < 0 {
+		for _, w := range s.posWatch[a] {
+			if s.lmCount[w.rule] < 0 {
 				continue
 			}
-			s.lmCount[ri] -= int32(s.posOccur[ri][a])
-			if s.lmCount[ri] == 0 {
-				h := s.g.Rules[ri].Head
+			s.lmCount[w.rule] -= w.mult
+			if s.lmCount[w.rule] == 0 {
+				h := s.g.Rules[w.rule].Head
 				if h >= 0 && !s.lmTrue[h] {
 					s.lmTrue[h] = true
 					s.lmQueue = append(s.lmQueue, h)
@@ -365,16 +379,27 @@ func (s *solver) leastModelSeeded(keep func(GroundRule) bool, seedAssigned bool)
 
 func (s *solver) buildPosWatch() {
 	n := s.g.NumAtoms()
-	s.posWatch = make([][]int, n)
-	s.posOccur = make([]map[int]int, len(s.g.Rules))
+	s.posWatch = make([][]posWatchEntry, n)
 	for ri, r := range s.g.Rules {
-		occ := make(map[int]int, len(r.PosBody))
-		for _, a := range r.PosBody {
-			occ[a]++
-		}
-		s.posOccur[ri] = occ
-		for a := range occ {
-			s.posWatch[a] = append(s.posWatch[a], ri)
+		for bi, a := range r.PosBody {
+			// Count each atom once per rule with its multiplicity.
+			dup := false
+			for _, prev := range r.PosBody[:bi] {
+				if prev == a {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			mult := int32(0)
+			for _, other := range r.PosBody {
+				if other == a {
+					mult++
+				}
+			}
+			s.posWatch[a] = append(s.posWatch[a], posWatchEntry{rule: int32(ri), mult: mult})
 		}
 	}
 }
@@ -398,10 +423,8 @@ func (s *solver) checkLeaf() error {
 		}
 	}
 	// Constraints: the body must not be satisfied by the model.
-	for _, r := range s.g.Rules {
-		if r.Head >= 0 {
-			continue
-		}
+	for _, ci := range s.constraints {
+		r := s.g.Rules[ci]
 		sat := true
 		for _, a := range r.PosBody {
 			if !lm[a] {
@@ -434,6 +457,5 @@ func (s *solver) checkLeaf() error {
 
 // isInternalAtom hides atoms introduced by choice-rule compilation.
 func isInternalAtom(a Atom) bool {
-	return len(a.Predicate) > 0 && a.Predicate[0] == '_' &&
-		len(a.Predicate) > 8 && a.Predicate[:8] == "_choice_"
+	return len(a.Predicate) > 8 && a.Predicate[:8] == "_choice_"
 }

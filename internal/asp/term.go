@@ -297,7 +297,40 @@ func TermKey(t Term) string {
 }
 
 // TermsEqual reports whether two terms are structurally identical.
-func TermsEqual(a, b Term) bool { return TermKey(a) == TermKey(b) }
+func TermsEqual(a, b Term) bool { return termEq(a, b) }
+
+// termEq is structural term equality without building string keys. It
+// matches TermKey equality exactly (in particular, Constant.Quoted and
+// Variable.Pos are ignored).
+func termEq(a, b Term) bool {
+	switch ta := a.(type) {
+	case Constant:
+		tb, ok := b.(Constant)
+		return ok && ta.Name == tb.Name
+	case Integer:
+		tb, ok := b.(Integer)
+		return ok && ta.Value == tb.Value
+	case Variable:
+		tb, ok := b.(Variable)
+		return ok && ta.Name == tb.Name
+	case Compound:
+		tb, ok := b.(Compound)
+		if !ok || ta.Functor != tb.Functor || len(ta.Args) != len(tb.Args) {
+			return false
+		}
+		for i := range ta.Args {
+			if !termEq(ta.Args[i], tb.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case Arith:
+		tb, ok := b.(Arith)
+		return ok && ta.Op == tb.Op && termEq(ta.L, tb.L) && termEq(ta.R, tb.R)
+	default:
+		return TermKey(a) == TermKey(b)
+	}
+}
 
 // CompareTerms imposes a total order on ground terms: integers first (by
 // value), then constants (lexicographic), then compound terms.

@@ -54,7 +54,7 @@ func RunE1(opts Options) (*Table, error) {
 
 	task := &asglearn.Task{Initial: initial, Space: space, Examples: examples}
 	start := time.Now()
-	res, err := task.Learn(ilasp.LearnOptions{MaxRules: 2})
+	res, err := task.Learn(ilasp.LearnOptions{MaxRules: 2, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}

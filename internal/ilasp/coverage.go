@@ -1,0 +1,111 @@
+package ilasp
+
+import (
+	"fmt"
+	"strconv"
+
+	"agenp/internal/asp"
+)
+
+// coverageEngine performs example-coverage checks with ground-once
+// caching: the fixed part of every check — background ∪ example context
+// plus the example's inclusion/exclusion constraints — is grounded once
+// per example into an asp.IncrementalGrounder, and every candidate rule
+// is compiled once up front. A coverage check then extends the cached
+// grounding with the hypothesis's compiled rules (re-instantiating only
+// the base rules the hypothesis can affect through the predicate
+// dependency graph) instead of re-grounding the whole program.
+//
+// Per-example grounders are built lazily, so examples the search never
+// reaches cost nothing.
+//
+// Concurrency: covers may be called concurrently for *distinct* example
+// indices (each index owns its grounder), but never concurrently for the
+// same index. The search's chunked fan-out guarantees this: a chunk
+// checks distinct examples of one hypothesis.
+type coverageEngine struct {
+	task  *Task
+	space []Candidate
+
+	// compiled[i] is candidate i pre-compiled for Extend; compileErr[i]
+	// holds its compile (safety) error, surfaced when the candidate is
+	// first used — matching the lazy error behaviour of Task.Covers.
+	compiled   []*asp.CompiledRules
+	compileErr []error
+
+	slots []engineSlot
+}
+
+// engineSlot is the per-example cached grounding.
+type engineSlot struct {
+	ig   *asp.IncrementalGrounder
+	err  error
+	init bool
+}
+
+func newCoverageEngine(t *Task, space []Candidate) *coverageEngine {
+	ce := &coverageEngine{
+		task:       t,
+		space:      space,
+		compiled:   make([]*asp.CompiledRules, len(space)),
+		compileErr: make([]error, len(space)),
+		slots:      make([]engineSlot, len(t.Examples)),
+	}
+	for i, c := range space {
+		ce.compiled[i], ce.compileErr[i] =
+			asp.CompileExtension([]asp.Rule{c.Rule}, "h"+strconv.Itoa(i))
+	}
+	return ce
+}
+
+// covers reports whether the hypothesis (candidate indices) covers
+// example ei, with the same semantics as Task.Covers: brave entailment
+// of the partial interpretation for positive examples, absence of a
+// witnessing answer set for negative ones.
+func (ce *coverageEngine) covers(chosen []int, ei int) (bool, error) {
+	e := ce.task.Examples[ei]
+	slot := &ce.slots[ei]
+	if !slot.init {
+		slot.init = true
+		prog := asp.NewProgram()
+		if ce.task.Background != nil {
+			prog.Extend(ce.task.Background)
+		}
+		if e.Context != nil {
+			prog.Extend(e.Context)
+		}
+		// Force the partial interpretation: a witnessing answer set must
+		// contain all inclusions and no exclusions.
+		for _, a := range e.Inclusions {
+			prog.Add(asp.NewConstraint(asp.Neg(a)))
+		}
+		for _, a := range e.Exclusions {
+			prog.Add(asp.NewConstraint(asp.PosLit(a)))
+		}
+		slot.ig, slot.err = asp.NewIncrementalGrounder(prog, asp.GroundingOptions{})
+	}
+	if slot.err != nil {
+		return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, slot.err)
+	}
+	parts := make([]*asp.CompiledRules, len(chosen))
+	for i, ci := range chosen {
+		if err := ce.compileErr[ci]; err != nil {
+			return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, err)
+		}
+		parts[i] = ce.compiled[ci]
+	}
+	gp, err := slot.ig.Extend(parts...)
+	if err != nil {
+		return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, err)
+	}
+	models, err := asp.SolveGround(gp, asp.SolveOptions{MaxModels: 1})
+	slot.ig.Reset()
+	if err != nil {
+		return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, err)
+	}
+	witness := len(models) > 0
+	if e.Positive {
+		return witness, nil
+	}
+	return !witness, nil
+}

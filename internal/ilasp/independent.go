@@ -44,6 +44,18 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 		maxRules = 3
 	}
 
+	// Candidate rules are evaluated |space| × |examples| times; check
+	// safety and reject choice rules once here so the per-example workers
+	// can use the prepared fast path.
+	for _, c := range space {
+		if c.Rule.IsChoice() {
+			return nil, fmt.Errorf("ilasp: evaluating candidate %q: asp: EvalRule does not support choice rules", c.Rule.String())
+		}
+		if err := asp.CheckSafety(c.Rule); err != nil {
+			return nil, fmt.Errorf("ilasp: evaluating candidate %q: %w", c.Rule.String(), err)
+		}
+	}
+
 	checks := 0
 	// Per-example base models and requirement vectors.
 	infos := make([]exampleInfo, len(t.Examples))
@@ -101,10 +113,15 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 			needKey[a.Key()] = i
 		}
 		// Candidate evaluation is the hot loop (|space| × |examples|
-		// one-step evaluations); shard it across workers. Each worker
-		// writes disjoint rows of fires/violates, so no locking beyond
-		// the error slot is needed.
-		workers := runtime.NumCPU()
+		// one-step evaluations); shard it across workers over a
+		// predicate-indexed view of the base model. Each worker writes
+		// disjoint rows of fires/violates, so no locking beyond the
+		// error slot is needed.
+		ix := asp.NewModelIndex(base)
+		workers := opts.Parallelism
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		if workers > len(space) {
 			workers = len(space)
 		}
@@ -121,7 +138,7 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 			go func(w int) {
 				defer wg.Done()
 				for ri := w; ri < len(space); ri += workers {
-					derived, err := asp.EvalRule(space[ri].Rule, base)
+					derived, err := ix.EvalPrepared(space[ri].Rule)
 					if err != nil {
 						errOnce.Do(func() {
 							evalErr = fmt.Errorf("ilasp: evaluating candidate %q: %w", space[ri].Rule.String(), err)

@@ -1,0 +1,147 @@
+package ilasp_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"agenp/internal/apps/datashare"
+	"agenp/internal/asp"
+	"agenp/internal/ilasp"
+)
+
+// datashareTask builds an exhaustive-learnable sharing task: offers are
+// restricted to non-sigint types so the ground truth needs only two deny
+// rules (low trust, low quality) and the exact search stays small.
+func datashareTask(t *testing.T) *ilasp.Task {
+	t.Helper()
+	var offers []datashare.Offer
+	for _, o := range datashare.Generate(7, 40) {
+		if o.Type == "sigint" {
+			continue
+		}
+		offers = append(offers, o)
+		if len(offers) == 12 {
+			break
+		}
+	}
+	if len(offers) < 12 {
+		t.Fatalf("sample too small: %d offers", len(offers))
+	}
+	return &ilasp.Task{
+		Bias:     datashare.Bias(),
+		Examples: datashare.LearningExamples(offers, 0),
+	}
+}
+
+func resultsEqual(a, b *ilasp.Result) bool {
+	if a.Cost != b.Cost || a.Covered != b.Covered || a.Total != b.Total || a.Checks != b.Checks {
+		return false
+	}
+	if len(a.Hypothesis) != len(b.Hypothesis) {
+		return false
+	}
+	for i := range a.Hypothesis {
+		if a.Hypothesis[i].String() != b.Hypothesis[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelLearnMatchesSerial runs the exhaustive learner serially and
+// with an 8-wide worker pool on the same datashare task: the hypothesis,
+// cost, coverage, and check count must be byte-identical. Run under
+// -race this also exercises the oracle's concurrency safety.
+func TestParallelLearnMatchesSerial(t *testing.T) {
+	opts := ilasp.LearnOptions{MaxRules: 2}
+
+	opts.Parallelism = 1
+	serial, err := datashareTask(t).Learn(opts)
+	if err != nil {
+		t.Fatalf("serial Learn: %v", err)
+	}
+	opts.Parallelism = 8
+	parallel, err := datashareTask(t).Learn(opts)
+	if err != nil {
+		t.Fatalf("parallel Learn: %v", err)
+	}
+	if !resultsEqual(serial, parallel) {
+		t.Fatalf("parallel result differs from serial:\nserial:   %v (checks %d)\nparallel: %v (checks %d)",
+			serial, serial.Checks, parallel, parallel.Checks)
+	}
+	if serial.Covered != serial.Total {
+		t.Fatalf("covered %d/%d, want full coverage", serial.Covered, serial.Total)
+	}
+	if len(serial.Hypothesis) == 0 {
+		t.Fatal("expected a non-empty hypothesis")
+	}
+}
+
+// TestParallelNoisyLearnMatchesSerial repeats the determinism check in
+// noise-tolerant mode, whose branch-and-bound cutoffs depend on the
+// replay order of speculative checks.
+func TestParallelNoisyLearnMatchesSerial(t *testing.T) {
+	mk := func() *ilasp.Task {
+		task := datashareTask(t)
+		for i := range task.Examples {
+			task.Examples[i].Weight = 1 + i%3
+		}
+		return task
+	}
+	opts := ilasp.LearnOptions{MaxRules: 2, Noise: true}
+
+	opts.Parallelism = 1
+	serial, err := mk().Learn(opts)
+	if err != nil {
+		t.Fatalf("serial Learn: %v", err)
+	}
+	opts.Parallelism = 8
+	parallel, err := mk().Learn(opts)
+	if err != nil {
+		t.Fatalf("parallel Learn: %v", err)
+	}
+	if !resultsEqual(serial, parallel) {
+		t.Fatalf("parallel result differs from serial:\nserial:   %v (checks %d)\nparallel: %v (checks %d)",
+			serial, serial.Checks, parallel, parallel.Checks)
+	}
+}
+
+// TestParallelLearnPropagatesError checks first-error cancellation: an
+// example whose context fails to ground must abort a parallel search
+// with the same wrapped error a serial run reports.
+func TestParallelLearnPropagatesError(t *testing.T) {
+	unsafe := asp.NewRule(asp.NewAtom("p", asp.Variable{Name: "X"})) // p(X). — unsafe
+	task := datashareTask(t)
+	task.Examples[4].Context.Add(unsafe)
+
+	opts := ilasp.LearnOptions{MaxRules: 2}
+	opts.Parallelism = 1
+	_, serialErr := task.Learn(opts)
+	opts.Parallelism = 8
+	_, parallelErr := task.Learn(opts)
+
+	for _, err := range []error{serialErr, parallelErr} {
+		if err == nil {
+			t.Fatal("expected an error from the unsafe example context")
+		}
+		if !strings.Contains(err.Error(), "checking example o5") {
+			t.Fatalf("error %q does not name the failing example", err)
+		}
+	}
+	if serialErr.Error() != parallelErr.Error() {
+		t.Fatalf("serial and parallel errors differ:\nserial:   %v\nparallel: %v", serialErr, parallelErr)
+	}
+}
+
+// TestParallelCheckBudget checks that MaxChecks accounting is unchanged
+// by parallelism: the budget error fires on the same logical check.
+func TestParallelCheckBudget(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		opts := ilasp.LearnOptions{MaxRules: 2, MaxChecks: 5, Parallelism: par}
+		_, err := datashareTask(t).Learn(opts)
+		if !errors.Is(err, ilasp.ErrCheckBudget) {
+			t.Fatalf("parallelism %d: err = %v, want ErrCheckBudget", par, err)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package ilasp
 
 import (
+	"context"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Oracle abstracts a learning problem for the optimal subset search: a
@@ -11,6 +14,10 @@ import (
 // "transformation into a task that can be solved by the ILASP system":
 // both searches are the same optimal subset search, differing only in
 // the coverage oracle.
+//
+// Covers must be safe for concurrent calls with distinct example indices
+// (the search fans coverage checks out across a worker pool); it is never
+// called concurrently for the same index.
 type Oracle interface {
 	// Candidates returns the hypothesis space.
 	Candidates() []Candidate
@@ -25,6 +32,10 @@ type Solution struct {
 	Chosen []int
 	// Covered counts covered examples.
 	Covered int
+	// Checks counts coverage queries the search issued. Memoized oracles
+	// may answer some from cache; the count is of logical queries, so it
+	// is identical for serial and parallel runs.
+	Checks int
 }
 
 // Search finds an optimal hypothesis for an oracle over len(weights)
@@ -36,6 +47,12 @@ type Solution struct {
 // soft examples; zero-weight (hard) examples must be covered;
 // branch-and-bound prunes subtrees whose cost already exceeds the best
 // objective.
+//
+// Coverage checks run on a bounded worker pool of opts.Parallelism
+// workers (GOMAXPROCS when 0). Parallelism never changes the result:
+// checks are fetched speculatively in chunks and replayed in example
+// order, so the chosen hypothesis, coverage, check count, and MaxChecks
+// budgeting are byte-identical to a serial run.
 func Search(o Oracle, weights []int, opts LearnOptions) (*Solution, error) {
 	maxRules := opts.MaxRules
 	if maxRules <= 0 {
@@ -62,14 +79,119 @@ func Search(o Oracle, weights []int, opts LearnOptions) (*Solution, error) {
 		}
 	}
 
+	c := newChecker(o, len(weights), opts)
+	defer c.close()
+
+	var sol *Solution
+	var err error
 	if opts.Noise {
-		return searchNoisy(o, weights, order, maxRules, maxCost)
+		sol, err = searchNoisy(c, cands, weights, order, maxRules, maxCost)
+	} else {
+		sol, err = searchHard(c, cands, order, maxRules, maxCost)
 	}
-	return searchHard(o, weights, order, maxRules, maxCost)
+	if err != nil {
+		return nil, err
+	}
+	sol.Checks = c.checks
+	return sol, nil
 }
 
-func searchHard(o Oracle, weights []int, order []int, maxRules, maxCost int) (*Solution, error) {
-	cands := o.Candidates()
+// checker issues coverage checks for the search, owning the check count,
+// the MaxChecks budget, and the worker pool. Checks for one hypothesis
+// are fetched in chunks of the parallelism width and then replayed in
+// example order; speculative results past an abort point (error,
+// uncovered hard example, budget) are discarded uncounted, which keeps
+// every observable — outcome, count, budget — equal to a serial run's.
+type checker struct {
+	o         Oracle
+	n         int // examples
+	par       int // worker-pool width == chunk size
+	maxChecks int
+	checks    int
+
+	// ctx cancels outstanding speculative work on first error.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Per-chunk result buffers, reused across fetches.
+	oks  []bool
+	errs []error
+}
+
+func newChecker(o Oracle, n int, opts LearnOptions) *checker {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n && n > 0 {
+		par = n
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &checker{
+		o: o, n: n, par: par, maxChecks: opts.MaxChecks,
+		ctx: ctx, cancel: cancel,
+		oks: make([]bool, n), errs: make([]error, n),
+	}
+}
+
+func (c *checker) close() { c.cancel() }
+
+// fetch obtains verdicts for examples [lo,hi) of the hypothesis,
+// concurrently when the pool is wider than one. It returns only after
+// every launched check has finished, so the caller's replay never races
+// with a worker.
+func (c *checker) fetch(chosen []int, lo, hi int) {
+	if hi-lo <= 1 {
+		for i := lo; i < hi; i++ {
+			c.oks[i], c.errs[i] = c.o.Covers(chosen, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := lo; i < hi; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.ctx.Err(); err != nil {
+				c.oks[i], c.errs[i] = false, err
+				return
+			}
+			c.oks[i], c.errs[i] = c.o.Covers(chosen, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// checkAll verifies coverage of every example, aborting at the first
+// failure. It returns (covered count, all covered).
+func (c *checker) checkAll(chosen []int) (int, bool, error) {
+	covered := 0
+	for lo := 0; lo < c.n; lo += c.par {
+		hi := lo + c.par
+		if hi > c.n {
+			hi = c.n
+		}
+		c.fetch(chosen, lo, hi)
+		for i := lo; i < hi; i++ {
+			c.checks++
+			if c.maxChecks > 0 && c.checks > c.maxChecks {
+				c.cancel()
+				return covered, false, ErrCheckBudget
+			}
+			if err := c.errs[i]; err != nil {
+				c.cancel()
+				return covered, false, err
+			}
+			if !c.oks[i] {
+				return covered, false, nil
+			}
+			covered++
+		}
+	}
+	return covered, true, nil
+}
+
+func searchHard(c *checker, cands []Candidate, order []int, maxRules, maxCost int) (*Solution, error) {
 	for target := 0; target <= maxCost; target++ {
 		var found *Solution
 		var dfs func(pos, remaining, rules int, chosen []int) error
@@ -78,7 +200,7 @@ func searchHard(o Oracle, weights []int, order []int, maxRules, maxCost int) (*S
 				return nil
 			}
 			if remaining == 0 {
-				covered, ok, err := checkAll(o, len(weights), chosen)
+				covered, ok, err := c.checkAll(chosen)
 				if err != nil {
 					return err
 				}
@@ -92,11 +214,11 @@ func searchHard(o Oracle, weights []int, order []int, maxRules, maxCost int) (*S
 			}
 			for i := pos; i < len(order); i++ {
 				ci := order[i]
-				c := cands[ci].Cost
-				if c > remaining {
+				cost := cands[ci].Cost
+				if cost > remaining {
 					break // sorted: everything after costs at least as much
 				}
-				if err := dfs(i+1, remaining-c, rules-1, append(chosen, ci)); err != nil {
+				if err := dfs(i+1, remaining-cost, rules-1, append(chosen, ci)); err != nil {
 					return err
 				}
 				if found != nil {
@@ -115,25 +237,7 @@ func searchHard(o Oracle, weights []int, order []int, maxRules, maxCost int) (*S
 	return nil, ErrNoSolution
 }
 
-// checkAll verifies coverage of every example, aborting at the first
-// failure. It returns (covered count, all covered).
-func checkAll(o Oracle, n int, chosen []int) (int, bool, error) {
-	covered := 0
-	for i := 0; i < n; i++ {
-		ok, err := o.Covers(chosen, i)
-		if err != nil {
-			return covered, false, err
-		}
-		if !ok {
-			return covered, false, nil
-		}
-		covered++
-	}
-	return covered, true, nil
-}
-
-func searchNoisy(o Oracle, weights []int, order []int, maxRules, maxCost int) (*Solution, error) {
-	cands := o.Candidates()
+func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxRules, maxCost int) (*Solution, error) {
 	var (
 		best    *Solution
 		bestObj = int(^uint(0) >> 1) // max int
@@ -144,21 +248,33 @@ func searchNoisy(o Oracle, weights []int, order []int, maxRules, maxCost int) (*
 		}
 		covered := 0
 		penalty := 0
-		for i, w := range weights {
-			ok, err := o.Covers(chosen, i)
-			if err != nil {
-				return err
+		for lo := 0; lo < c.n; lo += c.par {
+			hi := lo + c.par
+			if hi > c.n {
+				hi = c.n
 			}
-			if ok {
-				covered++
-				continue
-			}
-			if w <= 0 {
-				return nil // hard example uncovered: infeasible
-			}
-			penalty += w
-			if cost+penalty >= bestObj {
-				return nil
+			c.fetch(chosen, lo, hi)
+			for i := lo; i < hi; i++ {
+				c.checks++
+				if c.maxChecks > 0 && c.checks > c.maxChecks {
+					c.cancel()
+					return ErrCheckBudget
+				}
+				if err := c.errs[i]; err != nil {
+					c.cancel()
+					return err
+				}
+				if c.oks[i] {
+					covered++
+					continue
+				}
+				if weights[i] <= 0 {
+					return nil // hard example uncovered: infeasible
+				}
+				penalty += weights[i]
+				if cost+penalty >= bestObj {
+					return nil
+				}
 			}
 		}
 		obj := cost + penalty
@@ -179,11 +295,11 @@ func searchNoisy(o Oracle, weights []int, order []int, maxRules, maxCost int) (*
 		}
 		for i := pos; i < len(order); i++ {
 			ci := order[i]
-			c := cands[ci].Cost
-			if cost+c > maxCost || cost+c >= bestObj {
+			cc := cands[ci].Cost
+			if cost+cc > maxCost || cost+cc >= bestObj {
 				break
 			}
-			if err := dfs(i+1, cost+c, rules-1, append(chosen, ci)); err != nil {
+			if err := dfs(i+1, cost+cc, rules-1, append(chosen, ci)); err != nil {
 				return err
 			}
 		}

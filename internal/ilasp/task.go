@@ -2,7 +2,9 @@ package ilasp
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"agenp/internal/asp"
 )
@@ -165,6 +167,10 @@ type LearnOptions struct {
 	// MaxChecks aborts after this many coverage checks (0 = unlimited);
 	// guards the paper's real-time requirement.
 	MaxChecks int
+	// Parallelism bounds the coverage-check worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Results are independent of the setting: parallel runs
+	// return the same hypothesis, cost, and check count as serial ones.
+	Parallelism int
 }
 
 // ErrNoSolution is returned when no hypothesis within the bounds covers
@@ -186,7 +192,7 @@ func (t *Task) Learn(opts LearnOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	oracle := &taskOracle{task: t, space: space, maxChecks: opts.MaxChecks}
+	oracle := newTaskOracle(t, space)
 	sol, err := Search(oracle, ExampleWeights(t.Examples), opts)
 	if err != nil {
 		return nil, err
@@ -202,62 +208,68 @@ func (t *Task) Learn(opts LearnOptions) (*Result, error) {
 		Cost:       cost,
 		Covered:    sol.Covered,
 		Total:      len(t.Examples),
-		Checks:     oracle.checks,
+		Checks:     sol.Checks,
 	}, nil
 }
 
-// taskOracle adapts a Task to the generic search engine.
+// taskOracle adapts a Task to the generic search engine: a ground-once
+// coverage engine behind a memo of (hypothesis, example) verdicts. Safe
+// for the search's concurrent Covers calls (distinct example indices).
 type taskOracle struct {
-	task      *Task
-	space     []Candidate
-	checks    int
-	maxChecks int
+	task   *Task
+	space  []Candidate
+	engine *coverageEngine
 
 	// cache memoizes coverage by (hypothesis key, example index).
+	mu    sync.Mutex
 	cache map[string][]int8
 }
 
 var _ Oracle = (*taskOracle)(nil)
 
+func newTaskOracle(t *Task, space []Candidate) *taskOracle {
+	return &taskOracle{
+		task:   t,
+		space:  space,
+		engine: newCoverageEngine(t, space),
+		cache:  make(map[string][]int8),
+	}
+}
+
 func (o *taskOracle) Candidates() []Candidate { return o.space }
 
 func (o *taskOracle) Covers(chosen []int, exampleIdx int) (bool, error) {
-	if o.cache == nil {
-		o.cache = make(map[string][]int8)
-	}
 	key := hypKey(chosen)
+	o.mu.Lock()
 	row := o.cache[key]
 	if row == nil {
 		row = make([]int8, len(o.task.Examples))
 		o.cache[key] = row
 	}
-	if v := row[exampleIdx]; v != 0 {
+	v := row[exampleIdx]
+	o.mu.Unlock()
+	if v != 0 {
 		return v == 1, nil
 	}
-	o.checks++
-	if o.maxChecks > 0 && o.checks > o.maxChecks {
-		return false, ErrCheckBudget
-	}
-	rules := make([]asp.Rule, len(chosen))
-	for i, ci := range chosen {
-		rules[i] = o.space[ci].Rule
-	}
-	ok, err := o.task.Covers(rules, o.task.Examples[exampleIdx])
+	ok, err := o.engine.covers(chosen, exampleIdx)
 	if err != nil {
 		return false, err
 	}
+	o.mu.Lock()
 	if ok {
 		row[exampleIdx] = 1
 	} else {
 		row[exampleIdx] = -1
 	}
+	o.mu.Unlock()
 	return ok, nil
 }
 
 func hypKey(chosen []int) string {
-	var sb strings.Builder
+	b := make([]byte, 0, 4*len(chosen))
 	for _, c := range chosen {
-		fmt.Fprintf(&sb, "%d,", c)
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, ',')
 	}
-	return sb.String()
+	return string(b)
 }

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Runs the full benchmark suite and writes a JSON report.
+#
+# Usage: scripts/bench.sh [output-file]
+set -e
+out="${1:-BENCH.json}"
+cd "$(dirname "$0")/.."
+go test -run '^$' -bench . -benchmem . | tee /dev/stderr | go run ./scripts/benchjson > "$out"
+echo "wrote $out" >&2

@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON report on stdout, for checking benchmark results into the repo
+// (BENCH_<n>.json) and diffing them across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson > BENCH_n.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the checked-in document. BaselineNsPerOp may be filled in
+// by hand to record pre-change numbers for headline benchmarks when a
+// PR claims a speedup.
+type Report struct {
+	Go              string             `json:"go,omitempty"`
+	CPU             string             `json:"cpu,omitempty"`
+	BaselineNsPerOp map[string]float64 `json:"baseline_ns_per_op,omitempty"`
+	Results         []Result           `json:"results"`
+}
+
+func main() {
+	rep := Report{Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "pkg:"):
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparsable line: %s\n", line)
+			continue
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses "BenchmarkName-8  100  123456 ns/op [ 12 B/op  3 allocs/op ]".
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val := fields[i]
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
