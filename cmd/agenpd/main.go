@@ -6,18 +6,32 @@
 // Each party runs the data-sharing generative policy model under its own
 // trust context; party A generates its policies and shares them, and the
 // other parties' Policy Checking Points adopt or reject them against
-// their stricter contexts.
+// their stricter contexts. Operator feedback then drives party A's
+// Policy Adaptation Point: the model is evolved by the symbolic learner
+// and policies are regenerated.
+//
+// With -metrics the daemon serves its telemetry registry as JSON on
+// /metrics (plus expvar on /debug/vars and the pprof handlers on
+// /debug/pprof/) and stays up after the round until interrupted.
 //
 // Usage:
 //
-//	agenpd [-parties 3] [-addr 127.0.0.1:0]
+//	agenpd [-parties 3] [-addr 127.0.0.1:0] [-metrics 127.0.0.1:8077]
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"agenp/internal/agenp"
@@ -25,24 +39,52 @@ import (
 	"agenp/internal/asp"
 	"agenp/internal/coalition"
 	"agenp/internal/core"
+	"agenp/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "agenpd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and tests call run more than once per process.
+var publishOnce sync.Once
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agenpd", flag.ContinueOnError)
 	parties := fs.Int("parties", 3, "number of coalition parties (>= 2)")
 	addr := fs.String("addr", "127.0.0.1:0", "hub listen address")
+	metricsAddr := fs.String("metrics", "", "serve telemetry on this address (/metrics, /debug/vars, /debug/pprof/) and keep running until interrupted")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parties < 2 {
 		return fmt.Errorf("need at least 2 parties")
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		publishOnce.Do(func() { obs.Default.PublishExpvar("agenp") })
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(stdout, "metrics listening on http://%s/metrics\n", ln.Addr())
 	}
 
 	hub, err := coalition.NewTCPHub(*addr)
@@ -66,18 +108,20 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ctx, err := asp.Parse(contexts[i%len(contexts)])
+		pctx, err := asp.Parse(contexts[i%len(contexts)])
 		if err != nil {
 			return err
 		}
 		ams, err := agenp.New(agenp.Config{
 			Name:    name,
 			Model:   model,
-			Context: &agenp.StaticContext{Program: ctx},
+			Space:   datashare.HypothesisSpace(),
+			Context: &agenp.StaticContext{Program: pctx},
 			Interpreter: &agenp.TokenInterpreter{
 				PermitVerbs: []string{"share"},
 				DenyVerbs:   []string{"withhold"},
 			},
+			AdaptThreshold: 2,
 		})
 		if err != nil {
 			return err
@@ -133,6 +177,38 @@ func run(args []string, stdout io.Writer) error {
 		for _, p := range m.AMS.Repository().List() {
 			fmt.Fprintf(stdout, "  %s\n", p)
 		}
+	}
+
+	// Operator feedback drives the lead's Policy Adaptation Point:
+	// sharing signals intelligence turned out to be inappropriate even at
+	// high trust, so two negative observations reach the adaptation
+	// threshold, the model is evolved by the symbolic learner, and
+	// policies are regenerated under the stricter grammar.
+	leadCtx, err := asp.Parse(contexts[0])
+	if err != nil {
+		return err
+	}
+	if _, err := lead.AMS.Observe(core.Feedback{
+		Tokens: []string{"share", "image"}, Context: leadCtx, Valid: true,
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		adapted, err := lead.AMS.Observe(core.Feedback{
+			Tokens: []string{"share", "sigint"}, Context: leadCtx, Valid: false,
+		})
+		if err != nil {
+			return err
+		}
+		if adapted {
+			fmt.Fprintf(stdout, "%s adapted its model (version %d) and now holds %d policies\n",
+				lead.AMS.Name(), lead.AMS.Models().Version(), lead.AMS.Repository().Len())
+		}
+	}
+
+	if *metricsAddr != "" {
+		fmt.Fprintln(stdout, "round complete; serving metrics until interrupted")
+		<-ctx.Done()
 	}
 	return nil
 }

@@ -1,13 +1,22 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"agenp/internal/obs"
 )
 
 func TestCoalitionRun(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-parties", "3", "-addr", "127.0.0.1:0"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-parties", "3", "-addr", "127.0.0.1:0"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -18,6 +27,7 @@ func TestCoalitionRun(t *testing.T) {
 		"party-c joined",
 		"party-a generated 8 policies",
 		"party-b adopted 7 and rejected 1",
+		"party-a adapted its model (version 2)",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
@@ -27,7 +37,156 @@ func TestCoalitionRun(t *testing.T) {
 
 func TestTooFewParties(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-parties", "1"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-parties", "1"}, &out); err == nil {
 		t.Error("single party not rejected")
+	}
+}
+
+// syncBuffer lets the test read the transcript while run is still
+// writing it from its own goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestMetricsEndpoint runs the daemon with -metrics, scrapes /metrics
+// after the round, and cross-checks the scraped counters against the
+// printed transcript: coalition adopted/rejected totals must match the
+// per-party lines exactly, and the grounding/solving/learning pipeline
+// counters must all have advanced.
+func TestMetricsEndpoint(t *testing.T) {
+	// The registry is process-global and other tests advance it too, so
+	// compare deltas against a snapshot taken before the run starts
+	// (package tests run sequentially).
+	base := map[string]int64{}
+	for _, name := range []string{
+		"coalition.policies.adopted",
+		"coalition.policies.rejected",
+		"coalition.policies.published",
+		"coalition.hub.messages",
+		"agenp.policies.generated",
+		"agenp.adaptations",
+		"asp.ground.calls",
+		"asp.solve.calls",
+		"ilasp.search.count",
+	} {
+		base[name] = obs.C(name).Value()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-parties", "3", "-metrics", "127.0.0.1:0"}, &out)
+	}()
+
+	waitFor := func(what string) string {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if s := out.String(); strings.Contains(s, what) {
+				return s
+			}
+			select {
+			case err := <-errCh:
+				t.Fatalf("daemon exited early (err=%v); output:\n%s", err, out.String())
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		t.Fatalf("timeout waiting for %q; output:\n%s", what, out.String())
+		return ""
+	}
+	s := waitFor("round complete; serving metrics until interrupted")
+
+	m := regexp.MustCompile(`metrics listening on (http://\S+)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no metrics address in output:\n%s", s)
+	}
+	resp, err := http.Get(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want JSON", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	delta := func(name string) int64 { return snap.Counters[name] - base[name] }
+
+	// Transcript cross-check: summed per-party adopted/rejected lines
+	// must equal the counter deltas.
+	var wantAdopted, wantRejected int64
+	for _, m := range regexp.MustCompile(`adopted (\d+) and rejected (\d+)`).FindAllStringSubmatch(s, -1) {
+		a, _ := strconv.ParseInt(m[1], 10, 64)
+		r, _ := strconv.ParseInt(m[2], 10, 64)
+		wantAdopted += a
+		wantRejected += r
+	}
+	if wantAdopted == 0 {
+		t.Fatalf("transcript reports no adoptions:\n%s", s)
+	}
+	if got := delta("coalition.policies.adopted"); got != wantAdopted {
+		t.Errorf("coalition.policies.adopted delta = %d, transcript says %d", got, wantAdopted)
+	}
+	if got := delta("coalition.policies.rejected"); got != wantRejected {
+		t.Errorf("coalition.policies.rejected delta = %d, transcript says %d", got, wantRejected)
+	}
+
+	// Every pipeline stage must have fired during the round.
+	for _, name := range []string{
+		"coalition.policies.published",
+		"coalition.hub.messages",
+		"agenp.policies.generated",
+		"agenp.adaptations",
+		"asp.ground.calls",
+		"asp.solve.calls",
+		"ilasp.search.count",
+	} {
+		if delta(name) <= 0 {
+			t.Errorf("counter %s did not advance (delta %d)", name, delta(name))
+		}
+	}
+	if snap.Histograms["coalition.vet.duration"].Count == 0 {
+		t.Error("coalition.vet.duration recorded no observations")
+	}
+
+	// The pprof index must be mounted on the same mux.
+	pprofURL := strings.TrimSuffix(m[1], "/metrics") + "/debug/pprof/"
+	pr, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Errorf("GET %s = %d", pprofURL, pr.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+	if !strings.Contains(out.String(), "party-a adapted its model") {
+		t.Errorf("transcript missing adaptation line:\n%s", out.String())
 	}
 }

@@ -1,0 +1,195 @@
+// Command agenptrace summarizes a JSONL span trace produced by the
+// -trace flag of the framework CLIs (ilasp, asolve, experiments): a
+// per-operation timing table and, with -tree, the span forest with
+// durations and attributes — a poor man's trace viewer for the learner's
+// search behaviour.
+//
+// Usage:
+//
+//	ilasp -demo cav -trace cav.trace
+//	agenptrace cav.trace
+//	agenptrace -tree -top 20 cav.trace
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"agenp/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "agenptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agenptrace", flag.ContinueOnError)
+	tree := fs.Bool("tree", false, "print the span forest instead of the summary table")
+	top := fs.Int("top", 0, "limit tree children per span (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader
+	switch fs.NArg() {
+	case 0:
+		in = stdin
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("expected at most one trace file, got %d", fs.NArg())
+	}
+
+	spans, err := readSpans(in)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(stdout, "trace is empty")
+		return nil
+	}
+	if *tree {
+		printTree(stdout, spans, *top)
+		return nil
+	}
+	printSummary(stdout, spans)
+	return nil
+}
+
+func readSpans(r io.Reader) ([]obs.SpanData, error) {
+	var out []obs.SpanData
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var d obs.SpanData
+		if err := json.Unmarshal([]byte(text), &d); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+// nameStats aggregates all spans sharing a name.
+type nameStats struct {
+	name     string
+	count    int
+	total    int64
+	min, max int64
+}
+
+func printSummary(w io.Writer, spans []obs.SpanData) {
+	byName := make(map[string]*nameStats)
+	for _, d := range spans {
+		st := byName[d.Name]
+		if st == nil {
+			st = &nameStats{name: d.Name, min: d.DurNs}
+			byName[d.Name] = st
+		}
+		st.count++
+		st.total += d.DurNs
+		if d.DurNs < st.min {
+			st.min = d.DurNs
+		}
+		if d.DurNs > st.max {
+			st.max = d.DurNs
+		}
+	}
+	rows := make([]*nameStats, 0, len(byName))
+	for _, st := range byName {
+		rows = append(rows, st)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].total > rows[b].total })
+
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s %12s\n",
+		"span", "count", "total", "min", "avg", "max")
+	for _, st := range rows {
+		avg := st.total / int64(st.count)
+		fmt.Fprintf(w, "%-28s %8d %12s %12s %12s %12s\n",
+			st.name, st.count,
+			fmtDur(st.total), fmtDur(st.min), fmtDur(avg), fmtDur(st.max))
+	}
+	fmt.Fprintf(w, "%d spans\n", len(spans))
+}
+
+func printTree(w io.Writer, spans []obs.SpanData, top int) {
+	children := make(map[uint64][]obs.SpanData)
+	ids := make(map[uint64]bool, len(spans))
+	for _, d := range spans {
+		ids[d.ID] = true
+	}
+	var roots []obs.SpanData
+	for _, d := range spans {
+		// A span whose parent never completed (or was emitted by another
+		// process) is shown as a root rather than dropped.
+		if d.Parent != 0 && ids[d.Parent] {
+			children[d.Parent] = append(children[d.Parent], d)
+		} else {
+			roots = append(roots, d)
+		}
+	}
+	byStart := func(s []obs.SpanData) {
+		sort.Slice(s, func(a, b int) bool { return s[a].Start.Before(s[b].Start) })
+	}
+	byStart(roots)
+
+	var render func(d obs.SpanData, depth int)
+	render = func(d obs.SpanData, depth int) {
+		var attrs strings.Builder
+		for _, a := range d.Attrs {
+			fmt.Fprintf(&attrs, " %s=%s", a.K, a.V)
+		}
+		fmt.Fprintf(w, "%s%s %s%s\n",
+			strings.Repeat("  ", depth), d.Name, fmtDur(d.DurNs), attrs.String())
+		kids := children[d.ID]
+		byStart(kids)
+		shown := kids
+		if top > 0 && len(kids) > top {
+			shown = kids[:top]
+		}
+		for _, k := range shown {
+			render(k, depth+1)
+		}
+		if len(shown) < len(kids) {
+			fmt.Fprintf(w, "%s… %d more\n", strings.Repeat("  ", depth+1), len(kids)-len(shown))
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+}
+
+// fmtDur renders a nanosecond duration compactly (µs under 1ms, ms
+// under 1s, otherwise seconds with two decimals).
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

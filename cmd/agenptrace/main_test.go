@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"agenp/internal/obs"
+)
+
+// writeTrace produces a real trace the way the CLIs do: spans through a
+// JSONL sink into a file.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	stop, err := obs.StartTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := obs.StartSpan("ilasp.search")
+	for i := 0; i < 3; i++ {
+		c := root.Child("ilasp.check")
+		time.Sleep(time.Microsecond)
+		c.End()
+	}
+	root.SetAttr("checks", "3")
+	root.End()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummary(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{writeTrace(t)}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"ilasp.search", "ilasp.check", "4 spans"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTree(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tree", writeTrace(t)}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "checks=3") {
+		t.Errorf("tree missing root attrs:\n%s", s)
+	}
+	if !strings.Contains(s, "  ilasp.check") {
+		t.Errorf("tree missing indented children:\n%s", s)
+	}
+}
+
+func TestTreeTopLimit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tree", "-top", "2", writeTrace(t)}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "… 1 more") {
+		t.Errorf("top limit not applied:\n%s", out.String())
+	}
+}
+
+func TestStdinAndEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace is empty") {
+		t.Errorf("empty trace not reported:\n%s", out.String())
+	}
+}
+
+func TestMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, nil, &out); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("malformed line not diagnosed: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"agenp/internal/asp"
+	"agenp/internal/obs"
 )
 
 func main() {
@@ -29,8 +30,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	maxModels := fs.Int("n", 0, "maximum number of answer sets to print (0 = all)")
 	showGround := fs.Bool("ground", false, "print the ground program instead of solving")
 	maxDecisions := fs.Int64("budget", 0, "abort after this many search decisions (0 = unlimited)")
+	stats := fs.Bool("stats", false, "dump the telemetry registry to stderr on exit")
+	trace := fs.String("trace", "", "write span trace as JSON lines to this file (see agenptrace)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trace != "" {
+		stop, err := obs.StartTrace(*trace)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
+	}
+	if *stats {
+		defer func() { _ = obs.Default.Snapshot().WriteText(os.Stderr) }()
 	}
 
 	var (

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"agenp/internal/experiments"
+	"agenp/internal/obs"
 )
 
 func main() {
@@ -34,8 +35,20 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 0, "generator seed (0 = default)")
 	parallel := fs.Int("parallel", 0, "learner coverage-check workers (0 = GOMAXPROCS, 1 = serial)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	stats := fs.Bool("stats", false, "dump the telemetry registry to stderr on exit")
+	trace := fs.String("trace", "", "write span trace as JSON lines to this file (see agenptrace)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trace != "" {
+		stop, err := obs.StartTrace(*trace)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
+	}
+	if *stats {
+		defer func() { _ = obs.Default.Snapshot().WriteText(os.Stderr) }()
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -19,6 +19,7 @@ import (
 	"agenp/internal/apps/cav"
 	"agenp/internal/asp"
 	"agenp/internal/ilasp"
+	"agenp/internal/obs"
 	"agenp/internal/workload"
 	"agenp/internal/xacml"
 )
@@ -37,8 +38,20 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 20260704, "generator seed")
 	noise := fs.Bool("noise", false, "noise-tolerant search")
 	parallel := fs.Int("parallel", 0, "coverage-check workers (0 = GOMAXPROCS, 1 = serial)")
+	stats := fs.Bool("stats", false, "dump the telemetry registry to stderr on exit")
+	trace := fs.String("trace", "", "write span trace as JSON lines to this file (see agenptrace)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trace != "" {
+		stop, err := obs.StartTrace(*trace)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
+	}
+	if *stats {
+		defer func() { _ = obs.Default.Snapshot().WriteText(os.Stderr) }()
 	}
 
 	var (

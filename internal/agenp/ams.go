@@ -10,6 +10,7 @@ import (
 	"agenp/internal/aspcheck"
 	"agenp/internal/core"
 	"agenp/internal/ilasp"
+	"agenp/internal/obs"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
 )
@@ -163,9 +164,15 @@ func (a *AMS) regenerateLocked() ([]policy.Policy, map[string]error, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("agenp: PReP generation: %w", err)
 	}
+	t0 := time.Now()
 	accepted, rejected := a.pcp.Filter(generated, ctx)
+	statFilterDur.ObserveSince(t0)
 	a.repo.ReplaceAll(accepted)
 	a.regenerated++
+	statRegens.Inc()
+	statGenerated.Add(int64(len(generated)))
+	statAccepted.Add(int64(len(accepted)))
+	statRejected.Add(int64(len(rejected)))
 	return accepted, rejected, nil
 }
 
@@ -216,6 +223,8 @@ func (a *AMS) adaptLocked() error {
 	if len(a.feedback) == 0 {
 		return fmt.Errorf("agenp: no feedback to adapt from")
 	}
+	sp := obs.StartSpan("agenp.adapt")
+	defer sp.End()
 	examples := core.ExamplesFromFeedback(a.feedback)
 	evo, err := a.models.Latest().Evolve(a.space, examples, core.EvolveOptions{Learn: a.learn})
 	if err != nil {
@@ -224,6 +233,7 @@ func (a *AMS) adaptLocked() error {
 	a.models.Push(evo.Model)
 	a.learned = append(a.learned, evo.Hypothesis...)
 	a.adaptations++
+	statAdaptations.Inc()
 	a.feedback = a.feedback[:0]
 	_, _, err = a.regenerateLocked()
 	return err
@@ -241,7 +251,10 @@ func (a *AMS) ImportShared(p policy.Policy, origin string) error {
 	if p.ID == "" {
 		p.ID = core.PolicyID(p.Tokens)
 	}
-	if err := a.pcp.Check(p, ctx); err != nil {
+	t0 := time.Now()
+	err := a.pcp.Check(p, ctx)
+	statCheckDur.ObserveSince(t0)
+	if err != nil {
 		return err
 	}
 	a.repo.Put(p)

@@ -1,0 +1,19 @@
+package agenp
+
+import "agenp/internal/obs"
+
+// Telemetry for the AMS component flows. Counters are flushed at natural
+// batch points (one Regenerate, one adaptation, one shared-policy vet),
+// so the steady-state cost is a handful of atomic adds per cycle.
+var (
+	statRegens      = obs.C("agenp.regenerations")
+	statGenerated   = obs.C("agenp.policies.generated")
+	statAccepted    = obs.C("agenp.policies.accepted")
+	statRejected    = obs.C("agenp.policies.rejected")
+	statAdaptations = obs.C("agenp.adaptations")
+
+	// PCP vetting latency: filter is the whole-generation batch during
+	// Regenerate; check is one shared policy during ImportShared.
+	statFilterDur = obs.H("agenp.pcp.filter.duration")
+	statCheckDur  = obs.H("agenp.pcp.check.duration")
+)

@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"agenp/internal/asg"
+	"agenp/internal/asglearn"
 	"agenp/internal/asp"
 	"agenp/internal/ilasp"
 	"agenp/internal/mlbase"
@@ -257,4 +258,16 @@ dtype -> "document" { dtype(document). }
 // Grammar parses the data-sharing ASG.
 func Grammar() (*asg.Grammar, error) {
 	return asg.ParseASG(GrammarSource)
+}
+
+// HypothesisSpace is the refinement space a coalition party's PAdaP may
+// learn from when operator feedback contradicts the generated sharing
+// policies: candidate constraints tightening the share production
+// (production 0; @2 references its dtype child).
+func HypothesisSpace() []asg.HypothesisRule {
+	return []asg.HypothesisRule{
+		asglearn.MustParseHypothesisRule(":- dtype(sigint)@2.", 0),
+		asglearn.MustParseHypothesisRule(":- dtype(video)@2, not trust(high).", 0),
+		asglearn.MustParseHypothesisRule(":- quality(Q), Q < 4.", 0),
+	}
 }

@@ -6,6 +6,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"agenp/internal/obs"
 )
 
 // VarOccurrence is one source occurrence of a variable in a rule.
@@ -197,15 +200,31 @@ type GroundingOptions struct {
 // complement atoms before grounding, so the resulting ground program
 // contains only normal rules and constraints.
 func Ground(p *Program, opts GroundingOptions) (*GroundProgram, error) {
+	t0 := time.Now()
+	sp := obs.StartSpan("asp.ground")
 	normal, err := prepare(p, "")
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	g := newGrounder(opts)
 	if err := g.groundRules(normal.Rules); err != nil {
+		sp.End()
 		return nil, err
 	}
-	return g.finalize(), nil
+	instances := len(g.pending)
+	out := g.finalize()
+	statGroundCalls.Inc()
+	statGroundDur.ObserveSince(t0)
+	statAtomsInterned.Add(int64(g.in.Len()))
+	statRulesInstances.Add(int64(instances))
+	statGroundRulesKept.Add(int64(len(out.Rules)))
+	if obs.TracingEnabled() {
+		sp.SetAttr("atoms", strconv.Itoa(g.in.Len()))
+		sp.SetAttr("rules", strconv.Itoa(len(out.Rules)))
+	}
+	sp.End()
+	return out, nil
 }
 
 // prepare expands ranges, compiles choice rules (fresh complement atoms

@@ -1,6 +1,9 @@
 package asp
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Incremental grounding: ground a base program once, then repeatedly
 // extend it with small rule sets (hypothesis candidates in the learner)
@@ -149,6 +152,7 @@ func (ig *IncrementalGrounder) Reset() {
 	if !g.journal {
 		return
 	}
+	statIncrRollbacks.Inc()
 	for i := len(g.addedDomain) - 1; i >= 0; i-- {
 		id := g.addedDomain[i]
 		a := g.in.atoms[id]
@@ -176,7 +180,13 @@ func (ig *IncrementalGrounder) Reset() {
 // The returned program shares the grounder's atom table and is valid only
 // until the next Extend or Reset.
 func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, error) {
+	t0 := time.Now()
 	ig.Reset()
+	defer func() {
+		statIncrExtends.Inc()
+		statIncrExtendDur.ObserveSince(t0)
+		statIncrAtomsAdded.Add(int64(ig.g.in.Len() - ig.baseAtomLen))
+	}()
 	g := ig.g
 	g.journal = true
 	g.delta = make(map[predKey][]int32)

@@ -1,0 +1,28 @@
+package asp
+
+import "agenp/internal/obs"
+
+// Telemetry for the grounding/solving core. Metrics are package
+// variables recorded with single atomic adds; per-operation totals are
+// accumulated in plain struct fields on the grounder/solver and flushed
+// once per Ground/Solve/Extend call, so inner loops (join steps, unit
+// propagations) never touch an atomic.
+var (
+	statGroundCalls     = obs.C("asp.ground.calls")
+	statGroundDur       = obs.H("asp.ground.duration")
+	statAtomsInterned   = obs.C("asp.ground.atoms_interned")
+	statRulesInstances  = obs.C("asp.ground.rules_instantiated")
+	statGroundRulesKept = obs.C("asp.ground.rules_finalized")
+
+	statSolveCalls   = obs.C("asp.solve.calls")
+	statSolveDur     = obs.H("asp.solve.duration")
+	statDecisions    = obs.C("asp.solve.decisions")
+	statConflicts    = obs.C("asp.solve.conflicts")
+	statPropagations = obs.C("asp.solve.propagations")
+	statModelsFound  = obs.C("asp.solve.models")
+
+	statIncrExtends    = obs.C("asp.incremental.extends")
+	statIncrRollbacks  = obs.C("asp.incremental.rollbacks")
+	statIncrAtomsAdded = obs.C("asp.incremental.atoms_added")
+	statIncrExtendDur  = obs.H("asp.incremental.extend.duration")
+)

@@ -3,8 +3,12 @@ package asp
 import (
 	"errors"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"agenp/internal/obs"
 )
 
 // AnswerSet is a stable model: the set of true ground atoms.
@@ -126,8 +130,24 @@ func HasAnswerSet(p *Program) (bool, error) {
 // and checking (1) the assignment is reproduced and (2) no constraint
 // body is satisfied.
 func SolveGround(g *GroundProgram, opts SolveOptions) ([]*AnswerSet, error) {
+	t0 := time.Now()
+	sp := obs.StartSpan("asp.solve")
 	s := newSolver(g, opts)
-	if err := s.run(); err != nil {
+	err := s.run()
+	statSolveCalls.Inc()
+	statSolveDur.ObserveSince(t0)
+	statDecisions.Add(s.decisions)
+	statConflicts.Add(s.conflicts)
+	statPropagations.Add(s.propagations)
+	statModelsFound.Add(int64(len(s.models)))
+	if obs.TracingEnabled() {
+		sp.SetAttr("atoms", strconv.Itoa(g.NumAtoms()))
+		sp.SetAttr("decisions", strconv.FormatInt(s.decisions, 10))
+		sp.SetAttr("conflicts", strconv.FormatInt(s.conflicts, 10))
+		sp.SetAttr("models", strconv.Itoa(len(s.models)))
+	}
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return s.models, nil
@@ -155,6 +175,12 @@ type solver struct {
 	assign    []int8 // per atom id (only meaningful for choice atoms)
 	models    []*AnswerSet
 	decisions int64
+
+	// Per-run telemetry, flushed once by SolveGround: conflicts counts
+	// pruned branches plus rejected leaves, propagations counts atoms
+	// popped from the least-model queue.
+	conflicts    int64
+	propagations int64
 
 	// rulesByNeg[a] lists rule indices with atom a in NegBody.
 	rulesByNeg [][]int32
@@ -234,6 +260,7 @@ func (s *solver) search(depth int) error {
 		return s.checkLeaf()
 	}
 	if pruned := s.prune(); pruned {
+		s.conflicts++
 		return nil
 	}
 	a := s.choice[depth]
@@ -374,6 +401,8 @@ func (s *solver) leastModelSeeded(keep func(GroundRule) bool, seedAssigned bool)
 			}
 		}
 	}
+	// Every queued atom was popped and propagated exactly once.
+	s.propagations += int64(len(s.lmQueue))
 	return s.lmTrue
 }
 
@@ -419,6 +448,7 @@ func (s *solver) checkLeaf() error {
 	for _, a := range s.choice {
 		want := s.assign[a] == vTrue
 		if lm[a] != want {
+			s.conflicts++
 			return nil
 		}
 	}
@@ -442,6 +472,7 @@ func (s *solver) checkLeaf() error {
 			}
 		}
 		if sat {
+			s.conflicts++
 			return nil // constraint violated
 		}
 	}

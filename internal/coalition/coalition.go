@@ -12,6 +12,7 @@ package coalition
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"agenp/internal/agenp"
 	"agenp/internal/policy"
@@ -151,12 +152,16 @@ func Join(ams *agenp.AMS, t Transport) (*Party, error) {
 func (p *Party) consume() {
 	defer close(p.done)
 	for sp := range p.incoming {
+		t0 := time.Now()
 		err := p.AMS.ImportShared(policy.Policy{ID: sp.ID, Tokens: sp.Tokens}, sp.From)
+		statVetDur.ObserveSince(t0)
 		p.mu.Lock()
 		if err != nil {
 			p.rejected++
+			statRejected.Inc()
 		} else {
 			p.imported++
+			statAdopted.Inc()
 		}
 		p.mu.Unlock()
 	}
@@ -173,6 +178,7 @@ func (p *Party) SharePolicies() error {
 		if err := p.transport.Publish(sp); err != nil {
 			return fmt.Errorf("coalition: sharing %s: %w", pol.ID, err)
 		}
+		statPublished.Inc()
 	}
 	return nil
 }

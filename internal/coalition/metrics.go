@@ -1,0 +1,18 @@
+package coalition
+
+import "agenp/internal/obs"
+
+// Telemetry for the policy-sharing layer. Party counters advance once
+// per shared policy; hub counters once per relayed frame.
+var (
+	statPublished = obs.C("coalition.policies.published")
+	statAdopted   = obs.C("coalition.policies.adopted")
+	statRejected  = obs.C("coalition.policies.rejected")
+	// statVetDur is the end-to-end vetting latency of one incoming
+	// shared policy (queue hand-off to PCP verdict), as seen by the
+	// consuming party.
+	statVetDur = obs.H("coalition.vet.duration")
+
+	statHubMsgs  = obs.C("coalition.hub.messages")
+	statHubBytes = obs.C("coalition.hub.bytes")
+)

@@ -1,0 +1,173 @@
+package coalition
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// coalitionGoroutines counts live goroutines running one of the
+// package's background workers (hub accept/serve, transport readers,
+// party consumers) — all methods, so matching the receiver syntax keeps
+// the test goroutines themselves out of the count.
+func coalitionGoroutines() int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	count := 0
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "internal/coalition.(*") {
+			count++
+		}
+	}
+	return count
+}
+
+// waitNoCoalitionGoroutines polls until every coalition goroutine has
+// exited; shutdown is supposed to be deterministic (Leave and Close wait
+// on their workers), so one scheduler yield is normally enough.
+func waitNoCoalitionGoroutines(t *testing.T, phase string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := coalitionGoroutines(); n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%s: %d coalition goroutines still alive:\n%s",
+				phase, coalitionGoroutines(), buf[:n])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTCPShutdownLeavesNoGoroutines drives a full hub + two-party round
+// over TCP and asserts that teardown in the daemon's order (Leave,
+// transport Close, hub Close) reaps every background goroutine the
+// package started, and that each close is idempotent.
+func TestTCPShutdownLeavesNoGoroutines(t *testing.T) {
+	if n := coalitionGoroutines(); n != 0 {
+		t.Fatalf("pre-existing coalition goroutines: %d", n)
+	}
+
+	hub, err := NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := DialTCP(hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := DialTCP(hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	b := newAMS(t, "b", drivingGrammar, "weather(clear).")
+	if _, _, err := a.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Join(a, ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Join(b, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.SharePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "b to adopt a's policies", func() bool {
+		imported, _ := pb.ImportStats()
+		return imported == a.Repository().Len()
+	})
+
+	// Daemon teardown order: parties leave, transports close, hub closes.
+	pa.Leave()
+	pb.Leave()
+	if err := ta.Close(); err != nil {
+		t.Fatalf("transport a close: %v", err)
+	}
+	if err := tb.Close(); err != nil {
+		t.Fatalf("transport b close: %v", err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatalf("hub close: %v", err)
+	}
+	waitNoCoalitionGoroutines(t, "after ordered teardown")
+
+	// Idempotence: closing again must not panic or double-close channels.
+	if err := ta.Close(); err == nil {
+		// A second Close reports the underlying net error; either way it
+		// must return without panicking.
+		t.Log("second transport close returned nil")
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatalf("second hub close: %v", err)
+	}
+}
+
+// TestTCPShutdownHubFirst kills the hub while parties are still attached:
+// the transports' readers must observe EOF, close their subscriber
+// channels exactly once, and Leave/Close must still return.
+func TestTCPShutdownHubFirst(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DialTCP(hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	pa, err := Join(a, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := hub.Close(); err != nil {
+		t.Fatalf("hub close: %v", err)
+	}
+	// The reader sees the hub-side close, shuts the subscriber channel,
+	// and the consumer drains out; Leave must not hang even though the
+	// channel was closed by the reader rather than cancel.
+	done := make(chan struct{})
+	go func() {
+		pa.Leave()
+		_ = tr.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Leave/Close hung after hub died first")
+	}
+	waitNoCoalitionGoroutines(t, "after hub-first teardown")
+}
+
+// TestBusShutdownLeavesNoGoroutines covers the in-process transport:
+// closing the bus ends every party consumer, and Leave stays safe after
+// the bus already closed the channels.
+func TestBusShutdownLeavesNoGoroutines(t *testing.T) {
+	bus := NewBus()
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	b := newAMS(t, "b", drivingGrammar, "weather(clear).")
+	pa, err := Join(a, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Join(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pa.Leave()
+	pb.Leave()
+	waitNoCoalitionGoroutines(t, "after bus teardown")
+}

@@ -71,6 +71,8 @@ func (h *TCPHub) serve(conn net.Conn) {
 	for scanner.Scan() {
 		line := append([]byte{}, scanner.Bytes()...)
 		line = append(line, '\n')
+		statHubMsgs.Inc()
+		statHubBytes.Add(int64(len(line)))
 		h.mu.Lock()
 		for other := range h.conns {
 			if other == conn {

@@ -1,0 +1,53 @@
+package ilasp_test
+
+import (
+	"testing"
+
+	"agenp/internal/ilasp"
+	"agenp/internal/obs"
+)
+
+// TestChecksBackedByCounter pins down the deprecation contract of
+// Solution.Checks: the field stays byte-identical between serial and
+// parallel runs, and the same total is flushed to the telemetry counter
+// "ilasp.search.checks" — so callers migrating off the field lose no
+// information. Tests in a package run sequentially, so counter deltas
+// around a Learn call are attributable to it.
+func TestChecksBackedByCounter(t *testing.T) {
+	checksCtr := obs.C("ilasp.search.checks")
+	hypsCtr := obs.C("ilasp.search.hypotheses")
+
+	learn := func(par int) *ilasp.Result {
+		t.Helper()
+		res, err := datashareTask(t).Learn(ilasp.LearnOptions{MaxRules: 2, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: Learn: %v", par, err)
+		}
+		return res
+	}
+
+	base := checksCtr.Value()
+	serial := learn(1)
+	serialDelta := checksCtr.Value() - base
+	if int64(serial.Checks) != serialDelta {
+		t.Fatalf("serial: Solution.Checks = %d but counter delta = %d", serial.Checks, serialDelta)
+	}
+
+	hypsBase := hypsCtr.Value()
+	base = checksCtr.Value()
+	parallel := learn(8)
+	parallelDelta := checksCtr.Value() - base
+	if int64(parallel.Checks) != parallelDelta {
+		t.Fatalf("parallel: Solution.Checks = %d but counter delta = %d", parallel.Checks, parallelDelta)
+	}
+
+	if serial.Checks != parallel.Checks {
+		t.Fatalf("check counts diverge: serial %d, parallel %d", serial.Checks, parallel.Checks)
+	}
+	if serialDelta != parallelDelta {
+		t.Fatalf("counter deltas diverge: serial %d, parallel %d", serialDelta, parallelDelta)
+	}
+	if hypsCtr.Value() == hypsBase {
+		t.Fatal("ilasp.search.hypotheses did not advance during Learn")
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"agenp/internal/asp"
+	"agenp/internal/obs"
 )
 
 // LearnIndependent is the scalable fast path of the learner for
@@ -31,6 +34,9 @@ import (
 //     example contexts;
 //   - background ∪ context has exactly one answer set per example.
 func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
+	t0 := time.Now()
+	sp := obs.StartSpan("ilasp.learn_independent")
+	defer sp.End()
 	space, err := t.space()
 	if err != nil {
 		return nil, err
@@ -197,6 +203,14 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 	for i, ri := range sol {
 		rules[i] = space[ri].Rule
 		cost += space[ri].Cost
+	}
+	statIndependentLearns.Inc()
+	statIndependentChecks.Add(int64(checks))
+	statIndependentDur.ObserveSince(t0)
+	if obs.TracingEnabled() {
+		sp.SetAttr("candidates", strconv.Itoa(len(space)))
+		sp.SetAttr("examples", strconv.Itoa(len(t.Examples)))
+		sp.SetAttr("chosen", strconv.Itoa(len(sol)))
 	}
 	return &Result{
 		Hypothesis: rules,

@@ -4,7 +4,11 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
+
+	"agenp/internal/obs"
 )
 
 // Oracle abstracts a learning problem for the optimal subset search: a
@@ -35,6 +39,12 @@ type Solution struct {
 	// Checks counts coverage queries the search issued. Memoized oracles
 	// may answer some from cache; the count is of logical queries, so it
 	// is identical for serial and parallel runs.
+	//
+	// Deprecated: Checks is kept for compatibility; it is backed by the
+	// obs counter "ilasp.search.checks" (the checker counts once and
+	// flushes the same total to both), so new code should read the
+	// telemetry registry instead. The value remains byte-identical
+	// between serial and parallel runs.
 	Checks int
 }
 
@@ -54,6 +64,9 @@ type Solution struct {
 // order, so the chosen hypothesis, coverage, check count, and MaxChecks
 // budgeting are byte-identical to a serial run.
 func Search(o Oracle, weights []int, opts LearnOptions) (*Solution, error) {
+	t0 := time.Now()
+	sp := obs.StartSpan("ilasp.search")
+	defer sp.End()
 	maxRules := opts.MaxRules
 	if maxRules <= 0 {
 		maxRules = 3
@@ -89,10 +102,18 @@ func Search(o Oracle, weights []int, opts LearnOptions) (*Solution, error) {
 	} else {
 		sol, err = searchHard(c, cands, order, maxRules, maxCost)
 	}
+	statSearches.Inc()
+	statSearchDur.ObserveSince(t0)
 	if err != nil {
 		return nil, err
 	}
 	sol.Checks = c.checks
+	if obs.TracingEnabled() {
+		sp.SetAttr("candidates", strconv.Itoa(len(cands)))
+		sp.SetAttr("hypotheses", strconv.FormatInt(c.hyps, 10))
+		sp.SetAttr("checks", strconv.Itoa(c.checks))
+		sp.SetAttr("chosen", strconv.Itoa(len(sol.Chosen)))
+	}
 	return sol, nil
 }
 
@@ -108,6 +129,12 @@ type checker struct {
 	par       int // worker-pool width == chunk size
 	maxChecks int
 	checks    int
+
+	// Per-search telemetry, flushed to the obs registry by close():
+	// hyps counts hypotheses whose coverage was evaluated, pruned counts
+	// subtrees cut by the cost bound.
+	hyps   int64
+	pruned int64
 
 	// ctx cancels outstanding speculative work on first error.
 	ctx    context.Context
@@ -134,37 +161,58 @@ func newChecker(o Oracle, n int, opts LearnOptions) *checker {
 	}
 }
 
-func (c *checker) close() { c.cancel() }
+func (c *checker) close() {
+	c.cancel()
+	statChecks.Add(int64(c.checks))
+	statHyps.Add(c.hyps)
+	statPruned.Add(c.pruned)
+}
 
 // fetch obtains verdicts for examples [lo,hi) of the hypothesis,
 // concurrently when the pool is wider than one. It returns only after
 // every launched check has finished, so the caller's replay never races
 // with a worker.
 func (c *checker) fetch(chosen []int, lo, hi int) {
+	t0 := time.Now()
 	if hi-lo <= 1 {
 		for i := lo; i < hi; i++ {
-			c.oks[i], c.errs[i] = c.o.Covers(chosen, i)
+			c.oks[i], c.errs[i] = c.timedCovers(chosen, i)
 		}
-		return
+	} else {
+		var wg sync.WaitGroup
+		for i := lo; i < hi; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := c.ctx.Err(); err != nil {
+					c.oks[i], c.errs[i] = false, err
+					return
+				}
+				c.oks[i], c.errs[i] = c.timedCovers(chosen, i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for i := lo; i < hi; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := c.ctx.Err(); err != nil {
-				c.oks[i], c.errs[i] = false, err
-				return
-			}
-			c.oks[i], c.errs[i] = c.o.Covers(chosen, i)
-		}(i)
-	}
-	wg.Wait()
+	statFetchChunks.Inc()
+	statFetchWall.Add(int64(time.Since(t0)))
+}
+
+// timedCovers wraps one oracle query with per-check timing; the busy
+// total across workers against the chunk wall time gives pool
+// utilisation and queue wait.
+func (c *checker) timedCovers(chosen []int, i int) (bool, error) {
+	t0 := time.Now()
+	ok, err := c.o.Covers(chosen, i)
+	d := time.Since(t0)
+	statCheckDur.Observe(d)
+	statWorkerBusy.Add(int64(d))
+	return ok, err
 }
 
 // checkAll verifies coverage of every example, aborting at the first
 // failure. It returns (covered count, all covered).
 func (c *checker) checkAll(chosen []int) (int, bool, error) {
+	c.hyps++
 	covered := 0
 	for lo := 0; lo < c.n; lo += c.par {
 		hi := lo + c.par
@@ -216,6 +264,7 @@ func searchHard(c *checker, cands []Candidate, order []int, maxRules, maxCost in
 				ci := order[i]
 				cost := cands[ci].Cost
 				if cost > remaining {
+					c.pruned += int64(len(order) - i)
 					break // sorted: everything after costs at least as much
 				}
 				if err := dfs(i+1, remaining-cost, rules-1, append(chosen, ci)); err != nil {
@@ -244,8 +293,10 @@ func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxR
 	)
 	evaluate := func(chosen []int, cost int) error {
 		if cost >= bestObj {
+			c.pruned++
 			return nil
 		}
+		c.hyps++
 		covered := 0
 		penalty := 0
 		for lo := 0; lo < c.n; lo += c.par {
@@ -297,6 +348,7 @@ func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxR
 			ci := order[i]
 			cc := cands[ci].Cost
 			if cost+cc > maxCost || cost+cc >= bestObj {
+				c.pruned += int64(len(order) - i)
 				break
 			}
 			if err := dfs(i+1, cost+cc, rules-1, append(chosen, ci)); err != nil {

@@ -249,8 +249,10 @@ func (o *taskOracle) Covers(chosen []int, exampleIdx int) (bool, error) {
 	v := row[exampleIdx]
 	o.mu.Unlock()
 	if v != 0 {
+		statCacheHits.Inc()
 		return v == 1, nil
 	}
+	statCacheMisses.Inc()
 	ok, err := o.engine.covers(chosen, exampleIdx)
 	if err != nil {
 		return false, err

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// StartTrace routes span emission to a JSONL file at path — the backing
+// for a CLI's -trace flag. The returned stop function detaches the sink
+// and closes the file; call it before the process exits so the last
+// spans are flushed.
+func StartTrace(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	SetSink(NewJSONLSink(f))
+	return func() error {
+		SetSink(nil)
+		return f.Close()
+	}, nil
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Handler serves the registry snapshot as indented JSON — the /metrics
+// endpoint of the coalition daemon.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+}
+
+// PublishExpvar exposes the registry under the given expvar name (one
+// Var whose String() is the JSON snapshot), making the metrics visible
+// on /debug/vars alongside the runtime's memstats. Publishing the same
+// name twice panics (expvar semantics), so call once per process.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return r.Snapshot()
+	}))
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines and
+// checks the total (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestHistogramConcurrent checks count/sum under concurrent observers
+// and that every observation lands in exactly one bucket.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*per)
+	}
+	var inBuckets int64
+	for _, b := range snap.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, snap.Count)
+	}
+	if snap.MaxNs != (workers-1)*1000+per-1 {
+		t.Fatalf("max = %d", snap.MaxNs)
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	h.Observe(0)          // bucket 0, upper 0
+	h.Observe(1)          // bucket 1, upper 1
+	h.Observe(7)          // bucket 3, upper 7
+	h.Observe(1024)       // bucket 11, upper 2047
+	h.Observe(-time.Hour) // clamps to 0
+	snap := h.snapshot()
+	want := []HistogramBucket{
+		{UpperNs: 0, Count: 2},
+		{UpperNs: 1, Count: 1},
+		{UpperNs: 7, Count: 1},
+		{UpperNs: 2047, Count: 1},
+	}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", snap.Buckets)
+	}
+	for i, b := range want {
+		if snap.Buckets[i] != b {
+			t.Errorf("bucket[%d] = %+v, want %+v", i, snap.Buckets[i], b)
+		}
+	}
+}
+
+// TestSnapshotDeterministic: two registries fed the same operations
+// marshal to identical JSON bytes.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in different orders; snapshot must not care.
+		names := []string{"z.last", "a.first", "m.middle"}
+		for _, n := range names {
+			r.Counter(n).Add(7)
+		}
+		r.Gauge("g.depth").Set(3)
+		r.Histogram("h.dur").Observe(1500 * time.Nanosecond)
+		r.Histogram("h.dur").Observe(300 * time.Microsecond)
+		return r
+	}
+	r2 := NewRegistry()
+	r2.Histogram("h.dur").Observe(300 * time.Microsecond)
+	r2.Gauge("g.depth").Set(3)
+	for _, n := range []string{"a.first", "m.middle", "z.last"} {
+		r2.Counter(n).Add(7)
+	}
+	r2.Histogram("h.dur").Observe(1500 * time.Nanosecond)
+	// N.B. r2 observed the histogram in a different order; buckets and
+	// sums are order-independent, max is too.
+	var b1, b2 bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(42)
+	r.Histogram("h").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["c"] != 42 {
+		t.Fatalf("counter c = %d", s.Counters["c"])
+	}
+	if s.Histograms["h"].Count != 1 {
+		t.Fatalf("histogram h = %+v", s.Histograms["h"])
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(5)
+	h.Observe(time.Second)
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter after reset = %d", c.Value())
+	}
+	if snap := h.snapshot(); snap.Count != 0 || snap.SumNs != 0 || snap.MaxNs != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("histogram after reset = %+v", snap)
+	}
+	// Pointers stay live: recording after reset works.
+	c.Inc()
+	if r.Snapshot().Counters["c"] != 1 {
+		t.Fatal("counter pointer dead after reset")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Add(1)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(2 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ai := strings.Index(out, "a.one")
+	bi := strings.Index(out, "b.two")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("counters missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "count=1") {
+		t.Fatalf("histogram line missing:\n%s", out)
+	}
+}
+
+func TestGetOrCreateReturnsSame(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter not get-or-create")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("Gauge not get-or-create")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("Histogram not get-or-create")
+	}
+}
+
+// TestNoopSinkZeroAllocs is the overhead contract of the tracing layer:
+// with no sink installed, the full span lifecycle allocates nothing.
+func TestNoopSinkZeroAllocs(t *testing.T) {
+	SetSink(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan("hot.path")
+		sp.SetAttr("k", "v")
+		child := sp.Child("inner")
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span lifecycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestCounterZeroAllocs: recording on a pre-declared counter and
+// histogram allocates nothing.
+func TestCounterZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(1234)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric recording allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	var sink CollectorSink
+	SetSink(&sink)
+	defer SetSink(nil)
+	sp := StartSpan("outer")
+	sp.SetAttr("k", "v")
+	child := sp.Child("inner")
+	child.End()
+	sp.End()
+	spans := sink.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	inner, outer := spans[0], spans[1]
+	if inner.Name != "inner" || outer.Name != "outer" {
+		t.Fatalf("span order: %q then %q", inner.Name, outer.Name)
+	}
+	if inner.Parent != outer.ID {
+		t.Fatalf("inner.Parent = %d, outer.ID = %d", inner.Parent, outer.ID)
+	}
+	if len(outer.Attrs) != 1 || outer.Attrs[0] != (Attr{K: "k", V: "v"}) {
+		t.Fatalf("outer attrs = %+v", outer.Attrs)
+	}
+	if outer.DurNs < 0 {
+		t.Fatalf("outer duration = %d", outer.DurNs)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	SetSink(s)
+	defer SetSink(nil)
+	sp := StartSpan("op")
+	sp.End()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var d SpanData
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "op" || d.ID == 0 {
+		t.Fatalf("decoded span = %+v", d)
+	}
+}
+
+// BenchmarkCounterAdd is the hot-path cost of one recorded event.
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve is the hot-path cost of one timing sample.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+// BenchmarkNoopSpan is the disabled-tracing overhead: the acceptance
+// bar is 0 allocs/op.
+func BenchmarkNoopSpan(b *testing.B) {
+	SetSink(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan("op")
+		sp.SetAttr("k", "v")
+		sp.End()
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one completed span as delivered to a Sink (and one line
+// of the JSONL trace format consumed by cmd/agenptrace).
+type SpanData struct {
+	// ID is unique within the process; Parent is 0 for root spans.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name identifies the operation ("asp.ground", "ilasp.check", ...).
+	Name string `json:"name"`
+	// Start is the wall-clock start time; DurNs the span duration.
+	Start time.Time `json:"start"`
+	DurNs int64     `json:"dur_ns"`
+	// Attrs carry small key=value annotations (counts, verdicts).
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// Sink receives completed spans. Emit may be called concurrently.
+type Sink interface {
+	Emit(SpanData)
+}
+
+// sinkBox wraps the Sink interface so an atomic.Pointer can hold it.
+type sinkBox struct{ s Sink }
+
+var (
+	activeSink atomic.Pointer[sinkBox]
+	spanIDs    atomic.Uint64
+)
+
+// SetSink installs the process-wide span sink; nil disables tracing.
+// With no sink installed StartSpan and every Span method are no-ops
+// costing one atomic load and zero allocations.
+func SetSink(s Sink) {
+	if s == nil {
+		activeSink.Store(nil)
+		return
+	}
+	activeSink.Store(&sinkBox{s: s})
+}
+
+// TracingEnabled reports whether a sink is installed.
+func TracingEnabled() bool { return activeSink.Load() != nil }
+
+// Span is an in-flight traced operation. The zero Span is inert: all
+// methods are no-ops, so callers never need to branch on whether
+// tracing is enabled.
+type Span struct {
+	sink Sink
+	data SpanData
+}
+
+// StartSpan begins a root span. When no sink is installed the returned
+// span is inert.
+func StartSpan(name string) Span {
+	b := activeSink.Load()
+	if b == nil {
+		return Span{}
+	}
+	return Span{sink: b.s, data: SpanData{
+		ID:    spanIDs.Add(1),
+		Name:  name,
+		Start: time.Now(),
+	}}
+}
+
+// Child begins a span parented under sp. A child of an inert span is
+// inert.
+func (sp *Span) Child(name string) Span {
+	if sp.sink == nil {
+		return Span{}
+	}
+	return Span{sink: sp.sink, data: SpanData{
+		ID:     spanIDs.Add(1),
+		Parent: sp.data.ID,
+		Name:   name,
+		Start:  time.Now(),
+	}}
+}
+
+// SetAttr annotates the span. No-op on inert spans.
+func (sp *Span) SetAttr(k, v string) {
+	if sp.sink == nil {
+		return
+	}
+	sp.data.Attrs = append(sp.data.Attrs, Attr{K: k, V: v})
+}
+
+// End completes the span and emits it to the sink. No-op on inert
+// spans; calling End twice emits twice (don't).
+func (sp *Span) End() {
+	if sp.sink == nil {
+		return
+	}
+	sp.data.DurNs = int64(time.Since(sp.data.Start))
+	sp.sink.Emit(sp.data)
+}
+
+// JSONLSink writes one JSON-encoded SpanData per line. Safe for
+// concurrent Emit calls.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+}
+
+// NewJSONLSink wraps a writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), w: w}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(d SpanData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(d)
+}
+
+// CollectorSink buffers spans in memory (tests, agenptrace self-tests).
+type CollectorSink struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// Emit implements Sink.
+func (s *CollectorSink) Emit(d SpanData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spans = append(s.spans, d)
+}
+
+// Spans returns a copy of the collected spans.
+func (s *CollectorSink) Spans() []SpanData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanData(nil), s.spans...)
+}
