@@ -48,6 +48,7 @@ import (
 	"agenp/internal/asp"
 	"agenp/internal/aspcheck"
 	"agenp/internal/core"
+	"agenp/internal/engine"
 	"agenp/internal/ilasp"
 	"agenp/internal/intent"
 	"agenp/internal/policy"
@@ -129,7 +130,16 @@ type (
 	Request = xacml.Request
 	// Decision is a policy decision outcome.
 	Decision = xacml.Decision
+	// DecisionEngine is the compiled, hot-swappable decision engine that
+	// serves the PDP: policies compile once per repository generation and
+	// every Decide is lock-free against the published snapshot.
+	DecisionEngine = engine.Engine
+	// DecisionResult is one batch decision from the engine.
+	DecisionResult = engine.Result
 )
+
+// ErrNoPolicy is reported by Decide when no policies are installed.
+var ErrNoPolicy = agenp.ErrNoPolicy
 
 // Constructors and entry points.
 var (

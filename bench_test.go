@@ -9,13 +9,17 @@ import (
 	"fmt"
 	"testing"
 
+	framework "agenp/internal/agenp"
 	"agenp/internal/apps/cav"
 	"agenp/internal/apps/datashare"
 	"agenp/internal/asg"
 	"agenp/internal/asp"
 	"agenp/internal/cfg"
+	"agenp/internal/engine"
 	"agenp/internal/experiments"
 	"agenp/internal/ilasp"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
 )
 
 // mustASG builds the aⁿbⁿcⁿ grammar used by the membership ablation.
@@ -66,6 +70,7 @@ func BenchmarkE9Quality(b *testing.B)       { benchExperiment(b, "E9") }
 func BenchmarkE10Explain(b *testing.B)      { benchExperiment(b, "E10") }
 func BenchmarkE11Coalition(b *testing.B)    { benchExperiment(b, "E11") }
 func BenchmarkE12Resupply(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13Serving(b *testing.B)      { benchExperiment(b, "E13") }
 
 // E8 (scalability) is itself a measurement sweep; the bench variants
 // below expose its components at benchmark granularity.
@@ -282,6 +287,131 @@ func BenchmarkAblationInterning(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- PDP serving path (compile-once, serve-many) ---
+
+// pdpFixture installs n token policies (half permit, half deny, across
+// n/2 distinct actions so deny-overrides has work to do) and returns the
+// repository plus a request mix of hits and misses.
+func pdpFixture(n int) (*policy.Repository, []xacml.Request) {
+	repo := policy.NewRepository()
+	verbs := []string{"permit", "deny"}
+	for i := 0; i < n; i++ {
+		action := fmt.Sprintf("task-%03d", i/2)
+		repo.Put(policy.Policy{
+			ID:     fmt.Sprintf("p%03d", i),
+			Tokens: []string{verbs[i%2], "do", action},
+		})
+	}
+	var reqs []xacml.Request
+	for i := 0; i < n/2; i++ {
+		reqs = append(reqs, xacml.NewRequest().Set(xacml.Action, "id", xacml.S(fmt.Sprintf("do task-%03d", i))))
+	}
+	reqs = append(reqs, xacml.NewRequest().Set(xacml.Action, "id", xacml.S("do nothing")))
+	return repo, reqs
+}
+
+// BenchmarkPDPThroughput compares the seed decision path (copy the
+// repository, re-interpret every policy string per request) against the
+// compiled DecisionEngine, single-request and batched, at 100 policies.
+// BENCH_4.json records the results; the tentpole target is >= 5x on
+// single-request throughput.
+func BenchmarkPDPThroughput(b *testing.B) {
+	const nPolicies = 100
+	repo, reqs := pdpFixture(nPolicies)
+	ti := &framework.TokenInterpreter{}
+
+	b.Run("interpreter-list", func(b *testing.B) {
+		// The pre-engine PDP: one full repository copy plus a linear
+		// policy scan per request.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pols := repo.List()
+			ti.Decide(pols, reqs[i%len(reqs)])
+		}
+	})
+
+	eng := engine.New(repo, ti.CompileDecider)
+	if _, err := eng.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("engine-single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Decide(reqs[i%len(reqs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("engine-batch", func(b *testing.B) {
+		b.ReportAllocs()
+		const batch = 64
+		buf := make([]xacml.Request, batch)
+		var out []engine.Result
+		for i := 0; i < b.N; i += batch {
+			k := batch
+			if rem := b.N - i; rem < k {
+				k = rem
+			}
+			for j := 0; j < k; j++ {
+				buf[j] = reqs[(i+j)%len(reqs)]
+			}
+			var err error
+			out, err = eng.DecideBatch(buf[:k], out[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkXACMLEvaluate compares the tree-walk XACML evaluator against
+// the compiled policy set (interned slots, memoized matches, target
+// index) on a 100-policy set.
+func BenchmarkXACMLEvaluate(b *testing.B) {
+	ps := &xacml.PolicySet{ID: "bench", Combining: xacml.DenyOverrides}
+	for i := 0; i < 100; i++ {
+		ps.Policies = append(ps.Policies, &xacml.Policy{
+			ID: fmt.Sprintf("p%03d", i),
+			Target: xacml.Target{
+				{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S(fmt.Sprintf("act-%03d", i))},
+				{Category: xacml.Subject, Attr: "level", Op: xacml.OpGeq, Value: xacml.I(i % 5)},
+			},
+			Rules: []xacml.Rule{
+				{ID: "allow", Effect: xacml.Permit},
+				{ID: "deny-low", Effect: xacml.Deny, Condition: &xacml.Condition{
+					Match: &xacml.Match{Category: xacml.Subject, Attr: "level", Op: xacml.OpLt, Value: xacml.I(2)},
+				}},
+			},
+			Combining: xacml.DenyOverrides,
+		})
+	}
+	var reqs []xacml.Request
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, xacml.NewRequest().
+			Set(xacml.Action, "id", xacml.S(fmt.Sprintf("act-%03d", i*7%100))).
+			Set(xacml.Subject, "level", xacml.I(i%6)))
+	}
+
+	b.Run("tree-walk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ps.Evaluate(reqs[i%len(reqs)])
+		}
+	})
+	cs, err := xacml.CompilePolicySet(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		ev := cs.NewEvaluator()
+		for i := 0; i < b.N; i++ {
+			ev.Evaluate(reqs[i%len(reqs)])
+		}
+	})
 }
 
 // --- micro-benchmarks of the substrates ---

@@ -12,7 +12,10 @@
 //
 // With -metrics the daemon serves its telemetry registry as JSON on
 // /metrics (plus expvar on /debug/vars and the pprof handlers on
-// /debug/pprof/) and stays up after the round until interrupted.
+// /debug/pprof/), answers live policy decisions on /decide
+// (?party=party-b&action=share+image, action repeatable for a batched
+// decision under one engine snapshot), and stays up after the round
+// until interrupted.
 //
 // Usage:
 //
@@ -21,6 +24,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -39,8 +44,105 @@ import (
 	"agenp/internal/asp"
 	"agenp/internal/coalition"
 	"agenp/internal/core"
+	"agenp/internal/engine"
 	"agenp/internal/obs"
+	"agenp/internal/xacml"
 )
+
+// Decision-endpoint telemetry: request latency includes JSON encoding,
+// so it bounds what a caller of /decide actually observes; the engine's
+// own compile/decide counters live in internal/engine.
+var (
+	statDecideDur  = obs.H("agenpd.decide.duration")
+	statDecideReqs = obs.C("agenpd.decide.requests")
+)
+
+// decideServer serves PDP decisions over HTTP from the parties' compiled
+// decision engines. Parties register as they join, so the handler can be
+// mounted on the metrics mux before the coalition exists.
+type decideServer struct {
+	mu      sync.RWMutex
+	members map[string]*agenp.AMS
+	lead    string
+}
+
+func newDecideServer() *decideServer {
+	return &decideServer{members: make(map[string]*agenp.AMS)}
+}
+
+func (s *decideServer) add(ams *agenp.AMS) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.members) == 0 {
+		s.lead = ams.Name()
+	}
+	s.members[ams.Name()] = ams
+}
+
+// decideResult is one decision in a /decide response.
+type decideResult struct {
+	Action   string `json:"action"`
+	Decision string `json:"decision"`
+	PolicyID string `json:"policy_id,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// decideResponse is the /decide response body.
+type decideResponse struct {
+	Party      string         `json:"party"`
+	Generation uint64         `json:"generation"`
+	Results    []decideResult `json:"results"`
+}
+
+// ServeHTTP decides one or more actions (?action=... repeated) for a
+// party (?party=..., default: the lead). Multiple actions are decided as
+// one batch under a single engine snapshot.
+func (s *decideServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer statDecideDur.ObserveSince(t0)
+	statDecideReqs.Inc()
+
+	actions := r.URL.Query()["action"]
+	if len(actions) == 0 {
+		http.Error(w, "missing action parameter", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	party := r.URL.Query().Get("party")
+	if party == "" {
+		party = s.lead
+	}
+	ams := s.members[party]
+	s.mu.RUnlock()
+	if ams == nil {
+		http.Error(w, fmt.Sprintf("unknown party %q", party), http.StatusNotFound)
+		return
+	}
+
+	reqs := make([]xacml.Request, len(actions))
+	for i, a := range actions {
+		reqs[i] = xacml.NewRequest().Set(xacml.Action, "id", xacml.S(a))
+	}
+	out, err := ams.DecideBatch(reqs, make([]engine.Result, 0, len(reqs)))
+	if err != nil && !errors.Is(err, agenp.ErrNoPolicy) {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := decideResponse{Party: party, Generation: ams.Engine().Generation()}
+	for i, res := range out {
+		dr := decideResult{
+			Action:   actions[i],
+			Decision: res.Decision.String(),
+			PolicyID: res.PolicyID,
+		}
+		if err != nil {
+			dr.Error = err.Error()
+		}
+		resp.Results = append(resp.Results, dr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -67,6 +169,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("need at least 2 parties")
 	}
 
+	decider := newDecideServer()
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -75,6 +178,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		publishOnce.Do(func() { obs.Default.PublishExpvar("agenp") })
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default.Handler())
+		mux.Handle("/decide", decider)
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -137,6 +241,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		defer p.Leave()
 		members = append(members, p)
+		decider.add(ams)
 		fmt.Fprintf(stdout, "%s joined with context %q\n", name, contexts[i%len(contexts)])
 	}
 

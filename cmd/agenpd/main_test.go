@@ -190,3 +190,93 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("transcript missing adaptation line:\n%s", out.String())
 	}
 }
+
+// TestDecideEndpoint runs the daemon with -metrics and exercises the
+// /decide endpoint: single and batched decisions served from the
+// compiled engines, plus the error paths.
+func TestDecideEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-parties", "3", "-metrics", "127.0.0.1:0"}, &out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var s string
+	for time.Now().Before(deadline) {
+		if s = out.String(); strings.Contains(s, "round complete") {
+			break
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("daemon exited early (err=%v); output:\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	m := regexp.MustCompile(`metrics listening on (http://\S+)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no metrics address in output:\n%s", s)
+	}
+	base := strings.TrimSuffix(m[1], "/metrics")
+
+	get := func(url string) (*http.Response, decideResponse) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var dr decideResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+				t.Fatalf("decoding %s: %v", url, err)
+			}
+		}
+		return resp, dr
+	}
+
+	// Batched decision under one snapshot. The action id is the object
+	// phrase after the verb: "image" has both share_image (permit) and
+	// withhold_image (deny) installed, so deny-overrides denies; an
+	// unknown object is not applicable.
+	resp, dr := get(base + "/decide?party=party-a&action=image&action=teleport")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /decide = %d", resp.StatusCode)
+	}
+	if dr.Party != "party-a" || len(dr.Results) != 2 {
+		t.Fatalf("response = %+v", dr)
+	}
+	if dr.Generation == 0 {
+		t.Error("generation = 0; engine never compiled")
+	}
+	if dr.Results[0].Decision != "Deny" || dr.Results[0].PolicyID != "withhold_image" {
+		t.Errorf("image = %+v, want Deny by withhold_image", dr.Results[0])
+	}
+	if dr.Results[1].Decision != "NotApplicable" {
+		t.Errorf("teleport = %+v, want NotApplicable", dr.Results[1])
+	}
+
+	// Default party is the lead.
+	if _, def := get(base + "/decide?action=image"); def.Party != "party-a" {
+		t.Errorf("default party = %q, want party-a", def.Party)
+	}
+
+	// Error paths.
+	if resp, _ := get(base + "/decide?party=party-zz&action=x"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown party = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(base + "/decide?party=party-a"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing action = %d, want 400", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+}

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's tables and figures
-// (experiments E1–E12 of DESIGN.md), printing one table per experiment.
+// (experiments E1–E13 of DESIGN.md), printing one table per experiment.
 //
 // Usage:
 //

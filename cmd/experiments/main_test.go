@@ -11,7 +11,7 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"E1", "E12", "Fig.3a"} {
+	for _, want := range []string{"E1", "E12", "E13", "Fig.3a"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("list output missing %q:\n%s", want, s)
 		}

@@ -9,6 +9,7 @@ import (
 	"agenp/internal/asp"
 	"agenp/internal/aspcheck"
 	"agenp/internal/core"
+	"agenp/internal/engine"
 	"agenp/internal/ilasp"
 	"agenp/internal/obs"
 	"agenp/internal/policy"
@@ -168,6 +169,11 @@ func (a *AMS) regenerateLocked() ([]policy.Policy, map[string]error, error) {
 	accepted, rejected := a.pcp.Filter(generated, ctx)
 	statFilterDur.ObserveSince(t0)
 	a.repo.ReplaceAll(accepted)
+	// Eagerly recompile the decision engine so the swap cost lands here,
+	// at the (rare) regeneration, not on the first request after it.
+	if err := a.pdp.Refresh(); err != nil {
+		return nil, nil, fmt.Errorf("agenp: PReP recompile: %w", err)
+	}
 	a.regenerated++
 	statRegens.Inc()
 	statGenerated.Add(int64(len(generated)))
@@ -180,6 +186,18 @@ func (a *AMS) regenerateLocked() ([]policy.Policy, map[string]error, error) {
 func (a *AMS) Decide(req xacml.Request) (xacml.Decision, string, error) {
 	return a.pdp.Decide(req)
 }
+
+// DecideBatch evaluates requests under one consistent compiled snapshot
+// (see engine.Engine.DecideBatch).
+func (a *AMS) DecideBatch(reqs []xacml.Request, out []engine.Result) ([]engine.Result, error) {
+	return a.pdp.DecideBatch(reqs, out)
+}
+
+// PDP exposes the policy decision point.
+func (a *AMS) PDP() *PDP { return a.pdp }
+
+// Engine exposes the PDP's compiled decision engine.
+func (a *AMS) Engine() *engine.Engine { return a.pdp.Engine() }
 
 // Enforce runs the PDP+PEP flow and records monitoring history.
 func (a *AMS) Enforce(req xacml.Request) Outcome {
@@ -258,7 +276,8 @@ func (a *AMS) ImportShared(p policy.Policy, origin string) error {
 		return err
 	}
 	a.repo.Put(p)
-	return nil
+	// An adopted remote policy changes the decision surface immediately.
+	return a.pdp.Refresh()
 }
 
 // FeedbackFromViolations converts monitored violations into negative

@@ -8,13 +8,13 @@
 package agenp
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"agenp/internal/asp"
 	"agenp/internal/core"
+	"agenp/internal/engine"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
 )
@@ -148,36 +148,83 @@ func (c *PCP) Filter(ps []policy.Policy, ctx *asp.Program) (accepted []policy.Po
 // Interpreter turns the repository's generated policies into decisions
 // for concrete requests. The mapping from policy strings to decisions is
 // domain-specific; each application (CAV, resupply, data sharing)
-// supplies its own.
+// supplies its own. The policies slice is the repository's immutable
+// snapshot storage: implementations must not mutate or retain it.
 type Interpreter interface {
 	// Decide returns the decision and the id of the policy that
 	// determined it ("" when no policy applies).
 	Decide(policies []policy.Policy, req xacml.Request) (xacml.Decision, string)
 }
 
-// ErrNoPolicy is reported when the PDP has no applicable policy.
-var ErrNoPolicy = errors.New("agenp: no applicable policy")
+// DeciderCompiler is optionally implemented by Interpreters that can
+// compile a policy set into a standalone decision program once per
+// generation instead of re-interpreting it per request. The PDP uses the
+// compiled path when available.
+type DeciderCompiler interface {
+	CompileDecider(policies []policy.Policy) (engine.Decider, error)
+}
 
-// PDP is the Policy Decision Point: it pulls pertinent policies from the
-// repository and applies the interpreter.
+// ErrNoPolicy is reported when the PDP has no applicable policy. It is
+// the engine's sentinel: the no-policy decision path does not allocate.
+var ErrNoPolicy = engine.ErrNoPolicy
+
+// interpreterDecider adapts a plain Interpreter to the engine's Decider
+// over one frozen policy snapshot: the slice is captured at compile time,
+// so serving performs no repository reads or copies.
+type interpreterDecider struct {
+	in       Interpreter
+	policies []policy.Policy
+}
+
+func (d interpreterDecider) Decide(req xacml.Request) (xacml.Decision, string) {
+	return d.in.Decide(d.policies, req)
+}
+
+// PDP is the Policy Decision Point. It serves requests from a compiled
+// DecisionEngine snapshot: the policy set is compiled once per
+// repository generation (by the interpreter's DeciderCompiler when
+// implemented, otherwise by freezing the snapshot under the plain
+// Interpreter) and hot-swapped atomically on regeneration, so Decide
+// never copies the repository or takes its lock.
 type PDP struct {
 	repo        *policy.Repository
 	interpreter Interpreter
+	engine      *engine.Engine
 }
 
 // NewPDP builds a PDP.
 func NewPDP(repo *policy.Repository, in Interpreter) *PDP {
-	return &PDP{repo: repo, interpreter: in}
+	compile := func(policies []policy.Policy) (engine.Decider, error) {
+		if c, ok := in.(DeciderCompiler); ok {
+			return c.CompileDecider(policies)
+		}
+		return interpreterDecider{in: in, policies: policies}, nil
+	}
+	return &PDP{repo: repo, interpreter: in, engine: engine.New(repo, compile)}
+}
+
+// Engine exposes the underlying decision engine (generation inspection,
+// explicit refresh).
+func (d *PDP) Engine() *engine.Engine { return d.engine }
+
+// Refresh eagerly recompiles the decision engine if the repository moved
+// since the served snapshot. Decide self-heals lazily even without it;
+// regeneration points call it so the swap cost is paid at update time,
+// not on the first request after.
+func (d *PDP) Refresh() error {
+	_, err := d.engine.Refresh()
+	return err
 }
 
 // Decide evaluates a request against the current policies.
 func (d *PDP) Decide(req xacml.Request) (xacml.Decision, string, error) {
-	policies := d.repo.List()
-	if len(policies) == 0 {
-		return xacml.DecisionNotApplicable, "", ErrNoPolicy
-	}
-	decision, pid := d.interpreter.Decide(policies, req)
-	return decision, pid, nil
+	return d.engine.Decide(req)
+}
+
+// DecideBatch evaluates requests under one consistent snapshot,
+// appending to out (see engine.Engine.DecideBatch).
+func (d *PDP) DecideBatch(reqs []xacml.Request, out []engine.Result) ([]engine.Result, error) {
+	return d.engine.DecideBatch(reqs, out)
 }
 
 // Outcome is what the PEP observed when executing a decision.

@@ -2,7 +2,9 @@ package agenp
 
 import (
 	"strings"
+	"sync"
 
+	"agenp/internal/engine"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
 )
@@ -12,14 +14,24 @@ import (
 // applies when its object tokens equal the request's action id, and the
 // leading verb selects the effect. Conflicts resolve deny-overrides,
 // matching the safety posture of coalition policy systems.
+//
+// Verb classification is precomputed into sets on first use; the verb
+// slices must not be mutated after the interpreter starts deciding.
 type TokenInterpreter struct {
 	// PermitVerbs and DenyVerbs classify the leading policy token
 	// (defaults: permit/accept/allow and deny/reject/forbid).
 	PermitVerbs []string
 	DenyVerbs   []string
+
+	once   sync.Once
+	permit map[string]bool
+	deny   map[string]bool
 }
 
-var _ Interpreter = (*TokenInterpreter)(nil)
+var (
+	_ Interpreter     = (*TokenInterpreter)(nil)
+	_ DeciderCompiler = (*TokenInterpreter)(nil)
+)
 
 func (t *TokenInterpreter) permitVerbs() []string {
 	if len(t.PermitVerbs) > 0 {
@@ -35,12 +47,30 @@ func (t *TokenInterpreter) denyVerbs() []string {
 	return []string{"deny", "reject", "forbid"}
 }
 
+// verbSets builds the verb lookup sets once per interpreter.
+func (t *TokenInterpreter) verbSets() (permit, deny map[string]bool) {
+	t.once.Do(func() {
+		t.permit = verbSet(t.permitVerbs())
+		t.deny = verbSet(t.denyVerbs())
+	})
+	return t.permit, t.deny
+}
+
+func verbSet(verbs []string) map[string]bool {
+	m := make(map[string]bool, len(verbs))
+	for _, v := range verbs {
+		m[v] = true
+	}
+	return m
+}
+
 // Decide implements Interpreter.
 func (t *TokenInterpreter) Decide(policies []policy.Policy, req xacml.Request) (xacml.Decision, string) {
 	action, ok := req.Get(xacml.Action, "id")
 	if !ok {
 		return xacml.DecisionIndeterminate, ""
 	}
+	permit, deny := t.verbSets()
 	want := action.String()
 	decision := xacml.DecisionNotApplicable
 	decider := ""
@@ -53,9 +83,9 @@ func (t *TokenInterpreter) Decide(policies []policy.Policy, req xacml.Request) (
 		}
 		verb := p.Tokens[0]
 		switch {
-		case contains(t.denyVerbs(), verb):
+		case deny[verb]:
 			return xacml.DecisionDeny, p.ID // deny-overrides
-		case contains(t.permitVerbs(), verb):
+		case permit[verb]:
 			if decision != xacml.DecisionPermit {
 				decision = xacml.DecisionPermit
 				decider = p.ID
@@ -65,11 +95,9 @@ func (t *TokenInterpreter) Decide(policies []policy.Policy, req xacml.Request) (
 	return decision, decider
 }
 
-func contains(xs []string, x string) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
+// CompileDecider implements DeciderCompiler: the policy set collapses to
+// one action-phrase hash lookup per request, with the deny-overrides
+// combining resolved at compile time.
+func (t *TokenInterpreter) CompileDecider(policies []policy.Policy) (engine.Decider, error) {
+	return engine.NewTokenProgram(t.permitVerbs(), t.denyVerbs(), policies), nil
 }

@@ -1,0 +1,114 @@
+package agenp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"agenp/internal/asp"
+	"agenp/internal/core"
+	"agenp/internal/engine"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// TestConcurrentDecideDuringAdaptation hammers the PDP's compiled
+// decision path from reader goroutines while the AMS evolves its model
+// (Observe -> Evolve -> regenerate -> engine hot-swap) and regenerates
+// on context flips. Run under -race: the readers must never observe a
+// torn snapshot, an unexpected error, or a batch split across
+// generations.
+func TestConcurrentDecideDuringAdaptation(t *testing.T) {
+	ctx := &dynamicContext{}
+	ctx.set(t, "weather(clear).")
+	ams := newTestAMS(t, ctx)
+	if _, _, err := ams.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rain, _ := asp.Parse("weather(rain).")
+	req := actionReq("overtake")
+	stop := make(chan struct{})
+	var readerWg sync.WaitGroup
+
+	for r := 0; r < 4; r++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			reqs := []xacml.Request{req, req}
+			var out []engine.Result
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, pid, err := ams.Decide(req)
+				switch {
+				case errors.Is(err, ErrNoPolicy):
+					// A regeneration can momentarily install zero
+					// policies under a restrictive context.
+				case err != nil:
+					t.Errorf("Decide: %v", err)
+					return
+				case d == xacml.DecisionPermit || d == xacml.DecisionDeny:
+					if pid == "" {
+						t.Errorf("decision %v without a winning policy", d)
+						return
+					}
+				case d == xacml.DecisionNotApplicable:
+				default:
+					t.Errorf("unexpected decision %v (policy %q)", d, pid)
+					return
+				}
+				var berr error
+				out, berr = ams.DecideBatch(reqs, out[:0])
+				if berr != nil && !errors.Is(berr, ErrNoPolicy) {
+					t.Errorf("DecideBatch: %v", berr)
+					return
+				}
+				if len(out) == 2 && out[0] != out[1] {
+					t.Errorf("batch split across generations: %+v vs %+v", out[0], out[1])
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer: context flips regenerate; accumulated violations evolve the
+	// model (the expensive path, a few cycles is plenty under -race).
+	for cycle := 0; cycle < 3; cycle++ {
+		ctx.set(t, "weather(rain).")
+		if _, _, err := ams.Regenerate(); err != nil {
+			t.Fatal(err)
+		}
+		pos := core.Feedback{Tokens: []string{"accept", "park"}, Context: rain, Valid: true}
+		if _, err := ams.Observe(pos); err != nil {
+			t.Fatalf("Observe cycle %d: %v", cycle, err)
+		}
+		for i := 0; i < 3; i++ {
+			fb := core.Feedback{Tokens: []string{"accept", "overtake"}, Context: rain, Valid: false}
+			if _, err := ams.Observe(fb); err != nil {
+				t.Fatalf("Observe cycle %d: %v", cycle, err)
+			}
+		}
+		ctx.set(t, "weather(clear).")
+		if _, _, err := ams.Regenerate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ams.ImportShared(
+			policy.Policy{Tokens: []string{"reject", "park"}}, "peer"); err != nil {
+			t.Fatalf("ImportShared cycle %d: %v", cycle, err)
+		}
+	}
+	close(stop)
+	readerWg.Wait()
+
+	// The engine generation tracked every repository change.
+	if got, want := ams.Engine().Generation(), ams.Repository().Generation(); got != want {
+		t.Errorf("engine generation %d != repository generation %d", got, want)
+	}
+	if ams.Adaptations() == 0 {
+		t.Error("no adaptation happened; the test did not cover Evolve")
+	}
+}

@@ -168,9 +168,10 @@ func (p *Party) consume() {
 }
 
 // SharePolicies publishes the party's current generated policies to the
-// coalition.
+// coalition. It iterates the repository's immutable snapshot directly —
+// one consistent generation, no copy.
 func (p *Party) SharePolicies() error {
-	for _, pol := range p.AMS.Repository().List() {
+	for _, pol := range p.AMS.Repository().Snapshot().Policies {
 		if pol.Source == policy.SourceShared {
 			continue // don't re-broadcast other parties' policies
 		}

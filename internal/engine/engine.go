@@ -1,0 +1,199 @@
+// Package engine implements the compiled, hot-swappable decision path
+// of the AGENP architecture: policies are compiled once per policy-set
+// generation into an immutable Snapshot, published through an atomic
+// pointer, and every Decide serves lock-free from the current snapshot.
+//
+// The AGENP loop (paper Fig. 2) regenerates policies rarely — on context
+// change, adaptation, or coalition sharing — but enforces them on every
+// request. Re-reading the repository and re-interpreting policy strings
+// per request inverts that cost profile; this package restores it by
+// separating the two rates:
+//
+//   - compile once: when the repository generation moves, the engine
+//     compiles the new policy set into a directly executable decision
+//     program (a Decider) and swaps it in atomically;
+//   - serve many: Decide is two atomic loads plus the compiled program —
+//     no repository lock, no policy-list copy, no per-request parsing —
+//     and the ErrNoPolicy path performs zero allocations.
+//
+// Readers never observe a half-built policy set: a snapshot is immutable
+// after publication, and a batch is decided entirely under one snapshot
+// even while a regeneration swaps in the next one.
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// ErrNoPolicy is reported when the engine has no policies to decide
+// with. It is a sentinel: the no-policy path allocates nothing.
+var ErrNoPolicy = errors.New("agenp: no applicable policy")
+
+// Decider is a compiled decision program over one immutable policy set:
+// it returns the decision and the id of the policy that determined it
+// ("" when no policy applies). Implementations must be safe for
+// concurrent use and must not retain or mutate requests.
+type Decider interface {
+	Decide(req xacml.Request) (xacml.Decision, string)
+}
+
+// Result is one batch decision.
+type Result struct {
+	Decision xacml.Decision
+	PolicyID string
+}
+
+// BatchDecider is optionally implemented by Deciders with a faster
+// whole-batch path. len(out) == len(reqs) is guaranteed by the caller.
+type BatchDecider interface {
+	DecideBatch(reqs []xacml.Request, out []Result)
+}
+
+// CompileFunc builds a Decider from a policy snapshot. The slice is the
+// repository's immutable snapshot storage: implementations may index or
+// retain it but must not mutate it.
+type CompileFunc func(policies []policy.Policy) (Decider, error)
+
+// Snapshot is one compiled policy-set generation: the repository
+// contents it was built from plus the executable decision program.
+// Snapshots are immutable after publication.
+type Snapshot struct {
+	// Generation is the repository generation this snapshot compiled.
+	Generation uint64
+	// Policies is the repository snapshot (sorted by id, read-only).
+	Policies []policy.Policy
+
+	decider Decider
+}
+
+// Decide runs the compiled program. It does not check for emptiness —
+// use Engine.Decide for the ErrNoPolicy contract.
+func (s *Snapshot) Decide(req xacml.Request) (xacml.Decision, string) {
+	return s.decider.Decide(req)
+}
+
+// Engine is the compile-once, serve-many decision engine. The current
+// snapshot is published via an atomic pointer: Decide and DecideBatch
+// are lock-free in the steady state, and Refresh swaps in a newly
+// compiled snapshot when the repository generation moves (regeneration,
+// adaptation, coalition adoption, or direct repository edits).
+type Engine struct {
+	repo    *policy.Repository
+	compile CompileFunc
+
+	// mu serializes compilation only; serving never takes it.
+	mu  sync.Mutex
+	cur atomic.Pointer[Snapshot]
+}
+
+// New wires an engine to a repository. The first Decide (or an explicit
+// Refresh) compiles the initial snapshot.
+func New(repo *policy.Repository, compile CompileFunc) *Engine {
+	return &Engine{repo: repo, compile: compile}
+}
+
+// Generation returns the generation of the currently served snapshot
+// (0 before the first successful compile).
+func (e *Engine) Generation() uint64 {
+	if s := e.cur.Load(); s != nil {
+		return s.Generation
+	}
+	return 0
+}
+
+// Current returns the currently served snapshot without refreshing
+// (nil before the first compile).
+func (e *Engine) Current() *Snapshot { return e.cur.Load() }
+
+// Refresh compiles the repository's current generation if the served
+// snapshot is stale and atomically publishes the result. Concurrent
+// Decides keep serving the previous snapshot until the swap. On compile
+// failure the previous snapshot stays published and the error is
+// returned.
+func (e *Engine) Refresh() (*Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs := e.repo.Snapshot()
+	if s := e.cur.Load(); s != nil && s.Generation == rs.Generation {
+		return s, nil
+	}
+	t0 := time.Now()
+	d, err := e.compile(rs.Policies)
+	if err != nil {
+		return e.cur.Load(), err
+	}
+	statCompileDur.ObserveSince(t0)
+	statCompiles.Inc()
+	statGeneration.Set(int64(rs.Generation))
+	statPolicies.Set(int64(len(rs.Policies)))
+	s := &Snapshot{Generation: rs.Generation, Policies: rs.Policies, decider: d}
+	e.cur.Store(s)
+	return s, nil
+}
+
+// snapshot returns the current snapshot, refreshing first when the
+// repository generation moved. The staleness probe is two atomic loads.
+func (e *Engine) snapshot() (*Snapshot, error) {
+	if s := e.cur.Load(); s != nil && s.Generation == e.repo.Generation() {
+		return s, nil
+	}
+	return e.Refresh()
+}
+
+// Decide evaluates a request against the current compiled snapshot.
+// With no policies installed it returns ErrNoPolicy without allocating.
+func (e *Engine) Decide(req xacml.Request) (xacml.Decision, string, error) {
+	s, err := e.snapshot()
+	if err != nil {
+		return xacml.DecisionIndeterminate, "", err
+	}
+	statDecisions.Inc()
+	if len(s.Policies) == 0 {
+		return xacml.DecisionNotApplicable, "", ErrNoPolicy
+	}
+	d, pid := s.decider.Decide(req)
+	return d, pid, nil
+}
+
+// DecideBatch evaluates every request under one consistent snapshot —
+// a regeneration racing the batch never splits it across generations.
+// Results are appended to out (reusing its capacity) and returned; with
+// no policies installed every request decides NotApplicable and
+// ErrNoPolicy is returned alongside the filled results.
+func (e *Engine) DecideBatch(reqs []xacml.Request, out []Result) ([]Result, error) {
+	s, err := e.snapshot()
+	if err != nil {
+		return out, err
+	}
+	base := len(out)
+	if n := base + len(reqs); cap(out) < n {
+		grown := make([]Result, n)
+		copy(grown, out[:base])
+		out = grown
+	} else {
+		out = out[:n]
+	}
+	dst := out[base:]
+	statDecisions.Add(int64(len(reqs)))
+	statBatches.Inc()
+	if len(s.Policies) == 0 {
+		for i := range dst {
+			dst[i] = Result{Decision: xacml.DecisionNotApplicable}
+		}
+		return out, ErrNoPolicy
+	}
+	if bd, ok := s.decider.(BatchDecider); ok {
+		bd.DecideBatch(reqs, dst)
+		return out, nil
+	}
+	for i, r := range reqs {
+		dst[i].Decision, dst[i].PolicyID = s.decider.Decide(r)
+	}
+	return out, nil
+}

@@ -1,0 +1,359 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"agenp/internal/agenp"
+	"agenp/internal/engine"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+func tokenPolicy(id string, tokens ...string) policy.Policy {
+	return policy.Policy{ID: id, Tokens: tokens}
+}
+
+func actionReq(action string) xacml.Request {
+	return xacml.NewRequest().Set(xacml.Action, "id", xacml.S(action))
+}
+
+func newTokenEngine(repo *policy.Repository) *engine.Engine {
+	ti := &agenp.TokenInterpreter{}
+	return engine.New(repo, ti.CompileDecider)
+}
+
+func TestEngineEmptyRepoNoPolicy(t *testing.T) {
+	repo := policy.NewRepository()
+	e := newTokenEngine(repo)
+	d, pid, err := e.Decide(actionReq("overtake"))
+	if !errors.Is(err, engine.ErrNoPolicy) {
+		t.Fatalf("err = %v, want ErrNoPolicy", err)
+	}
+	if d != xacml.DecisionNotApplicable || pid != "" {
+		t.Errorf("decision = %v, %q", d, pid)
+	}
+	// The agenp sentinel is the engine's sentinel: callers using either
+	// errors.Is target keep working.
+	if !errors.Is(err, agenp.ErrNoPolicy) {
+		t.Error("agenp.ErrNoPolicy is not aliased to engine.ErrNoPolicy")
+	}
+}
+
+func TestEngineErrNoPolicyDoesNotAllocate(t *testing.T) {
+	repo := policy.NewRepository()
+	e := newTokenEngine(repo)
+	req := actionReq("overtake")
+	if _, _, err := e.Decide(req); !errors.Is(err, engine.ErrNoPolicy) {
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, _ = e.Decide(req)
+	})
+	if allocs != 0 {
+		t.Errorf("ErrNoPolicy path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestEngineDecideDoesNotAllocate(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	repo.Put(tokenPolicy("p2", "deny", "share", "sigint"))
+	e := newTokenEngine(repo)
+	req := actionReq("overtake")
+	if _, _, err := e.Decide(req); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, _ = e.Decide(req)
+	})
+	if allocs != 0 {
+		t.Errorf("compiled token Decide allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestEngineLazyRefreshOnRepositoryChange(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	e := newTokenEngine(repo)
+
+	d, pid, err := e.Decide(actionReq("overtake"))
+	if err != nil || d != xacml.DecisionPermit || pid != "p1" {
+		t.Fatalf("initial = %v, %q, %v", d, pid, err)
+	}
+	gen1 := e.Generation()
+
+	// Direct repository edit, no explicit Refresh: Decide self-heals.
+	repo.Put(tokenPolicy("p0", "deny", "overtake"))
+	d, pid, err = e.Decide(actionReq("overtake"))
+	if err != nil || d != xacml.DecisionDeny || pid != "p0" {
+		t.Fatalf("after put = %v, %q, %v", d, pid, err)
+	}
+	if e.Generation() <= gen1 {
+		t.Errorf("generation did not advance: %d -> %d", gen1, e.Generation())
+	}
+
+	// Unchanged repository: same snapshot is served, no recompile.
+	s1 := e.Current()
+	if _, _, err := e.Decide(actionReq("overtake")); err != nil {
+		t.Fatal(err)
+	}
+	if e.Current() != s1 {
+		t.Error("snapshot recompiled without repository change")
+	}
+}
+
+func TestEngineRefreshKeepsOldSnapshotOnCompileError(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	fail := false
+	ti := &agenp.TokenInterpreter{}
+	e := engine.New(repo, func(ps []policy.Policy) (engine.Decider, error) {
+		if fail {
+			return nil, errors.New("boom")
+		}
+		return ti.CompileDecider(ps)
+	})
+	if _, err := e.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	good := e.Current()
+
+	fail = true
+	repo.Put(tokenPolicy("p2", "deny", "overtake"))
+	if _, err := e.Refresh(); err == nil {
+		t.Fatal("Refresh succeeded with failing compiler")
+	}
+	if e.Current() != good {
+		t.Error("failed compile replaced the served snapshot")
+	}
+	// Serving continues on the previous snapshot's decisions; Decide
+	// surfaces the compile error.
+	if _, _, err := e.Decide(actionReq("overtake")); err == nil {
+		t.Error("Decide hid the compile error")
+	}
+
+	fail = false
+	d, pid, err := e.Decide(actionReq("overtake"))
+	if err != nil || d != xacml.DecisionDeny || pid != "p2" {
+		t.Errorf("after recovery = %v, %q, %v", d, pid, err)
+	}
+}
+
+func TestEngineDecideBatch(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	repo.Put(tokenPolicy("p2", "deny", "share", "sigint"))
+	e := newTokenEngine(repo)
+
+	reqs := []xacml.Request{
+		actionReq("overtake"),
+		actionReq("share sigint"),
+		actionReq("park"),
+		xacml.NewRequest(), // no action attribute
+	}
+	out, err := e.DecideBatch(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []engine.Result{
+		{Decision: xacml.DecisionPermit, PolicyID: "p1"},
+		{Decision: xacml.DecisionDeny, PolicyID: "p2"},
+		{Decision: xacml.DecisionNotApplicable},
+		{Decision: xacml.DecisionIndeterminate},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %+v, want %+v", i, out[i], want[i])
+		}
+		// Batch and single-request paths agree.
+		d, pid, err := e.Decide(reqs[i])
+		if err != nil || d != out[i].Decision || pid != out[i].PolicyID {
+			t.Errorf("single[%d] = %v, %q, %v; batch %+v", i, d, pid, err, out[i])
+		}
+	}
+
+	// Appends to an existing slice, reusing capacity.
+	buf := make([]engine.Result, 1, 16)
+	buf[0] = engine.Result{PolicyID: "sentinel"}
+	out2, err := e.DecideBatch(reqs[:2], buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 3 || out2[0].PolicyID != "sentinel" || &out2[0] != &buf[0] {
+		t.Errorf("append semantics broken: len=%d first=%+v", len(out2), out2[0])
+	}
+
+	// Empty repository: results filled NotApplicable, ErrNoPolicy returned.
+	empty := newTokenEngine(policy.NewRepository())
+	out3, err := empty.DecideBatch(reqs[:2], nil)
+	if !errors.Is(err, engine.ErrNoPolicy) {
+		t.Fatalf("empty err = %v", err)
+	}
+	for i, r := range out3 {
+		if r.Decision != xacml.DecisionNotApplicable {
+			t.Errorf("empty out[%d] = %+v", i, r)
+		}
+	}
+}
+
+// TestTokenProgramDifferential drives the compiled TokenProgram and the
+// legacy TokenInterpreter over generated policy sets and requests; they
+// must agree on decision and winning policy id for every request.
+func TestTokenProgramDifferential(t *testing.T) {
+	verbs := []string{"permit", "accept", "allow", "deny", "reject", "forbid", "unknown"}
+	objects := [][]string{
+		{"overtake"}, {"park"}, {"share", "sigint"}, {"share", "images"}, {"refuel"},
+	}
+	ti := &agenp.TokenInterpreter{}
+
+	// Deterministic exhaustive-ish sweep: every (verb, object) pair plus
+	// short policies and duplicate actions, in varying orders.
+	var pols []policy.Policy
+	n := 0
+	for _, v := range verbs {
+		for _, obj := range objects {
+			pols = append(pols, tokenPolicy(fmt.Sprintf("p%02d", n), append([]string{v}, obj...)...))
+			n++
+		}
+	}
+	pols = append(pols,
+		tokenPolicy("short", "permit"),
+		tokenPolicy("empty"),
+		tokenPolicy("dup-deny", "reject", "overtake"),
+		tokenPolicy("dup-permit", "allow", "overtake"),
+	)
+
+	// Several policy-order permutations (rotations) exercise first-match
+	// tie-breaking.
+	for rot := 0; rot < len(pols); rot += 7 {
+		ordered := append(append([]policy.Policy{}, pols[rot:]...), pols[:rot]...)
+		prog := engine.NewTokenProgram(
+			[]string{"permit", "accept", "allow"},
+			[]string{"deny", "reject", "forbid"},
+			ordered,
+		)
+		reqs := []xacml.Request{xacml.NewRequest()}
+		for _, obj := range append(objects, []string{"unmatched"}) {
+			reqs = append(reqs, actionReq(joinTokens(obj)))
+		}
+		for _, req := range reqs {
+			wantD, wantID := ti.Decide(ordered, req)
+			gotD, gotID := prog.Decide(req)
+			if gotD != wantD || gotID != wantID {
+				t.Fatalf("rot=%d req=%s: compiled = %v, %q; interpreter = %v, %q",
+					rot, req, gotD, gotID, wantD, wantID)
+			}
+		}
+	}
+}
+
+func joinTokens(tokens []string) string {
+	s := tokens[0]
+	for _, tok := range tokens[1:] {
+		s += " " + tok
+	}
+	return s
+}
+
+// TestTokenProgramVerbInBothSets pins the deny-verb precedence: a verb
+// classified as both permit and deny acts as deny, exactly like the
+// interpreter's case order.
+func TestTokenProgramVerbInBothSets(t *testing.T) {
+	ti := &agenp.TokenInterpreter{PermitVerbs: []string{"do"}, DenyVerbs: []string{"do"}}
+	pols := []policy.Policy{tokenPolicy("p1", "do", "overtake")}
+	prog := engine.NewTokenProgram([]string{"do"}, []string{"do"}, pols)
+	req := actionReq("overtake")
+	wantD, wantID := ti.Decide(pols, req)
+	gotD, gotID := prog.Decide(req)
+	if gotD != wantD || gotID != wantID {
+		t.Fatalf("compiled = %v, %q; interpreter = %v, %q", gotD, gotID, wantD, wantID)
+	}
+	if gotD != xacml.DecisionDeny {
+		t.Errorf("verb in both sets = %v, want Deny", gotD)
+	}
+}
+
+// TestEngineConcurrentDecideDuringSwap hammers Decide and DecideBatch
+// from many goroutines while the repository is regenerated concurrently.
+// Run under -race. Every observed decision must be internally consistent
+// with SOME published generation (per-generation policies flip the
+// decision atomically: all-permit or all-deny, never a mix within a
+// batch).
+func TestEngineConcurrentDecideDuringSwap(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("gen-a", "permit", "overtake"))
+	e := newTokenEngine(repo)
+	req := actionReq("overtake")
+
+	const writers = 2
+	const readers = 4
+	const swaps = 200
+	var writerWg, readerWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < swaps; i++ {
+				if (i+w)%2 == 0 {
+					repo.ReplaceAll([]policy.Policy{tokenPolicy("gen-a", "permit", "overtake")})
+				} else {
+					repo.ReplaceAll([]policy.Policy{tokenPolicy("gen-b", "deny", "overtake")})
+				}
+				if _, err := e.Refresh(); err != nil {
+					t.Errorf("Refresh: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			reqs := []xacml.Request{req, req, req}
+			var out []engine.Result
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, pid, err := e.Decide(req)
+				if err != nil {
+					t.Errorf("Decide: %v", err)
+					return
+				}
+				okA := d == xacml.DecisionPermit && pid == "gen-a"
+				okB := d == xacml.DecisionDeny && pid == "gen-b"
+				if !okA && !okB {
+					t.Errorf("torn decision: %v, %q", d, pid)
+					return
+				}
+				out, err = e.DecideBatch(reqs, out[:0])
+				if err != nil {
+					t.Errorf("DecideBatch: %v", err)
+					return
+				}
+				for i := 1; i < len(out); i++ {
+					if out[i] != out[0] {
+						t.Errorf("batch split across generations: %+v vs %+v", out[0], out[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	writerWg.Wait()
+	close(stop)
+	readerWg.Wait()
+}

@@ -1,0 +1,15 @@
+package engine
+
+import "agenp/internal/obs"
+
+// Telemetry for the serving path. Decide pays one counter increment;
+// compilation (rare) records its own latency and publishes the served
+// generation so operators can watch hot-swaps happen.
+var (
+	statCompiles   = obs.C("engine.compiles")
+	statCompileDur = obs.H("engine.compile.duration")
+	statGeneration = obs.G("engine.generation")
+	statPolicies   = obs.G("engine.policies")
+	statDecisions  = obs.C("engine.decisions")
+	statBatches    = obs.C("engine.batches")
+)

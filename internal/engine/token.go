@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"strings"
+
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// TokenProgram is the compiled form of the verb–object token policy
+// language ("permit overtake", "withhold share sigint", ...): the whole
+// policy set reduced to one hash lookup per request. Compilation
+// interns each policy's object phrase (the joined tokens after the
+// verb) once, so serving never joins or scans token slices, and
+// resolves the deny-overrides combining statically: per action phrase
+// only the first denying and first permitting policy ids (in policy-id
+// order) can ever win, so only those are kept.
+//
+// The program is immutable and safe for concurrent use.
+type TokenProgram struct {
+	entries map[string]tokenEntry
+}
+
+// tokenEntry is the precombined outcome for one action phrase.
+type tokenEntry struct {
+	denyID   string
+	permitID string
+	deny     bool
+	permit   bool
+}
+
+// NewTokenProgram compiles policies against permit/deny verb sets. The
+// semantics are exactly TokenInterpreter.Decide's: a policy applies when
+// its object tokens equal the request's action id; any applicable deny
+// wins (deny-overrides) with the first denying policy as decider,
+// otherwise the first applicable permit decides; policies shorter than
+// two tokens or with unknown verbs are inert. Policies must already be
+// in decision order (the repository snapshot's id order).
+func NewTokenProgram(permitVerbs, denyVerbs []string, policies []policy.Policy) *TokenProgram {
+	permit := make(map[string]bool, len(permitVerbs))
+	for _, v := range permitVerbs {
+		permit[v] = true
+	}
+	deny := make(map[string]bool, len(denyVerbs))
+	for _, v := range denyVerbs {
+		deny[v] = true
+	}
+	entries := make(map[string]tokenEntry, len(policies))
+	for _, p := range policies {
+		if len(p.Tokens) < 2 {
+			continue
+		}
+		verb := p.Tokens[0]
+		isDeny, isPermit := deny[verb], permit[verb]
+		if !isDeny && !isPermit {
+			continue
+		}
+		action := strings.Join(p.Tokens[1:], " ")
+		e := entries[action]
+		switch {
+		case isDeny:
+			if !e.deny {
+				e.deny, e.denyID = true, p.ID
+			}
+		default: // permit verb
+			if !e.permit {
+				e.permit, e.permitID = true, p.ID
+			}
+		}
+		entries[action] = e
+	}
+	return &TokenProgram{entries: entries}
+}
+
+var _ Decider = (*TokenProgram)(nil)
+
+// Len returns the number of distinct action phrases in the program.
+func (t *TokenProgram) Len() int { return len(t.entries) }
+
+// Decide implements Decider: one attribute fetch and one map probe.
+func (t *TokenProgram) Decide(req xacml.Request) (xacml.Decision, string) {
+	action, ok := req.Get(xacml.Action, "id")
+	if !ok {
+		return xacml.DecisionIndeterminate, ""
+	}
+	e, ok := t.entries[action.String()]
+	switch {
+	case !ok:
+		return xacml.DecisionNotApplicable, ""
+	case e.deny:
+		return xacml.DecisionDeny, e.denyID
+	case e.permit:
+		return xacml.DecisionPermit, e.permitID
+	default:
+		return xacml.DecisionNotApplicable, ""
+	}
+}

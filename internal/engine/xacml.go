@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"sync"
+
+	"agenp/internal/xacml"
+)
+
+// XACMLDecider serves a compiled XACML policy set as an engine Decider:
+// the set is compiled once (interned attributes, match programs,
+// precompiled combining, indexed targets) and per-goroutine evaluator
+// scratch is pooled so concurrent Decides neither contend nor allocate
+// evaluators per request.
+type XACMLDecider struct {
+	set  *xacml.CompiledPolicySet
+	pool sync.Pool
+}
+
+var _ Decider = (*XACMLDecider)(nil)
+
+// NewXACMLDecider compiles the policy set into a Decider.
+func NewXACMLDecider(ps *xacml.PolicySet) (*XACMLDecider, error) {
+	cs, err := xacml.CompilePolicySet(ps)
+	if err != nil {
+		return nil, err
+	}
+	d := &XACMLDecider{set: cs}
+	d.pool.New = func() any { return cs.NewEvaluator() }
+	return d, nil
+}
+
+// Set exposes the compiled policy set (for stats and tests).
+func (d *XACMLDecider) Set() *xacml.CompiledPolicySet { return d.set }
+
+// Decide implements Decider; the winning policy id is the one whose
+// decision the combining algorithm settled on.
+func (d *XACMLDecider) Decide(req xacml.Request) (xacml.Decision, string) {
+	ev := d.pool.Get().(*xacml.Evaluator)
+	dec, id := ev.Evaluate(req)
+	d.pool.Put(ev)
+	return dec, id
+}
+
+// DecideBatch implements BatchDecider, reusing one evaluator for the
+// whole batch.
+func (d *XACMLDecider) DecideBatch(reqs []xacml.Request, out []Result) {
+	ev := d.pool.Get().(*xacml.Evaluator)
+	for i, r := range reqs {
+		out[i].Decision, out[i].PolicyID = ev.Evaluate(r)
+	}
+	d.pool.Put(ev)
+}

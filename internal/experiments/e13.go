@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"agenp/internal/agenp"
+	"agenp/internal/engine"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// RunE13 measures the compile-once, serve-many refactor: decision
+// throughput of the seed PDP path (copy the repository and re-interpret
+// every policy string per request) against the compiled DecisionEngine,
+// single-request and batched, on a 100-policy repository. The paper's
+// cost model (Section III.A) regenerates policies rarely but enforces
+// them on every request; the engine restores that asymmetry.
+func RunE13(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "E13",
+		Title:   Title("E13"),
+		Columns: []string{"path", "requests", "total", "ns/request", "speedup"},
+	}
+	const nPolicies = 100
+	n := 200_000
+	if opts.Quick {
+		n = 20_000
+	}
+
+	repo := policy.NewRepository()
+	verbs := []string{"permit", "deny"}
+	for i := 0; i < nPolicies; i++ {
+		repo.Put(policy.Policy{
+			ID:     fmt.Sprintf("p%03d", i),
+			Tokens: []string{verbs[i%2], "do", fmt.Sprintf("task-%03d", i/2)},
+		})
+	}
+	var reqs []xacml.Request
+	for i := 0; i < nPolicies/2; i++ {
+		reqs = append(reqs, xacml.NewRequest().
+			Set(xacml.Action, "id", xacml.S(fmt.Sprintf("do task-%03d", i))))
+	}
+	reqs = append(reqs, xacml.NewRequest().Set(xacml.Action, "id", xacml.S("do nothing")))
+
+	ti := &agenp.TokenInterpreter{}
+
+	// Seed path: the pre-engine PDP copied the repository and scanned
+	// every policy on every request.
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		pols := repo.List()
+		ti.Decide(pols, reqs[i%len(reqs)])
+	}
+	legacy := time.Since(start)
+	t.AddRow("interpreter+List (seed)", n, legacy, legacy.Nanoseconds()/int64(n), "1.0x")
+
+	eng := engine.New(repo, ti.CompileDecider)
+	if _, err := eng.Refresh(); err != nil {
+		return nil, err
+	}
+
+	// Differential gate: both paths must agree on every request before
+	// any timing is reported.
+	for _, r := range reqs {
+		wantD, wantID := ti.Decide(repo.List(), r)
+		gotD, gotID, err := eng.Decide(r)
+		if err != nil {
+			return nil, err
+		}
+		if gotD != wantD || gotID != wantID {
+			return nil, fmt.Errorf("E13: engine diverges on %s: %v %q vs %v %q",
+				r, gotD, gotID, wantD, wantID)
+		}
+	}
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if _, _, err := eng.Decide(reqs[i%len(reqs)]); err != nil {
+			return nil, err
+		}
+	}
+	single := time.Since(start)
+	t.AddRow("engine single", n, single, single.Nanoseconds()/int64(n),
+		fmt.Sprintf("%.1fx", float64(legacy)/float64(single)))
+
+	const batch = 64
+	buf := make([]xacml.Request, batch)
+	var out []engine.Result
+	start = time.Now()
+	for i := 0; i < n; i += batch {
+		k := batch
+		if rem := n - i; rem < k {
+			k = rem
+		}
+		for j := 0; j < k; j++ {
+			buf[j] = reqs[(i+j)%len(reqs)]
+		}
+		var err error
+		out, err = eng.DecideBatch(buf[:k], out[:0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	batched := time.Since(start)
+	t.AddRow("engine batch(64)", n, batched, batched.Nanoseconds()/int64(n),
+		fmt.Sprintf("%.1fx", float64(legacy)/float64(batched)))
+
+	speedup := float64(legacy) / float64(single)
+	t.Note("policies=%d, engine generation=%d, single-request speedup %.1fx (target >= 5x)",
+		nPolicies, eng.Generation(), speedup)
+	if speedup < 5 {
+		t.Note("WARNING: below the 5x tentpole target")
+	}
+	return t, nil
+}

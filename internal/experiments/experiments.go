@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner
-// per experiment of DESIGN.md (E1–E12), each regenerating a table or
+// per experiment of DESIGN.md (E1–E13), each regenerating a table or
 // figure-equivalent of the paper. The cmd/experiments binary and the
 // root-level benchmarks drive these runners; EXPERIMENTS.md records the
 // paper-vs-measured outcomes.
@@ -127,6 +127,7 @@ func registry() map[string]struct {
 		"E10": {title: "V.B: decision traces and counterfactual explanations", runner: RunE10},
 		"E11": {title: "IV.D/IV.E: data sharing and federated-learning policies", runner: RunE11},
 		"E12": {title: "IV.B: resupply accuracy vs completed missions", runner: RunE12},
+		"E13": {title: "III.A cost model: PDP throughput, interpreter vs compiled engine", runner: RunE13},
 	}
 }
 

@@ -8,10 +8,10 @@ import (
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("got %d experiments, want 12", len(ids))
+	if len(ids) != 13 {
+		t.Fatalf("got %d experiments, want 13", len(ids))
 	}
-	if ids[0] != "E1" || ids[11] != "E12" {
+	if ids[0] != "E1" || ids[12] != "E13" {
 		t.Errorf("ordering = %v", ids)
 	}
 	for _, id := range ids {
@@ -215,6 +215,23 @@ func TestRunE12(t *testing.T) {
 	}
 }
 
+func TestRunE13(t *testing.T) {
+	tb := runQuick(t, "E13")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows:\n%s", tb)
+	}
+	// The differential gate ran (a divergence is an error, not a row);
+	// the compiled paths must beat the seed path. The 5x target is not
+	// asserted here — quick mode on a loaded CI machine is noisy; the
+	// benchmark guard owns that bound.
+	seed := parseF(t, tb.Rows[0][3])
+	for _, row := range tb.Rows[1:] {
+		if got := parseF(t, row[3]); got >= seed {
+			t.Errorf("%s: %v ns/request did not beat the seed path %v\n%s", row[0], got, seed, tb)
+		}
+	}
+}
+
 func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in non-short mode only")
@@ -223,7 +240,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 12 {
+	if len(tables) != 13 {
 		t.Errorf("got %d tables", len(tables))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,13 +75,43 @@ type Event struct {
 	Policy Policy
 }
 
+// Snapshot is an immutable, versioned view of a repository: the policies
+// sorted by id, stamped with the generation that produced them. Snapshots
+// are shared between callers — the slice and the policies inside it must
+// be treated as read-only (copy before mutating, as List does).
+type Snapshot struct {
+	// Generation is the repository mutation counter at capture time.
+	// Two snapshots with equal generations have identical contents.
+	Generation uint64
+	// Policies is sorted by id. Read-only.
+	Policies []Policy
+}
+
+// Len returns the number of policies in the snapshot.
+func (s *Snapshot) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Policies)
+}
+
 // Repository is a thread-safe, versioned policy store with change
 // notification, playing the Policy Repository role of the architecture.
+// Every mutation bumps a generation counter; Snapshot captures the
+// current contents copy-on-write, so unchanged repositories hand out the
+// same immutable snapshot without re-sorting or re-copying.
 type Repository struct {
 	mu       sync.RWMutex
 	policies map[string]Policy
 	subs     []chan Event
 	now      func() time.Time
+
+	// gen counts mutations; readable lock-free so serving layers can
+	// detect staleness with a single atomic load.
+	gen atomic.Uint64
+	// snap caches the snapshot of the current generation; mutations
+	// leave it in place and Snapshot rebuilds when generations diverge.
+	snap atomic.Pointer[Snapshot]
 }
 
 // NewRepository builds an empty repository.
@@ -89,6 +120,34 @@ func NewRepository() *Repository {
 		policies: make(map[string]Policy),
 		now:      time.Now,
 	}
+}
+
+// Generation returns the mutation counter (0 for a fresh repository).
+// It is readable without taking the repository lock.
+func (r *Repository) Generation() uint64 { return r.gen.Load() }
+
+// Snapshot returns the immutable snapshot of the current generation,
+// building (and caching) it only when the repository changed since the
+// last capture. Callers must not mutate the returned policies.
+func (r *Repository) Snapshot() *Snapshot {
+	if s := r.snap.Load(); s != nil && s.Generation == r.gen.Load() {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Re-check under the lock: a concurrent Snapshot may have filled it.
+	gen := r.gen.Load()
+	if s := r.snap.Load(); s != nil && s.Generation == gen {
+		return s
+	}
+	out := make([]Policy, 0, len(r.policies))
+	for _, p := range r.policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s := &Snapshot{Generation: gen, Policies: out}
+	r.snap.Store(s)
+	return s
 }
 
 // SetClock injects a clock for tests.
@@ -116,6 +175,7 @@ func (r *Repository) Put(p Policy) Policy {
 	copy(toks, p.Tokens)
 	p.Tokens = toks
 	r.policies[p.ID] = p
+	r.gen.Add(1)
 	subs := append([]chan Event(nil), r.subs...)
 	r.mu.Unlock()
 
@@ -142,6 +202,7 @@ func (r *Repository) Delete(id string) bool {
 	p, ok := r.policies[id]
 	if ok {
 		delete(r.policies, id)
+		r.gen.Add(1)
 	}
 	subs := append([]chan Event(nil), r.subs...)
 	r.mu.Unlock()
@@ -156,15 +217,13 @@ func (r *Repository) Delete(id string) bool {
 	return ok
 }
 
-// List returns all policies sorted by id.
+// List returns all policies sorted by id. The returned slice is the
+// caller's to mutate; serving paths that only read should use Snapshot,
+// which shares one immutable slice per generation instead of copying.
 func (r *Repository) List() []Policy {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]Policy, 0, len(r.policies))
-	for _, p := range r.policies {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s := r.Snapshot()
+	out := make([]Policy, len(s.Policies))
+	copy(out, s.Policies)
 	return out
 }
 
@@ -190,6 +249,7 @@ func (r *Repository) ReplaceAll(policies []Policy) {
 		p.CreatedAt = r.now()
 		r.policies[p.ID] = p
 	}
+	r.gen.Add(1)
 	r.mu.Unlock()
 }
 

@@ -129,6 +129,88 @@ func TestRepositoryConcurrency(t *testing.T) {
 	}
 }
 
+func TestRepositorySnapshotCachedPerGeneration(t *testing.T) {
+	r := NewRepository()
+	if got := r.Generation(); got != 0 {
+		t.Fatalf("fresh Generation = %d, want 0", got)
+	}
+	empty := r.Snapshot()
+	if empty.Len() != 0 || empty.Generation != 0 {
+		t.Fatalf("empty snapshot = %+v", empty)
+	}
+	if r.Snapshot() != empty {
+		t.Error("unchanged repository rebuilt its snapshot")
+	}
+
+	r.Put(Policy{ID: "b", Tokens: []string{"permit", "x"}})
+	r.Put(Policy{ID: "a", Tokens: []string{"deny", "x"}})
+	s1 := r.Snapshot()
+	if s1 == empty {
+		t.Fatal("snapshot not invalidated by Put")
+	}
+	if s1.Generation != 2 || s1.Len() != 2 || s1.Policies[0].ID != "a" || s1.Policies[1].ID != "b" {
+		t.Fatalf("snapshot = %+v", s1)
+	}
+	if r.Snapshot() != s1 {
+		t.Error("snapshot of unchanged generation not shared")
+	}
+
+	// Delete of a missing id is not a mutation; a real delete is.
+	r.Delete("nope")
+	if r.Snapshot() != s1 {
+		t.Error("no-op delete invalidated the snapshot")
+	}
+	r.Delete("a")
+	s2 := r.Snapshot()
+	if s2 == s1 || s2.Generation != 3 || s2.Len() != 1 {
+		t.Fatalf("post-delete snapshot = %+v", s2)
+	}
+	r.ReplaceAll([]Policy{{ID: "c"}})
+	s3 := r.Snapshot()
+	if s3.Generation != 4 || s3.Len() != 1 || s3.Policies[0].ID != "c" {
+		t.Fatalf("post-replace snapshot = %+v", s3)
+	}
+	// The old snapshot is immutable history.
+	if s1.Len() != 2 || s1.Policies[0].ID != "a" {
+		t.Errorf("old snapshot mutated: %+v", s1)
+	}
+}
+
+func TestRepositorySnapshotListIsolation(t *testing.T) {
+	r := NewRepository()
+	r.Put(Policy{ID: "p", Tokens: []string{"permit", "x"}})
+	list := r.List()
+	list[0].ID = "mutated"
+	if r.Snapshot().Policies[0].ID != "p" {
+		t.Error("List shares backing array with Snapshot")
+	}
+}
+
+func TestRepositorySnapshotConcurrency(t *testing.T) {
+	r := NewRepository()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Put(Policy{ID: string(rune('a' + i)), Tokens: []string{"t"}})
+				s := r.Snapshot()
+				for k := 1; k < len(s.Policies); k++ {
+					if s.Policies[k-1].ID >= s.Policies[k].ID {
+						t.Error("snapshot unsorted")
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if gen := r.Generation(); gen != 800 {
+		t.Errorf("Generation = %d, want 800", gen)
+	}
+}
+
 func TestPolicyString(t *testing.T) {
 	p := Policy{ID: "p1", Tokens: []string{"permit", "x"}, Source: SourceShared, Version: 3}
 	s := p.String()

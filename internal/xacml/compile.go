@@ -1,0 +1,575 @@
+package xacml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the compiled counterpart of the tree-walk evaluator in
+// model.go: policies and policy sets are translated once into flat,
+// directly executable decision structures — the "compile policies into
+// decision structures rather than re-interpret per query" direction of
+// the serving layer. The tree-walk evaluator is kept unchanged as the
+// differential-testing oracle (see compile_test.go and the fuzz
+// harness); compiled evaluation must be byte-identical to it.
+//
+// What compilation buys per request:
+//
+//   - interned attributes: every (category, attribute) pair in the
+//     policy set becomes one slot, and every distinct attribute test
+//     becomes one entry in a shared match table, evaluated at most once
+//     per request regardless of how many targets and conditions repeat
+//     it (memoized in an Evaluator's scratch);
+//   - match programs: targets become index lists into the match table
+//     and conditions become flat postfix programs — no pointer-chasing
+//     through Condition trees;
+//   - precompiled combining: the rule- and policy-combining switches
+//     are resolved at compile time into "return this decision" /
+//     "record this decision" slots per rule and a stop-decision per
+//     set;
+//   - indexed targets: policies whose target equality-tests the set's
+//     most discriminating (category, attribute) slot are bucketed by
+//     value, so a request only evaluates the policies its attribute
+//     value selects (plus the unindexed rest), in original policy
+//     order.
+
+// attrSlot is one interned (category, attribute) pair.
+type attrSlot struct {
+	Category Category
+	Attr     string
+}
+
+// attrInterner assigns dense ids to (category, attribute) pairs.
+type attrInterner struct {
+	slots []attrSlot
+	ids   map[attrSlot]int32
+}
+
+func newAttrInterner() *attrInterner {
+	return &attrInterner{ids: make(map[attrSlot]int32)}
+}
+
+func (in *attrInterner) intern(cat Category, attr string) int32 {
+	key := attrSlot{cat, attr}
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id := int32(len(in.slots))
+	in.slots = append(in.slots, key)
+	in.ids[key] = id
+	return id
+}
+
+// compiledMatch is one interned attribute test.
+type compiledMatch struct {
+	m    Match
+	slot int32
+}
+
+// matchKey dedups matches: Value is a comparable struct, so the whole
+// test (slot, operator, constant) keys a map directly.
+type matchKey struct {
+	slot  int32
+	op    MatchOp
+	value Value
+}
+
+// condInstr opcodes: a condition is compiled to a postfix program over
+// a boolean stack.
+const (
+	cTrue  uint8 = iota // push true
+	cMatch              // push match[arg]
+	cNot                // negate top of stack
+	cAnd                // pop arg values, push their conjunction
+	cOr                 // pop arg values, push their disjunction
+)
+
+type condInstr struct {
+	op  uint8
+	arg uint16
+}
+
+// program is the shared compilation state of one policy (set): the
+// interner and the deduplicated match table every target and condition
+// indexes into.
+type program struct {
+	interner *attrInterner
+	matches  []compiledMatch
+	index    map[matchKey]uint16
+}
+
+func newProgram() *program {
+	return &program{interner: newAttrInterner(), index: make(map[matchKey]uint16)}
+}
+
+func (pg *program) matchIndex(m Match) (uint16, error) {
+	slot := pg.interner.intern(m.Category, m.Attr)
+	key := matchKey{slot: slot, op: m.Op, value: m.Value}
+	if i, ok := pg.index[key]; ok {
+		return i, nil
+	}
+	if len(pg.matches) >= 1<<16 {
+		return 0, fmt.Errorf("xacml: compile: more than %d distinct matches", 1<<16)
+	}
+	i := uint16(len(pg.matches))
+	pg.matches = append(pg.matches, compiledMatch{m: m, slot: slot})
+	pg.index[key] = i
+	return i, nil
+}
+
+func (pg *program) compileTarget(t Target) ([]uint16, error) {
+	if len(t) == 0 {
+		return nil, nil
+	}
+	out := make([]uint16, len(t))
+	for i, m := range t {
+		mi, err := pg.matchIndex(m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mi
+	}
+	return out, nil
+}
+
+// compileCond mirrors Condition.Eval's branch precedence exactly
+// (Match, then Not, then And, then Or, else true).
+func (pg *program) compileCond(c *Condition, out []condInstr) ([]condInstr, error) {
+	switch {
+	case c == nil:
+		return append(out, condInstr{op: cTrue}), nil
+	case c.Match != nil:
+		mi, err := pg.matchIndex(*c.Match)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, condInstr{op: cMatch, arg: mi}), nil
+	case c.Not != nil:
+		out, err := pg.compileCond(c.Not, out)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, condInstr{op: cNot}), nil
+	case len(c.And) > 0:
+		var err error
+		for i := range c.And {
+			if out, err = pg.compileCond(&c.And[i], out); err != nil {
+				return nil, err
+			}
+		}
+		return append(out, condInstr{op: cAnd, arg: uint16(len(c.And))}), nil
+	case len(c.Or) > 0:
+		var err error
+		for i := range c.Or {
+			if out, err = pg.compileCond(&c.Or[i], out); err != nil {
+				return nil, err
+			}
+		}
+		return append(out, condInstr{op: cOr, arg: uint16(len(c.Or))}), nil
+	default:
+		return append(out, condInstr{op: cTrue}), nil
+	}
+}
+
+// scratch is the per-evaluation working memory: the match memo (one
+// byte per interned match: 0 unknown, 1 true, 2 false) and the postfix
+// stack. An Evaluator owns one and reuses it across requests.
+type scratch struct {
+	memo  []int8
+	stack []bool
+}
+
+func (sc *scratch) reset(n int) {
+	if cap(sc.memo) < n {
+		sc.memo = make([]int8, n)
+		return
+	}
+	sc.memo = sc.memo[:n]
+	clear(sc.memo)
+}
+
+func (pg *program) evalMatch(i uint16, r Request, sc *scratch) bool {
+	if v := sc.memo[i]; v != 0 {
+		return v == 1
+	}
+	ok := pg.matches[i].m.Eval(r)
+	if ok {
+		sc.memo[i] = 1
+	} else {
+		sc.memo[i] = 2
+	}
+	return ok
+}
+
+func (pg *program) evalTarget(t []uint16, r Request, sc *scratch) bool {
+	for _, i := range t {
+		if !pg.evalMatch(i, r, sc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (pg *program) evalCond(prog []condInstr, r Request, sc *scratch) bool {
+	if len(prog) == 0 {
+		return true
+	}
+	stack := sc.stack[:0]
+	for _, in := range prog {
+		switch in.op {
+		case cTrue:
+			stack = append(stack, true)
+		case cMatch:
+			stack = append(stack, pg.evalMatch(in.arg, r, sc))
+		case cNot:
+			stack[len(stack)-1] = !stack[len(stack)-1]
+		case cAnd:
+			n := len(stack) - int(in.arg)
+			v := true
+			for _, b := range stack[n:] {
+				v = v && b
+			}
+			stack = append(stack[:n], v)
+		case cOr:
+			n := len(stack) - int(in.arg)
+			v := false
+			for _, b := range stack[n:] {
+				v = v || b
+			}
+			stack = append(stack[:n], v)
+		}
+	}
+	sc.stack = stack // keep grown capacity for the next evaluation
+	return stack[len(stack)-1]
+}
+
+// compiledRule is one rule with its combining outcome resolved at
+// compile time: when the rule fires, fireReturn (if nonzero) ends the
+// policy evaluation with that decision, otherwise fireSet becomes the
+// policy's pending decision.
+type compiledRule struct {
+	id         string
+	target     []uint16
+	cond       []condInstr
+	fireReturn Decision
+	fireSet    Decision
+}
+
+// CompiledPolicy is the executable form of a Policy.
+type CompiledPolicy struct {
+	ID     string
+	prog   *program
+	target []uint16
+	rules  []compiledRule
+}
+
+// CompilePolicy compiles a single policy with its own match table.
+func CompilePolicy(p *Policy) (*CompiledPolicy, error) {
+	return compilePolicy(p, newProgram())
+}
+
+func compilePolicy(p *Policy, pg *program) (*CompiledPolicy, error) {
+	cp := &CompiledPolicy{ID: p.ID, prog: pg}
+	var err error
+	if cp.target, err = pg.compileTarget(p.Target); err != nil {
+		return nil, err
+	}
+	for _, ru := range p.Rules {
+		cr := compiledRule{id: ru.ID}
+		if cr.target, err = pg.compileTarget(ru.Target); err != nil {
+			return nil, err
+		}
+		if ru.Condition != nil {
+			if cr.cond, err = pg.compileCond(ru.Condition, nil); err != nil {
+				return nil, err
+			}
+		}
+		// Resolve the rule-combining switch of Policy.EvaluateTraced at
+		// compile time.
+		switch p.Combining {
+		case DenyOverrides:
+			if ru.Effect == Deny {
+				cr.fireReturn = DecisionDeny
+			} else {
+				cr.fireSet = DecisionPermit
+			}
+		case PermitOverrides:
+			if ru.Effect == Permit {
+				cr.fireReturn = DecisionPermit
+			} else {
+				cr.fireSet = DecisionDeny
+			}
+		case FirstApplicable:
+			if ru.Effect == Permit {
+				cr.fireReturn = DecisionPermit
+			} else {
+				cr.fireReturn = DecisionDeny
+			}
+		default:
+			cr.fireReturn = DecisionIndeterminate
+		}
+		cp.rules = append(cp.rules, cr)
+	}
+	return cp, nil
+}
+
+// Evaluate runs the compiled policy on a request. For repeated
+// evaluation prefer compiling into a CompiledPolicySet and using an
+// Evaluator, which reuses scratch memory.
+func (cp *CompiledPolicy) Evaluate(r Request) Decision {
+	var sc scratch
+	sc.reset(len(cp.prog.matches))
+	return cp.evaluate(r, &sc)
+}
+
+func (cp *CompiledPolicy) evaluate(r Request, sc *scratch) Decision {
+	pg := cp.prog
+	if !pg.evalTarget(cp.target, r, sc) {
+		return DecisionNotApplicable
+	}
+	decision := DecisionNotApplicable
+	for i := range cp.rules {
+		ru := &cp.rules[i]
+		if !pg.evalTarget(ru.target, r, sc) || !pg.evalCond(ru.cond, r, sc) {
+			continue
+		}
+		if ru.fireReturn != 0 {
+			return ru.fireReturn
+		}
+		decision = ru.fireSet
+	}
+	return decision
+}
+
+// CompiledPolicySet is the executable form of a PolicySet: all member
+// policies compiled against one shared match table, with an equality
+// index over the most discriminating attribute slot.
+type CompiledPolicySet struct {
+	ID       string
+	prog     *program
+	target   []uint16
+	policies []*CompiledPolicy
+
+	// stopOn resolves the policy-combining switch: an applicable
+	// decision equal to stopOn returns immediately; stopAny (for
+	// first-applicable) returns on any applicable decision; invalid
+	// combining returns Indeterminate on the first applicable policy.
+	stopOn  Decision
+	stopAny bool
+	invalid bool
+
+	// Target index: policies whose target equality-tests discSlot are
+	// bucketed by the tested value; the rest are always candidates.
+	// Both lists hold policy indices in original (decision) order.
+	discSlot int32
+	buckets  map[Value][]int32
+	rest     []int32
+}
+
+// CompileStats describes what compilation produced, for tests and
+// observability.
+type CompileStats struct {
+	// Policies is the number of member policies.
+	Policies int
+	// Slots is the number of interned (category, attribute) pairs.
+	Slots int
+	// Matches is the size of the deduplicated match table.
+	Matches int
+	// Indexed is the number of policies reachable only through the
+	// value index (0 when no discriminating slot was found).
+	Indexed int
+}
+
+// CompilePolicySet compiles a policy set for repeated evaluation.
+func CompilePolicySet(ps *PolicySet) (*CompiledPolicySet, error) {
+	pg := newProgram()
+	cs := &CompiledPolicySet{ID: ps.ID, prog: pg, discSlot: -1}
+	var err error
+	if cs.target, err = pg.compileTarget(ps.Target); err != nil {
+		return nil, err
+	}
+	for _, p := range ps.Policies {
+		cp, err := compilePolicy(p, pg)
+		if err != nil {
+			return nil, err
+		}
+		cs.policies = append(cs.policies, cp)
+	}
+	switch ps.Combining {
+	case DenyOverrides:
+		cs.stopOn = DecisionDeny
+	case PermitOverrides:
+		cs.stopOn = DecisionPermit
+	case FirstApplicable:
+		cs.stopAny = true
+	default:
+		cs.invalid = true
+	}
+	cs.buildIndex(ps)
+	return cs, nil
+}
+
+// buildIndex picks the (category, attribute) slot equality-tested by
+// the most policy targets and buckets those policies by tested value.
+// Correctness does not depend on the choice: a policy is indexed only
+// under a value its target requires with OpEq, so for any request the
+// skipped policies are exactly those whose targets cannot match.
+func (cs *CompiledPolicySet) buildIndex(ps *PolicySet) {
+	type eq struct {
+		slot  int32
+		value Value
+	}
+	firstEq := make([]eq, len(ps.Policies))
+	perSlot := make(map[int32][]int32) // slot -> policies with an eq target on it
+	for pi, p := range ps.Policies {
+		firstEq[pi] = eq{slot: -1}
+		seen := make(map[int32]bool)
+		for _, m := range p.Target {
+			if m.Op != OpEq {
+				continue
+			}
+			slot := cs.prog.interner.intern(m.Category, m.Attr)
+			if firstEq[pi].slot == -1 {
+				firstEq[pi] = eq{slot: slot, value: m.Value}
+			}
+			if !seen[slot] {
+				seen[slot] = true
+				perSlot[slot] = append(perSlot[slot], int32(pi))
+			}
+		}
+	}
+	best, bestN := int32(-1), 1 // require at least 2 indexed policies
+	for slot, pis := range perSlot {
+		if len(pis) > bestN || (len(pis) == bestN && best >= 0 && slot < best) {
+			best, bestN = slot, len(pis)
+		}
+	}
+	if best < 0 {
+		for pi := range ps.Policies {
+			cs.rest = append(cs.rest, int32(pi))
+		}
+		return
+	}
+	cs.discSlot = best
+	cs.buckets = make(map[Value][]int32)
+	for pi, p := range ps.Policies {
+		var val Value
+		indexed := false
+		for _, m := range p.Target {
+			if m.Op == OpEq && cs.prog.interner.intern(m.Category, m.Attr) == best {
+				val, indexed = m.Value, true
+				break
+			}
+		}
+		if indexed {
+			cs.buckets[val] = append(cs.buckets[val], int32(pi))
+		} else {
+			cs.rest = append(cs.rest, int32(pi))
+		}
+	}
+}
+
+// Stats reports compilation outcomes.
+func (cs *CompiledPolicySet) Stats() CompileStats {
+	indexed := 0
+	for _, b := range cs.buckets {
+		indexed += len(b)
+	}
+	return CompileStats{
+		Policies: len(cs.policies),
+		Slots:    len(cs.prog.interner.slots),
+		Matches:  len(cs.prog.matches),
+		Indexed:  indexed,
+	}
+}
+
+// Evaluate runs the compiled set on a request, allocating fresh
+// scratch. Hot paths should use an Evaluator.
+func (cs *CompiledPolicySet) Evaluate(r Request) Decision {
+	d, _ := cs.EvaluateWinner(r)
+	return d
+}
+
+// EvaluateWinner mirrors PolicySet.EvaluateWinner on the compiled form.
+func (cs *CompiledPolicySet) EvaluateWinner(r Request) (Decision, string) {
+	var sc scratch
+	sc.reset(len(cs.prog.matches))
+	return cs.evaluate(r, &sc)
+}
+
+func (cs *CompiledPolicySet) evaluate(r Request, sc *scratch) (Decision, string) {
+	pg := cs.prog
+	if !pg.evalTarget(cs.target, r, sc) {
+		return DecisionNotApplicable, ""
+	}
+	// Candidate policies: the bucket selected by the request's value at
+	// the discriminating slot, merged in original order with the
+	// unindexed rest.
+	var bucket []int32
+	if cs.discSlot >= 0 {
+		slot := pg.interner.slots[cs.discSlot]
+		if v, ok := r.Get(slot.Category, slot.Attr); ok {
+			bucket = cs.buckets[v]
+		}
+	}
+	decision := DecisionNotApplicable
+	winner := ""
+	rest := cs.rest
+	i, j := 0, 0
+	for i < len(bucket) || j < len(rest) {
+		var pi int32
+		if j >= len(rest) || (i < len(bucket) && bucket[i] < rest[j]) {
+			pi = bucket[i]
+			i++
+		} else {
+			pi = rest[j]
+			j++
+		}
+		p := cs.policies[pi]
+		d := p.evaluate(r, sc)
+		if d == DecisionNotApplicable {
+			continue
+		}
+		if cs.invalid {
+			return DecisionIndeterminate, p.ID
+		}
+		if cs.stopAny || d == cs.stopOn {
+			return d, p.ID
+		}
+		decision, winner = d, p.ID
+	}
+	return decision, winner
+}
+
+// Evaluator evaluates one compiled policy set repeatedly, reusing the
+// match memo and condition stack across requests. Not safe for
+// concurrent use — create one per goroutine (they share the immutable
+// compiled set).
+type Evaluator struct {
+	cs *CompiledPolicySet
+	sc scratch
+}
+
+// NewEvaluator builds an evaluator over the set.
+func (cs *CompiledPolicySet) NewEvaluator() *Evaluator {
+	ev := &Evaluator{cs: cs}
+	ev.sc.reset(len(cs.prog.matches))
+	return ev
+}
+
+// Evaluate returns the decision and winning policy id for a request.
+func (ev *Evaluator) Evaluate(r Request) (Decision, string) {
+	ev.sc.reset(len(ev.cs.prog.matches))
+	return ev.cs.evaluate(r, &ev.sc)
+}
+
+// Slots lists the interned (category, attribute) pairs in intern order,
+// rendered "category.attr" — primarily for tests and diagnostics.
+func (cs *CompiledPolicySet) Slots() []string {
+	out := make([]string, len(cs.prog.interner.slots))
+	for i, s := range cs.prog.interner.slots {
+		out[i] = string(s.Category) + "." + s.Attr
+	}
+	sort.Strings(out)
+	return out
+}

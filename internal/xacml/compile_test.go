@@ -1,0 +1,438 @@
+package xacml
+
+import (
+	"fmt"
+	"testing"
+)
+
+// --- deterministic generator for differential testing ---------------------
+//
+// A byteStream turns a byte slice (fuzz input or a seeded pattern) into
+// structural decisions; when the bytes run out every draw returns zero,
+// so generation always terminates.
+
+type byteStream struct {
+	data []byte
+	pos  int
+}
+
+func (bs *byteStream) next() byte {
+	if bs.pos >= len(bs.data) {
+		return 0
+	}
+	b := bs.data[bs.pos]
+	bs.pos++
+	return b
+}
+
+func (bs *byteStream) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(bs.next()) % n
+}
+
+var (
+	genCats  = []Category{Subject, Resource, Action, Environment}
+	genAttrs = []string{"id", "role", "level"}
+)
+
+func (bs *byteStream) value() Value {
+	if bs.next()%2 == 0 {
+		return S([]string{"a", "b", "c"}[bs.intn(3)])
+	}
+	return I(bs.intn(4))
+}
+
+func (bs *byteStream) match() Match {
+	return Match{
+		Category: genCats[bs.intn(len(genCats))],
+		Attr:     genAttrs[bs.intn(len(genAttrs))],
+		Op:       MatchOp(bs.intn(6) + 1),
+		Value:    bs.value(),
+	}
+}
+
+func (bs *byteStream) target(max int) Target {
+	n := bs.intn(max + 1)
+	t := make(Target, 0, n)
+	for i := 0; i < n; i++ {
+		t = append(t, bs.match())
+	}
+	return t
+}
+
+func (bs *byteStream) condition(depth int) *Condition {
+	if depth <= 0 {
+		m := bs.match()
+		return &Condition{Match: &m}
+	}
+	switch bs.intn(5) {
+	case 0:
+		m := bs.match()
+		return &Condition{Match: &m}
+	case 1:
+		return &Condition{Not: bs.condition(depth - 1)}
+	case 2:
+		n := bs.intn(3) + 1
+		c := &Condition{}
+		for i := 0; i < n; i++ {
+			c.And = append(c.And, *bs.condition(depth - 1))
+		}
+		return c
+	case 3:
+		n := bs.intn(3) + 1
+		c := &Condition{}
+		for i := 0; i < n; i++ {
+			c.Or = append(c.Or, *bs.condition(depth - 1))
+		}
+		return c
+	default:
+		return &Condition{} // zero value: constant true
+	}
+}
+
+// policySet draws a policy set, deliberately including out-of-range
+// combining algorithms and effects so the compiled form must reproduce
+// the tree-walk's default branches too.
+func (bs *byteStream) policySet() *PolicySet {
+	ps := &PolicySet{
+		ID:        "ps",
+		Target:    bs.target(1),
+		Combining: CombiningAlg(bs.intn(5)), // includes invalid 0 and 4
+	}
+	nPolicies := bs.intn(6) + 1
+	for i := 0; i < nPolicies; i++ {
+		p := &Policy{
+			ID:        fmt.Sprintf("p%d", i),
+			Target:    bs.target(3),
+			Combining: CombiningAlg(bs.intn(5)),
+		}
+		nRules := bs.intn(3) + 1
+		for j := 0; j < nRules; j++ {
+			ru := Rule{
+				ID:     fmt.Sprintf("p%d-r%d", i, j),
+				Effect: Effect(bs.intn(4)), // includes invalid 0 and 3
+				Target: bs.target(2),
+			}
+			if bs.next()%2 == 0 {
+				ru.Condition = bs.condition(2)
+			}
+			p.Rules = append(p.Rules, ru)
+		}
+		ps.Policies = append(ps.Policies, p)
+	}
+	return ps
+}
+
+func (bs *byteStream) request() Request {
+	r := NewRequest()
+	n := bs.intn(6)
+	for i := 0; i < n; i++ {
+		r.Set(genCats[bs.intn(len(genCats))], genAttrs[bs.intn(len(genAttrs))], bs.value())
+	}
+	return r
+}
+
+// diffOne compiles a generated set and checks decision and winner
+// equality against the tree-walk oracle over several requests.
+func diffOne(t *testing.T, data []byte) {
+	t.Helper()
+	bs := &byteStream{data: data}
+	ps := bs.policySet()
+	cs, err := CompilePolicySet(ps)
+	if err != nil {
+		t.Fatalf("CompilePolicySet: %v", err)
+	}
+	ev := cs.NewEvaluator()
+	for k := 0; k < 8; k++ {
+		r := bs.request()
+		wantD, wantW := ps.EvaluateWinner(r)
+		gotD, gotW := cs.EvaluateWinner(r)
+		if gotD != wantD || gotW != wantW {
+			t.Fatalf("compiled EvaluateWinner(%s) = %v, %q; tree-walk %v, %q\nset: %+v",
+				r, gotD, gotW, wantD, wantW, ps)
+		}
+		evD, evW := ev.Evaluate(r)
+		if evD != wantD || evW != wantW {
+			t.Fatalf("Evaluator.Evaluate(%s) = %v, %q; tree-walk %v, %q", r, evD, evW, wantD, wantW)
+		}
+		if got := cs.Evaluate(r); got != ps.Evaluate(r) {
+			t.Fatalf("compiled Evaluate(%s) = %v; tree-walk %v", r, got, ps.Evaluate(r))
+		}
+		// Per-policy differential, standalone compilation path.
+		for _, p := range ps.Policies {
+			cp, err := CompilePolicy(p)
+			if err != nil {
+				t.Fatalf("CompilePolicy(%s): %v", p.ID, err)
+			}
+			if got, want := cp.Evaluate(r), p.Evaluate(r); got != want {
+				t.Fatalf("compiled policy %s(%s) = %v; tree-walk %v", p.ID, r, got, want)
+			}
+		}
+	}
+}
+
+func TestCompiledDifferentialSeeds(t *testing.T) {
+	// A deterministic sweep over pseudo-random byte patterns; the fuzz
+	// target below explores beyond these.
+	for seed := 0; seed < 500; seed++ {
+		data := make([]byte, 128)
+		x := uint32(seed)*2654435761 + 1
+		for i := range data {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			data[i] = byte(x)
+		}
+		diffOne(t, data)
+	}
+}
+
+func FuzzCompiledVsTreeWalk(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte("deny-overrides-first-applicable-permit"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		diffOne(t, data)
+	})
+}
+
+// --- targeted semantics the compiler must preserve ------------------------
+
+func TestCompiledCombiningAlgorithms(t *testing.T) {
+	mkRule := func(id string, e Effect, m Match) Rule {
+		return Rule{ID: id, Effect: e, Target: Target{m}}
+	}
+	matchAll := Match{Category: Subject, Attr: "id", Op: OpEq, Value: S("a")}
+	r := NewRequest().Set(Subject, "id", S("a"))
+	for _, tt := range []struct {
+		name      string
+		combining CombiningAlg
+		rules     []Rule
+		want      Decision
+	}{
+		{"deny-overrides/deny-wins", DenyOverrides,
+			[]Rule{mkRule("p", Permit, matchAll), mkRule("d", Deny, matchAll)}, DecisionDeny},
+		{"deny-overrides/permit-when-no-deny", DenyOverrides,
+			[]Rule{mkRule("p", Permit, matchAll)}, DecisionPermit},
+		{"permit-overrides/permit-wins", PermitOverrides,
+			[]Rule{mkRule("d", Deny, matchAll), mkRule("p", Permit, matchAll)}, DecisionPermit},
+		{"permit-overrides/deny-when-no-permit", PermitOverrides,
+			[]Rule{mkRule("d", Deny, matchAll)}, DecisionDeny},
+		{"first-applicable/first-wins", FirstApplicable,
+			[]Rule{mkRule("d", Deny, matchAll), mkRule("p", Permit, matchAll)}, DecisionDeny},
+		{"invalid-combining/indeterminate", CombiningAlg(0),
+			[]Rule{mkRule("p", Permit, matchAll)}, DecisionIndeterminate},
+		{"no-rule-applies/not-applicable", DenyOverrides,
+			[]Rule{mkRule("p", Permit, Match{Category: Subject, Attr: "id", Op: OpEq, Value: S("z")})},
+			DecisionNotApplicable},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			p := &Policy{ID: "p", Rules: tt.rules, Combining: tt.combining}
+			if got := p.Evaluate(r); got != tt.want {
+				t.Fatalf("tree-walk oracle = %v, want %v (test is wrong)", got, tt.want)
+			}
+			cp, err := CompilePolicy(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cp.Evaluate(r); got != tt.want {
+				t.Errorf("compiled = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompiledSetWinnerAndShortCircuit(t *testing.T) {
+	mkPolicy := func(id string, e Effect, val string) *Policy {
+		return &Policy{
+			ID:        id,
+			Target:    Target{{Category: Action, Attr: "id", Op: OpEq, Value: S(val)}},
+			Rules:     []Rule{{ID: id + "-r", Effect: e}},
+			Combining: DenyOverrides,
+		}
+	}
+	ps := &PolicySet{
+		ID:        "s",
+		Combining: DenyOverrides,
+		Policies: []*Policy{
+			mkPolicy("a-permit", Permit, "read"),
+			mkPolicy("b-deny", Deny, "read"),
+			mkPolicy("c-permit", Permit, "write"),
+		},
+	}
+	cs, err := CompilePolicySet(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		action string
+		want   Decision
+		winner string
+	}{
+		{"read", DecisionDeny, "b-deny"},
+		{"write", DecisionPermit, "c-permit"},
+		{"nope", DecisionNotApplicable, ""},
+	} {
+		r := NewRequest().Set(Action, "id", S(tt.action))
+		d, w := cs.EvaluateWinner(r)
+		if d != tt.want || w != tt.winner {
+			t.Errorf("EvaluateWinner(%s) = %v, %q; want %v, %q", tt.action, d, w, tt.want, tt.winner)
+		}
+		od, ow := ps.EvaluateWinner(r)
+		if od != d || ow != w {
+			t.Errorf("oracle disagrees for %s: %v, %q", tt.action, od, ow)
+		}
+	}
+}
+
+func TestCompileStatsDedupAndIndex(t *testing.T) {
+	// Three policies sharing the same action.id equality test and two
+	// distinct values: the match table dedups the repeated test and the
+	// index buckets by value.
+	m := func(val string) Match {
+		return Match{Category: Action, Attr: "id", Op: OpEq, Value: S(val)}
+	}
+	ps := &PolicySet{
+		Combining: DenyOverrides,
+		Policies: []*Policy{
+			{ID: "p1", Target: Target{m("read")}, Rules: []Rule{{Effect: Permit}}, Combining: DenyOverrides},
+			{ID: "p2", Target: Target{m("read")}, Rules: []Rule{{Effect: Deny, Target: Target{m("read")}}}, Combining: DenyOverrides},
+			{ID: "p3", Target: Target{m("write")}, Rules: []Rule{{Effect: Permit}}, Combining: DenyOverrides},
+			{ID: "p4", Rules: []Rule{{Effect: Permit}}, Combining: DenyOverrides}, // unindexed
+		},
+	}
+	cs, err := CompilePolicySet(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cs.Stats()
+	if st.Policies != 4 {
+		t.Errorf("Policies = %d", st.Policies)
+	}
+	if st.Slots != 1 {
+		t.Errorf("Slots = %d, want 1 (single interned action.id)", st.Slots)
+	}
+	if st.Matches != 2 {
+		t.Errorf("Matches = %d, want 2 (read/write deduped)", st.Matches)
+	}
+	if st.Indexed != 3 {
+		t.Errorf("Indexed = %d, want 3", st.Indexed)
+	}
+	if got := cs.Slots(); len(got) != 1 || got[0] != "action.id" {
+		t.Errorf("Slots() = %v", got)
+	}
+	// Index correctness: p4 (unindexed) still decides for unmatched values.
+	d, w := cs.EvaluateWinner(NewRequest().Set(Action, "id", S("other")))
+	if d != DecisionPermit || w != "p4" {
+		t.Errorf("unindexed fallback = %v, %q", d, w)
+	}
+	// Missing discriminating attribute: only unindexed policies apply.
+	d, w = cs.EvaluateWinner(NewRequest())
+	if d != DecisionPermit || w != "p4" {
+		t.Errorf("missing attr = %v, %q", d, w)
+	}
+}
+
+// --- Request.Clone and Value.Compare edges the compiler relies on ---------
+
+func TestRequestCloneIndependence(t *testing.T) {
+	orig := NewRequest().
+		Set(Subject, "id", S("alice")).
+		Set(Resource, "level", I(3))
+	cl := orig.Clone()
+	cl.Set(Subject, "id", S("bob"))
+	cl.Set(Action, "id", S("read"))
+	if v, _ := orig.Get(Subject, "id"); v.Str != "alice" {
+		t.Errorf("Clone shares subject map: %v", v)
+	}
+	if _, ok := orig.Get(Action, "id"); ok {
+		t.Error("Clone shares category map allocation")
+	}
+	if orig.Key() == cl.Key() {
+		t.Error("keys should differ after divergence")
+	}
+	// Cloning an empty request yields an independent empty request.
+	empty := NewRequest().Clone()
+	empty.Set(Subject, "id", S("x"))
+	if len(empty) != 1 {
+		t.Errorf("empty clone unusable: %v", empty)
+	}
+}
+
+func TestValueCompareMixedTypes(t *testing.T) {
+	for _, tt := range []struct {
+		a, b Value
+		want int // sign
+	}{
+		{I(1), I(2), -1},
+		{I(2), I(1), 1},
+		{I(2), I(2), 0},
+		{S("a"), S("b"), -1},
+		{S("b"), S("a"), 1},
+		{S("a"), S("a"), 0},
+		{I(99), S("a"), -1}, // ints order before strings
+		{S("a"), I(99), 1},
+		{I(0), S(""), -1},
+	} {
+		got := tt.a.Compare(tt.b)
+		switch {
+		case tt.want < 0 && got >= 0, tt.want > 0 && got <= 0, tt.want == 0 && got != 0:
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", tt.a, tt.b, got, tt.want)
+		}
+		if (tt.want == 0) != tt.a.Equal(tt.b) {
+			t.Errorf("Equal(%v, %v) inconsistent with Compare", tt.a, tt.b)
+		}
+	}
+}
+
+func TestCompiledMatchMissingAndMismatched(t *testing.T) {
+	// Missing attributes never match; int/string mismatches match only
+	// under equality ops (as inequality). The compiled form must keep
+	// both behaviours.
+	p := &Policy{
+		ID:        "p",
+		Combining: DenyOverrides,
+		Rules: []Rule{
+			{ID: "neq", Effect: Permit, Target: Target{
+				{Category: Subject, Attr: "level", Op: OpNeq, Value: I(3)},
+			}},
+		},
+	}
+	cp, err := CompilePolicy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name string
+		req  Request
+		want Decision
+	}{
+		{"missing-attr", NewRequest(), DecisionNotApplicable},
+		{"string-vs-int-neq", NewRequest().Set(Subject, "level", S("high")), DecisionPermit},
+		{"equal-int", NewRequest().Set(Subject, "level", I(3)), DecisionNotApplicable},
+		{"other-int", NewRequest().Set(Subject, "level", I(4)), DecisionPermit},
+	} {
+		if got := p.Evaluate(tt.req); got != tt.want {
+			t.Fatalf("%s: tree-walk oracle = %v, want %v (test is wrong)", tt.name, got, tt.want)
+		}
+		if got := cp.Evaluate(tt.req); got != tt.want {
+			t.Errorf("%s: compiled = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	// Ordering ops on mismatched types never match.
+	lt := &Policy{ID: "lt", Combining: DenyOverrides, Rules: []Rule{
+		{ID: "r", Effect: Permit, Target: Target{
+			{Category: Subject, Attr: "level", Op: OpLt, Value: I(3)},
+		}},
+	}}
+	clt, err := CompilePolicy(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := NewRequest().Set(Subject, "level", S("2"))
+	if got := clt.Evaluate(mismatch); got != lt.Evaluate(mismatch) || got != DecisionNotApplicable {
+		t.Errorf("ordering op on mismatched types = %v, want NotApplicable", got)
+	}
+}

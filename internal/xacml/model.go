@@ -472,10 +472,20 @@ type PolicySet struct {
 
 // Evaluate runs the policy set on a request.
 func (ps *PolicySet) Evaluate(r Request) Decision {
+	d, _ := ps.EvaluateWinner(r)
+	return d
+}
+
+// EvaluateWinner runs the policy set and also returns the id of the
+// policy whose decision was combined into the outcome ("" when none
+// applied). This is the tree-walk oracle the compiled representation
+// (CompilePolicySet) is differential-tested against.
+func (ps *PolicySet) EvaluateWinner(r Request) (Decision, string) {
 	if !ps.Target.Matches(r) {
-		return DecisionNotApplicable
+		return DecisionNotApplicable, ""
 	}
 	decision := DecisionNotApplicable
+	winner := ""
 	for _, p := range ps.Policies {
 		d := p.Evaluate(r)
 		if d == DecisionNotApplicable {
@@ -484,19 +494,19 @@ func (ps *PolicySet) Evaluate(r Request) Decision {
 		switch ps.Combining {
 		case DenyOverrides:
 			if d == DecisionDeny {
-				return DecisionDeny
+				return DecisionDeny, p.ID
 			}
-			decision = d
+			decision, winner = d, p.ID
 		case PermitOverrides:
 			if d == DecisionPermit {
-				return DecisionPermit
+				return DecisionPermit, p.ID
 			}
-			decision = d
+			decision, winner = d, p.ID
 		case FirstApplicable:
-			return d
+			return d, p.ID
 		default:
-			return DecisionIndeterminate
+			return DecisionIndeterminate, p.ID
 		}
 	}
-	return decision
+	return decision, winner
 }

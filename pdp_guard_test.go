@@ -1,0 +1,76 @@
+package agenp_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	framework "agenp/internal/agenp"
+	"agenp/internal/engine"
+)
+
+// TestPDPThroughputGuard is the CI regression gate for the compiled
+// decision path (set AGENP_BENCH_GUARD=1 to run): it re-measures the
+// seed interpreter path against the compiled engine in-process and
+// fails if the speedup falls below the 5x tentpole target, or below a
+// third of the ratio recorded in BENCH_4.json (a deliberately tolerant
+// noise threshold — CI machines are slower and noisier than the
+// recording machine, but a real regression to the copy-per-request
+// path shows up as a ~100x ratio collapse, not a 3x one).
+func TestPDPThroughputGuard(t *testing.T) {
+	if os.Getenv("AGENP_BENCH_GUARD") == "" {
+		t.Skip("set AGENP_BENCH_GUARD=1 to run the throughput guard")
+	}
+	repo, reqs := pdpFixture(100)
+	ti := &framework.TokenInterpreter{}
+
+	interp := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pols := repo.List()
+			ti.Decide(pols, reqs[i%len(reqs)])
+		}
+	})
+	eng := engine.New(repo, ti.CompileDecider)
+	if _, err := eng.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	compiled := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Decide(reqs[i%len(reqs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	interpNs := float64(interp.NsPerOp())
+	engineNs := float64(compiled.NsPerOp())
+	if engineNs <= 0 {
+		t.Fatalf("degenerate measurement: engine %v ns/op", engineNs)
+	}
+	speedup := interpNs / engineNs
+	t.Logf("interpreter %.0f ns/op, engine %.0f ns/op, speedup %.1fx", interpNs, engineNs, speedup)
+	if speedup < 5 {
+		t.Fatalf("compiled engine speedup %.1fx is below the 5x target", speedup)
+	}
+
+	var rec struct {
+		BaselineNsPerOp map[string]float64 `json:"baseline_ns_per_op"`
+	}
+	data, err := os.ReadFile("BENCH_4.json")
+	if err != nil {
+		t.Logf("no BENCH_4.json baseline (%v); absolute gate only", err)
+		return
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("BENCH_4.json: %v", err)
+	}
+	baseInterp := rec.BaselineNsPerOp["BenchmarkPDPThroughput/interpreter-list"]
+	baseEngine := rec.BaselineNsPerOp["BenchmarkPDPThroughput/engine-single"]
+	if baseInterp == 0 || baseEngine == 0 {
+		t.Fatal("BENCH_4.json lacks the PDP baseline entries")
+	}
+	recorded := baseInterp / baseEngine
+	if speedup < recorded/3 {
+		t.Fatalf("speedup %.1fx regressed beyond noise from the recorded %.1fx", speedup, recorded)
+	}
+}
