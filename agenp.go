@@ -51,6 +51,7 @@ import (
 	"agenp/internal/engine"
 	"agenp/internal/ilasp"
 	"agenp/internal/intent"
+	"agenp/internal/polcheck"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
 )
@@ -100,6 +101,37 @@ const (
 	SeverityInfo    = aspcheck.Info
 	SeverityWarning = aspcheck.Warning
 	SeverityError   = aspcheck.Error
+)
+
+// Policy-verification types (package polcheck): symbolic analysis of
+// XACML policy sets — shadowed/unreachable/redundant rules, permit/deny
+// conflicts with validated witness requests, cross-policy subsumption,
+// and generation change-impact — without enumerating the attribute
+// domain. VerifyPolicySet analyzes a set, DiffPolicySets computes the
+// symbolic diff of two generations, and AMSConfig.VerifyPolicies turns
+// the same analysis into a regeneration/import gate inside the AMS.
+type (
+	// PolicySet is an XACML-style policy set, the verifier's input.
+	PolicySet = xacml.PolicySet
+	// VerifyReport is the outcome of verifying a policy set.
+	VerifyReport = polcheck.Report
+	// VerifyFinding is one verification result.
+	VerifyFinding = polcheck.Finding
+	// VerifyOptions bounds and tunes the verification.
+	VerifyOptions = polcheck.Options
+	// PolicySetDiff is the change-impact between two generations.
+	PolicySetDiff = polcheck.Diff
+)
+
+// Policy-verification entry points.
+var (
+	// VerifyPolicySet symbolically verifies a policy set.
+	VerifyPolicySet = polcheck.AnalyzeSet
+	// DiffPolicySets computes the symbolic change-impact between two
+	// policy-set generations.
+	DiffPolicySets = polcheck.DiffSets
+	// ParsePolicies parses a corpus of textual policy blocks.
+	ParsePolicies = xacml.ParsePolicies
 )
 
 // Learning types.

@@ -18,6 +18,7 @@ import (
 	"agenp/internal/engine"
 	"agenp/internal/experiments"
 	"agenp/internal/ilasp"
+	"agenp/internal/polcheck"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
 )
@@ -410,6 +411,61 @@ func BenchmarkXACMLEvaluate(b *testing.B) {
 		ev := cs.NewEvaluator()
 		for i := 0; i < b.N; i++ {
 			ev.Evaluate(reqs[i%len(reqs)])
+		}
+	})
+}
+
+// polcheckFixture builds a conflict-free n-policy set in the shape the
+// verifier meets in production: per-action policies with a permit rule
+// for cleared levels and a deny rule below the threshold.
+func polcheckFixture(n int) *xacml.PolicySet {
+	ps := &xacml.PolicySet{ID: "bench", Combining: xacml.DenyOverrides}
+	for i := 0; i < n; i++ {
+		ps.Policies = append(ps.Policies, &xacml.Policy{
+			ID:        fmt.Sprintf("p%03d", i),
+			Combining: xacml.DenyOverrides,
+			Target: xacml.Target{
+				{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S(fmt.Sprintf("act-%03d", i))},
+			},
+			Rules: []xacml.Rule{
+				{ID: "deny-low", Effect: xacml.Deny, Target: xacml.Target{
+					{Category: xacml.Subject, Attr: "level", Op: xacml.OpLt, Value: xacml.I(2)},
+				}},
+				{ID: "allow", Effect: xacml.Permit, Target: xacml.Target{
+					{Category: xacml.Subject, Attr: "level", Op: xacml.OpGeq, Value: xacml.I(2)},
+				}},
+			},
+		})
+	}
+	return ps
+}
+
+// BenchmarkPolcheck measures the symbolic policy-set verifier
+// (internal/polcheck) — full AnalyzeSet including the pairwise
+// cross-policy sweep and subsumption, and the generation diff. The
+// TestPolcheckLatencyGuard gate keeps analysis sub-millisecond at 100
+// policies.
+func BenchmarkPolcheck(b *testing.B) {
+	for _, n := range []int{10, 100} {
+		ps := polcheckFixture(n)
+		b.Run(fmt.Sprintf("analyze=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if rep := polcheck.AnalyzeSet(ps, polcheck.Options{}); len(rep.Findings) != 0 {
+					b.Fatalf("fixture has findings: %v", rep)
+				}
+			}
+		})
+	}
+	old, new := polcheckFixture(100), polcheckFixture(100)
+	new.Policies[50].Rules[1].Effect = xacml.Deny // one generation flip
+	b.Run("diff=100", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := polcheck.DiffSets(old, new, polcheck.Options{SkipValidation: true})
+			if err != nil || !d.Changed() {
+				b.Fatalf("diff = %v, %v", d, err)
+			}
 		}
 	})
 }

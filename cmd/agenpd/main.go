@@ -46,6 +46,7 @@ import (
 	"agenp/internal/core"
 	"agenp/internal/engine"
 	"agenp/internal/obs"
+	"agenp/internal/polcheck"
 	"agenp/internal/xacml"
 )
 
@@ -55,6 +56,7 @@ import (
 var (
 	statDecideDur  = obs.H("agenpd.decide.duration")
 	statDecideReqs = obs.C("agenpd.decide.requests")
+	statVerifyReqs = obs.C("agenpd.verify.requests")
 )
 
 // decideServer serves PDP decisions over HTTP from the parties' compiled
@@ -144,6 +146,46 @@ func (s *decideServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// verifyResponse is the /verify response body.
+type verifyResponse struct {
+	Party      string           `json:"party"`
+	Generation uint64           `json:"generation"`
+	OK         bool             `json:"ok"`
+	Report     *polcheck.Report `json:"report"`
+}
+
+// handleVerify runs the symbolic policy verifier over a party's live
+// snapshot (?party=..., default: the lead) and reports the findings —
+// conflicts with validated witness requests, shadowed and redundant
+// rules, cross-policy subsumption.
+func (s *decideServer) handleVerify(w http.ResponseWriter, r *http.Request) {
+	statVerifyReqs.Inc()
+	s.mu.RLock()
+	party := r.URL.Query().Get("party")
+	if party == "" {
+		party = s.lead
+	}
+	ams := s.members[party]
+	s.mu.RUnlock()
+	if ams == nil {
+		http.Error(w, fmt.Sprintf("unknown party %q", party), http.StatusNotFound)
+		return
+	}
+	rep, err := ams.VerifySnapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := verifyResponse{
+		Party:      party,
+		Generation: ams.Engine().Generation(),
+		OK:         !rep.HasErrors(),
+		Report:     rep,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -179,6 +221,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default.Handler())
 		mux.Handle("/decide", decider)
+		mux.HandleFunc("/verify", decider.handleVerify)
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

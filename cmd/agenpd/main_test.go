@@ -270,6 +270,45 @@ func TestDecideEndpoint(t *testing.T) {
 		t.Errorf("missing action = %d, want 400", resp.StatusCode)
 	}
 
+	// The /verify endpoint analyzes the live snapshot symbolically:
+	// party-a holds share_image (permit) and withhold_image (deny) for
+	// the same object, so the verifier reports a validated conflict.
+	vresp, err := http.Get(base + "/verify?party=party-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /verify = %d", vresp.StatusCode)
+	}
+	var vr verifyResponse
+	if err := json.NewDecoder(vresp.Body).Decode(&vr); err != nil {
+		t.Fatalf("decoding /verify: %v", err)
+	}
+	if vr.Party != "party-a" || vr.Report == nil {
+		t.Fatalf("verify response = %+v", vr)
+	}
+	if vr.OK {
+		t.Errorf("share/withhold image pair should verify as conflicting: %+v", vr.Report)
+	}
+	foundConflict := false
+	for _, f := range vr.Report.Findings {
+		if f.Kind.String() == "cross-conflict" && f.Witness != "" {
+			foundConflict = true
+		}
+	}
+	if !foundConflict {
+		t.Errorf("no witnessed cross-conflict in report: %+v", vr.Report.Findings)
+	}
+	if resp, err := http.Get(base + "/verify?party=party-zz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("verify unknown party = %d, want 404", resp.StatusCode)
+		}
+	}
+
 	cancel()
 	select {
 	case err := <-errCh:

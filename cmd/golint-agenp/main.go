@@ -1,0 +1,74 @@
+// Command golint-agenp runs the module's project-specific vet passes
+// (internal/lintcheck) over a directory tree: lockcopy flags by-value
+// copies of lock- or atomic-bearing struct types (an Engine or
+// telemetry Histogram copied by value forks its lock), and atomicaccess
+// flags plain reads/writes of fields documented as atomically accessed.
+//
+// Usage:
+//
+//	golint-agenp ./internal/... is not understood; pass directories:
+//	golint-agenp internal cmd          # walk both trees
+//	golint-agenp -json internal        # machine-readable output
+//
+// The exit status is nonzero when any diagnostic is reported. CI runs
+// it next to go vet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"agenp/internal/lintcheck"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != errFindings {
+			fmt.Fprintln(os.Stderr, "golint-agenp:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errFindings signals diagnostics that were already printed.
+var errFindings = fmt.Errorf("lint findings")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("golint-agenp", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	ds, err := lintcheck.RunDirs(roots, lintcheck.Analyzers())
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if ds == nil {
+			ds = []lintcheck.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ds); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range ds {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(ds) == 0 {
+			fmt.Fprintln(stdout, "ok: no findings")
+		}
+	}
+	if len(ds) > 0 {
+		return errFindings
+	}
+	return nil
+}

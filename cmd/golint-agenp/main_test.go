@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agenp/internal/lintcheck"
+)
+
+const badSource = `package bad
+
+import "sync"
+
+type Engine struct {
+	mu sync.Mutex
+}
+
+func use(e Engine) {} // by-value copy
+`
+
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestFindingsFailTheRun(t *testing.T) {
+	dir := writeFixture(t, badSource)
+	var out strings.Builder
+	err := run([]string{dir}, &out)
+	if err != errFindings {
+		t.Fatalf("err = %v, want errFindings\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "[lockcopy]") || !strings.Contains(out.String(), "copies Engine") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeFixture(t, badSource)
+	var out strings.Builder
+	if err := run([]string{"-json", dir}, &out); err != errFindings {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	var ds []lintcheck.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &ds); err != nil {
+		t.Fatalf("decoding output: %v\n%s", err, out.String())
+	}
+	if len(ds) != 1 || ds[0].Analyzer != "lockcopy" {
+		t.Errorf("diagnostics = %+v", ds)
+	}
+}
+
+// TestModuleIsClean is the CI gate: the real source tree has no
+// findings.
+func TestModuleIsClean(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"../../internal", "../../cmd", "../.."}, &out); err != nil {
+		t.Fatalf("module has findings: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: no findings") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestMissingDirectory(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"no-such-dir"}, &out); err == nil || err == errFindings {
+		t.Errorf("missing directory err = %v", err)
+	}
+}

@@ -1,0 +1,214 @@
+// Command polcheck statically verifies XACML policy sets without
+// enumerating the attribute domain: shadowed and unreachable rules,
+// permit/deny conflict pairs with concrete witness requests (validated
+// by replaying them through the compiled engine and the tree-walk
+// oracle), redundant rules, cross-policy subsumption, and the symbolic
+// change-impact between two policy-set generations.
+//
+// Inputs are corpus files in the compact textual policy form of
+// internal/xacml (one or more policy blocks per file); the policies of
+// each file form one policy set under -combining.
+//
+// Usage:
+//
+//	polcheck policies.xpol               # verify a policy set
+//	polcheck -json policies.xpol         # machine-readable output
+//	polcheck -strict policies.xpol       # warnings also fail the run
+//	polcheck -min warning policies.xpol  # hide info findings
+//	polcheck -combining first-applicable policies.xpol
+//	polcheck -diff gen-a.xpol gen-b.xpol # generation change-impact
+//	cat policies.xpol | polcheck         # read from stdin
+//
+// The exit status is nonzero when any error-severity finding is
+// reported (with -strict, any warning), or when -diff detects decision
+// flips.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"agenp/internal/polcheck"
+	"agenp/internal/xacml"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if err != errFindings {
+			fmt.Fprintln(os.Stderr, "polcheck:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errFindings signals a failing verification whose findings were
+// already printed; main must not repeat it on stderr.
+var errFindings = fmt.Errorf("findings at failing severity")
+
+// fileReport pairs an input name with its report for -json output.
+type fileReport struct {
+	File   string           `json:"file"`
+	Report *polcheck.Report `json:"report"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("polcheck", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	minName := fs.String("min", "info", "minimum severity to report: info, warning or error")
+	strict := fs.Bool("strict", false, "exit nonzero on warnings, not just errors")
+	combining := fs.String("combining", "deny-overrides", "policy-combining algorithm for each file's policy set")
+	maxVectors := fs.Int("max-vectors", 0, "cap on symbolic region size (0: default 256)")
+	noValidate := fs.Bool("no-validate", false, "skip replaying witnesses through the engine")
+	diff := fs.Bool("diff", false, "change-impact mode: diff exactly two generation files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	min, err := polcheck.ParseSeverity(*minName)
+	if err != nil {
+		return err
+	}
+	alg, err := xacml.CombiningAlgFromString(*combining)
+	if err != nil {
+		return err
+	}
+	opts := polcheck.Options{MaxVectors: *maxVectors, SkipValidation: *noValidate}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two generation files")
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), alg, opts, *jsonOut, stdout)
+	}
+
+	var reports []fileReport
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		rep, err := analyzeSource("<stdin>", string(src), alg, opts)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, fileReport{File: "<stdin>", Report: rep})
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rep, err := analyzeSource(path, string(src), alg, opts)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, fileReport{File: path, Report: rep})
+	}
+
+	failed := false
+	for i := range reports {
+		rep := reports[i].Report
+		rep.Findings = rep.Filter(min)
+		if rep.Findings == nil {
+			rep.Findings = []polcheck.Finding{}
+		}
+		threshold := polcheck.Error
+		if *strict {
+			threshold = polcheck.Warning
+		}
+		if len(rep.Filter(threshold)) > 0 {
+			failed = true
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		total := 0
+		for _, rep := range reports {
+			for _, f := range rep.Report.Findings {
+				fmt.Fprintf(stdout, "%s: %s\n", rep.File, f)
+				total++
+			}
+		}
+		if total == 0 {
+			fmt.Fprintln(stdout, "ok: no findings")
+		}
+	}
+	if failed {
+		return errFindings
+	}
+	return nil
+}
+
+// analyzeSource parses one corpus file into a policy set and verifies
+// it.
+func analyzeSource(name, src string, alg xacml.CombiningAlg, opts polcheck.Options) (*polcheck.Report, error) {
+	ps, err := parseSet(name, src, alg)
+	if err != nil {
+		return nil, err
+	}
+	return polcheck.AnalyzeSet(ps, opts), nil
+}
+
+func parseSet(name, src string, alg xacml.CombiningAlg) (*xacml.PolicySet, error) {
+	pols, err := xacml.ParsePolicies(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &xacml.PolicySet{ID: name, Policies: pols, Combining: alg}, nil
+}
+
+// diffOutput is the -diff -json output shape.
+type diffOutput struct {
+	Old     string         `json:"old"`
+	New     string         `json:"new"`
+	Changed bool           `json:"changed"`
+	Diff    *polcheck.Diff `json:"diff"`
+}
+
+// runDiff computes the symbolic change-impact between two generation
+// files; any decision flip fails the run.
+func runDiff(oldPath, newPath string, alg xacml.CombiningAlg, opts polcheck.Options, jsonOut bool, stdout io.Writer) error {
+	oldSrc, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newSrc, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldSet, err := parseSet(oldPath, string(oldSrc), alg)
+	if err != nil {
+		return err
+	}
+	newSet, err := parseSet(newPath, string(newSrc), alg)
+	if err != nil {
+		return err
+	}
+	d, err := polcheck.DiffSets(oldSet, newSet, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diffOutput{Old: oldPath, New: newPath, Changed: d.Changed(), Diff: d}); err != nil {
+			return err
+		}
+	} else if d.Changed() {
+		fmt.Fprintf(stdout, "%s -> %s: %d decision flip(s)\n%s\n", oldPath, newPath, len(d.Flips), d)
+	} else {
+		fmt.Fprintf(stdout, "%s -> %s: no decision changes\n", oldPath, newPath)
+	}
+	if d.Changed() {
+		return errFindings
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agenp/internal/polcheck"
+)
+
+const corpus = "../../examples/verify"
+
+func runCLI(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestCleanCorpusPasses(t *testing.T) {
+	out, err := runCLI(t, "", filepath.Join(corpus, "clean.xpol"))
+	if err != nil {
+		t.Fatalf("clean corpus failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok: no findings") {
+		t.Errorf("output = %q, want ok line", out)
+	}
+}
+
+func TestConflictCorpusFails(t *testing.T) {
+	out, err := runCLI(t, "", filepath.Join(corpus, "conflict.xpol"))
+	if err != errFindings {
+		t.Fatalf("err = %v, want errFindings\n%s", err, out)
+	}
+	for _, want := range []string{
+		"error: conflict: export/allow_cleared",
+		"witness:",
+		"warning: shadowed: records/senior_doctor_read",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMinSeverityFilters(t *testing.T) {
+	out, err := runCLI(t, "", "-min", "error", filepath.Join(corpus, "conflict.xpol"))
+	if err != errFindings {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	if strings.Contains(out, "shadowed") || strings.Contains(out, "redundant") {
+		t.Errorf("-min error leaked lower-severity findings:\n%s", out)
+	}
+	if !strings.Contains(out, "conflict") {
+		t.Errorf("-min error dropped the conflict:\n%s", out)
+	}
+}
+
+// warningOnly has a shadowed rule but no conflict: findings top out at
+// warning severity, so only -strict fails on it.
+const warningOnly = `
+policy "p" first-applicable {
+  rule "wide" permit { target subject.role = doctor }
+  rule "narrow" permit { target subject.role = doctor, subject.level >= 7 }
+}
+`
+
+func TestStrictPromotesWarnings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "warn.xpol")
+	if err := os.WriteFile(path, []byte(warningOnly), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCLI(t, "", path); err != nil {
+		t.Errorf("warnings failed without -strict: %v\n%s", err, out)
+	}
+	if _, err := runCLI(t, "", "-strict", path); err != errFindings {
+		t.Errorf("-strict err = %v, want errFindings", err)
+	}
+}
+
+func TestStdin(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(corpus, "clean.xpol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, string(src))
+	if err != nil {
+		t.Fatalf("stdin run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok: no findings") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, err := runCLI(t, "", "-json", filepath.Join(corpus, "conflict.xpol"))
+	if err != errFindings {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("decoding output: %v\n%s", err, out)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+	rep := reports[0].Report
+	var conflict *polcheck.Finding
+	for i, f := range rep.Findings {
+		if f.Kind == polcheck.KindConflict {
+			conflict = &rep.Findings[i]
+		}
+	}
+	if conflict == nil {
+		t.Fatalf("no conflict finding in JSON: %+v", rep.Findings)
+	}
+	if conflict.Witness == "" || !conflict.Verified || conflict.Resolved != "Deny" {
+		t.Errorf("conflict = %+v, want verified witness resolved to Deny", conflict)
+	}
+}
+
+func TestDiffMode(t *testing.T) {
+	genA := filepath.Join(corpus, "gen-a.xpol")
+	genB := filepath.Join(corpus, "gen-b.xpol")
+
+	out, err := runCLI(t, "", "-diff", genA, genB)
+	if err != errFindings {
+		t.Fatalf("diff err = %v, want errFindings\n%s", err, out)
+	}
+	for _, want := range []string{"1 decision flip", "Permit->Deny", "logistics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCLI(t, "", "-diff", genA, genA)
+	if err != nil {
+		t.Fatalf("self-diff err = %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no decision changes") {
+		t.Errorf("self-diff output = %q", out)
+	}
+
+	var d diffOutput
+	jout, err := runCLI(t, "", "-diff", "-json", genA, genB)
+	if err != errFindings {
+		t.Fatalf("json diff err = %v", err)
+	}
+	if err := json.Unmarshal([]byte(jout), &d); err != nil {
+		t.Fatalf("decoding diff JSON: %v\n%s", err, jout)
+	}
+	if !d.Changed || len(d.Diff.Flips) != 1 || !d.Diff.Flips[0].Verified {
+		t.Errorf("diff JSON = %+v, want one verified flip", d)
+	}
+
+	if _, err := runCLI(t, "", "-diff", genA); err == nil {
+		t.Error("-diff with one file not rejected")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := runCLI(t, "not a policy"); err == nil {
+		t.Error("garbage stdin not rejected")
+	}
+	if _, err := runCLI(t, "", "-min", "chartreuse"); err == nil {
+		t.Error("unknown severity not rejected")
+	}
+	if _, err := runCLI(t, "", "-combining", "coin-flip"); err == nil {
+		t.Error("unknown combining algorithm not rejected")
+	}
+	if _, err := runCLI(t, "", filepath.Join(corpus, "no-such-file.xpol")); err == nil {
+		t.Error("missing file not rejected")
+	}
+}

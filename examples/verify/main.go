@@ -1,0 +1,117 @@
+// Verify: symbolic policy-set verification without enumerating the
+// attribute domain. A coalition partner's policy set carries two seeded
+// defects — a rule shadowed by an earlier first-applicable rule, and a
+// permit/deny pair that overlaps on cleared subjects exporting sigint
+// material. polcheck finds both by pairwise interval/set reasoning over
+// the policies' constraint vectors, produces a concrete witness request
+// for the conflict, and the witness reproduces through the compiled
+// decision engine. A symbolic diff of two policy generations then shows
+// change-impact analysis: exactly which request region flipped when the
+// model was adapted.
+//
+// The same verifier runs as the `polcheck` CLI, as the AMS regeneration
+// and import gate (agenp.Config.VerifyPolicies), and behind agenpd's
+// /verify endpoint.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+
+	"agenp/internal/engine"
+	"agenp/internal/polcheck"
+	"agenp/internal/xacml"
+)
+
+//go:embed clean.xpol
+var cleanSrc string
+
+//go:embed conflict.xpol
+var conflictSrc string
+
+//go:embed gen-a.xpol
+var genASrc string
+
+//go:embed gen-b.xpol
+var genBSrc string
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseSet(id, src string) (*xacml.PolicySet, error) {
+	pols, err := xacml.ParsePolicies(src)
+	if err != nil {
+		return nil, err
+	}
+	return &xacml.PolicySet{ID: id, Policies: pols, Combining: xacml.DenyOverrides}, nil
+}
+
+func run() error {
+	// A clean set verifies silently.
+	clean, err := parseSet("clean", cleanSrc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("clean set:")
+	fmt.Println(" ", polcheck.AnalyzeSet(clean, polcheck.Options{}))
+
+	// The seeded set: polcheck reports the shadowed rule and the
+	// conflict pair, each located by policy/rule id.
+	seeded, err := parseSet("seeded", conflictSrc)
+	if err != nil {
+		return err
+	}
+	rep := polcheck.AnalyzeSet(seeded, polcheck.Options{})
+	fmt.Println("\nseeded set:")
+	for _, f := range rep.Findings {
+		fmt.Println(" ", f)
+	}
+	if !rep.HasErrors() {
+		return fmt.Errorf("expected the seeded conflict to be reported")
+	}
+
+	// The conflict finding carries a concrete witness request. Replay it
+	// through the compiled decision engine: the request really does
+	// match both rules, and deny-overrides settles it to Deny — the
+	// verifier's claim is not just symbolic.
+	conflict := rep.Conflicts()[0]
+	dec, err := engine.NewXACMLDecider(seeded)
+	if err != nil {
+		return err
+	}
+	decision, policyID := dec.Decide(conflict.Request)
+	fmt.Printf("\nwitness %s replayed through the engine: %s by %s (verified=%v)\n",
+		conflict.Witness, decision, policyID, conflict.Verified)
+
+	// Change-impact between two generations: after adaptation the model
+	// withholds logistics data. The diff names the flipped region
+	// symbolically — no request enumeration — and validates a witness
+	// against both generations.
+	genA, err := parseSet("gen-a", genASrc)
+	if err != nil {
+		return err
+	}
+	genB, err := parseSet("gen-b", genBSrc)
+	if err != nil {
+		return err
+	}
+	d, err := polcheck.DiffSets(genA, genB, polcheck.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ngeneration diff (gen-a -> gen-b):")
+	for _, fl := range d.Flips {
+		fmt.Println(" ", fl)
+	}
+	if same, err := polcheck.DiffSets(genA, genA, polcheck.Options{}); err != nil {
+		return err
+	} else if same.Changed() {
+		return fmt.Errorf("self-diff reported changes")
+	}
+	fmt.Println("self-diff of gen-a: no decision changes")
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"agenp/internal/engine"
 	"agenp/internal/ilasp"
 	"agenp/internal/obs"
+	"agenp/internal/polcheck"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
 )
@@ -43,6 +44,18 @@ type Config struct {
 	LearnOptions ilasp.LearnOptions
 	// MonitorCapacity bounds the decision log (default 1024).
 	MonitorCapacity int
+	// VerifyPolicies turns on the symbolic verification gate:
+	// regenerations and shared-policy imports that would introduce a
+	// permit/deny conflict absent from the installed generation are
+	// rejected. Requires a policy-set view, from Adapter or an
+	// Interpreter implementing PolicySetAdapter.
+	VerifyPolicies bool
+	// Adapter renders repository snapshots as XACML policy sets for
+	// verification; when nil, the Interpreter is used if it implements
+	// PolicySetAdapter.
+	Adapter PolicySetAdapter
+	// VerifyOptions tunes the symbolic analyzer (zero value: defaults).
+	VerifyOptions polcheck.Options
 }
 
 // AMS is an autonomous managed system: the full Figure 2 assembly.
@@ -62,6 +75,13 @@ type AMS struct {
 	feedback []core.Feedback
 	learned  []asg.HypothesisRule // accumulated across adaptations
 	adaptAt  int
+
+	// symbolic verification gate (see verify.go)
+	verify         bool
+	verifyAdapter  PolicySetAdapter
+	verifyOpts     polcheck.Options
+	verifyBaseline map[string]bool
+	lastVerify     *polcheck.Report
 
 	// lifecycle for the background loop
 	stop chan struct{}
@@ -103,18 +123,32 @@ func New(cfg Config) (*AMS, error) {
 	pdp := NewPDP(repo, cfg.Interpreter)
 	pep := NewPEP(pdp, cfg.Effector, log)
 
+	adapter := cfg.Adapter
+	if adapter == nil {
+		if ad, ok := cfg.Interpreter.(PolicySetAdapter); ok {
+			adapter = ad
+		}
+	}
+	if cfg.VerifyPolicies && adapter == nil {
+		return nil, fmt.Errorf("agenp: VerifyPolicies needs a policy-set adapter (Config.Adapter or an Interpreter implementing PolicySetAdapter)")
+	}
+
 	return &AMS{
-		name:    cfg.Name,
-		models:  models,
-		repo:    repo,
-		log:     log,
-		pip:     NewPIP(cfg.Context),
-		pcp:     pcp,
-		pdp:     pdp,
-		pep:     pep,
-		space:   cfg.Space,
-		learn:   cfg.LearnOptions,
-		adaptAt: adaptAt,
+		name:           cfg.Name,
+		models:         models,
+		repo:           repo,
+		log:            log,
+		pip:            NewPIP(cfg.Context),
+		pcp:            pcp,
+		pdp:            pdp,
+		pep:            pep,
+		space:          cfg.Space,
+		learn:          cfg.LearnOptions,
+		adaptAt:        adaptAt,
+		verify:         cfg.VerifyPolicies,
+		verifyAdapter:  adapter,
+		verifyOpts:     cfg.VerifyOptions,
+		verifyBaseline: make(map[string]bool),
 	}, nil
 }
 
@@ -168,6 +202,12 @@ func (a *AMS) regenerateLocked() ([]policy.Policy, map[string]error, error) {
 	t0 := time.Now()
 	accepted, rejected := a.pcp.Filter(generated, ctx)
 	statFilterDur.ObserveSince(t0)
+	// Symbolic verification gate: refuse to install a generation that
+	// introduces a permit/deny conflict the current one does not have.
+	// The repository stays on the previous generation, like a lint veto.
+	if err := a.verifyCandidateLocked(accepted, "PReP"); err != nil {
+		return nil, rejected, err
+	}
 	a.repo.ReplaceAll(accepted)
 	// Eagerly recompile the decision engine so the swap cost lands here,
 	// at the (rare) regeneration, not on the first request after it.
@@ -273,6 +313,19 @@ func (a *AMS) ImportShared(p policy.Policy, origin string) error {
 	err := a.pcp.Check(p, ctx)
 	statCheckDur.ObserveSince(t0)
 	if err != nil {
+		return err
+	}
+	// Symbolic verification gate: vet the post-import snapshot before
+	// adopting the shared policy, so a partner cannot push us into a
+	// conflicting decision surface.
+	candidate := make([]policy.Policy, 0, a.repo.Len()+1)
+	for _, q := range a.repo.Snapshot().Policies {
+		if q.ID != p.ID {
+			candidate = append(candidate, q)
+		}
+	}
+	candidate = append(candidate, p)
+	if err := a.verifyCandidateLocked(candidate, "import"); err != nil {
 		return err
 	}
 	a.repo.Put(p)

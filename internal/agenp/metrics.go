@@ -16,4 +16,8 @@ var (
 	// Regenerate; check is one shared policy during ImportShared.
 	statFilterDur = obs.H("agenp.pcp.filter.duration")
 	statCheckDur  = obs.H("agenp.pcp.check.duration")
+
+	// Symbolic verification gate: candidate generations or imports
+	// rejected for introducing new permit/deny conflicts.
+	statVerifyVetoes = obs.C("agenp.verify.vetoes")
 )

@@ -1,0 +1,138 @@
+package agenp
+
+import (
+	"fmt"
+	"strings"
+
+	"agenp/internal/polcheck"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+// Symbolic verification gate: when Config.VerifyPolicies is set, the
+// AMS refuses to install a policy generation (PReP/PAdaP regeneration)
+// or adopt a shared policy (coalition import) that would introduce a
+// permit/deny conflict the currently-installed generation does not have.
+// Pre-existing conflicts are baselined rather than fatal, so enabling
+// the gate on a noisy repository blocks regressions without bricking
+// the loop.
+
+// PolicySetAdapter renders a repository snapshot as an XACML policy set
+// so it can be verified symbolically. Interpreters whose policy
+// language has a faithful XACML reading implement it; the adapter must
+// preserve decision semantics (same request → same decision as the
+// interpreter) for gate verdicts to be meaningful.
+type PolicySetAdapter interface {
+	PolicySetOf(policies []policy.Policy) (*xacml.PolicySet, error)
+}
+
+// PolicySetOf implements PolicySetAdapter for the verb-object token
+// language: each policy becomes a one-rule XACML policy matching
+// action.id against the object phrase, and the interpreter's
+// deny-overrides conflict resolution becomes the set's combining
+// algorithm. Unclassified-verb policies never decide, so they are
+// omitted.
+func (t *TokenInterpreter) PolicySetOf(policies []policy.Policy) (*xacml.PolicySet, error) {
+	permit, deny := t.verbSets()
+	ps := &xacml.PolicySet{ID: "token-policies", Combining: xacml.DenyOverrides}
+	for _, p := range policies {
+		if len(p.Tokens) < 2 {
+			continue
+		}
+		verb := p.Tokens[0]
+		var effect xacml.Effect
+		switch {
+		case permit[verb]:
+			effect = xacml.Permit
+		case deny[verb]:
+			effect = xacml.Deny
+		default:
+			continue
+		}
+		phrase := strings.Join(p.Tokens[1:], " ")
+		ps.Policies = append(ps.Policies, &xacml.Policy{
+			ID:        p.ID,
+			Combining: xacml.DenyOverrides,
+			Rules: []xacml.Rule{{
+				ID:     "apply",
+				Effect: effect,
+				Target: xacml.Target{{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S(phrase)}},
+			}},
+		})
+	}
+	return ps, nil
+}
+
+// adapter resolves the policy-set view: an explicit Config.Adapter
+// wins, otherwise an Interpreter that is also a PolicySetAdapter.
+func (a *AMS) adapterFor() PolicySetAdapter {
+	if a.verifyAdapter != nil {
+		return a.verifyAdapter
+	}
+	return nil
+}
+
+// verifyCandidate analyzes a candidate snapshot and rejects it when it
+// introduces conflict pairs absent from the baseline. On acceptance the
+// baseline and the last report advance. Callers hold a.mu.
+func (a *AMS) verifyCandidateLocked(candidate []policy.Policy, stage string) error {
+	ad := a.adapterFor()
+	if !a.verify || ad == nil {
+		return nil
+	}
+	ps, err := ad.PolicySetOf(candidate)
+	if err != nil {
+		return fmt.Errorf("agenp: %s verify: %w", stage, err)
+	}
+	rep := polcheck.AnalyzeSet(ps, a.verifyOpts)
+	keys := rep.ConflictKeys()
+	var introduced []string
+	for k := range keys {
+		if !a.verifyBaseline[k] {
+			introduced = append(introduced, k)
+		}
+	}
+	if len(introduced) > 0 {
+		statVerifyVetoes.Inc()
+		conflicts := rep.Conflicts()
+		detail := introduced[0]
+		for _, f := range conflicts {
+			if f.Witness != "" {
+				detail = f.String()
+				break
+			}
+		}
+		return fmt.Errorf("agenp: %s verify: candidate introduces %d new conflict(s): %s", stage, len(introduced), detail)
+	}
+	a.verifyBaseline = keys
+	a.lastVerify = rep
+	return nil
+}
+
+// VerifySnapshot runs the symbolic verifier over the currently
+// installed policy snapshot and returns the report. It requires a
+// policy-set adapter (Config.Adapter, or an Interpreter implementing
+// PolicySetAdapter) but not the VerifyPolicies gate.
+func (a *AMS) VerifySnapshot() (*polcheck.Report, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ad := a.adapterFor()
+	if ad == nil {
+		return nil, fmt.Errorf("agenp: no policy-set adapter configured for verification")
+	}
+	ps, err := ad.PolicySetOf(a.repo.Snapshot().Policies)
+	if err != nil {
+		return nil, fmt.Errorf("agenp: verify: %w", err)
+	}
+	rep := polcheck.AnalyzeSet(ps, a.verifyOpts)
+	a.lastVerify = rep
+	return rep, nil
+}
+
+// LastVerify returns the most recent verification report (nil when the
+// verifier has not run).
+func (a *AMS) LastVerify() *polcheck.Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastVerify
+}

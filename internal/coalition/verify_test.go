@@ -1,0 +1,97 @@
+package coalition
+
+import (
+	"testing"
+
+	"agenp/internal/agenp"
+	"agenp/internal/asp"
+	"agenp/internal/core"
+	"agenp/internal/policy"
+)
+
+// newVerifiedAMS builds an AMS with the symbolic verification gate on:
+// shared policies that introduce a permit/deny conflict against the
+// installed snapshot are rejected at import, even when they pass the
+// membership PCP.
+func newVerifiedAMS(t *testing.T, name, grammar, ctxSrc string) *agenp.AMS {
+	t.Helper()
+	model, err := core.ParseGPM(grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := asp.Parse(ctxSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ams, err := agenp.New(agenp.Config{
+		Name:           name,
+		Model:          model,
+		Context:        &agenp.StaticContext{Program: ctx},
+		Interpreter:    &agenp.TokenInterpreter{},
+		VerifyPolicies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ams
+}
+
+func TestVerifyGateRejectsConflictingSharedPolicy(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+
+	// a shares from the full two-verb grammar; b verifies imports. b
+	// already permits overtake, so a's reject_overtake is in b's model
+	// language (passes membership) but conflicts symbolically.
+	a := newAMS(t, "a", drivingGrammar, "weather(clear).")
+	b := newVerifiedAMS(t, "b", drivingGrammar, "weather(clear).")
+	b.Repository().Put(policy.Policy{ID: "accept_overtake", Tokens: []string{"accept", "overtake"}})
+	if _, _, err := a.Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Join(a, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Leave()
+	pb, err := Join(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Leave()
+
+	if err := pa.SharePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "b to process 4 policies", func() bool {
+		imported, rejected := pb.ImportStats()
+		return imported+rejected == 4
+	})
+	// Policies arrive in repository order: accept_overtake (already
+	// installed, re-adopted cleanly), accept_park (adopted), then
+	// reject_overtake and reject_park — each conflicting with the
+	// accept of the same task by the time it arrives, so the gate
+	// rejects both and b's surface stays permit-only.
+	if _, ok := b.Repository().Get("reject_overtake"); ok {
+		t.Error("conflicting shared policy reject_overtake was adopted")
+	}
+	if _, ok := b.Repository().Get("reject_park"); ok {
+		t.Error("conflicting shared policy reject_park was adopted")
+	}
+	if _, ok := b.Repository().Get("accept_park"); !ok {
+		t.Error("non-conflicting shared policy accept_park was rejected")
+	}
+	imported, rejected := pb.ImportStats()
+	if imported != 2 || rejected != 2 {
+		t.Errorf("imported=%d rejected=%d, want 2/2", imported, rejected)
+	}
+
+	// The decision surface reflects only adopted policies.
+	rep, err := b.VerifySnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasErrors() {
+		t.Errorf("post-import snapshot has conflicts: %v", rep)
+	}
+}

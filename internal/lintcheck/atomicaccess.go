@@ -1,0 +1,126 @@
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// AtomicAccess flags plain reads and writes of struct fields whose doc
+// comment documents atomic access but whose type is a bare integer or
+// pointer. A field commented "accessed atomically" is a contract: every
+// use must go through sync/atomic (atomic.LoadUint64(&x.gen), ...); a
+// direct x.gen read compiles fine and races. Fields typed as
+// sync/atomic wrappers (atomic.Uint64 etc.) are safe by construction
+// and are not tracked.
+var AtomicAccess = &Analyzer{
+	Name: "atomicaccess",
+	Doc:  "flag non-atomic access to fields documented as atomic",
+	Run:  runAtomicAccess,
+}
+
+// atomicDoc matches the doc conventions for atomically-accessed plain
+// fields ("accessed atomically", "atomic loads/stores", "atomically
+// published", ...).
+var atomicDoc = regexp.MustCompile(`(?i)\batomic`)
+
+// isAtomicWrapper reports whether the field type already is a
+// sync/atomic wrapper (atomic.Uint64, atomic.Pointer[T], ...).
+func isAtomicWrapper(expr ast.Expr) bool {
+	switch t := expr.(type) {
+	case *ast.SelectorExpr:
+		pkg, ok := t.X.(*ast.Ident)
+		return ok && pkg.Name == "atomic"
+	case *ast.IndexExpr:
+		return isAtomicWrapper(t.X)
+	case *ast.IndexListExpr:
+		return isAtomicWrapper(t.X)
+	}
+	return false
+}
+
+// atomicFields collects the names of plain-typed struct fields whose
+// doc or trailing comment documents atomic access.
+func atomicFields(pass *Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				text := fld.Doc.Text() + " " + fld.Comment.Text()
+				if !atomicDoc.MatchString(text) || isAtomicWrapper(fld.Type) {
+					continue
+				}
+				for _, name := range fld.Names {
+					out[name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func runAtomicAccess(pass *Pass) []Diagnostic {
+	fields := atomicFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// First sweep: every &x.field passed to an atomic.* call is a
+	// sanctioned access site.
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := fun.X.(*ast.Ident); !ok || pkg.Name != "atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := un.X.(*ast.SelectorExpr); ok {
+					sanctioned[sel.Sel.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Second sweep: any other selector landing on a tracked field name
+	// is a plain (racy) access. Field declarations themselves are not
+	// selector expressions, so they never trigger.
+	var out []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if !fields[name] || sanctioned[sel.Sel.Pos()] {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:      pass.Fset.Position(sel.Sel.Pos()),
+				Analyzer: "atomicaccess",
+				Message:  fmt.Sprintf("field %s is documented as atomically accessed; use sync/atomic, not a plain read/write", name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package lintcheck is a small, dependency-free static-analysis driver
+// for this module's Go sources, shaped after golang.org/x/tools
+// go/analysis (Analyzer / Pass / Diagnostic) but self-contained: it
+// parses packages with go/parser and reasons syntactically, so it runs
+// in environments without the x/tools module.
+//
+// Two project-specific analyzers guard the concurrency invariants of
+// the decision path (internal/engine and friends):
+//
+//   - lockcopy flags by-value receivers, parameters and results of
+//     in-package struct types that (transitively) carry mutexes or
+//     sync/atomic state — copying an Engine or a telemetry Histogram
+//     silently forks its lock/counters;
+//   - atomicaccess flags plain reads and writes of struct fields whose
+//     doc comment documents atomic access ("accessed atomically", "...
+//     atomic loads") but whose type is a bare integer: every use must
+//     go through the sync/atomic package.
+//
+// The cmd/golint-agenp command runs both over a directory tree; CI runs
+// it next to go vet.
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named analysis over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "lockcopy".
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the diagnostics for one package.
+	Run func(pass *Pass) []Diagnostic
+}
+
+// Pass is the per-package input handed to an analyzer.
+type Pass struct {
+	// Fset maps AST positions back to source.
+	Fset *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg is the package name.
+	Pkg string
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Position `json:"pos"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the registered analyzers.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockCopy, AtomicAccess}
+}
+
+// ParseSources parses named source strings into a Pass (test and tool
+// entry point for in-memory sources).
+func ParseSources(sources map[string]string) (*Pass, error) {
+	fset := token.NewFileSet()
+	pass := &Pass{Fset: fset}
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, sources[name], parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pass.Files = append(pass.Files, f)
+		pass.Pkg = f.Name.Name
+	}
+	return pass, nil
+}
+
+// ParsePackageDir parses every non-test .go file of one directory into
+// a Pass. It returns a nil Pass when the directory holds no Go files.
+func ParsePackageDir(dir string) (*Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pass := &Pass{Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pass.Files = append(pass.Files, f)
+		pass.Pkg = f.Name.Name
+	}
+	if len(pass.Files) == 0 {
+		return nil, nil
+	}
+	return pass, nil
+}
+
+// Run applies the analyzers to the pass and returns the merged
+// diagnostics in source order.
+func Run(pass *Pass, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		out = append(out, a.Run(pass)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return out
+}
+
+// RunDirs walks the given roots, analyzes every package directory
+// (skipping testdata and hidden directories), and returns the merged
+// diagnostics.
+func RunDirs(roots []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if base == "testdata" || (strings.HasPrefix(base, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			if seen[path] {
+				return nil
+			}
+			seen[path] = true
+			pass, err := ParsePackageDir(path)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if pass != nil {
+				out = append(out, Run(pass, analyzers)...)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// LockCopy flags by-value receivers, parameters and results whose type
+// is an in-package struct that (transitively) carries a mutex or
+// sync/atomic state. Copying such a value forks the lock or the atomic
+// cell: the copy guards nothing, and updates to it are invisible to
+// every other holder — exactly the bug class the engine's pinned
+// Snapshot/Engine types invite.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flag by-value copies of lock- or atomic-bearing struct types",
+	Run:  runLockCopy,
+}
+
+// syncNoCopy lists the sync types that must not be copied after first
+// use (each embeds state the runtime tracks by address).
+var syncNoCopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+	"Pool": true, "Once": true, "Map": true,
+}
+
+// atomicNoCopy lists the sync/atomic wrapper types; all of them pin
+// their address.
+var atomicNoCopy = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// lockBearingTypes collects the names of in-package struct types that
+// directly or transitively (through in-package value fields, arrays or
+// embedding) contain sync or sync/atomic state. Pointer fields do not
+// propagate: holding *Engine is fine, holding Engine is not.
+func lockBearingTypes(pass *Pass) map[string]bool {
+	structs := make(map[string]*ast.StructType)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					structs[ts.Name.Name] = st
+				}
+			}
+		}
+	}
+
+	bearing := make(map[string]bool)
+	// typeBears reports whether a field type expression carries lock or
+	// atomic state by value. visiting guards recursive type cycles.
+	var typeBears func(expr ast.Expr, visiting map[string]bool) bool
+	typeBears = func(expr ast.Expr, visiting map[string]bool) bool {
+		switch t := expr.(type) {
+		case *ast.SelectorExpr:
+			pkg, ok := t.X.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			return (pkg.Name == "sync" && syncNoCopy[t.Sel.Name]) ||
+				(pkg.Name == "atomic" && atomicNoCopy[t.Sel.Name])
+		case *ast.IndexExpr: // generic instantiation, e.g. atomic.Pointer[T]
+			return typeBears(t.X, visiting)
+		case *ast.IndexListExpr:
+			return typeBears(t.X, visiting)
+		case *ast.ArrayType:
+			return typeBears(t.Elt, visiting)
+		case *ast.Ident:
+			st, ok := structs[t.Name]
+			if !ok || visiting[t.Name] {
+				return false
+			}
+			if bearing[t.Name] {
+				return true
+			}
+			visiting[t.Name] = true
+			defer delete(visiting, t.Name)
+			for _, fld := range st.Fields.List {
+				if typeBears(fld.Type, visiting) {
+					return true
+				}
+			}
+			return false
+		default:
+			// Pointers, maps, slices, channels, funcs: share, not copy.
+			return false
+		}
+	}
+
+	for name := range structs {
+		if typeBears(&ast.Ident{Name: name}, map[string]bool{}) {
+			bearing[name] = true
+		}
+	}
+	return bearing
+}
+
+// valueTypeName returns the named type of a by-value field list entry
+// ("" when the type is a pointer or not a plain named type).
+func valueTypeName(expr ast.Expr) string {
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func runLockCopy(pass *Pass) []Diagnostic {
+	bearing := lockBearingTypes(pass)
+	if len(bearing) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(pos ast.Node, role, typ, fn string) {
+		out = append(out, Diagnostic{
+			Pos:      pass.Fset.Position(pos.Pos()),
+			Analyzer: "lockcopy",
+			Message:  fmt.Sprintf("%s of %s copies %s by value; it carries lock or atomic state — use *%s", role, fn, typ, typ),
+		})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil {
+				for _, fld := range fd.Recv.List {
+					if t := valueTypeName(fld.Type); bearing[t] {
+						report(fld, "receiver", t, fd.Name.Name)
+					}
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, fld := range fd.Type.Params.List {
+					if t := valueTypeName(fld.Type); bearing[t] {
+						report(fld, "parameter", t, fd.Name.Name)
+					}
+				}
+			}
+			if fd.Type.Results != nil {
+				for _, fld := range fd.Type.Results.List {
+					if t := valueTypeName(fld.Type); bearing[t] {
+						report(fld, "result", t, fd.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

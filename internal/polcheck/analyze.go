@@ -1,0 +1,981 @@
+package polcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"agenp/internal/xacml"
+)
+
+// Kind classifies a finding.
+type Kind int
+
+// Finding kinds.
+const (
+	// KindConflict: a permit and a deny rule of one policy overlap.
+	KindConflict Kind = iota + 1
+	// KindCrossConflict: a permit region of one policy overlaps a deny
+	// region of another in the same set.
+	KindCrossConflict
+	// KindShadowed: earlier rules under the combining algorithm take
+	// every request the rule could match; it can never fire.
+	KindShadowed
+	// KindUnreachable: the rule's own target/condition is unsatisfiable.
+	KindUnreachable
+	// KindRedundant: removing the rule provably leaves every decision
+	// of the policy unchanged.
+	KindRedundant
+	// KindSubsumedPolicy: removing the policy provably leaves every
+	// decision of the policy set unchanged.
+	KindSubsumedPolicy
+	// KindBounded: the rule uses an unsupported construct or exceeded
+	// the vector cap; it is excluded from all claims.
+	KindBounded
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConflict:
+		return "conflict"
+	case KindCrossConflict:
+		return "cross-conflict"
+	case KindShadowed:
+		return "shadowed"
+	case KindUnreachable:
+		return "unreachable"
+	case KindRedundant:
+		return "redundant"
+	case KindSubsumedPolicy:
+		return "subsumed-policy"
+	case KindBounded:
+		return "analysis-bounded"
+	default:
+		return "invalid-kind"
+	}
+}
+
+// MarshalText renders the kind for JSON output.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name, inverting MarshalText.
+func (k *Kind) UnmarshalText(b []byte) error {
+	for c := KindConflict; c <= KindBounded; c++ {
+		if c.String() == string(b) {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("polcheck: unknown finding kind %q", b)
+}
+
+// Severity grades findings, mirroring asplint's ladder.
+type Severity int
+
+// Severities, in ascending order.
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return "invalid-severity"
+	}
+}
+
+// MarshalText renders the severity for JSON output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a severity name, inverting MarshalText.
+func (s *Severity) UnmarshalText(b []byte) error {
+	v, err := ParseSeverity(string(b))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity parses a severity name.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	default:
+		return 0, fmt.Errorf("polcheck: unknown severity %q", s)
+	}
+}
+
+// Finding is one verification result.
+type Finding struct {
+	Kind     Kind     `json:"kind"`
+	Severity Severity `json:"severity"`
+	// Policy / Rule locate the finding; Other* name the counterpart
+	// (the shadowing rule, the conflicting rule or policy).
+	Policy      string `json:"policy,omitempty"`
+	Rule        string `json:"rule,omitempty"`
+	OtherPolicy string `json:"other_policy,omitempty"`
+	OtherRule   string `json:"other_rule,omitempty"`
+	// Witness is a concrete request exhibiting the finding (conflicts
+	// only), rendered canonically; Request carries it for replay.
+	Witness string        `json:"witness,omitempty"`
+	Request xacml.Request `json:"-"`
+	// Resolved is the decision the combining algorithm settles the
+	// witness to (conflicts only).
+	Resolved string `json:"resolved,omitempty"`
+	// Verified reports that the witness was replayed through both the
+	// compiled engine decider and the tree-walk oracle.
+	Verified bool   `json:"verified,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+func (f Finding) String() string {
+	loc := f.Policy
+	if f.Rule != "" {
+		loc += "/" + f.Rule
+	}
+	s := fmt.Sprintf("%s: %s: %s", f.Severity, f.Kind, loc)
+	if f.Detail != "" {
+		s += ": " + f.Detail
+	}
+	if f.Witness != "" {
+		s += fmt.Sprintf(" (witness: %s)", f.Witness)
+	}
+	return s
+}
+
+// Stats summarizes an analysis run.
+type Stats struct {
+	Policies int           `json:"policies"`
+	Rules    int           `json:"rules"`
+	Slots    int           `json:"slots"`
+	Vectors  int           `json:"vectors"`
+	Bounded  int           `json:"bounded"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Report is the outcome of analyzing a policy or policy set.
+type Report struct {
+	Findings []Finding `json:"findings"`
+	Stats    Stats     `json:"stats"`
+}
+
+// HasErrors reports whether any finding is error-severity.
+func (r *Report) HasErrors() bool {
+	for _, f := range r.Findings {
+		if f.Severity >= Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the findings at or above the given severity.
+func (r *Report) Filter(min Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Conflicts returns the conflict findings (intra- and cross-policy).
+func (r *Report) Conflicts() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Kind == KindConflict || f.Kind == KindCrossConflict {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ConflictKeys returns stable identifiers for the conflict pairs, used
+// by the regeneration gate to distinguish new conflicts from
+// pre-existing ones.
+func (r *Report) ConflictKeys() map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range r.Findings {
+		switch f.Kind {
+		case KindConflict:
+			out[fmt.Sprintf("conflict|%s|%s|%s", f.Policy, f.Rule, f.OtherRule)] = true
+		case KindCrossConflict:
+			out[fmt.Sprintf("cross|%s|%s", f.Policy, f.OtherPolicy)] = true
+		}
+	}
+	return out
+}
+
+func (r *Report) String() string {
+	if len(r.Findings) == 0 {
+		return "ok: no findings"
+	}
+	lines := make([]string, len(r.Findings))
+	for i, f := range r.Findings {
+		lines[i] = f.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Options bounds and tunes the analysis.
+type Options struct {
+	// MaxVectors caps every region's DNF size (default 256). Exceeding
+	// it degrades the affected item to a Bounded finding instead of an
+	// unsound claim.
+	MaxVectors int
+	// Validate replays every conflict witness through the compiled
+	// engine decider and the tree-walk oracle (default true; set
+	// SkipValidation to disable).
+	SkipValidation bool
+}
+
+func (o Options) cap() int {
+	if o.MaxVectors <= 0 {
+		return 256
+	}
+	return o.MaxVectors
+}
+
+// ---------------------------------------------------------------------
+// Rule and policy translation.
+
+// ruleInfo is one rule's symbolic form.
+type ruleInfo struct {
+	id     string
+	effect xacml.Effect
+	// region is target ∧ condition as a DNF over slots. Valid only
+	// when supported.
+	region    region
+	supported bool
+}
+
+// policyInfo is one policy's symbolic form: per-rule regions plus the
+// exact permit/deny decision regions under the rule-combining
+// algorithm.
+type policyInfo struct {
+	id        string
+	combining xacml.CombiningAlg
+	target    region // the policy target as a (single-vector) region
+	rules     []ruleInfo
+	// permit/deny are the exact request regions on which the policy
+	// evaluates to Permit / Deny. exact is false when any rule is
+	// unsupported or a cap was hit; the regions are then unusable.
+	permit, deny region
+	exact        bool
+}
+
+type analyzer struct {
+	in   *interner
+	opts Options
+}
+
+func newAnalyzer(opts Options) *analyzer {
+	return &analyzer{in: newInterner(), opts: opts}
+}
+
+// targetRegion translates a conjunction of matches.
+func (a *analyzer) targetRegion(t xacml.Target) (region, error) {
+	vec := vector{}
+	for _, m := range t {
+		vs, err := matchValues(m)
+		if err != nil {
+			return nil, err
+		}
+		slot := a.in.intern(m.Category, m.Attr)
+		cur := vec.at(slot)
+		if cur == nil {
+			vec = vec.withSlot(slot, vs)
+			continue
+		}
+		iv := cur.intersect(vs)
+		if iv.empty() {
+			return nil, nil // unsatisfiable target: empty region
+		}
+		vec = vec.withSlot(slot, iv)
+	}
+	return region{vec}, nil
+}
+
+// condRegion translates a condition (negated when neg), mirroring
+// Condition.Eval's branch precedence exactly.
+func (a *analyzer) condRegion(c *xacml.Condition, neg bool) (region, error) {
+	andAll := func(parts []xacml.Condition, negParts bool) (region, error) {
+		out := topRegion()
+		for i := range parts {
+			r, err := a.condRegion(&parts[i], negParts)
+			if err != nil {
+				return nil, err
+			}
+			if out, err = intersectRegions(out, r, a.opts.cap()); err != nil {
+				return nil, err
+			}
+			if out.empty() {
+				return nil, nil
+			}
+		}
+		return out, nil
+	}
+	orAll := func(parts []xacml.Condition, negParts bool) (region, error) {
+		var out region
+		for i := range parts {
+			r, err := a.condRegion(&parts[i], negParts)
+			if err != nil {
+				return nil, err
+			}
+			out = unionRegions(out, r)
+			if len(out) > a.opts.cap() {
+				return nil, errBounded
+			}
+		}
+		return out, nil
+	}
+	switch {
+	case c == nil:
+		if neg {
+			return nil, nil
+		}
+		return topRegion(), nil
+	case c.Match != nil:
+		vs, err := matchValues(*c.Match)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			vs = vs.complement()
+		}
+		slot := a.in.intern(c.Match.Category, c.Match.Attr)
+		if vs.empty() {
+			return nil, nil
+		}
+		return region{vector{}.withSlot(slot, vs)}, nil
+	case c.Not != nil:
+		return a.condRegion(c.Not, !neg)
+	case len(c.And) > 0:
+		if neg { // ¬(A ∧ B) = ¬A ∨ ¬B
+			return orAll(c.And, true)
+		}
+		return andAll(c.And, false)
+	case len(c.Or) > 0:
+		if neg { // ¬(A ∨ B) = ¬A ∧ ¬B
+			return andAll(c.Or, true)
+		}
+		return orAll(c.Or, false)
+	default:
+		if neg {
+			return nil, nil
+		}
+		return topRegion(), nil
+	}
+}
+
+// buildRule translates target ∧ condition into a region.
+func (a *analyzer) buildRule(ru xacml.Rule) ruleInfo {
+	info := ruleInfo{id: ru.ID, effect: ru.Effect}
+	tr, err := a.targetRegion(ru.Target)
+	if err != nil {
+		return info
+	}
+	cr, err := a.condRegion(ru.Condition, false)
+	if err != nil {
+		return info
+	}
+	reg, err := intersectRegions(tr, cr, a.opts.cap())
+	if err != nil {
+		return info
+	}
+	info.region = reg
+	info.supported = true
+	return info
+}
+
+// buildPolicy translates a policy and computes its exact decision
+// regions under the rule-combining algorithm.
+func (a *analyzer) buildPolicy(p *xacml.Policy) *policyInfo {
+	info := &policyInfo{id: p.ID, combining: p.Combining, exact: true}
+	tr, err := a.targetRegion(p.Target)
+	if err != nil {
+		info.exact = false
+		tr = topRegion() // over-approximate; only used when exact
+	}
+	info.target = tr
+	for _, ru := range p.Rules {
+		ri := a.buildRule(ru)
+		// Restrict each rule to the policy target up front: every
+		// downstream question is asked within the target.
+		if ri.supported {
+			if reg, err := intersectRegions(ri.region, info.target, a.opts.cap()); err == nil {
+				ri.region = reg
+			} else {
+				ri.supported = false
+			}
+		}
+		if !ri.supported {
+			info.exact = false
+		}
+		info.rules = append(info.rules, ri)
+	}
+	if info.exact {
+		info.permit, info.deny, info.exact = a.decisionRegions(info)
+	}
+	return info
+}
+
+// decisionRegions computes the exact Permit and Deny regions of a
+// policy, resolving the combining algorithm symbolically:
+//
+//   - deny-overrides: Deny wherever any deny rule applies; Permit
+//     wherever a permit rule applies and no deny rule does;
+//   - permit-overrides: the mirror image;
+//   - first-applicable: walk the rules in order, assigning each rule
+//     its residual region (what earlier rules left uncovered).
+func (a *analyzer) decisionRegions(p *policyInfo) (permit, deny region, exact bool) {
+	cap := a.opts.cap()
+	switch p.combining {
+	case xacml.DenyOverrides, xacml.PermitOverrides:
+		var permits, denies region
+		for _, ru := range p.rules {
+			if ru.effect == xacml.Permit {
+				permits = unionRegions(permits, ru.region)
+			} else {
+				denies = unionRegions(denies, ru.region)
+			}
+		}
+		if p.combining == xacml.DenyOverrides {
+			permit, err := subtractRegions(permits, denies, cap)
+			if err != nil {
+				return nil, nil, false
+			}
+			return permit, denies, true
+		}
+		deny, err := subtractRegions(denies, permits, cap)
+		if err != nil {
+			return nil, nil, false
+		}
+		return permits, deny, true
+	case xacml.FirstApplicable:
+		var permit, deny region
+		var seen region
+		for _, ru := range p.rules {
+			residual, err := subtractRegions(ru.region, seen, cap)
+			if err != nil {
+				return nil, nil, false
+			}
+			if ru.effect == xacml.Permit {
+				permit = unionRegions(permit, residual)
+			} else {
+				deny = unionRegions(deny, residual)
+			}
+			seen = unionRegions(seen, ru.region)
+			if len(seen) > cap {
+				return nil, nil, false
+			}
+		}
+		return permit, deny, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// ---------------------------------------------------------------------
+// Intra-policy analyses.
+
+// AnalyzePolicy verifies a single policy: unreachable and shadowed
+// rules, permit/deny conflict pairs with validated witnesses, and
+// redundant rules.
+func AnalyzePolicy(p *xacml.Policy, opts Options) *Report {
+	t0 := time.Now()
+	a := newAnalyzer(opts)
+	info := a.buildPolicy(p)
+	rep := &Report{}
+	a.analyzePolicy(rep, info, func(f *Finding) {
+		if f.Request != nil && !opts.SkipValidation {
+			f.Verified = validatePolicyConflict(p, f)
+		}
+	})
+	a.finish(rep, t0, []*policyInfo{info})
+	return rep
+}
+
+// analyzePolicy appends intra-policy findings; onConflict lets callers
+// validate witnesses against the owning policy or set.
+func (a *analyzer) analyzePolicy(rep *Report, p *policyInfo, onConflict func(*Finding)) {
+	cap := a.opts.cap()
+
+	for i := range p.rules {
+		ru := &p.rules[i]
+		if !ru.supported {
+			rep.add(Finding{
+				Kind: KindBounded, Severity: Info, Policy: p.id, Rule: ru.id,
+				Detail: "rule uses an unsupported construct or exceeded the vector cap; excluded from claims",
+			})
+			continue
+		}
+		if ru.region.empty() {
+			rep.add(Finding{
+				Kind: KindUnreachable, Severity: Warning, Policy: p.id, Rule: ru.id,
+				Detail: "target and condition are unsatisfiable; the rule can never apply",
+			})
+			continue
+		}
+		// Shadowing: the rules evaluated before this one that end the
+		// policy evaluation when they fire (the early-return slots the
+		// compiler resolves): every earlier rule under
+		// first-applicable, earlier deny rules under deny-overrides,
+		// earlier permit rules under permit-overrides.
+		var blockers region
+		blocked := true
+		var by []string
+		for j := 0; j < i; j++ {
+			other := &p.rules[j]
+			returns := p.combining == xacml.FirstApplicable ||
+				(p.combining == xacml.DenyOverrides && other.effect == xacml.Deny) ||
+				(p.combining == xacml.PermitOverrides && other.effect == xacml.Permit)
+			if !returns {
+				continue
+			}
+			if !other.supported {
+				blocked = false // cannot rely on an unknown region
+				break
+			}
+			blockers = unionRegions(blockers, other.region)
+			by = append(by, other.id)
+		}
+		if blocked && len(by) > 0 {
+			if cov, err := covered(ru.region, blockers, cap); err == nil && cov {
+				rep.add(Finding{
+					Kind: KindShadowed, Severity: Warning, Policy: p.id, Rule: ru.id,
+					OtherRule: strings.Join(by, ","),
+					Detail:    fmt.Sprintf("every matching request is taken by earlier rules under %s", p.combining),
+				})
+			}
+		}
+	}
+
+	// Conflict pairs: overlapping permit/deny rules, witness included.
+	for i := range p.rules {
+		ri := &p.rules[i]
+		if !ri.supported || ri.effect != xacml.Permit {
+			continue
+		}
+		for j := range p.rules {
+			rj := &p.rules[j]
+			if !rj.supported || rj.effect != xacml.Deny {
+				continue
+			}
+			overlap, err := intersectRegions(ri.region, rj.region, cap)
+			if err != nil || overlap.empty() {
+				continue
+			}
+			w := a.witness(overlap[0])
+			f := Finding{
+				Kind: KindConflict, Severity: Error, Policy: p.id,
+				Rule: ri.id, OtherRule: rj.id,
+				Witness: w.Key(), Request: w,
+				Detail: fmt.Sprintf("permit rule %q and deny rule %q overlap on %s", ri.id, rj.id, a.renderVector(overlap[0])),
+			}
+			if onConflict != nil {
+				onConflict(&f)
+			}
+			rep.add(f)
+		}
+	}
+
+	// Redundancy. Exact per-combining reasoning (see package doc):
+	// under the overrides algorithms a rule of the winning effect is
+	// redundant iff other same-effect rules cover it, and a rule of the
+	// losing effect is redundant iff any other rules cover it; under
+	// first-applicable, walk the residual through the later rules.
+	if p.exact {
+		for i := range p.rules {
+			ru := &p.rules[i]
+			if !ru.supported || ru.region.empty() {
+				continue // unreachable already reported
+			}
+			if a.ruleRedundant(p, i) {
+				rep.add(Finding{
+					Kind: KindRedundant, Severity: Info, Policy: p.id, Rule: ru.id,
+					Detail: "removing the rule provably changes no decision",
+				})
+			}
+		}
+	}
+}
+
+func (a *analyzer) ruleRedundant(p *policyInfo, i int) bool {
+	cap := a.opts.cap()
+	ru := &p.rules[i]
+	switch p.combining {
+	case xacml.DenyOverrides, xacml.PermitOverrides:
+		winning := xacml.Deny
+		if p.combining == xacml.PermitOverrides {
+			winning = xacml.Permit
+		}
+		var others region
+		for j := range p.rules {
+			if j == i {
+				continue
+			}
+			o := &p.rules[j]
+			// Winning-effect rules are only covered by same-effect
+			// rules; losing-effect rules by any other rule.
+			if ru.effect == winning && o.effect != winning {
+				continue
+			}
+			others = unionRegions(others, o.region)
+		}
+		cov, err := covered(ru.region, others, cap)
+		return err == nil && cov
+	case xacml.FirstApplicable:
+		// Residual of rule i: requests it actually decides.
+		var earlier region
+		for j := 0; j < i; j++ {
+			earlier = unionRegions(earlier, p.rules[j].region)
+		}
+		rem, err := subtractRegions(ru.region, earlier, cap)
+		if err != nil {
+			return false
+		}
+		if rem.empty() {
+			return true // shadowed rules are trivially removable
+		}
+		// After removal, each residual request falls to the first
+		// applicable later rule, which must carry the same effect; any
+		// residual left at the end would become NotApplicable.
+		for j := i + 1; j < len(p.rules); j++ {
+			o := &p.rules[j]
+			hit, err := intersectRegions(rem, o.region, cap)
+			if err != nil {
+				return false
+			}
+			if !hit.empty() && o.effect != ru.effect {
+				return false
+			}
+			if rem, err = subtractRegions(rem, o.region, cap); err != nil {
+				return false
+			}
+			if rem.empty() {
+				return true
+			}
+		}
+		return rem.empty()
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------
+// Set-level analyses.
+
+// setInfo is a policy set's symbolic form.
+type setInfo struct {
+	target   region
+	policies []*policyInfo
+	// permit/deny: exact set-level decision regions; exact is false
+	// when any member policy is inexact or a cap was hit.
+	permit, deny region
+	exact        bool
+}
+
+func (a *analyzer) buildSet(ps *xacml.PolicySet) *setInfo {
+	info := &setInfo{exact: true}
+	tr, err := a.targetRegion(ps.Target)
+	if err != nil {
+		info.exact = false
+		tr = topRegion()
+	}
+	info.target = tr
+	for _, p := range ps.Policies {
+		pi := a.buildPolicy(p)
+		if pi.exact {
+			// Member decisions only happen within the set target.
+			if pi.permit, err = intersectRegions(pi.permit, info.target, a.opts.cap()); err != nil {
+				pi.exact = false
+			}
+			if pi.deny, err = intersectRegions(pi.deny, info.target, a.opts.cap()); err != nil {
+				pi.exact = false
+			}
+		}
+		if !pi.exact {
+			info.exact = false
+		}
+		info.policies = append(info.policies, pi)
+	}
+	if info.exact {
+		info.permit, info.deny, info.exact = a.setDecisionRegions(info.policies, ps.Combining)
+	}
+	return info
+}
+
+// setDecisionRegions resolves the policy-combining algorithm over the
+// member policies' exact decision regions.
+func (a *analyzer) setDecisionRegions(policies []*policyInfo, alg xacml.CombiningAlg) (permit, deny region, exact bool) {
+	cap := a.opts.cap()
+	switch alg {
+	case xacml.DenyOverrides, xacml.PermitOverrides:
+		var permits, denies region
+		for _, p := range policies {
+			permits = append(permits, p.permit...)
+			denies = append(denies, p.deny...)
+		}
+		if alg == xacml.DenyOverrides {
+			permit, err := subtractRegions(permits, denies, cap)
+			if err != nil {
+				return nil, nil, false
+			}
+			return permit, denies, true
+		}
+		deny, err := subtractRegions(denies, permits, cap)
+		if err != nil {
+			return nil, nil, false
+		}
+		return permits, deny, true
+	case xacml.FirstApplicable:
+		var permit, deny, seen region
+		for _, p := range policies {
+			pr, err := subtractRegions(p.permit, seen, cap)
+			if err != nil {
+				return nil, nil, false
+			}
+			dr, err := subtractRegions(p.deny, seen, cap)
+			if err != nil {
+				return nil, nil, false
+			}
+			permit = append(permit, pr...)
+			deny = append(deny, dr...)
+			seen = append(append(seen, p.permit...), p.deny...)
+			if len(seen) > cap {
+				return nil, nil, false
+			}
+		}
+		return permit, deny, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// AnalyzeSet verifies a policy set: every intra-policy finding of
+// AnalyzePolicy for each member, plus cross-policy permit/deny
+// conflicts and policies whose removal provably changes no decision
+// (subsumption — the check the coalition import gate runs after
+// ImportShared).
+func AnalyzeSet(ps *xacml.PolicySet, opts Options) *Report {
+	t0 := time.Now()
+	a := newAnalyzer(opts)
+	info := a.buildSet(ps)
+	rep := &Report{}
+
+	// The validator compiles the whole set through the engine, so build
+	// it lazily on the first witness-bearing finding: a clean analysis
+	// (the steady-state AMS gate case) never pays for compilation.
+	var validator *setValidator
+	getValidator := func() *setValidator {
+		if validator == nil && !opts.SkipValidation {
+			validator = newSetValidator(ps)
+		}
+		return validator
+	}
+
+	for pi, p := range ps.Policies {
+		p := p
+		a.analyzePolicy(rep, info.policies[pi], func(f *Finding) {
+			if f.Request != nil && !opts.SkipValidation {
+				f.Verified = validatePolicyConflict(p, f)
+			}
+		})
+	}
+
+	cap := opts.cap()
+	// Cross-policy conflicts: permit region of one policy vs deny
+	// region of another. Pairs are normalized permit-side first, so a
+	// symmetric duplicate cannot be emitted.
+	for i, p := range info.policies {
+		if !p.exact {
+			continue
+		}
+		for j, q := range info.policies {
+			if i == j || !q.exact {
+				continue
+			}
+			overlap, err := intersectRegions(p.permit, q.deny, cap)
+			if err != nil || overlap.empty() {
+				continue
+			}
+			w := a.witness(overlap[0])
+			f := Finding{
+				Kind: KindCrossConflict, Severity: Error,
+				Policy: p.id, OtherPolicy: q.id,
+				Witness: w.Key(), Request: w,
+				Detail: fmt.Sprintf("policy %q permits and policy %q denies on %s", p.id, q.id, a.renderVector(overlap[0])),
+			}
+			if v := getValidator(); v != nil {
+				d, ok := v.replay(w)
+				f.Resolved = d.String()
+				f.Verified = ok && validateSetConflict(ps, p.id, q.id, w)
+			}
+			rep.add(f)
+		}
+	}
+
+	// Policy subsumption: under the overrides algorithms, a policy is
+	// removable iff its winning-effect region is covered by the other
+	// policies' same-effect regions and its losing-effect region is
+	// covered by the other policies' same-effect regions or overridden
+	// anyway. first-applicable recomputes the set without the policy
+	// and diffs.
+	if info.exact && len(info.policies) > 1 {
+		permits := newSegmentedUnion(info.policies, func(p *policyInfo) region { return p.permit })
+		denies := newSegmentedUnion(info.policies, func(p *policyInfo) region { return p.deny })
+		for i := range info.policies {
+			if a.policySubsumed(info, ps.Combining, i, permits, denies) {
+				rep.add(Finding{
+					Kind: KindSubsumedPolicy, Severity: Info, Policy: info.policies[i].id,
+					Detail: "removing the policy provably changes no set decision",
+				})
+			}
+		}
+	}
+
+	a.finish(rep, t0, info.policies)
+	return rep
+}
+
+// segmentedUnion concatenates per-policy regions into one flat region
+// and records each policy's segment, so the "all policies but i" union
+// is two copies instead of a per-candidate incremental rebuild (which
+// made the subsumption sweep cubic in the policy count).
+type segmentedUnion struct {
+	flat region
+	seg  [][2]int
+}
+
+func newSegmentedUnion(policies []*policyInfo, pick func(*policyInfo) region) *segmentedUnion {
+	u := &segmentedUnion{seg: make([][2]int, len(policies))}
+	for i, p := range policies {
+		start := len(u.flat)
+		u.flat = append(u.flat, pick(p)...)
+		u.seg[i] = [2]int{start, len(u.flat)}
+	}
+	return u
+}
+
+// without returns the union of every segment except policy i's.
+func (u *segmentedUnion) without(i int) region {
+	lo, hi := u.seg[i][0], u.seg[i][1]
+	if lo == hi {
+		return u.flat
+	}
+	out := make(region, 0, len(u.flat)-(hi-lo))
+	out = append(out, u.flat[:lo]...)
+	return append(out, u.flat[hi:]...)
+}
+
+// policySubsumed reports whether removing policy i provably leaves the
+// set's decision regions unchanged. permits and denies hold the
+// precomputed per-policy segments for the overrides algorithms.
+func (a *analyzer) policySubsumed(info *setInfo, alg xacml.CombiningAlg, i int, permits, denies *segmentedUnion) bool {
+	cap := a.opts.cap()
+	p := info.policies[i]
+	switch alg {
+	case xacml.DenyOverrides, xacml.PermitOverrides:
+		otherPermit, otherDeny := permits.without(i), denies.without(i)
+		winning, losing := p.deny, p.permit
+		otherWinning, otherLosing := otherDeny, otherPermit
+		if alg == xacml.PermitOverrides {
+			winning, losing = p.permit, p.deny
+			otherWinning, otherLosing = otherPermit, otherDeny
+		}
+		// The winning-effect region must be re-decided identically by
+		// another policy's winning region.
+		if cov, err := covered(winning, otherWinning, cap); err != nil || !cov {
+			return false
+		}
+		// The losing-effect region is either overridden regardless, or
+		// re-decided by another policy's losing region.
+		effective, err := subtractRegions(losing, otherWinning, cap)
+		if err != nil {
+			return false
+		}
+		cov, err := covered(effective, otherLosing, cap)
+		return err == nil && cov
+	case xacml.FirstApplicable:
+		rest := append([]*policyInfo(nil), info.policies[:i]...)
+		rest = append(rest, info.policies[i+1:]...)
+		permit2, deny2, ok := a.setDecisionRegions(rest, alg)
+		if !ok {
+			return false
+		}
+		return regionsEqual(info.permit, permit2, cap) && regionsEqual(info.deny, deny2, cap)
+	default:
+		return false
+	}
+}
+
+func regionsEqual(a, b region, cap int) bool {
+	d1, err := subtractRegions(a, b, cap)
+	if err != nil || !d1.empty() {
+		return false
+	}
+	d2, err := subtractRegions(b, a, cap)
+	return err == nil && d2.empty()
+}
+
+// ---------------------------------------------------------------------
+
+func (r *Report) add(f Finding) {
+	statFindings.Inc()
+	r.Findings = append(r.Findings, f)
+}
+
+// finish sorts findings into a stable order and fills stats.
+func (a *analyzer) finish(rep *Report, t0 time.Time, policies []*policyInfo) {
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		fi, fj := &rep.Findings[i], &rep.Findings[j]
+		if fi.Severity != fj.Severity {
+			return fi.Severity > fj.Severity
+		}
+		if fi.Policy != fj.Policy {
+			return fi.Policy < fj.Policy
+		}
+		if fi.Rule != fj.Rule {
+			return fi.Rule < fj.Rule
+		}
+		return fi.Kind < fj.Kind
+	})
+	st := &rep.Stats
+	st.Policies = len(policies)
+	st.Slots = len(a.in.slots)
+	for _, p := range policies {
+		st.Rules += len(p.rules)
+		for _, ru := range p.rules {
+			st.Vectors += len(ru.region)
+			if !ru.supported {
+				st.Bounded++
+			}
+		}
+		if !p.exact {
+			st.Bounded++
+		}
+	}
+	st.Duration = time.Since(t0)
+	statAnalyses.Inc()
+	statAnalysisDur.Observe(st.Duration)
+	if st.Bounded > 0 {
+		statBounded.Add(int64(st.Bounded))
+	}
+}

@@ -1,0 +1,184 @@
+package polcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"agenp/internal/engine"
+	"agenp/internal/xacml"
+)
+
+// Change-impact analysis: a symbolic diff of two policy-set generations
+// (pre/post Evolve or PAdaP adaptation). Both sets are translated over
+// one shared interner so their regions speak about the same slots, and
+// each of the six possible decision flips (Permit/Deny/NotApplicable
+// crossed) is computed as a region intersection or subtraction. A
+// non-empty flip region yields a witness request validated against both
+// generations' evaluators.
+
+// ErrDiffBounded is reported when a generation uses an unsupported
+// construct or the analysis exceeded the vector cap, so an exact diff
+// cannot be claimed.
+var ErrDiffBounded = errors.New("polcheck: diff bounded — a generation uses an unsupported construct or exceeded the vector cap")
+
+// Flip is one decision change between generations: every request in
+// Region decided From under the old set and To under the new one.
+type Flip struct {
+	From xacml.Decision `json:"-"`
+	To   xacml.Decision `json:"-"`
+	// FromTo renders the transition, e.g. "Permit->Deny".
+	FromTo string `json:"from_to"`
+	// Region renders the flipped request region (one line per vector).
+	Region []string `json:"region"`
+	// Witness is a concrete flipped request; Request carries it for
+	// replay; Verified reports replay through both generations agreed.
+	Witness  string        `json:"witness"`
+	Request  xacml.Request `json:"-"`
+	Verified bool          `json:"verified"`
+}
+
+func (f Flip) String() string {
+	return fmt.Sprintf("%s on %s (witness: %s)", f.FromTo, strings.Join(f.Region, " | "), f.Witness)
+}
+
+// Diff is the change-impact between two policy-set generations.
+type Diff struct {
+	Flips []Flip        `json:"flips"`
+	Stats Stats         `json:"stats"`
+	Dur   time.Duration `json:"duration_ns"`
+}
+
+// Changed reports whether any request's decision flipped.
+func (d *Diff) Changed() bool { return len(d.Flips) > 0 }
+
+// Flipped returns the flips landing on the given new decision —
+// Flipped(DecisionDeny) is what the adaptation gate inspects for newly
+// denied regions.
+func (d *Diff) Flipped(to xacml.Decision) []Flip {
+	var out []Flip
+	for _, f := range d.Flips {
+		if f.To == to {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (d *Diff) String() string {
+	if len(d.Flips) == 0 {
+		return "no decision changes"
+	}
+	lines := make([]string, len(d.Flips))
+	for i, f := range d.Flips {
+		lines[i] = f.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// DiffSets computes the exact change-impact from generation old to
+// generation new. It fails with ErrDiffBounded rather than return an
+// under-approximate diff.
+func DiffSets(oldSet, newSet *xacml.PolicySet, opts Options) (*Diff, error) {
+	t0 := time.Now()
+	a := newAnalyzer(opts)
+	oi := a.buildSet(oldSet)
+	ni := a.buildSet(newSet)
+	if !oi.exact || !ni.exact {
+		statBounded.Inc()
+		return nil, ErrDiffBounded
+	}
+	cap := opts.cap()
+
+	oldApplicable := unionRegions(oi.permit, oi.deny)
+	newApplicable := unionRegions(ni.permit, ni.deny)
+
+	type flipSpec struct {
+		from, to xacml.Decision
+		compute  func() (region, error)
+	}
+	specs := []flipSpec{
+		{xacml.DecisionPermit, xacml.DecisionDeny, func() (region, error) {
+			return intersectRegions(oi.permit, ni.deny, cap)
+		}},
+		{xacml.DecisionPermit, xacml.DecisionNotApplicable, func() (region, error) {
+			return subtractRegions(oi.permit, newApplicable, cap)
+		}},
+		{xacml.DecisionDeny, xacml.DecisionPermit, func() (region, error) {
+			return intersectRegions(oi.deny, ni.permit, cap)
+		}},
+		{xacml.DecisionDeny, xacml.DecisionNotApplicable, func() (region, error) {
+			return subtractRegions(oi.deny, newApplicable, cap)
+		}},
+		{xacml.DecisionNotApplicable, xacml.DecisionPermit, func() (region, error) {
+			return subtractRegions(ni.permit, oldApplicable, cap)
+		}},
+		{xacml.DecisionNotApplicable, xacml.DecisionDeny, func() (region, error) {
+			return subtractRegions(ni.deny, oldApplicable, cap)
+		}},
+	}
+
+	d := &Diff{}
+	for _, spec := range specs {
+		reg, err := spec.compute()
+		if err != nil {
+			statBounded.Inc()
+			return nil, ErrDiffBounded
+		}
+		if reg.empty() {
+			continue
+		}
+		w := a.witness(reg[0])
+		fl := Flip{
+			From:    spec.from,
+			To:      spec.to,
+			FromTo:  spec.from.String() + "->" + spec.to.String(),
+			Witness: w.Key(),
+			Request: w,
+		}
+		for _, v := range reg {
+			fl.Region = append(fl.Region, a.renderVector(v))
+		}
+		if !opts.SkipValidation {
+			fl.Verified = validateFlip(oldSet, newSet, spec.from, spec.to, w)
+		}
+		d.Flips = append(d.Flips, fl)
+	}
+
+	d.Stats.Policies = len(oi.policies) + len(ni.policies)
+	d.Stats.Slots = len(a.in.slots)
+	d.Dur = time.Since(t0)
+	statDiffs.Inc()
+	statAnalysisDur.Observe(d.Dur)
+	return d, nil
+}
+
+// validateFlip replays a flip witness through both generations' tree
+// walks and compiled deciders: all four evaluations must land on the
+// claimed transition.
+func validateFlip(oldSet, newSet *xacml.PolicySet, from, to xacml.Decision, r xacml.Request) bool {
+	check := func(ps *xacml.PolicySet, want xacml.Decision) bool {
+		tree, _ := ps.EvaluateWinner(r)
+		if normalizeNA(tree) != want {
+			return false
+		}
+		dec, err := engine.NewXACMLDecider(ps)
+		if err != nil {
+			return false
+		}
+		compiled, _ := dec.Decide(r)
+		return normalizeNA(compiled) == want
+	}
+	return check(oldSet, from) && check(newSet, to)
+}
+
+// normalizeNA folds the "no rule fired" outcomes together: the diff's
+// three-way partition treats anything that is not Permit or Deny as
+// NotApplicable.
+func normalizeNA(d xacml.Decision) xacml.Decision {
+	if d == xacml.DecisionPermit || d == xacml.DecisionDeny {
+		return d
+	}
+	return xacml.DecisionNotApplicable
+}

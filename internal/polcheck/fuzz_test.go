@@ -1,0 +1,205 @@
+package polcheck
+
+import (
+	"testing"
+
+	"agenp/internal/quality"
+	"agenp/internal/xacml"
+)
+
+// Differential fuzzing against the enumeration oracle of
+// internal/quality: random small policy sets over a domain of at most 4
+// values per attribute are analyzed symbolically and by exhaustive
+// request enumeration, and the two must agree — every enumerated
+// conflict must be found symbolically, every symbolic claim of
+// redundancy or irrelevance must hold pointwise on the enumerated
+// domain, and every conflict witness must reproduce through the
+// tree-walk and the compiled engine (AnalyzeSet validates witnesses
+// with both when SkipValidation is off).
+
+// fuzzSlots is the attribute universe of the generated policies; the
+// enumeration domain assigns every attribute all of its values.
+var fuzzSlots = []struct {
+	cat   xacml.Category
+	attr  string
+	isInt bool
+}{
+	{xacml.Subject, "role", false},
+	{xacml.Subject, "lvl", true},
+	{xacml.Action, "id", false},
+}
+
+var fuzzStrings = []string{"a", "b", "c"}
+
+func fuzzDomain() *quality.Domain {
+	d := quality.NewDomain()
+	for _, s := range fuzzSlots {
+		if s.isInt {
+			d.Add(s.cat, s.attr, xacml.I(0), xacml.I(1), xacml.I(2), xacml.I(3))
+		} else {
+			d.Add(s.cat, s.attr, xacml.S("a"), xacml.S("b"), xacml.S("c"))
+		}
+	}
+	return d
+}
+
+// byteFeed decodes fuzz data into bounded choices, cycling when the
+// input runs short so every prefix decodes to a complete policy set.
+type byteFeed struct {
+	data []byte
+	pos  int
+}
+
+func (f *byteFeed) next() int {
+	if len(f.data) == 0 {
+		return 0
+	}
+	b := f.data[f.pos%len(f.data)]
+	f.pos++
+	return int(b)
+}
+
+func fuzzMatch(f *byteFeed) xacml.Match {
+	s := fuzzSlots[f.next()%len(fuzzSlots)]
+	m := xacml.Match{Category: s.cat, Attr: s.attr}
+	if s.isInt {
+		ops := []xacml.MatchOp{xacml.OpEq, xacml.OpNeq, xacml.OpLt, xacml.OpLeq, xacml.OpGt, xacml.OpGeq}
+		m.Op = ops[f.next()%len(ops)]
+		m.Value = xacml.I(f.next() % 4)
+	} else {
+		ops := []xacml.MatchOp{xacml.OpEq, xacml.OpNeq}
+		m.Op = ops[f.next()%len(ops)]
+		m.Value = xacml.S(fuzzStrings[f.next()%len(fuzzStrings)])
+	}
+	return m
+}
+
+var fuzzAlgs = []xacml.CombiningAlg{xacml.DenyOverrides, xacml.PermitOverrides, xacml.FirstApplicable}
+
+func fuzzSet(data []byte) *xacml.PolicySet {
+	f := &byteFeed{data: data}
+	ps := &xacml.PolicySet{ID: "fuzz", Combining: fuzzAlgs[f.next()%len(fuzzAlgs)]}
+	nPol := 1 + f.next()%3
+	for pi := 0; pi < nPol; pi++ {
+		p := &xacml.Policy{
+			ID:        "p" + string(rune('0'+pi)),
+			Combining: fuzzAlgs[f.next()%len(fuzzAlgs)],
+		}
+		if f.next()%4 == 0 {
+			p.Target = xacml.Target{fuzzMatch(f)}
+		}
+		nRules := 1 + f.next()%4
+		for ri := 0; ri < nRules; ri++ {
+			ru := xacml.Rule{ID: "r" + string(rune('0'+ri)), Effect: xacml.Permit}
+			if f.next()%2 == 0 {
+				ru.Effect = xacml.Deny
+			}
+			for t := f.next() % 3; t > 0; t-- {
+				ru.Target = append(ru.Target, fuzzMatch(f))
+			}
+			switch f.next() % 4 {
+			case 1:
+				m := fuzzMatch(f)
+				ru.Condition = &xacml.Condition{Match: &m}
+			case 2:
+				m := fuzzMatch(f)
+				ru.Condition = &xacml.Condition{Not: &xacml.Condition{Match: &m}}
+			case 3:
+				m1, m2 := fuzzMatch(f), fuzzMatch(f)
+				ru.Condition = &xacml.Condition{Or: []xacml.Condition{{Match: &m1}, {Match: &m2}}}
+			}
+			p.Rules = append(p.Rules, ru)
+		}
+		ps.Policies = append(ps.Policies, p)
+	}
+	return ps
+}
+
+func FuzzPolcheckVsEnumeration(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{2, 1, 0, 3, 0, 0, 1, 1, 2, 0, 0, 1, 2, 3, 1, 0})
+	f.Add([]byte{1, 2, 0, 3, 2, 1, 0, 0, 3, 2, 1, 0, 1, 2, 3, 0, 1, 2, 3, 250})
+	f.Add([]byte{7, 13, 42, 99, 3, 0, 1, 250, 128, 17, 5, 5, 5, 77, 200, 6})
+	f.Add([]byte{255, 254, 253, 1, 2, 3, 9, 8, 7, 6, 5, 4, 100, 101, 102, 103, 104})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps := fuzzSet(data)
+		rep := AnalyzeSet(ps, Options{})
+
+		// Every conflict claim ships a witness that reproduced through
+		// both rules/policies, the tree-walk oracle and the compiled
+		// engine decider — AnalyzeSet marks it Verified only then.
+		for _, fd := range rep.Findings {
+			if (fd.Kind == KindConflict || fd.Kind == KindCrossConflict) && !fd.Verified {
+				t.Fatalf("unverified conflict witness: %s", fd)
+			}
+		}
+
+		// The completeness direction needs exact regions.
+		if rep.Stats.Bounded > 0 {
+			return
+		}
+		dom := fuzzDomain()
+		opts := quality.Options{MaxFindings: 1 << 20}
+
+		// Enumerated cross-policy conflicts must all be found
+		// symbolically (pairs are normalized permit-side first in both).
+		symCross := make(map[[2]string]bool)
+		for _, fd := range rep.Findings {
+			if fd.Kind == KindCrossConflict {
+				symCross[[2]string{fd.Policy, fd.OtherPolicy}] = true
+			}
+		}
+		for _, c := range quality.AssessSet(ps, dom, opts).Conflicts {
+			if !symCross[[2]string{c.PermitPolicy, c.DenyPolicy}] {
+				t.Errorf("enumeration found cross-policy conflict %s that polcheck missed", c)
+			}
+		}
+
+		for _, p := range ps.Policies {
+			prep := quality.Assess(p, dom, opts)
+
+			symPairs := make(map[[2]string]bool)
+			enumRedundant := make(map[string]bool)
+			enumIrrelevant := make(map[string]bool)
+			for _, fd := range rep.Findings {
+				if fd.Policy == p.ID && fd.Kind == KindConflict {
+					symPairs[[2]string{fd.Rule, fd.OtherRule}] = true
+				}
+			}
+			for _, id := range prep.Redundant {
+				enumRedundant[id] = true
+			}
+			for _, id := range prep.Irrelevant {
+				enumIrrelevant[id] = true
+			}
+
+			// Enumerated intra-policy conflicts ⊆ symbolic conflicts.
+			for _, c := range prep.Conflicts {
+				if !symPairs[[2]string{c.PermitRule, c.DenyRule}] {
+					t.Errorf("policy %s: enumeration found conflict %s that polcheck missed", p.ID, c)
+				}
+			}
+
+			// Symbolic claims hold pointwise on the enumerated domain:
+			// a provably redundant or shadowed rule changes no decision
+			// when removed; an unreachable rule never fires.
+			for _, fd := range rep.Findings {
+				if fd.Policy != p.ID {
+					continue
+				}
+				switch fd.Kind {
+				case KindRedundant, KindShadowed:
+					if !enumRedundant[fd.Rule] {
+						t.Errorf("policy %s: polcheck claims %s removable (%s) but enumeration disagrees", p.ID, fd.Rule, fd.Kind)
+					}
+				case KindUnreachable:
+					if !enumIrrelevant[fd.Rule] {
+						t.Errorf("policy %s: polcheck claims %s unreachable but it fired", p.ID, fd.Rule)
+					}
+				}
+			}
+		}
+	})
+}

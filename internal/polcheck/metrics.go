@@ -1,0 +1,20 @@
+package polcheck
+
+import "agenp/internal/obs"
+
+// Telemetry, registered on the Default obs registry. Counters follow
+// the package-variable pattern: declared once, poked directly on the
+// recording path.
+var (
+	// statFindings counts every finding emitted, across all analyses.
+	statFindings = obs.C("polcheck.findings")
+	// statAnalyses counts AnalyzePolicy/AnalyzeSet runs.
+	statAnalyses = obs.C("polcheck.analyses")
+	// statDiffs counts DiffSets runs.
+	statDiffs = obs.C("polcheck.diffs")
+	// statBounded counts rules/policies excluded from claims because of
+	// an unsupported construct or a vector-cap hit.
+	statBounded = obs.C("polcheck.bounded")
+	// statAnalysisDur is the per-analysis wall time.
+	statAnalysisDur = obs.H("polcheck.analysis_ns")
+)

@@ -1,0 +1,308 @@
+package polcheck
+
+import (
+	"strings"
+	"testing"
+
+	"agenp/internal/xacml"
+)
+
+func eq(cat xacml.Category, attr, val string) xacml.Match {
+	return xacml.Match{Category: cat, Attr: attr, Op: xacml.OpEq, Value: xacml.S(val)}
+}
+
+func rule(id string, eff xacml.Effect, target ...xacml.Match) xacml.Rule {
+	return xacml.Rule{ID: id, Effect: eff, Target: xacml.Target(target)}
+}
+
+func findKind(rep *Report, k Kind) []Finding {
+	var out []Finding
+	for _, f := range rep.Findings {
+		if f.Kind == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestShadowedFirstApplicable(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.FirstApplicable,
+		Rules: []xacml.Rule{
+			rule("broad", xacml.Permit, eq(xacml.Subject, "role", "doctor")),
+			rule("narrow", xacml.Deny, eq(xacml.Subject, "role", "doctor"), eq(xacml.Resource, "kind", "record")),
+		},
+	}
+	rep := AnalyzePolicy(p, Options{})
+	sh := findKind(rep, KindShadowed)
+	if len(sh) != 1 || sh[0].Rule != "narrow" {
+		t.Fatalf("want narrow shadowed, got %v", rep.Findings)
+	}
+	// The shadowed rule never fires: that is also an exact redundancy.
+	red := findKind(rep, KindRedundant)
+	if len(red) != 1 || red[0].Rule != "narrow" {
+		t.Fatalf("want narrow redundant, got %v", rep.Findings)
+	}
+}
+
+func TestShadowingRespectsCombining(t *testing.T) {
+	rules := []xacml.Rule{
+		rule("permit-doc", xacml.Permit, eq(xacml.Subject, "role", "doctor")),
+		rule("deny-doc", xacml.Deny, eq(xacml.Subject, "role", "doctor")),
+	}
+	// Under deny-overrides an earlier *permit* never blocks a deny.
+	rep := AnalyzePolicy(&xacml.Policy{ID: "p", Combining: xacml.DenyOverrides, Rules: rules}, Options{})
+	if sh := findKind(rep, KindShadowed); len(sh) != 0 {
+		t.Fatalf("deny-overrides: unexpected shadowing %v", sh)
+	}
+	// Under first-applicable the same pair shadows.
+	rep = AnalyzePolicy(&xacml.Policy{ID: "p", Combining: xacml.FirstApplicable, Rules: rules}, Options{})
+	if sh := findKind(rep, KindShadowed); len(sh) != 1 || sh[0].Rule != "deny-doc" {
+		t.Fatalf("first-applicable: want deny-doc shadowed, got %v", rep.Findings)
+	}
+}
+
+func TestUnreachableRule(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			rule("impossible", xacml.Permit, eq(xacml.Subject, "role", "doctor"), eq(xacml.Subject, "role", "nurse")),
+		},
+	}
+	rep := AnalyzePolicy(p, Options{})
+	if un := findKind(rep, KindUnreachable); len(un) != 1 || un[0].Rule != "impossible" {
+		t.Fatalf("want impossible unreachable, got %v", rep.Findings)
+	}
+}
+
+func TestConflictWitnessVerified(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			rule("allow-doctors", xacml.Permit, eq(xacml.Subject, "role", "doctor")),
+			rule("deny-records", xacml.Deny, eq(xacml.Resource, "kind", "record")),
+		},
+	}
+	rep := AnalyzePolicy(p, Options{})
+	cf := findKind(rep, KindConflict)
+	if len(cf) != 1 {
+		t.Fatalf("want one conflict, got %v", rep.Findings)
+	}
+	f := cf[0]
+	if f.Rule != "allow-doctors" || f.OtherRule != "deny-records" {
+		t.Fatalf("wrong pair: %+v", f)
+	}
+	if !f.Verified {
+		t.Fatalf("witness not verified: %+v", f)
+	}
+	if f.Resolved != "Deny" {
+		t.Fatalf("deny-overrides should resolve witness to Deny, got %q", f.Resolved)
+	}
+	// The witness must make both rules fire.
+	if !p.Rules[0].Applies(f.Request) || !p.Rules[1].Applies(f.Request) {
+		t.Fatalf("witness %v does not reproduce the overlap", f.Request)
+	}
+	if !rep.HasErrors() {
+		t.Fatal("conflicts are error severity")
+	}
+}
+
+func TestRedundantDuplicateRule(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			rule("deny-a", xacml.Deny, eq(xacml.Subject, "role", "guest")),
+			rule("deny-b", xacml.Deny, eq(xacml.Subject, "role", "guest")),
+		},
+	}
+	rep := AnalyzePolicy(p, Options{})
+	red := findKind(rep, KindRedundant)
+	if len(red) != 2 {
+		t.Fatalf("each duplicate is individually removable, got %v", rep.Findings)
+	}
+}
+
+func TestRedundancyNotClaimedWhenLoadBearing(t *testing.T) {
+	// permit-guest is the only rule deciding guests: not redundant.
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			rule("permit-guest", xacml.Permit, eq(xacml.Subject, "role", "guest")),
+			rule("deny-root", xacml.Deny, eq(xacml.Subject, "role", "root")),
+		},
+	}
+	rep := AnalyzePolicy(p, Options{})
+	if red := findKind(rep, KindRedundant); len(red) != 0 {
+		t.Fatalf("unexpected redundancy %v", red)
+	}
+}
+
+func TestCrossPolicyConflictAndSubsumption(t *testing.T) {
+	ps := &xacml.PolicySet{
+		ID:        "set",
+		Combining: xacml.DenyOverrides,
+		Policies: []*xacml.Policy{
+			{ID: "ours", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+				rule("permit-share", xacml.Permit, eq(xacml.Action, "id", "share")),
+			}},
+			{ID: "theirs", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+				rule("deny-share", xacml.Deny, eq(xacml.Action, "id", "share")),
+			}},
+			{ID: "dup", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+				rule("deny-share-too", xacml.Deny, eq(xacml.Action, "id", "share")),
+			}},
+		},
+	}
+	rep := AnalyzeSet(ps, Options{})
+	cross := findKind(rep, KindCrossConflict)
+	if len(cross) != 2 {
+		// ours/theirs and ours/dup.
+		t.Fatalf("want 2 cross conflicts, got %v", rep.Findings)
+	}
+	for _, f := range cross {
+		if !f.Verified {
+			t.Fatalf("cross witness not verified: %+v", f)
+		}
+		if f.Resolved != "Deny" {
+			t.Fatalf("deny-overrides resolves to Deny, got %+v", f)
+		}
+	}
+	// theirs and dup subsume each other; ours is load-bearing… except
+	// its permit region is fully overridden, making it removable too.
+	sub := findKind(rep, KindSubsumedPolicy)
+	ids := map[string]bool{}
+	for _, f := range sub {
+		ids[f.Policy] = true
+	}
+	if !ids["theirs"] || !ids["dup"] {
+		t.Fatalf("want theirs+dup subsumed, got %v", sub)
+	}
+}
+
+func TestBoundedStringOrdering(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "lex", Effect: xacml.Permit, Target: xacml.Target{
+				{Category: xacml.Subject, Attr: "name", Op: xacml.OpLt, Value: xacml.S("m")},
+			}},
+		},
+	}
+	rep := AnalyzePolicy(p, Options{})
+	if b := findKind(rep, KindBounded); len(b) != 1 || b[0].Rule != "lex" {
+		t.Fatalf("want lex bounded, got %v", rep.Findings)
+	}
+	if rep.Stats.Bounded == 0 {
+		t.Fatal("stats should count bounded items")
+	}
+}
+
+func TestConditionTranslation(t *testing.T) {
+	// not(role=doctor or level<3) ∧ kind=record ⇒ conflicts only with
+	// a deny on high-level non-doctors.
+	cond := &xacml.Condition{Not: &xacml.Condition{Or: []xacml.Condition{
+		{Match: &xacml.Match{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("doctor")}},
+		{Match: &xacml.Match{Category: xacml.Subject, Attr: "level", Op: xacml.OpLt, Value: xacml.I(3)}},
+	}}}
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "guarded", Effect: xacml.Permit, Target: xacml.Target{eq(xacml.Resource, "kind", "record")}, Condition: cond},
+			rule("deny-doctors", xacml.Deny, eq(xacml.Subject, "role", "doctor")),
+		},
+	}
+	rep := AnalyzePolicy(p, Options{})
+	// The permit's region excludes role=doctor, so no overlap exists.
+	if cf := findKind(rep, KindConflict); len(cf) != 0 {
+		t.Fatalf("negated condition should prevent overlap, got %v", cf)
+	}
+
+	// Replace the deny with one inside the permit's region: conflict.
+	p.Rules[1] = rule("deny-records", xacml.Deny, eq(xacml.Resource, "kind", "record"))
+	rep = AnalyzePolicy(p, Options{})
+	cf := findKind(rep, KindConflict)
+	if len(cf) != 1 || !cf[0].Verified {
+		t.Fatalf("want verified conflict, got %v", rep.Findings)
+	}
+	// Witness must satisfy the negated condition concretely.
+	if !p.Rules[0].Applies(cf[0].Request) {
+		t.Fatalf("witness %v does not satisfy the condition", cf[0].Request)
+	}
+}
+
+func TestDiffSets(t *testing.T) {
+	oldSet := &xacml.PolicySet{
+		ID: "gen-a", Combining: xacml.DenyOverrides,
+		Policies: []*xacml.Policy{{ID: "p", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+			rule("permit-share", xacml.Permit, eq(xacml.Action, "id", "share")),
+			rule("deny-export", xacml.Deny, eq(xacml.Action, "id", "export")),
+		}}},
+	}
+	newSet := &xacml.PolicySet{
+		ID: "gen-b", Combining: xacml.DenyOverrides,
+		Policies: []*xacml.Policy{{ID: "p", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+			rule("deny-share", xacml.Deny, eq(xacml.Action, "id", "share")),
+			rule("deny-export", xacml.Deny, eq(xacml.Action, "id", "export")),
+		}}},
+	}
+	d, err := DiffSets(oldSet, newSet, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Changed() {
+		t.Fatal("diff should report changes")
+	}
+	flips := d.Flipped(xacml.DecisionDeny)
+	if len(flips) != 1 || flips[0].From != xacml.DecisionPermit {
+		t.Fatalf("want one Permit->Deny flip, got %v", d.Flips)
+	}
+	if !flips[0].Verified {
+		t.Fatalf("flip witness not verified: %+v", flips[0])
+	}
+	// Identical generations: no flips.
+	d, err = DiffSets(oldSet, oldSet, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Changed() {
+		t.Fatalf("self-diff should be empty, got %v", d.Flips)
+	}
+}
+
+func TestReportConflictKeysAndFilter(t *testing.T) {
+	rep := &Report{Findings: []Finding{
+		{Kind: KindConflict, Severity: Error, Policy: "p", Rule: "a", OtherRule: "b"},
+		{Kind: KindShadowed, Severity: Warning, Policy: "p", Rule: "c"},
+		{Kind: KindRedundant, Severity: Info, Policy: "p", Rule: "d"},
+	}}
+	if got := len(rep.Filter(Warning)); got != 2 {
+		t.Fatalf("Filter(Warning) = %d", got)
+	}
+	keys := rep.ConflictKeys()
+	if len(keys) != 1 || !keys["conflict|p|a|b"] {
+		t.Fatalf("keys: %v", keys)
+	}
+	if s, err := ParseSeverity("warning"); err != nil || s != Warning {
+		t.Fatalf("ParseSeverity: %v %v", s, err)
+	}
+	if _, err := ParseSeverity("loud"); err == nil {
+		t.Fatal("ParseSeverity should reject unknown names")
+	}
+}
+
+func TestFindingRendering(t *testing.T) {
+	f := Finding{Kind: KindConflict, Severity: Error, Policy: "p", Rule: "a", OtherRule: "b", Witness: "action.id=share", Detail: "overlap"}
+	s := f.String()
+	for _, want := range []string{"error", "conflict", "p/a", "witness"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering %q misses %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,746 @@
+// Package polcheck statically verifies compiled policy sets without
+// enumerating the attribute domain (the paper's Section V.A calls for
+// static identification of policy conflicts ahead of runtime
+// resolution). In the style of Margrave and XACML change-impact
+// analysis, every rule's target and condition is translated into a
+// disjunction of constraint vectors over interned (category, attribute)
+// slots — the same slot identity the compiled form in internal/xacml
+// interns — and all verification questions reduce to interval/set
+// reasoning on those vectors:
+//
+//   - shadowing / unreachability: a rule (or policy) can never fire
+//     because the combining algorithm routes every request it could
+//     match to an earlier rule;
+//   - conflict pairs: a permit and a deny rule overlap; each conflict
+//     is reported with a concrete witness request, validated by
+//     replaying it through the compiled engine and the tree-walk
+//     oracle;
+//   - redundancy: removing the rule provably leaves every decision of
+//     the policy unchanged, on every possible request;
+//   - cross-policy subsumption and conflicts after coalition sharing;
+//   - generation change-impact: a symbolic diff of two policy-set
+//     generations listing the request regions whose decision flipped.
+//
+// The analyses are exact for the supported match language (equality,
+// inequality and integer ordering over string/int attribute values,
+// arbitrary and/or/not conditions): when Analyze reports no finding and
+// no Bounded note, the property holds for every request, not just a
+// sampled domain. Policies using ordering comparisons over string
+// constants, or whose condition DNF exceeds Options.MaxVectors, degrade
+// soundly: the affected rules are reported as Bounded and excluded from
+// claims instead of guessed at. internal/quality keeps the enumeration
+// checker as a differential oracle on small domains (see the
+// FuzzPolcheckVsEnumeration harness).
+package polcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"agenp/internal/xacml"
+)
+
+// slotKey identifies one interned (category, attribute) pair.
+type slotKey struct {
+	cat  xacml.Category
+	attr string
+}
+
+func (k slotKey) String() string { return string(k.cat) + "." + k.attr }
+
+// interner assigns dense ids to (category, attribute) pairs, mirroring
+// the attribute interner of the compiled evaluator.
+type interner struct {
+	slots []slotKey
+	ids   map[slotKey]int
+}
+
+func newInterner() *interner {
+	return &interner{ids: make(map[slotKey]int)}
+}
+
+func (in *interner) intern(cat xacml.Category, attr string) int {
+	key := slotKey{cat, attr}
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id := len(in.slots)
+	in.slots = append(in.slots, key)
+	in.ids[key] = id
+	return id
+}
+
+// ---------------------------------------------------------------------
+// Integer sets: sorted disjoint closed intervals over int64, with
+// math.MinInt64/MaxInt64 as the unbounded sentinels.
+
+type intIv struct{ lo, hi int64 }
+
+// intSet is a union of disjoint, sorted, non-overlapping intervals.
+// nil/empty means the empty set.
+type intSet []intIv
+
+func fullInts() intSet { return intSet{{math.MinInt64, math.MaxInt64}} }
+
+func (s intSet) empty() bool { return len(s) == 0 }
+
+// normalizeInts sorts and merges overlapping or adjacent intervals.
+func normalizeInts(ivs []intIv) intSet {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	out := intSet{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi || (last.hi != math.MaxInt64 && iv.lo == last.hi+1) {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+func (s intSet) intersect(o intSet) intSet {
+	var out intSet
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		lo := max64(s[i].lo, o[j].lo)
+		hi := min64(s[i].hi, o[j].hi)
+		if lo <= hi {
+			out = append(out, intIv{lo, hi})
+		}
+		if s[i].hi < o[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func (s intSet) subtract(o intSet) intSet {
+	if len(s) == 0 || len(o) == 0 {
+		return s
+	}
+	var out intSet
+	for _, a := range s {
+		parts := intSet{a}
+		for _, b := range o {
+			var next intSet
+			for _, p := range parts {
+				if b.hi < p.lo || b.lo > p.hi {
+					next = append(next, p)
+					continue
+				}
+				if b.lo > p.lo {
+					next = append(next, intIv{p.lo, b.lo - 1})
+				}
+				if b.hi < p.hi {
+					next = append(next, intIv{b.hi + 1, p.hi})
+				}
+			}
+			parts = next
+			if len(parts) == 0 {
+				break
+			}
+		}
+		out = append(out, parts...)
+	}
+	return normalizeInts(out)
+}
+
+// pick returns a representative member, preferring small finite bounds.
+func (s intSet) pick() int64 {
+	iv := s[0]
+	switch {
+	case iv.lo != math.MinInt64:
+		return iv.lo
+	case iv.hi != math.MaxInt64:
+		return iv.hi
+	default:
+		return 0
+	}
+}
+
+// bounded reports whether the set has at least one finite endpoint, so
+// witness extraction can prefer values that look intentional.
+func (s intSet) boundedPick() (int64, bool) {
+	for _, iv := range s {
+		if iv.lo != math.MinInt64 {
+			return iv.lo, true
+		}
+		if iv.hi != math.MaxInt64 {
+			return iv.hi, true
+		}
+	}
+	return 0, false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// intEq and friends build the primitive sets for each operator. Bounds
+// saturate instead of wrapping at the sentinels.
+func intEq(v int64) intSet  { return intSet{{v, v}} }
+func intNeq(v int64) intSet { return fullInts().subtract(intEq(v)) }
+func intLt(v int64) intSet {
+	if v == math.MinInt64 {
+		return nil
+	}
+	return intSet{{math.MinInt64, v - 1}}
+}
+func intLeq(v int64) intSet { return intSet{{math.MinInt64, v}} }
+func intGt(v int64) intSet {
+	if v == math.MaxInt64 {
+		return nil
+	}
+	return intSet{{v + 1, math.MaxInt64}}
+}
+func intGeq(v int64) intSet { return intSet{{v, math.MaxInt64}} }
+
+// ---------------------------------------------------------------------
+// String sets: either a finite set of members or a cofinite set
+// (everything except the listed exclusions). Both forms are closed
+// under intersection and difference, which is all the analyses need.
+
+type strSet struct {
+	// cofinite: vals are exclusions; otherwise vals are the members.
+	cofinite bool
+	vals     []string // sorted, deduplicated
+}
+
+func fullStrs() strSet  { return strSet{cofinite: true} }
+func emptyStrs() strSet { return strSet{} }
+
+func (s strSet) empty() bool { return !s.cofinite && len(s.vals) == 0 }
+
+func sortedUnique(vals []string) []string {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := append([]string(nil), vals...)
+	sort.Strings(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}
+
+func strMembers(vals ...string) strSet { return strSet{vals: sortedUnique(vals)} }
+
+func strWithout(vals ...string) strSet {
+	return strSet{cofinite: true, vals: sortedUnique(vals)}
+}
+
+func contains(sorted []string, v string) bool {
+	i := sort.SearchStrings(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+// setMinus returns the members of a not in b (both sorted).
+func setMinus(a, b []string) []string {
+	var out []string
+	for _, v := range a {
+		if !contains(b, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s strSet) intersect(o strSet) strSet {
+	switch {
+	case !s.cofinite && !o.cofinite:
+		var out []string
+		for _, v := range s.vals {
+			if contains(o.vals, v) {
+				out = append(out, v)
+			}
+		}
+		return strSet{vals: out}
+	case !s.cofinite: // finite ∩ cofinite
+		return strSet{vals: setMinus(s.vals, o.vals)}
+	case !o.cofinite:
+		return strSet{vals: setMinus(o.vals, s.vals)}
+	default: // cofinite ∩ cofinite: union the exclusions
+		return strSet{cofinite: true, vals: sortedUnique(append(append([]string(nil), s.vals...), o.vals...))}
+	}
+}
+
+func (s strSet) subtract(o strSet) strSet {
+	switch {
+	case !s.cofinite && !o.cofinite:
+		return strSet{vals: setMinus(s.vals, o.vals)}
+	case !s.cofinite: // finite ∖ cofinite = members also excluded by o
+		var out []string
+		for _, v := range s.vals {
+			if contains(o.vals, v) {
+				out = append(out, v)
+			}
+		}
+		return strSet{vals: out}
+	case !o.cofinite: // cofinite ∖ finite: add exclusions
+		return strSet{cofinite: true, vals: sortedUnique(append(append([]string(nil), s.vals...), o.vals...))}
+	default: // cofinite ∖ cofinite = o's exclusions not excluded by s
+		return strSet{vals: setMinus(o.vals, s.vals)}
+	}
+}
+
+// pick returns a representative member; cofinite sets synthesize a
+// fresh witness value outside the exclusions.
+func (s strSet) pick() string {
+	if !s.cofinite {
+		return s.vals[0]
+	}
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("w%d", i)
+		if !contains(s.vals, cand) {
+			return cand
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// valueSet: the admissible assignments of one slot. A request either
+// omits the attribute (absent), carries an integer, or carries a
+// string; the three components are independent.
+
+type valueSet struct {
+	absent bool
+	ints   intSet
+	strs   strSet
+}
+
+func topValues() *valueSet {
+	return &valueSet{absent: true, ints: fullInts(), strs: fullStrs()}
+}
+
+func (v *valueSet) empty() bool {
+	return !v.absent && v.ints.empty() && v.strs.empty()
+}
+
+func (v *valueSet) isTop() bool {
+	return v.absent &&
+		len(v.ints) == 1 && v.ints[0].lo == math.MinInt64 && v.ints[0].hi == math.MaxInt64 &&
+		v.strs.cofinite && len(v.strs.vals) == 0
+}
+
+func (v *valueSet) intersect(o *valueSet) *valueSet {
+	return &valueSet{
+		absent: v.absent && o.absent,
+		ints:   v.ints.intersect(o.ints),
+		strs:   v.strs.intersect(o.strs),
+	}
+}
+
+func (v *valueSet) subtract(o *valueSet) *valueSet {
+	return &valueSet{
+		absent: v.absent && !o.absent,
+		ints:   v.ints.subtract(o.ints),
+		strs:   v.strs.subtract(o.strs),
+	}
+}
+
+// disjoint reports whether v ∩ o is empty without materializing the
+// intersection; subtractVec uses it as an allocation-free fast path.
+func (v *valueSet) disjoint(o *valueSet) bool {
+	if v.absent && o.absent {
+		return false
+	}
+	return v.ints.disjoint(o.ints) && v.strs.disjoint(o.strs)
+}
+
+func (s intSet) disjoint(o intSet) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		if max64(s[i].lo, o[j].lo) <= min64(s[i].hi, o[j].hi) {
+			return false
+		}
+		if s[i].hi < o[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return true
+}
+
+func (s strSet) disjoint(o strSet) bool {
+	switch {
+	case !s.cofinite && !o.cofinite:
+		i, j := 0, 0
+		for i < len(s.vals) && j < len(o.vals) {
+			switch {
+			case s.vals[i] == o.vals[j]:
+				return false
+			case s.vals[i] < o.vals[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return true
+	case s.cofinite && o.cofinite:
+		// Two cofinite sets always share a member: the universe of
+		// strings is infinite and each excludes only finitely many.
+		return false
+	default:
+		fin, cof := s, o
+		if s.cofinite {
+			fin, cof = o, s
+		}
+		for _, v := range fin.vals {
+			if !contains(cof.vals, v) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// matchValues translates one attribute test into the slot's admissible
+// present values. Ordering comparisons against string constants have
+// lexicographic semantics the set representation cannot capture; they
+// report errUnsupported and the owning rule degrades to Bounded.
+var errUnsupported = fmt.Errorf("polcheck: string ordering comparison not representable")
+
+func matchValues(m xacml.Match) (*valueSet, error) {
+	out := &valueSet{} // absent never matches
+	if m.Value.IsInt {
+		v := int64(m.Value.Int)
+		switch m.Op {
+		case xacml.OpEq:
+			out.ints = intEq(v)
+		case xacml.OpNeq:
+			// Cross-type values compare not-equal, so all strings match.
+			out.ints, out.strs = intNeq(v), fullStrs()
+		case xacml.OpLt:
+			out.ints = intLt(v)
+		case xacml.OpLeq:
+			out.ints = intLeq(v)
+		case xacml.OpGt:
+			out.ints = intGt(v)
+		case xacml.OpGeq:
+			out.ints = intGeq(v)
+		default:
+			return nil, fmt.Errorf("polcheck: unknown operator %v", m.Op)
+		}
+		return out, nil
+	}
+	switch m.Op {
+	case xacml.OpEq:
+		out.strs = strMembers(m.Value.Str)
+	case xacml.OpNeq:
+		out.strs, out.ints = strWithout(m.Value.Str), fullInts()
+	default:
+		return nil, errUnsupported
+	}
+	return out, nil
+}
+
+// complement returns the assignments on which the match evaluates
+// false: the attribute may be absent, or present outside the set.
+func (v *valueSet) complement() *valueSet {
+	return topValues().subtract(v)
+}
+
+// ---------------------------------------------------------------------
+// vector: one conjunction of slot constraints. nil entries (or indices
+// past the end) are unconstrained. A vector with an empty slot set is
+// unsatisfiable and is never stored; the empty *region* means false.
+
+type vector []*valueSet
+
+func (a vector) at(i int) *valueSet {
+	if i < len(a) && a[i] != nil {
+		return a[i]
+	}
+	return nil // top
+}
+
+func (a vector) clone() vector {
+	out := make(vector, len(a))
+	copy(out, a)
+	return out
+}
+
+// withSlot returns a copy of the vector with slot i set (compacting
+// top constraints back to nil).
+func (a vector) withSlot(i int, vs *valueSet) vector {
+	out := a.clone()
+	if len(out) <= i {
+		grown := make(vector, i+1)
+		copy(grown, out)
+		out = grown
+	}
+	if vs != nil && vs.isTop() {
+		vs = nil
+	}
+	out[i] = vs
+	return out
+}
+
+// conj intersects two vectors; ok is false when the result is empty.
+func conj(a, b vector) (vector, bool) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(vector, n)
+	for i := 0; i < n; i++ {
+		av, bv := a.at(i), b.at(i)
+		switch {
+		case av == nil:
+			out[i] = bv
+		case bv == nil:
+			out[i] = av
+		default:
+			iv := av.intersect(bv)
+			if iv.empty() {
+				return nil, false
+			}
+			out[i] = iv
+		}
+	}
+	return out, true
+}
+
+// subtractVec returns vectors covering a ∖ b, using the standard
+// hyperrectangle decomposition: for each constrained slot of b, emit
+// the piece that agrees with b on earlier slots and avoids b on this
+// one.
+func subtractVec(a, b vector) []vector {
+	if vecsDisjoint(a, b) {
+		return []vector{a}
+	}
+	var pieces []vector
+	acc := a.clone()
+	for i := 0; i < len(b); i++ {
+		bv := b.at(i)
+		if bv == nil {
+			continue
+		}
+		av := acc.at(i)
+		if av == nil {
+			av = topValues()
+		}
+		diff := av.subtract(bv)
+		if !diff.empty() {
+			pieces = append(pieces, acc.withSlot(i, diff))
+		}
+		inter := av.intersect(bv)
+		if inter.empty() {
+			// a and b are disjoint from this slot on: the emitted
+			// pieces already cover all of a.
+			return pieces
+		}
+		acc = acc.withSlot(i, inter)
+	}
+	// acc == a ∩ b is nonempty; the pieces cover exactly a ∖ b.
+	return pieces
+}
+
+// vecsDisjoint reports whether a ∩ b is empty. Checking before
+// decomposing keeps the dominant all-disjoint case of subtractRegions
+// allocation-free: a ∖ b is just a, unfragmented.
+func vecsDisjoint(a, b vector) bool {
+	for i := 0; i < len(b); i++ {
+		bv := b.at(i)
+		if bv == nil {
+			continue
+		}
+		if av := a.at(i); av != nil && av.disjoint(bv) {
+			return true
+		}
+	}
+	return false
+}
+
+// region: a union (DNF) of vectors. nil means the empty region.
+type region []vector
+
+func topRegion() region { return region{vector{}} }
+
+func (r region) empty() bool { return len(r) == 0 }
+
+// errBounded is reported when a region operation would exceed the
+// vector cap; callers must stop claiming properties about the operands.
+var errBounded = fmt.Errorf("polcheck: region size exceeds MaxVectors")
+
+func intersectRegions(a, b region, cap int) (region, error) {
+	var out region
+	for _, va := range a {
+		for _, vb := range b {
+			if vecsDisjoint(va, vb) {
+				continue
+			}
+			if v, ok := conj(va, vb); ok {
+				out = append(out, v)
+				if len(out) > cap {
+					return nil, errBounded
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func subtractRegions(a, b region, cap int) (region, error) {
+	out := a
+	for _, vb := range b {
+		// Skip subtrahends disjoint from every remaining vector: the
+		// pre-scan keeps large mostly-disjoint unions (the shape policy
+		// sets produce) from reallocating out once per vb.
+		touches := false
+		for _, va := range out {
+			if !vecsDisjoint(va, vb) {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		var next region
+		for _, va := range out {
+			if vecsDisjoint(va, vb) {
+				next = append(next, va)
+			} else {
+				next = append(next, subtractVec(va, vb)...)
+			}
+			if len(next) > cap {
+				return nil, errBounded
+			}
+		}
+		out = next
+		if len(out) == 0 {
+			return nil, nil
+		}
+	}
+	return out, nil
+}
+
+func unionRegions(rs ...region) region {
+	var out region
+	for _, r := range rs {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// covered reports whether a ⊆ b (exactly, when err is nil).
+func covered(a, b region, cap int) (bool, error) {
+	rest, err := subtractRegions(a, b, cap)
+	if err != nil {
+		return false, err
+	}
+	return rest.empty(), nil
+}
+
+// ---------------------------------------------------------------------
+// Witness extraction.
+
+// witness builds a concrete request inside the vector: each
+// constrained slot gets a representative value (preferring explicit
+// string members, then finite integer bounds), and slots that only
+// admit absence are omitted.
+func (a *analyzer) witness(v vector) xacml.Request {
+	req := xacml.NewRequest()
+	for i, vs := range v {
+		if vs == nil {
+			continue
+		}
+		key := a.in.slots[i]
+		switch p, bounded := vs.ints.boundedPick(); {
+		case !vs.strs.empty() && !vs.strs.cofinite:
+			// An explicit string member is the most intentional pick.
+			req.Set(key.cat, key.attr, xacml.S(vs.strs.pick()))
+		case bounded:
+			req.Set(key.cat, key.attr, xacml.I(clampInt(p)))
+		case vs.absent:
+			// Absence is admissible and nothing better presented: omit.
+		case !vs.strs.empty():
+			req.Set(key.cat, key.attr, xacml.S(vs.strs.pick()))
+		case !vs.ints.empty():
+			req.Set(key.cat, key.attr, xacml.I(clampInt(vs.ints.pick())))
+		}
+	}
+	return req
+}
+
+func clampInt(v int64) int {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int(v)
+}
+
+// renderVector describes a vector for human-readable findings.
+func (a *analyzer) renderVector(v vector) string {
+	var parts []string
+	for i, vs := range v {
+		if vs == nil {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s∈%s", a.in.slots[i], renderValues(vs)))
+	}
+	if len(parts) == 0 {
+		return "any request"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func renderValues(vs *valueSet) string {
+	var parts []string
+	if vs.absent {
+		parts = append(parts, "absent")
+	}
+	for _, iv := range vs.ints {
+		switch {
+		case iv.lo == math.MinInt64 && iv.hi == math.MaxInt64:
+			parts = append(parts, "int")
+		case iv.lo == math.MinInt64:
+			parts = append(parts, fmt.Sprintf("int≤%d", iv.hi))
+		case iv.hi == math.MaxInt64:
+			parts = append(parts, fmt.Sprintf("int≥%d", iv.lo))
+		case iv.lo == iv.hi:
+			parts = append(parts, fmt.Sprintf("%d", iv.lo))
+		default:
+			parts = append(parts, fmt.Sprintf("%d..%d", iv.lo, iv.hi))
+		}
+	}
+	if vs.strs.cofinite {
+		if len(vs.strs.vals) == 0 {
+			parts = append(parts, "str")
+		} else {
+			parts = append(parts, "str∉{"+strings.Join(vs.strs.vals, ",")+"}")
+		}
+	} else if len(vs.strs.vals) > 0 {
+		parts = append(parts, "{"+strings.Join(vs.strs.vals, ",")+"}")
+	}
+	return "{" + strings.Join(parts, "|") + "}"
+}

@@ -1,0 +1,236 @@
+package polcheck
+
+import (
+	"math"
+	"testing"
+
+	"agenp/internal/xacml"
+)
+
+// slotChoice is one concrete assignment of a slot in exhaustive checks:
+// absent, a string, or an integer.
+type slotChoice struct {
+	absent bool
+	v      xacml.Value
+}
+
+func choices() []slotChoice {
+	return []slotChoice{
+		{absent: true},
+		{v: xacml.S("a")},
+		{v: xacml.S("b")},
+		{v: xacml.S("zz")},
+		{v: xacml.I(0)},
+		{v: xacml.I(1)},
+		{v: xacml.I(7)},
+		{v: xacml.I(-3)},
+	}
+}
+
+func (c slotChoice) in(vs *valueSet) bool {
+	if vs == nil {
+		return true
+	}
+	if c.absent {
+		return vs.absent
+	}
+	if c.v.IsInt {
+		for _, iv := range vs.ints {
+			if iv.lo <= int64(c.v.Int) && int64(c.v.Int) <= iv.hi {
+				return true
+			}
+		}
+		return false
+	}
+	if vs.strs.cofinite {
+		return !contains(vs.strs.vals, c.v.Str)
+	}
+	return contains(vs.strs.vals, c.v.Str)
+}
+
+func vecHas(v vector, assign []slotChoice) bool {
+	for i := range assign {
+		if !assign[i].in(v.at(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func regionHas(r region, assign []slotChoice) bool {
+	for _, v := range r {
+		if vecHas(v, assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleValueSets enumerates a diverse pool of valueSets used as slot
+// constraints in the exhaustive algebra checks.
+func sampleValueSets(t *testing.T) []*valueSet {
+	t.Helper()
+	mk := func(m xacml.Match) *valueSet {
+		vs, err := matchValues(m)
+		if err != nil {
+			t.Fatalf("matchValues(%v): %v", m, err)
+		}
+		return vs
+	}
+	pool := []*valueSet{
+		nil, // top
+		topValues(),
+		mk(xacml.Match{Op: xacml.OpEq, Value: xacml.S("a")}),
+		mk(xacml.Match{Op: xacml.OpNeq, Value: xacml.S("a")}),
+		mk(xacml.Match{Op: xacml.OpEq, Value: xacml.I(1)}),
+		mk(xacml.Match{Op: xacml.OpNeq, Value: xacml.I(1)}),
+		mk(xacml.Match{Op: xacml.OpLt, Value: xacml.I(1)}),
+		mk(xacml.Match{Op: xacml.OpGeq, Value: xacml.I(0)}),
+	}
+	pool = append(pool,
+		mk(xacml.Match{Op: xacml.OpEq, Value: xacml.S("a")}).complement(),
+		mk(xacml.Match{Op: xacml.OpGt, Value: xacml.I(0)}).complement(),
+	)
+	return pool
+}
+
+// TestVectorAlgebraExhaustive cross-checks conj and subtractVec against
+// pointwise membership over every pair of two-slot vectors drawn from
+// the sample pool and every concrete assignment.
+func TestVectorAlgebraExhaustive(t *testing.T) {
+	pool := sampleValueSets(t)
+	var vecs []vector
+	for _, s0 := range pool {
+		for _, s1 := range pool {
+			vecs = append(vecs, vector{s0, s1})
+		}
+	}
+	var assigns [][]slotChoice
+	for _, c0 := range choices() {
+		for _, c1 := range choices() {
+			assigns = append(assigns, []slotChoice{c0, c1})
+		}
+	}
+	for _, a := range vecs {
+		for _, b := range vecs {
+			inter, ok := conj(a, b)
+			interReg := region{}
+			if ok {
+				interReg = region{inter}
+			}
+			diff := subtractVec(a, b)
+			for _, as := range assigns {
+				inA, inB := vecHas(a, as), vecHas(b, as)
+				if got, want := regionHas(interReg, as), inA && inB; got != want {
+					t.Fatalf("conj wrong at %v: got %v want %v (a=%v b=%v)", as, got, want, a, b)
+				}
+				if got, want := regionHas(region(diff), as), inA && !inB; got != want {
+					t.Fatalf("subtractVec wrong at %v: got %v want %v (a=%v b=%v)", as, got, want, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestIntSetOps(t *testing.T) {
+	s := normalizeInts([]intIv{{1, 3}, {5, 7}, {4, 4}})
+	if len(s) != 1 || s[0] != (intIv{1, 7}) {
+		t.Fatalf("normalize adjacency: %v", s)
+	}
+	d := s.subtract(intSet{{3, 5}})
+	if len(d) != 2 || d[0] != (intIv{1, 2}) || d[1] != (intIv{6, 7}) {
+		t.Fatalf("subtract middle: %v", d)
+	}
+	if got := fullInts().subtract(fullInts()); !got.empty() {
+		t.Fatalf("full minus full: %v", got)
+	}
+	if got := intNeq(5).intersect(intEq(5)); !got.empty() {
+		t.Fatalf("neq∩eq: %v", got)
+	}
+	// Sentinel saturation: no overflow at the extremes.
+	if got := intLt(math.MinInt64); !got.empty() {
+		t.Fatalf("lt(min): %v", got)
+	}
+	if got := intGt(math.MaxInt64); !got.empty() {
+		t.Fatalf("gt(max): %v", got)
+	}
+}
+
+func TestStrSetOps(t *testing.T) {
+	a := strMembers("x", "y")
+	b := strWithout("x")
+	if got := a.intersect(b); len(got.vals) != 1 || got.vals[0] != "y" || got.cofinite {
+		t.Fatalf("finite∩cofinite: %+v", got)
+	}
+	if got := b.subtract(strWithout("x", "z")); len(got.vals) != 1 || got.vals[0] != "z" || got.cofinite {
+		t.Fatalf("cofinite∖cofinite: %+v", got)
+	}
+	if w := strWithout("w0", "w1").pick(); w != "w2" {
+		t.Fatalf("cofinite pick: %q", w)
+	}
+}
+
+// TestWitnessInsideVector asserts witness extraction lands inside the
+// vector it was extracted from, across the sample pool.
+func TestWitnessInsideVector(t *testing.T) {
+	a := newAnalyzer(Options{})
+	a.in.intern(xacml.Subject, "s0")
+	a.in.intern(xacml.Resource, "s1")
+	for _, s0 := range sampleValueSets(t) {
+		for _, s1 := range sampleValueSets(t) {
+			v := vector{s0, s1}
+			if (s0 != nil && s0.empty()) || (s1 != nil && s1.empty()) {
+				continue
+			}
+			w := a.witness(v)
+			for i, vs := range v {
+				if vs == nil {
+					continue
+				}
+				key := a.in.slots[i]
+				val, ok := w.Get(key.cat, key.attr)
+				c := slotChoice{absent: !ok, v: val}
+				if !c.in(vs) {
+					t.Fatalf("witness %v escapes slot %d of %v", w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchValuesSemantics cross-checks the symbolic translation of
+// every supported operator against Match.Eval on concrete requests.
+func TestMatchValuesSemantics(t *testing.T) {
+	matches := []xacml.Match{
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpEq, Value: xacml.S("a")},
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpNeq, Value: xacml.S("a")},
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpEq, Value: xacml.I(1)},
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpNeq, Value: xacml.I(1)},
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpLt, Value: xacml.I(1)},
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpLeq, Value: xacml.I(1)},
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpGt, Value: xacml.I(1)},
+		{Category: xacml.Subject, Attr: "x", Op: xacml.OpGeq, Value: xacml.I(1)},
+	}
+	for _, m := range matches {
+		vs, err := matchValues(m)
+		if err != nil {
+			t.Fatalf("matchValues(%v): %v", m, err)
+		}
+		for _, c := range choices() {
+			req := xacml.NewRequest()
+			if !c.absent {
+				req.Set(xacml.Subject, "x", c.v)
+			}
+			if got, want := c.in(vs), m.Eval(req); got != want {
+				t.Errorf("%v on %v: symbolic %v, concrete %v", m, c, got, want)
+			}
+			// The complement must mirror exactly, including absence.
+			if got, want := c.in(vs.complement()), !m.Eval(req); got != want {
+				t.Errorf("¬(%v) on %v: symbolic %v, concrete %v", m, c, got, want)
+			}
+		}
+	}
+	if _, err := matchValues(xacml.Match{Op: xacml.OpLt, Value: xacml.S("m")}); err == nil {
+		t.Fatal("string ordering comparison should be unsupported")
+	}
+}

@@ -1,0 +1,91 @@
+package polcheck
+
+import (
+	"agenp/internal/engine"
+	"agenp/internal/xacml"
+)
+
+// Witness validation: every conflict finding carries a concrete request
+// the symbolic analysis claims exhibits the overlap. Before a finding is
+// marked Verified, the witness is replayed through both evaluation
+// paths — the compiled engine decider and the tree-walk oracle — so a
+// bug in the region algebra surfaces as an unverified finding rather
+// than a false report.
+
+// validatePolicyConflict replays an intra-policy conflict witness: both
+// named rules must apply to the request, and the policy (wrapped as a
+// single-member set so the compiled engine path is exercised too) must
+// settle it to Permit or Deny identically under both evaluators. Fills
+// f.Resolved with the settled decision.
+func validatePolicyConflict(p *xacml.Policy, f *Finding) bool {
+	var permitRule, denyRule *xacml.Rule
+	for i := range p.Rules {
+		switch p.Rules[i].ID {
+		case f.Rule:
+			permitRule = &p.Rules[i]
+		case f.OtherRule:
+			denyRule = &p.Rules[i]
+		}
+	}
+	if permitRule == nil || denyRule == nil {
+		return false
+	}
+	if !permitRule.Applies(f.Request) || !denyRule.Applies(f.Request) {
+		return false
+	}
+	wrapped := &xacml.PolicySet{
+		ID:        "polcheck-validate",
+		Policies:  []*xacml.Policy{p},
+		Combining: xacml.FirstApplicable,
+	}
+	tree, _ := wrapped.EvaluateWinner(f.Request)
+	f.Resolved = tree.String()
+	dec, err := engine.NewXACMLDecider(wrapped)
+	if err != nil {
+		return false
+	}
+	compiled, _ := dec.Decide(f.Request)
+	return compiled == tree && (tree == xacml.DecisionPermit || tree == xacml.DecisionDeny)
+}
+
+// setValidator replays witnesses against a whole policy set through
+// both evaluation paths.
+type setValidator struct {
+	ps  *xacml.PolicySet
+	dec *engine.XACMLDecider
+}
+
+func newSetValidator(ps *xacml.PolicySet) *setValidator {
+	dec, err := engine.NewXACMLDecider(ps)
+	if err != nil {
+		return &setValidator{ps: ps}
+	}
+	return &setValidator{ps: ps, dec: dec}
+}
+
+// replay evaluates the request through the compiled decider and the
+// tree-walk oracle, reporting the settled decision and whether the two
+// paths agree.
+func (v *setValidator) replay(r xacml.Request) (xacml.Decision, bool) {
+	tree, _ := v.ps.EvaluateWinner(r)
+	if v.dec == nil {
+		return tree, false
+	}
+	compiled, _ := v.dec.Decide(r)
+	return tree, compiled == tree
+}
+
+// validateSetConflict checks a cross-policy witness: the named permit
+// policy must evaluate Permit on it and the named deny policy Deny.
+func validateSetConflict(ps *xacml.PolicySet, permitPolicy, denyPolicy string, r xacml.Request) bool {
+	var permitOK, denyOK bool
+	for _, p := range ps.Policies {
+		switch p.ID {
+		case permitPolicy:
+			permitOK = p.Evaluate(r) == xacml.DecisionPermit
+		case denyPolicy:
+			denyOK = p.Evaluate(r) == xacml.DecisionDeny
+		}
+	}
+	return permitOK && denyOK
+}

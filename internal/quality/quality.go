@@ -131,7 +131,10 @@ func (c Conflict) String() string {
 type Report struct {
 	// Consistent is true when no request triggers rules of both effects.
 	Consistent bool
-	// Conflicts samples up to MaxFindings conflicting requests.
+	// Conflicts lists up to MaxFindings distinct conflicting rule pairs
+	// (deduplicated across requests), each with the first witnessing
+	// request of the enumeration, in stable (PermitRule, DenyRule)
+	// order.
 	Conflicts []Conflict
 
 	// Irrelevant lists rules that fire on no request of the domain
@@ -170,6 +173,7 @@ func Assess(p *xacml.Policy, d *Domain, opts Options) *Report {
 	rep := &Report{Consistent: true}
 
 	fired := make(map[string]bool, len(p.Rules))
+	seenConflict := make(map[[2]string]bool)
 	// decisionsWithout[i] tracks whether dropping rule i ever changes a
 	// decision.
 	changedWithout := make([]bool, len(p.Rules))
@@ -187,30 +191,41 @@ func Assess(p *xacml.Policy, d *Domain, opts Options) *Report {
 			rep.Uncovered = append(rep.Uncovered, r.Clone())
 		}
 
-		// Which rules fire, for relevance and consistency.
-		var permitRule, denyRule string
+		// Which rules fire, for relevance and consistency. Every
+		// (permit, deny) pair firing together is one conflict; the pair
+		// is reported once, with the first witnessing request, no matter
+		// how many requests exhibit it.
+		var permitFired, denyFired []string
 		if p.Target.Matches(r) {
 			for _, ru := range p.Rules {
 				if !ru.Applies(r) {
 					continue
 				}
 				fired[ru.ID] = true
-				if ru.Effect == xacml.Permit && permitRule == "" {
-					permitRule = ru.ID
-				}
-				if ru.Effect == xacml.Deny && denyRule == "" {
-					denyRule = ru.ID
+				if ru.Effect == xacml.Permit {
+					permitFired = append(permitFired, ru.ID)
+				} else {
+					denyFired = append(denyFired, ru.ID)
 				}
 			}
 		}
-		if permitRule != "" && denyRule != "" {
+		if len(permitFired) > 0 && len(denyFired) > 0 {
 			rep.Consistent = false
-			if len(rep.Conflicts) < maxFindings {
-				rep.Conflicts = append(rep.Conflicts, Conflict{
-					Request:    r.Clone(),
-					PermitRule: permitRule,
-					DenyRule:   denyRule,
-				})
+			for _, pr := range permitFired {
+				for _, dr := range denyFired {
+					key := [2]string{pr, dr}
+					if seenConflict[key] {
+						continue
+					}
+					seenConflict[key] = true
+					if len(rep.Conflicts) < maxFindings {
+						rep.Conflicts = append(rep.Conflicts, Conflict{
+							Request:    r.Clone(),
+							PermitRule: pr,
+							DenyRule:   dr,
+						})
+					}
+				}
 			}
 		}
 
@@ -243,6 +258,99 @@ func Assess(p *xacml.Policy, d *Domain, opts Options) *Report {
 	}
 	sort.Strings(rep.Irrelevant)
 	sort.Strings(rep.Redundant)
+	sort.Slice(rep.Conflicts, func(i, j int) bool {
+		a, b := &rep.Conflicts[i], &rep.Conflicts[j]
+		if a.PermitRule != b.PermitRule {
+			return a.PermitRule < b.PermitRule
+		}
+		return a.DenyRule < b.DenyRule
+	})
+	return rep
+}
+
+// SetConflict is a request on which one member policy of a set permits
+// while another denies.
+type SetConflict struct {
+	Request      xacml.Request
+	PermitPolicy string
+	DenyPolicy   string
+}
+
+func (c SetConflict) String() string {
+	return fmt.Sprintf("conflict on %s: %s permits vs %s denies", c.Request, c.PermitPolicy, c.DenyPolicy)
+}
+
+// SetReport is the set-level consistency assessment.
+type SetReport struct {
+	// Consistent is true when no request is permitted by one member
+	// policy and denied by another.
+	Consistent bool
+	// Conflicts lists up to MaxFindings distinct conflicting policy
+	// pairs, deduplicated across requests, in stable (PermitPolicy,
+	// DenyPolicy) order.
+	Conflicts []SetConflict
+	// Checked counts the requests examined.
+	Checked int
+}
+
+// AssessSet enumerates the domain and reports cross-policy permit/deny
+// conflicts inside a policy set — the enumeration oracle the symbolic
+// verifier (internal/polcheck) is differentially tested against.
+func AssessSet(ps *xacml.PolicySet, d *Domain, opts Options) *SetReport {
+	maxFindings := opts.MaxFindings
+	if maxFindings <= 0 {
+		maxFindings = 5
+	}
+	rep := &SetReport{Consistent: true}
+	seen := make(map[[2]string]bool)
+
+	d.Enumerate(func(r xacml.Request) bool {
+		if opts.MaxRequests > 0 && rep.Checked >= opts.MaxRequests {
+			return false
+		}
+		rep.Checked++
+		if !ps.Target.Matches(r) {
+			return true
+		}
+		var permits, denies []string
+		for _, p := range ps.Policies {
+			switch p.Evaluate(r) {
+			case xacml.DecisionPermit:
+				permits = append(permits, p.ID)
+			case xacml.DecisionDeny:
+				denies = append(denies, p.ID)
+			}
+		}
+		if len(permits) == 0 || len(denies) == 0 {
+			return true
+		}
+		rep.Consistent = false
+		for _, pp := range permits {
+			for _, dp := range denies {
+				key := [2]string{pp, dp}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if len(rep.Conflicts) < maxFindings {
+					rep.Conflicts = append(rep.Conflicts, SetConflict{
+						Request:      r.Clone(),
+						PermitPolicy: pp,
+						DenyPolicy:   dp,
+					})
+				}
+			}
+		}
+		return true
+	})
+
+	sort.Slice(rep.Conflicts, func(i, j int) bool {
+		a, b := &rep.Conflicts[i], &rep.Conflicts[j]
+		if a.PermitPolicy != b.PermitPolicy {
+			return a.PermitPolicy < b.PermitPolicy
+		}
+		return a.DenyPolicy < b.DenyPolicy
+	})
 	return rep
 }
 

@@ -228,3 +228,75 @@ func TestFromBias(t *testing.T) {
 		t.Errorf("Size = %d, want 2", d.Size())
 	}
 }
+
+// TestAssessConflictDedup: the same rule pair conflicts on many domain
+// requests (every dba, any age, any action), but is reported exactly
+// once; distinct pairs are reported in stable sorted order.
+func TestAssessConflictDedup(t *testing.T) {
+	p := &xacml.Policy{
+		ID:        "p",
+		Combining: xacml.DenyOverrides,
+		Rules: []xacml.Rule{
+			{ID: "permit-dba", Effect: xacml.Permit, Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}}},
+			{ID: "deny-dba", Effect: xacml.Deny, Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}}},
+			{ID: "deny-minors", Effect: xacml.Deny, Target: xacml.Target{{Category: xacml.Subject, Attr: "age", Op: xacml.OpLt, Value: xacml.I(18)}}},
+		},
+	}
+	rep := Assess(p, smallDomain(), Options{})
+	if rep.Consistent {
+		t.Fatal("should be inconsistent")
+	}
+	// 4 dba requests × 2 pairs each, but only the 2 distinct pairs
+	// survive, sorted by (PermitRule, DenyRule).
+	if len(rep.Conflicts) != 2 {
+		t.Fatalf("conflicts = %+v, want exactly 2 deduped pairs", rep.Conflicts)
+	}
+	if rep.Conflicts[0].DenyRule != "deny-dba" || rep.Conflicts[1].DenyRule != "deny-minors" {
+		t.Errorf("pair order = %+v, want deny-dba before deny-minors", rep.Conflicts)
+	}
+	for _, c := range rep.Conflicts {
+		if c.PermitRule != "permit-dba" || c.Request == nil {
+			t.Errorf("conflict = %+v", c)
+		}
+	}
+}
+
+func TestAssessSet(t *testing.T) {
+	permit := &xacml.Policy{ID: "permit-dba", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+		{ID: "r", Effect: xacml.Permit, Target: xacml.Target{{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dba")}}},
+	}}
+	deny := &xacml.Policy{ID: "deny-writes", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+		{ID: "r", Effect: xacml.Deny, Target: xacml.Target{{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S("write")}}},
+	}}
+	unrelated := &xacml.Policy{ID: "deny-read-devs", Combining: xacml.DenyOverrides, Rules: []xacml.Rule{
+		{ID: "r", Effect: xacml.Deny, Target: xacml.Target{
+			{Category: xacml.Subject, Attr: "role", Op: xacml.OpEq, Value: xacml.S("dev")},
+			{Category: xacml.Action, Attr: "id", Op: xacml.OpEq, Value: xacml.S("read")},
+		}},
+	}}
+	ps := &xacml.PolicySet{ID: "s", Combining: xacml.DenyOverrides, Policies: []*xacml.Policy{permit, deny, unrelated}}
+
+	rep := AssessSet(ps, smallDomain(), Options{})
+	if rep.Consistent {
+		t.Fatal("dba writing is permitted by one policy and denied by another")
+	}
+	// Deduped to the single conflicting policy pair: a dba never matches
+	// deny-read-devs, so only (permit-dba, deny-writes) conflicts —
+	// despite two domain requests (ages 15 and 30) exhibiting it.
+	if len(rep.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v, want exactly 1", rep.Conflicts)
+	}
+	c := rep.Conflicts[0]
+	if c.PermitPolicy != "permit-dba" || c.DenyPolicy != "deny-writes" {
+		t.Errorf("conflict = %+v", c)
+	}
+	if !strings.Contains(c.String(), "deny-writes") {
+		t.Errorf("SetConflict.String = %q", c.String())
+	}
+
+	// A permit-only set is consistent.
+	clean := &xacml.PolicySet{ID: "s2", Combining: xacml.DenyOverrides, Policies: []*xacml.Policy{permit}}
+	if rep := AssessSet(clean, smallDomain(), Options{}); !rep.Consistent || rep.Checked != 8 {
+		t.Errorf("clean set: %+v", rep)
+	}
+}

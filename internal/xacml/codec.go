@@ -57,6 +57,42 @@ func ParsePolicy(src string) (*Policy, error) {
 	return pol, nil
 }
 
+// ParsePolicies parses a sequence of policy blocks — a whole corpus
+// file — in the same textual form. Policy ids must be unique.
+func ParsePolicies(src string) ([]*Policy, error) {
+	p := &policyParser{toks: tokenizePolicy(src)}
+	var out []*Policy
+	seen := make(map[string]bool)
+	for !p.eof() {
+		pol, err := p.policy()
+		if err != nil {
+			return nil, err
+		}
+		if seen[pol.ID] {
+			return nil, fmt.Errorf("xacml: duplicate policy id %q", pol.ID)
+		}
+		seen[pol.ID] = true
+		out = append(out, pol)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("xacml: no policies in input")
+	}
+	return out, nil
+}
+
+// FormatPolicies renders a sequence of policies in the form
+// ParsePolicies reads.
+func FormatPolicies(pols []*Policy) string {
+	var sb strings.Builder
+	for i, p := range pols {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(p.Format())
+	}
+	return sb.String()
+}
+
 func tokenizePolicy(src string) []string {
 	var toks []string
 	i := 0

@@ -1,0 +1,35 @@
+package agenp_test
+
+import (
+	"os"
+	"testing"
+
+	"agenp/internal/polcheck"
+)
+
+// TestPolcheckLatencyGuard is the CI regression gate for the symbolic
+// verifier (set AGENP_BENCH_GUARD=1 to run): analyzing a 100-policy set
+// must stay sub-millisecond, since the AMS runs the same analysis
+// inline on every regeneration and coalition import when the
+// verification gate is enabled. The pairwise sweep is quadratic in
+// policies; the budget holds because region intersections fail fast on
+// the first disjoint slot — a regression to eager materialization shows
+// up as a ~100x blowout, not a near miss.
+func TestPolcheckLatencyGuard(t *testing.T) {
+	if os.Getenv("AGENP_BENCH_GUARD") == "" {
+		t.Skip("set AGENP_BENCH_GUARD=1 to run the latency guard")
+	}
+	ps := polcheckFixture(100)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rep := polcheck.AnalyzeSet(ps, polcheck.Options{}); len(rep.Findings) != 0 {
+				b.Fatalf("fixture has findings: %v", rep)
+			}
+		}
+	})
+	nsPerOp := float64(res.NsPerOp())
+	t.Logf("AnalyzeSet(100 policies): %.0f ns/op", nsPerOp)
+	if nsPerOp > 1e6 {
+		t.Fatalf("AnalyzeSet at 100 policies takes %.2f ms/op, above the 1 ms budget", nsPerOp/1e6)
+	}
+}
