@@ -53,6 +53,7 @@ func asgGenerateOptions(maxNodes int) asg.GenerateOptions {
 // benchExperiment runs one experiment per iteration in quick mode.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Run(id, experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
@@ -79,6 +80,7 @@ func BenchmarkE13Serving(b *testing.B)      { benchExperiment(b, "E13") }
 func BenchmarkE8ScalabilityLearner(b *testing.B) {
 	for _, n := range []int{10, 20, 40} {
 		b.Run(fmt.Sprintf("examples=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			scenarios := cav.Generate(1, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -93,6 +95,7 @@ func BenchmarkE8ScalabilityLearner(b *testing.B) {
 func BenchmarkE8ScalabilitySolver(b *testing.B) {
 	for _, k := range []int{4, 6, 8} {
 		b.Run(fmt.Sprintf("cycle=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			prog := coloringProgram(k)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -185,6 +188,7 @@ func BenchmarkAblationLearnerPruning(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("fast-path", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := mkTask().LearnIndependent(ilasp.LearnOptions{MaxRules: 3}); err != nil {
 				b.Fatal(err)
@@ -192,6 +196,7 @@ func BenchmarkAblationLearnerPruning(b *testing.B) {
 		}
 	})
 	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := mkTask().Learn(ilasp.LearnOptions{MaxRules: 3, MaxCost: ref.Cost})
 			if err != nil {
@@ -210,6 +215,7 @@ func BenchmarkAblationMembership(b *testing.B) {
 	g := mustASG(b)
 	tokens := []string{"a", "a", "b", "b", "c", "c"}
 	b.Run("earley-membership", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ok, err := g.Accepts(tokens, asgAcceptOptions())
 			if err != nil || !ok {
@@ -218,6 +224,7 @@ func BenchmarkAblationMembership(b *testing.B) {
 		}
 	})
 	b.Run("generate-and-compare", func(b *testing.B) {
+		b.ReportAllocs()
 		want := "a a b b c c"
 		for i := 0; i < b.N; i++ {
 			found := false
@@ -253,6 +260,7 @@ func BenchmarkCoverageCheck(b *testing.B) {
 		b.Fatal(err)
 	}
 	ex := task.Examples[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := task.Covers(res.Hypothesis, ex); err != nil {
@@ -473,6 +481,7 @@ func BenchmarkPolcheck(b *testing.B) {
 // --- micro-benchmarks of the substrates ---
 
 func BenchmarkSolverStratified(b *testing.B) {
+	b.ReportAllocs()
 	src := "edge(a,b). edge(b,c). edge(c,d). edge(d,e).\npath(X,Y) :- edge(X,Y).\npath(X,Z) :- edge(X,Y), path(Y,Z).\nunreach(X) :- edge(X, Y), not path(Y, X).\n"
 	prog, err := asp.Parse(src)
 	if err != nil {
@@ -487,6 +496,7 @@ func BenchmarkSolverStratified(b *testing.B) {
 }
 
 func BenchmarkEarleyParse(b *testing.B) {
+	b.ReportAllocs()
 	g, err := cfg.ParseGrammar("e -> t | t \"+\" e\nt -> \"a\" | \"(\" e \")\"\n")
 	if err != nil {
 		b.Fatal(err)
@@ -501,6 +511,7 @@ func BenchmarkEarleyParse(b *testing.B) {
 }
 
 func BenchmarkBiasSpaceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	bias := cav.Bias()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

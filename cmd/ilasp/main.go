@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"agenp/internal/apps/cav"
@@ -40,9 +42,16 @@ func run(args []string, stdout io.Writer) error {
 	parallel := fs.Int("parallel", 0, "coverage-check workers (0 = GOMAXPROCS, 1 = serial)")
 	stats := fs.Bool("stats", false, "dump the telemetry registry to stderr on exit")
 	trace := fs.String("trace", "", "write span trace as JSON lines to this file (see agenptrace)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *trace != "" {
 		stop, err := obs.StartTrace(*trace)
 		if err != nil {
@@ -124,6 +133,44 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// startProfiles turns on the requested pprof outputs; the returned stop
+// function finishes the CPU profile and snapshots the heap (after a GC,
+// so the profile shows live objects rather than garbage).
+func startProfiles(cpuFile, memFile string) (func(), error) {
+	stop := func() {}
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memFile != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 func boolToWeight(noise bool) int {

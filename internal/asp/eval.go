@@ -57,124 +57,209 @@ func (ix *ModelIndex) EvalRule(r Rule) ([]Atom, error) {
 // EvalPrepared evaluates a rule already known to be safe and not a choice
 // rule (e.g. checked once by the caller before an evaluation loop).
 func (ix *ModelIndex) EvalPrepared(r Rule) ([]Atom, error) {
-	var out []Atom
-	seen := make(map[string]struct{})
-	var step func(b Binding, remaining []Literal) error
-	step = func(b Binding, remaining []Literal) error {
-		if len(remaining) == 0 {
-			if r.Head == nil {
-				// Constraint body satisfied: represent with a marker
-				// atom so callers can detect violation.
-				if _, dup := seen["\x00violated"]; !dup {
-					seen["\x00violated"] = struct{}{}
-					out = append(out, Atom{Predicate: "_violated"})
-				}
-				return nil
-			}
-			h := r.Head.Substitute(b)
-			ev, err := evalAtomArgs(h)
-			if err != nil {
-				return err
-			}
-			if !ev.Ground() {
-				return fmt.Errorf("asp: non-ground head %s in EvalRule", ev)
-			}
-			if _, dup := seen[ev.Key()]; !dup {
-				seen[ev.Key()] = struct{}{}
-				out = append(out, ev)
-			}
-			return nil
+	return NewEvaluator().EvalPrepared(ix, r)
+}
+
+// Evaluator owns the scratch state of one-step rule evaluation so that
+// a loop of EvalPrepared calls allocates only for the derived head atoms
+// it returns: a trail-based binding replaces the per-candidate map clone
+// of matchAtom, done-flags over body literals replace the per-step
+// remaining-slice rebuild, negative literals probe the model through a
+// reusable key buffer, and derived heads are deduplicated by structural
+// comparison instead of string keys.
+//
+// An Evaluator is not safe for concurrent use; give each worker its own.
+type Evaluator struct {
+	tr   bindTrail
+	done []bool
+	out  []Atom
+	key  []byte
+}
+
+// NewEvaluator returns an Evaluator ready for EvalPrepared loops.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{tr: bindTrail{b: make(Binding, 8)}}
+}
+
+// EvalPrepared evaluates a safe, non-choice rule against the indexed
+// model. The returned slice is the Evaluator's reusable buffer: it is
+// valid only until the next call; callers that retain atoms must copy
+// them.
+func (ev *Evaluator) EvalPrepared(ix *ModelIndex, r Rule) ([]Atom, error) {
+	n := len(r.Body)
+	if cap(ev.done) < n {
+		ev.done = make([]bool, n)
+	}
+	ev.done = ev.done[:n]
+	for i := range ev.done {
+		ev.done[i] = false
+	}
+	ev.out = ev.out[:0]
+	ev.tr.undo(0)
+	if err := ev.step(ix, r, n); err != nil {
+		return nil, err
+	}
+	return ev.out, nil
+}
+
+func (ev *Evaluator) step(ix *ModelIndex, r Rule, remaining int) error {
+	if remaining == 0 {
+		return ev.emit(r)
+	}
+	// Pick the next processable literal (same discipline as the
+	// grounder: positive atoms enumerate, ready comparisons filter,
+	// binder equalities bind, ground negatives check).
+	b := ev.tr.b
+	pick := -1
+	kind := -1
+	for i := range r.Body {
+		if ev.done[i] {
+			continue
 		}
-		// Pick the next processable literal (same discipline as the
-		// grounder: positive atoms enumerate, ready comparisons filter,
-		// binder equalities bind, ground negatives check).
-		pick := -1
-		kind := -1
-		for i, l := range remaining {
-			switch {
-			case !l.IsCmp && !l.Negated:
-				if pick == -1 {
-					pick, kind = i, 0
+		l := &r.Body[i]
+		switch {
+		case !l.IsCmp && !l.Negated:
+			if pick == -1 {
+				pick, kind = i, 0
+			}
+		case l.IsCmp:
+			if unboundVarCount(l.Lhs, b) == 0 && unboundVarCount(l.Rhs, b) == 0 {
+				pick, kind = i, 2
+			} else if l.Op == CmpEq {
+				if _, _, ok := binderSides(*l, b); ok {
+					pick, kind = i, 1
 				}
-			case l.IsCmp:
-				if unboundVarCount(l.Lhs, b) == 0 && unboundVarCount(l.Rhs, b) == 0 {
-					pick, kind = i, 2
-				} else if l.Op == CmpEq {
-					if _, _, ok := binderSides(l, b); ok {
-						pick, kind = i, 1
+			}
+		default: // negated
+			if pick == -1 {
+				ground := true
+				for _, t := range l.Atom.Args {
+					if unboundVarCount(t, b) > 0 {
+						ground = false
+						break
 					}
 				}
-			default: // negated
-				if pick == -1 {
-					ground := true
-					for _, t := range l.Atom.Args {
-						if unboundVarCount(t, b) > 0 {
-							ground = false
-							break
-						}
-					}
-					if ground {
-						pick, kind = i, 3
-					}
+				if ground {
+					pick, kind = i, 3
 				}
 			}
-			if kind == 1 || kind == 2 {
-				break
-			}
 		}
-		if pick == -1 {
-			return fmt.Errorf("asp: EvalRule stuck on rule %q", r.String())
+		if kind == 1 || kind == 2 {
+			break
 		}
-		l := remaining[pick]
-		rest := make([]Literal, 0, len(remaining)-1)
-		rest = append(rest, remaining[:pick]...)
-		rest = append(rest, remaining[pick+1:]...)
-		switch kind {
-		case 0:
-			for _, fact := range ix.byPred[l.Atom.Predicate] {
-				nb := matchAtom(l.Atom, fact, b)
-				if nb == nil {
-					continue
-				}
-				if err := step(nb, rest); err != nil {
+	}
+	if pick == -1 {
+		return fmt.Errorf("asp: EvalRule stuck on rule %q", r.String())
+	}
+	l := r.Body[pick]
+	ev.done[pick] = true
+	defer func() { ev.done[pick] = false }()
+	switch kind {
+	case 0:
+		facts := ix.byPred[l.Atom.Predicate]
+		for fi := range facts {
+			m := ev.tr.mark()
+			if matchAtomTrail(l.Atom, facts[fi], &ev.tr) {
+				if err := ev.step(ix, r, remaining-1); err != nil {
+					ev.tr.undo(m)
 					return err
 				}
 			}
+			ev.tr.undo(m)
+		}
+		return nil
+	case 1:
+		v, expr, ok := binderSides(l, ev.tr.b)
+		if !ok {
+			return fmt.Errorf("asp: EvalRule lost binder equality in rule %q", r.String())
+		}
+		val, err := EvalArith(substTerm(expr, ev.tr.b))
+		if err != nil {
+			return err
+		}
+		m := ev.tr.mark()
+		ev.tr.bind(v.Name, val)
+		err = ev.step(ix, r, remaining-1)
+		ev.tr.undo(m)
+		return err
+	case 2:
+		ok, err := EvalCmp(Literal{IsCmp: true, Op: l.Op,
+			Lhs: substTerm(l.Lhs, ev.tr.b), Rhs: substTerm(l.Rhs, ev.tr.b), Pos: l.Pos})
+		if err != nil {
+			return err
+		}
+		if !ok {
 			return nil
-		case 1:
-			v, expr, ok := binderSides(l, b)
-			if !ok {
-				return fmt.Errorf("asp: EvalRule lost binder equality in rule %q", r.String())
+		}
+		return ev.step(ix, r, remaining-1)
+	default:
+		// Ground negative literal: key the substituted, evaluated atom
+		// into the reusable buffer and probe the model.
+		key := append(ev.key[:0], l.Atom.Predicate...)
+		key = append(key, '/')
+		for _, t := range l.Atom.Args {
+			val, err := EvalArith(substTerm(t, ev.tr.b))
+			if err != nil {
+				ev.key = key
+				return err
 			}
-			val, err := EvalArith(expr.substitute(b))
+			key = appendTermKey(key, val)
+			key = append(key, ';')
+		}
+		ev.key = key
+		if ix.model.containsKey(key) {
+			return nil
+		}
+		return ev.step(ix, r, remaining-1)
+	}
+}
+
+// emit records the derived instance of a satisfied body: the
+// substituted, evaluated head, or the _violated marker for constraints.
+// Duplicates are dropped by structural comparison (derived sets are
+// small; a linear scan beats keying every head).
+func (ev *Evaluator) emit(r Rule) error {
+	var atom Atom
+	if r.Head == nil {
+		// Constraint body satisfied: represent with a marker atom so
+		// callers can detect violation.
+		atom = Atom{Predicate: "_violated"}
+	} else if len(r.Head.Args) == 0 {
+		atom = *r.Head
+	} else {
+		args := make([]Term, len(r.Head.Args))
+		for i, t := range r.Head.Args {
+			val, err := EvalArith(substTerm(t, ev.tr.b))
 			if err != nil {
 				return err
 			}
-			nb := b.clone()
-			nb[v.Name] = val
-			return step(nb, rest)
-		case 2:
-			ok, err := EvalCmp(l.Substitute(b))
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			return step(b, rest)
-		default:
-			ev, err := evalAtomArgs(l.Atom.Substitute(b))
-			if err != nil {
-				return err
-			}
-			if ix.model.Contains(ev) {
-				return nil
-			}
-			return step(b, rest)
+			args[i] = val
+		}
+		atom = Atom{Predicate: r.Head.Predicate, Args: args}
+	}
+	if !atom.Ground() {
+		return fmt.Errorf("asp: non-ground head %s in EvalRule", atom)
+	}
+	for i := range ev.out {
+		if AtomsEqual(ev.out[i], atom) {
+			return nil
 		}
 	}
-	if err := step(Binding{}, r.Body); err != nil {
-		return nil, err
+	ev.out = append(ev.out, atom)
+	return nil
+}
+
+// AtomsEqual reports whether two atoms are structurally identical
+// (predicate and arguments; source positions are ignored, matching
+// Atom.Key equality).
+func AtomsEqual(a, b Atom) bool {
+	if a.Predicate != b.Predicate || len(a.Args) != len(b.Args) {
+		return false
 	}
-	return out, nil
+	for i := range a.Args {
+		if !termEq(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
 }

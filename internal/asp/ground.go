@@ -452,17 +452,39 @@ type predKey struct {
 
 func atomPredKey(a Atom) predKey { return predKey{name: a.Predicate, arity: len(a.Args)} }
 
+// argKey is a comparable per-argument index key for one ground term:
+// integers and plain constants (the overwhelmingly common argument
+// shapes) key directly on their value without allocating, everything
+// else falls back to the canonical TermKey string. kind bytes keep the
+// cases disjoint, so argKey equality coincides with TermKey equality.
+type argKey struct {
+	kind byte // 'i' integer, 'c' constant, 'x' TermKey fallback
+	num  int
+	str  string
+}
+
+func termArgKey(t Term) argKey {
+	switch tt := t.(type) {
+	case Integer:
+		return argKey{kind: 'i', num: tt.Value}
+	case Constant:
+		return argKey{kind: 'c', str: tt.Name}
+	default:
+		return argKey{kind: 'x', str: TermKey(t)}
+	}
+}
+
 // relation is the set of domain atoms of one predicate, as interned ids
 // in insertion order, with lazily built per-argument exact-term indexes.
 type relation struct {
 	ids []int32
-	// argIndex[i] maps TermKey(arg i) -> ids having that argument; nil
+	// argIndex[i] maps termArgKey(arg i) -> ids having that argument; nil
 	// until first used.
-	argIndex []map[string][]int32
+	argIndex []map[argKey][]int32
 }
 
 func newRelation(arity int) *relation {
-	return &relation{argIndex: make([]map[string][]int32, arity)}
+	return &relation{argIndex: make([]map[argKey][]int32, arity)}
 }
 
 func (r *relation) add(id int32, a Atom) {
@@ -471,7 +493,7 @@ func (r *relation) add(id int32, a Atom) {
 		if m == nil {
 			continue
 		}
-		k := TermKey(a.Args[i])
+		k := termArgKey(a.Args[i])
 		m[k] = append(m[k], id)
 	}
 }
@@ -484,7 +506,7 @@ func (r *relation) popLast(a Atom) {
 		if m == nil {
 			continue
 		}
-		k := TermKey(a.Args[i])
+		k := termArgKey(a.Args[i])
 		lst := m[k]
 		if len(lst) <= 1 {
 			delete(m, k)
@@ -496,11 +518,11 @@ func (r *relation) popLast(a Atom) {
 
 // index returns the per-argument index for position arg, building it on
 // first use.
-func (r *relation) index(arg int, in *Interner) map[string][]int32 {
+func (r *relation) index(arg int, in *Interner) map[argKey][]int32 {
 	if r.argIndex[arg] == nil {
-		m := make(map[string][]int32, len(r.ids))
+		m := make(map[argKey][]int32, len(r.ids))
 		for _, id := range r.ids {
-			k := TermKey(in.atoms[id].Args[arg])
+			k := termArgKey(in.atoms[id].Args[arg])
 			m[k] = append(m[k], id)
 		}
 		r.argIndex[arg] = m
@@ -521,7 +543,7 @@ func (r *relation) candidates(pattern Atom, b Binding, g *grounder) []int32 {
 	}
 	best := r.ids
 	for i, t := range pattern.Args {
-		sub := t.substitute(b)
+		sub := substTerm(t, b)
 		if !sub.Ground() {
 			continue
 		}
@@ -531,7 +553,7 @@ func (r *relation) candidates(pattern Atom, b Binding, g *grounder) []int32 {
 			// per-term matcher fails the same way).
 			return nil
 		}
-		lst := r.index(i, g.in)[TermKey(ev)]
+		lst := r.index(i, g.in)[termArgKey(ev)]
 		if len(lst) < len(best) {
 			best = lst
 		}
@@ -561,6 +583,14 @@ type grounder struct {
 	journal     bool
 	addedDomain []int32
 	newRels     []predKey
+
+	// Scratch for instantiateAgainst and finalize. Grounding is
+	// sequential within a grounder, so one set of buffers suffices;
+	// instantiateAgainst is not re-entrant.
+	sDone    []bool
+	sMatched []int32
+	sTr      bindTrail
+	keySc    keyScratch
 }
 
 func newGrounder(opts GroundingOptions) *grounder {
@@ -568,6 +598,7 @@ func newGrounder(opts GroundingOptions) *grounder {
 		opts: opts,
 		in:   NewInterner(),
 		rel:  make(map[predKey]*relation),
+		sTr:  bindTrail{b: make(Binding, 8)},
 	}
 }
 
@@ -695,9 +726,15 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 	// processed at the end (checked against the domain when producing the
 	// instance).
 	n := len(r.Body)
-	done := make([]bool, n)
-	matched := make([]int32, n)
-	tr := bindTrail{b: make(Binding, 8)}
+	g.sDone = growBools(g.sDone, n)
+	if cap(g.sMatched) < n {
+		g.sMatched = make([]int32, n)
+	}
+	g.sMatched = g.sMatched[:n]
+	done := g.sDone
+	matched := g.sMatched
+	tr := &g.sTr
+	tr.undo(0)
 
 	var step func(remaining int) error
 	step = func(remaining int) error {
@@ -768,7 +805,7 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 			}
 			for _, id := range cands {
 				m := tr.mark()
-				if matchAtomTrail(l.Atom, g.in.atoms[id], &tr) {
+				if matchAtomTrail(l.Atom, g.in.atoms[id], tr) {
 					matched[pick] = id
 					if err := step(remaining - 1); err != nil {
 						tr.undo(m)
@@ -783,7 +820,7 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 			if !ok {
 				return fmt.Errorf("grounder lost binder equality in rule %q", r.String())
 			}
-			val, err := EvalArith(expr.substitute(tr.b))
+			val, err := EvalArith(substTerm(expr, tr.b))
 			if err != nil {
 				return err
 			}
@@ -793,7 +830,8 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 			tr.undo(m)
 			return err
 		case 2: // ground comparison
-			ok, err := EvalCmp(l.Substitute(tr.b))
+			ok, err := EvalCmp(Literal{IsCmp: true, Op: l.Op,
+				Lhs: substTerm(l.Lhs, tr.b), Rhs: substTerm(l.Rhs, tr.b), Pos: l.Pos})
 			if err != nil {
 				return err
 			}
@@ -854,7 +892,7 @@ func matchTermTrail(pattern, ground Term, tr *bindTrail) bool {
 		}
 		return true
 	default:
-		return TermsEqual(pattern.substitute(tr.b), ground)
+		return TermsEqual(substTerm(pattern, tr.b), ground)
 	}
 }
 
@@ -993,33 +1031,44 @@ func (g *grounder) finalize() *GroundProgram {
 		if inst.head >= 0 {
 			gr.Head = intern(inst.head)
 		}
-		key := groundRuleKey(gr)
-		if _, dup := seen[key]; dup {
+		key := g.keySc.ruleKey(gr)
+		if _, dup := seen[string(key)]; dup {
 			continue
 		}
-		seen[key] = struct{}{}
+		seen[string(key)] = struct{}{}
 		out.Rules = append(out.Rules, gr)
 	}
 	g.pending = nil
 	return out
 }
 
-func groundRuleKey(r GroundRule) string {
-	buf := make([]byte, 0, 8*(len(r.PosBody)+len(r.NegBody))+8)
+// keyScratch renders canonical ground-rule dedup keys ("head:pos,...|
+// neg,..." with body ids sorted) into a reusable buffer, so duplicate
+// probes via map[string]X lookups on string(buf) never allocate; only a
+// first-seen insert copies the key.
+type keyScratch struct {
+	buf []byte
+	pos []int32
+	neg []int32
+}
+
+func (k *keyScratch) ruleKey(r GroundRule) []byte {
+	k.pos = append(k.pos[:0], r.PosBody...)
+	k.neg = append(k.neg[:0], r.NegBody...)
+	slices.Sort(k.pos)
+	slices.Sort(k.neg)
+	buf := k.buf[:0]
 	buf = strconv.AppendInt(buf, int64(r.Head), 10)
 	buf = append(buf, ':')
-	pos := append([]int32(nil), r.PosBody...)
-	neg := append([]int32(nil), r.NegBody...)
-	slices.Sort(pos)
-	slices.Sort(neg)
-	for _, id := range pos {
+	for _, id := range k.pos {
 		buf = strconv.AppendInt(buf, int64(id), 10)
 		buf = append(buf, ',')
 	}
 	buf = append(buf, '|')
-	for _, id := range neg {
+	for _, id := range k.neg {
 		buf = strconv.AppendInt(buf, int64(id), 10)
 		buf = append(buf, ',')
 	}
-	return string(buf)
+	k.buf = buf
+	return buf
 }

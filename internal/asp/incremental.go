@@ -117,11 +117,11 @@ func NewIncrementalGrounder(base *Program, opts GroundingOptions) (*IncrementalG
 			continue
 		}
 		gr := GroundRule{Head: inst.head, PosBody: inst.pos, NegBody: inst.neg}
-		key := groundRuleKey(gr)
-		if _, dup := ig.baseSeen[key]; dup {
+		key := g.keySc.ruleKey(gr)
+		if _, dup := ig.baseSeen[string(key)]; dup {
 			continue
 		}
-		ig.baseSeen[key] = struct{}{}
+		ig.baseSeen[string(key)] = struct{}{}
 		ig.baseStable = append(ig.baseStable, gr)
 	}
 	g.pending = nil
@@ -302,14 +302,14 @@ func (ig *IncrementalGrounder) finalizeExtended() *GroundProgram {
 				gr.NegBody = append(gr.NegBody, gid)
 			}
 		}
-		key := groundRuleKey(gr)
-		if _, dup := ig.baseSeen[key]; dup {
+		key := g.keySc.ruleKey(gr)
+		if _, dup := ig.baseSeen[string(key)]; dup {
 			return
 		}
-		if _, dup := local[key]; dup {
+		if _, dup := local[string(key)]; dup {
 			return
 		}
-		local[key] = struct{}{}
+		local[string(key)] = struct{}{}
 		rules = append(rules, gr)
 	}
 	for _, inst := range ig.refin {

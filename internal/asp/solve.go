@@ -34,6 +34,13 @@ func (as *AnswerSet) Contains(a Atom) bool {
 	return ok
 }
 
+// containsKey reports membership by a precomputed atom key (see
+// appendTermKey / Atom.Key); the byte-slice map probe does not allocate.
+func (as *AnswerSet) containsKey(k []byte) bool {
+	_, ok := as.atoms[string(k)]
+	return ok
+}
+
 // Len returns the number of atoms.
 func (as *AnswerSet) Len() int { return len(as.atoms) }
 
@@ -130,9 +137,18 @@ func HasAnswerSet(p *Program) (bool, error) {
 // and checking (1) the assignment is reproduced and (2) no constraint
 // body is satisfied.
 func SolveGround(g *GroundProgram, opts SolveOptions) ([]*AnswerSet, error) {
+	return SolveGroundScratch(g, opts, nil)
+}
+
+// SolveGroundScratch is SolveGround with caller-owned scratch buffers:
+// repeated solves (the learner's per-example coverage checks) reuse the
+// solver's per-atom and per-rule state instead of reallocating it each
+// call. sc may be nil; a scratch must not be shared between concurrent
+// solves.
+func SolveGroundScratch(g *GroundProgram, opts SolveOptions, sc *SolverScratch) ([]*AnswerSet, error) {
 	t0 := time.Now()
 	sp := obs.StartSpan("asp.solve")
-	s := newSolver(g, opts)
+	s := newSolver(g, opts, sc)
 	err := s.run()
 	statSolveCalls.Inc()
 	statSolveDur.ObserveSince(t0)
@@ -166,9 +182,60 @@ type posWatchEntry struct {
 	mult int32
 }
 
+// SolverScratch holds the reusable buffers of SolveGroundScratch. One
+// scratch serves any sequence of solves (buffers grow to the largest
+// program seen) but must not be used by two solves concurrently.
+type SolverScratch struct {
+	isChoice    []bool
+	assign      []int8
+	lmTrue      []bool
+	lmCount     []int32
+	lmQueue     []int32
+	occ         []int32
+	choice      []int32
+	constraints []int32
+	posOff      []int32
+	posNext     []int32
+	posEnt      []posWatchEntry
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func growInt8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 type solver struct {
 	g    *GroundProgram
 	opts SolveOptions
+	sc   *SolverScratch
 
 	choice    []int32 // choice atom ids, branch order
 	isChoice  []bool
@@ -182,8 +249,6 @@ type solver struct {
 	conflicts    int64
 	propagations int64
 
-	// rulesByNeg[a] lists rule indices with atom a in NegBody.
-	rulesByNeg [][]int32
 	// constraints lists the indices of headless rules.
 	constraints []int32
 
@@ -192,26 +257,40 @@ type solver struct {
 	lmTrue  []bool
 	lmQueue []int32
 
-	// posWatch[a] lists (rule, multiplicity) pairs for rules having atom
-	// a in their positive body.
-	posWatch [][]posWatchEntry
+	// posWatch in CSR form: posEnt[posOff[a]:posOff[a+1]] lists the
+	// (rule, multiplicity) pairs for rules having atom a in their
+	// positive body. Two flat slices replace the per-atom slice-of-slices
+	// of the original representation.
+	posOff []int32
+	posEnt []posWatchEntry
 }
 
-func newSolver(g *GroundProgram, opts SolveOptions) *solver {
-	n := g.NumAtoms()
-	s := &solver{
-		g:          g,
-		opts:       opts,
-		isChoice:   make([]bool, n),
-		assign:     make([]int8, n),
-		rulesByNeg: make([][]int32, n),
-		lmCount:    make([]int32, len(g.Rules)),
-		lmTrue:     make([]bool, n),
+func newSolver(g *GroundProgram, opts SolveOptions, sc *SolverScratch) *solver {
+	if sc == nil {
+		sc = &SolverScratch{}
 	}
-	occurrences := make([]int32, n)
-	for ri, r := range g.Rules {
+	n := g.NumAtoms()
+	sc.isChoice = growBools(sc.isChoice, n)
+	sc.assign = growInt8(sc.assign, n)
+	sc.lmTrue = growBools(sc.lmTrue, n)
+	sc.lmCount = growInt32(sc.lmCount, len(g.Rules))
+	sc.occ = growInt32(sc.occ, n)
+	sc.choice = sc.choice[:0]
+	sc.constraints = sc.constraints[:0]
+	s := &solver{
+		g:        g,
+		opts:     opts,
+		sc:       sc,
+		isChoice: sc.isChoice,
+		assign:   sc.assign,
+		lmCount:  sc.lmCount,
+		lmTrue:   sc.lmTrue,
+		lmQueue:  sc.lmQueue[:0],
+	}
+	occurrences := sc.occ
+	for ri := range g.Rules {
+		r := &g.Rules[ri]
 		for _, a := range r.NegBody {
-			s.rulesByNeg[a] = append(s.rulesByNeg[a], int32(ri))
 			s.isChoice[a] = true
 			occurrences[a]++
 		}
@@ -219,9 +298,10 @@ func newSolver(g *GroundProgram, opts SolveOptions) *solver {
 			occurrences[a]++
 		}
 		if r.Head < 0 {
-			s.constraints = append(s.constraints, int32(ri))
+			sc.constraints = append(sc.constraints, int32(ri))
 		}
 	}
+	s.constraints = sc.constraints
 	if opts.NaiveBranching {
 		for a := 0; a < n; a++ {
 			s.isChoice[a] = true
@@ -229,9 +309,10 @@ func newSolver(g *GroundProgram, opts SolveOptions) *solver {
 	}
 	for a := int32(0); a < int32(n); a++ {
 		if s.isChoice[a] {
-			s.choice = append(s.choice, a)
+			sc.choice = append(sc.choice, a)
 		}
 	}
+	s.choice = sc.choice
 	// Branch on the most-constrained atoms first.
 	sort.Slice(s.choice, func(i, j int) bool {
 		return occurrences[s.choice[i]] > occurrences[s.choice[j]]
@@ -387,7 +468,8 @@ func (s *solver) leastModelSeeded(keep func(GroundRule) bool, seedAssigned bool)
 	}
 	for qi := 0; qi < len(s.lmQueue); qi++ {
 		a := s.lmQueue[qi]
-		for _, w := range s.posWatch[a] {
+		for wi, end := s.posOff[a], s.posOff[a+1]; wi < end; wi++ {
+			w := s.posEnt[wi]
 			if s.lmCount[w.rule] < 0 {
 				continue
 			}
@@ -403,15 +485,47 @@ func (s *solver) leastModelSeeded(keep func(GroundRule) bool, seedAssigned bool)
 	}
 	// Every queued atom was popped and propagated exactly once.
 	s.propagations += int64(len(s.lmQueue))
+	// Keep any capacity the queue grew for the next solve on this scratch.
+	s.sc.lmQueue = s.lmQueue
 	return s.lmTrue
 }
 
 func (s *solver) buildPosWatch() {
 	n := s.g.NumAtoms()
-	s.posWatch = make([][]posWatchEntry, n)
-	for ri, r := range s.g.Rules {
+	sc := s.sc
+	sc.posOff = growInt32(sc.posOff, n+1)
+	// Pass 1: bucket sizes. Each atom counts once per rule (multiplicity
+	// is folded into the entry).
+	for ri := range s.g.Rules {
+		r := &s.g.Rules[ri]
 		for bi, a := range r.PosBody {
-			// Count each atom once per rule with its multiplicity.
+			dup := false
+			for _, prev := range r.PosBody[:bi] {
+				if prev == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				sc.posOff[a+1]++
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		sc.posOff[a+1] += sc.posOff[a]
+	}
+	total := int(sc.posOff[n])
+	if cap(sc.posEnt) < total {
+		sc.posEnt = make([]posWatchEntry, total)
+	}
+	sc.posEnt = sc.posEnt[:total]
+	// Pass 2: fill via per-atom cursors; rule order within a bucket
+	// matches the original append order.
+	sc.posNext = growInt32(sc.posNext, n)
+	copy(sc.posNext, sc.posOff[:n])
+	for ri := range s.g.Rules {
+		r := &s.g.Rules[ri]
+		for bi, a := range r.PosBody {
 			dup := false
 			for _, prev := range r.PosBody[:bi] {
 				if prev == a {
@@ -428,9 +542,12 @@ func (s *solver) buildPosWatch() {
 					mult++
 				}
 			}
-			s.posWatch[a] = append(s.posWatch[a], posWatchEntry{rule: int32(ri), mult: mult})
+			sc.posEnt[sc.posNext[a]] = posWatchEntry{rule: int32(ri), mult: mult}
+			sc.posNext[a]++
 		}
 	}
+	s.posOff = sc.posOff
+	s.posEnt = sc.posEnt
 }
 
 // checkLeaf verifies the total assignment: computes the least model of

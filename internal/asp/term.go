@@ -139,8 +139,27 @@ func quoteASP(s string) string {
 }
 func (c Constant) Ground() bool                    { return true }
 func (c Constant) collectVars(map[string]struct{}) {}
-func (c Constant) substitute(Binding) Term         { return c }
-func (c Constant) key(sb *strings.Builder)         { sb.WriteByte('c'); sb.WriteString(c.Name) }
+
+// substTerm is substitute without re-boxing terms the binding cannot
+// change: constants and integers return the original interface value,
+// variables return the stored binding (or the original), and compound
+// terms fall back to substitute. Hot paths (matching, one-step
+// evaluation) use this to avoid an interface allocation per probe.
+func substTerm(t Term, b Binding) Term {
+	switch x := t.(type) {
+	case Constant, Integer:
+		return t
+	case Variable:
+		if val, ok := b[x.Name]; ok {
+			return val
+		}
+		return t
+	}
+	return t.substitute(b)
+}
+
+func (c Constant) substitute(Binding) Term { return c }
+func (c Constant) key(sb *strings.Builder) { sb.WriteByte('c'); sb.WriteString(c.Name) }
 
 func (i Integer) String() string                  { return strconv.Itoa(i.Value) }
 func (i Integer) Ground() bool                    { return true }
@@ -294,6 +313,45 @@ func TermKey(t Term) string {
 	var sb strings.Builder
 	t.key(&sb)
 	return sb.String()
+}
+
+// appendTermKey appends the canonical key of a term (the same encoding
+// as Term.key / TermKey) to dst, letting hot paths build map probes in a
+// reusable buffer instead of allocating a string per lookup.
+func appendTermKey(dst []byte, t Term) []byte {
+	switch tt := t.(type) {
+	case Constant:
+		dst = append(dst, 'c')
+		dst = append(dst, tt.Name...)
+	case Integer:
+		dst = append(dst, 'i')
+		dst = strconv.AppendInt(dst, int64(tt.Value), 10)
+	case Variable:
+		dst = append(dst, 'v')
+		dst = append(dst, tt.Name...)
+	case Compound:
+		dst = append(dst, 'f')
+		dst = append(dst, tt.Functor...)
+		dst = append(dst, '(')
+		for _, a := range tt.Args {
+			dst = appendTermKey(dst, a)
+			dst = append(dst, ',')
+		}
+		dst = append(dst, ')')
+	case Arith:
+		dst = append(dst, 'a')
+		dst = append(dst, tt.Op.String()...)
+		dst = appendTermKey(dst, tt.L)
+		dst = appendTermKey(dst, tt.R)
+	case Range:
+		dst = append(dst, 'r')
+		dst = appendTermKey(dst, tt.Lo)
+		dst = append(dst, ".."...)
+		dst = appendTermKey(dst, tt.Hi)
+	default:
+		dst = append(dst, TermKey(t)...)
+	}
+	return dst
 }
 
 // TermsEqual reports whether two terms are structurally identical.

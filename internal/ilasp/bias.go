@@ -206,6 +206,7 @@ func (b Bias) Space() ([]Candidate, error) {
 
 	seen := make(map[string]struct{})
 	var out []Candidate
+	var keys []string // keys[i] is out[i].Rule.String(), computed once for dedup
 	addRule := func(head *headAtom, body []bodyLit) {
 		if head == nil && len(body) == 0 {
 			return // the empty constraint would reject every model
@@ -253,6 +254,7 @@ func (b Bias) Space() ([]Candidate, error) {
 			cost = 1
 		}
 		out = append(out, Candidate{Rule: canon, Cost: cost})
+		keys = append(keys, key)
 	}
 
 	// Enumerate bodies of size 0..maxBody as non-decreasing index tuples
@@ -271,13 +273,24 @@ func (b Bias) Space() ([]Candidate, error) {
 		rec(0, nil, h)
 	}
 
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Cost != out[j].Cost {
-			return out[i].Cost < out[j].Cost
+	// Sort by (cost, text) via a permutation over the dedup keys — the
+	// key IS the canonical rule text, so no re-rendering per comparison.
+	perm := make([]int, len(out))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		pi, pj := perm[i], perm[j]
+		if out[pi].Cost != out[pj].Cost {
+			return out[pi].Cost < out[pj].Cost
 		}
-		return out[i].Rule.String() < out[j].Rule.String()
+		return keys[pi] < keys[pj]
 	})
-	return out, nil
+	sorted := make([]Candidate, len(out))
+	for i, p := range perm {
+		sorted[i] = out[p]
+	}
+	return sorted, nil
 }
 
 type headAtom struct {

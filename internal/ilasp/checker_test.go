@@ -1,0 +1,115 @@
+package ilasp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowOracle is a deterministic-coverage oracle with artificial latency
+// and an optional failing example, for exercising the checker's chunked
+// fan-out, in-order replay, and cancellation.
+type slowOracle struct {
+	cands  []Candidate
+	n      int
+	failAt int   // example index returning errBoom (-1 = never)
+	calls  int64 // atomic
+}
+
+var errBoom = errors.New("boom")
+
+func (o *slowOracle) Candidates() []Candidate { return o.cands }
+
+func (o *slowOracle) Covers(chosen []int, i int) (bool, error) {
+	atomic.AddInt64(&o.calls, 1)
+	// Vary the latency so parallel completions arrive out of order.
+	time.Sleep(time.Duration(50+(i*37)%200) * time.Microsecond)
+	if i == o.failAt && len(chosen) > 0 {
+		return false, errBoom
+	}
+	// Coverage needs every candidate; keeps the search evaluating
+	// multi-candidate hypotheses.
+	return len(chosen) == len(o.cands), nil
+}
+
+func newSlowOracle(nCands, nExamples, failAt int) *slowOracle {
+	o := &slowOracle{n: nExamples, failAt: failAt}
+	for i := 0; i < nCands; i++ {
+		o.cands = append(o.cands, Candidate{Cost: 1})
+	}
+	return o
+}
+
+// TestCheckerCancelMidChunk: an oracle error in the middle of a
+// speculative chunk must surface as exactly that example's error (in-
+// order replay), cancel the remaining speculative work, and leave no
+// worker goroutines behind.
+func TestCheckerCancelMidChunk(t *testing.T) {
+	before := runtime.NumGoroutine()
+	o := newSlowOracle(3, 16, 5) // failAt=5: mid-chunk for par=8
+	weights := make([]int, o.n)
+	_, err := Search(o, weights, LearnOptions{MaxRules: 3, Parallelism: 8})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Search error = %v, want errBoom", err)
+	}
+	// fetch waits for its whole chunk, so by the time Search returns no
+	// checker goroutine may remain. Allow the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestCheckerReplayDeterminism: with out-of-order completions inside
+// each chunk, parallel runs must still match the serial run on every
+// observable — hypothesis, coverage, and check count.
+func TestCheckerReplayDeterminism(t *testing.T) {
+	run := func(par int) (*Solution, int64) {
+		o := newSlowOracle(3, 12, -1)
+		weights := make([]int, o.n)
+		sol, err := Search(o, weights, LearnOptions{MaxRules: 3, Parallelism: par})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return sol, atomic.LoadInt64(&o.calls)
+	}
+	serial, serialCalls := run(1)
+	for _, par := range []int{2, 8} {
+		sol, calls := run(par)
+		if fmt.Sprint(sol.Chosen) != fmt.Sprint(serial.Chosen) ||
+			sol.Covered != serial.Covered || sol.Checks != serial.Checks {
+			t.Errorf("par=%d: (%v, %d, %d) != serial (%v, %d, %d)",
+				par, sol.Chosen, sol.Covered, sol.Checks,
+				serial.Chosen, serial.Covered, serial.Checks)
+		}
+		if calls < serialCalls {
+			t.Errorf("par=%d issued fewer oracle calls (%d) than serial (%d)", par, calls, serialCalls)
+		}
+	}
+}
+
+// TestCheckerBudgetCancelNoLeak: exhausting MaxChecks mid-chunk cancels
+// outstanding speculation without leaking workers.
+func TestCheckerBudgetCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	o := newSlowOracle(3, 16, -1)
+	weights := make([]int, o.n)
+	_, err := Search(o, weights, LearnOptions{MaxRules: 3, Parallelism: 8, MaxChecks: 5})
+	if !errors.Is(err, ErrCheckBudget) {
+		t.Fatalf("Search error = %v, want ErrCheckBudget", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}

@@ -36,11 +36,16 @@ type coverageEngine struct {
 	slots []engineSlot
 }
 
-// engineSlot is the per-example cached grounding.
+// engineSlot is the per-example cached grounding, plus the example's
+// reusable solver scratch and extension-list buffer. Slots are never
+// shared across examples, so per-slot scratch keeps the engine safe for
+// the search's concurrent distinct-example checks.
 type engineSlot struct {
-	ig   *asp.IncrementalGrounder
-	err  error
-	init bool
+	ig    *asp.IncrementalGrounder
+	err   error
+	init  bool
+	sc    asp.SolverScratch
+	parts []*asp.CompiledRules
 }
 
 func newCoverageEngine(t *Task, space []Candidate) *coverageEngine {
@@ -87,18 +92,19 @@ func (ce *coverageEngine) covers(chosen []int, ei int) (bool, error) {
 	if slot.err != nil {
 		return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, slot.err)
 	}
-	parts := make([]*asp.CompiledRules, len(chosen))
-	for i, ci := range chosen {
+	parts := slot.parts[:0]
+	for _, ci := range chosen {
 		if err := ce.compileErr[ci]; err != nil {
 			return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, err)
 		}
-		parts[i] = ce.compiled[ci]
+		parts = append(parts, ce.compiled[ci])
 	}
+	slot.parts = parts
 	gp, err := slot.ig.Extend(parts...)
 	if err != nil {
 		return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, err)
 	}
-	models, err := asp.SolveGround(gp, asp.SolveOptions{MaxModels: 1})
+	models, err := asp.SolveGroundScratch(gp, asp.SolveOptions{MaxModels: 1}, &slot.sc)
 	slot.ig.Reset()
 	if err != nil {
 		return false, fmt.Errorf("ilasp: checking example %s: %w", e.ID, err)

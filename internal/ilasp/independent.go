@@ -1,6 +1,7 @@
 package ilasp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sort"
@@ -63,18 +64,20 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 	}
 
 	checks := 0
-	// Per-example base models and requirement vectors.
+	// Per-example base models and requirement vectors. Requirements (one
+	// per (example, needed inclusion) pair) get global indices assigned in
+	// example order: reqOff[ei] is example ei's first requirement bit.
 	infos := make([]exampleInfo, len(t.Examples))
-	// fires[r][e] lists needed atoms rule r derives in example e;
-	// violates[r][e] marks r deriving an excluded atom of e.
-	fires := make([][][]int, len(space)) // rule -> example -> indices into needs
-	violates := make([][]bool, len(space))
-	for r := range space {
-		fires[r] = make([][]int, len(t.Examples))
-		violates[r] = make([]bool, len(t.Examples))
-	}
+	reqOff := make([]int, len(t.Examples)+1)
+	// fireIdx[r] lists the global requirement indices rule r satisfies;
+	// violIdx[r] lists the examples where r derives an excluded atom.
+	// Both become bitset signatures once the total counts are known.
+	fireIdx := make([][]int32, len(space))
+	violIdx := make([][]int32, len(space))
 
-	for ei, e := range t.Examples {
+	for ei := range t.Examples {
+		e := &t.Examples[ei]
+		reqOff[ei+1] = reqOff[ei]
 		if !e.Positive {
 			return nil, fmt.Errorf("ilasp: LearnIndependent requires positive examples; express %q via exclusions", e.ID)
 		}
@@ -109,21 +112,18 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 		if !info.feasible {
 			continue
 		}
+		reqOff[ei+1] = reqOff[ei] + len(info.needs)
 
-		exclKeys := make(map[string]struct{}, len(e.Exclusions))
-		for _, a := range e.Exclusions {
-			exclKeys[a.Key()] = struct{}{}
-		}
-		needKey := make(map[string]int, len(info.needs))
-		for i, a := range info.needs {
-			needKey[a.Key()] = i
-		}
 		// Candidate evaluation is the hot loop (|space| × |examples|
 		// one-step evaluations); shard it across workers over a
-		// predicate-indexed view of the base model. Each worker writes
-		// disjoint rows of fires/violates, so no locking beyond the
-		// error slot is needed.
+		// predicate-indexed view of the base model. Each worker owns its
+		// Evaluator scratch and writes disjoint rows of fireIdx/violIdx,
+		// so no locking beyond the error slot is needed. Derived atoms
+		// are matched against the example's few needs and exclusions by
+		// structural comparison — no per-atom key strings.
 		ix := asp.NewModelIndex(base)
+		needs := info.needs
+		excl := e.Exclusions
 		workers := opts.Parallelism
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
@@ -143,8 +143,9 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				ev := asp.NewEvaluator()
 				for ri := w; ri < len(space); ri += workers {
-					derived, err := ix.EvalPrepared(space[ri].Rule)
+					derived, err := ev.EvalPrepared(ix, space[ri].Rule)
 					if err != nil {
 						errOnce.Do(func() {
 							evalErr = fmt.Errorf("ilasp: evaluating candidate %q: %w", space[ri].Rule.String(), err)
@@ -152,11 +153,17 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 						return
 					}
 					for _, d := range derived {
-						if _, bad := exclKeys[d.Key()]; bad {
-							violates[ri][ei] = true
+						for _, x := range excl {
+							if asp.AtomsEqual(d, x) {
+								violIdx[ri] = append(violIdx[ri], int32(ei))
+								break
+							}
 						}
-						if ni, ok := needKey[d.Key()]; ok {
-							fires[ri][ei] = append(fires[ri][ei], ni)
+						for ni := range needs {
+							if asp.AtomsEqual(d, needs[ni]) {
+								fireIdx[ri] = append(fireIdx[ri], int32(reqOff[ei]+ni))
+								break
+							}
 						}
 					}
 				}
@@ -169,30 +176,69 @@ func (t *Task) LearnIndependent(opts LearnOptions) (*Result, error) {
 		}
 	}
 
+	// Pack the per-rule verdicts into bitset signatures.
+	nreq := reqOff[len(t.Examples)]
+	fireSig := make([]sigWords, len(space))
+	violSig := make([]sigWords, len(space))
+	for ri := range space {
+		fireSig[ri] = newSig(nreq)
+		for _, q := range fireIdx[ri] {
+			fireSig[ri].set(int(q))
+		}
+		violSig[ri] = newSig(len(t.Examples))
+		for _, ei := range violIdx[ri] {
+			violSig[ri].set(int(ei))
+		}
+	}
+
 	// Candidate pool: rules that help somewhere. Rules deriving no
 	// needed atom can only add cost or violations, so optimal solutions
-	// never include them.
+	// never include them. Candidates whose signatures duplicate a
+	// cheaper (or equal-cost, earlier) pool member are collapsed away:
+	// in the decomposed set-cover they are interchangeable with their
+	// representative, and the representative's branch is explored first.
 	var pool []int
 	for ri := range space {
-		helps := false
-		for ei := range t.Examples {
-			if len(fires[ri][ei]) > 0 {
-				helps = true
-				break
-			}
-		}
-		if helps {
+		if len(fireIdx[ri]) > 0 {
 			pool = append(pool, ri)
 		}
 	}
 	sort.SliceStable(pool, func(a, b int) bool { return space[pool[a]].Cost < space[pool[b]].Cost })
+	seenSig := make(map[string]struct{}, len(pool))
+	var sigKey []byte
+	dedup := pool[:0]
+	for _, ri := range pool {
+		sigKey = sigKey[:0]
+		for _, w := range fireSig[ri] {
+			sigKey = binary.LittleEndian.AppendUint64(sigKey, w)
+		}
+		sigKey = append(sigKey, '|')
+		for _, w := range violSig[ri] {
+			sigKey = binary.LittleEndian.AppendUint64(sigKey, w)
+		}
+		if _, dup := seenSig[string(sigKey)]; dup {
+			statSigCollapsed.Inc()
+			continue
+		}
+		seenSig[string(sigKey)] = struct{}{}
+		dedup = append(dedup, ri)
+	}
+	pool = dedup
 
+	cv := &indepVectors{
+		examples: t.Examples,
+		infos:    infos,
+		reqOff:   reqOff,
+		nreq:     nreq,
+		fire:     fireSig,
+		viol:     violSig,
+	}
 	var sol []int
 	var covered int
 	if opts.Noise {
-		sol, covered, err = coverNoisy(t.Examples, space, pool, infos, fires, violates, maxRules, opts.MaxCost)
+		sol, covered, err = coverNoisy(cv, space, pool, maxRules, opts.MaxCost)
 	} else {
-		sol, covered, err = coverHard(t.Examples, space, pool, infos, fires, violates, maxRules, opts.MaxCost)
+		sol, covered, err = coverHard(cv, space, pool, maxRules, opts.MaxCost)
 	}
 	if err != nil {
 		return nil, err
@@ -279,50 +325,41 @@ func checkIndependence(t *Task, space []Candidate) error {
 	return nil
 }
 
-// requirement identifies one needed atom of one example.
-type requirement struct {
-	example int
-	need    int
+// indepVectors bundles the bitset coverage state LearnIndependent hands
+// to the set-cover searches: one requirement bit per (example, needed
+// inclusion) pair in example order, per-candidate fire signatures over
+// requirement bits, and violation signatures over examples.
+type indepVectors struct {
+	examples []Example
+	infos    []exampleInfo
+	reqOff   []int
+	nreq     int
+	fire     []sigWords
+	viol     []sigWords
 }
 
 // coverHard finds the minimal-cost subset of pool covering every
 // example: all needs derived, no violations.
-func coverHard(examples []Example, space []Candidate, pool []int,
-	infos []exampleInfo, fires [][][]int, violates [][]bool, maxRules, maxCost int) ([]int, int, error) {
-
+func coverHard(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCost int) ([]int, int, error) {
 	// Hard mode: a rule violating any example is unusable.
 	var usable []int
 	for _, ri := range pool {
-		bad := false
-		for ei := range examples {
-			if violates[ri][ei] {
-				bad = true
-				break
-			}
-		}
-		if !bad {
+		if cv.viol[ri].empty() {
 			usable = append(usable, ri)
 		}
 	}
-
-	var reqs []requirement
-	for ei := range examples {
-		if !infos[ei].feasible {
+	for ei := range cv.examples {
+		if !cv.infos[ei].feasible {
 			return nil, 0, ErrNoSolution
 		}
-		for ni := range infos[ei].needs {
-			reqs = append(reqs, requirement{example: ei, need: ni})
-		}
 	}
-	// options[q] = usable rules satisfying requirement q.
-	options := make([][]int, len(reqs))
-	for qi, q := range reqs {
+
+	// options[q] = usable rules satisfying requirement bit q.
+	options := make([][]int, cv.nreq)
+	for qi := range options {
 		for _, ri := range usable {
-			for _, ni := range fires[ri][q.example] {
-				if ni == q.need {
-					options[qi] = append(options[qi], ri)
-					break
-				}
+			if cv.fire[ri].get(qi) {
+				options[qi] = append(options[qi], ri)
 			}
 		}
 		if len(options[qi]) == 0 {
@@ -337,17 +374,8 @@ func coverHard(examples []Example, space []Candidate, pool []int,
 	bestCost++ // exclusive bound
 	var best []int
 	chosen := make(map[int]bool)
-	satisfied := make([]bool, len(reqs))
-
-	satisfies := func(ri, qi int) bool {
-		q := reqs[qi]
-		for _, ni := range fires[ri][q.example] {
-			if ni == q.need {
-				return true
-			}
-		}
-		return false
-	}
+	satisfied := make([]bool, cv.nreq)
+	flipped := make([]int, 0, cv.nreq)
 
 	var dfs func(cost int)
 	dfs = func(cost int) {
@@ -356,7 +384,7 @@ func coverHard(examples []Example, space []Candidate, pool []int,
 		}
 		// Find the unsatisfied requirement with fewest options.
 		pick := -1
-		for qi := range reqs {
+		for qi := range options {
 			if satisfied[qi] {
 				continue
 			}
@@ -380,17 +408,18 @@ func coverHard(examples []Example, space []Candidate, pool []int,
 				continue // already in: requirement would've been satisfied
 			}
 			chosen[ri] = true
-			var flipped []int
-			for qi := range reqs {
-				if !satisfied[qi] && satisfies(ri, qi) {
+			mark := len(flipped)
+			for qi := range options {
+				if !satisfied[qi] && cv.fire[ri].get(qi) {
 					satisfied[qi] = true
 					flipped = append(flipped, qi)
 				}
 			}
 			dfs(cost + space[ri].Cost)
-			for _, qi := range flipped {
+			for _, qi := range flipped[mark:] {
 				satisfied[qi] = false
 			}
+			flipped = flipped[:mark]
 			delete(chosen, ri)
 		}
 	}
@@ -398,7 +427,7 @@ func coverHard(examples []Example, space []Candidate, pool []int,
 	if best == nil {
 		return nil, 0, ErrNoSolution
 	}
-	return best, len(examples), nil
+	return best, len(cv.examples), nil
 }
 
 // coverNoisy maximises weighted coverage minus cost. Hard (zero-weight)
@@ -406,13 +435,15 @@ func coverHard(examples []Example, space []Candidate, pool []int,
 // requirement: either one of the rules providing it is added, or the
 // whole example is abandoned (paying its weight) — a complete
 // branch-and-bound whose branching factor is the number of providers per
-// requirement rather than the pool size.
-func coverNoisy(examples []Example, space []Candidate, pool []int,
-	infos []exampleInfo, fires [][][]int, violates [][]bool, maxRules, maxCost int) ([]int, int, error) {
-
+// requirement rather than the pool size. Example status under the chosen
+// set is read off per-depth union signatures (word-wide OR on push)
+// instead of rescanning the chosen rules per example.
+func coverNoisy(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCost int) ([]int, int, error) {
 	if maxCost <= 0 {
 		maxCost = 1 << 30
 	}
+	examples := cv.examples
+	infos := cv.infos
 	n := len(examples)
 
 	// providers[ei][ni] = pool rules deriving need ni of example ei,
@@ -421,8 +452,10 @@ func coverNoisy(examples []Example, space []Candidate, pool []int,
 	for ei := range examples {
 		providers[ei] = make([][]int, len(infos[ei].needs))
 		for _, ri := range pool {
-			for _, ni := range fires[ri][ei] {
-				providers[ei][ni] = append(providers[ei][ni], ri)
+			for ni := range infos[ei].needs {
+				if cv.fire[ri].get(cv.reqOff[ei] + ni) {
+					providers[ei][ni] = append(providers[ei][ni], ri)
+				}
 			}
 		}
 	}
@@ -437,40 +470,19 @@ func coverNoisy(examples []Example, space []Candidate, pool []int,
 	bestCovered := -1
 	found := false
 
-	// exampleStatus computes, under the chosen rules, whether example ei
-	// is fully covered, pending (not covered, not broken), or broken
-	// (violated by a chosen rule or infeasible).
-	status := func(st *state, ei int) (covered, broken bool) {
-		if !infos[ei].feasible {
-			return false, true
-		}
-		for _, ri := range st.chosen {
-			if violates[ri][ei] {
-				return false, true
-			}
-		}
-		for ni := range infos[ei].needs {
-			has := false
-			for _, ri := range st.chosen {
-				for _, f := range fires[ri][ei] {
-					if f == ni {
-						has = true
-						break
-					}
-				}
-				if has {
-					break
-				}
-			}
-			if !has {
-				return false, false
-			}
-		}
-		return true, false
+	// uReq[d]/uViol[d] hold the union signature of the first d chosen
+	// rules; a push at depth d writes level d+1 only, so parent levels
+	// survive the recursion.
+	uReq := make([]sigWords, maxRules+1)
+	uViol := make([]sigWords, maxRules+1)
+	for d := 0; d <= maxRules; d++ {
+		uReq[d] = newSig(cv.nreq)
+		uViol[d] = newSig(n)
 	}
 
 	var dfs func(st *state) error
 	dfs = func(st *state) error {
+		req, viol := uReq[len(st.chosen)], uViol[len(st.chosen)]
 		// Lower bound: cost plus weights of examples already lost.
 		lost := 0
 		covered := 0
@@ -484,33 +496,21 @@ func coverNoisy(examples []Example, space []Candidate, pool []int,
 				lost += examples[ei].Weight
 				continue
 			}
-			cov, broken := status(st, ei)
+			broken := !infos[ei].feasible || viol.get(ei)
 			switch {
 			case broken:
 				if examples[ei].Weight <= 0 {
 					return nil
 				}
 				lost += examples[ei].Weight
-			case cov:
+			case req.allSet(cv.reqOff[ei], cv.reqOff[ei+1]):
 				covered++
 			default:
 				if firstPending == -1 {
 					firstPending = ei
 					// Find its first unmet need.
 					for ni := range infos[ei].needs {
-						has := false
-						for _, ri := range st.chosen {
-							for _, f := range fires[ri][ei] {
-								if f == ni {
-									has = true
-									break
-								}
-							}
-							if has {
-								break
-							}
-						}
-						if !has {
+						if !req.get(cv.reqOff[ei] + ni) {
 							firstNeed = ni
 							break
 						}
@@ -541,13 +541,18 @@ func coverNoisy(examples []Example, space []Candidate, pool []int,
 						break
 					}
 				}
-				if already || violates[ri][firstPending] {
+				if already || cv.viol[ri].get(firstPending) {
 					continue
 				}
 				c := space[ri].Cost
 				if st.cost+c > maxCost || st.cost+c+lost >= bestObj {
 					continue
 				}
+				d := len(st.chosen)
+				copy(uReq[d+1], uReq[d])
+				cv.fire[ri].orInto(uReq[d+1])
+				copy(uViol[d+1], uViol[d])
+				cv.viol[ri].orInto(uViol[d+1])
 				st.chosen = append(st.chosen, ri)
 				st.cost += c
 				if err := dfs(st); err != nil {

@@ -31,4 +31,12 @@ var (
 	statIndependentLearns = obs.C("ilasp.independent.learns")
 	statIndependentChecks = obs.C("ilasp.independent.checks")
 	statIndependentDur    = obs.H("ilasp.independent.duration")
+
+	// Signature fast path: searches served from per-candidate coverage
+	// bitsets, candidates collapsed into dominance classes before search,
+	// and branches skipped because a candidate's signature was subsumed
+	// by the already-chosen set.
+	statSigSearches  = obs.C("ilasp.sig.searches")
+	statSigCollapsed = obs.C("ilasp.sig.collapsed")
+	statSigSubsumed  = obs.C("ilasp.sig.subsumed")
 )

@@ -34,6 +34,13 @@ type Oracle interface {
 type Solution struct {
 	// Chosen lists indices into the oracle's candidate space.
 	Chosen []int
+	// Classes, when the search ran on coverage signatures, lists for each
+	// chosen candidate its dominance equivalence class: every candidate
+	// index with an identical coverage signature (the chosen one
+	// included), cheapest first. Swapping a chosen candidate for any
+	// same-cost member of its class yields an equally optimal hypothesis.
+	// Nil when the oracle was not vectorizable.
+	Classes [][]int
 	// Covered counts covered examples.
 	Covered int
 	// Checks counts coverage queries the search issued. Memoized oracles
@@ -95,12 +102,30 @@ func Search(o Oracle, weights []int, opts LearnOptions) (*Solution, error) {
 	c := newChecker(o, len(weights), opts)
 	defer c.close()
 
+	// Signature fast path: when the oracle decomposes into per-candidate
+	// coverage bitsets, serve every check from word-wide OR/AND, collapse
+	// identical-signature candidates into dominance classes, and let the
+	// noisy search skip subsumed branches. Verdict replay stays in
+	// example order, so the solution, check count, and budgeting are
+	// byte-identical to the re-solve path.
+	var classes [][]int
+	var classOf []int
+	var skip []bool
+	if so, ok := o.(sigOracle); ok {
+		if vec := so.signatures(); vec != nil && vec.n == len(weights) {
+			c.vec = vec
+			c.uLevels = make([]unionSig, maxRules+1)
+			classes, classOf, skip = collapseClasses(cands, order, vec)
+			statSigSearches.Inc()
+		}
+	}
+
 	var sol *Solution
 	var err error
 	if opts.Noise {
-		sol, err = searchNoisy(c, cands, weights, order, maxRules, maxCost)
+		sol, err = searchNoisy(c, cands, weights, order, maxRules, maxCost, skip)
 	} else {
-		sol, err = searchHard(c, cands, order, maxRules, maxCost)
+		sol, err = searchHard(c, cands, order, maxRules, maxCost, skip)
 	}
 	statSearches.Inc()
 	statSearchDur.ObserveSince(t0)
@@ -108,6 +133,12 @@ func Search(o Oracle, weights []int, opts LearnOptions) (*Solution, error) {
 		return nil, err
 	}
 	sol.Checks = c.checks
+	if classes != nil {
+		sol.Classes = make([][]int, len(sol.Chosen))
+		for k, ci := range sol.Chosen {
+			sol.Classes[k] = append([]int(nil), classes[classOf[ci]]...)
+		}
+	}
 	if obs.TracingEnabled() {
 		sp.SetAttr("candidates", strconv.Itoa(len(cands)))
 		sp.SetAttr("hypotheses", strconv.FormatInt(c.hyps, 10))
@@ -143,6 +174,13 @@ type checker struct {
 	// Per-chunk result buffers, reused across fetches.
 	oks  []bool
 	errs []error
+
+	// vec, when non-nil, serves checks from coverage signatures instead
+	// of the oracle. uLevels[d] is the reusable union scratch for
+	// hypotheses of size d; indexing by size keeps a parent dfs node's
+	// union valid while its children recompute theirs.
+	vec     *coverVectors
+	uLevels []unionSig
 }
 
 func newChecker(o Oracle, n int, opts LearnOptions) *checker {
@@ -213,6 +251,9 @@ func (c *checker) timedCovers(chosen []int, i int) (bool, error) {
 // failure. It returns (covered count, all covered).
 func (c *checker) checkAll(chosen []int) (int, bool, error) {
 	c.hyps++
+	if c.vec != nil {
+		return c.checkAllBits(chosen)
+	}
 	covered := 0
 	for lo := 0; lo < c.n; lo += c.par {
 		hi := lo + c.par
@@ -239,7 +280,28 @@ func (c *checker) checkAll(chosen []int) (int, bool, error) {
 	return covered, true, nil
 }
 
-func searchHard(c *checker, cands []Candidate, order []int, maxRules, maxCost int) (*Solution, error) {
+// checkAllBits is checkAll on the signature path: one union over the
+// chosen signatures, then a per-example verdict replay in example order
+// with the same counting and budget semantics as the oracle path.
+func (c *checker) checkAllBits(chosen []int) (int, bool, error) {
+	u := &c.uLevels[len(chosen)]
+	c.vec.unionInto(u, chosen)
+	covered := 0
+	for i := 0; i < c.n; i++ {
+		c.checks++
+		if c.maxChecks > 0 && c.checks > c.maxChecks {
+			c.cancel()
+			return covered, false, ErrCheckBudget
+		}
+		if !c.vec.covered(u, i) {
+			return covered, false, nil
+		}
+		covered++
+	}
+	return covered, true, nil
+}
+
+func searchHard(c *checker, cands []Candidate, order []int, maxRules, maxCost int, skip []bool) (*Solution, error) {
 	for target := 0; target <= maxCost; target++ {
 		var found *Solution
 		var dfs func(pos, remaining, rules int, chosen []int) error
@@ -262,6 +324,10 @@ func searchHard(c *checker, cands []Candidate, order []int, maxRules, maxCost in
 			}
 			for i := pos; i < len(order); i++ {
 				ci := order[i]
+				if skip != nil && skip[ci] {
+					c.pruned++
+					continue // dominated duplicate of a cheaper class representative
+				}
 				cost := cands[ci].Cost
 				if cost > remaining {
 					c.pruned += int64(len(order) - i)
@@ -286,7 +352,7 @@ func searchHard(c *checker, cands []Candidate, order []int, maxRules, maxCost in
 	return nil, ErrNoSolution
 }
 
-func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxRules, maxCost int) (*Solution, error) {
+func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxRules, maxCost int, skip []bool) (*Solution, error) {
 	var (
 		best    *Solution
 		bestObj = int(^uint(0) >> 1) // max int
@@ -299,23 +365,20 @@ func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxR
 		c.hyps++
 		covered := 0
 		penalty := 0
-		for lo := 0; lo < c.n; lo += c.par {
-			hi := lo + c.par
-			if hi > c.n {
-				hi = c.n
-			}
-			c.fetch(chosen, lo, hi)
-			for i := lo; i < hi; i++ {
+		if c.vec != nil {
+			// Signature path: one union, then verdict replay in example
+			// order with identical counting, penalty cutoff, and budget
+			// semantics. The union stays in uLevels[len(chosen)] for the
+			// caller's subsumption checks.
+			u := &c.uLevels[len(chosen)]
+			c.vec.unionInto(u, chosen)
+			for i := 0; i < c.n; i++ {
 				c.checks++
 				if c.maxChecks > 0 && c.checks > c.maxChecks {
 					c.cancel()
 					return ErrCheckBudget
 				}
-				if err := c.errs[i]; err != nil {
-					c.cancel()
-					return err
-				}
-				if c.oks[i] {
+				if c.vec.covered(u, i) {
 					covered++
 					continue
 				}
@@ -325,6 +388,36 @@ func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxR
 				penalty += weights[i]
 				if cost+penalty >= bestObj {
 					return nil
+				}
+			}
+		} else {
+			for lo := 0; lo < c.n; lo += c.par {
+				hi := lo + c.par
+				if hi > c.n {
+					hi = c.n
+				}
+				c.fetch(chosen, lo, hi)
+				for i := lo; i < hi; i++ {
+					c.checks++
+					if c.maxChecks > 0 && c.checks > c.maxChecks {
+						c.cancel()
+						return ErrCheckBudget
+					}
+					if err := c.errs[i]; err != nil {
+						c.cancel()
+						return err
+					}
+					if c.oks[i] {
+						covered++
+						continue
+					}
+					if weights[i] <= 0 {
+						return nil // hard example uncovered: infeasible
+					}
+					penalty += weights[i]
+					if cost+penalty >= bestObj {
+						return nil
+					}
 				}
 			}
 		}
@@ -346,10 +439,28 @@ func searchNoisy(c *checker, cands []Candidate, weights []int, order []int, maxR
 		}
 		for i := pos; i < len(order); i++ {
 			ci := order[i]
+			if skip != nil && skip[ci] {
+				c.pruned++
+				continue // dominated duplicate of a cheaper class representative
+			}
 			cc := cands[ci].Cost
 			if cost+cc > maxCost || cost+cc >= bestObj {
 				c.pruned += int64(len(order) - i)
 				break
+			}
+			// Subsumption skip: when ci's signature adds no requirement
+			// and no violation beyond the already-chosen union, every
+			// extension containing ci has an identical-coverage,
+			// strictly-cheaper counterpart without it — and that
+			// counterpart is explored regardless, so the first optimal
+			// solution is unchanged. The union in uLevels[len(chosen)] is
+			// valid here: evaluate computed it before any branching, and
+			// reaching this loop implies evaluate passed its entry prune
+			// (cost < bestObj, else cost+cc >= bestObj broke above).
+			if c.vec != nil && cc > 0 && c.vec.subsumed(ci, &c.uLevels[len(chosen)]) {
+				c.pruned++
+				statSigSubsumed.Inc()
+				continue
 			}
 			if err := dfs(i+1, cost+cc, rules-1, append(chosen, ci)); err != nil {
 				return err

@@ -1,0 +1,340 @@
+package ilasp
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+
+	"agenp/internal/asp"
+)
+
+// Coverage signatures: for independent hypothesis spaces (candidate
+// heads feed nothing — the LearnIndependent condition), a hypothesis's
+// coverage of an example decomposes over its candidates. Each candidate
+// then gets a pair of bitsets computed once up front:
+//
+//   - req:  over the global requirement index (one bit per (example,
+//     needed inclusion) pair) — which requirements the candidate's
+//     one-step derivation satisfies;
+//   - viol: over examples — where the candidate derives an excluded atom.
+//
+// A hypothesis H admits a witnessing answer set for example e iff the
+// base is feasible for e, no chosen candidate violates e, and the OR of
+// the chosen req signatures covers e's requirement range. Coverage is
+// the witness bit for positive examples and its negation for negative
+// ones. checkAll then becomes word-wide OR/AND over []uint64 instead of
+// a ground-and-solve per (hypothesis, example) pair, with verdicts
+// replayed in example order so check counting, MaxChecks budgeting, and
+// the chosen solution stay byte-identical to the re-solve path.
+
+// sigWords is a little-endian bitset.
+type sigWords []uint64
+
+func newSig(nbits int) sigWords { return make(sigWords, (nbits+63)/64) }
+
+func (s sigWords) set(i int)      { s[i>>6] |= 1 << (uint(i) & 63) }
+func (s sigWords) get(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// empty reports whether no bit is set.
+func (s sigWords) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s sigWords) clear() {
+	for w := range s {
+		s[w] = 0
+	}
+}
+
+// orInto ORs s into dst (same length).
+func (s sigWords) orInto(dst sigWords) {
+	for w := range s {
+		dst[w] |= s[w]
+	}
+}
+
+// subsetOf reports whether every bit of s is set in u.
+func (s sigWords) subsetOf(u sigWords) bool {
+	for w := range s {
+		if s[w]&^u[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// allSet reports whether every bit in [lo,hi) is set.
+func (s sigWords) allSet(lo, hi int) bool {
+	if lo >= hi {
+		return true
+	}
+	wlo, whi := lo>>6, (hi-1)>>6
+	if wlo == whi {
+		mask := (^uint64(0) >> (64 - uint(hi-lo))) << (uint(lo) & 63)
+		return s[wlo]&mask == mask
+	}
+	first := ^uint64(0) << (uint(lo) & 63)
+	if s[wlo]&first != first {
+		return false
+	}
+	for w := wlo + 1; w < whi; w++ {
+		if s[w] != ^uint64(0) {
+			return false
+		}
+	}
+	last := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	return s[whi]&last == last
+}
+
+// coverVectors holds the per-candidate signatures of a vectorizable
+// task. Immutable after vectorize; safe for concurrent reads.
+type coverVectors struct {
+	n    int // examples
+	nreq int // total requirement bits
+
+	// reqOff[e]..reqOff[e+1] is example e's requirement bit range.
+	reqOff   []int
+	feasible []bool // base solvable and no exclusion pre-derived
+	positive []bool // example polarity
+
+	req  []sigWords // per candidate, over requirement bits
+	viol []sigWords // per candidate, over examples
+}
+
+// unionSig is the OR of the chosen candidates' signatures — the scratch
+// state of one hypothesis evaluation.
+type unionSig struct {
+	req  sigWords
+	viol sigWords
+}
+
+// unionInto recomputes u as the union over the chosen candidates,
+// reusing u's buffers.
+func (v *coverVectors) unionInto(u *unionSig, chosen []int) {
+	if u.req == nil {
+		u.req = newSig(v.nreq)
+		u.viol = newSig(v.n)
+	}
+	u.req.clear()
+	u.viol.clear()
+	for _, ci := range chosen {
+		v.req[ci].orInto(u.req)
+		v.viol[ci].orInto(u.viol)
+	}
+}
+
+// witness reports whether the hypothesis with union u admits a
+// witnessing answer set for example e.
+func (v *coverVectors) witness(u *unionSig, e int) bool {
+	if !v.feasible[e] {
+		return false
+	}
+	if u.viol.get(e) {
+		return false
+	}
+	return u.req.allSet(v.reqOff[e], v.reqOff[e+1])
+}
+
+// covered reports example e's verdict under the hypothesis with union u.
+func (v *coverVectors) covered(u *unionSig, e int) bool {
+	if v.positive[e] {
+		return v.witness(u, e)
+	}
+	return !v.witness(u, e)
+}
+
+// subsumed reports whether candidate ci adds nothing to the union:
+// every requirement it fires and every violation it causes is already
+// present, so extending any superset of the chosen set with ci leaves
+// every example verdict unchanged and only adds cost.
+func (v *coverVectors) subsumed(ci int, u *unionSig) bool {
+	return v.req[ci].subsetOf(u.req) && v.viol[ci].subsetOf(u.viol)
+}
+
+// sigOracle is implemented by oracles that can express per-candidate
+// coverage as precomputed signatures. signatures returns nil when the
+// task is not vectorizable (or vectorization is disabled), in which
+// case the search falls back to per-hypothesis oracle checks.
+type sigOracle interface {
+	signatures() *coverVectors
+}
+
+// vectorize computes coverage signatures for a task, or nil when the
+// task does not decompose: candidates must be headed, safe, non-choice
+// rules whose head predicates feed nothing (checkIndependence), and
+// background ∪ context must have at most one answer set per example
+// (zero models make the example infeasible but stay vectorizable).
+//
+// Any error — unsafe candidate, solver failure, arithmetic error during
+// evaluation — returns nil rather than surfacing: the fallback re-solve
+// path then reproduces the engine's lazy error behaviour exactly.
+func vectorize(t *Task, space []Candidate) *coverVectors {
+	if checkIndependence(t, space) != nil {
+		return nil
+	}
+	for _, c := range space {
+		if c.Rule.IsChoice() || asp.CheckSafety(c.Rule) != nil {
+			return nil
+		}
+	}
+
+	v := &coverVectors{n: len(t.Examples)}
+	v.reqOff = make([]int, v.n+1)
+	v.feasible = make([]bool, v.n)
+	v.positive = make([]bool, v.n)
+
+	type exState struct {
+		ix    *asp.ModelIndex
+		needs []asp.Atom
+		excl  []asp.Atom
+	}
+	states := make([]exState, v.n)
+	for ei, e := range t.Examples {
+		v.positive[ei] = e.Positive
+		v.reqOff[ei+1] = v.reqOff[ei]
+		prog := asp.NewProgram()
+		if t.Background != nil {
+			prog.Extend(t.Background)
+		}
+		if e.Context != nil {
+			prog.Extend(e.Context)
+		}
+		models, err := asp.Solve(prog, asp.SolveOptions{MaxModels: 2})
+		if err != nil || len(models) > 1 {
+			return nil
+		}
+		if len(models) == 0 {
+			continue // infeasible: no H yields a witness
+		}
+		base := models[0]
+		feasible := true
+		for _, a := range e.Exclusions {
+			if base.Contains(a) {
+				feasible = false // background itself violates
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		v.feasible[ei] = true
+		var needs []asp.Atom
+		for _, a := range e.Inclusions {
+			if !base.Contains(a) {
+				needs = append(needs, a)
+			}
+		}
+		states[ei] = exState{ix: asp.NewModelIndex(base), needs: needs, excl: e.Exclusions}
+		v.reqOff[ei+1] = v.reqOff[ei] + len(needs)
+	}
+	v.nreq = v.reqOff[v.n]
+
+	v.req = make([]sigWords, len(space))
+	v.viol = make([]sigWords, len(space))
+	for ri := range space {
+		v.req[ri] = newSig(v.nreq)
+		v.viol[ri] = newSig(v.n)
+	}
+
+	// One-step evaluation of every candidate against every feasible
+	// example's base model, sharded by candidate so each worker owns
+	// disjoint signature rows and its own Evaluator scratch.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(space) {
+		workers = len(space)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		failed  bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := asp.NewEvaluator()
+			for ri := w; ri < len(space); ri += workers {
+				for ei := range states {
+					st := &states[ei]
+					if st.ix == nil {
+						continue
+					}
+					derived, err := ev.EvalPrepared(st.ix, space[ri].Rule)
+					if err != nil {
+						errOnce.Do(func() { failed = true })
+						return
+					}
+					for _, d := range derived {
+						for _, x := range st.excl {
+							if asp.AtomsEqual(d, x) {
+								v.viol[ri].set(ei)
+								break
+							}
+						}
+						for ni := range st.needs {
+							if asp.AtomsEqual(d, st.needs[ni]) {
+								v.req[ri].set(v.reqOff[ei] + ni)
+								break
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed {
+		return nil
+	}
+	return v
+}
+
+// collapseClasses groups candidates with identical signature pairs into
+// dominance equivalence classes. Candidates are visited in the search's
+// cost-stable order, so the first member of each class — its
+// representative — is the cheapest (ties by candidate order, matching
+// the branch the search would pick first anyway). skip marks every
+// non-representative with positive cost: interchangeable with its
+// representative in any hypothesis at no lower cost, so dropping it
+// cannot change the first optimal solution the search finds. Zero-cost
+// duplicates are kept — under iterative deepening on exact cost they
+// can pad a hypothesis to hit a target cost.
+func collapseClasses(cands []Candidate, order []int, v *coverVectors) (classes [][]int, classOf []int, skip []bool) {
+	classOf = make([]int, len(cands))
+	skip = make([]bool, len(cands))
+	byKey := make(map[string]int, len(cands))
+	var key []byte
+	collapsed := 0
+	for _, ci := range order {
+		key = key[:0]
+		for _, w := range v.req[ci] {
+			key = binary.LittleEndian.AppendUint64(key, w)
+		}
+		key = append(key, '|')
+		for _, w := range v.viol[ci] {
+			key = binary.LittleEndian.AppendUint64(key, w)
+		}
+		id, dup := byKey[string(key)]
+		if !dup {
+			id = len(classes)
+			byKey[string(key)] = id
+			classes = append(classes, nil)
+		}
+		classOf[ci] = id
+		classes[id] = append(classes[id], ci)
+		if dup && cands[ci].Cost > 0 {
+			skip[ci] = true
+			collapsed++
+		}
+	}
+	statSigCollapsed.Add(int64(collapsed))
+	return classes, classOf, skip
+}

@@ -1,0 +1,278 @@
+package ilasp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"agenp/internal/asp"
+)
+
+func TestSigWordsAllSet(t *testing.T) {
+	s := newSig(200)
+	for i := 10; i < 140; i++ {
+		s.set(i)
+	}
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{10, 140, true},
+		{9, 140, false},
+		{10, 141, false},
+		{10, 11, true},
+		{0, 0, true},    // empty range
+		{64, 128, true}, // whole middle word
+		{63, 65, true},  // straddles a word boundary
+		{139, 140, true},
+		{140, 141, false},
+	}
+	for _, c := range cases {
+		if got := s.allSet(c.lo, c.hi); got != c.want {
+			t.Errorf("allSet(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSigWordsSubsetEmpty(t *testing.T) {
+	a, b := newSig(130), newSig(130)
+	if !a.empty() {
+		t.Fatal("fresh sig not empty")
+	}
+	a.set(5)
+	a.set(129)
+	if a.empty() {
+		t.Fatal("set sig reported empty")
+	}
+	if a.subsetOf(b) {
+		t.Fatal("non-empty subset of empty")
+	}
+	a.orInto(b)
+	b.set(64)
+	if !a.subsetOf(b) {
+		t.Fatal("subset after orInto failed")
+	}
+	if b.subsetOf(a) {
+		t.Fatal("superset reported as subset")
+	}
+}
+
+// sigTask builds a vectorizable task with an explicit candidate space:
+// candidate heads (q/1) feed nothing, the background has one answer set
+// per example, and the space contains an identical-signature duplicate
+// pair (q(1) :- p(1) versus the costlier q(1) :- p(1), p(2)).
+func sigTask(t testing.TB, weight int) *Task {
+	t.Helper()
+	bg, err := asp.Parse("p(1). p(2). p(3).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := asp.Parse(`
+		q(X) :- p(X).
+		q(1) :- p(1).
+		q(2) :- p(2).
+		q(3) :- p(3).
+		r(1) :- p(1).
+		q(1) :- p(1), p(2).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var space []Candidate
+	for _, r := range rules.Rules {
+		space = append(space, Candidate{Rule: r, Cost: len(r.Body) + 1})
+	}
+	q := func(v int) asp.Atom { return asp.NewAtom("q", asp.Integer{Value: v}) }
+	r1 := asp.NewAtom("r", asp.Integer{Value: 1})
+	return &Task{
+		Background: bg,
+		Space:      space,
+		Examples: []Example{
+			{ID: "e1", Positive: true, Inclusions: []asp.Atom{q(1), q(2)}, Exclusions: []asp.Atom{r1}},
+			{ID: "e2", Positive: true, Inclusions: []asp.Atom{q(2)}},
+			{ID: "e3", Positive: false, Inclusions: []asp.Atom{q(3)}, Weight: weight},
+			{ID: "e4", Positive: true, Inclusions: []asp.Atom{q(1)}, Weight: weight},
+		},
+	}
+}
+
+// TestSignatureDifferential checks the tentpole invariant two ways:
+// the signature-served search returns the same hypothesis and coverage
+// as the re-solve oracle path (dominance and subsumption pruning may
+// legitimately evaluate fewer hypotheses, so Checks can only shrink),
+// and within each path a parallel run is byte-identical to a serial one
+// — including the check count.
+func TestSignatureDifferential(t *testing.T) {
+	for _, noise := range []bool{false, true} {
+		t.Run(fmt.Sprintf("noise=%v", noise), func(t *testing.T) {
+			weight := 0
+			if noise {
+				weight = 5
+			}
+			run := func(noVectors bool, par int) (*Solution, *taskOracle, error) {
+				task := sigTask(t, weight)
+				o := newTaskOracle(task, task.Space)
+				o.noVectors = noVectors
+				sol, err := Search(o, ExampleWeights(task.Examples),
+					LearnOptions{MaxRules: 3, Noise: noise, Parallelism: par})
+				return sol, o, err
+			}
+
+			want, _, wantErr := run(true, 1)
+			got, sig, gotErr := run(false, 1)
+			if wantErr != nil || gotErr != nil {
+				t.Fatalf("errors: oracle=%v signatures=%v", wantErr, gotErr)
+			}
+			if sig.vec == nil {
+				t.Fatal("task unexpectedly not vectorizable")
+			}
+			if !reflect.DeepEqual(want.Chosen, got.Chosen) {
+				t.Errorf("Chosen: oracle %v, signatures %v", want.Chosen, got.Chosen)
+			}
+			if want.Covered != got.Covered {
+				t.Errorf("Covered: oracle %d, signatures %d", want.Covered, got.Covered)
+			}
+			if got.Checks > want.Checks {
+				t.Errorf("signature path issued %d checks, more than the oracle path's %d", got.Checks, want.Checks)
+			}
+			if want.Classes != nil {
+				t.Errorf("re-solve path reported Classes %v", want.Classes)
+			}
+			if got.Classes == nil || len(got.Classes) != len(got.Chosen) {
+				t.Errorf("signature path Classes = %v, want one class per chosen", got.Classes)
+			}
+
+			// Serial/parallel byte-identity within each path.
+			for _, noVec := range []bool{false, true} {
+				serial, _, err1 := run(noVec, 1)
+				parallel, _, err2 := run(noVec, 4)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("noVectors=%v: errors: serial=%v parallel=%v", noVec, err1, err2)
+				}
+				if !reflect.DeepEqual(serial.Chosen, parallel.Chosen) ||
+					serial.Covered != parallel.Covered || serial.Checks != parallel.Checks {
+					t.Errorf("noVectors=%v: serial (%v, %d, %d) != parallel (%v, %d, %d)",
+						noVec, serial.Chosen, serial.Covered, serial.Checks,
+						parallel.Chosen, parallel.Covered, parallel.Checks)
+				}
+			}
+		})
+	}
+}
+
+// TestSignatureBudgetDifferential: MaxChecks must exhaust at the same
+// logical check on both paths.
+func TestSignatureBudgetDifferential(t *testing.T) {
+	for _, budget := range []int{1, 3, 7} {
+		opts := LearnOptions{MaxRules: 3, MaxChecks: budget}
+
+		task := sigTask(t, 0)
+		ref := newTaskOracle(task, task.Space)
+		ref.noVectors = true
+		_, wantErr := Search(ref, ExampleWeights(task.Examples), opts)
+
+		task2 := sigTask(t, 0)
+		sig := newTaskOracle(task2, task2.Space)
+		_, gotErr := Search(sig, ExampleWeights(task2.Examples), opts)
+
+		if !errors.Is(wantErr, ErrCheckBudget) || !errors.Is(gotErr, ErrCheckBudget) {
+			t.Fatalf("budget %d: oracle err %v, signature err %v; want ErrCheckBudget on both", budget, wantErr, gotErr)
+		}
+	}
+}
+
+// TestSignatureClasses: a chosen candidate's dominance class lists every
+// identical-signature candidate, cheapest first, and the costlier
+// duplicate is never chosen.
+func TestSignatureClasses(t *testing.T) {
+	task := sigTask(t, 0)
+	o := newTaskOracle(task, task.Space)
+	sol, err := Search(o, ExampleWeights(task.Examples), LearnOptions{MaxRules: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate 1 is q(1) :- p(1); candidate 5 is the same-signature
+	// q(1) :- p(1), p(2) at higher cost.
+	foundDup := false
+	for k, ci := range sol.Chosen {
+		if ci == 5 {
+			t.Error("costlier duplicate (index 5) chosen over its representative")
+		}
+		if ci == 1 {
+			if !reflect.DeepEqual(sol.Classes[k], []int{1, 5}) {
+				t.Errorf("class of candidate 1 = %v, want [1 5]", sol.Classes[k])
+			}
+			foundDup = true
+		}
+	}
+	if !foundDup {
+		t.Fatalf("expected candidate 1 in solution, got %v", sol.Chosen)
+	}
+}
+
+// TestVectorizeFallbacks: recursive spaces, choice candidates, and
+// multi-model backgrounds must all return nil (full oracle fallback).
+func TestVectorizeFallbacks(t *testing.T) {
+	bg, err := asp.Parse("p(1).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recursive, err := asp.Parse("q(X) :- p(X).\np(X) :- q(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var space []Candidate
+	for _, r := range recursive.Rules {
+		space = append(space, Candidate{Rule: r, Cost: 1})
+	}
+	task := &Task{Background: bg, Space: space,
+		Examples: []Example{{ID: "e", Positive: true}}}
+	if v := vectorize(task, space); v != nil {
+		t.Error("recursive space vectorized")
+	}
+
+	multi, err := asp.Parse("p(1).\n{a}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qRule, err := asp.Parse("q(X) :- p(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space2 := []Candidate{{Rule: qRule.Rules[0], Cost: 1}}
+	task2 := &Task{Background: multi, Space: space2,
+		Examples: []Example{{ID: "e", Positive: true}}}
+	if v := vectorize(task2, space2); v != nil {
+		t.Error("multi-model background vectorized")
+	}
+}
+
+// TestLearnIndependentMatchesSearch: the bitset set-cover and the
+// general search agree on the independent task (both optimal).
+// LearnIndependent requires positive examples, so the negative example
+// of sigTask is re-expressed as a positive one with an exclusion.
+func TestLearnIndependentMatchesSearch(t *testing.T) {
+	for _, noise := range []bool{false, true} {
+		weight := 0
+		if noise {
+			weight = 5
+		}
+		task := sigTask(t, weight)
+		q3 := asp.NewAtom("q", asp.Integer{Value: 3})
+		task.Examples[2] = Example{ID: "e3", Positive: true, Exclusions: []asp.Atom{q3}, Weight: weight}
+		opts := LearnOptions{MaxRules: 3, Noise: noise}
+		fast, err := task.LearnIndependent(opts)
+		if err != nil {
+			t.Fatalf("noise=%v: LearnIndependent: %v", noise, err)
+		}
+		slow, err := task.Learn(opts)
+		if err != nil {
+			t.Fatalf("noise=%v: Learn: %v", noise, err)
+		}
+		if fast.Cost != slow.Cost || fast.Covered != slow.Covered {
+			t.Errorf("noise=%v: LearnIndependent (cost %d, covered %d) != Learn (cost %d, covered %d)",
+				noise, fast.Cost, fast.Covered, slow.Cost, slow.Covered)
+		}
+	}
+}

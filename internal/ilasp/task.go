@@ -2,7 +2,6 @@ package ilasp
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -215,36 +214,71 @@ func (t *Task) Learn(opts LearnOptions) (*Result, error) {
 // taskOracle adapts a Task to the generic search engine: a ground-once
 // coverage engine behind a memo of (hypothesis, example) verdicts. Safe
 // for the search's concurrent Covers calls (distinct example indices).
+//
+// When the task is vectorizable (see vectorize), the oracle also serves
+// the search per-candidate coverage signatures; the search then never
+// calls Covers at all.
 type taskOracle struct {
 	task   *Task
 	space  []Candidate
 	engine *coverageEngine
 
-	// cache memoizes coverage by (hypothesis key, example index).
+	// noVectors forces the re-solve path; differential-test knob.
+	noVectors bool
+	vecOnce   sync.Once
+	vec       *coverVectors
+
+	// cache memoizes verdict rows by a hash of the chosen index set,
+	// with collision buckets compared on the actual indices — no string
+	// key allocation per query.
 	mu    sync.Mutex
-	cache map[string][]int8
+	cache map[uint64][]hypEntry
+}
+
+// hypEntry is one memoized hypothesis: its chosen indices and the
+// per-example verdict row (0 unknown, 1 covered, -1 uncovered).
+type hypEntry struct {
+	chosen []int
+	row    []int8
 }
 
 var _ Oracle = (*taskOracle)(nil)
+var _ sigOracle = (*taskOracle)(nil)
 
 func newTaskOracle(t *Task, space []Candidate) *taskOracle {
 	return &taskOracle{
 		task:   t,
 		space:  space,
 		engine: newCoverageEngine(t, space),
-		cache:  make(map[string][]int8),
+		cache:  make(map[uint64][]hypEntry),
 	}
 }
 
 func (o *taskOracle) Candidates() []Candidate { return o.space }
 
+// signatures vectorizes the task once; nil (permanent fallback to
+// Covers) when the task does not decompose.
+func (o *taskOracle) signatures() *coverVectors {
+	if o.noVectors {
+		return nil
+	}
+	o.vecOnce.Do(func() { o.vec = vectorize(o.task, o.space) })
+	return o.vec
+}
+
 func (o *taskOracle) Covers(chosen []int, exampleIdx int) (bool, error) {
-	key := hypKey(chosen)
+	h := hypHash(chosen)
 	o.mu.Lock()
-	row := o.cache[key]
+	var row []int8
+	for _, e := range o.cache[h] {
+		if intsEqual(e.chosen, chosen) {
+			row = e.row
+			break
+		}
+	}
 	if row == nil {
 		row = make([]int8, len(o.task.Examples))
-		o.cache[key] = row
+		o.cache[h] = append(o.cache[h], hypEntry{chosen: append([]int(nil), chosen...), row: row})
 	}
 	v := row[exampleIdx]
 	o.mu.Unlock()
@@ -267,11 +301,24 @@ func (o *taskOracle) Covers(chosen []int, exampleIdx int) (bool, error) {
 	return ok, nil
 }
 
-func hypKey(chosen []int) string {
-	b := make([]byte, 0, 4*len(chosen))
+// hypHash is FNV-1a over the chosen candidate indices.
+func hypHash(chosen []int) uint64 {
+	h := uint64(14695981039346656037)
 	for _, c := range chosen {
-		b = strconv.AppendInt(b, int64(c), 10)
-		b = append(b, ',')
+		h ^= uint64(c)
+		h *= 1099511628211
 	}
-	return string(b)
+	return h
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

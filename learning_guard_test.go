@@ -1,0 +1,65 @@
+package agenp_test
+
+import (
+	"os"
+	"testing"
+
+	"agenp/internal/apps/cav"
+	"agenp/internal/experiments"
+	"agenp/internal/ilasp"
+)
+
+// TestLearningAllocGuard is the CI regression gate for the learning hot
+// path (set AGENP_BENCH_GUARD=1 to run). It holds the two budgets the
+// bitset-signature rework bought:
+//
+//   - E3 (clean learning, quick mode) must stay under 90k allocs/op —
+//     the level after per-candidate coverage bitsets, per-worker
+//     evaluator scratch, and the space-enumeration sort fix. The
+//     pre-signature path allocated ~450k/op, so a fallback to
+//     re-solve coverage or per-call evaluator allocation shows up as a
+//     multi-x blowout, not a near miss.
+//   - One coverage check (ground-and-solve of background ∪ hypothesis ∪
+//     context on a 20-scenario CAV task) must stay under 150 µs/op,
+//     guarding the grounder/solver scratch reuse.
+func TestLearningAllocGuard(t *testing.T) {
+	if os.Getenv("AGENP_BENCH_GUARD") == "" {
+		t.Skip("set AGENP_BENCH_GUARD=1 to run the allocation guard")
+	}
+
+	e3 := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Run("E3", experiments.Options{Quick: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	t.Logf("E3 quick: %d ns/op, %d allocs/op", e3.NsPerOp(), e3.AllocsPerOp())
+	if e3.AllocsPerOp() > 90_000 {
+		t.Errorf("E3 allocates %d/op, above the 90k budget", e3.AllocsPerOp())
+	}
+
+	scenarios := cav.Generate(1, 20)
+	task := &ilasp.Task{
+		Background: cav.Background(),
+		Bias:       cav.Bias(),
+		Examples:   cav.LearningExamples(scenarios, 0),
+	}
+	res, err := task.LearnIndependent(ilasp.LearnOptions{MaxRules: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := task.Examples[0]
+	cov := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := task.Covers(res.Hypothesis, ex); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	t.Logf("coverage check: %d ns/op", cov.NsPerOp())
+	if cov.NsPerOp() > 150_000 {
+		t.Errorf("coverage check takes %d ns/op, above the 150 µs budget", cov.NsPerOp())
+	}
+}

@@ -5,11 +5,18 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson > BENCH_n.json
+//
+// Compare mode diffs a fresh run against a checked-in snapshot and
+// exits nonzero when any benchmark present in both regressed by more
+// than the tolerance (default 10%) on ns/op or allocs/op:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson -compare BENCH_5.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -36,6 +43,81 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "snapshot JSON to diff against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative regression in compare mode")
+	flag.Parse()
+
+	rep := parseInput()
+	if *compare == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if !compareReports(rep, *compare, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// compareReports diffs the fresh report against the snapshot at path,
+// printing one line per benchmark present in both. Returns false when
+// any such benchmark regressed beyond the tolerance on ns/op or
+// allocs/op (allocs are compared only when both sides recorded them).
+func compareReports(fresh Report, path string, tolerance float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return false
+	}
+	var snap Report
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", path, err)
+		return false
+	}
+	base := make(map[string]Result, len(snap.Results))
+	for _, r := range snap.Results {
+		base[r.Name] = r
+	}
+	ok := true
+	matched := 0
+	for _, r := range fresh.Results {
+		b, found := base[r.Name]
+		if !found {
+			continue
+		}
+		matched++
+		status := "ok"
+		nsDelta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		if nsDelta > tolerance {
+			status = "REGRESSION ns/op"
+			ok = false
+		}
+		allocLine := ""
+		if b.AllocsPerOp > 0 && r.AllocsPerOp > 0 {
+			allocDelta := float64(r.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+			allocLine = fmt.Sprintf("  allocs %d -> %d (%+.1f%%)", b.AllocsPerOp, r.AllocsPerOp, 100*allocDelta)
+			if allocDelta > tolerance {
+				status = "REGRESSION allocs/op"
+				ok = false
+			}
+		}
+		fmt.Printf("%-60s ns/op %.0f -> %.0f (%+.1f%%)%s  [%s]\n",
+			r.Name, b.NsPerOp, r.NsPerOp, 100*nsDelta, allocLine, status)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks in common with %s\n", path)
+		return false
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% vs %s\n", 100*tolerance, path)
+	}
+	return ok
+}
+
+func parseInput() Report {
 	rep := Report{Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -62,12 +144,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return rep
 }
 
 // parseLine parses "BenchmarkName-8  100  123456 ns/op [ 12 B/op  3 allocs/op ]".
