@@ -8,6 +8,7 @@ package agenp_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	framework "agenp/internal/agenp"
 	"agenp/internal/apps/cav"
@@ -18,6 +19,7 @@ import (
 	"agenp/internal/engine"
 	"agenp/internal/experiments"
 	"agenp/internal/ilasp"
+	"agenp/internal/obs"
 	"agenp/internal/polcheck"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
@@ -373,6 +375,50 @@ func BenchmarkPDPThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkEngineRecorder measures the flight-recorder tax on the hot
+// decision path: the engine-single loop with no recorder attached, with
+// the agenpd deployment shape (a rolling window plus a sampling
+// recorder at shift 10, recording every 1024th decision), and with full
+// recording (shift 0: every decision pays digest, commit, and window
+// observation). BENCH_6.json records the results; the CI gate is
+// TestRecorderOverheadGuard, which re-measures off vs sampled in-process
+// and fails beyond a 10% ratio.
+func BenchmarkEngineRecorder(b *testing.B) {
+	repo, reqs := pdpFixture(100)
+	ti := &framework.TokenInterpreter{}
+	run := func(b *testing.B, rec *obs.Recorder) {
+		eng := engine.New(repo, ti.CompileDecider)
+		if _, err := eng.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+		if rec != nil {
+			eng.SetRecorder(rec)
+			defer rec.Close()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Decide(reqs[i%len(reqs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("recorder-off", func(b *testing.B) { run(b, nil) })
+	b.Run("recorder-sampled", func(b *testing.B) {
+		run(b, obs.NewRecorder(obs.RecorderOptions{
+			SampleShift: 10,
+			LatencySLO:  time.Millisecond,
+			Window:      obs.NewRegistry().Window("decide"),
+		}))
+	})
+	b.Run("recorder-full", func(b *testing.B) {
+		run(b, obs.NewRecorder(obs.RecorderOptions{
+			LatencySLO: time.Millisecond,
+			Window:     obs.NewRegistry().Window("decide"),
+		}))
 	})
 }
 

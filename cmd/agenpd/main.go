@@ -35,6 +35,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -52,11 +53,15 @@ import (
 
 // Decision-endpoint telemetry: request latency includes JSON encoding,
 // so it bounds what a caller of /decide actually observes; the engine's
-// own compile/decide counters live in internal/engine.
+// own compile/decide counters live in internal/engine. The windowed
+// histogram reports p50/p95/p99 over the last 10s/1m/5m so a latency
+// spike is visible in /metrics within one window of happening.
 var (
 	statDecideDur  = obs.H("agenpd.decide.duration")
+	statDecideWin  = obs.W("agenpd.decide")
 	statDecideReqs = obs.C("agenpd.decide.requests")
 	statVerifyReqs = obs.C("agenpd.verify.requests")
+	statAuditReqs  = obs.C("agenpd.audit.requests")
 )
 
 // decideServer serves PDP decisions over HTTP from the parties' compiled
@@ -102,6 +107,7 @@ type decideResponse struct {
 func (s *decideServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	defer statDecideDur.ObserveSince(t0)
+	defer statDecideWin.ObserveSince(t0)
 	statDecideReqs.Inc()
 
 	actions := r.URL.Query()["action"]
@@ -186,6 +192,45 @@ func (s *decideServer) handleVerify(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// handleAudit dumps a party's decoded decision tail (?party=...,
+// default: the lead; ?n=, default 100) — the flight recorder's recent
+// records, anomaly copies, and import events as JSON.
+func (s *decideServer) handleAudit(w http.ResponseWriter, r *http.Request) {
+	statAuditReqs.Inc()
+	s.mu.RLock()
+	party := r.URL.Query().Get("party")
+	if party == "" {
+		party = s.lead
+	}
+	ams := s.members[party]
+	s.mu.RUnlock()
+	if ams == nil {
+		http.Error(w, fmt.Sprintf("unknown party %q", party), http.StatusNotFound)
+		return
+	}
+	rec := ams.Recorder()
+	if rec == nil {
+		http.Error(w, fmt.Sprintf("party %q has no flight recorder", party), http.StatusNotFound)
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	dump := rec.Dump(n)
+	dump.Party = party
+	dump.Generation = ams.Engine().Generation()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(dump)
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -203,13 +248,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agenpd", flag.ContinueOnError)
 	parties := fs.Int("parties", 3, "number of coalition parties (>= 2)")
 	addr := fs.String("addr", "127.0.0.1:0", "hub listen address")
-	metricsAddr := fs.String("metrics", "", "serve telemetry on this address (/metrics, /debug/vars, /debug/pprof/) and keep running until interrupted")
+	metricsAddr := fs.String("metrics", "", "serve telemetry on this address (/metrics, /metrics/prom, /audit, /debug/vars, /debug/pprof/) and keep running until interrupted")
+	slo := fs.Duration("slo", time.Millisecond, "decision latency SLO: slower decisions are flagged in the flight recorder and counted as window burn")
+	sampleShift := fs.Uint("sample-shift", 0, "flight recorder samples every 2^shift-th decision (0 records all)")
+	auditCap := fs.Int("audit-capacity", 1024, "flight recorder ring capacity per shard")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sampleShift > 62 {
+		return fmt.Errorf("sample-shift %d out of range", *sampleShift)
 	}
 	if *parties < 2 {
 		return fmt.Errorf("need at least 2 parties")
 	}
+
+	// engine.decide aggregates sampled in-engine decision latencies
+	// across all parties; agenpd.decide covers the HTTP request end to
+	// end. Both burn against the same SLO.
+	decideWin := obs.W("engine.decide")
+	decideWin.SetSLO(*slo)
+	statDecideWin.SetSLO(*slo)
 
 	decider := newDecideServer()
 	if *metricsAddr != "" {
@@ -220,8 +278,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		publishOnce.Do(func() { obs.Default.PublishExpvar("agenp") })
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default.Handler())
+		mux.Handle("/metrics/prom", obs.Default.PromHandler())
 		mux.Handle("/decide", decider)
 		mux.HandleFunc("/verify", decider.handleVerify)
+		mux.HandleFunc("/audit", decider.handleAudit)
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -273,6 +333,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Each party gets its own flight recorder; every recorder
+		// observes into the shared engine.decide window so /metrics
+		// reports rolling percentiles over the whole coalition's
+		// decision traffic.
+		rec := obs.NewRecorder(obs.RecorderOptions{
+			SampleShift:   uint8(*sampleShift),
+			LatencySLO:    *slo,
+			ShardCapacity: *auditCap,
+			Window:        decideWin,
+		})
+		ams.AttachRecorder(rec)
+		defer rec.Close()
 		transport, err := coalition.DialTCP(hub.Addr())
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -188,6 +189,179 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "party-a adapted its model") {
 		t.Errorf("transcript missing adaptation line:\n%s", out.String())
+	}
+}
+
+// TestAuditAndPromEndpoints runs the daemon, drives decisions through
+// /decide, and checks the observability surface built on them: /audit
+// returns the decoded decision tail with generation, winning policy,
+// effect and latency; /metrics/prom serves parseable Prometheus text
+// exposition; the rolling-window decide percentiles appear in /metrics.
+func TestAuditAndPromEndpoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-parties", "2", "-metrics", "127.0.0.1:0"}, &out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var s string
+	for time.Now().Before(deadline) {
+		if s = out.String(); strings.Contains(s, "round complete") {
+			break
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("daemon exited early (err=%v); output:\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	m := regexp.MustCompile(`metrics listening on (http://\S+)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no metrics address in output:\n%s", s)
+	}
+	base := strings.TrimSuffix(m[1], "/metrics")
+
+	// Drive decisions so the recorder and windows have data.
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(base + "/decide?party=party-a&action=image&action=teleport")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// /audit: decoded tail with the fields the acceptance criterion
+	// names.
+	aresp, err := http.Get(base + "/audit?party=party-a&n=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aresp.Body.Close()
+	if aresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /audit = %d", aresp.StatusCode)
+	}
+	if ct := aresp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("/audit Content-Type = %q", ct)
+	}
+	var dump obs.AuditDump
+	if err := json.NewDecoder(aresp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding /audit: %v", err)
+	}
+	if dump.Party != "party-a" || dump.Generation == 0 {
+		t.Fatalf("audit header: party=%q generation=%d", dump.Party, dump.Generation)
+	}
+	if len(dump.Records) < 20 {
+		t.Fatalf("audit tail has %d records, want >= 20 (10 batches of 2)", len(dump.Records))
+	}
+	sawPolicy := false
+	for _, rec := range dump.Records {
+		if rec.Generation == 0 {
+			t.Fatalf("record missing generation: %+v", rec)
+		}
+		if rec.Effect == "" {
+			t.Fatalf("record missing effect: %+v", rec)
+		}
+		if rec.Effect == "Deny" && rec.PolicyID == "withhold_image" {
+			sawPolicy = true
+			if rec.LatencyNs <= 0 {
+				t.Fatalf("decided record missing latency: %+v", rec)
+			}
+		}
+	}
+	if !sawPolicy {
+		t.Fatalf("no withhold_image denial decoded in tail: %+v", dump.Records)
+	}
+
+	// Audit error paths.
+	if resp, err := http.Get(base + "/audit?party=party-zz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("audit unknown party = %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(base + "/audit?n=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("audit bad n = %d, want 400", resp.StatusCode)
+		}
+	}
+
+	// Prometheus exposition on the dedicated path and via ?format=prom.
+	for _, url := range []string{base + "/metrics/prom", base + "/metrics?format=prom"} {
+		presp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", url, presp.StatusCode)
+		}
+		if ct := presp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Errorf("%s Content-Type = %q", url, ct)
+		}
+		text := string(body)
+		for _, want := range []string{
+			"# TYPE engine_decisions_total counter",
+			"engine_decisions_total ",
+			"agenpd_decide_duration_seconds_count",
+			`engine_decide_window_p99_seconds{window="10s"}`,
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s missing %q", url, want)
+			}
+		}
+	}
+
+	// 405 on mutation methods.
+	if resp, err := http.Post(base+"/metrics/prom", "text/plain", strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /metrics/prom = %d, want 405", resp.StatusCode)
+		}
+	}
+
+	// The rolling-window percentiles appear in the JSON snapshot and
+	// have observed the decide traffic within the current window.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	win, ok := snap.Windows["agenpd.decide"]
+	if !ok {
+		t.Fatalf("agenpd.decide window missing from /metrics: %v", snap.Windows)
+	}
+	if win["10s"].Count == 0 || win["10s"].P99Ns == 0 {
+		t.Fatalf("10s decide window empty after traffic: %+v", win["10s"])
+	}
+	if _, ok := snap.Windows["engine.decide"]; !ok {
+		t.Fatalf("engine.decide window missing from /metrics")
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
 	}
 }
 

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"agenp/internal/obs"
+)
+
+// summarizeAudit reads a flight-recorder dump (the agenpd /audit JSON)
+// and prints an offline summary: top winning policies, effect mix,
+// latency distribution with outliers, anomaly counts, and the
+// generation flips observed across the tail.
+func summarizeAudit(w io.Writer, r io.Reader) error {
+	var dump obs.AuditDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("decoding audit dump: %w", err)
+	}
+	if dump.Party != "" {
+		fmt.Fprintf(w, "party %s generation %d\n", dump.Party, dump.Generation)
+	}
+	fmt.Fprintf(w, "recorder: %d recorded, %d events, %d slo breaches, %d effect flips, %d generation changes\n",
+		dump.Stats.Recorded, dump.Stats.Events,
+		dump.Stats.LatencySLO, dump.Stats.EffectFlips, dump.Stats.GenChanges)
+	if len(dump.Records) == 0 {
+		fmt.Fprintln(w, "no decision records in tail")
+		return summarizeEvents(w, dump.Events)
+	}
+	fmt.Fprintf(w, "\ntail: %d decisions", len(dump.Records))
+	span := dump.Records[len(dump.Records)-1].Time.Sub(dump.Records[0].Time)
+	if span > 0 {
+		fmt.Fprintf(w, " over %s", fmtDur(int64(span)))
+	}
+	fmt.Fprintln(w)
+
+	// Effect mix and top winning policies.
+	effects := map[string]int{}
+	policies := map[string]int{}
+	anomalies := map[string]int{}
+	lats := make([]int64, 0, len(dump.Records))
+	for _, rec := range dump.Records {
+		effects[rec.Effect]++
+		if rec.PolicyID != "" {
+			policies[rec.PolicyID]++
+		}
+		for _, a := range rec.Anomalies {
+			anomalies[a]++
+		}
+		lats = append(lats, rec.LatencyNs)
+	}
+
+	fmt.Fprintln(w, "\neffect mix:")
+	for _, kv := range sortedCounts(effects) {
+		fmt.Fprintf(w, "  %-16s %6d (%d%%)\n", kv.k, kv.n, 100*kv.n/len(dump.Records))
+	}
+
+	if len(policies) > 0 {
+		fmt.Fprintln(w, "\ntop policies:")
+		rows := sortedCounts(policies)
+		if len(rows) > 10 {
+			rows = rows[:10]
+		}
+		for _, kv := range rows {
+			fmt.Fprintf(w, "  %-32s %6d\n", kv.k, kv.n)
+		}
+	}
+
+	// Latency distribution: quartiles plus the slowest records as
+	// outliers.
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	q := func(p int) int64 { return lats[(len(lats)-1)*p/100] }
+	fmt.Fprintf(w, "\nlatency: min=%s p50=%s p95=%s p99=%s max=%s\n",
+		fmtDur(lats[0]), fmtDur(q(50)), fmtDur(q(95)), fmtDur(q(99)), fmtDur(lats[len(lats)-1]))
+	p99 := q(99)
+	var outliers []obs.AuditRecord
+	for _, rec := range dump.Records {
+		if rec.LatencyNs > p99 {
+			outliers = append(outliers, rec)
+		}
+	}
+	if len(outliers) > 0 {
+		sort.Slice(outliers, func(a, b int) bool { return outliers[a].LatencyNs > outliers[b].LatencyNs })
+		if len(outliers) > 5 {
+			outliers = outliers[:5]
+		}
+		fmt.Fprintln(w, "latency outliers (above p99):")
+		for _, rec := range outliers {
+			fmt.Fprintf(w, "  seq=%-8d %-24s %-14s %s\n", rec.Seq, rec.PolicyID, rec.Effect, fmtDur(rec.LatencyNs))
+		}
+	}
+
+	if len(anomalies) > 0 {
+		fmt.Fprintln(w, "\nanomalies in tail:")
+		for _, kv := range sortedCounts(anomalies) {
+			fmt.Fprintf(w, "  %-20s %6d\n", kv.k, kv.n)
+		}
+	}
+
+	// Generation flips: where consecutive records changed generation.
+	var flips int
+	for i := 1; i < len(dump.Records); i++ {
+		prev, cur := dump.Records[i-1], dump.Records[i]
+		if prev.Generation != cur.Generation {
+			flips++
+			fmt.Fprintf(w, "\ngeneration flip at seq %d: %d -> %d (%s)\n",
+				cur.Seq, prev.Generation, cur.Generation, cur.Time.Format("15:04:05.000"))
+		}
+	}
+	if flips == 0 {
+		fmt.Fprintf(w, "\nno generation flips in tail (generation %d throughout)\n", dump.Records[0].Generation)
+	}
+
+	return summarizeEvents(w, dump.Events)
+}
+
+func summarizeEvents(w io.Writer, events []obs.AuditRecord) error {
+	if len(events) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nevents (%d):\n", len(events))
+	for _, ev := range events {
+		extra := ""
+		if len(ev.Anomalies) > 0 {
+			extra = fmt.Sprintf(" %v", ev.Anomalies)
+		}
+		fmt.Fprintf(w, "  %s %-18s %-24s gen=%d %s%s\n",
+			ev.Time.Format("15:04:05.000"), ev.Effect, ev.PolicyID, ev.Generation, fmtDur(ev.LatencyNs), extra)
+	}
+	return nil
+}
+
+type countRow struct {
+	k string
+	n int
+}
+
+// sortedCounts renders a count map as rows sorted by descending count,
+// ties broken by name for deterministic output.
+func sortedCounts(m map[string]int) []countRow {
+	rows := make([]countRow, 0, len(m))
+	for k, n := range m {
+		rows = append(rows, countRow{k, n})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].n != rows[b].n {
+			return rows[a].n > rows[b].n
+		}
+		return rows[a].k < rows[b].k
+	})
+	return rows
+}

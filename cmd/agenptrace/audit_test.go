@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"agenp/internal/obs"
+)
+
+// writeAuditDump produces a real dump the way agenpd does: decisions and
+// events committed through a live recorder, dumped to JSON.
+func writeAuditDump(t *testing.T) string {
+	t.Helper()
+	rec := obs.NewRecorder(obs.RecorderOptions{LatencySLO: time.Millisecond})
+	rec.NoteGeneration(1, []string{"share_image", "withhold_sigint"})
+	rec.NoteGeneration(2, []string{"share_image", "withhold_sigint", "withhold_image"})
+	base := time.Unix(1700000000, 0)
+	n := int64(0)
+	for i := 0; i < 30; i++ {
+		n++
+		rec.Commit(n, 1, "share_image", obs.EffectPermit, 0xaa, base.Add(time.Duration(n)*time.Millisecond), 200*time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		n++
+		rec.Commit(n, 1, "withhold_sigint", obs.EffectDeny, 0xbb, base.Add(time.Duration(n)*time.Millisecond), 300*time.Nanosecond)
+	}
+	// One slow decision (SLO breach) and a generation flip.
+	n++
+	rec.Commit(n, 1, "share_image", obs.EffectPermit, 0xcc, base.Add(time.Duration(n)*time.Millisecond), 5*time.Millisecond)
+	rec.Event(obs.EventImportAdopted, "withhold_image", 2, 40*time.Microsecond)
+	n++
+	rec.Commit(n, 2, "withhold_image", obs.EffectDeny, 0xaa, base.Add(time.Duration(n)*time.Millisecond), 250*time.Nanosecond)
+
+	dump := rec.Dump(100)
+	dump.Party = "party-a"
+	dump.Generation = 2
+	raw, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "audit.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAuditSummary(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-audit", writeAuditDump(t)}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"party party-a generation 2",
+		"42 decisions",
+		"effect mix:",
+		"Permit",
+		"Deny",
+		"top policies:",
+		"share_image",
+		"withhold_sigint",
+		"latency:",
+		"latency outliers",
+		"latency-slo",
+		"generation flip at seq",
+		"1 -> 2",
+		"import-adopted",
+		"withhold_image",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("audit summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAuditEmptyDump(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	raw, err := json.Marshal(rec.Dump(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-audit"}, strings.NewReader(string(raw)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no decision records") {
+		t.Errorf("empty dump summary:\n%s", out.String())
+	}
+}
+
+func TestAuditRejectsGarbage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-audit"}, strings.NewReader("not json"), &out); err == nil {
+		t.Error("garbage input not rejected")
+	}
+}

@@ -4,11 +4,17 @@
 // durations and attributes — a poor man's trace viewer for the learner's
 // search behaviour.
 //
+// With -audit it instead summarizes a decision flight-recorder dump (the
+// JSON served by agenpd's /audit endpoint): top winning policies, the
+// effect mix, latency quartiles and outliers, anomaly counts, and the
+// generation flips observed in the tail.
+//
 // Usage:
 //
 //	ilasp -demo cav -trace cav.trace
 //	agenptrace cav.trace
 //	agenptrace -tree -top 20 cav.trace
+//	curl -s localhost:8077/audit?n=1000 | agenptrace -audit
 package main
 
 import (
@@ -36,6 +42,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agenptrace", flag.ContinueOnError)
 	tree := fs.Bool("tree", false, "print the span forest instead of the summary table")
 	top := fs.Int("top", 0, "limit tree children per span (0 = all)")
+	audit := fs.Bool("audit", false, "input is a flight-recorder dump (agenpd /audit JSON), not a span trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +60,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		in = f
 	default:
 		return fmt.Errorf("expected at most one trace file, got %d", fs.NArg())
+	}
+
+	if *audit {
+		return summarizeAudit(stdout, in)
 	}
 
 	spans, err := readSpans(in)

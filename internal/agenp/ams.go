@@ -155,6 +155,14 @@ func New(cfg Config) (*AMS, error) {
 // Name returns the AMS name.
 func (a *AMS) Name() string { return a.name }
 
+// AttachRecorder wires a decision flight recorder into the serving
+// path: every sampled PDP decision commits one audit record, and
+// coalition imports land in its events ring. Pass nil to detach.
+func (a *AMS) AttachRecorder(r *obs.Recorder) { a.pdp.Engine().SetRecorder(r) }
+
+// Recorder returns the attached flight recorder (nil when none).
+func (a *AMS) Recorder() *obs.Recorder { return a.pdp.Engine().Recorder() }
+
 // Repository exposes the policy repository (for inspection and sharing).
 func (a *AMS) Repository() *policy.Repository { return a.repo }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"agenp/internal/agenp"
+	"agenp/internal/obs"
 	"agenp/internal/policy"
 )
 
@@ -164,6 +165,16 @@ func (p *Party) consume() {
 			statAdopted.Inc()
 		}
 		p.mu.Unlock()
+		// Adopted-policy imports are audit events: they change what the
+		// decision path will serve, so the flight recorder keeps them
+		// alongside decision anomalies.
+		if rec := p.AMS.Recorder(); rec != nil {
+			kind := uint8(obs.EventImportAdopted)
+			if err != nil {
+				kind = obs.EventImportRejected
+			}
+			rec.Event(kind, sp.ID, p.AMS.Engine().Generation(), time.Since(t0))
+		}
 	}
 }
 

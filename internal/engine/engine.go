@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"agenp/internal/obs"
 	"agenp/internal/policy"
 	"agenp/internal/xacml"
 )
@@ -90,6 +91,12 @@ type Engine struct {
 	// mu serializes compilation only; serving never takes it.
 	mu  sync.Mutex
 	cur atomic.Pointer[Snapshot]
+
+	// rec, when set, is the decision flight recorder. The serving path
+	// pays one atomic pointer load to find it and one mask test to skip
+	// a non-sampled decision; only sampled-in decisions pay the full
+	// record (digest, clock reads, ring stores).
+	rec atomic.Pointer[obs.Recorder]
 }
 
 // New wires an engine to a repository. The first Decide (or an explicit
@@ -110,6 +117,30 @@ func (e *Engine) Generation() uint64 {
 // Current returns the currently served snapshot without refreshing
 // (nil before the first compile).
 func (e *Engine) Current() *Snapshot { return e.cur.Load() }
+
+// SetRecorder attaches (or, with nil, detaches) the decision flight
+// recorder. The currently served generation's policy ids are registered
+// immediately so records decode to names from the first commit.
+func (e *Engine) SetRecorder(r *obs.Recorder) {
+	e.rec.Store(r)
+	if r == nil {
+		return
+	}
+	if s := e.cur.Load(); s != nil {
+		r.NoteGeneration(s.Generation, policyIDs(s.Policies))
+	}
+}
+
+// Recorder returns the attached flight recorder (nil when none).
+func (e *Engine) Recorder() *obs.Recorder { return e.rec.Load() }
+
+func policyIDs(ps []policy.Policy) []string {
+	ids := make([]string, len(ps))
+	for i := range ps {
+		ids[i] = ps[i].ID
+	}
+	return ids
+}
 
 // Refresh compiles the repository's current generation if the served
 // snapshot is stale and atomically publishes the result. Concurrent
@@ -134,6 +165,9 @@ func (e *Engine) Refresh() (*Snapshot, error) {
 	statPolicies.Set(int64(len(rs.Policies)))
 	s := &Snapshot{Generation: rs.Generation, Policies: rs.Policies, decider: d}
 	e.cur.Store(s)
+	if r := e.rec.Load(); r != nil {
+		r.NoteGeneration(s.Generation, policyIDs(s.Policies))
+	}
 	return s, nil
 }
 
@@ -148,14 +182,26 @@ func (e *Engine) snapshot() (*Snapshot, error) {
 
 // Decide evaluates a request against the current compiled snapshot.
 // With no policies installed it returns ErrNoPolicy without allocating.
+//
+// The decisions counter doubles as the flight-recorder sampling cadence:
+// its post-increment value is the decision ordinal, and a recorder at
+// SampleShift k records every 2^k-th ordinal. Decisions that sample out
+// pay one atomic pointer load and a mask test on top of the bare path.
 func (e *Engine) Decide(req xacml.Request) (xacml.Decision, string, error) {
 	s, err := e.snapshot()
 	if err != nil {
 		return xacml.DecisionIndeterminate, "", err
 	}
-	statDecisions.Inc()
+	n := statDecisions.Bump()
 	if len(s.Policies) == 0 {
 		return xacml.DecisionNotApplicable, "", ErrNoPolicy
+	}
+	if r := e.rec.Load(); r != nil && r.Sampled(n) {
+		t0 := time.Now()
+		d, pid := s.decider.Decide(req)
+		lat := time.Since(t0)
+		r.Commit(n, s.Generation, pid, uint8(d), req.Digest(), t0, lat)
+		return d, pid, nil
 	}
 	d, pid := s.decider.Decide(req)
 	return d, pid, nil
@@ -180,13 +226,32 @@ func (e *Engine) DecideBatch(reqs []xacml.Request, out []Result) ([]Result, erro
 		out = out[:n]
 	}
 	dst := out[base:]
-	statDecisions.Add(int64(len(reqs)))
+	last := statDecisions.BumpN(int64(len(reqs)))
+	first := last - int64(len(reqs)) + 1
 	statBatches.Inc()
 	if len(s.Policies) == 0 {
 		for i := range dst {
 			dst[i] = Result{Decision: xacml.DecisionNotApplicable}
 		}
 		return out, ErrNoPolicy
+	}
+	// A batch containing a sampled ordinal records through the
+	// per-request path so sampled decisions get individual latencies;
+	// batches that sample out entirely keep the whole-batch fast path.
+	if r := e.rec.Load(); r != nil && r.SampledIn(first, last) {
+		for i, q := range reqs {
+			ord := first + int64(i)
+			if r.Sampled(ord) {
+				t0 := time.Now()
+				d, pid := s.decider.Decide(q)
+				lat := time.Since(t0)
+				dst[i] = Result{Decision: d, PolicyID: pid}
+				r.Commit(ord, s.Generation, pid, uint8(d), q.Digest(), t0, lat)
+			} else {
+				dst[i].Decision, dst[i].PolicyID = s.decider.Decide(q)
+			}
+		}
+		return out, nil
 	}
 	if bd, ok := s.decider.(BatchDecider); ok {
 		bd.DecideBatch(reqs, dst)

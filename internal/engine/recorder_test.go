@@ -1,0 +1,202 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"agenp/internal/obs"
+	"agenp/internal/policy"
+	"agenp/internal/xacml"
+)
+
+func TestEngineRecordsDecisions(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p-allow", "permit", "overtake"))
+	repo.Put(tokenPolicy("p-deny", "deny", "share", "sigint"))
+	e := newTokenEngine(repo)
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	e.SetRecorder(rec)
+	if e.Recorder() != rec {
+		t.Fatalf("Recorder accessor")
+	}
+
+	if _, _, err := e.Decide(actionReq("overtake")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Decide(actionReq("share sigint")); err != nil {
+		t.Fatal(err)
+	}
+
+	tail := rec.Tail(10)
+	if len(tail) != 2 {
+		t.Fatalf("recorded %d decisions, want 2", len(tail))
+	}
+	if tail[0].Effect != "Permit" || tail[0].PolicyID != "p-allow" {
+		t.Fatalf("record 1: %+v", tail[0])
+	}
+	if tail[1].Effect != "Deny" || tail[1].PolicyID != "p-deny" {
+		t.Fatalf("record 2: %+v", tail[1])
+	}
+	if tail[0].Generation == 0 || tail[0].Generation != e.Generation() {
+		t.Fatalf("generation not stamped: %+v", tail[0])
+	}
+	if tail[0].Digest == "" {
+		t.Fatalf("digest not stamped: %+v", tail[0])
+	}
+}
+
+func TestEngineRecordsBatch(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p-allow", "permit", "overtake"))
+	e := newTokenEngine(repo)
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	e.SetRecorder(rec)
+
+	reqs := []xacml.Request{actionReq("overtake"), actionReq("share"), actionReq("overtake")}
+	out, err := e.DecideBatch(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("batch results: %d", len(out))
+	}
+	if out[0].Decision != xacml.DecisionPermit || out[0].PolicyID != "p-allow" {
+		t.Fatalf("batch result 1: %+v", out[0])
+	}
+	tail := rec.Tail(10)
+	if len(tail) != 3 {
+		t.Fatalf("recorded %d batch decisions, want 3", len(tail))
+	}
+}
+
+func TestEngineBatchSamplingConsistency(t *testing.T) {
+	// At SampleShift 2 only every 4th decision records, but batch
+	// results must be identical to the unsampled path.
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p-allow", "permit", "overtake"))
+	e := newTokenEngine(repo)
+	rec := obs.NewRecorder(obs.RecorderOptions{SampleShift: 2})
+	e.SetRecorder(rec)
+
+	reqs := make([]xacml.Request, 10)
+	for i := range reqs {
+		reqs[i] = actionReq("overtake")
+	}
+	out, err := e.DecideBatch(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out {
+		if r.Decision != xacml.DecisionPermit || r.PolicyID != "p-allow" {
+			t.Fatalf("result %d under sampling: %+v", i, r)
+		}
+	}
+	got := rec.Stats().Recorded
+	if got < 2 || got > 3 {
+		t.Fatalf("10 decisions at shift 2 recorded %d, want 2-3", got)
+	}
+}
+
+func TestEngineGenerationChangeAnomaly(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	e := newTokenEngine(repo)
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	e.SetRecorder(rec)
+
+	if _, _, err := e.Decide(actionReq("overtake")); err != nil {
+		t.Fatal(err)
+	}
+	// Repository change → new generation → next decision flags the swap.
+	repo.Put(tokenPolicy("p0", "deny", "overtake"))
+	if _, _, err := e.Decide(actionReq("overtake")); err != nil {
+		t.Fatal(err)
+	}
+	tail := rec.Tail(10)
+	if len(tail) != 2 {
+		t.Fatalf("recorded %d, want 2", len(tail))
+	}
+	found := false
+	for _, a := range tail[1].Anomalies {
+		if a == "generation-change" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("generation swap not flagged: %+v", tail[1])
+	}
+	// The new generation's ids resolve (Refresh noted them).
+	if tail[1].PolicyID != "p0" {
+		t.Fatalf("post-swap policy id: %+v", tail[1])
+	}
+}
+
+func TestEngineEffectFlipAnomaly(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	e := newTokenEngine(repo)
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	e.SetRecorder(rec)
+
+	req := actionReq("overtake")
+	if _, _, err := e.Decide(req); err != nil {
+		t.Fatal(err)
+	}
+	repo.Put(tokenPolicy("p0", "deny", "overtake"))
+	if _, _, err := e.Decide(req); err != nil {
+		t.Fatal(err)
+	}
+	tail := rec.Tail(10)
+	flip := false
+	for _, a := range tail[len(tail)-1].Anomalies {
+		if a == "effect-flip" {
+			flip = true
+		}
+	}
+	if !flip {
+		t.Fatalf("deny-after-permit on same request not flagged: %+v", tail[len(tail)-1])
+	}
+	if rec.Stats().EffectFlips != 1 {
+		t.Fatalf("flip stats: %+v", rec.Stats())
+	}
+}
+
+func TestEngineDecideRecorderDoesNotAllocate(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	e := newTokenEngine(repo)
+	rec := obs.NewRecorder(obs.RecorderOptions{Window: obs.W("engine.test.decide")})
+	e.SetRecorder(rec)
+	req := actionReq("overtake")
+	if _, _, err := e.Decide(req); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, _ = e.Decide(req)
+	})
+	if allocs != 0 {
+		t.Errorf("recorded Decide allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestEngineRecorderSLOWindow(t *testing.T) {
+	repo := policy.NewRepository()
+	repo.Put(tokenPolicy("p1", "permit", "overtake"))
+	e := newTokenEngine(repo)
+	w := obs.NewRegistry().Window("decide")
+	rec := obs.NewRecorder(obs.RecorderOptions{Window: w, LatencySLO: time.Nanosecond})
+	e.SetRecorder(rec)
+	for i := 0; i < 50; i++ {
+		if _, _, err := e.Decide(actionReq("overtake")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := w.Snapshot()["10s"]
+	if snap.Count != 50 {
+		t.Fatalf("window did not observe decisions: %+v", snap)
+	}
+	// Every decision takes ≥1ns, so the 1ns SLO flags all of them.
+	if rec.Stats().LatencySLO == 0 {
+		t.Fatalf("latency SLO never triggered: %+v", rec.Stats())
+	}
+}

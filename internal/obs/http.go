@@ -5,12 +5,42 @@ import (
 	"net/http"
 )
 
-// Handler serves the registry snapshot as indented JSON — the /metrics
-// endpoint of the coalition daemon.
+// getOnly wraps a handler to reject every method except GET (and HEAD,
+// which net/http serves as GET-without-body) with 405 and an Allow
+// header.
+func getOnly(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, req)
+	})
+}
+
+// Handler serves the registry snapshot — the /metrics endpoint of the
+// coalition daemon. The default rendering is indented JSON;
+// `?format=prom` switches to Prometheus text exposition.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return getOnly(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.Snapshot().WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.Snapshot().WriteJSON(w)
+	})
+}
+
+// PromHandler serves the registry snapshot in Prometheus text
+// exposition format unconditionally — the /metrics/prom endpoint, for
+// scrapers that can't pass query parameters.
+func (r *Registry) PromHandler() http.Handler {
+	return getOnly(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
 	})
 }
 

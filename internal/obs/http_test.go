@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("test.requests").Add(42)
+	reg.Gauge("test.depth").Set(3)
+	reg.Histogram("test.latency").Observe(1500 * time.Nanosecond)
+	reg.Window("test.window").ObserveAtNs(time.Now().UnixNano(), int64(time.Millisecond))
+	return reg
+}
+
+func TestHandlerJSON(t *testing.T) {
+	reg := newTestRegistry()
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status: got %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type: got %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("body is not valid JSON: %v", err)
+	}
+	if snap.Counters["test.requests"] != 42 {
+		t.Fatalf("counter missing from body: %+v", snap.Counters)
+	}
+	if _, ok := snap.Windows["test.window"]; !ok {
+		t.Fatalf("window missing from body")
+	}
+}
+
+func TestHandlerPromFormat(t *testing.T) {
+	reg := newTestRegistry()
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics?format=prom", nil))
+
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status: got %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type: got %q", ct)
+	}
+	checkPromExposition(t, rr.Body.String())
+}
+
+func TestPromHandler(t *testing.T) {
+	reg := newTestRegistry()
+	rr := httptest.NewRecorder()
+	reg.PromHandler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics/prom", nil))
+
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status: got %d", rr.Code)
+	}
+	body := rr.Body.String()
+	checkPromExposition(t, body)
+	for _, want := range []string{
+		"test_requests_total 42",
+		"test_depth 3",
+		"test_latency_seconds_count 1",
+		`test_window_window_p99_seconds{window="10s"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	reg := newTestRegistry()
+	for _, h := range []http.Handler{reg.Handler(), reg.PromHandler()} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest(method, "/metrics", nil))
+			if rr.Code != http.StatusMethodNotAllowed {
+				t.Fatalf("%s: got status %d, want 405", method, rr.Code)
+			}
+			if allow := rr.Header().Get("Allow"); allow != http.MethodGet {
+				t.Fatalf("%s: Allow header %q, want GET", method, allow)
+			}
+		}
+	}
+}
+
+// checkPromExposition validates the text exposition shape: every line
+// is a comment or "name[{labels}] value", TYPE lines precede their
+// family's samples, and histogram buckets are cumulative.
+func checkPromExposition(t *testing.T, body string) {
+	t.Helper()
+	if body == "" {
+		t.Fatalf("empty exposition")
+	}
+	typed := map[string]bool{}
+	var lastBucketFamily string
+	var lastCum int64
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = name[:i]
+		}
+		for _, c := range name {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				t.Fatalf("invalid metric name char %q in %q", c, line)
+			}
+		}
+		// Histogram buckets must be cumulative per family.
+		if strings.HasSuffix(name, "_bucket") {
+			v, err := strconv.ParseInt(line[sp+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", line[sp+1:], err)
+			}
+			if name == lastBucketFamily && v < lastCum {
+				t.Fatalf("non-cumulative buckets in %s: %d after %d", name, v, lastCum)
+			}
+			lastBucketFamily, lastCum = name, v
+		}
+	}
+	if len(typed) == 0 {
+		t.Fatalf("no TYPE lines in exposition")
+	}
+}

@@ -41,6 +41,15 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Bump increments the counter by one and returns the new value — the
+// same single atomic add as Inc, but usable as a sampling cadence by
+// callers (the decision engine drives the flight recorder's 1-in-2^k
+// sampling off the decisions counter it already maintains).
+func (c *Counter) Bump() int64 { return c.v.Add(1) }
+
+// BumpN adds n and returns the new value (batch cadence).
+func (c *Counter) BumpN(n int64) int64 { return c.v.Add(n) }
+
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
@@ -107,13 +116,67 @@ type HistogramBucket struct {
 	Count   int64 `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time view of a histogram.
+// HistogramSnapshot is a point-in-time view of a histogram. P50/P95/P99
+// are estimated by linear interpolation inside the matching
+// power-of-two bucket, so JSON and text output carry usable quantiles
+// without post-processing; the estimate is deterministic for a given
+// set of bucket counts.
 type HistogramSnapshot struct {
 	Count   int64             `json:"count"`
 	SumNs   int64             `json:"sum_ns"`
 	AvgNs   int64             `json:"avg_ns"`
 	MaxNs   int64             `json:"max_ns"`
+	P50Ns   int64             `json:"p50_ns"`
+	P95Ns   int64             `json:"p95_ns"`
+	P99Ns   int64             `json:"p99_ns"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// bucketIndex returns the bucket for a non-negative duration.
+func bucketIndex(ns int64) int { return bits.Len64(uint64(ns)) }
+
+// bucketUpper returns bucket i's inclusive upper bound in nanoseconds.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1)<<i - 1
+}
+
+// bucketLower returns bucket i's inclusive lower bound in nanoseconds.
+func bucketLower(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// bucketQuantile estimates the q-th percentile (q in [0,100]) from
+// power-of-two bucket counts by locating the bucket holding the target
+// rank and interpolating linearly inside its bounds. Deterministic and
+// integer-only.
+func bucketQuantile(buckets []int64, total int64, q int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := (total*q + 99) / 100 // ceil(total*q/100)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			// Position of the target rank inside this bucket, in
+			// (0, 1], scaled over the bucket's value range.
+			return lo + (hi-lo)*(rank-cum-1)/n
+		}
+		cum += n
+	}
+	return bucketUpper(len(buckets) - 1)
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -125,19 +188,20 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.AvgNs = s.SumNs / s.Count
 	}
+	var counts [histBuckets]int64
+	var inBuckets int64 // may lag Count under concurrent observers
 	for i := range h.buckets {
 		n := h.buckets[i].Load()
 		if n == 0 {
 			continue
 		}
-		upper := int64(1) << i // observations in this bucket are < 2^i
-		if i == 0 {
-			upper = 0
-		} else {
-			upper--
-		}
-		s.Buckets = append(s.Buckets, HistogramBucket{UpperNs: upper, Count: n})
+		counts[i] = n
+		inBuckets += n
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperNs: bucketUpper(i), Count: n})
 	}
+	s.P50Ns = bucketQuantile(counts[:], inBuckets, 50)
+	s.P95Ns = bucketQuantile(counts[:], inBuckets, 95)
+	s.P99Ns = bucketQuantile(counts[:], inBuckets, 99)
 	return s
 }
 
@@ -150,6 +214,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	windows  map[string]*Windowed
 }
 
 // NewRegistry returns an empty registry.
@@ -158,6 +223,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		windows:  make(map[string]*Windowed),
 	}
 }
 
@@ -201,6 +267,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Window returns the named rolling-window histogram, creating it empty
+// on first use.
+func (r *Registry) Window(name string) *Windowed {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = newWindowed()
+		r.windows[name] = w
+	}
+	return w
+}
+
 // C returns a counter from the Default registry (package-var idiom:
 // declare once, record forever without lookups).
 func C(name string) *Counter { return Default.Counter(name) }
@@ -211,16 +290,33 @@ func G(name string) *Gauge { return Default.Gauge(name) }
 // H returns a histogram from the Default registry.
 func H(name string) *Histogram { return Default.Histogram(name) }
 
+// W returns a rolling-window histogram from the Default registry.
+func W(name string) *Windowed { return Default.Window(name) }
+
 // Snapshot is a point-in-time view of every metric in a registry.
 // encoding/json sorts map keys, so marshalling is deterministic.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Windows carries rolling-window aggregates (absent when no
+	// windowed metric is registered, keeping pre-window snapshots
+	// byte-identical).
+	Windows map[string]WindowedSnapshot `json:"windows,omitempty"`
 }
 
 // Snapshot captures the current value of every registered metric.
 func (r *Registry) Snapshot() Snapshot {
+	return r.snapshotAt(time.Now().UnixNano())
+}
+
+// SnapshotAtNs captures the registry with rolling windows evaluated at
+// the given wall-clock time (deterministic window decay in tests).
+func (r *Registry) SnapshotAtNs(nowNs int64) Snapshot {
+	return r.snapshotAt(nowNs)
+}
+
+func (r *Registry) snapshotAt(nowNs int64) Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
@@ -236,6 +332,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.snapshot()
+	}
+	if len(r.windows) > 0 {
+		s.Windows = make(map[string]WindowedSnapshot, len(r.windows))
+		for name, w := range r.windows {
+			s.Windows[name] = w.SnapshotAtNs(nowNs)
+		}
 	}
 	return s
 }
@@ -258,6 +360,22 @@ func (r *Registry) Reset() {
 		h.max.Store(0)
 		for i := range h.buckets {
 			h.buckets[i].Store(0)
+		}
+	}
+	for _, w := range r.windows {
+		w.breaches.Store(0)
+		for i := range w.windows {
+			for s := range w.windows[i].slices {
+				sl := &w.windows[i].slices[s]
+				sl.epoch.Store(0)
+				sl.count.Store(0)
+				sl.sum.Store(0)
+				sl.max.Store(0)
+				sl.breached.Store(0)
+				for b := range sl.buckets {
+					sl.buckets[b].Store(0)
+				}
+			}
 		}
 	}
 }
@@ -303,6 +421,24 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%-44s count=%d avg=%s max=%s\n",
 			name, h.Count, time.Duration(h.AvgNs), time.Duration(h.MaxNs)); err != nil {
 			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Windows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, span := range windowSpecs {
+			win, ok := s.Windows[name][span.name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-44s count=%d p50=%s p99=%s breaches=%d\n",
+				name+"["+span.name+"]", win.Count,
+				time.Duration(win.P50Ns), time.Duration(win.P99Ns), win.Breach); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

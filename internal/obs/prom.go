@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) generated straight from a
+// registry snapshot, so the same numbers behind the JSON /metrics
+// endpoint can be scraped by any Prometheus-compatible collector
+// without adding a client-library dependency.
+//
+// Mapping:
+//
+//   - counters  -> <name>_total (TYPE counter)
+//   - gauges    -> <name> (TYPE gauge)
+//   - histograms -> <name>_seconds histogram: cumulative le buckets in
+//     seconds (power-of-two nanosecond bounds converted), +Inf, _sum,
+//     _count
+//   - windows   -> <name>_window_* gauges labelled {window="10s"|"1m"|"5m"}:
+//     count, p50/p95/p99 seconds, slo_breaches
+//
+// Dotted registry names become underscore-separated Prometheus names
+// ("engine.decisions" -> "engine_decisions_total"); any character
+// outside [a-zA-Z0-9_] maps to '_'.
+
+// promName sanitizes a registry metric name into a valid Prometheus
+// metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeconds formats a nanosecond count as seconds with enough
+// precision to round-trip the integer nanoseconds.
+func promSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format. Output is deterministic: metric families are sorted by name.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promSeconds(b.UpperNs), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promSeconds(h.SumNs), pn, h.Count); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Windows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_window"
+		// Samples of one metric family must be contiguous, so emit
+		// suffix-major: each family's TYPE line, then one sample per
+		// window label.
+		families := [...]struct {
+			suffix string
+			value  func(WindowSnapshot) string
+		}{
+			{"count", func(w WindowSnapshot) string { return strconv.FormatInt(w.Count, 10) }},
+			{"p50_seconds", func(w WindowSnapshot) string { return promSeconds(w.P50Ns) }},
+			{"p95_seconds", func(w WindowSnapshot) string { return promSeconds(w.P95Ns) }},
+			{"p99_seconds", func(w WindowSnapshot) string { return promSeconds(w.P99Ns) }},
+			{"slo_breaches", func(w WindowSnapshot) string { return strconv.FormatInt(w.Breach, 10) }},
+		}
+		for _, fam := range families {
+			full := pn + "_" + fam.suffix
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", full); err != nil {
+				return err
+			}
+			for _, spec := range windowSpecs {
+				win, ok := s.Windows[name][spec.name]
+				if !ok {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s{window=%q} %s\n", full, spec.name, fam.value(win)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

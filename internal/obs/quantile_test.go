@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketQuantileEdges(t *testing.T) {
+	var b [histBuckets]int64
+	if got := bucketQuantile(b[:], 0, 99); got != 0 {
+		t.Fatalf("empty histogram p99: got %d, want 0", got)
+	}
+	// Single observation in bucket 1 (value 1ns): every quantile is 1.
+	b[1] = 1
+	for _, q := range []int64{50, 95, 99} {
+		if got := bucketQuantile(b[:], 1, q); got != 1 {
+			t.Fatalf("p%d of single 1ns obs: got %d", q, got)
+		}
+	}
+}
+
+func TestBucketQuantileInterpolation(t *testing.T) {
+	var b [histBuckets]int64
+	// 100 observations all in bucket 11: [1024, 2047].
+	b[11] = 100
+	p50 := bucketQuantile(b[:], 100, 50)
+	p99 := bucketQuantile(b[:], 100, 99)
+	if p50 < bucketLower(11) || p50 > bucketUpper(11) {
+		t.Fatalf("p50 outside bucket bounds: %d", p50)
+	}
+	if p99 < bucketLower(11) || p99 > bucketUpper(11) {
+		t.Fatalf("p99 outside bucket bounds: %d", p99)
+	}
+	if p99 <= p50 {
+		t.Fatalf("interpolation not monotone inside bucket: p50=%d p99=%d", p50, p99)
+	}
+}
+
+func TestBucketQuantileSplit(t *testing.T) {
+	var b [histBuckets]int64
+	// 50 observations around 1µs (bucket 10: 512..1023) and 50 around
+	// 1ms (bucket 20: 524288..1048575).
+	b[10] = 50
+	b[20] = 50
+	p50 := bucketQuantile(b[:], 100, 50)
+	p95 := bucketQuantile(b[:], 100, 95)
+	if p50 > bucketUpper(10) {
+		t.Fatalf("p50 should stay in the low bucket: %d", p50)
+	}
+	if p95 < bucketLower(20) {
+		t.Fatalf("p95 should land in the high bucket: %d", p95)
+	}
+}
+
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	s := h.snapshot()
+	if s.P50Ns < int64(time.Microsecond)/2 || s.P50Ns > 2*int64(time.Microsecond) {
+		t.Fatalf("p50 = %dns, want about 1µs", s.P50Ns)
+	}
+	if s.P99Ns > 2*int64(time.Microsecond) {
+		t.Fatalf("p99 = %dns, should not reach the outlier at rank 99", s.P99Ns)
+	}
+	if s.MaxNs < int64(100*time.Millisecond) {
+		t.Fatalf("max lost: %d", s.MaxNs)
+	}
+	// Quantiles must never exceed the observed max's bucket bound.
+	if s.P99Ns > s.MaxNs {
+		t.Fatalf("p99 %d exceeds max %d", s.P99Ns, s.MaxNs)
+	}
+}

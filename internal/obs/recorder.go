@@ -1,0 +1,539 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is the decision flight recorder: a sharded, lock-free,
+// fixed-size ring of compact binary records written by the serving path
+// (one per sampled decision) and decoded on demand for the /audit
+// endpoint and offline analysis.
+//
+// The cost model is asymmetric by design. The caller drives sampling
+// from a counter it already pays for (Counter.Bump on the decisions
+// counter): a non-sampled decision costs one mask test, so the recorder
+// can ride a ~30 ns decision path inside a 10% overhead budget. A
+// sampled-in decision pays the full record — request digest, wall-clock
+// timestamp, precise latency, four atomic slot stores — which measures
+// in the low hundreds of nanoseconds and still performs zero heap
+// allocations. SampleShift 0 records every decision (the right setting
+// when each decision already rides an HTTP request); SampleShift k
+// records every 2^k-th.
+//
+// Ring placement is derived, not allocated: the sampled ordinal
+// k = n >> SampleShift maps to shard k % shards, slot (k / shards) %
+// capacity. Concurrent writers therefore never contend on a ring
+// cursor — distinct ordinals always address distinct slots — and a
+// slot's sequence word (k+1, stored last) lets readers detect in-flight
+// or overwritten slots instead of decoding torn data. All slot words
+// are atomics, so snapshots race-cleanly overlap writes.
+//
+// Anomaly triggers — latency above the SLO threshold, a deny decided
+// where the same request digest was last permitted, a snapshot
+// generation change — set flag bits on the record and copy it into a
+// separate events ring that only anomalies and audit events (coalition
+// policy imports) overwrite, so the tail around a trigger survives long
+// after the main ring has wrapped.
+type Recorder struct {
+	shift     uint8 // sample every 2^shift-th decision
+	shardMask uint64
+	slotMask  uint64
+	shardBits uint8
+	sloNs     int64
+
+	shards []recShard
+
+	// events holds audit events and anomaly copies (rare writes, own
+	// cursor).
+	evCursor atomic.Uint64
+	events   []atomic.Uint64
+
+	// lastK tracks the highest committed sampled ordinal (CAS-max).
+	lastK atomic.Uint64
+	// lastGen is the last observed snapshot generation (generation-change
+	// trigger).
+	lastGen atomic.Uint64
+	// flipTable is a direct-mapped effect cache keyed by request digest:
+	// entry = (digest >> 32) << 8 | effect. A Deny whose digest was last
+	// seen as Permit marks the deny-after-permit anomaly.
+	flipTable [256]atomic.Uint64
+
+	// window, when set, receives every sampled latency (rolling-window
+	// percentiles over the serving path).
+	window *Windowed
+
+	closed atomic.Bool
+
+	// stats
+	nRecorded  atomic.Int64
+	nEvents    atomic.Int64
+	nAnomalies [3]atomic.Int64 // indexed by anomaly bit position
+
+	// names resolves policy-id hashes and truncated generations at decode
+	// time; filled by NoteGeneration on the (rare) compile path.
+	mu       sync.Mutex
+	policies map[uint32]string
+	gens     map[uint64]uint64 // low genBits -> latest full generation
+}
+
+type recShard struct {
+	_     [8]uint64 // pad: keep shards on distinct cache lines
+	slots []atomic.Uint64
+}
+
+// recWords is the slot width: sequence, timestamp, digest|policy hash,
+// packed latency|generation|flags|effect.
+const recWords = 4
+
+// w3 packing: effect [0,4), flags [4,8), generation [8,28), latency
+// nanoseconds [28,64) clamped.
+const (
+	recEffectBits = 4
+	recFlagBits   = 4
+	recGenBits    = 20
+	recGenShift   = recEffectBits + recFlagBits
+	recLatShift   = recGenShift + recGenBits
+	recLatMax     = (uint64(1) << (64 - recLatShift)) - 1
+	recGenMask    = (uint64(1) << recGenBits) - 1
+)
+
+// Anomaly flag bits (w3 flags field).
+const (
+	FlagLatencySLO = 1 << iota // latency at or above the SLO threshold
+	FlagEffectFlip             // deny where this digest was last permitted
+	FlagGenChange              // first record under a new snapshot generation
+)
+
+// Effect codes. 1–4 mirror the XACML decisions (Permit, Deny,
+// NotApplicable, Indeterminate); 8+ are audit-event kinds.
+const (
+	EffectPermit        = 1
+	EffectDeny          = 2
+	EffectNotApplicable = 3
+	EffectIndeterminate = 4
+
+	EventImportAdopted  = 8
+	EventImportRejected = 9
+)
+
+func effectName(e uint8) string {
+	switch e {
+	case EffectPermit:
+		return "Permit"
+	case EffectDeny:
+		return "Deny"
+	case EffectNotApplicable:
+		return "NotApplicable"
+	case EffectIndeterminate:
+		return "Indeterminate"
+	case EventImportAdopted:
+		return "import-adopted"
+	case EventImportRejected:
+		return "import-rejected"
+	default:
+		return fmt.Sprintf("effect-%d", e)
+	}
+}
+
+// RecorderOptions configures a Recorder. The zero value is usable:
+// 4 shards of 1024 slots, every decision recorded, no latency SLO.
+type RecorderOptions struct {
+	// Shards is the number of slot stripes (rounded up to a power of
+	// two, default 4). Consecutive sampled decisions land on distinct
+	// shards, so concurrent writers touch distinct cache lines.
+	Shards int
+	// ShardCapacity is the number of records per shard (rounded up to a
+	// power of two, default 1024).
+	ShardCapacity int
+	// SampleShift records every 2^SampleShift-th decision (0 = all).
+	SampleShift uint8
+	// LatencySLO, when positive, marks records at or above this latency
+	// with FlagLatencySLO and copies them into the events ring.
+	LatencySLO time.Duration
+	// EventCapacity is the events-ring size (rounded up to a power of
+	// two, default 256).
+	EventCapacity int
+	// Window, when set, receives every sampled latency observation.
+	Window *Windowed
+}
+
+func ceilPow2(n, def int) uint64 {
+	if n <= 0 {
+		n = def
+	}
+	p := uint64(1)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	return p
+}
+
+// NewRecorder builds a flight recorder.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	shards := ceilPow2(opts.Shards, 4)
+	capacity := ceilPow2(opts.ShardCapacity, 1024)
+	events := ceilPow2(opts.EventCapacity, 256)
+	r := &Recorder{
+		shift:     opts.SampleShift,
+		shardMask: shards - 1,
+		slotMask:  capacity - 1,
+		sloNs:     int64(opts.LatencySLO),
+		shards:    make([]recShard, shards),
+		events:    make([]atomic.Uint64, events*recWords),
+		window:    opts.Window,
+		policies:  make(map[uint32]string),
+		gens:      make(map[uint64]uint64),
+	}
+	for b := shards; b > 1; b >>= 1 {
+		r.shardBits++
+	}
+	for i := range r.shards {
+		r.shards[i].slots = make([]atomic.Uint64, capacity*recWords)
+	}
+	return r
+}
+
+// SampleShift returns the configured sampling shift.
+func (r *Recorder) SampleShift() uint8 { return r.shift }
+
+// Sampled reports whether the n-th decision (a Counter.Bump value) is
+// sampled into the ring. This is the entire non-sampled hot-path cost:
+// one mask test.
+func (r *Recorder) Sampled(n int64) bool {
+	return uint64(n)&((1<<r.shift)-1) == 0
+}
+
+// SampledIn reports whether any decision ordinal in [first, last] is
+// sampled — the batch-path pre-check.
+func (r *Recorder) SampledIn(first, last int64) bool {
+	mask := int64(1)<<r.shift - 1
+	return (first+mask)&^mask <= last
+}
+
+// Close marks the recorder closed: subsequent commits and events are
+// dropped. Recorded data stays readable. The recorder owns no
+// goroutines; Close exists so holders have a defined detach point (and
+// so tests can assert nothing leaks across open/use/close cycles).
+func (r *Recorder) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close was called.
+func (r *Recorder) Closed() bool { return r.closed.Load() }
+
+// NoteGeneration registers a compiled generation's policy ids so record
+// decoding can resolve policy-id hashes back to names. Called on the
+// (rare) compile path; safe for concurrent use.
+func (r *Recorder) NoteGeneration(gen uint64, ids []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		r.policies[fnv32a(id)] = id
+	}
+	if prev, ok := r.gens[gen&recGenMask]; !ok || gen > prev {
+		r.gens[gen&recGenMask] = gen
+	}
+}
+
+// Commit writes one decision record. n is the decision ordinal (the
+// Counter.Bump value the caller used with Sampled), gen the snapshot
+// generation, policyID the winning policy ("" when none), effect one of
+// the Effect codes, digest the request attribute digest, t the decision
+// start time, lat the measured latency. Zero heap allocations.
+func (r *Recorder) Commit(n int64, gen uint64, policyID string, effect uint8, digest uint64, t time.Time, lat time.Duration) {
+	if r.closed.Load() {
+		return
+	}
+	flags := r.detectAnomalies(gen, effect, digest, lat)
+	k := uint64(n) >> r.shift
+	sh := &r.shards[k&r.shardMask]
+	base := ((k >> r.shardBits) & r.slotMask) * recWords
+	w1 := uint64(t.UnixNano())
+	w2 := digest<<32 | uint64(fnv32a(policyID))
+	w3 := packW3(lat, gen, flags, effect)
+	// Sequence word last: a reader that sees w0 == k before and after
+	// copying w1..w3 observed a fully committed, un-overwritten slot.
+	// Counter.Bump values start at 1, so k >= 1 and 0 still means
+	// "never written".
+	sh.slots[base+1].Store(w1)
+	sh.slots[base+2].Store(w2)
+	sh.slots[base+3].Store(w3)
+	sh.slots[base].Store(k)
+	casMax(&r.lastK, k)
+	r.nRecorded.Add(1)
+	if flags != 0 {
+		r.writeEvent(r.evCursor.Add(1), w1, w2, w3)
+	}
+	if r.window != nil {
+		r.window.ObserveAtNs(int64(w1), int64(lat))
+	}
+}
+
+// Event records an audit event (coalition policy import, operator
+// action) into the events ring. kind is one of the Event* codes; d is
+// the operation's duration (vet latency for imports).
+func (r *Recorder) Event(kind uint8, policyID string, gen uint64, d time.Duration) {
+	if r.closed.Load() {
+		return
+	}
+	r.mu.Lock()
+	r.policies[fnv32a(policyID)] = policyID
+	if prev, ok := r.gens[gen&recGenMask]; !ok || gen > prev {
+		r.gens[gen&recGenMask] = gen
+	}
+	r.mu.Unlock()
+	w1 := uint64(time.Now().UnixNano())
+	w2 := uint64(fnv32a(policyID))
+	w3 := packW3(d, gen, 0, kind)
+	seq := r.evCursor.Add(1)
+	r.writeEvent(seq, w1, w2, w3)
+	r.nEvents.Add(1)
+}
+
+func (r *Recorder) writeEvent(seq, w1, w2, w3 uint64) {
+	base := ((seq - 1) & (uint64(len(r.events))/recWords - 1)) * recWords
+	r.events[base+1].Store(w1)
+	r.events[base+2].Store(w2)
+	r.events[base+3].Store(w3)
+	r.events[base].Store(seq)
+}
+
+func packW3(lat time.Duration, gen uint64, flags, effect uint8) uint64 {
+	ln := uint64(lat)
+	if lat < 0 {
+		ln = 0
+	}
+	if ln > recLatMax {
+		ln = recLatMax
+	}
+	return ln<<recLatShift | (gen&recGenMask)<<recGenShift |
+		uint64(flags&0xf)<<recEffectBits | uint64(effect&0xf)
+}
+
+func (r *Recorder) detectAnomalies(gen uint64, effect uint8, digest uint64, lat time.Duration) uint8 {
+	var flags uint8
+	if r.sloNs > 0 && int64(lat) >= r.sloNs {
+		flags |= FlagLatencySLO
+		r.nAnomalies[0].Add(1)
+	}
+	entry := (digest>>32)<<8 | uint64(effect)
+	prev := r.flipTable[digest&0xff].Swap(entry)
+	if prev != 0 && prev>>8 == digest>>32 &&
+		uint8(prev) == EffectPermit && effect == EffectDeny {
+		flags |= FlagEffectFlip
+		r.nAnomalies[1].Add(1)
+	}
+	if last := r.lastGen.Load(); last != gen {
+		r.lastGen.Store(gen)
+		if last != 0 {
+			flags |= FlagGenChange
+			r.nAnomalies[2].Add(1)
+		}
+	}
+	return flags
+}
+
+func casMax(v *atomic.Uint64, x uint64) {
+	for {
+		old := v.Load()
+		if x <= old || v.CompareAndSwap(old, x) {
+			return
+		}
+	}
+}
+
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// AuditRecord is one decoded flight-recorder record.
+type AuditRecord struct {
+	// Seq is the record's sampled ordinal (the decision ordinal shifted
+	// by the sample rate; monotonic — gaps mean the slots between were
+	// overwritten or still in flight).
+	Seq uint64 `json:"seq"`
+	// Time is the decision's wall-clock start time.
+	Time time.Time `json:"time"`
+	// Digest is the request attribute digest (hex, order-independent
+	// over the request's attributes) — equal digests mean equal-shaped
+	// requests, which is what effect-flip detection keys on.
+	Digest string `json:"digest,omitempty"`
+	// PolicyID is the winning policy, resolved from the hash via
+	// NoteGeneration when possible, else "hash:xxxxxxxx".
+	PolicyID string `json:"policy_id,omitempty"`
+	// Effect is the decision (or event kind).
+	Effect string `json:"effect"`
+	// Generation is the snapshot generation (resolved to the full value
+	// when a noted generation matches, else the truncated 20-bit field).
+	Generation uint64 `json:"generation"`
+	// LatencyNs is the measured decision latency (event duration for
+	// events).
+	LatencyNs int64 `json:"latency_ns"`
+	// Anomalies lists triggered anomaly flags.
+	Anomalies []string `json:"anomalies,omitempty"`
+}
+
+// RecorderStats summarizes recorder activity.
+type RecorderStats struct {
+	Recorded    int64 `json:"recorded"`
+	Events      int64 `json:"events"`
+	LatencySLO  int64 `json:"latency_slo_breaches"`
+	EffectFlips int64 `json:"effect_flips"`
+	GenChanges  int64 `json:"generation_changes"`
+	SampleShift uint8 `json:"sample_shift"`
+}
+
+// Stats returns recorder activity counters.
+func (r *Recorder) Stats() RecorderStats {
+	return RecorderStats{
+		Recorded:    r.nRecorded.Load(),
+		Events:      r.nEvents.Load(),
+		LatencySLO:  r.nAnomalies[0].Load(),
+		EffectFlips: r.nAnomalies[1].Load(),
+		GenChanges:  r.nAnomalies[2].Load(),
+		SampleShift: r.shift,
+	}
+}
+
+// Tail decodes the most recent n committed records, oldest first.
+// In-flight and overwritten slots are skipped, never torn.
+func (r *Recorder) Tail(n int) []AuditRecord {
+	if n <= 0 {
+		return nil
+	}
+	top := r.lastK.Load() // highest committed sampled ordinal
+	if top == 0 {
+		return nil
+	}
+	span := uint64(n)
+	window := (r.slotMask + 1) * (r.shardMask + 1)
+	if span > window {
+		span = window
+	}
+	lo := uint64(1)
+	if top > span {
+		lo = top - span + 1
+	}
+	out := make([]AuditRecord, 0, top-lo+1)
+	for seq := lo; seq <= top; seq++ {
+		k := seq
+		sh := &r.shards[k&r.shardMask]
+		base := ((k >> r.shardBits) & r.slotMask) * recWords
+		if rec, ok := r.decodeSlot(sh.slots[base:base+recWords], seq); ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Events decodes the most recent n audit events and anomaly copies,
+// oldest first.
+func (r *Recorder) Events(n int) []AuditRecord {
+	if n <= 0 {
+		return nil
+	}
+	top := r.evCursor.Load()
+	if top == 0 {
+		return nil
+	}
+	span := uint64(n)
+	if ringCap := uint64(len(r.events)) / recWords; span > ringCap {
+		span = ringCap
+	}
+	lo := uint64(1)
+	if top > span {
+		lo = top - span + 1
+	}
+	out := make([]AuditRecord, 0, top-lo+1)
+	for seq := lo; seq <= top; seq++ {
+		base := ((seq - 1) & (uint64(len(r.events))/recWords - 1)) * recWords
+		if rec, ok := r.decodeSlot(r.events[base:base+recWords], seq); ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// decodeSlot reads one slot and validates its sequence word before and
+// after the field copy, rejecting in-flight and overwritten slots.
+func (r *Recorder) decodeSlot(words []atomic.Uint64, want uint64) (AuditRecord, bool) {
+	if words[0].Load() != want {
+		return AuditRecord{}, false
+	}
+	w1 := words[1].Load()
+	w2 := words[2].Load()
+	w3 := words[3].Load()
+	if words[0].Load() != want {
+		return AuditRecord{}, false
+	}
+	effect := uint8(w3 & (1<<recEffectBits - 1))
+	flags := uint8(w3 >> recEffectBits & (1<<recFlagBits - 1))
+	gen := w3 >> recGenShift & recGenMask
+	lat := int64(w3 >> recLatShift)
+	rec := AuditRecord{
+		Seq:        want,
+		Time:       time.Unix(0, int64(w1)),
+		Effect:     effectName(effect),
+		Generation: r.resolveGen(gen),
+		LatencyNs:  lat,
+	}
+	if effect < EventImportAdopted {
+		if digest := w2 >> 32; digest != 0 {
+			rec.Digest = fmt.Sprintf("%08x", digest)
+		}
+	}
+	if pid := uint32(w2); pid != fnv32a("") {
+		rec.PolicyID = r.resolvePolicy(pid)
+	}
+	for bit, name := range []string{"latency-slo", "effect-flip", "generation-change"} {
+		if flags&(1<<bit) != 0 {
+			rec.Anomalies = append(rec.Anomalies, name)
+		}
+	}
+	return rec, true
+}
+
+func (r *Recorder) resolvePolicy(hash uint32) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.policies[hash]; ok {
+		return id
+	}
+	return fmt.Sprintf("hash:%08x", hash)
+}
+
+func (r *Recorder) resolveGen(low uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if full, ok := r.gens[low]; ok {
+		return full
+	}
+	return low
+}
+
+// AuditDump is the JSON document served by /audit and consumed by
+// `agenptrace -audit`: the decoded decision tail, the event tail, and
+// the recorder stats.
+type AuditDump struct {
+	Party      string        `json:"party,omitempty"`
+	Generation uint64        `json:"generation,omitempty"`
+	Stats      RecorderStats `json:"stats"`
+	Records    []AuditRecord `json:"records"`
+	Events     []AuditRecord `json:"events,omitempty"`
+}
+
+// Dump assembles an AuditDump with the most recent n records and
+// events.
+func (r *Recorder) Dump(n int) AuditDump {
+	return AuditDump{
+		Stats:   r.Stats(),
+		Records: r.Tail(n),
+		Events:  r.Events(n),
+	}
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Windowed is a set of rolling-window duration histograms: the same
+// power-of-two buckets as Histogram, but kept per time slice in a small
+// ring so snapshots report percentiles over the last 10 seconds, last
+// minute, and last 5 minutes instead of process lifetime.
+//
+// Each window is a ring of slices; an observation lands in the slice
+// covering its timestamp, and stale slices are lazily reset in place
+// when their slot comes around again (epoch CAS — the winner zeroes the
+// slice; a concurrent observation racing the reset can lose at most
+// itself, never corrupt a count). Observe is lock-free and
+// allocation-free; it costs a handful of atomic adds per window, which
+// is fine for the paths that use it (request handlers and sampled
+// flight-recorder commits — not the raw decision hot path).
+//
+// An optional SLO threshold turns the window into a burn counter:
+// observations at or above the threshold are counted per slice, so
+// snapshots report how many requests breached the SLO inside each
+// window alongside the lifetime total.
+type Windowed struct {
+	sloNs   atomic.Int64
+	windows [len(windowSpecs)]winRing
+	// lifetime breach counter (burn across restarts of the window).
+	breaches atomic.Int64
+}
+
+// windowSpec fixes the reporting windows: name, slice duration, slice
+// count. Slices overshoot the nominal window by one so a full window is
+// always covered even mid-slice.
+type windowSpec struct {
+	name    string
+	sliceNs int64
+	slices  int
+}
+
+var windowSpecs = [3]windowSpec{
+	{"10s", int64(time.Second), 11},
+	{"1m", 5 * int64(time.Second), 13},
+	{"5m", 20 * int64(time.Second), 16},
+}
+
+// winSlice is one time slice: an epoch (the absolute slice index it
+// currently holds) plus a compact histogram.
+type winSlice struct {
+	epoch    atomic.Int64
+	count    atomic.Int64
+	sum      atomic.Int64
+	max      atomic.Int64
+	breached atomic.Int64
+	buckets  [histBuckets]atomic.Int64
+}
+
+type winRing struct {
+	slices []winSlice
+}
+
+func newWindowed() *Windowed {
+	w := &Windowed{}
+	for i, spec := range windowSpecs {
+		w.windows[i].slices = make([]winSlice, spec.slices)
+	}
+	return w
+}
+
+// SetSLO installs the burn threshold: observations at or above it count
+// as breaches. Zero disables breach counting.
+func (w *Windowed) SetSLO(threshold time.Duration) { w.sloNs.Store(int64(threshold)) }
+
+// SLO returns the current burn threshold.
+func (w *Windowed) SLO() time.Duration { return time.Duration(w.sloNs.Load()) }
+
+// Observe records one duration at the current wall-clock time.
+func (w *Windowed) Observe(d time.Duration) {
+	w.ObserveAtNs(time.Now().UnixNano(), int64(d))
+}
+
+// ObserveSince records the elapsed time since t0.
+func (w *Windowed) ObserveSince(t0 time.Time) {
+	w.ObserveAtNs(t0.UnixNano(), int64(time.Since(t0)))
+}
+
+// ObserveAtNs records a duration of durNs nanoseconds observed at
+// wall-clock nowNs. The explicit timestamp keeps callers that already
+// hold one (the flight recorder) from paying a second clock read, and
+// makes window decay deterministic under test.
+func (w *Windowed) ObserveAtNs(nowNs, durNs int64) {
+	if durNs < 0 {
+		durNs = 0
+	}
+	slo := w.sloNs.Load()
+	breach := slo > 0 && durNs >= slo
+	if breach {
+		w.breaches.Add(1)
+	}
+	for i := range w.windows {
+		spec := &windowSpecs[i]
+		idx := nowNs / spec.sliceNs
+		sl := &w.windows[i].slices[int(idx)%spec.slices]
+		for {
+			e := sl.epoch.Load()
+			if e == idx {
+				break
+			}
+			if e > idx {
+				// Clock skew or a very stale observation: drop rather
+				// than pollute a newer slice.
+				sl = nil
+				break
+			}
+			if sl.epoch.CompareAndSwap(e, idx) {
+				// We won the rotation: zero the slice in place.
+				// Observations racing this reset may be partially lost;
+				// a slice boundary loses at most a handful of samples.
+				sl.count.Store(0)
+				sl.sum.Store(0)
+				sl.max.Store(0)
+				sl.breached.Store(0)
+				for b := range sl.buckets {
+					sl.buckets[b].Store(0)
+				}
+				break
+			}
+		}
+		if sl == nil {
+			continue
+		}
+		sl.count.Add(1)
+		sl.sum.Add(durNs)
+		casMaxI64(&sl.max, durNs)
+		sl.buckets[bucketIndex(durNs)].Add(1)
+		if breach {
+			sl.breached.Add(1)
+		}
+	}
+}
+
+func casMaxI64(v *atomic.Int64, x int64) {
+	for {
+		old := v.Load()
+		if x <= old || v.CompareAndSwap(old, x) {
+			return
+		}
+	}
+}
+
+// WindowSnapshot is the aggregate over one rolling window.
+type WindowSnapshot struct {
+	Count   int64             `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	MaxNs   int64             `json:"max_ns"`
+	P50Ns   int64             `json:"p50_ns"`
+	P95Ns   int64             `json:"p95_ns"`
+	P99Ns   int64             `json:"p99_ns"`
+	Breach  int64             `json:"slo_breaches,omitempty"`
+	SLONs   int64             `json:"slo_ns,omitempty"`
+	WinNs   int64             `json:"window_ns"`
+	Buckets []HistogramBucket `json:"-"`
+}
+
+// WindowedSnapshot maps window name ("10s", "1m", "5m") to its
+// aggregate.
+type WindowedSnapshot map[string]WindowSnapshot
+
+// Snapshot aggregates every window at the current wall-clock time.
+func (w *Windowed) Snapshot() WindowedSnapshot {
+	return w.SnapshotAtNs(time.Now().UnixNano())
+}
+
+// SnapshotAtNs aggregates every window as of nowNs: slices whose epoch
+// falls inside the window are summed, everything older is decayed out.
+func (w *Windowed) SnapshotAtNs(nowNs int64) WindowedSnapshot {
+	out := make(WindowedSnapshot, len(windowSpecs))
+	slo := w.sloNs.Load()
+	for i := range w.windows {
+		spec := &windowSpecs[i]
+		idx := nowNs / spec.sliceNs
+		// The window covers the current (partial) slice plus enough
+		// whole slices to span the nominal duration.
+		nominal := int64(spec.slices-1) * spec.sliceNs
+		lo := idx - int64(spec.slices) + 1
+		var agg WindowSnapshot
+		agg.WinNs = nominal
+		agg.SLONs = slo
+		var buckets [histBuckets]int64
+		for s := range w.windows[i].slices {
+			sl := &w.windows[i].slices[s]
+			e := sl.epoch.Load()
+			if e < lo || e > idx {
+				continue
+			}
+			agg.Count += sl.count.Load()
+			agg.SumNs += sl.sum.Load()
+			agg.Breach += sl.breached.Load()
+			if m := sl.max.Load(); m > agg.MaxNs {
+				agg.MaxNs = m
+			}
+			for b := range buckets {
+				buckets[b] += sl.buckets[b].Load()
+			}
+		}
+		var inBuckets int64 // may lag Count under concurrent observers
+		for _, n := range buckets {
+			inBuckets += n
+		}
+		agg.P50Ns = bucketQuantile(buckets[:], inBuckets, 50)
+		agg.P95Ns = bucketQuantile(buckets[:], inBuckets, 95)
+		agg.P99Ns = bucketQuantile(buckets[:], inBuckets, 99)
+		for b, n := range buckets {
+			if n != 0 {
+				agg.Buckets = append(agg.Buckets, HistogramBucket{UpperNs: bucketUpper(b), Count: n})
+			}
+		}
+		out[spec.name] = agg
+	}
+	return out
+}
+
+// LifetimeBreaches returns the total SLO breaches since construction.
+func (w *Windowed) LifetimeBreaches() int64 { return w.breaches.Load() }

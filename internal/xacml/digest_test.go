@@ -1,0 +1,67 @@
+package xacml
+
+import "testing"
+
+func TestDigestOrderIndependent(t *testing.T) {
+	// Build the same logical request twice with different insertion
+	// orders; map iteration randomization means repeated Digest calls
+	// exercise different walk orders too.
+	a := NewRequest().
+		Set(Subject, "role", S("medic")).
+		Set(Subject, "clearance", I(3)).
+		Set(Action, "id", S("overtake")).
+		Set(Resource, "zone", S("north"))
+	b := NewRequest().
+		Set(Resource, "zone", S("north")).
+		Set(Action, "id", S("overtake")).
+		Set(Subject, "clearance", I(3)).
+		Set(Subject, "role", S("medic"))
+	da := a.Digest()
+	for i := 0; i < 50; i++ {
+		if got := a.Digest(); got != da {
+			t.Fatalf("Digest unstable across calls: %x vs %x", got, da)
+		}
+		if got := b.Digest(); got != da {
+			t.Fatalf("Digest depends on insertion order: %x vs %x", got, da)
+		}
+	}
+}
+
+func TestDigestDiscriminates(t *testing.T) {
+	base := NewRequest().Set(Action, "id", S("overtake"))
+	cases := []Request{
+		NewRequest().Set(Action, "id", S("share")),                                 // different value
+		NewRequest().Set(Action, "verb", S("overtake")),                            // different attribute
+		NewRequest().Set(Subject, "id", S("overtake")),                             // different category
+		NewRequest().Set(Action, "id", I(7)),                                       // different type
+		NewRequest().Set(Action, "id", S("overtake")).Set(Subject, "role", S("x")), // extra attribute
+		NewRequest(), // empty
+	}
+	d0 := base.Digest()
+	for i, r := range cases {
+		if r.Digest() == d0 {
+			t.Fatalf("case %d digests equal to base", i)
+		}
+	}
+}
+
+func TestDigestZeroAllocs(t *testing.T) {
+	r := NewRequest().
+		Set(Subject, "role", S("medic")).
+		Set(Action, "id", S("overtake"))
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = r.Digest()
+	})
+	if allocs != 0 {
+		t.Fatalf("Digest allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestDigestIntVsStringValue(t *testing.T) {
+	// An int value must not collide with its decimal string rendering.
+	a := NewRequest().Set(Action, "id", I(42))
+	b := NewRequest().Set(Action, "id", S("42"))
+	if a.Digest() == b.Digest() {
+		t.Fatalf("int and string values collide")
+	}
+}

@@ -143,6 +143,53 @@ func (r Request) Key() string {
 
 func (r Request) String() string { return r.Key() }
 
+// Digest returns a 64-bit fingerprint of the request's attributes:
+// equal-shaped requests digest equally, and the combine is commutative
+// so Go's randomized map iteration order does not change the result.
+// Zero allocations — this runs per sampled decision on the serving
+// path (the flight recorder keys effect-flip detection on it).
+func (r Request) Digest() uint64 {
+	var h uint64
+	for cat, attrs := range r {
+		ch := fnv64a(string(cat))
+		for a, v := range attrs {
+			ah := fnv64a(a)
+			var vh uint64
+			if v.IsInt {
+				vh = mix64(uint64(v.Int) ^ 0x9e3779b97f4a7c15)
+			} else {
+				vh = fnv64a(v.Str)
+			}
+			// Per-attribute hash mixes category, name, and value
+			// order-sensitively; attributes combine by addition
+			// (commutative) so iteration order cancels out.
+			h += mix64(ch ^ mix64(ah^vh))
+		}
+	}
+	return h
+}
+
+// fnv64a is FNV-1a over a string, inlined to keep Digest allocation-free.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is a 64-bit finalizer (splitmix64) spreading input bits so the
+// additive combine in Digest doesn't cluster.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Effect is a rule's effect.
 type Effect int
 

@@ -1,0 +1,272 @@
+// Command promcheck validates a Prometheus text-exposition (version
+// 0.0.4) document on stdin — the CI smoke gate for the /metrics/prom
+// endpoint. Checks:
+//
+//   - every non-comment line is a sample: a legal metric name, an
+//     optional well-formed {label="value"} set, and a float value
+//   - every sample belongs to a family declared by a preceding # TYPE
+//     line (histogram samples may use the _bucket/_sum/_count suffixes)
+//   - histogram _bucket series are cumulative in le order and close
+//     with le="+Inf"
+//   - every metric name passed as an argument is present with at least
+//     one sample
+//
+// Exit status is nonzero on any violation.
+//
+// Usage:
+//
+//	curl -s localhost:8077/metrics/prom | go run ./scripts/promcheck engine_decisions_total
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := check(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+type histState struct {
+	prevCum   int64
+	prevLe    float64
+	sawInf    bool
+	sawBucket bool
+}
+
+func check(required []string) error {
+	types := map[string]string{} // family -> counter|gauge|histogram
+	seen := map[string]bool{}    // sample names with >= 1 sample
+	hists := map[string]*histState{}
+	samples := 0
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := directive(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, typ, ok := family(name, types)
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE line", lineNo, name)
+		}
+		seen[name] = true
+		samples++
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if err := bucketStep(fam, labels, value, hists); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in input")
+	}
+	for fam, h := range hists {
+		if h.sawBucket && !h.sawInf {
+			return fmt.Errorf("histogram %s has buckets but no le=\"+Inf\" bucket", fam)
+		}
+	}
+	for _, want := range required {
+		if !seen[want] {
+			return fmt.Errorf("required metric %s has no samples", want)
+		}
+	}
+	fmt.Printf("promcheck: %d samples, %d families ok\n", samples, len(types))
+	return nil
+}
+
+// directive validates a comment line and records # TYPE declarations.
+func directive(line string, types map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+		return nil // free-form comment
+	}
+	if fields[1] == "HELP" {
+		return nil
+	}
+	if len(fields) != 4 {
+		return fmt.Errorf("malformed TYPE line: %s", line)
+	}
+	name, typ := fields[2], fields[3]
+	if !validName(name) {
+		return fmt.Errorf("illegal metric name %q in TYPE line", name)
+	}
+	switch typ {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("unknown metric type %q", typ)
+	}
+	types[name] = typ
+	return nil
+}
+
+// parseSample splits `name{label="v",...} value` into its parts and
+// validates each.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample: %s", line)
+	}
+	name = rest[:end]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("illegal metric name %q", name)
+	}
+	rest = rest[end:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set: %s", line)
+		}
+		for _, pair := range splitLabels(rest[1:close]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			k := pair[:eq]
+			v, verr := strconv.Unquote(pair[eq+1:])
+			if !validName(k) || verr != nil {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			labels[k] = v
+		}
+		rest = rest[close+1:]
+	}
+	val := strings.TrimSpace(rest)
+	if strings.ContainsAny(val, " \t") {
+		// A trailing timestamp is legal in 0.0.4; our exporter never
+		// emits one, but tolerate it.
+		val = strings.Fields(val)[0]
+	}
+	value, err = parseValue(val)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in sample %s: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseValue(s string) (float64, error) {
+	if s == "+Inf" || s == "-Inf" || s == "NaN" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// family resolves a sample name to its declared TYPE family: the name
+// itself, or the histogram/summary base when the name carries a
+// _bucket/_sum/_count suffix.
+func family(name string, types map[string]string) (fam, typ string, ok bool) {
+	if t, found := types[name]; found {
+		return name, t, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, found := types[base]; found && (t == "histogram" || t == "summary") {
+			return base, t, true
+		}
+	}
+	return "", "", false
+}
+
+// bucketStep checks one histogram _bucket sample for le ordering and
+// cumulative counts.
+func bucketStep(fam string, labels map[string]string, value float64, hists map[string]*histState) error {
+	le, ok := labels["le"]
+	if !ok {
+		return fmt.Errorf("histogram %s bucket without le label", fam)
+	}
+	h := hists[fam]
+	if h == nil {
+		h = &histState{prevLe: -1 << 62}
+		hists[fam] = h
+	}
+	var bound float64
+	if le == "+Inf" {
+		h.sawInf = true
+		bound = 1 << 62
+	} else {
+		var err error
+		if bound, err = strconv.ParseFloat(le, 64); err != nil {
+			return fmt.Errorf("histogram %s bucket le=%q does not parse", fam, le)
+		}
+	}
+	if h.sawBucket && bound <= h.prevLe {
+		return fmt.Errorf("histogram %s buckets out of le order (%q after %g)", fam, le, h.prevLe)
+	}
+	cum := int64(value)
+	if h.sawBucket && cum < h.prevCum {
+		return fmt.Errorf("histogram %s bucket counts not cumulative (%d after %d)", fam, cum, h.prevCum)
+	}
+	h.sawBucket = true
+	h.prevLe = bound
+	h.prevCum = cum
+	return nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
