@@ -131,7 +131,9 @@ func coloringProgram(n int) *asp.Program {
 // --- ablation benchmarks (design choices from DESIGN.md) ---
 
 // BenchmarkAblationSolverBranching compares NAF-atom branching against
-// naive full-atom branching on the same program.
+// naive full-atom branching on the same program. Branching over NAF
+// atoms is a DFS-engine concept, so both arms pin EngineDFS — the
+// engines themselves are A/B'd by BenchmarkSolveEngines.
 func BenchmarkAblationSolverBranching(b *testing.B) {
 	prog := coloringProgram(4)
 	for _, naive := range []bool{false, true} {
@@ -141,11 +143,59 @@ func BenchmarkAblationSolverBranching(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := asp.Solve(prog, asp.SolveOptions{NaiveBranching: naive}); err != nil {
+				opts := asp.SolveOptions{Engine: asp.EngineDFS, NaiveBranching: naive}
+				if _, err := asp.Solve(prog, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSolveEngines A/Bs the CDNL engine against the legacy DFS
+// oracle on a tight constraint program (graph coloring) and a non-tight
+// one (coloring plus a positive reachability loop that exercises the
+// unfounded-set check).
+func BenchmarkSolveEngines(b *testing.B) {
+	nonTight := coloringProgram(6)
+	extra, err := asp.Parse(`
+		reach(n0).
+		reach(Y) :- reach(X), edge(X, Y).
+		reach(X) :- reach(Y), edge(X, Y).
+		:- node(N), not reach(N).
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonTight = asp.NewProgram(append(nonTight.Rules, extra.Rules...)...)
+	cases := []struct {
+		name string
+		prog *asp.Program
+	}{
+		{"tight", coloringProgram(6)},
+		{"nontight", nonTight},
+	}
+	for _, tc := range cases {
+		for _, eng := range []asp.EngineKind{asp.EngineCDNL, asp.EngineDFS} {
+			name := tc.name + "/cdnl"
+			if eng == asp.EngineDFS {
+				name = tc.name + "/dfs"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				g, err := asp.Ground(tc.prog, asp.GroundingOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc := &asp.SolverScratch{}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := asp.SolveGroundScratch(g, asp.SolveOptions{Engine: eng}, sc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	asolve [-n max] [-ground] [program.lp]
+//	asolve [-n max] [-engine cdnl|dfs] [-ground] [program.lp]
 //	echo "a :- not b. b :- not a." | asolve -n 0
 package main
 
@@ -30,10 +30,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	maxModels := fs.Int("n", 0, "maximum number of answer sets to print (0 = all)")
 	showGround := fs.Bool("ground", false, "print the ground program instead of solving")
 	maxDecisions := fs.Int64("budget", 0, "abort after this many search decisions (0 = unlimited)")
-	stats := fs.Bool("stats", false, "dump the telemetry registry to stderr on exit")
+	engine := fs.String("engine", "cdnl", "solving engine: cdnl (conflict-driven, default) or dfs (legacy oracle)")
+	stats := fs.Bool("stats", false, "dump the telemetry registry to stderr on exit (includes solver conflicts, backjumps, and learned nogoods)")
 	trace := fs.String("trace", "", "write span trace as JSON lines to this file (see agenptrace)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var engineKind asp.EngineKind
+	switch *engine {
+	case "cdnl":
+		engineKind = asp.EngineCDNL
+	case "dfs":
+		engineKind = asp.EngineDFS
+	default:
+		return fmt.Errorf("unknown engine %q (want cdnl or dfs)", *engine)
 	}
 	if *trace != "" {
 		stop, err := obs.StartTrace(*trace)
@@ -77,6 +87,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	models, err := asp.SolveGround(ground, asp.SolveOptions{
 		MaxModels:    *maxModels,
 		MaxDecisions: *maxDecisions,
+		Engine:       engineKind,
 	})
 	if err != nil {
 		return err

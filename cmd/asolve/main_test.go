@@ -55,6 +55,29 @@ func TestRunGround(t *testing.T) {
 	}
 }
 
+func TestRunEngineFlag(t *testing.T) {
+	// Both engines print the same sets; the non-tight program exercises
+	// the CDNL unfounded-set check and the DFS reduct check.
+	src := "a :- b. b :- a. a :- not c. c :- not a."
+	// Enumeration order may differ between engines; the sets must not.
+	for _, eng := range []string{"cdnl", "dfs"} {
+		var out strings.Builder
+		if err := run([]string{"-engine", eng}, strings.NewReader(src), &out); err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		got := out.String()
+		for _, want := range []string{"{a, b}", "{c}", "SATISFIABLE (2 answer set(s))"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("engine %s output missing %q:\n%s", eng, want, got)
+			}
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-engine", "bogus"}, strings.NewReader("a."), &out); err == nil {
+		t.Error("unknown engine not rejected")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, strings.NewReader("p :-"), &out); err == nil {

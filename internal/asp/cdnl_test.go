@@ -1,0 +1,268 @@
+package asp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// modelSet canonicalizes a list of answer sets for set comparison:
+// each model prints its atoms sorted, and the models themselves are
+// sorted, so two enumerations agree iff they found the same sets.
+func modelSet(models []*AnswerSet) []string {
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func solveBothEngines(t *testing.T, src string, opts SolveOptions) (cdnl, dfs []string) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	g, err := Ground(prog, GroundingOptions{})
+	if err != nil {
+		t.Fatalf("ground %q: %v", src, err)
+	}
+	opts.Engine = EngineCDNL
+	mc, err := SolveGround(g, opts)
+	if err != nil {
+		t.Fatalf("cdnl solve %q: %v", src, err)
+	}
+	opts.Engine = EngineDFS
+	md, err := SolveGround(g, opts)
+	if err != nil {
+		t.Fatalf("dfs solve %q: %v", src, err)
+	}
+	return modelSet(mc), modelSet(md)
+}
+
+// TestSolveEnginesNonTight pins the CDNL engine to the DFS oracle (and
+// to expected answer sets) on programs with positive loops, where the
+// completion alone is too weak and the unfounded-set check must fire.
+func TestSolveEnginesNonTight(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"p :- p.", []string{"{}"}},
+		{"a :- b. b :- a.", []string{"{}"}},
+		{"a :- b. b :- a. a :- not c. c :- not a.", []string{"{a, b}", "{c}"}},
+		{"x :- y. y :- x. x :- not z. z :- not x.", []string{"{x, y}", "{z}"}},
+		// Completion-satisfying but unfounded: {p, q} solves the
+		// completion of the loop yet must be rejected.
+		{"p :- q. q :- p. r :- not r, not p.", nil},
+		{"a :- b. b :- a. a :- c. c :- not d. d :- not c.", []string{"{a, b, c}", "{d}"}},
+		// Two independent loops, one externally supported.
+		{"a :- b. b :- a. c :- d. d :- c. b :- e. e.", []string{"{a, b, e}"}},
+		// Loop through a constraint-guarded choice.
+		{"{g}. p :- q. q :- p. p :- g. :- not p.", []string{"{g, p, q}"}},
+		{"p :- not p.", nil},
+	}
+	for _, tc := range cases {
+		cdnl, dfs := solveBothEngines(t, tc.src, SolveOptions{})
+		if fmt.Sprint(cdnl) != fmt.Sprint(dfs) {
+			t.Errorf("%q: engines disagree: cdnl=%v dfs=%v", tc.src, cdnl, dfs)
+		}
+		want := tc.want
+		if want == nil {
+			want = []string{}
+		}
+		if fmt.Sprint(cdnl) != fmt.Sprint(want) {
+			t.Errorf("%q: got %v, want %v", tc.src, cdnl, want)
+		}
+	}
+}
+
+// TestSolveEnginesCorpusEquivalence runs both engines over the
+// deterministic random-program corpus and requires identical answer-set
+// sets, plus identical output across repeated CDNL runs (enumeration
+// must be deterministic).
+func TestSolveEnginesCorpusEquivalence(t *testing.T) {
+	for seed := 0; seed < 600; seed++ {
+		src := randomProgram(seed)
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		g, err := Ground(prog, GroundingOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: ground: %v", seed, err)
+		}
+		mc1, err := SolveGround(g, SolveOptions{Engine: EngineCDNL})
+		if err != nil {
+			t.Fatalf("seed %d: cdnl: %v", seed, err)
+		}
+		mc2, err := SolveGround(g, SolveOptions{Engine: EngineCDNL})
+		if err != nil {
+			t.Fatalf("seed %d: cdnl rerun: %v", seed, err)
+		}
+		for i := range mc1 {
+			if mc1[i].String() != mc2[i].String() {
+				t.Fatalf("seed %d: cdnl enumeration not deterministic", seed)
+			}
+		}
+		md, err := SolveGround(g, SolveOptions{Engine: EngineDFS})
+		if err != nil {
+			t.Fatalf("seed %d: dfs: %v", seed, err)
+		}
+		sc, sd := modelSet(mc1), modelSet(md)
+		if fmt.Sprint(sc) != fmt.Sprint(sd) {
+			t.Fatalf("seed %d: engines disagree on %q:\ncdnl: %v\ndfs:  %v", seed, src, sc, sd)
+		}
+		for _, m := range mc1 {
+			if !verifyStable(g, m) {
+				t.Fatalf("seed %d: cdnl model %s not stable for %q", seed, m, src)
+			}
+		}
+	}
+}
+
+// chainProgram builds a ground implication chain a0, a1 :- a0, ...,
+// aN :- aN-1 directly (no parser), long enough that solving it passes
+// through the propagation-loop context poll at least once.
+func chainProgram(n int) *GroundProgram {
+	g := &GroundProgram{}
+	for i := 0; i < n; i++ {
+		g.Atoms = append(g.Atoms, Atom{Predicate: fmt.Sprintf("a%d", i)})
+	}
+	g.Rules = append(g.Rules, GroundRule{Head: 0})
+	for i := 1; i < n; i++ {
+		g.Rules = append(g.Rules, GroundRule{Head: int32(i), PosBody: []int32{int32(i - 1)}})
+	}
+	return g
+}
+
+// TestCDNLContextCancel: a cancelled context aborts the solve from
+// inside unit propagation (the chain forces >4096 propagations before
+// any decision), and the same scratch solves cleanly afterwards — a
+// stale context error must not leak across runs.
+func TestCDNLContextCancel(t *testing.T) {
+	g := chainProgram(3 * (ctxCheckMask + 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := &SolverScratch{}
+	_, err := SolveGroundScratch(g, SolveOptions{Context: ctx}, sc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solve: got err %v, want context.Canceled", err)
+	}
+	// Reuse the same scratch without a context: must fully succeed.
+	models, err := SolveGroundScratch(g, SolveOptions{}, sc)
+	if err != nil {
+		t.Fatalf("reuse after cancel: %v", err)
+	}
+	if len(models) != 1 || models[0].Len() != len(g.Atoms) {
+		t.Fatalf("reuse after cancel: got %d models, want the full chain", len(models))
+	}
+}
+
+// TestDFSContextCancel covers the oracle engine's per-decision poll.
+func TestDFSContextCancel(t *testing.T) {
+	prog, err := Parse("{a; b; c; d; e; f; g; h; i; j}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Ground(prog, GroundingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = SolveGround(g, SolveOptions{Engine: EngineDFS, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+}
+
+// TestCDNLDecisionBudget: MaxDecisions aborts enumeration with
+// ErrSearchBudget on both engines.
+func TestCDNLDecisionBudget(t *testing.T) {
+	prog, err := Parse("{a; b; c; d; e; f; g; h; i; j; k; l}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Ground(prog, GroundingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []EngineKind{EngineCDNL, EngineDFS} {
+		_, err := SolveGround(g, SolveOptions{Engine: eng, MaxDecisions: 10})
+		if !errors.Is(err, ErrSearchBudget) {
+			t.Errorf("engine %v: got err %v, want ErrSearchBudget", eng, err)
+		}
+	}
+}
+
+// TestCDNLMaxModels: the model budget truncates enumeration without
+// error, and every returned model is stable.
+func TestCDNLMaxModels(t *testing.T) {
+	src := "a1 :- not b1. b1 :- not a1. a2 :- not b2. b2 :- not a2. a3 :- not b3. b3 :- not a3."
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Ground(prog, GroundingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := SolveGround(g, SolveOptions{MaxModels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 5 {
+		t.Fatalf("got %d models, want 5", len(models))
+	}
+	for _, m := range models {
+		if !verifyStable(g, m) {
+			t.Fatalf("model %s not stable", m)
+		}
+	}
+}
+
+// TestSolveScratchReuseNoLeak mirrors the checker leak tests: a long
+// sequence of solves on one scratch — large programs, cancelled solves,
+// small programs — must neither leak goroutines nor let stale buffers
+// corrupt later results.
+func TestSolveScratchReuseNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := &SolverScratch{}
+	big := chainProgram(2 * (ctxCheckMask + 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := SolveGroundScratch(big, SolveOptions{Context: ctx}, sc); !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: want context.Canceled, got %v", i, err)
+		}
+		prog, err := Parse("a :- not b. b :- not a. c :- a. :- b.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Ground(prog, GroundingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models, err := SolveGroundScratch(g, SolveOptions{}, sc)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if got := fmt.Sprint(modelSet(models)); got != "[{a, c}]" {
+			t.Fatalf("round %d: got %s, want [{a, c}]", i, got)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}

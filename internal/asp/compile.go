@@ -1,0 +1,399 @@
+package asp
+
+// Clause-form compilation: a GroundProgram is translated once into the
+// Clark-completion nogoods the CDNL engine searches over. Every atom
+// and every distinct rule body gets a solver variable; a literal is
+// 2*v for "v true" and 2*v+1 for "v false". For a body β = l1,...,lm
+// the compiler emits
+//
+//	(β ∨ ¬l1 ∨ ... ∨ ¬lm)   body is true once all its literals hold
+//	(¬β ∨ li)               and forces each literal while true
+//
+// for every atom a with supporting bodies β1..βk
+//
+//	(¬a ∨ β1 ∨ ... ∨ βk)    a needs a true body (unit ¬a when k = 0)
+//	(a ∨ ¬βi)               and any true body derives a
+//
+// and for every constraint body the unit (¬β). Completion alone is
+// stable-model exact only for tight programs; the compiler therefore
+// marks the atoms on positive dependency cycles so the solver knows
+// when to run its unfounded-set check.
+//
+// Variables are append-only and never renumbered, so an incremental
+// extension (new atoms, new bodies, new clauses) can be journaled and
+// rolled back without disturbing the base clauses. The clause arena is
+// [size, flags, lits...] records; a clause ref is the offset of its
+// size word. The arena is read-only during solving (learned clauses
+// live in solver-private storage), so one compiled program may serve
+// concurrent solves of the same ground program.
+
+const clauseDisabled = 1
+
+// pLit / nLit build the positive ("v true") and negative literal of a
+// variable; litVar recovers the variable.
+func pLit(v int32) int32   { return v << 1 }
+func nLit(v int32) int32   { return v<<1 | 1 }
+func litVar(l int32) int32 { return l >> 1 }
+
+// CompiledProgram is the clause form of a ground program: completion
+// clauses over atom and body variables plus the positive-dependency
+// cycle information the unfounded-set check needs. Build one with
+// compileGround (or transparently via GroundProgram.clauseForm) and
+// reuse it across solves.
+type CompiledProgram struct {
+	nAtoms int32 // atom ids covered; atomVar is parallel
+	nVars  int32
+
+	atomVar []int32 // atom id -> solver variable
+	varAtom []int32 // variable -> atom id, or -1 for body variables
+
+	arena []int32 // clause store: [size, flags, lits...]*
+
+	// Body structure. bodyLit[bodyOff[b]:bodyOff[b+1]] lists the atom
+	// literals body b requires (pLit for positive, nLit for negated),
+	// over atom variables.
+	bodyOff   []int32
+	bodyLit   []int32
+	bodyVarID []int32          // body id -> solver variable
+	bodyKey   map[string]int32 // canonical body literals -> body id
+
+	heads    [][]int32 // per body: head atoms it supports
+	supports [][]int32 // per atom: bodies supporting it
+	supRef   []int32   // per atom: arena ref of its support clause
+
+	// Positive-dependency cycle info. cyclic[a] marks atoms on a
+	// positive cycle; tight programs (nCyclic == 0) skip the
+	// unfounded-set machinery entirely.
+	cyclic  []bool
+	nCyclic int32
+
+	// posBodyPreds holds the predicates occurring positively in any
+	// rule body: an extension can only create new positive cycles when
+	// one of its head predicates is in this set (something must depend
+	// on the new heads), which gates the SCC recomputation.
+	posBodyPreds map[string]struct{}
+
+	keyBuf []byte  // scratch for body interning
+	litBuf []int32 // scratch for body literal canonicalisation
+}
+
+// NumClauseVars returns the solver variable count (atoms plus bodies).
+func (cp *CompiledProgram) NumClauseVars() int { return int(cp.nVars) }
+
+// NumClauses counts the active clauses in the arena.
+func (cp *CompiledProgram) NumClauses() int {
+	n := 0
+	for ref := int32(0); ref < int32(len(cp.arena)); ref += cp.arena[ref] + 2 {
+		if cp.arena[ref+1]&clauseDisabled == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Tight reports whether the program has no positive dependency cycles.
+func (cp *CompiledProgram) Tight() bool { return cp.nCyclic == 0 }
+
+// compileGround builds the clause form of a ground program.
+func compileGround(g *GroundProgram) *CompiledProgram {
+	n := int32(g.NumAtoms())
+	cp := &CompiledProgram{
+		nAtoms:       n,
+		nVars:        n,
+		bodyKey:      make(map[string]int32, len(g.Rules)),
+		bodyOff:      []int32{0},
+		posBodyPreds: make(map[string]struct{}),
+		atomVar:      make([]int32, n),
+		varAtom:      make([]int32, n, n+int32(len(g.Rules))),
+		supports:     make([][]int32, n),
+		supRef:       make([]int32, n),
+	}
+	for a := int32(0); a < n; a++ {
+		cp.atomVar[a] = a
+		cp.varAtom[a] = a
+	}
+	cp.addRules(g.Rules, g, nil)
+	cp.finishAtoms(0, n)
+	cp.computeCyclic()
+	return cp
+}
+
+// clauseForm returns the cached clause form of the program, compiling
+// it on first use. Programs produced by IncrementalGrounder.Extend
+// carry a hook that extends the grounder's base clause form instead of
+// compiling from scratch.
+func (g *GroundProgram) clauseForm() *CompiledProgram {
+	if g.cp == nil {
+		if g.cpFn != nil {
+			g.cp = g.cpFn()
+		} else {
+			g.cp = compileGround(g)
+		}
+	}
+	return g.cp
+}
+
+// beginClause/endClause bracket arena clause emission.
+func (cp *CompiledProgram) beginClause() int32 {
+	ref := int32(len(cp.arena))
+	cp.arena = append(cp.arena, 0, 0) // size, flags
+	return ref
+}
+
+func (cp *CompiledProgram) endClause(ref int32) {
+	cp.arena[ref] = int32(len(cp.arena)) - ref - 2
+}
+
+func (cp *CompiledProgram) emit2(a, b int32) {
+	ref := cp.beginClause()
+	cp.arena = append(cp.arena, a, b)
+	cp.endClause(ref)
+}
+
+func (cp *CompiledProgram) emit1(a int32) {
+	ref := cp.beginClause()
+	cp.arena = append(cp.arena, a)
+	cp.endClause(ref)
+}
+
+// internBody canonicalises a rule body into a body id, emitting the
+// body-definition clauses on first sight. j is the active extension
+// journal, nil during base compilation.
+func (cp *CompiledProgram) internBody(pos, neg []int32, j *cpJournal) int32 {
+	lits := cp.litBuf[:0]
+	for _, a := range pos {
+		lits = append(lits, pLit(cp.atomVar[a]))
+	}
+	for _, a := range neg {
+		lits = append(lits, nLit(cp.atomVar[a]))
+	}
+	// Insertion sort: bodies are short and nearly sorted.
+	for i := 1; i < len(lits); i++ {
+		for k := i; k > 0 && lits[k] < lits[k-1]; k-- {
+			lits[k], lits[k-1] = lits[k-1], lits[k]
+		}
+	}
+	// Dedup in place.
+	w := 0
+	for i, l := range lits {
+		if i > 0 && l == lits[w-1] {
+			continue
+		}
+		lits[w] = l
+		w++
+	}
+	lits = lits[:w]
+	cp.litBuf = lits
+
+	key := cp.keyBuf[:0]
+	for _, l := range lits {
+		key = append(key, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	cp.keyBuf = key
+	if b, ok := cp.bodyKey[string(key)]; ok {
+		return b
+	}
+	if j != nil {
+		// Extensions intern new bodies in the journal's side table so
+		// rollback never touches the shared map.
+		if b := j.lookupExt(key); b >= 0 {
+			return b
+		}
+		j.addExtKey(key)
+	}
+	b := cp.nBodies()
+	if j == nil {
+		cp.bodyKey[string(key)] = b
+	}
+	cp.bodyLit = append(cp.bodyLit, lits...)
+	cp.bodyOff = append(cp.bodyOff, int32(len(cp.bodyLit)))
+	cp.heads = append(cp.heads, nil)
+	vb := cp.nVars
+	cp.nVars++
+	cp.bodyVarID = append(cp.bodyVarID, vb)
+	cp.varAtom = append(cp.varAtom, -1)
+
+	// Body-true clause: (β ∨ ¬l1 ∨ ... ∨ ¬lm); a fact body is the unit (β).
+	ref := cp.beginClause()
+	cp.arena = append(cp.arena, pLit(vb))
+	for _, l := range lits {
+		cp.arena = append(cp.arena, l^1)
+	}
+	cp.endClause(ref)
+	// Literal clauses: (¬β ∨ li).
+	for _, l := range lits {
+		cp.emit2(nLit(vb), l)
+	}
+	return b
+}
+
+func (cp *CompiledProgram) nBodies() int32 { return int32(len(cp.bodyVarID)) }
+
+// addRules compiles rules into bodies, head-derivation clauses, support
+// lists, and constraint units. g supplies predicate names for the cycle
+// gate; its atom table must cover every id the rules mention.
+func (cp *CompiledProgram) addRules(rules []GroundRule, g *GroundProgram, j *cpJournal) {
+	for ri := range rules {
+		r := &rules[ri]
+		b := cp.internBody(r.PosBody, r.NegBody, j)
+		for _, a := range r.PosBody {
+			p := g.Atoms[a].Predicate
+			if _, ok := cp.posBodyPreds[p]; !ok {
+				cp.posBodyPreds[p] = struct{}{}
+				if j != nil {
+					j.addedPreds = append(j.addedPreds, p)
+				}
+			}
+		}
+		if r.Head < 0 {
+			// Constraint: the body must never hold.
+			cp.emit1(nLit(cp.bodyVarID[b]))
+			continue
+		}
+		if containsInt32(cp.supports[r.Head], b) {
+			continue // duplicate (head, body) pair after body canonicalisation
+		}
+		if j != nil {
+			j.noteSupportGrowth(cp, r.Head, b)
+		}
+		cp.supports[r.Head] = append(cp.supports[r.Head], b)
+		cp.heads[b] = append(cp.heads[b], r.Head)
+		// Head-derivation clause: (a ∨ ¬β).
+		cp.emit2(pLit(cp.atomVar[r.Head]), nLit(cp.bodyVarID[b]))
+	}
+}
+
+func containsInt32(s []int32, x int32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// finishAtoms emits the support clause for every atom in [from, to):
+// (¬a ∨ β1 ∨ ... ∨ βk), degenerating to the unit (¬a) for atoms with no
+// supporting body.
+func (cp *CompiledProgram) finishAtoms(from, to int32) {
+	for a := from; a < to; a++ {
+		cp.supRef[a] = cp.emitSupport(a)
+	}
+}
+
+func (cp *CompiledProgram) emitSupport(a int32) int32 {
+	ref := cp.beginClause()
+	cp.arena = append(cp.arena, nLit(cp.atomVar[a]))
+	for _, b := range cp.supports[a] {
+		cp.arena = append(cp.arena, pLit(cp.bodyVarID[b]))
+	}
+	cp.endClause(ref)
+	return ref
+}
+
+// computeCyclic finds the atoms on positive dependency cycles (SCC size
+// greater than one, or a self-loop) with an iterative Tarjan pass over
+// the head -> positive-body-atom graph induced by the body structure.
+func (cp *CompiledProgram) computeCyclic() {
+	n := int(cp.nAtoms)
+	cyclic := make([]bool, n)
+	index := make([]int32, n) // 0 = unvisited, else order+1
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	sccStack := make([]int32, 0, 16)
+	next := int32(1)
+
+	// Explicit DFS frames: node plus a cursor over its outgoing edges,
+	// flattened as (support index, literal index within that body).
+	type frame struct {
+		node   int32
+		si, li int32
+	}
+	var stack []frame
+
+	// edgeTarget advances a frame's cursor to its next positive-body
+	// atom, returning -1 when the node's edges are exhausted.
+	edgeTarget := func(f *frame) int32 {
+		sup := cp.supports[f.node]
+		for int(f.si) < len(sup) {
+			b := sup[f.si]
+			lits := cp.bodyLit[cp.bodyOff[b]:cp.bodyOff[b+1]]
+			for int(f.li) < len(lits) {
+				l := lits[f.li]
+				f.li++
+				if l&1 == 0 {
+					if a := cp.varAtom[litVar(l)]; a >= 0 {
+						return a
+					}
+				}
+			}
+			f.si++
+			f.li = 0
+		}
+		return -1
+	}
+
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{node: root})
+		index[root] = next
+		low[root] = next
+		next++
+		sccStack = append(sccStack, root)
+		onStack[root] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			t := edgeTarget(f)
+			if t >= 0 {
+				if t == f.node {
+					cyclic[t] = true // self-loop
+					continue
+				}
+				if index[t] == 0 {
+					stack = append(stack, frame{node: t})
+					index[t] = next
+					low[t] = next
+					next++
+					sccStack = append(sccStack, t)
+					onStack[t] = true
+				} else if onStack[t] && index[t] < low[f.node] {
+					low[f.node] = index[t]
+				}
+				continue
+			}
+			// Node done: pop, propagate low, close the SCC at its root.
+			v := f.node
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 && low[v] < low[stack[len(stack)-1].node] {
+				low[stack[len(stack)-1].node] = low[v]
+			}
+			if low[v] == index[v] {
+				top := len(sccStack)
+				i := top
+				for {
+					i--
+					onStack[sccStack[i]] = false
+					if sccStack[i] == v {
+						break
+					}
+				}
+				if top-i > 1 {
+					for k := i; k < top; k++ {
+						cyclic[sccStack[k]] = true
+					}
+				}
+				sccStack = sccStack[:i]
+			}
+		}
+	}
+
+	cp.cyclic = cyclic
+	cp.nCyclic = 0
+	for _, c := range cyclic {
+		if c {
+			cp.nCyclic++
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package asp
+
+// Incremental clause-form maintenance: the clause form of an
+// IncrementalGrounder's base program is compiled once, and each
+// Extend's rules are appended under a journal that rollback undoes —
+// new variables, new bodies, new clauses, grown support/head lists, and
+// superseded (disabled) base support clauses all revert, so the next
+// extension starts from the pristine base clauses instead of
+// recompiling them.
+
+// cpJournal records what one extension added to a CompiledProgram. It
+// is a reusable buffer: reset truncates every list in place, so the
+// per-coverage-check extend/rollback cycle stays allocation-free once
+// the buffers have grown.
+type cpJournal struct {
+	baseAtoms   int32
+	baseBodies  int32
+	baseVars    int32
+	baseArena   int32
+	baseBodyLit int32
+
+	// Extension bodies are interned here instead of the shared bodyKey
+	// map (probe the map, then scan these — extensions have only a
+	// handful of bodies), avoiding per-extension map and string churn.
+	extKeyBuf []byte  // concatenated canonical keys
+	extKeyOff []int32 // extKeyBuf offsets, len = extension bodies + 1
+
+	addedPreds []string // posBodyPreds entries to delete
+
+	supGrown  []int32 // base atoms whose support list grew (parallel lens)
+	supLens   []int32
+	headGrown []int32 // base bodies whose head list grew (parallel lens)
+	headLens  []int32
+
+	supRefAtoms []int32 // base atoms whose support clause was replaced
+	supRefs     []int32 // their previous (now disabled) clause refs
+
+	prevCyclic       []bool
+	prevNCyclic      int32
+	cyclicRecomputed bool
+}
+
+// reset re-arms the journal for a fresh extension of cp.
+func (j *cpJournal) reset(cp *CompiledProgram) {
+	j.baseAtoms = cp.nAtoms
+	j.baseBodies = cp.nBodies()
+	j.baseVars = cp.nVars
+	j.baseArena = int32(len(cp.arena))
+	j.baseBodyLit = int32(len(cp.bodyLit))
+	j.extKeyBuf = j.extKeyBuf[:0]
+	j.extKeyOff = append(j.extKeyOff[:0], 0)
+	j.addedPreds = j.addedPreds[:0]
+	j.supGrown = j.supGrown[:0]
+	j.supLens = j.supLens[:0]
+	j.headGrown = j.headGrown[:0]
+	j.headLens = j.headLens[:0]
+	j.supRefAtoms = j.supRefAtoms[:0]
+	j.supRefs = j.supRefs[:0]
+	j.prevCyclic = cp.cyclic
+	j.prevNCyclic = cp.nCyclic
+	j.cyclicRecomputed = false
+}
+
+// lookupExt scans the journal's extension bodies for key, returning the
+// body id or -1.
+func (j *cpJournal) lookupExt(key []byte) int32 {
+	for i := 0; i+1 < len(j.extKeyOff); i++ {
+		k := j.extKeyBuf[j.extKeyOff[i]:j.extKeyOff[i+1]]
+		if string(k) == string(key) { // compiles to a bytes compare, no alloc
+			return j.baseBodies + int32(i)
+		}
+	}
+	return -1
+}
+
+func (j *cpJournal) addExtKey(key []byte) {
+	j.extKeyBuf = append(j.extKeyBuf, key...)
+	j.extKeyOff = append(j.extKeyOff, int32(len(j.extKeyBuf)))
+}
+
+// noteSupportGrowth journals the pre-extension lengths of a base atom's
+// support list and a base body's head list before they grow.
+func (j *cpJournal) noteSupportGrowth(cp *CompiledProgram, head, b int32) {
+	if head < j.baseAtoms && !containsInt32(j.supGrown, head) {
+		j.supGrown = append(j.supGrown, head)
+		j.supLens = append(j.supLens, int32(len(cp.supports[head])))
+	}
+	if b < j.baseBodies && !containsInt32(j.headGrown, b) {
+		j.headGrown = append(j.headGrown, b)
+		j.headLens = append(j.headLens, int32(len(cp.heads[b])))
+	}
+}
+
+// replaceSupport disables an atom's current support clause and emits a
+// fresh one covering its grown body list.
+func (cp *CompiledProgram) replaceSupport(a int32, j *cpJournal) {
+	old := cp.supRef[a]
+	cp.arena[old+1] |= clauseDisabled
+	j.supRefAtoms = append(j.supRefAtoms, a)
+	j.supRefs = append(j.supRefs, old)
+	cp.supRef[a] = cp.emitSupport(a)
+}
+
+// extend compiles extRules (the rules of gp beyond the shared base
+// prefix) into the clause form. gp's atom table must be a superset of
+// the base's — the incremental grounder's append-only interner
+// guarantees it. The returned journal undoes the extension.
+func (cp *CompiledProgram) extend(gp *GroundProgram, extRules []GroundRule, j *cpJournal) *cpJournal {
+	if j == nil {
+		j = &cpJournal{}
+	}
+	j.reset(cp)
+	nA := int32(len(gp.Atoms))
+	for a := cp.nAtoms; a < nA; a++ {
+		v := cp.nVars
+		cp.nVars++
+		cp.atomVar = append(cp.atomVar, v)
+		cp.varAtom = append(cp.varAtom, a)
+		cp.supports = append(cp.supports, nil)
+		cp.supRef = append(cp.supRef, -1)
+	}
+	cp.nAtoms = nA
+	cp.addRules(extRules, gp, j)
+	// Base atoms that gained bodies need their support clause replaced;
+	// extension atoms get theirs emitted for the first time.
+	for _, a := range j.supGrown {
+		cp.replaceSupport(a, j)
+	}
+	cp.finishAtoms(j.baseAtoms, nA)
+
+	// A new positive cycle needs an edge into an extension head: some
+	// body, somewhere, must mention an extension head predicate
+	// positively. posBodyPreds already includes the extension bodies
+	// (addRules ran), so the predicate probe is complete.
+	needSCC := false
+	for ri := range extRules {
+		h := extRules[ri].Head
+		if h < 0 {
+			continue
+		}
+		if _, ok := cp.posBodyPreds[gp.Atoms[h].Predicate]; ok {
+			needSCC = true
+			break
+		}
+	}
+	if needSCC {
+		j.cyclicRecomputed = true
+		cp.computeCyclic()
+	} else {
+		// No new cycles possible: keep the base marks and pad the new
+		// atoms as acyclic (rollback restores the old slice header).
+		cyc := cp.cyclic
+		for int32(len(cyc)) < nA {
+			cyc = append(cyc, false)
+		}
+		cp.cyclic = cyc
+	}
+	return j
+}
+
+// rollback reverts an extension, restoring the base clause form.
+func (cp *CompiledProgram) rollback(j *cpJournal) {
+	cp.arena = cp.arena[:j.baseArena]
+	for i, a := range j.supRefAtoms {
+		ref := j.supRefs[i]
+		cp.arena[ref+1] &^= clauseDisabled
+		cp.supRef[a] = ref
+	}
+	for i, a := range j.supGrown {
+		cp.supports[a] = cp.supports[a][:j.supLens[i]]
+	}
+	for i, b := range j.headGrown {
+		cp.heads[b] = cp.heads[b][:j.headLens[i]]
+	}
+	for _, p := range j.addedPreds {
+		delete(cp.posBodyPreds, p)
+	}
+	cp.bodyLit = cp.bodyLit[:j.baseBodyLit]
+	cp.bodyOff = cp.bodyOff[:j.baseBodies+1]
+	cp.bodyVarID = cp.bodyVarID[:j.baseBodies]
+	cp.heads = cp.heads[:j.baseBodies]
+	cp.supports = cp.supports[:j.baseAtoms]
+	cp.supRef = cp.supRef[:j.baseAtoms]
+	cp.atomVar = cp.atomVar[:j.baseAtoms]
+	cp.varAtom = cp.varAtom[:j.baseVars]
+	cp.nAtoms = j.baseAtoms
+	cp.nVars = j.baseVars
+	cp.cyclic = j.prevCyclic
+	cp.nCyclic = j.prevNCyclic
+}

@@ -127,6 +127,12 @@ type GroundProgram struct {
 	Rules []GroundRule
 
 	index map[string]int32 // atom key -> id
+
+	// cp caches the clause form (see compile.go); cpFn, when set by the
+	// incremental grounder, builds it by extending the base clause form
+	// instead of compiling from scratch.
+	cp   *CompiledProgram
+	cpFn func() *CompiledProgram
 }
 
 // AtomID returns the id of a ground atom, or -1 if the atom does not
@@ -726,7 +732,7 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 	// processed at the end (checked against the domain when producing the
 	// instance).
 	n := len(r.Body)
-	g.sDone = growBools(g.sDone, n)
+	g.sDone = grow(g.sDone, n)
 	if cap(g.sMatched) < n {
 		g.sMatched = make([]int32, n)
 	}

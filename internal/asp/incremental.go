@@ -88,6 +88,15 @@ type IncrementalGrounder struct {
 
 	baseDefs []ruleInfo
 	baseCons []ruleInfo
+
+	// cp is the lazily compiled clause form of the stable base rules;
+	// cpJ journals the clause-form extension of the current Extend (set
+	// when a returned program's clause form was actually built) so
+	// Reset can roll it back instead of recompiling the base. cpJBuf is
+	// the reused journal backing.
+	cp     *CompiledProgram
+	cpJ    *cpJournal
+	cpJBuf cpJournal
 }
 
 // NewIncrementalGrounder grounds the base program and freezes the
@@ -148,6 +157,10 @@ func (ig *IncrementalGrounder) Base() *GroundProgram {
 // Reset rolls the grounder back to the frozen base state, undoing the
 // effects of the last Extend. Extend calls it implicitly.
 func (ig *IncrementalGrounder) Reset() {
+	if ig.cpJ != nil {
+		ig.cp.rollback(ig.cpJ)
+		ig.cpJ = nil
+	}
 	g := ig.g
 	if !g.journal {
 		return
@@ -319,5 +332,25 @@ func (ig *IncrementalGrounder) finalizeExtended() *GroundProgram {
 		addInst(inst)
 	}
 	out.Rules = rules
+	out.cpFn = func() *CompiledProgram { return ig.clauseFormFor(out) }
 	return out
+}
+
+// clauseFormFor extends the base clause form with out's extension rules
+// — everything beyond the shared baseStable prefix (re-finalized
+// volatile instances and the pending extension) — under a journal that
+// the next Reset rolls back, so the base clauses are compiled exactly
+// once per grounder. Invoked lazily, the first time the returned
+// program is solved with the CDNL engine.
+func (ig *IncrementalGrounder) clauseFormFor(out *GroundProgram) *CompiledProgram {
+	if ig.cp == nil {
+		base := &GroundProgram{Atoms: ig.g.in.atoms[:ig.baseAtomLen], Rules: ig.baseStable}
+		ig.cp = compileGround(base)
+	}
+	if ig.cpJ != nil {
+		ig.cp.rollback(ig.cpJ)
+		ig.cpJ = nil
+	}
+	ig.cpJ = ig.cp.extend(out, out.Rules[len(ig.baseStable):], &ig.cpJBuf)
+	return ig.cp
 }

@@ -14,12 +14,14 @@ var (
 	statRulesInstances  = obs.C("asp.ground.rules_instantiated")
 	statGroundRulesKept = obs.C("asp.ground.rules_finalized")
 
-	statSolveCalls   = obs.C("asp.solve.calls")
-	statSolveDur     = obs.H("asp.solve.duration")
-	statDecisions    = obs.C("asp.solve.decisions")
-	statConflicts    = obs.C("asp.solve.conflicts")
-	statPropagations = obs.C("asp.solve.propagations")
-	statModelsFound  = obs.C("asp.solve.models")
+	statSolveCalls     = obs.C("asp.solve.calls")
+	statSolveDur       = obs.H("asp.solve.duration")
+	statDecisions      = obs.C("asp.solve.decisions")
+	statConflicts      = obs.C("asp.solve.conflicts")
+	statPropagations   = obs.C("asp.solve.propagations")
+	statBackjumps      = obs.C("asp.solve.backjumps")
+	statLearnedNogoods = obs.C("asp.solve.learned_nogoods")
+	statModelsFound    = obs.C("asp.solve.models")
 
 	statIncrExtends    = obs.C("asp.incremental.extends")
 	statIncrRollbacks  = obs.C("asp.incremental.rollbacks")

@@ -1,6 +1,7 @@
 package asp
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"strconv"
@@ -90,6 +91,19 @@ func (as *AnswerSet) String() string {
 	return sb.String()
 }
 
+// EngineKind selects the solving engine.
+type EngineKind int
+
+const (
+	// EngineCDNL is the default: conflict-driven nogood learning over
+	// the Clark-completion clause form (compile.go, cdnl.go).
+	EngineCDNL EngineKind = iota
+	// EngineDFS is the legacy chronological search kept as a
+	// differential oracle for the CDNL engine (and for the
+	// NaiveBranching ablation, which is a DFS-only concept).
+	EngineDFS
+)
+
 // SolveOptions configures the solver.
 type SolveOptions struct {
 	// MaxModels bounds the number of answer sets returned (0 = all).
@@ -97,12 +111,21 @@ type SolveOptions struct {
 
 	// NaiveBranching branches over every atom instead of only atoms that
 	// occur under negation. Exposed for the ablation benchmark; results
-	// are identical but search is exponentially larger.
+	// are identical but search is exponentially larger. Implies
+	// EngineDFS: the CDNL engine has no guess-over-NAF phase to ablate.
 	NaiveBranching bool
 
 	// MaxDecisions aborts the search after this many branching decisions
 	// (0 = unlimited). Guards real-time callers (paper Section III.B).
 	MaxDecisions int64
+
+	// Engine selects the solving engine; the zero value is EngineCDNL.
+	Engine EngineKind
+
+	// Context, when non-nil, cancels the search: the solver polls it on
+	// every decision and periodically during propagation, returning the
+	// context's error.
+	Context context.Context
 }
 
 // ErrSearchBudget is returned when MaxDecisions is exhausted.
@@ -140,12 +163,58 @@ func SolveGround(g *GroundProgram, opts SolveOptions) ([]*AnswerSet, error) {
 	return SolveGroundScratch(g, opts, nil)
 }
 
+// scratchPool recycles solver scratch for callers that pass sc == nil
+// (one-shot Solve / HasAnswerSet calls): the grown per-atom and
+// per-clause buffers survive across unrelated solves instead of being
+// reallocated per call.
+var scratchPool = sync.Pool{New: func() any { return &SolverScratch{} }}
+
 // SolveGroundScratch is SolveGround with caller-owned scratch buffers:
 // repeated solves (the learner's per-example coverage checks) reuse the
 // solver's per-atom and per-rule state instead of reallocating it each
 // call. sc may be nil; a scratch must not be shared between concurrent
 // solves.
 func SolveGroundScratch(g *GroundProgram, opts SolveOptions, sc *SolverScratch) ([]*AnswerSet, error) {
+	if sc == nil {
+		sc = scratchPool.Get().(*SolverScratch)
+		defer scratchPool.Put(sc)
+	}
+	if opts.Engine == EngineDFS || opts.NaiveBranching {
+		return solveGroundDFS(g, opts, sc)
+	}
+	t0 := time.Now()
+	sp := obs.StartSpan("asp.solve")
+	s := &sc.cd
+	s.init(g, g.clauseForm(), opts)
+	err := s.run()
+	statSolveCalls.Inc()
+	statSolveDur.ObserveSince(t0)
+	statDecisions.Add(s.decisions)
+	statConflicts.Add(s.conflicts)
+	statPropagations.Add(s.propagations)
+	statBackjumps.Add(s.backjumps)
+	statLearnedNogoods.Add(s.learnedNogoods)
+	statModelsFound.Add(int64(len(s.models)))
+	if obs.TracingEnabled() {
+		sp.SetAttr("atoms", strconv.Itoa(g.NumAtoms()))
+		sp.SetAttr("decisions", strconv.FormatInt(s.decisions, 10))
+		sp.SetAttr("conflicts", strconv.FormatInt(s.conflicts, 10))
+		sp.SetAttr("models", strconv.Itoa(len(s.models)))
+	}
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	// Detach the models from the scratch-resident slice so the next
+	// solve on this scratch cannot alias them.
+	models := make([]*AnswerSet, len(s.models))
+	copy(models, s.models)
+	return models, nil
+}
+
+// solveGroundDFS is the legacy chronological engine, retained as a
+// differential oracle for the CDNL engine.
+func solveGroundDFS(g *GroundProgram, opts SolveOptions, sc *SolverScratch) ([]*AnswerSet, error) {
 	t0 := time.Now()
 	sp := obs.StartSpan("asp.solve")
 	s := newSolver(g, opts, sc)
@@ -197,37 +266,36 @@ type SolverScratch struct {
 	posOff      []int32
 	posNext     []int32
 	posEnt      []posWatchEntry
+
+	// cd holds the CDNL engine's state; its buffers are likewise reused
+	// across solves.
+	cd cdnlSolver
 }
 
-func growBools(s []bool, n int) []bool {
+// grow returns s with length n and every element zeroed, reusing the
+// backing array when it is large enough. It serves every per-atom,
+// per-rule, and per-variable scratch slice in the solving core.
+func grow[T any](s []T, n int) []T {
 	if cap(s) < n {
-		return make([]bool, n)
+		return make([]T, n)
 	}
 	s = s[:n]
-	for i := range s {
-		s[i] = false
-	}
+	clear(s)
 	return s
 }
 
-func growInt8(s []int8, n int) []int8 {
+// growLists returns s with length n, emptying each inner slice while
+// keeping its capacity (the shape watch lists want across solves).
+func growLists(s [][]int32, n int) [][]int32 {
 	if cap(s) < n {
-		return make([]int8, n)
+		grown := make([][]int32, n)
+		copy(grown, s)
+		s = grown
+	} else {
+		s = s[:n]
 	}
-	s = s[:n]
 	for i := range s {
-		s[i] = 0
-	}
-	return s
-}
-
-func growInt32(s []int32, n int) []int32 {
-	if cap(s) < n {
-		return make([]int32, n)
-	}
-	s = s[:n]
-	for i := range s {
-		s[i] = 0
+		s[i] = s[i][:0]
 	}
 	return s
 }
@@ -270,11 +338,11 @@ func newSolver(g *GroundProgram, opts SolveOptions, sc *SolverScratch) *solver {
 		sc = &SolverScratch{}
 	}
 	n := g.NumAtoms()
-	sc.isChoice = growBools(sc.isChoice, n)
-	sc.assign = growInt8(sc.assign, n)
-	sc.lmTrue = growBools(sc.lmTrue, n)
-	sc.lmCount = growInt32(sc.lmCount, len(g.Rules))
-	sc.occ = growInt32(sc.occ, n)
+	sc.isChoice = grow(sc.isChoice, n)
+	sc.assign = grow(sc.assign, n)
+	sc.lmTrue = grow(sc.lmTrue, n)
+	sc.lmCount = grow(sc.lmCount, len(g.Rules))
+	sc.occ = grow(sc.occ, n)
 	sc.choice = sc.choice[:0]
 	sc.constraints = sc.constraints[:0]
 	s := &solver{
@@ -329,6 +397,11 @@ func (s *solver) budget() error {
 	s.decisions++
 	if s.opts.MaxDecisions > 0 && s.decisions > s.opts.MaxDecisions {
 		return ErrSearchBudget
+	}
+	if s.opts.Context != nil && s.decisions&255 == 0 {
+		if err := s.opts.Context.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -493,7 +566,7 @@ func (s *solver) leastModelSeeded(keep func(GroundRule) bool, seedAssigned bool)
 func (s *solver) buildPosWatch() {
 	n := s.g.NumAtoms()
 	sc := s.sc
-	sc.posOff = growInt32(sc.posOff, n+1)
+	sc.posOff = grow(sc.posOff, n+1)
 	// Pass 1: bucket sizes. Each atom counts once per rule (multiplicity
 	// is folded into the entry).
 	for ri := range s.g.Rules {
@@ -521,7 +594,7 @@ func (s *solver) buildPosWatch() {
 	sc.posEnt = sc.posEnt[:total]
 	// Pass 2: fill via per-atom cursors; rule order within a bucket
 	// matches the original append order.
-	sc.posNext = growInt32(sc.posNext, n)
+	sc.posNext = grow(sc.posNext, n)
 	copy(sc.posNext, sc.posOff[:n])
 	for ri := range s.g.Rules {
 		r := &s.g.Rules[ri]

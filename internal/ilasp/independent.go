@@ -430,14 +430,23 @@ func coverHard(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCos
 	return best, len(cv.examples), nil
 }
 
+// Example status in the coverNoisy search, tracked per depth.
+const (
+	cnPending byte = iota // some requirement still unmet
+	cnCovered             // all requirements met, no violation
+	cnBroken              // infeasible or violated by a chosen rule
+)
+
 // coverNoisy maximises weighted coverage minus cost. Hard (zero-weight)
 // examples must be covered. The search branches on the first unmet
 // requirement: either one of the rules providing it is added, or the
 // whole example is abandoned (paying its weight) — a complete
 // branch-and-bound whose branching factor is the number of providers per
-// requirement rather than the pool size. Example status under the chosen
-// set is read off per-depth union signatures (word-wide OR on push)
-// instead of rescanning the chosen rules per example.
+// requirement rather than the pool size. Example status is kept in
+// per-depth byte arrays: a push copies the parent level and revisits
+// only the pushed rule's affected examples (inverted fire/viol lists),
+// so the per-node scan reads one byte per example instead of running a
+// word-range allSet over its requirement bits.
 func coverNoisy(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCost int) ([]int, int, error) {
 	if maxCost <= 0 {
 		maxCost = 1 << 30
@@ -446,16 +455,29 @@ func coverNoisy(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCo
 	infos := cv.infos
 	n := len(examples)
 
-	// providers[ei][ni] = pool rules deriving need ni of example ei,
-	// in cost order.
+	// providers[ei][ni] = pool rules deriving need ni of example ei, in
+	// cost order. fireEx/violEx invert the candidate signatures into
+	// affected-example lists for the incremental status updates.
 	providers := make([][][]int, n)
 	for ei := range examples {
 		providers[ei] = make([][]int, len(infos[ei].needs))
-		for _, ri := range pool {
+	}
+	fireEx := make([][]int32, len(space))
+	violEx := make([][]int32, len(space))
+	for _, ri := range pool {
+		for ei := range examples {
+			fires := false
 			for ni := range infos[ei].needs {
 				if cv.fire[ri].get(cv.reqOff[ei] + ni) {
 					providers[ei][ni] = append(providers[ei][ni], ri)
+					fires = true
 				}
+			}
+			if fires {
+				fireEx[ri] = append(fireEx[ri], int32(ei))
+			}
+			if cv.viol[ri].get(ei) {
+				violEx[ri] = append(violEx[ri], int32(ei))
 			}
 		}
 	}
@@ -464,62 +486,78 @@ func coverNoisy(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCo
 		chosen    []int
 		cost      int
 		abandoned []bool
+		abandList []int // currently abandoned examples, in path order
 	}
 	bestObj := 1 << 30
 	var best []int
 	bestCovered := -1
 	found := false
 
-	// uReq[d]/uViol[d] hold the union signature of the first d chosen
-	// rules; a push at depth d writes level d+1 only, so parent levels
-	// survive the recursion.
+	// uReq[d] holds the union fire signature of the first d chosen rules
+	// (needed for first-unmet-need lookup and covered re-checks); a push
+	// at depth d writes level d+1 only, so parent levels survive the
+	// recursion. status[d] holds the per-example status bytes at depth d,
+	// with lostD/coveredD/hardBrokenD the matching aggregates (soft
+	// weight lost to broken examples, covered count, any hard example
+	// broken) so a node never rescans the whole example set.
 	uReq := make([]sigWords, maxRules+1)
-	uViol := make([]sigWords, maxRules+1)
+	status := make([][]byte, maxRules+1)
+	lostD := make([]int, maxRules+1)
+	coveredD := make([]int, maxRules+1)
+	hardBrokenD := make([]bool, maxRules+1)
 	for d := 0; d <= maxRules; d++ {
 		uReq[d] = newSig(cv.nreq)
-		uViol[d] = newSig(n)
+		status[d] = make([]byte, n)
+	}
+	for ei := range examples {
+		switch {
+		case !infos[ei].feasible:
+			status[0][ei] = cnBroken
+			if examples[ei].Weight <= 0 {
+				hardBrokenD[0] = true
+			} else {
+				lostD[0] += examples[ei].Weight
+			}
+		case uReq[0].allSet(cv.reqOff[ei], cv.reqOff[ei+1]):
+			status[0][ei] = cnCovered
+			coveredD[0]++
+		}
 	}
 
-	var dfs func(st *state) error
-	dfs = func(st *state) error {
-		req, viol := uReq[len(st.chosen)], uViol[len(st.chosen)]
+	// dfs evaluates the node for the current chosen set. from is a lower
+	// bound on the first pending example: statuses only move
+	// pending→covered/broken and the abandoned set only grows down a
+	// path, so the first pending index is non-decreasing with depth.
+	var dfs func(st *state, from int) error
+	dfs = func(st *state, from int) error {
+		d := len(st.chosen)
+		stat := status[d]
+		if hardBrokenD[d] {
+			return nil // hard example broken: infeasible branch
+		}
 		// Lower bound: cost plus weights of examples already lost.
-		lost := 0
-		covered := 0
-		firstPending := -1
-		firstNeed := -1
-		for ei := range examples {
-			if st.abandoned[ei] {
-				if examples[ei].Weight <= 0 {
-					return nil // hard example abandoned: infeasible branch
-				}
+		// Abandoned examples pay their weight whatever their status;
+		// broken ones are already in lostD, the rest adjust here.
+		lost := lostD[d]
+		covered := coveredD[d]
+		for _, ei := range st.abandList {
+			switch stat[ei] {
+			case cnPending:
 				lost += examples[ei].Weight
-				continue
-			}
-			broken := !infos[ei].feasible || viol.get(ei)
-			switch {
-			case broken:
-				if examples[ei].Weight <= 0 {
-					return nil
-				}
+			case cnCovered:
 				lost += examples[ei].Weight
-			case req.allSet(cv.reqOff[ei], cv.reqOff[ei+1]):
-				covered++
-			default:
-				if firstPending == -1 {
-					firstPending = ei
-					// Find its first unmet need.
-					for ni := range infos[ei].needs {
-						if !req.get(cv.reqOff[ei] + ni) {
-							firstNeed = ni
-							break
-						}
-					}
-				}
+				covered--
 			}
 		}
 		if st.cost+lost >= bestObj {
 			return nil
+		}
+		firstPending := -1
+		for ei := from; ei < n; ei++ {
+			if stat[ei] == cnPending && !st.abandoned[ei] {
+				firstPending = ei
+				break
+			}
 		}
 		if firstPending == -1 {
 			obj := st.cost + lost
@@ -530,6 +568,15 @@ func coverNoisy(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCo
 				found = true
 			}
 			return nil
+		}
+		// The pending example's first unmet need.
+		req := uReq[d]
+		firstNeed := -1
+		for ni := range infos[firstPending].needs {
+			if !req.get(cv.reqOff[firstPending] + ni) {
+				firstNeed = ni
+				break
+			}
 		}
 		// Option 1: add a provider of the first unmet requirement.
 		if len(st.chosen) < maxRules {
@@ -548,14 +595,36 @@ func coverNoisy(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCo
 				if st.cost+c > maxCost || st.cost+c+lost >= bestObj {
 					continue
 				}
-				d := len(st.chosen)
-				copy(uReq[d+1], uReq[d])
+				copy(uReq[d+1], req)
 				cv.fire[ri].orInto(uReq[d+1])
-				copy(uViol[d+1], uViol[d])
-				cv.viol[ri].orInto(uViol[d+1])
+				child := status[d+1]
+				copy(child, stat)
+				lost2, cov2, hard2 := lostD[d], coveredD[d], false
+				for _, ei := range violEx[ri] {
+					if child[ei] == cnBroken {
+						continue
+					}
+					if child[ei] == cnCovered {
+						cov2--
+					}
+					child[ei] = cnBroken // violation trumps coverage
+					if examples[ei].Weight <= 0 {
+						hard2 = true
+					} else {
+						lost2 += examples[ei].Weight
+					}
+				}
+				childReq := uReq[d+1]
+				for _, ei := range fireEx[ri] {
+					if child[ei] == cnPending && childReq.allSet(cv.reqOff[ei], cv.reqOff[ei+1]) {
+						child[ei] = cnCovered
+						cov2++
+					}
+				}
+				lostD[d+1], coveredD[d+1], hardBrokenD[d+1] = lost2, cov2, hard2
 				st.chosen = append(st.chosen, ri)
 				st.cost += c
-				if err := dfs(st); err != nil {
+				if err := dfs(st, firstPending); err != nil {
 					return err
 				}
 				st.chosen = st.chosen[:len(st.chosen)-1]
@@ -565,15 +634,17 @@ func coverNoisy(cv *indepVectors, space []Candidate, pool []int, maxRules, maxCo
 		// Option 2: abandon the pending example (soft examples only).
 		if examples[firstPending].Weight > 0 {
 			st.abandoned[firstPending] = true
-			if err := dfs(st); err != nil {
+			st.abandList = append(st.abandList, firstPending)
+			if err := dfs(st, firstPending+1); err != nil {
 				return err
 			}
+			st.abandList = st.abandList[:len(st.abandList)-1]
 			st.abandoned[firstPending] = false
 		}
 		return nil
 	}
 	st := &state{abandoned: make([]bool, n)}
-	if err := dfs(st); err != nil {
+	if err := dfs(st, 0); err != nil {
 		return nil, 0, err
 	}
 	if !found {
