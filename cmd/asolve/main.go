@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	asolve [-n max] [-engine cdnl|dfs] [-ground] [program.lp]
+//	asolve [-n max] [-engine cdnl|dfs] [-ground] [-plan] [program.lp]
 //	echo "a :- not b. b :- not a." | asolve -n 0
 package main
 
@@ -29,6 +29,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("asolve", flag.ContinueOnError)
 	maxModels := fs.Int("n", 0, "maximum number of answer sets to print (0 = all)")
 	showGround := fs.Bool("ground", false, "print the ground program instead of solving")
+	showPlan := fs.Bool("plan", false, "print the compiled grounding plans (join orders and lowered ops) instead of solving")
 	maxDecisions := fs.Int64("budget", 0, "abort after this many search decisions (0 = unlimited)")
 	engine := fs.String("engine", "cdnl", "solving engine: cdnl (conflict-driven, default) or dfs (legacy oracle)")
 	stats := fs.Bool("stats", false, "dump the telemetry registry to stderr on exit (includes solver conflicts, backjumps, and learned nogoods)")
@@ -75,6 +76,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	prog, err := asp.Parse(string(src))
 	if err != nil {
 		return err
+	}
+	if *showPlan {
+		_, plans, err := asp.GroundWithPlans(prog, asp.GroundingOptions{})
+		if err != nil {
+			return err
+		}
+		for _, pi := range plans {
+			fmt.Fprint(stdout, pi.String())
+		}
+		return nil
 	}
 	ground, err := asp.Ground(prog, asp.GroundingOptions{})
 	if err != nil {

@@ -1,0 +1,71 @@
+package agenp_test
+
+import (
+	"os"
+	"testing"
+
+	"agenp/internal/asp"
+)
+
+// TestGroundingLatencyGuard is the CI regression gate for the compiled
+// grounding planner (set AGENP_BENCH_GUARD=1 to run). It holds the two
+// budgets the per-rule join plans bought:
+//
+//   - Planned grounding of the join-heavy corpus must stay at least 3x
+//     faster than the NaivePlan greedy oracle. A planner regression
+//     (lost delta pinning, dead index probes, per-step rescans leaking
+//     back in) collapses this ratio rather than nudging it.
+//   - One planned pass over the corpus must stay under 4 ms/op —
+//     roughly 4x headroom over the level the plan VM + grounder
+//     pooling reached (~0.9 ms locally), loose enough for CI hardware,
+//     tight enough to catch a fallback to the greedy path (~3.6 ms).
+func TestGroundingLatencyGuard(t *testing.T) {
+	if os.Getenv("AGENP_BENCH_GUARD") == "" {
+		t.Skip("set AGENP_BENCH_GUARD=1 to run the grounding latency guard")
+	}
+
+	srcs := []string{
+		`a(1..12). b(1..12). c(1..12).
+		 t(X,Y,Z) :- a(X), b(Y), c(Z), X < Y, Y < Z, Z < X + 6.`,
+		`num(0).
+		 num(N + 1) :- num(N), N < 80.
+		 even(N) :- num(N), N \ 2 = 0.
+		 odd(N) :- num(N), not even(N).
+		 pair(X,Y) :- even(X), odd(Y), Y = X + 1.`,
+		`e(1..50).
+		 w(X,Y) :- e(X), e(Y), X < Y, Y < X + 4.
+		 v(X,Z) :- w(X,Y), w(Y,Z).`,
+	}
+	progs := make([]*asp.Program, len(srcs))
+	for i, src := range srcs {
+		p, err := asp.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[i] = p
+	}
+
+	run := func(naivePlan bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range progs {
+					if _, err := asp.Ground(p, asp.GroundingOptions{NaivePlan: naivePlan}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+
+	planned := run(false)
+	naive := run(true)
+	t.Logf("planned: %d ns/op, naive-plan: %d ns/op (%.2fx)",
+		planned.NsPerOp(), naive.NsPerOp(), float64(naive.NsPerOp())/float64(planned.NsPerOp()))
+	if planned.NsPerOp()*3 > naive.NsPerOp() {
+		t.Errorf("planned grounding only %.2fx faster than the greedy oracle, below the 3x budget",
+			float64(naive.NsPerOp())/float64(planned.NsPerOp()))
+	}
+	if planned.NsPerOp() > 4_000_000 {
+		t.Errorf("planned grounding takes %d ns/op, above the 4 ms budget", planned.NsPerOp())
+	}
+}

@@ -221,7 +221,23 @@ func localizeRule(r asp.Rule, tr cfg.Trace) asp.Rule {
 // trace t and production p) of the annotation of p localized at t.
 // Terminal leaves contribute nothing.
 func (g *Grammar) TreeProgram(t *cfg.Tree) (*asp.Program, error) {
-	prog := asp.NewProgram()
+	// Pre-count the localized rules (a trace-free walk) so the program's
+	// rule slice is allocated once; membership checks build a fresh tree
+	// program per parse tree, making append growth here a hot cost.
+	total := 0
+	var count func(node *cfg.Tree)
+	count = func(node *cfg.Tree) {
+		if node.Prod != nil {
+			if id := node.Prod.ID; id >= 0 && id < len(g.Annotations) && g.Annotations[id] != nil {
+				total += len(g.Annotations[id].Rules)
+			}
+		}
+		for _, c := range node.Children {
+			count(c)
+		}
+	}
+	count(t)
+	prog := &asp.Program{Rules: make([]asp.Rule, 0, total)}
 	var err error
 	t.Walk(func(node *cfg.Tree, tr cfg.Trace) bool {
 		if node.Prod == nil {
@@ -288,14 +304,26 @@ func (g *Grammar) WithContext(c *asp.Program) *Grammar {
 	if c == nil || len(c.Rules) == 0 {
 		return g
 	}
-	out := g.Clone()
-	for i := range out.Annotations {
-		if out.Annotations[i] == nil {
-			out.Annotations[i] = asp.NewProgram()
+	// Build each extended annotation in one exact-size allocation rather
+	// than Clone (one copy) followed by Extend (a second, growing copy).
+	ann := make([]*asp.Program, len(g.Annotations))
+	for i, p := range g.Annotations {
+		n := 0
+		if p != nil {
+			n = len(p.Rules)
 		}
-		out.Annotations[i].Extend(c)
+		rules := make([]asp.Rule, 0, n+len(c.Rules))
+		if p != nil {
+			rules = append(rules, p.Rules...)
+		}
+		rules = append(rules, c.Rules...)
+		ann[i] = &asp.Program{Rules: rules}
 	}
-	return out
+	var lines []int
+	if g.AnnLines != nil {
+		lines = append([]int(nil), g.AnnLines...)
+	}
+	return &Grammar{CFG: g.CFG, Annotations: ann, AnnLines: lines}
 }
 
 // HypothesisRule is a learnable annotation rule attached to a specific

@@ -97,20 +97,49 @@ func (cp *CompiledProgram) Tight() bool { return cp.nCyclic == 0 }
 // compileGround builds the clause form of a ground program.
 func compileGround(g *GroundProgram) *CompiledProgram {
 	n := int32(g.NumAtoms())
+	// Pre-size the clause arena and support lists from one pass over the
+	// rules: a body of m literals costs at most 3+5m arena words (body
+	// definition plus m literal clauses), a head/constraint rule 4 more,
+	// and every atom's support clause 3 plus one word per supporting
+	// body. Upper bounds — body dedup only shrinks them — so the arena
+	// never reallocates and each supports[a] is carved from one block.
+	lits, arena := 0, 0
+	headCnt := make([]int32, n)
+	totalHeads := 0
+	for ri := range g.Rules {
+		r := &g.Rules[ri]
+		m := len(r.PosBody) + len(r.NegBody)
+		lits += m
+		arena += 3 + 5*m + 4
+		if r.Head >= 0 {
+			headCnt[r.Head]++
+			totalHeads++
+		}
+	}
+	arena += 3*int(n) + totalHeads
 	cp := &CompiledProgram{
 		nAtoms:       n,
 		nVars:        n,
+		arena:        make([]int32, 0, arena),
 		bodyKey:      make(map[string]int32, len(g.Rules)),
-		bodyOff:      []int32{0},
+		bodyLit:      make([]int32, 0, lits),
+		bodyOff:      make([]int32, 1, len(g.Rules)+1),
+		bodyVarID:    make([]int32, 0, len(g.Rules)),
+		heads:        make([][]int32, 0, len(g.Rules)),
 		posBodyPreds: make(map[string]struct{}),
 		atomVar:      make([]int32, n),
 		varAtom:      make([]int32, n, n+int32(len(g.Rules))),
 		supports:     make([][]int32, n),
 		supRef:       make([]int32, n),
 	}
+	supBlock := make([]int32, totalHeads)
+	off := 0
 	for a := int32(0); a < n; a++ {
 		cp.atomVar[a] = a
 		cp.varAtom[a] = a
+		c := int(headCnt[a])
+		cp.supports[a] = supBlock[off : off : off+c]
+		off += c
 	}
 	cp.addRules(g.Rules, g, nil)
 	cp.finishAtoms(0, n)

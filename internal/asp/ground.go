@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"agenp/internal/obs"
@@ -136,8 +137,19 @@ type GroundProgram struct {
 }
 
 // AtomID returns the id of a ground atom, or -1 if the atom does not
-// occur in the ground program.
+// occur in the ground program. The key index is built lazily on first
+// lookup (like clauseForm): most ground programs go straight to the
+// solver and never pay for it.
 func (g *GroundProgram) AtomID(a Atom) int32 {
+	if g.index == nil {
+		idx := make(map[string]int32, len(g.Atoms))
+		var buf []byte
+		for id, at := range g.Atoms {
+			buf = appendAtomKey(buf[:0], at)
+			idx[string(buf)] = int32(id)
+		}
+		g.index = idx
+	}
 	if id, ok := g.index[a.Key()]; ok {
 		return id
 	}
@@ -191,6 +203,14 @@ type GroundingOptions struct {
 	// benchmark; results are identical.
 	StringKeyed bool
 
+	// NaivePlan disables compiled grounding plans: rules are instantiated
+	// by the legacy greedy backtracking join (next literal re-picked by a
+	// textual-order scan on every step, variables bound through a
+	// string-keyed trail map). Exposed as the differential oracle and
+	// ablation benchmark; results are identical up to atom numbering and
+	// rule order.
+	NaivePlan bool
+
 	// MaxAtoms aborts grounding when the domain exceeds this many atoms
 	// (0 = unlimited). Guards against runaway programs.
 	MaxAtoms int
@@ -215,18 +235,22 @@ func Ground(p *Program, opts GroundingOptions) (*GroundProgram, error) {
 	}
 	g := newGrounder(opts)
 	if err := g.groundRules(normal.Rules); err != nil {
+		g.release()
 		sp.End()
 		return nil, err
 	}
 	instances := len(g.pending)
+	atoms := g.in.Len()
 	out := g.finalize()
 	statGroundCalls.Inc()
 	statGroundDur.ObserveSince(t0)
-	statAtomsInterned.Add(int64(g.in.Len()))
+	statAtomsInterned.Add(int64(atoms))
 	statRulesInstances.Add(int64(instances))
 	statGroundRulesKept.Add(int64(len(out.Rules)))
+	g.flushPlanStats()
+	g.release()
 	if obs.TracingEnabled() {
-		sp.SetAttr("atoms", strconv.Itoa(g.in.Len()))
+		sp.SetAttr("atoms", strconv.Itoa(atoms))
 		sp.SetAttr("rules", strconv.Itoa(len(out.Rules)))
 	}
 	sp.End()
@@ -245,6 +269,9 @@ func prepare(p *Program, ns string) (*Program, error) {
 		return nil, err
 	}
 	for _, r := range normal.Rules {
+		if r.IsFact() {
+			continue // trivially safe; skip the map-building check
+		}
 		if err := CheckSafety(r); err != nil {
 			return nil, err
 		}
@@ -252,26 +279,110 @@ func prepare(p *Program, ns string) (*Program, error) {
 	return normal, nil
 }
 
-// groundRules runs the definite fixpoint and grounds constraints against
-// the final relations.
+// groundRules compiles the rules into planned form, runs the definite
+// fixpoint, and grounds constraints against the final relations. Ground
+// facts are emitted inline — no compiled form, no intermediate slice —
+// since tree/scenario programs are dominated by them.
 func (g *grounder) groundRules(rules []Rule) error {
-	var defRules, constraints []Rule
+	g.delta = make(map[predKey][]int32)
+	var defs, cons []*plannedRule
 	for _, r := range rules {
-		if r.IsConstraint() {
-			constraints = append(constraints, r)
+		if r.IsFact() {
+			if err := g.emitFact(*r.Head); err != nil {
+				return err
+			}
+			continue
+		}
+		pr := newPlannedRule(r)
+		if pr.isCon {
+			cons = append(cons, pr)
 		} else {
-			defRules = append(defRules, r)
+			defs = append(defs, pr)
 		}
 	}
-	if err := g.fixpoint(defRules); err != nil {
+	if err := g.fixpoint(defs); err != nil {
 		return err
 	}
-	for _, c := range constraints {
-		if err := g.instantiateAll(c); err != nil {
+	for _, c := range cons {
+		if err := g.instantiate(c, -1, nil); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// planRules splits the rules into ground facts (emitted without any
+// compilation — tree/scenario programs are dominated by them), compiled
+// definite rules, and compiled constraints.
+func planRules(rules []Rule) (facts []Atom, defs, cons []*plannedRule) {
+	for _, r := range rules {
+		if r.IsFact() {
+			facts = append(facts, *r.Head)
+			continue
+		}
+		pr := newPlannedRule(r)
+		if pr.isCon {
+			cons = append(cons, pr)
+		} else {
+			defs = append(defs, pr)
+		}
+	}
+	return facts, defs, cons
+}
+
+func (g *grounder) groundPlanned(facts []Atom, defs, cons []*plannedRule) error {
+	g.delta = make(map[predKey][]int32)
+	for _, a := range facts {
+		if err := g.emitFact(a); err != nil {
+			return err
+		}
+	}
+	if err := g.fixpoint(defs); err != nil {
+		return err
+	}
+	for _, c := range cons {
+		if err := g.instantiate(c, -1, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitFact interns a ground fact head and records its instance.
+func (g *grounder) emitFact(a Atom) error {
+	id, err := g.internGroundAtom(a)
+	if err != nil {
+		return err
+	}
+	g.addAtomID(id)
+	g.pending = append(g.pending, groundInstance{head: id})
+	return nil
+}
+
+// instantiate grounds one rule for one delta slot (-1 = against the full
+// relations), dispatching between the compiled-plan VM and the greedy
+// oracle. The empty-delta skip applies to both paths, keeping their
+// observable behaviour (including error reachability) aligned.
+func (g *grounder) instantiate(pr *plannedRule, slot int, delta map[predKey][]int32) error {
+	var deltaCands []int32
+	if slot >= 0 {
+		deltaCands = delta[pr.posPred[slot]]
+		if len(deltaCands) == 0 {
+			return nil
+		}
+	}
+	if g.opts.NaivePlan {
+		dp := -1
+		if slot >= 0 {
+			dp = pr.posIdx[slot]
+		}
+		return g.instantiateAgainst(pr.rule, dp, delta)
+	}
+	plan, err := pr.planFor(slot, g)
+	if err != nil {
+		return err
+	}
+	return g.runPlan(pr, plan, deltaCands)
 }
 
 // compileChoices rewrites every choice rule {a1;...;ak} :- body into, for
@@ -285,6 +396,16 @@ func (g *grounder) groundRules(rules []Rule) error {
 // parameter namespaces the fresh predicates so separately compiled
 // programs (incremental grounding extensions) cannot collide.
 func compileChoices(p *Program, ns string) (*Program, error) {
+	hasChoice := false
+	for i := range p.Rules {
+		if p.Rules[i].IsChoice() {
+			hasChoice = true
+			break
+		}
+	}
+	if !hasChoice {
+		return p, nil
+	}
 	out := &Program{Rules: make([]Rule, 0, len(p.Rules))}
 	fresh := 0
 	prefix := "_choice_"
@@ -450,6 +571,14 @@ func (in *Interner) truncate(n int) {
 	in.atoms = in.atoms[:n]
 }
 
+// reset empties the interner keeping its capacity (pool reuse). Atom
+// argument slices handed out earlier are never mutated, so programs
+// built from a previous use stay valid.
+func (in *Interner) reset() {
+	clear(in.index)
+	in.atoms = in.atoms[:0]
+}
+
 // predKey identifies a relation: predicate name plus arity.
 type predKey struct {
 	name  string
@@ -491,6 +620,31 @@ type relation struct {
 
 func newRelation(arity int) *relation {
 	return &relation{argIndex: make([]map[argKey][]int32, arity)}
+}
+
+// newRel returns an empty relation for the arity, recycling a released
+// one when available. Recycled index maps are cleared here, before any
+// add, so a non-nil per-argument map is always in sync with ids.
+func (g *grounder) newRel(arity int) *relation {
+	n := len(g.relFree)
+	if n == 0 {
+		return newRelation(arity)
+	}
+	r := g.relFree[n-1]
+	g.relFree[n-1] = nil
+	g.relFree = g.relFree[:n-1]
+	r.ids = r.ids[:0]
+	if cap(r.argIndex) < arity {
+		r.argIndex = make([]map[argKey][]int32, arity)
+		return r
+	}
+	r.argIndex = r.argIndex[:arity]
+	for _, m := range r.argIndex {
+		if m != nil {
+			clear(m)
+		}
+	}
+	return r
 }
 
 func (r *relation) add(id int32, a Atom) {
@@ -581,6 +735,9 @@ type grounder struct {
 
 	rel   map[predKey]*relation
 	delta map[predKey][]int32
+	// relFree recycles relation objects across Ground calls on a pooled
+	// grounder (id slices and index-map buckets keep their capacity).
+	relFree []*relation
 
 	// pending collects ground rule instances before finalization.
 	pending []groundInstance
@@ -597,15 +754,68 @@ type grounder struct {
 	sMatched []int32
 	sTr      bindTrail
 	keySc    keyScratch
+	remap    []int32
+	seen     map[string]struct{}
+
+	// Scratch and arena for the plan VM (plan.go): variable registers,
+	// choice-stack frames, interner probe buffers, and the instance-id
+	// arena. Like the trail scratch, per-grounder and not re-entrant.
+	regs   []Term
+	frames []vmFrame
+	keyBuf []byte
+	argBuf []Term
+	arena  i32Arena
+
+	// Per-call metric accumulators, flushed once per Ground/Extend.
+	scanned      int64
+	planCompiles int64
+	planHits     int64
+
+	// planTrace, when non-nil, collects PlanInfo for every plan compiled
+	// through this grounder (GroundWithPlans introspection).
+	planTrace *[]PlanInfo
 }
 
-func newGrounder(opts GroundingOptions) *grounder {
+// grounderPool recycles batch grounders between Ground calls: the
+// interner's atom slice and key map, the relation map, scratch buffers
+// and the instance arena all keep their capacity, so repeated grounding
+// of small programs (the regenerate/adapt hot path) stops paying
+// per-call re-growth.
+var grounderPool = sync.Pool{New: func() any {
 	return &grounder{
-		opts: opts,
-		in:   NewInterner(),
-		rel:  make(map[predKey]*relation),
-		sTr:  bindTrail{b: make(Binding, 8)},
+		in:  NewInterner(),
+		rel: make(map[predKey]*relation),
+		sTr: bindTrail{b: make(Binding, 8)},
 	}
+}}
+
+func newGrounder(opts GroundingOptions) *grounder {
+	g := grounderPool.Get().(*grounder)
+	g.opts = opts
+	return g
+}
+
+// release resets the grounder and returns it to the pool. Only the
+// batch paths (Ground, GroundWithPlans) release: their finalize copies
+// everything the returned program needs. Incremental grounders are
+// never released — their finalized programs alias the live atom table.
+func (g *grounder) release() {
+	g.in.reset()
+	g.inDomain = g.inDomain[:0]
+	g.domainN = 0
+	for pk, r := range g.rel {
+		g.relFree = append(g.relFree, r)
+		delete(g.rel, pk)
+	}
+	g.delta = nil
+	g.pending = g.pending[:0]
+	g.journal = false
+	g.addedDomain = g.addedDomain[:0]
+	g.newRels = g.newRels[:0]
+	g.arena.reset()
+	clear(g.regs) // drop Term references; capacity stays
+	g.planTrace = nil
+	grounderPool.Put(g)
 }
 
 // groundInstance is a fully instantiated rule over global interner ids.
@@ -616,14 +826,14 @@ type groundInstance struct {
 }
 
 // fixpoint runs semi-naive evaluation of the definite rules.
-func (g *grounder) fixpoint(rules []Rule) error {
-	g.delta = make(map[predKey][]int32)
+func (g *grounder) fixpoint(rules []*plannedRule) error {
+	// g.delta is live on entry: groundPlanned seeds it with the facts.
 
-	// Round 0: rules with no positive atom literals (facts and rules
-	// bound purely by equalities/comparisons).
-	for _, r := range rules {
-		if len(positiveIndices(r)) == 0 {
-			if err := g.instantiateAgainst(r, -1, nil); err != nil {
+	// Round 0: rules with no positive atom literals (rules bound purely
+	// by equalities/comparisons).
+	for _, pr := range rules {
+		if len(pr.posIdx) == 0 {
+			if err := g.instantiate(pr, -1, nil); err != nil {
 				return err
 			}
 		}
@@ -635,43 +845,26 @@ func (g *grounder) fixpoint(rules []Rule) error {
 		}
 		prevDelta := g.delta
 		g.delta = make(map[predKey][]int32)
-		for _, r := range rules {
-			posIdx := positiveIndices(r)
-			if len(posIdx) == 0 {
+		for _, pr := range rules {
+			if len(pr.posIdx) == 0 {
 				continue
 			}
 			if g.opts.Naive {
-				if err := g.instantiateAgainst(r, -1, nil); err != nil {
+				if err := g.instantiate(pr, -1, nil); err != nil {
 					return err
 				}
 				continue
 			}
 			// Semi-naive: require one positive literal to match the
 			// delta; try each position in turn.
-			for _, di := range posIdx {
-				if err := g.instantiateAgainst(r, di, prevDelta); err != nil {
+			for k := range pr.posIdx {
+				if err := g.instantiate(pr, k, prevDelta); err != nil {
 					return err
 				}
 			}
 		}
 	}
 	return nil
-}
-
-func positiveIndices(r Rule) []int {
-	var idx []int
-	for i, l := range r.Body {
-		if !l.IsCmp && !l.Negated {
-			idx = append(idx, i)
-		}
-	}
-	return idx
-}
-
-// instantiateAll grounds a rule (typically a constraint) against the full
-// relations only.
-func (g *grounder) instantiateAll(r Rule) error {
-	return g.instantiateAgainst(r, -1, nil)
 }
 
 // bindTrail is a mutable binding with an undo log: matching binds in
@@ -694,6 +887,41 @@ func (t *bindTrail) undo(m int) {
 		delete(t.b, t.names[i])
 	}
 	t.names = t.names[:m]
+}
+
+// arithBlocked reports whether the pattern atom has an unbound variable
+// inside an arithmetic subterm — such an argument can only be evaluated,
+// not enumerated, so the literal must wait for the binding.
+func arithBlocked(a Atom, b Binding) bool {
+	blocked := false
+	var walk func(t Term, inArith bool)
+	walk = func(t Term, inArith bool) {
+		if blocked {
+			return
+		}
+		switch tt := t.(type) {
+		case Variable:
+			if inArith {
+				if _, ok := b[tt.Name]; !ok {
+					blocked = true
+				}
+			}
+		case Compound:
+			for _, x := range tt.Args {
+				walk(x, inArith)
+			}
+		case Arith:
+			walk(tt.L, true)
+			walk(tt.R, true)
+		case Range:
+			walk(tt.Lo, true)
+			walk(tt.Hi, true)
+		}
+	}
+	for _, t := range a.Args {
+		walk(t, false)
+	}
+	return blocked
 }
 
 // unboundVarCount counts variable occurrences of t not bound in b.
@@ -756,7 +984,11 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 			}
 			l := &r.Body[i]
 			if !l.IsCmp && !l.Negated {
-				if pick == -1 {
+				// A positive literal is deferred while variables inside its
+				// arithmetic subterms are unbound: the matcher can only
+				// evaluate such arguments, never enumerate them, so
+				// scheduling it earlier would silently match nothing.
+				if pick == -1 && !arithBlocked(l.Atom, tr.b) {
 					pick, pickKind = i, 0
 				}
 				continue
@@ -791,9 +1023,13 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 		}
 		if pick == -1 {
 			// Nothing processable: all remaining literals are stuck.
-			// Safety guarantees this cannot happen for satisfiable
-			// orderings; report an error to surface bugs.
-			return fmt.Errorf("grounder stuck on rule %q (bound: %v)", r.String(), tr.b)
+			// Safety rules this out except for cyclic arithmetic
+			// dependencies between literals; report which literals and
+			// variables are blocked.
+			return stuckRuleError(r, done, func(name string) bool {
+				_, ok := tr.b[name]
+				return ok
+			})
 		}
 
 		done[pick] = true
@@ -810,6 +1046,7 @@ func (g *grounder) instantiateAgainst(r Rule, deltaPos int, delta map[predKey][]
 				cands = rel.candidates(l.Atom, tr.b, g)
 			}
 			for _, id := range cands {
+				g.scanned++
 				m := tr.mark()
 				if matchAtomTrail(l.Atom, g.in.atoms[id], tr) {
 					matched[pick] = id
@@ -979,26 +1216,33 @@ func (g *grounder) internAtom(a Atom) int32 {
 // current delta.
 func (g *grounder) addAtom(a Atom) int32 {
 	id := g.internAtom(a)
+	g.addAtomID(id)
+	return id
+}
+
+// addAtomID adds an already-interned atom to the domain, relations and
+// the current delta (no-op when already in the domain).
+func (g *grounder) addAtomID(id int32) {
 	if g.inDomain[id] {
-		return id
+		return
 	}
 	g.inDomain[id] = true
 	g.domainN++
+	a := g.in.atoms[id]
 	pk := atomPredKey(a)
 	rel := g.rel[pk]
 	if rel == nil {
-		rel = newRelation(pk.arity)
+		rel = g.newRel(pk.arity)
 		g.rel[pk] = rel
 		if g.journal {
 			g.newRels = append(g.newRels, pk)
 		}
 	}
-	rel.add(id, g.in.atoms[id])
+	rel.add(id, a)
 	g.delta[pk] = append(g.delta[pk], id)
 	if g.journal {
 		g.addedDomain = append(g.addedDomain, id)
 	}
-	return id
 }
 
 // finalize interns pending instances into a fresh, compacted ground
@@ -1006,8 +1250,13 @@ func (g *grounder) addAtom(a Atom) int32 {
 // in finalized rules, negative literals whose atom is outside the domain
 // are dropped (vacuously true), and duplicate rules are removed.
 func (g *grounder) finalize() *GroundProgram {
-	out := &GroundProgram{index: make(map[string]int32)}
-	remap := make([]int32, g.in.Len())
+	out := &GroundProgram{
+		Atoms: make([]Atom, 0, g.in.Len()),
+		Rules: make([]GroundRule, 0, len(g.pending)),
+		// index stays nil; AtomID builds it on demand.
+	}
+	g.remap = grow(g.remap, g.in.Len())
+	remap := g.remap
 	for i := range remap {
 		remap[i] = -1
 	}
@@ -1016,35 +1265,54 @@ func (g *grounder) finalize() *GroundProgram {
 			return remap[gid]
 		}
 		id := int32(len(out.Atoms))
-		a := g.in.atoms[gid]
-		out.Atoms = append(out.Atoms, a)
-		out.index[a.Key()] = id
+		out.Atoms = append(out.Atoms, g.in.atoms[gid])
 		remap[gid] = id
 		return id
 	}
-	seen := make(map[string]struct{}, len(g.pending))
+	// All rule bodies are carved from one block owned by the output
+	// program; the exact pre-sizing means append never reallocates, so
+	// earlier carves stay valid.
+	total := 0
 	for _, inst := range g.pending {
+		total += len(inst.pos) + len(inst.neg)
+	}
+	block := make([]int32, 0, total)
+	if g.seen == nil {
+		g.seen = make(map[string]struct{}, len(g.pending))
+	}
+	seen := g.seen
+	for _, inst := range g.pending {
+		start := len(block)
 		gr := GroundRule{Head: -1}
 		for _, gid := range inst.pos {
-			gr.PosBody = append(gr.PosBody, intern(gid))
+			block = append(block, intern(gid))
 		}
+		mid := len(block)
 		for _, gid := range inst.neg {
 			if !g.inDomain[gid] {
 				continue // vacuously true
 			}
-			gr.NegBody = append(gr.NegBody, intern(gid))
+			block = append(block, intern(gid))
+		}
+		if mid > start {
+			gr.PosBody = block[start:mid:mid]
+		}
+		if len(block) > mid {
+			gr.NegBody = block[mid:len(block):len(block)]
 		}
 		if inst.head >= 0 {
 			gr.Head = intern(inst.head)
 		}
 		key := g.keySc.ruleKey(gr)
 		if _, dup := seen[string(key)]; dup {
+			block = block[:start]
 			continue
 		}
 		seen[string(key)] = struct{}{}
 		out.Rules = append(out.Rules, gr)
 	}
-	g.pending = nil
+	clear(seen)
+	g.pending = g.pending[:0]
 	return out
 }
 

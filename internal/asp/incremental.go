@@ -17,14 +17,20 @@ import (
 // (namespaced by ns so separately compiled extensions cannot collide),
 // and safety checked once.
 type CompiledRules struct {
-	defs      []Rule
-	cons      []Rule
+	facts     []Atom
+	defs      []*plannedRule
+	cons      []*plannedRule
 	headPreds map[string]struct{}
 }
 
 // CompileExtension compiles a rule set for use with Extend. ns must be
 // unique per extension compiled against the same grounder when the rules
 // contain choice rules.
+//
+// The compiled form carries each rule's grounding plans, so an extension
+// shared by many grounders (the learner extends one grounder per
+// example with the same candidate) compiles its join orders once; the
+// plan cache is safe for concurrent Extend calls on distinct grounders.
 func CompileExtension(rules []Rule, ns string) (*CompiledRules, error) {
 	normal, err := prepare(NewProgram(rules...), ns)
 	if err != nil {
@@ -32,35 +38,33 @@ func CompileExtension(rules []Rule, ns string) (*CompiledRules, error) {
 	}
 	out := &CompiledRules{headPreds: make(map[string]struct{})}
 	for _, r := range normal.Rules {
-		if r.IsConstraint() {
-			out.cons = append(out.cons, r)
+		if r.IsFact() {
+			out.facts = append(out.facts, *r.Head)
+			out.headPreds[r.Head.Predicate] = struct{}{}
+			continue
+		}
+		pr := newPlannedRule(r)
+		if pr.isCon {
+			out.cons = append(out.cons, pr)
 		} else {
-			out.defs = append(out.defs, r)
+			out.defs = append(out.defs, pr)
 			out.headPreds[r.Head.Predicate] = struct{}{}
 		}
 	}
 	return out, nil
 }
 
-// ruleInfo caches a rule's positive body positions and predicates for
+// ruleInfo pairs a compiled rule with its head predicate for
 // dependency-directed re-instantiation.
 type ruleInfo struct {
-	rule     Rule
+	pr       *plannedRule
 	headName string
-	posIdx   []int
-	posPred  []predKey // parallel to posIdx
 }
 
-func newRuleInfo(r Rule) ruleInfo {
-	info := ruleInfo{rule: r}
-	for i, l := range r.Body {
-		if !l.IsCmp && !l.Negated {
-			info.posIdx = append(info.posIdx, i)
-			info.posPred = append(info.posPred, atomPredKey(l.Atom))
-		}
-	}
-	if r.Head != nil {
-		info.headName = r.Head.Predicate
+func newRuleInfo(pr *plannedRule) ruleInfo {
+	info := ruleInfo{pr: pr}
+	if pr.rule.Head != nil {
+		info.headName = pr.rule.Head.Predicate
 	}
 	return info
 }
@@ -107,9 +111,14 @@ func NewIncrementalGrounder(base *Program, opts GroundingOptions) (*IncrementalG
 		return nil, err
 	}
 	g := newGrounder(opts)
-	if err := g.groundRules(normal.Rules); err != nil {
+	baseFacts, baseDefs, baseCons := planRules(normal.Rules)
+	if err := g.groundPlanned(baseFacts, baseDefs, baseCons); err != nil {
 		return nil, err
 	}
+	// The base instances alias the arena; freeze it so extension rounds
+	// (rolled back by Reset) cannot reuse their storage.
+	g.arena.freeze()
+	g.flushPlanStats()
 
 	ig := &IncrementalGrounder{g: g}
 	ig.baseSeen = make(map[string]struct{}, len(g.pending))
@@ -136,13 +145,11 @@ func NewIncrementalGrounder(base *Program, opts GroundingOptions) (*IncrementalG
 	g.pending = nil
 	ig.baseAtomLen = g.in.Len()
 
-	for _, r := range normal.Rules {
-		info := newRuleInfo(r)
-		if r.IsConstraint() {
-			ig.baseCons = append(ig.baseCons, info)
-		} else {
-			ig.baseDefs = append(ig.baseDefs, info)
-		}
+	for _, pr := range baseDefs {
+		ig.baseDefs = append(ig.baseDefs, newRuleInfo(pr))
+	}
+	for _, pr := range baseCons {
+		ig.baseCons = append(ig.baseCons, newRuleInfo(pr))
 	}
 	return ig, nil
 }
@@ -185,6 +192,9 @@ func (ig *IncrementalGrounder) Reset() {
 	g.pending = g.pending[:0]
 	g.delta = nil
 	g.journal = false
+	// Every arena block handed out since the base freeze belonged to the
+	// rolled-back extension; reuse its storage.
+	g.arena.reset()
 }
 
 // Extend grounds base ∪ extensions, reusing the frozen base grounding.
@@ -199,13 +209,14 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 		statIncrExtends.Inc()
 		statIncrExtendDur.ObserveSince(t0)
 		statIncrAtomsAdded.Add(int64(ig.g.in.Len() - ig.baseAtomLen))
+		ig.g.flushPlanStats()
 	}()
 	g := ig.g
 	g.journal = true
 	g.delta = make(map[predKey][]int32)
 
 	reach := make(map[string]struct{})
-	var extDefs, extCons []Rule
+	var extDefs, extCons []*plannedRule
 	for _, e := range exts {
 		extDefs = append(extDefs, e.defs...)
 		extCons = append(extCons, e.cons...)
@@ -223,7 +234,7 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 			if _, ok := reach[ri.headName]; ok {
 				continue
 			}
-			for _, pk := range ri.posPred {
+			for _, pk := range ri.pr.posPred {
 				if _, hit := reach[pk.name]; hit {
 					reach[ri.headName] = struct{}{}
 					changed = true
@@ -233,11 +244,11 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 		}
 	}
 	var loop []ruleInfo
-	for _, r := range extDefs {
-		loop = append(loop, newRuleInfo(r))
+	for _, pr := range extDefs {
+		loop = append(loop, newRuleInfo(pr))
 	}
 	for _, ri := range ig.baseDefs {
-		for _, pk := range ri.posPred {
+		for _, pk := range ri.pr.posPred {
 			if _, hit := reach[pk.name]; hit {
 				loop = append(loop, ri)
 				break
@@ -245,10 +256,18 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 		}
 	}
 
-	// Round 0: fully instantiate the extension rules against the base
-	// relations (their all-base-atom instances are new).
-	for _, r := range extDefs {
-		if err := g.instantiateAgainst(r, -1, nil); err != nil {
+	// Round 0: emit extension facts, then fully instantiate the extension
+	// rules against the base relations (their all-base-atom instances are
+	// new).
+	for _, e := range exts {
+		for _, a := range e.facts {
+			if err := g.emitFact(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, pr := range extDefs {
+		if err := g.instantiate(pr, -1, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -261,8 +280,8 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 		prevDelta := g.delta
 		g.delta = make(map[predKey][]int32)
 		for _, ri := range loop {
-			for _, di := range ri.posIdx {
-				if err := g.instantiateAgainst(ri.rule, di, prevDelta); err != nil {
+			for k := range ri.pr.posIdx {
+				if err := g.instantiate(ri.pr, k, prevDelta); err != nil {
 					return nil, err
 				}
 			}
@@ -270,7 +289,8 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 	}
 
 	// Base constraints gain instances only at positions whose predicate
-	// gained atoms; re-instantiate with the new atoms as the delta.
+	// gained atoms; re-instantiate with the new atoms as the delta (the
+	// empty-delta skip in instantiate drops unaffected positions).
 	if len(g.addedDomain) > 0 && len(ig.baseCons) > 0 {
 		newByPred := make(map[predKey][]int32)
 		for _, id := range g.addedDomain {
@@ -278,11 +298,8 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 			newByPred[pk] = append(newByPred[pk], id)
 		}
 		for _, ci := range ig.baseCons {
-			for k, di := range ci.posIdx {
-				if len(newByPred[ci.posPred[k]]) == 0 {
-					continue
-				}
-				if err := g.instantiateAgainst(ci.rule, di, newByPred); err != nil {
+			for k := range ci.pr.posIdx {
+				if err := g.instantiate(ci.pr, k, newByPred); err != nil {
 					return nil, err
 				}
 			}
@@ -290,7 +307,7 @@ func (ig *IncrementalGrounder) Extend(exts ...*CompiledRules) (*GroundProgram, e
 	}
 	// Extension constraints see the full relations.
 	for _, c := range extCons {
-		if err := g.instantiateAll(c); err != nil {
+		if err := g.instantiate(c, -1, nil); err != nil {
 			return nil, err
 		}
 	}

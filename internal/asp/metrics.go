@@ -13,6 +13,9 @@ var (
 	statAtomsInterned   = obs.C("asp.ground.atoms_interned")
 	statRulesInstances  = obs.C("asp.ground.rules_instantiated")
 	statGroundRulesKept = obs.C("asp.ground.rules_finalized")
+	statPlansCompiled   = obs.C("asp.ground.plans_compiled")
+	statPlanCacheHits   = obs.C("asp.ground.plan_cache_hits")
+	statCandScanned     = obs.C("asp.ground.candidates_scanned")
 
 	statSolveCalls     = obs.C("asp.solve.calls")
 	statSolveDur       = obs.H("asp.solve.duration")
@@ -28,3 +31,21 @@ var (
 	statIncrAtomsAdded = obs.C("asp.incremental.atoms_added")
 	statIncrExtendDur  = obs.H("asp.incremental.extend.duration")
 )
+
+// flushPlanStats publishes the grounder's per-call plan/scan
+// accumulators and zeroes them, so long-lived incremental grounders
+// report per-Extend increments rather than lifetime totals.
+func (g *grounder) flushPlanStats() {
+	if g.planCompiles > 0 {
+		statPlansCompiled.Add(g.planCompiles)
+		g.planCompiles = 0
+	}
+	if g.planHits > 0 {
+		statPlanCacheHits.Add(g.planHits)
+		g.planHits = 0
+	}
+	if g.scanned > 0 {
+		statCandScanned.Add(g.scanned)
+		g.scanned = 0
+	}
+}
